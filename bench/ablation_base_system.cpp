@@ -1,0 +1,61 @@
+// Ablation: sensitivity of the study to the base-system choice.
+//
+// Every prediction in the methodology is anchored to one measured run on
+// the base system (the paper traced on "the NAVO p690"). How much does the
+// answer depend on that choice? This bench re-runs the full study with
+// each registry machine as the base (targets = the other ten) and reports
+// the overall error of the headline metrics — an experiment the paper did
+// not run but whose outcome its ratio-based Equation 1 silently depends
+// on.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "machine/registry.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("ablation_base_system",
+                "base-system sensitivity (beyond the paper)");
+
+  AsciiTable table({"Base system", "1-S HPL", "3-S GUPS", "6-P", "9-P"});
+  for (std::size_t c = 1; c < 5; ++c) table.set_align(c, Align::Right);
+
+  std::vector<std::string> bases = machine::target_system_names();
+  bases.push_back(machine::base_system_name());
+
+  for (const auto& base_name : bases) {
+    std::vector<machine::MachineConfig> targets;
+    for (const auto& machine : machine::all()) {
+      if (machine.name != base_name) targets.push_back(machine);
+    }
+    const auto study = metrics::Study::build(
+        std::move(targets), machine::find(base_name),
+        workload::ti05_suite());
+    const auto predictions = study.evaluate(
+        {metrics::Metric::S1_Hpl, metrics::Metric::S3_Gups,
+         metrics::Metric::P6_HplStreamGups,
+         metrics::Metric::P9_HplMapsNetDep});
+
+    auto error_of = [&](metrics::Metric metric) {
+      return metrics::Study::summarize(
+                 metrics::Study::slice_metric(predictions, metric))
+          .mean_abs_error_pct;
+    };
+    table.add_row({base_name,
+                   AsciiTable::num(error_of(metrics::Metric::S1_Hpl), 0),
+                   AsciiTable::num(error_of(metrics::Metric::S3_Gups), 0),
+                   AsciiTable::num(
+                       error_of(metrics::Metric::P6_HplStreamGups), 0),
+                   AsciiTable::num(
+                       error_of(metrics::Metric::P9_HplMapsNetDep), 0)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading guide: trace-convolution metrics should be robust to the\n"
+      "base choice (the transfer function re-normalizes); HPL's error\n"
+      "swings wildly with it, because Equation 1 inherits whatever bias\n"
+      "the base system's flop/memory balance has.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// E6 — validates the machine and application models against the paper's
+// Appendix Tables 6-10 (the observed times-to-solution): for every
+// (application, CPU count) we print simulated vs published seconds and the
+// Spearman rank correlation across machines. The simulation does not — and
+// cannot — match absolute numbers cell by cell; what it must preserve is
+// who beats whom.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/report.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("appendix_validation",
+                "Appendix Tables 6-10 (observed times-to-solution)");
+  const auto& study = bench::paper_study();
+  std::printf("%s",
+              report::render_appendix_comparison(study.observations())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E5 — reproduces the paper's Section 4 balanced-rating analysis (the text
+// between metrics #3 and #4): an IDC-style equal-weight composite of HPL,
+// STREAM and all_reduce (paper: 35% error), and regression-optimized
+// weights (paper: 5% / 50% / 45%, 33% error). The punchline — which this
+// bench checks — is that no fixed weighting of simple metrics beats GUPS
+// alone by much.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "data/paper_data.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("balanced_rating",
+                "Section 4 text (IDC balanced rating, equal vs fitted)");
+  const auto& study = bench::paper_study();
+
+  const auto predictions = study.evaluate(
+      {metrics::Metric::S3_Gups, metrics::Metric::BalancedEqual,
+       metrics::Metric::BalancedFitted});
+
+  const auto reference = data::balanced_reference();
+  AsciiTable table({"Composite", "Avg |Err| (%)", "Stddev (%)", "Paper"});
+  table.set_align(1, Align::Right);
+  table.set_align(2, Align::Right);
+  table.set_align(3, Align::Right);
+
+  auto add = [&](metrics::Metric metric, double paper_value) {
+    const auto summary = metrics::Study::summarize(
+        metrics::Study::slice_metric(predictions, metric));
+    table.add_row({metrics::description(metric),
+                   AsciiTable::num(summary.mean_abs_error_pct, 0),
+                   AsciiTable::num(summary.stddev_abs_error_pct, 0),
+                   AsciiTable::num(paper_value, 0)});
+  };
+  add(metrics::Metric::BalancedEqual, reference.equal_mean_pct);
+  add(metrics::Metric::BalancedFitted, reference.fitted_mean_pct);
+  add(metrics::Metric::S3_Gups, 33);
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& weights = study.balanced_fitted().weights();
+  std::printf(
+      "Fitted weights: HPL %.0f%%, STREAM %.0f%%, all_reduce %.0f%%\n",
+      weights[0] * 100, weights[1] * 100, weights[2] * 100);
+  std::printf("Paper's fitted weights: HPL %.0f%%, STREAM %.0f%%, "
+              "all_reduce %.0f%%\n",
+              reference.fitted_weights[0] * 100,
+              reference.fitted_weights[1] * 100,
+              reference.fitted_weights[2] * 100);
+  std::printf(
+      "\nShape check (paper's conclusion): neither composite should beat\n"
+      "GUPS alone significantly — \"this seems to disprove the notion that\n"
+      "a single balanced rating can significantly improve on a simple\n"
+      "benchmark.\"\n");
+  return 0;
+}

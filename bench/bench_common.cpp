@@ -1,0 +1,32 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace msim::bench {
+
+const metrics::Study& paper_study() {
+  static const metrics::Study study = metrics::Study::build();
+  return study;
+}
+
+void banner(const std::string& experiment, const std::string& paper_artifact) {
+  std::printf("=========================================================\n");
+  std::printf("msim reproduction | %s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_artifact.c_str());
+  std::printf("Carrington et al., \"How Well Can Simple Metrics Represent\n");
+  std::printf("the Performance of HPC Applications?\", SC 2005\n");
+  std::printf("=========================================================\n\n");
+}
+
+void save_artifact(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("(could not write %s)\n", path.c_str());
+    return;
+  }
+  out << content;
+  std::printf("(wrote %s)\n", path.c_str());
+}
+
+}  // namespace msim::bench

@@ -1,0 +1,23 @@
+// Shared plumbing for the experiment benches: a cached full-paper Study, a
+// standard header banner, and CSV-to-file helpers. Every bench is
+// deterministic; running one twice produces identical output.
+#pragma once
+
+#include <string>
+
+#include "metrics/study.hpp"
+
+namespace msim::bench {
+
+/// The full paper study built once per process (10 targets + base, TI-05
+/// suite, reference executor options).
+[[nodiscard]] const metrics::Study& paper_study();
+
+/// Print the standard experiment banner.
+void banner(const std::string& experiment, const std::string& paper_artifact);
+
+/// Write `content` to `path` and log where it went (best effort: failures
+/// to open the file are reported, not fatal).
+void save_artifact(const std::string& path, const std::string& content);
+
+}  // namespace msim::bench

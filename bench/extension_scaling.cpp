@@ -1,0 +1,74 @@
+// Extension bench: cross-count signature scaling.
+//
+// Trace each application at its two smaller processor counts, extrapolate
+// the signature to the largest count, and predict all ten machines with
+// Metric #9 — comparing against (a) predictions from a genuine trace at
+// that count and (b) the "real" runs. If scaled signatures track real
+// traces, the most expensive tracing runs can be skipped entirely.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "convolve/convolver.hpp"
+#include "stats/summary.hpp"
+#include "trace/scaling.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("extension_scaling",
+                "cross-count signature extrapolation (beyond the paper)");
+
+  const auto& study = bench::paper_study();
+  constexpr auto kMetric = convolve::PredictiveMetric::M9_HplMapsNetDep;
+
+  AsciiTable table({"Application", "Extrapolated to", "|err| scaled",
+                    "|err| traced", "Scaled vs traced"});
+  for (std::size_t c = 2; c < 5; ++c) table.set_align(c, Align::Right);
+
+  for (const auto& test_case : study.suite()) {
+    const int p0 = test_case.cpu_counts[0];
+    const int p1 = test_case.cpu_counts[1];
+    const int p2 = test_case.cpu_counts[2];
+
+    const auto& traced = study.signature(test_case.name, p2);
+    const auto scaled = trace::scale_signature(
+        study.signature(test_case.name, p0),
+        study.signature(test_case.name, p1), p2);
+
+    const auto& base_probes = study.probe_set(study.base_machine());
+    const double base_seconds =
+        study.observations().at(test_case.name, p2, study.base_machine());
+
+    std::vector<double> scaled_errors, traced_errors, divergences;
+    for (const auto& machine : study.target_names()) {
+      const auto& target_probes = study.probe_set(machine);
+      const double actual =
+          study.observations().at(test_case.name, p2, machine);
+      const double from_scaled =
+          convolve::predict_time(scaled, target_probes, base_probes,
+                                 base_seconds, kMetric);
+      const double from_traced =
+          convolve::predict_time(traced, target_probes, base_probes,
+                                 base_seconds, kMetric);
+      scaled_errors.push_back(
+          stats::absolute_percent_error(from_scaled, actual));
+      traced_errors.push_back(
+          stats::absolute_percent_error(from_traced, actual));
+      divergences.push_back(
+          stats::absolute_percent_error(from_scaled, from_traced));
+    }
+    table.add_row({test_case.name,
+                   std::to_string(p0) + "+" + std::to_string(p1) + " -> " +
+                       std::to_string(p2),
+                   AsciiTable::num(stats::mean(scaled_errors), 1) + "%",
+                   AsciiTable::num(stats::mean(traced_errors), 1) + "%",
+                   AsciiTable::num(stats::mean(divergences), 1) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "'|err| scaled' predicts the largest count from signatures\n"
+      "extrapolated off the two smaller traces; '|err| traced' uses a\n"
+      "real trace at that count. If the last column is small, the most\n"
+      "expensive (largest-count) tracing runs are unnecessary.\n");
+  return 0;
+}

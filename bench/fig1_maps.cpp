@@ -1,0 +1,54 @@
+// E1 — reproduces paper Figure 1: unit-stride memory bandwidth versus
+// working-set ("message") size. The paper plots three systems for
+// readability (IBM Opteron, SGI Altix, IBM p655); pass --all to sweep every
+// registry machine, or --random for the random-stride curves.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "machine/registry.hpp"
+#include "probes/synthetic.hpp"
+#include "report/gnuplot.hpp"
+#include "report/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  bool all_systems = false;
+  bool random_stride = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) all_systems = true;
+    if (std::strcmp(argv[i], "--random") == 0) random_stride = true;
+  }
+
+  bench::banner("fig1_maps",
+                "Figure 1 (MAPS bandwidth vs working-set size)");
+
+  std::vector<machine::MachineConfig> machines;
+  if (all_systems) {
+    machines = machine::targets();
+  } else {
+    machines = {machine::find("ARL_Opteron"), machine::find("ARL_Altix"),
+                machine::find("NAVO_655")};
+  }
+  const auto sets = probes::run_probe_suites(machines);
+  std::printf("%s\n",
+              report::render_maps_table(sets, random_stride).c_str());
+
+  std::printf(
+      "Paper's Figure 1 shape check: the Opteron should win from main\n"
+      "memory (right side), the Altix in the mid-cache region, and the\n"
+      "p655 in L1 (left side).\n");
+
+  std::ostringstream csv;
+  report::write_maps_csv(csv, sets, random_stride);
+  bench::save_artifact("fig1_maps.csv", csv.str());
+
+  std::vector<std::string> names;
+  for (const auto& set : sets) names.push_back(set.machine);
+  std::ostringstream script;
+  report::write_fig1_gnuplot(script, "fig1_maps.csv", names);
+  bench::save_artifact("fig1_maps.gp", script.str());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// E4 — reproduces paper Figure 3: error assessment for AVUS Standard.
+#include "fig_app_common.hpp"
+
+int main() {
+  return msim::bench::run_figure_app(
+      "fig3_avus_standard", "Figure 3 (AVUS Standard error assessment)",
+      "AVUS_Standard");
+}

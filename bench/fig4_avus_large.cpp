@@ -1,0 +1,8 @@
+// E4 — reproduces paper Figure 4: error assessment for AVUS Large.
+#include "fig_app_common.hpp"
+
+int main() {
+  return msim::bench::run_figure_app(
+      "fig4_avus_large", "Figure 4 (AVUS Large error assessment)",
+      "AVUS_Large");
+}

@@ -1,0 +1,23 @@
+// Shared driver for the per-application error figures (paper Figures 3-7).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "report/report.hpp"
+
+namespace msim::bench {
+
+inline int run_figure_app(const std::string& experiment,
+                          const std::string& artifact,
+                          const std::string& app) {
+  banner(experiment, artifact);
+  const auto& study = paper_study();
+  const auto predictions = study.evaluate(metrics::paper_metrics());
+  std::printf("%s\n",
+              report::render_figure_app(study, predictions, app).c_str());
+  return 0;
+}
+
+}  // namespace msim::bench

@@ -1,0 +1,81 @@
+// E9 — the probe kernels on real silicon (google-benchmark): STREAM triad,
+// GUPS-style random update, strided reads at several working-set sizes
+// (a native MAPS sweep), the dependent pointer chase and the branchy read
+// that back ENHANCED MAPS. Bandwidths are reported as bytes/second.
+#include <benchmark/benchmark.h>
+
+#include "probes/native.hpp"
+
+namespace {
+
+using namespace msim::probes::native;
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto elements = static_cast<std::size_t>(state.range(0));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto result = stream_triad(elements, 1);
+    benchmark::DoNotOptimize(result.checksum);
+    bytes += result.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 21);
+
+void BM_RandomUpdate(benchmark::State& state) {
+  const int log2_elements = static_cast<int>(state.range(0));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto result = random_update(log2_elements, 1 << 18);
+    benchmark::DoNotOptimize(result.checksum);
+    bytes += result.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RandomUpdate)->Arg(14)->Arg(18)->Arg(22);
+
+void BM_StridedRead(benchmark::State& state) {
+  const auto ws = static_cast<std::size_t>(state.range(0));
+  const auto stride = static_cast<std::size_t>(state.range(1));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto result = strided_read(ws, stride, 1);
+    benchmark::DoNotOptimize(result.checksum);
+    bytes += result.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StridedRead)
+    ->Args({16 << 10, 1})
+    ->Args({16 << 10, 8})
+    ->Args({4 << 20, 1})
+    ->Args({4 << 20, 8})
+    ->Args({64 << 20, 1});
+
+void BM_PointerChase(benchmark::State& state) {
+  const auto ws = static_cast<std::size_t>(state.range(0));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto result = pointer_chase(ws, 1 << 18);
+    benchmark::DoNotOptimize(result.checksum);
+    bytes += result.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PointerChase)->Arg(16 << 10)->Arg(1 << 20)->Arg(32 << 20);
+
+void BM_BranchyRead(benchmark::State& state) {
+  const auto ws = static_cast<std::size_t>(state.range(0));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto result = branchy_read(ws, 1);
+    benchmark::DoNotOptimize(result.checksum);
+    bytes += result.bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_BranchyRead)->Arg(16 << 10)->Arg(4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// E8 — google-benchmark microbenchmarks of the library's hot components:
+// the set-associative cache model, the stride detector, the address
+// generators, the analytic bandwidth surface, block convolution, and a
+// whole-application trace. These guard the simulator's own performance —
+// the full 150-observation campaign must stay interactive.
+#include <benchmark/benchmark.h>
+
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "memsim/bandwidth_model.hpp"
+#include "memsim/cache.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/executor.hpp"
+#include "trace/stride_detector.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace {
+
+using namespace msim;
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto& machine = machine::find("NAVO_655");
+  memsim::Cache cache(machine.caches[0]);
+  Rng rng(42);
+  std::vector<std::uint64_t> addresses(4096);
+  for (auto& a : addresses) a = rng.uniform_u64(1u << 22);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addresses[i & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyStream(benchmark::State& state) {
+  const auto& machine = machine::find("ARL_Altix");
+  memsim::CacheHierarchy hierarchy(machine);
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 1u << 20;
+  spec.components = {{.stride_bytes = 8, .weight = 0.6},
+                     {.stride_bytes = 0, .weight = 0.4}};
+  memsim::AddressGenerator generator(spec, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hierarchy.access(generator.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyStream);
+
+void BM_StrideDetector(benchmark::State& state) {
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 8u << 20;
+  spec.components = {{.stride_bytes = 8, .weight = 0.5},
+                     {.stride_bytes = 32, .weight = 0.2},
+                     {.stride_bytes = 0, .weight = 0.3}};
+  memsim::AddressGenerator generator(spec, 11);
+  trace::StrideDetector detector;
+  for (auto _ : state) {
+    const auto ref = generator.next_tagged();
+    detector.observe({.pc = ref.stream_id, .address = ref.address});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrideDetector);
+
+void BM_BandwidthSurface(benchmark::State& state) {
+  const auto& machine = machine::find("NAVO_655");
+  std::uint64_t ws = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memsim::sustained_bandwidth(
+        machine, ws,
+        {.stride = memsim::StrideClass::Unit,
+         .dependency = memsim::DependencyClass::Independent,
+         .branch_density = 0.0}));
+    ws = ws >= (1u << 28) ? 4096 : ws * 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthSurface);
+
+void BM_ConvolveBlock(benchmark::State& state) {
+  const auto probes_set = probes::run_probe_suite(machine::find("NAVO_655"));
+  const auto app = workload::make_avus_standard(64);
+  const auto signature =
+      trace::trace_application(app, machine::base_system_name());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convolve::convolve_block(
+        signature.blocks[i % signature.blocks.size()], probes_set,
+        convolve::PredictiveMetric::M9_HplMapsNetDep));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConvolveBlock);
+
+void BM_TraceApplication(benchmark::State& state) {
+  const auto app = workload::make_rfcth_standard(32);
+  trace::TracerOptions options;
+  options.sample_refs = 1u << 14;  // small sample: this measures overheads
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::trace_application(app, machine::base_system_name(), options));
+  }
+}
+BENCHMARK(BM_TraceApplication)->Unit(benchmark::kMillisecond);
+
+void BM_GroundTruthRun(benchmark::State& state) {
+  const auto app = workload::make_hycom_standard(96);
+  const auto& machine = machine::find("ARL_Opteron");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate::execute(app, machine));
+  }
+}
+BENCHMARK(BM_GroundTruthRun)->Unit(benchmark::kMicrosecond);
+
+void BM_ProbeSuite(benchmark::State& state) {
+  const auto& machine = machine::find("ASC_SC45");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probes::run_probe_suite(machine));
+  }
+}
+BENCHMARK(BM_ProbeSuite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Ranking-quality bench (beyond the paper's tables, but its core claim):
+// "If ... information about operation types specific to a target
+// application is acquired, then a few simple metrics can be combined and
+// weighted appropriately to predict performance and rank with about 80%
+// accuracy." This bench scores the *rankings* directly: Spearman/Kendall
+// correlation with the true machine ordering, plus two procurement views
+// (how often each metric names the true fastest machine, and the cost of
+// buying its pick).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "metrics/ranking.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("ranking_quality",
+                "Section 7 conclusion (ranking accuracy of each metric)");
+
+  const auto& study = bench::paper_study();
+  const auto qualities =
+      metrics::ranking_qualities(study, metrics::all_metrics());
+
+  AsciiTable table({"Metric", "Spearman", "Kendall", "Top pick", "Regret"});
+  for (std::size_t c = 1; c < 5; ++c) table.set_align(c, Align::Right);
+  for (const auto& quality : qualities) {
+    table.add_row({metrics::row_label(quality.metric) + " " +
+                       metrics::description(quality.metric),
+                   AsciiTable::num(quality.mean_spearman, 2),
+                   AsciiTable::num(quality.mean_kendall, 2),
+                   AsciiTable::num(quality.top_pick_accuracy * 100, 0) + "%",
+                   AsciiTable::num(quality.mean_pick_regret * 100, 1) +
+                       "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Averaged over %zu (application, count) configurations of 10\n"
+      "machines each. 'Top pick' = how often the metric names the truly\n"
+      "fastest system; 'Regret' = extra run time of the machine it would\n"
+      "have bought, relative to the true best.\n",
+      qualities.front().configurations);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2 — reproduces paper Table 4 and Figure 2: average absolute error and
+// standard deviation per metric over the full campaign (5 apps x 3 counts x
+// 10 systems = 150 observations, 9 metrics = 1,350 predictions, plus the
+// two balanced-rating composites).
+//
+// Flags: --overlap=sum  run the convolver with additive (no-overlap)
+//                       combination instead of the paper's max() — the
+//                       ablation called out in DESIGN.md section 6.
+//        --ci           add bootstrap 95% confidence intervals for each
+//                       metric's mean error (the paper reports bare means
+//                       over 150 predictions).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "report/gnuplot.hpp"
+#include "report/report.hpp"
+#include "stats/bootstrap.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  bool overlap_sum = false;
+  bool with_ci = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overlap=sum") == 0) overlap_sum = true;
+    if (std::strcmp(argv[i], "--ci") == 0) with_ci = true;
+  }
+
+  bench::banner("table4_overall_error",
+                "Table 4 + Figure 2 (overall error per metric)");
+
+  const metrics::Study* study = &bench::paper_study();
+  std::optional<metrics::Study> alternate;
+  if (overlap_sum) {
+    metrics::StudyOptions options;
+    options.convolver.overlap = cpusim::OverlapPolicy::Sum;
+    alternate.emplace(metrics::Study::build(options));
+    study = &*alternate;
+    std::printf("(convolver overlap policy: Sum)\n\n");
+  }
+
+  const auto predictions = study->evaluate(metrics::all_metrics());
+  std::printf("%s\n",
+              report::render_table4(*study, predictions, true).c_str());
+
+  std::printf("Observations: %zu application runs, %zu predictions\n",
+              study->observations().size() -
+                  study->suite().size() * 3,  // minus base-system rows
+              predictions.size());
+
+  if (with_ci) {
+    AsciiTable ci_table({"Metric", "Mean |Err| (%)", "95% CI"});
+    ci_table.set_align(1, Align::Right);
+    ci_table.set_align(2, Align::Right);
+    for (metrics::Metric metric : metrics::all_metrics()) {
+      const auto slice =
+          metrics::Study::slice_metric(predictions, metric);
+      std::vector<double> errors;
+      for (const auto& prediction : slice) {
+        errors.push_back(prediction.abs_error_pct());
+      }
+      const auto interval = stats::bootstrap_mean_ci(errors);
+      ci_table.add_row(
+          {metrics::row_label(metric) + " " +
+               metrics::description(metric),
+           AsciiTable::num(interval.point, 1),
+           "[" + AsciiTable::num(interval.lower, 1) + ", " +
+               AsciiTable::num(interval.upper, 1) + "]"});
+    }
+    std::printf("\nBootstrap CIs over the 150 predictions per metric:\n%s",
+                ci_table.render().c_str());
+  }
+
+  std::ostringstream csv;
+  report::write_table4_csv(csv, *study, predictions);
+  bench::save_artifact("fig2_error_per_metric.csv", csv.str());
+
+  std::ostringstream script;
+  report::write_fig2_gnuplot(script, "fig2_error_per_metric.csv");
+  bench::save_artifact("fig2_error_per_metric.gp", script.str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// E3 — reproduces paper Table 5: system-specific average absolute percent
+// error for each of the nine metrics, with an OVERALL row, printed next to
+// the paper's published matrix.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "report/report.hpp"
+
+int main() {
+  using namespace msim;
+  bench::banner("table5_system_error",
+                "Table 5 (per-system error per metric)");
+  const auto& study = bench::paper_study();
+  const auto predictions = study.evaluate(metrics::paper_metrics());
+  std::printf("%s\n", report::render_table5(study, predictions).c_str());
+  return 0;
+}

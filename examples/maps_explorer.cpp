@@ -1,0 +1,62 @@
+// Explore a machine model's MAPS surface: the four bandwidth curves (unit /
+// random x standard / ENHANCED) versus working-set size — the machine
+// signature the paper's Metrics #7-#9 consume. Optionally (--native) also
+// runs the real MAPS sweep on the host machine for comparison.
+//
+// Usage: maps_explorer [machine] [--native]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "probes/native.hpp"
+#include "probes/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  std::string machine_name = "ARL_Altix";
+  bool native = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--native") == 0) {
+      native = true;
+    } else {
+      machine_name = argv[i];
+    }
+  }
+
+  const auto& machine = machine::find(machine_name);
+  const auto set = probes::run_probe_suite(machine);
+
+  std::printf("MAPS surface of %s (%s):\n", machine.name.c_str(),
+              machine.architecture.c_str());
+  std::printf("%-10s %12s %12s %12s %12s\n", "ws", "unit", "random",
+              "unit+dep", "random+dep");
+  for (const auto& point : set.maps_unit.points) {
+    const auto ws = point.working_set_bytes;
+    std::printf("%-10s %9.2f GB %9.3f GB %9.2f GB %9.3f GB\n",
+                format_bytes(ws).c_str(),
+                set.maps_unit.bandwidth_at(ws) / GB,
+                set.maps_random.bandwidth_at(ws) / GB,
+                set.maps_unit_dep.bandwidth_at(ws) / GB,
+                set.maps_random_dep.bandwidth_at(ws) / GB);
+  }
+  std::printf("\nSTREAM point: %s   GUPS point: %s\n",
+              format_rate(set.stream_bw, "B").c_str(),
+              format_rate(set.gups_bw, "B").c_str());
+
+  if (native) {
+    std::printf("\nNative MAPS sweep on THIS host:\n");
+    std::printf("%-10s %14s %14s\n", "ws", "unit stride", "pointer chase");
+    const std::vector<std::size_t> sizes = {
+        16u << 10, 64u << 10, 256u << 10, 1u << 20, 4u << 20, 16u << 20,
+        64u << 20};
+    for (const auto& point : probes::native::native_maps_sweep(sizes)) {
+      std::printf("%-10s %11.2f GB %11.3f GB\n",
+                  format_bytes(point.working_set_bytes).c_str(),
+                  point.unit_bw / GB, point.chase_bw / GB);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the whole prediction pipeline in one page.
+//
+//   1. pick a target machine model and the base system;
+//   2. run the probe suite on both (HPL, STREAM, GUPS, MAPS, NETBENCH);
+//   3. trace an application on the base system (stride detection,
+//      working-set estimation, comm counting);
+//   4. convolve the signature with the target's rates (Metric #9);
+//   5. compare the prediction with a detailed-simulator "real run".
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart [machine] [nprocs]
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/executor.hpp"
+#include "stats/summary.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  const std::string target_name = argc > 1 ? argv[1] : "ARL_Opteron";
+  const int nprocs = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  // 1. Machines: a candidate system and the base system we can run on.
+  const machine::MachineConfig& target = machine::find(target_name);
+  const machine::MachineConfig& base =
+      machine::find(machine::base_system_name());
+  std::printf("Target: %s (%s), base: %s\n\n", target.name.c_str(),
+              target.architecture.c_str(), base.name.c_str());
+
+  // 2. Probe both machines.
+  const probes::ProbeSet target_probes = probes::run_probe_suite(target);
+  const probes::ProbeSet base_probes = probes::run_probe_suite(base);
+  std::printf("Probes on %s: HPL %s, STREAM %s, GUPS %s\n",
+              target.name.c_str(),
+              format_rate(target_probes.hpl_rmax, "FLOP").c_str(),
+              format_rate(target_probes.stream_bw, "B").c_str(),
+              format_rate(target_probes.gups_bw, "B").c_str());
+  std::printf("NETBENCH: latency %.1f us, bandwidth %s\n\n",
+              target_probes.net.latency_s * 1e6,
+              format_rate(target_probes.net.bandwidth, "B").c_str());
+
+  // 3. Trace AVUS-Standard on the base system.
+  const workload::AppModel app = workload::make_avus_standard(nprocs);
+  const trace::ApplicationSignature signature =
+      trace::trace_application(app, base.name);
+  std::printf("Traced %s @ %d CPUs: %zu basic blocks, %.1f Gflop and %s of\n"
+              "memory traffic per timestep per process\n\n",
+              app.name.c_str(), nprocs, signature.blocks.size(),
+              static_cast<double>(signature.total_flops_per_timestep()) /
+                  1e9,
+              format_bytes(signature.total_bytes_per_timestep()).c_str());
+
+  // 4. "Run" the app on the base system, then predict the target with
+  //    Metric #9 (HPL + ENHANCED MAPS + NETBENCH + dependency analysis).
+  const double base_seconds =
+      simulate::execute(app, base).wall_seconds;
+  const double predicted = convolve::predict_time(
+      signature, target_probes, base_probes, base_seconds,
+      convolve::PredictiveMetric::M9_HplMapsNetDep);
+
+  // 5. The "real" run on the target (detailed simulator stands in for the
+  //    actual machine, which retired two decades ago).
+  const double actual = simulate::execute(app, target).wall_seconds;
+
+  std::printf("Measured on base system:   %8.0f s\n", base_seconds);
+  std::printf("Predicted for %-12s %8.0f s (Metric #9)\n",
+              (target.name + ":").c_str(), predicted);
+  std::printf("\"Real\" run on target:      %8.0f s\n", actual);
+  std::printf("Prediction error:          %+8.1f %%\n",
+              stats::signed_percent_error(predicted, actual));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Rank the ten HPCMP systems for each application — the use case that
+// motivates the paper ("such rankings could be achieved by comparing the
+// performance of applications across architectures, e.g. system X is 50%
+// faster than system Y for application Z").
+//
+// For each TI-05 test case this prints the per-application ranking induced
+// by (a) the "real" runs, (b) HPL alone, and (c) Metric #9 — making the
+// paper's point visible: HPL reorders the list badly, the trace-convolution
+// metric nearly reproduces it.
+//
+// Usage: rank_systems [nprocs-index 0..2]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "metrics/study.hpp"
+
+namespace {
+
+using namespace msim;
+
+struct Ranked {
+  std::string machine;
+  double seconds;
+};
+
+std::vector<Ranked> sort_ranking(std::vector<Ranked> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Ranked& a, const Ranked& b) {
+              return a.seconds < b.seconds;
+            });
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t count_index =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+
+  const auto study = metrics::Study::build();
+  for (const auto& test_case : study.suite()) {
+    const int nprocs =
+        test_case.cpu_counts[std::min(count_index,
+                                      test_case.cpu_counts.size() - 1)];
+
+    std::vector<Ranked> actual, by_hpl, by_m9;
+    for (const auto& machine : study.target_names()) {
+      actual.push_back(
+          {machine, study.observations().at(test_case.name, nprocs,
+                                            machine)});
+      by_hpl.push_back({machine,
+                        study.predict(metrics::Metric::S1_Hpl,
+                                      test_case.name, nprocs, machine)});
+      by_m9.push_back({machine,
+                       study.predict(metrics::Metric::P9_HplMapsNetDep,
+                                     test_case.name, nprocs, machine)});
+    }
+    actual = sort_ranking(std::move(actual));
+    by_hpl = sort_ranking(std::move(by_hpl));
+    by_m9 = sort_ranking(std::move(by_m9));
+
+    std::printf("=== %s @ %d CPUs ===\n", test_case.name.c_str(), nprocs);
+    std::printf("%4s  %-22s %-16s %-16s\n", "rank", "actual (s)",
+                "by HPL", "by Metric #9");
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      std::printf("%4zu  %-14s %7.0f %-16s %-16s\n", i + 1,
+                  actual[i].machine.c_str(), actual[i].seconds,
+                  by_hpl[i].machine.c_str(), by_m9[i].machine.c_str());
+    }
+    const double spread =
+        actual.back().seconds / actual.front().seconds;
+    std::printf("fastest system is %.1fx faster than the slowest\n\n",
+                spread);
+  }
+  return 0;
+}

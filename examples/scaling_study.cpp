@@ -1,0 +1,77 @@
+// Scaling study: predict processor counts nobody traced.
+//
+// Tracing a large run dilates it ~30x, so production practice is to trace
+// two affordable counts and extrapolate the signature. This example traces
+// an application at its two smallest paper counts, synthesizes signatures
+// for a sweep of larger counts with trace::scale_signature, and prints the
+// predicted strong-scaling curve for a few machines next to the detailed
+// simulator's "real" runs.
+//
+// Usage: scaling_study [app]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/executor.hpp"
+#include "stats/summary.hpp"
+#include "trace/scaling.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  const std::string app_name = argc > 1 ? argv[1] : "AVUS_Standard";
+  const auto& test_case = workload::find_test_case(app_name);
+  const int p0 = test_case.cpu_counts[0];
+  const int p1 = test_case.cpu_counts[1];
+
+  const auto& base = machine::find(machine::base_system_name());
+  const auto base_probes = probes::run_probe_suite(base);
+
+  // Trace the two affordable counts once.
+  const auto sig0 =
+      trace::trace_application(test_case.build(p0), base.name);
+  const auto sig1 =
+      trace::trace_application(test_case.build(p1), base.name);
+  std::printf("Traced %s at %d and %d CPUs on %s; extrapolating.\n\n",
+              app_name.c_str(), p0, p1, base.name.c_str());
+
+  const std::vector<std::string> machines = {"NAVO_655", "ARL_Altix",
+                                             "ARL_Opteron"};
+  const std::vector<int> sweep = {p0, p1, 2 * p1, 4 * p1, 8 * p1};
+
+  std::printf("%6s", "CPUs");
+  for (const auto& machine : machines) {
+    std::printf("  %12s %9s %6s", machine.c_str(), "\"actual\"", "err");
+  }
+  std::printf("\n");
+
+  for (int p : sweep) {
+    // The base measurement anchors each count (a cheap, untraced run).
+    const workload::AppModel app = test_case.build(p);
+    const double base_seconds = simulate::execute(app, base).wall_seconds;
+    const auto scaled = trace::scale_signature(sig0, sig1, p);
+
+    std::printf("%6d", p);
+    for (const auto& machine_name : machines) {
+      const auto& machine = machine::find(machine_name);
+      const auto probes_set = probes::run_probe_suite(machine);
+      const double predicted = convolve::predict_time(
+          scaled, probes_set, base_probes, base_seconds,
+          convolve::PredictiveMetric::M9_HplMapsNetDep);
+      const double actual = simulate::execute(app, machine).wall_seconds;
+      std::printf("  %9.0f s  %7.0f s %+5.0f%%", predicted, actual,
+                  stats::signed_percent_error(predicted, actual));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nThe first two rows use counts that were actually traced; every\n"
+      "later row runs on a power-law-extrapolated signature.\n");
+  return 0;
+}

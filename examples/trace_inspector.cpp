@@ -1,0 +1,62 @@
+// Inspect what the tracer sees: dump the full ApplicationSignature of a
+// TI-05 test case — per-block operation counts, observed stride fractions,
+// estimated working sets, static-analysis verdicts, and the MPIDTRACE
+// communication schedule. Useful for understanding exactly what information
+// the predictive metrics are (and are not) allowed to use.
+//
+// Usage: trace_inspector [app] [nprocs]
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+
+  const std::string app_name = argc > 1 ? argv[1] : "OVERFLOW2_Standard";
+  const auto& test_case = workload::find_test_case(app_name);
+  const int nprocs = argc > 2 ? std::atoi(argv[2])
+                              : test_case.cpu_counts.front();
+
+  const workload::AppModel app = test_case.build(nprocs);
+  const auto signature =
+      trace::trace_application(app, machine::base_system_name());
+
+  std::printf("Signature of %s @ %d CPUs (traced on %s, %d timesteps)\n\n",
+              signature.app.c_str(), signature.nprocs,
+              signature.traced_on.c_str(), signature.timesteps);
+
+  std::printf("%-28s %10s %11s  %5s %5s %5s  %-10s %4s %4s\n", "block",
+              "Mflop/ts", "refs/ts", "unit", "short", "rand", "ws est",
+              "LB?", "dep?");
+  for (const auto& block : signature.blocks) {
+    std::printf("%-28s %10.1f %11lu  %5.2f %5.2f %5.2f  %-10s %4s %4s\n",
+                block.name.c_str(),
+                static_cast<double>(block.flops) / 1e6,
+                static_cast<unsigned long>(block.refs),
+                block.unit_fraction, block.short_fraction,
+                block.random_fraction,
+                format_bytes(block.working_set_estimate).c_str(),
+                block.working_set_is_lower_bound ? "yes" : "no",
+                block.dependency_limited ? "yes" : "no");
+  }
+
+  std::printf("\nCommunication per timestep per process (MPIDTRACE):\n");
+  for (const auto& phase : signature.comm) {
+    for (const auto& event : phase.events) {
+      std::printf("  %-14s %-10s %8s x %lu\n", phase.phase.c_str(),
+                  netsim::to_string(event.type).c_str(),
+                  format_bytes(event.bytes).c_str(),
+                  static_cast<unsigned long>(event.count));
+    }
+  }
+
+  std::printf("\nTotals per timestep per process: %.1f Gflop, %s memory\n",
+              static_cast<double>(signature.total_flops_per_timestep()) /
+                  1e9,
+              format_bytes(signature.total_bytes_per_timestep()).c_str());
+  return 0;
+}

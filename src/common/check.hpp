@@ -1,0 +1,48 @@
+// Contract-check macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw rather than abort so that
+// library misuse is testable and recoverable by callers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace msim {
+
+/// Thrown when a precondition (argument contract) is violated.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant or postcondition fails.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace msim
+
+/// Precondition: validate caller-supplied arguments.
+#define MSIM_REQUIRE(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::msim::detail::throw_precondition(#expr, __FILE__, __LINE__,    \
+                                         (msg));                      \
+    }                                                                  \
+  } while (false)
+
+/// Invariant / postcondition: validate internal consistency.
+#define MSIM_CHECK(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::msim::detail::throw_invariant(#expr, __FILE__, __LINE__,       \
+                                      (msg));                         \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,42 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace msim {
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::numeric_row(const std::string& label,
+                            const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    cells.emplace_back(buf);
+  }
+  row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace msim

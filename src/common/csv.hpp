@@ -1,0 +1,30 @@
+// Minimal RFC-4180-style CSV emission, used by benches to dump figure series
+// (one CSV per paper figure) alongside the human-readable tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msim {
+
+/// Streams rows to an std::ostream, quoting cells only when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one row of raw string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Write a row of numeric cells after a leading label.
+  void numeric_row(const std::string& label, const std::vector<double>& values,
+                   int decimals = 6);
+
+  /// Quote a single cell per RFC 4180 if it contains , " or newline.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace msim

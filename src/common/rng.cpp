@@ -1,0 +1,40 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace msim {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform; u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) {
+  MSIM_REQUIRE(!weights.empty(), "pick_weighted needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    MSIM_REQUIRE(w >= 0.0, "pick_weighted weights must be non-negative");
+    total += w;
+  }
+  MSIM_REQUIRE(total > 0.0, "pick_weighted weights must not all be zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off due to rounding
+}
+
+}  // namespace msim

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Left) {
+  MSIM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::set_align(std::size_t column, Align align) {
+  MSIM_REQUIRE(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  MSIM_REQUIRE(cells.size() == headers_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_rule() { rules_.push_back(rows_.size()); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t fill = width[c] - text.size();
+    if (aligns_[c] == Align::Right) out.append(fill, ' ');
+    out += text;
+    if (aligns_[c] == Align::Left) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    rule.append(width[c] + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::ostringstream os;
+  os << rule << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], c) << " |";
+  }
+  os << '\n' << rule;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) os << rule;
+    os << '|';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << ' ' << pad(rows_[r][c], c) << " |";
+    }
+    os << '\n';
+  }
+  os << rule;
+  return os.str();
+}
+
+std::string AsciiTable::num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string AsciiTable::pct(double fraction_as_percent, int decimals) {
+  return num(fraction_as_percent, decimals);
+}
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& table) {
+  return os << table.render();
+}
+
+}  // namespace msim

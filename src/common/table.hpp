@@ -1,0 +1,53 @@
+// Fixed-width ASCII table rendering for bench/report output.
+//
+// The paper's tables (Table 4, Table 5, the appendix run-time tables) are
+// re-emitted in this format so that bench output can be diffed run-to-run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msim {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { Left, Right };
+
+/// Builder for a monospaced table with a header row and separator rules.
+class AsciiTable {
+ public:
+  /// Create a table with the given column headers (left-aligned by default).
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Override the alignment of one column (0-based).
+  void set_align(std::size_t column, Align align);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table to a string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+  /// Format a double with the given number of decimals ("12.3").
+  [[nodiscard]] static std::string num(double value, int decimals = 1);
+
+  /// Format a double as a percentage without the sign ("63").
+  [[nodiscard]] static std::string pct(double fraction_as_percent,
+                                       int decimals = 0);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices that a rule precedes
+};
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& table);
+
+}  // namespace msim

@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace msim {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 4> suffix = {"B", "KiB", "MiB",
+                                                        "GiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < suffix.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  if (value == static_cast<std::uint64_t>(value)) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, suffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, suffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_rate(double per_second, const std::string& unit) {
+  static constexpr std::array<const char*, 4> prefix = {"", "K", "M", "G"};
+  double value = per_second;
+  std::size_t idx = 0;
+  while (value >= 1000.0 && idx + 1 < prefix.size()) {
+    value /= 1000.0;
+    ++idx;
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2f %s%s/s", value, prefix[idx],
+                unit.c_str());
+  return buf;
+}
+
+}  // namespace msim

@@ -1,0 +1,34 @@
+// Byte-size and rate unit helpers. All times are seconds (double), all
+// bandwidths bytes/second (double), all sizes bytes (std::uint64_t) unless a
+// name says otherwise; these helpers keep the literals readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msim {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+/// Convert a clock frequency in GHz to cycle time in seconds.
+[[nodiscard]] constexpr double cycle_seconds(double ghz) {
+  return 1.0 / (ghz * 1e9);
+}
+
+/// Render a byte count as a short human-readable string ("64 KiB", "1.5 GiB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Render a rate with an SI prefix ("3.41 GB/s", "120 MFLOP/s").
+[[nodiscard]] std::string format_rate(double per_second,
+                                      const std::string& unit);
+
+}  // namespace msim

@@ -1,0 +1,105 @@
+// The convolver — the paper's primary contribution.
+//
+// "Operation counts, once determined by tracing, are divided by
+// corresponding operation rates ... to yield an execution time for the
+// current basic block per operation type. Execution time is subsequently
+// predicted by summing the estimated execution time for all basic blocks
+// and carefully taking into account the overlap of the different operation
+// types." (paper, Section 3)
+//
+// The six predictive metrics differ only in which rates they read from the
+// ProbeSet:
+//   #4  flops at HPL Rmax; memory ignored
+//   #5  + all memory at STREAM
+//   #6  + stride-1 at STREAM, random at GUPS (short strides: geometric mean
+//       of the two — the paper's 3-bin detector feeds 2-curve probes, see
+//       DESIGN.md)
+//   #7  memory rates from the MAPS curves at the block's traced working set
+//   #8  + a network term from NETBENCH (latency/bandwidth convolved with
+//       the MPIDTRACE event counts using standard collective algorithms)
+//   #9  + ENHANCED MAPS dependency curves for blocks the static analyzer
+//       flags, blended by branch density for the rest
+//
+// Wall-clock predictions are *ratio-normalized*: the convolved time on the
+// target is scaled by measured-base-time / convolved-base-time. This is
+// what makes Metric #4 exactly reproduce simple Metric #1 (the paper calls
+// #4 "a sanity test for the predictive method") and is how relative
+// performance prediction is used in procurement.
+#pragma once
+
+#include <string>
+
+#include "cpusim/overlap.hpp"
+#include "probes/probe_set.hpp"
+#include "trace/signature.hpp"
+
+namespace msim::convolve {
+
+/// The paper's predictive metrics (Table 3, #4-#9).
+enum class PredictiveMetric {
+  M4_Hpl,
+  M5_HplStream,
+  M6_HplStreamGups,
+  M7_HplMaps,
+  M8_HplMapsNet,
+  M9_HplMapsNetDep,
+};
+
+[[nodiscard]] std::string to_string(PredictiveMetric metric);
+
+/// True for metrics whose memory term reads MAPS curves (#7-#9).
+[[nodiscard]] bool uses_maps(PredictiveMetric metric);
+/// True for metrics with a network term (#8-#9).
+[[nodiscard]] bool uses_network(PredictiveMetric metric);
+
+/// How the detector's middle bin (short non-unit strides, 2-8 elements)
+/// maps onto the two measured rate curves. The paper's probes have only
+/// unit and random curves and the text does not say which the short bin
+/// was charged to; GeometricMean is this library's documented default,
+/// the other two are ablations (bench/ablation_design_choices).
+enum class ShortStrideMapping {
+  GeometricMean,
+  AsUnit,
+  AsRandom,
+};
+
+struct ConvolverOptions {
+  /// How per-block flop and memory times combine (paper: overlap => Max).
+  cpusim::OverlapPolicy overlap = cpusim::OverlapPolicy::Max;
+  /// Rate assignment for the short-stride bin.
+  ShortStrideMapping short_mapping = ShortStrideMapping::GeometricMean;
+  /// Message size above which the convolver's collective formulas switch
+  /// to long-message algorithms. The convolver cannot know the target's
+  /// real eager threshold — this is its own fixed assumption.
+  std::uint64_t assumed_eager_bytes = 16 * 1024;
+};
+
+/// Per-block convolved time (seconds, per timestep) on a target machine
+/// described only by its ProbeSet.
+[[nodiscard]] double convolve_block(const trace::BlockSignature& block,
+                                    const probes::ProbeSet& probes,
+                                    PredictiveMetric metric,
+                                    const ConvolverOptions& options = {});
+
+/// Convolved communication time per timestep (only for #8/#9; 0 otherwise).
+[[nodiscard]] double convolve_comm(const trace::ApplicationSignature& sig,
+                                   const probes::ProbeSet& probes,
+                                   PredictiveMetric metric,
+                                   const ConvolverOptions& options = {});
+
+/// Absolute convolved wall-clock for the full application (all timesteps).
+[[nodiscard]] double convolved_time(const trace::ApplicationSignature& sig,
+                                    const probes::ProbeSet& probes,
+                                    PredictiveMetric metric,
+                                    const ConvolverOptions& options = {});
+
+/// Ratio-normalized prediction of the target's wall-clock:
+///   T'(X) = T_measured(base) * convolved(X) / convolved(base).
+[[nodiscard]] double predict_time(const trace::ApplicationSignature& sig,
+                                  const probes::ProbeSet& target_probes,
+                                  const probes::ProbeSet& base_probes,
+                                  double measured_base_seconds,
+                                  PredictiveMetric metric,
+                                  const ConvolverOptions& options = {});
+
+}  // namespace msim::convolve

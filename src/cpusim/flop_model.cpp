@@ -1,0 +1,30 @@
+#include "cpusim/flop_model.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::cpusim {
+
+double achieved_flop_rate(const machine::MachineConfig& machine,
+                          const FlopWork& work) {
+  MSIM_REQUIRE(work.ilp_efficiency > 0.0 && work.ilp_efficiency <= 1.0,
+               "ilp_efficiency must be in (0, 1]");
+  double rate = machine.peak_flops() * work.ilp_efficiency;
+  if (work.serial_dependent) {
+    // A serial FP chain exposes pipeline depth; machines that cannot
+    // reorder around it (low latency_hiding) lose more.
+    const double derate = machine.cpu.dependency_derate +
+                          (1.0 - machine.cpu.dependency_derate) *
+                              machine.cpu.latency_hiding * 0.5;
+    rate *= derate;
+  }
+  MSIM_CHECK(rate > 0.0, "flop rate must be positive");
+  return rate;
+}
+
+double flop_time(const machine::MachineConfig& machine, const FlopWork& work) {
+  if (work.flops == 0) return 0.0;
+  return static_cast<double>(work.flops) /
+         achieved_flop_rate(machine, work);
+}
+
+}  // namespace msim::cpusim

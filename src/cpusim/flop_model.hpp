@@ -1,0 +1,35 @@
+// Floating-point execution-time model.
+//
+// Ground truth computes a block's achieved flop rate from the machine's peak
+// and the block's instruction-level parallelism, further derated on
+// dependency-serialized blocks. The convolver, by contrast, is only allowed
+// to use HPL's Rmax for every block (paper, Section 3: "the floating point
+// issue rate was assumed to be the per processor Rmax") — the gap between
+// the two is a deliberate, realistic error source.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::cpusim {
+
+/// Floating-point work of one basic-block execution.
+struct FlopWork {
+  std::uint64_t flops = 0;
+  /// Fraction of peak a well-scheduled OOO core achieves on this block's
+  /// instruction mix (ILP, FMA-friendliness), in (0, 1].
+  double ilp_efficiency = 0.5;
+  /// True when the block's FP operations form a serial dependence chain.
+  bool serial_dependent = false;
+};
+
+/// Achieved flop rate (ops/s) of a block on a machine — ground truth.
+[[nodiscard]] double achieved_flop_rate(const machine::MachineConfig& machine,
+                                        const FlopWork& work);
+
+/// Time to execute the block's FP work at the achieved rate.
+[[nodiscard]] double flop_time(const machine::MachineConfig& machine,
+                               const FlopWork& work);
+
+}  // namespace msim::cpusim

@@ -1,0 +1,28 @@
+#include "cpusim/overlap.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace msim::cpusim {
+
+double combine_overlap(double flop_time, double memory_time,
+                       OverlapPolicy policy, double hiding) {
+  MSIM_REQUIRE(flop_time >= 0.0 && memory_time >= 0.0,
+               "times must be non-negative");
+  MSIM_REQUIRE(hiding >= 0.0 && hiding <= 1.0, "hiding must be in [0, 1]");
+  const double longer = std::max(flop_time, memory_time);
+  const double shorter = std::min(flop_time, memory_time);
+  switch (policy) {
+    case OverlapPolicy::Max:
+      return longer;
+    case OverlapPolicy::Sum:
+      return flop_time + memory_time;
+    case OverlapPolicy::Partial:
+      return longer + (1.0 - hiding) * shorter;
+  }
+  MSIM_CHECK(false, "unknown overlap policy");
+  return 0.0;
+}
+
+}  // namespace msim::cpusim

@@ -1,0 +1,25 @@
+// Memory/compute overlap combination.
+//
+// The paper's convolver sums per-operation-type times "carefully taking into
+// account the overlap of the different operation types". We expose the
+// policy explicitly so the choice can be ablated (DESIGN.md section 6):
+//  * Max     — perfect overlap, block time = max(flop, memory);
+//  * Sum     — no overlap;
+//  * Partial — machine-dependent: max + (1 - latency_hiding) * min, which is
+//              what the ground-truth executor uses.
+#pragma once
+
+namespace msim::cpusim {
+
+enum class OverlapPolicy {
+  Max,
+  Sum,
+  Partial,
+};
+
+/// Combine a block's flop time and memory time under a policy.
+/// `hiding` (in [0,1]) is used only by Partial.
+[[nodiscard]] double combine_overlap(double flop_time, double memory_time,
+                                     OverlapPolicy policy, double hiding);
+
+}  // namespace msim::cpusim

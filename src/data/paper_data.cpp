@@ -1,0 +1,138 @@
+#include "data/paper_data.hpp"
+
+namespace msim::data {
+
+namespace {
+
+constexpr double kBlank = -1.0;
+
+/// Build one appendix table from a dense row-major value matrix where
+/// kBlank marks the paper's empty cells.
+ObservedTable make_table(std::string app, std::vector<int> counts,
+                         const std::vector<std::string>& machines,
+                         const std::vector<double>& values) {
+  ObservedTable table;
+  table.app = std::move(app);
+  table.cpu_counts = std::move(counts);
+  std::size_t index = 0;
+  for (const auto& machine : machines) {
+    for (int nprocs : table.cpu_counts) {
+      const double value = values[index++];
+      ObservedCell cell;
+      cell.machine = machine;
+      cell.nprocs = nprocs;
+      if (value != kBlank) cell.seconds = value;
+      table.cells.push_back(std::move(cell));
+    }
+  }
+  return table;
+}
+
+const std::vector<std::string>& machine_order() {
+  static const std::vector<std::string> machines = {
+      "ERDC_O3800", "MHPCC_P3",  "NAVO_P3",  "ASC_SC45", "MHPCC_690_1.3",
+      "ARL_690_1.7", "ARL_Xeon", "ARL_Altix", "NAVO_655", "ARL_Opteron"};
+  return machines;
+}
+
+std::vector<ObservedTable> build_observed() {
+  std::vector<ObservedTable> tables;
+
+  // Table 6: AVUS Standard, 32/64/128 CPUs.
+  tables.push_back(make_table(
+      "AVUS_Standard", {32, 64, 128}, machine_order(),
+      {12737, 5881, 2733,   15051, 8354, 3779,   18195, 8601, 3870,
+       6993,  3334, 1617,   10286, 4932, 2368,   8625,  4466, 1935,
+       9115,  4686, 2422,   5872,  2842, kBlank, 6703,  3115, 1460,
+       5527,  2747, 1401}));
+
+  // Table 7: AVUS Large, 128/256/384 CPUs.
+  tables.push_back(make_table(
+      "AVUS_Large", {128, 256, 384}, machine_order(),
+      {18103, 8577,  5736,   40177, 12123,  7706,   26362, 12379, 8042,
+       10412, 5199,  3394,   14751, 7591,   kBlank, 12718, kBlank, kBlank,
+       13654, 6890,  kBlank, kBlank, kBlank, kBlank, 9844,  4576,  2949,
+       8599,  4273,  2884}));
+
+  // Table 8: HYCOM Standard, 59/96/124 CPUs.
+  tables.push_back(make_table(
+      "HYCOM_Standard", {59, 96, 124}, machine_order(),
+      {6619, 4329, 4449,   10453, 3912, 2992,   7129, 4420, 3348,
+       3594, 2469, 1949,   3532,  2939, 2661,   2586, 1675, 1510,
+       3705, 2504, 1991,   2263,  1462, 1176,   2010, 1281, 990,
+       1936, 1268, 1031}));
+
+  // Table 9: OVERFLOW-2 Standard, 32/48/64 CPUs.
+  tables.push_back(make_table(
+      "OVERFLOW2_Standard", {32, 48, 64}, machine_order(),
+      {10875, 8008,   5497,   14939, kBlank, 7371,   14939, kBlank, 7371,
+       6329,  kBlank, 4109,   9156,  kBlank, 4701,   kBlank, kBlank, kBlank,
+       kBlank, kBlank, kBlank, 3143,  2389,   1730,   5454,  4031,  2908,
+       kBlank, kBlank, kBlank}));
+
+  // Table 10: RF-CTH2 (RFCTH Standard), 16/32/64 CPUs.
+  tables.push_back(make_table(
+      "RFCTH_Standard", {16, 32, 64}, machine_order(),
+      {6182, 3268, 1793,   6557, 3475, 1869,   6557, 3475, 1869,
+       3134, 2170, 1005,   2777, 1813, 1275,   2154, 1660, 5156,
+       4203, 2308, 1368,   kBlank, 1122, 614,  1982, 1075, 607,
+       1882, 1072, 671}));
+
+  return tables;
+}
+
+}  // namespace
+
+const std::vector<ObservedTable>& observed_tables() {
+  static const std::vector<ObservedTable> tables = build_observed();
+  return tables;
+}
+
+std::optional<double> observed_seconds(const std::string& app, int nprocs,
+                                       const std::string& machine) {
+  for (const auto& table : observed_tables()) {
+    if (table.app != app) continue;
+    for (const auto& cell : table.cells) {
+      if (cell.machine == machine && cell.nprocs == nprocs) {
+        return cell.seconds;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<Table4Row>& table4() {
+  static const std::vector<Table4Row> rows = {
+      {"1-S", "HPL", 63, 68},
+      {"2-S", "STREAM", 43, 73},
+      {"3-S", "GUPS", 33, 27},
+      {"4-P", "HPL", 63, 68},
+      {"5-P", "HPL+STREAM", 50, 72},
+      {"6-P", "HPL+STREAM+GUPS", 22, 18},
+      {"7-P", "HPL+MAPS", 24, 21},
+      {"8-P", "HPL+MAPS+NET", 22, 18},
+      {"9-P", "HPL+MAPS+NET+DEP", 18, 18},
+  };
+  return rows;
+}
+
+BalancedReference balanced_reference() { return BalancedReference{}; }
+
+const std::vector<Table5Row>& table5() {
+  static const std::vector<Table5Row> rows = {
+      {"ERDC_O3800", {37, 12, 83, 37, 84, 35, 29, 20, 22}},
+      {"MHPCC_P3", {58, 53, 19, 58, 52, 14, 29, 24, 25}},
+      {"NAVO_P3", {37, 77, 28, 37, 75, 8, 15, 10, 7}},
+      {"ASC_SC45", {167, 14, 59, 167, 15, 31, 28, 18, 16}},
+      {"MHPCC_690_1.3", {122, 14, 14, 122, 13, 15, 17, 29, 24}},
+      {"ARL_690_1.7", {26, 21, 21, 26, 21, 22, 23, 34, 28}},
+      {"ARL_Xeon", {42, 37, 23, 42, 37, 21, 64, 39, 21}},
+      {"ARL_Altix", {193, 281, 64, 193, 272, 36, 25, 27, 26}},
+      {"NAVO_655", {19, 12, 19, 19, 12, 14, 16, 14, 9}},
+      {"ARL_Opteron", {20, 29, 45, 20, 27, 44, 30, 32, 26}},
+      {"OVERALL", {63, 43, 33, 63, 50, 22, 24, 22, 18}},
+  };
+  return rows;
+}
+
+}  // namespace msim::data

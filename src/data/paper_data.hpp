@@ -1,0 +1,67 @@
+// The paper's published numbers, embedded verbatim.
+//
+// Appendix Tables 6-10 give the observed times-to-solution of the five
+// TI-05 test cases on the ten target systems (with the gaps the paper
+// shows); Tables 4 and 5 give the error assessment we reproduce. These are
+// the *reference* values every "paper vs measured" bench compares against.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msim::data {
+
+/// One appendix cell: a real observed run time (seconds), or absent where
+/// the paper's table is blank.
+struct ObservedCell {
+  std::string machine;             ///< registry machine name
+  int nprocs = 0;
+  std::optional<double> seconds;   ///< nullopt = blank in the paper
+};
+
+/// One appendix table: all observed runs of one application test case.
+struct ObservedTable {
+  std::string app;                 ///< matches workload::TestCase::name
+  std::vector<int> cpu_counts;     ///< the paper's three counts
+  std::vector<ObservedCell> cells;
+};
+
+/// Appendix Tables 6-10, in paper order.
+[[nodiscard]] const std::vector<ObservedTable>& observed_tables();
+
+/// Observed time for (app, nprocs, machine); nullopt if blank or unknown.
+[[nodiscard]] std::optional<double> observed_seconds(
+    const std::string& app, int nprocs, const std::string& machine);
+
+/// One row of the paper's Table 4.
+struct Table4Row {
+  std::string label;        ///< "1-S" .. "9-P"
+  std::string description;  ///< "HPL+MAPS+NET" etc.
+  double mean_abs_error_pct = 0.0;
+  double stddev_pct = 0.0;
+};
+
+/// The paper's Table 4 (overall error per metric), nine rows.
+[[nodiscard]] const std::vector<Table4Row>& table4();
+
+/// The paper's Section 4 balanced-rating results.
+struct BalancedReference {
+  double equal_mean_pct = 35.0;
+  double equal_stddev_pct = 25.0;
+  double fitted_mean_pct = 33.0;
+  double fitted_stddev_pct = 30.0;
+  double fitted_weights[3] = {0.05, 0.50, 0.45};  ///< HPL, STREAM, all_reduce
+};
+[[nodiscard]] BalancedReference balanced_reference();
+
+/// One row of the paper's Table 5 (per-system error for metrics #1-#9).
+struct Table5Row {
+  std::string machine;
+  double error_pct[9] = {};
+};
+
+/// The paper's Table 5 (ten systems plus the OVERALL row last).
+[[nodiscard]] const std::vector<Table5Row>& table5();
+
+}  // namespace msim::data

@@ -1,0 +1,208 @@
+#include "machine/config_io.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim::machine {
+
+namespace {
+
+void emit(std::ostringstream& os, const std::string& key, double value) {
+  os << key << " = " << value << '\n';
+}
+void emit(std::ostringstream& os, const std::string& key,
+          std::uint64_t value) {
+  os << key << " = " << value << '\n';
+}
+void emit(std::ostringstream& os, const std::string& key,
+          const std::string& value) {
+  os << key << " = " << value << '\n';
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    MSIM_REQUIRE(consumed == value.size(), "trailing junk in value");
+    return parsed;
+  } catch (const precondition_error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw precondition_error("bad numeric value for key '" + key + "': '" +
+                             value + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  MSIM_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+               "bad integer value for key '" + key + "': '" + value + "'");
+  return parsed;
+}
+
+}  // namespace
+
+std::string to_text(const MachineConfig& c) {
+  std::ostringstream os;
+  os << "# msim machine description\n";
+  emit(os, "name", c.name);
+  emit(os, "architecture", c.architecture);
+  emit(os, "total_processors", static_cast<std::uint64_t>(c.total_processors));
+
+  emit(os, "cpu.clock_ghz", c.cpu.clock_ghz);
+  emit(os, "cpu.flops_per_cycle",
+       static_cast<std::uint64_t>(c.cpu.flops_per_cycle));
+  emit(os, "cpu.hpl_efficiency", c.cpu.hpl_efficiency);
+  emit(os, "cpu.dependency_derate", c.cpu.dependency_derate);
+  emit(os, "cpu.branch_derate", c.cpu.branch_derate);
+  emit(os, "cpu.latency_hiding", c.cpu.latency_hiding);
+
+  for (std::size_t i = 0; i < c.caches.size(); ++i) {
+    const auto& level = c.caches[i];
+    const std::string prefix = "cache." + std::to_string(i) + '.';
+    emit(os, prefix + "name", level.name);
+    emit(os, prefix + "size_bytes", level.size_bytes);
+    emit(os, prefix + "line_bytes",
+         static_cast<std::uint64_t>(level.line_bytes));
+    emit(os, prefix + "associativity",
+         static_cast<std::uint64_t>(level.associativity));
+    emit(os, prefix + "unit_stride_bw", level.unit_stride_bw);
+    emit(os, prefix + "random_bw", level.random_bw);
+    emit(os, prefix + "latency_s", level.latency_s);
+  }
+
+  emit(os, "memory.unit_stride_bw", c.memory.unit_stride_bw);
+  emit(os, "memory.random_bw", c.memory.random_bw);
+  emit(os, "memory.latency_s", c.memory.latency_s);
+
+  emit(os, "tlb.entries", static_cast<std::uint64_t>(c.tlb.entries));
+  emit(os, "tlb.page_bytes", static_cast<std::uint64_t>(c.tlb.page_bytes));
+  emit(os, "tlb.miss_penalty_s", c.tlb.miss_penalty_s);
+
+  emit(os, "net.latency_s", c.net.latency_s);
+  emit(os, "net.bandwidth", c.net.bandwidth);
+  emit(os, "net.eager_threshold_bytes", c.net.eager_threshold_bytes);
+  emit(os, "net.per_message_overhead_s", c.net.per_message_overhead_s);
+  emit(os, "net.procs_per_node",
+       static_cast<std::uint64_t>(c.net.procs_per_node));
+
+  emit(os, "system_efficiency", c.system_efficiency);
+  emit(os, "memory_contention", c.memory_contention);
+  return os.str();
+}
+
+MachineConfig from_text(const std::string& text) {
+  std::map<std::string, std::string> pairs;
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    MSIM_REQUIRE(eq != std::string::npos,
+                 "missing '=' on line " + std::to_string(line_number));
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    MSIM_REQUIRE(!key.empty(), "empty key on line " +
+                                   std::to_string(line_number));
+    MSIM_REQUIRE(pairs.emplace(key, value).second,
+                 "duplicate key '" + key + "'");
+  }
+
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing required key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+
+  MachineConfig c;
+  c.name = take("name");
+  c.architecture = take("architecture");
+  c.total_processors =
+      static_cast<int>(parse_u64("total_processors", take("total_processors")));
+
+  c.cpu.clock_ghz = parse_double("cpu.clock_ghz", take("cpu.clock_ghz"));
+  c.cpu.flops_per_cycle = static_cast<int>(
+      parse_u64("cpu.flops_per_cycle", take("cpu.flops_per_cycle")));
+  c.cpu.hpl_efficiency =
+      parse_double("cpu.hpl_efficiency", take("cpu.hpl_efficiency"));
+  c.cpu.dependency_derate =
+      parse_double("cpu.dependency_derate", take("cpu.dependency_derate"));
+  c.cpu.branch_derate =
+      parse_double("cpu.branch_derate", take("cpu.branch_derate"));
+  c.cpu.latency_hiding =
+      parse_double("cpu.latency_hiding", take("cpu.latency_hiding"));
+
+  for (std::size_t i = 0;; ++i) {
+    const std::string prefix = "cache." + std::to_string(i) + '.';
+    if (pairs.find(prefix + "name") == pairs.end()) break;
+    CacheLevel level;
+    level.name = take(prefix + "name");
+    level.size_bytes = parse_u64(prefix + "size_bytes",
+                                 take(prefix + "size_bytes"));
+    level.line_bytes = static_cast<std::uint32_t>(
+        parse_u64(prefix + "line_bytes", take(prefix + "line_bytes")));
+    level.associativity = static_cast<std::uint32_t>(
+        parse_u64(prefix + "associativity", take(prefix + "associativity")));
+    level.unit_stride_bw = parse_double(prefix + "unit_stride_bw",
+                                        take(prefix + "unit_stride_bw"));
+    level.random_bw =
+        parse_double(prefix + "random_bw", take(prefix + "random_bw"));
+    level.latency_s =
+        parse_double(prefix + "latency_s", take(prefix + "latency_s"));
+    c.caches.push_back(level);
+  }
+
+  c.memory.unit_stride_bw =
+      parse_double("memory.unit_stride_bw", take("memory.unit_stride_bw"));
+  c.memory.random_bw =
+      parse_double("memory.random_bw", take("memory.random_bw"));
+  c.memory.latency_s =
+      parse_double("memory.latency_s", take("memory.latency_s"));
+
+  c.tlb.entries = static_cast<std::uint32_t>(
+      parse_u64("tlb.entries", take("tlb.entries")));
+  c.tlb.page_bytes = static_cast<std::uint32_t>(
+      parse_u64("tlb.page_bytes", take("tlb.page_bytes")));
+  c.tlb.miss_penalty_s =
+      parse_double("tlb.miss_penalty_s", take("tlb.miss_penalty_s"));
+
+  c.net.latency_s = parse_double("net.latency_s", take("net.latency_s"));
+  c.net.bandwidth = parse_double("net.bandwidth", take("net.bandwidth"));
+  c.net.eager_threshold_bytes = parse_u64("net.eager_threshold_bytes",
+                                          take("net.eager_threshold_bytes"));
+  c.net.per_message_overhead_s = parse_double(
+      "net.per_message_overhead_s", take("net.per_message_overhead_s"));
+  c.net.procs_per_node = static_cast<int>(
+      parse_u64("net.procs_per_node", take("net.procs_per_node")));
+
+  c.system_efficiency =
+      parse_double("system_efficiency", take("system_efficiency"));
+  c.memory_contention =
+      parse_double("memory_contention", take("memory_contention"));
+
+  MSIM_REQUIRE(pairs.empty(),
+               "unknown key '" + pairs.begin()->first + "' in machine text");
+  validate(c);
+  return c;
+}
+
+}  // namespace msim::machine

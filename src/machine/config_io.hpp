@@ -1,0 +1,22 @@
+// Text (de)serialization of MachineConfig.
+//
+// Format: one "dotted.key = value" pair per line, '#' comments, blank lines
+// ignored. Cache levels are indexed (cache.0.size = ...). The format is
+// stable so that site-specific machine descriptions can live outside the
+// compiled registry and round-trip losslessly.
+#pragma once
+
+#include <string>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::machine {
+
+/// Serialize a config to the key=value text format.
+[[nodiscard]] std::string to_text(const MachineConfig& config);
+
+/// Parse a config from text; throws precondition_error on malformed input
+/// (unknown key, bad number, missing required field).
+[[nodiscard]] MachineConfig from_text(const std::string& text);
+
+}  // namespace msim::machine

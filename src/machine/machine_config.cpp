@@ -1,0 +1,100 @@
+#include "machine/machine_config.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::machine {
+
+double MachineConfig::peak_flops() const {
+  return cpu.clock_ghz * 1e9 * cpu.flops_per_cycle;
+}
+
+double MachineConfig::rmax_flops() const {
+  return peak_flops() * cpu.hpl_efficiency;
+}
+
+std::uint64_t MachineConfig::total_cache_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& level : caches) total += level.size_bytes;
+  return total;
+}
+
+namespace {
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+void validate(const MachineConfig& config) {
+  MSIM_REQUIRE(!config.name.empty(), "machine name must be set");
+  MSIM_REQUIRE(config.total_processors > 0, "total_processors must be > 0");
+
+  MSIM_REQUIRE(config.cpu.clock_ghz > 0.0, "clock must be positive");
+  MSIM_REQUIRE(config.cpu.flops_per_cycle > 0, "flops_per_cycle must be > 0");
+  MSIM_REQUIRE(config.cpu.hpl_efficiency > 0.0 &&
+                   config.cpu.hpl_efficiency <= 1.0,
+               "hpl_efficiency must be in (0, 1]");
+  MSIM_REQUIRE(config.cpu.dependency_derate > 0.0 &&
+                   config.cpu.dependency_derate <= 1.0,
+               "dependency_derate must be in (0, 1]");
+  MSIM_REQUIRE(config.cpu.branch_derate > 0.0 &&
+                   config.cpu.branch_derate <= 1.0,
+               "branch_derate must be in (0, 1]");
+  MSIM_REQUIRE(config.cpu.latency_hiding >= 0.0 &&
+                   config.cpu.latency_hiding <= 1.0,
+               "latency_hiding must be in [0, 1]");
+
+  MSIM_REQUIRE(!config.caches.empty(), "at least one cache level required");
+  std::uint64_t prev_size = 0;
+  for (const auto& level : config.caches) {
+    MSIM_REQUIRE(!level.name.empty(), "cache level name must be set");
+    MSIM_REQUIRE(is_power_of_two(level.size_bytes),
+                 "cache size must be a power of two: " + level.name);
+    MSIM_REQUIRE(is_power_of_two(level.line_bytes),
+                 "cache line must be a power of two: " + level.name);
+    MSIM_REQUIRE(level.line_bytes >= 8 && level.line_bytes <= 1024,
+                 "cache line size out of range: " + level.name);
+    MSIM_REQUIRE(level.associativity > 0,
+                 "associativity must be > 0: " + level.name);
+    MSIM_REQUIRE(level.size_bytes % (static_cast<std::uint64_t>(
+                     level.line_bytes) * level.associativity) == 0,
+                 "cache size must be divisible by line*assoc: " + level.name);
+    MSIM_REQUIRE(level.size_bytes > prev_size,
+                 "cache levels must grow strictly: " + level.name);
+    MSIM_REQUIRE(level.unit_stride_bw > 0.0 && level.random_bw > 0.0,
+                 "cache bandwidths must be positive: " + level.name);
+    MSIM_REQUIRE(level.random_bw <= level.unit_stride_bw,
+                 "random bw cannot exceed unit-stride bw: " + level.name);
+    MSIM_REQUIRE(level.latency_s >= 0.0,
+                 "cache latency must be non-negative: " + level.name);
+    prev_size = level.size_bytes;
+  }
+
+  MSIM_REQUIRE(config.memory.unit_stride_bw > 0.0 &&
+                   config.memory.random_bw > 0.0,
+               "memory bandwidths must be positive");
+  MSIM_REQUIRE(config.memory.random_bw <= config.memory.unit_stride_bw,
+               "memory random bw cannot exceed unit-stride bw");
+  // Bandwidth must not increase when falling out of the last cache level.
+  MSIM_REQUIRE(config.memory.unit_stride_bw <=
+                   config.caches.back().unit_stride_bw,
+               "main memory cannot be faster than the last cache level");
+
+  MSIM_REQUIRE(config.tlb.entries > 0, "tlb entries must be > 0");
+  MSIM_REQUIRE(is_power_of_two(config.tlb.page_bytes),
+               "page size must be a power of two");
+  MSIM_REQUIRE(config.tlb.miss_penalty_s >= 0.0,
+               "tlb penalty must be non-negative");
+
+  MSIM_REQUIRE(config.net.latency_s > 0.0, "net latency must be positive");
+  MSIM_REQUIRE(config.net.bandwidth > 0.0, "net bandwidth must be positive");
+  MSIM_REQUIRE(config.net.procs_per_node > 0, "procs_per_node must be > 0");
+  MSIM_REQUIRE(config.net.per_message_overhead_s >= 0.0,
+               "per-message overhead must be non-negative");
+
+  MSIM_REQUIRE(config.system_efficiency > 0.0 &&
+                   config.system_efficiency <= 1.0,
+               "system_efficiency must be in (0, 1]");
+  MSIM_REQUIRE(config.memory_contention >= 0.0 &&
+                   config.memory_contention <= 1.0,
+               "memory_contention must be in [0, 1]");
+}
+
+}  // namespace msim::machine

@@ -1,0 +1,102 @@
+// Parameterized machine models for the ten HPCMP target systems.
+//
+// The study's target systems (paper Tables 1 and 2) are unobtainable 2004-era
+// hardware, so each is modeled by a MachineConfig: clock and floating-point
+// issue, a 2-3 level cache hierarchy with distinct unit-stride and random
+// bandwidths per level, main memory, a TLB, and an interconnect. Probes
+// (src/probes) measure these models exactly the way real probes measure real
+// machines — by execution through the simulator — while the detailed
+// simulator (src/simulate) additionally applies effects no probe observes
+// (TLB misses, contention, per-system efficiency), preserving the
+// information asymmetry that creates prediction error on real systems.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msim::machine {
+
+/// One level of cache. Bandwidths are sustained load/store rates for a
+/// working set resident in this level, in bytes/second.
+struct CacheLevel {
+  std::string name;               ///< "L1", "L2", "L3"
+  std::uint64_t size_bytes = 0;   ///< capacity
+  std::uint32_t line_bytes = 0;   ///< cache line size
+  std::uint32_t associativity = 0;  ///< ways; 0 is invalid
+  double unit_stride_bw = 0.0;    ///< bytes/s, stride-1 streams
+  double random_bw = 0.0;         ///< bytes/s, dependent random access
+  double latency_s = 0.0;         ///< load-to-use latency, seconds
+};
+
+/// Main memory behind the last cache level.
+struct MainMemory {
+  double unit_stride_bw = 0.0;  ///< bytes/s (what STREAM sees)
+  double random_bw = 0.0;       ///< bytes/s (what GUPS sees)
+  double latency_s = 0.0;       ///< seconds
+};
+
+/// Core execution resources.
+struct Processor {
+  double clock_ghz = 0.0;
+  int flops_per_cycle = 0;     ///< peak FP ops/cycle (FMA counted as 2)
+  double hpl_efficiency = 0.0; ///< Rmax / Rpeak achieved by HPL
+  /// Bandwidth multiplier when the inner loop carries a serial data
+  /// dependence (0 < derate <= 1). Out-of-order cores with deep reorder
+  /// windows derate mildly; in-order cores severely.
+  double dependency_derate = 1.0;
+  /// Bandwidth multiplier for loops with hard-to-predict inner branches.
+  double branch_derate = 1.0;
+  /// Fraction of memory latency the core can hide behind other work
+  /// (0 = blocking in-order, 1 = perfect overlap).
+  double latency_hiding = 0.0;
+};
+
+/// Address-translation model, a ground-truth-only second-order effect.
+struct Tlb {
+  std::uint32_t entries = 0;
+  std::uint32_t page_bytes = 0;
+  double miss_penalty_s = 0.0;
+};
+
+/// Interconnect model (Hockney alpha-beta with an eager/rendezvous split).
+struct Network {
+  double latency_s = 0.0;          ///< zero-byte one-way latency
+  double bandwidth = 0.0;          ///< bytes/s per link direction
+  std::uint64_t eager_threshold_bytes = 0;  ///< rendezvous adds a round trip
+  double per_message_overhead_s = 0.0;      ///< software (CPU) cost
+  int procs_per_node = 1;          ///< sharing factor for NIC/memory
+};
+
+/// A complete system description.
+struct MachineConfig {
+  std::string name;          ///< site name used in the paper ("NAVO_655")
+  std::string architecture;  ///< paper's architecture string
+  int total_processors = 0;
+
+  Processor cpu;
+  std::vector<CacheLevel> caches;  ///< ordered L1 first
+  MainMemory memory;
+  Tlb tlb;
+  Network net;
+
+  /// Sustained fraction of modeled performance actually delivered
+  /// (compiler maturity, OS noise). Applied only by the detailed simulator;
+  /// invisible to probes — one source of irreducible prediction error.
+  double system_efficiency = 1.0;
+  /// Memory-bandwidth contention exponent: effective per-process bandwidth
+  /// scales as (1/procs_sharing)^contention. 0 = no contention.
+  double memory_contention = 0.0;
+
+  /// Peak floating-point rate per processor, ops/second.
+  [[nodiscard]] double peak_flops() const;
+  /// HPL Rmax per processor, ops/second (peak times HPL efficiency).
+  [[nodiscard]] double rmax_flops() const;
+  /// Total cache capacity across levels, bytes.
+  [[nodiscard]] std::uint64_t total_cache_bytes() const;
+};
+
+/// Throws precondition_error describing the first problem found, if any.
+void validate(const MachineConfig& config);
+
+}  // namespace msim::machine

@@ -1,0 +1,143 @@
+#include "machine/proposed.hpp"
+
+#include "common/units.hpp"
+
+namespace msim::machine {
+
+namespace {
+constexpr double ns = 1e-9;
+constexpr double us = 1e-6;
+}  // namespace
+
+MachineConfig make_cray_xt3() {
+  MachineConfig c;
+  c.name = "PROP_CrayXT3";
+  c.architecture = "CRAY_XT3_2.4GHz_SEASTAR";
+  c.total_processors = 4096;
+  c.cpu = Processor{.clock_ghz = 2.4,
+                    .flops_per_cycle = 2,
+                    .hpl_efficiency = 0.81,
+                    .dependency_derate = 0.85,
+                    .branch_derate = 0.80,
+                    .latency_hiding = 0.80};
+  c.caches = {CacheLevel{.name = "L1",
+                         .size_bytes = 64 * KiB,
+                         .line_bytes = 64,
+                         .associativity = 2,
+                         .unit_stride_bw = 13.0 * GB,
+                         .random_bw = 6.0 * GB,
+                         .latency_s = 1.3 * ns},
+              CacheLevel{.name = "L2",
+                         .size_bytes = 1 * MiB,
+                         .line_bytes = 64,
+                         .associativity = 16,
+                         .unit_stride_bw = 7.5 * GB,
+                         .random_bw = 2.8 * GB,
+                         .latency_s = 5.0 * ns}};
+  // One core per socket with a dedicated memory controller: the best
+  // per-processor memory system of its day.
+  c.memory = MainMemory{.unit_stride_bw = 5.0 * GB,
+                        .random_bw = 0.9 * GB,
+                        .latency_s = 90 * ns};
+  c.tlb = Tlb{.entries = 1024, .page_bytes = 4096,
+              .miss_penalty_s = 45 * ns};
+  // SeaStar: modest latency, strong link bandwidth, no NIC sharing.
+  c.net = Network{.latency_s = 5.5 * us,
+                  .bandwidth = 1.1 * GB,
+                  .eager_threshold_bytes = 16 * KiB,
+                  .per_message_overhead_s = 1.2 * us,
+                  .procs_per_node = 1};
+  c.system_efficiency = 0.90;  // early Catamount software stack
+  c.memory_contention = 0.0;   // nothing shares the controller
+  validate(c);
+  return c;
+}
+
+MachineConfig make_bluegene_l() {
+  MachineConfig c;
+  c.name = "PROP_BlueGeneL";
+  c.architecture = "IBM_BGL_700MHz_TORUS";
+  c.total_processors = 32768;
+  c.cpu = Processor{.clock_ghz = 0.7,
+                    .flops_per_cycle = 4,  // double FPU
+                    .hpl_efficiency = 0.75,
+                    .dependency_derate = 0.55,
+                    .branch_derate = 0.70,
+                    .latency_hiding = 0.45};  // simple in-order core
+  c.caches = {CacheLevel{.name = "L1",
+                         .size_bytes = 32 * KiB,
+                         .line_bytes = 32,
+                         .associativity = 2,
+                         .unit_stride_bw = 5.6 * GB,
+                         .random_bw = 2.2 * GB,
+                         .latency_s = 4.3 * ns},
+              CacheLevel{.name = "L3",
+                         .size_bytes = 4 * MiB,
+                         .line_bytes = 128,
+                         .associativity = 8,
+                         .unit_stride_bw = 4.0 * GB,
+                         .random_bw = 1.2 * GB,
+                         .latency_s = 25 * ns}};
+  c.memory = MainMemory{.unit_stride_bw = 2.7 * GB,
+                        .random_bw = 0.5 * GB,
+                        .latency_s = 95 * ns};
+  c.tlb = Tlb{.entries = 64, .page_bytes = 4096,
+              .miss_penalty_s = 60 * ns};
+  // Torus + dedicated collective tree: superb latency at scale.
+  c.net = Network{.latency_s = 2.5 * us,
+                  .bandwidth = 0.35 * GB,
+                  .eager_threshold_bytes = 8 * KiB,
+                  .per_message_overhead_s = 0.5 * us,
+                  .procs_per_node = 2};
+  c.system_efficiency = 0.94;  // minimal-OS compute kernels
+  c.memory_contention = 0.15;
+  validate(c);
+  return c;
+}
+
+MachineConfig make_opteron_dc_ib() {
+  MachineConfig c;
+  c.name = "PROP_OpteronDC_IB";
+  c.architecture = "AMD_Opteron280_2.4GHz_IB";
+  c.total_processors = 4096;
+  c.cpu = Processor{.clock_ghz = 2.4,
+                    .flops_per_cycle = 2,
+                    .hpl_efficiency = 0.80,
+                    .dependency_derate = 0.85,
+                    .branch_derate = 0.82,
+                    .latency_hiding = 0.82};
+  c.caches = {CacheLevel{.name = "L1",
+                         .size_bytes = 64 * KiB,
+                         .line_bytes = 64,
+                         .associativity = 2,
+                         .unit_stride_bw = 14.0 * GB,
+                         .random_bw = 6.5 * GB,
+                         .latency_s = 1.3 * ns},
+              CacheLevel{.name = "L2",
+                         .size_bytes = 1 * MiB,
+                         .line_bytes = 64,
+                         .associativity = 16,
+                         .unit_stride_bw = 8.0 * GB,
+                         .random_bw = 3.0 * GB,
+                         .latency_s = 5.0 * ns}};
+  c.memory = MainMemory{.unit_stride_bw = 4.2 * GB,
+                        .random_bw = 0.8 * GB,
+                        .latency_s = 95 * ns};
+  c.tlb = Tlb{.entries = 1024, .page_bytes = 4096,
+              .miss_penalty_s = 45 * ns};
+  c.net = Network{.latency_s = 3.5 * us,
+                  .bandwidth = 0.9 * GB,
+                  .eager_threshold_bytes = 32 * KiB,
+                  .per_message_overhead_s = 0.8 * us,
+                  .procs_per_node = 4};
+  c.system_efficiency = 0.92;
+  c.memory_contention = 0.30;  // two cores per controller
+  validate(c);
+  return c;
+}
+
+std::vector<MachineConfig> proposed_systems() {
+  return {make_cray_xt3(), make_bluegene_l(), make_opteron_dc_ib()};
+}
+
+}  // namespace msim::machine

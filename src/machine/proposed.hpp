@@ -1,0 +1,33 @@
+// Proposed next-generation systems (a TI-06 outlook).
+//
+// The study's purpose was procurement: decide among machines, some of which
+// do not exist yet. These profiles sketch the systems that were on 2005
+// roadmaps — a Cray XT3 (single-core Opteron + SeaStar torus), an IBM
+// BlueGene/L rack (slow, cool, massively parallel cores with a fast tree
+// network), and a dual-core Opteron InfiniBand cluster — so the TI-05
+// signatures can be convolved against next year's hardware. They are kept
+// out of the main registry: the paper's campaign must stay exactly its ten
+// systems.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::machine {
+
+/// Cray XT3: 2.4 GHz Opteron, SeaStar 3-D torus, one core per NIC.
+[[nodiscard]] MachineConfig make_cray_xt3();
+
+/// IBM BlueGene/L: 700 MHz PowerPC 440 with double FPU, tiny memory per
+/// node, excellent collective network.
+[[nodiscard]] MachineConfig make_bluegene_l();
+
+/// Dual-core Opteron 280 cluster on InfiniBand (two cores share a memory
+/// controller and a NIC).
+[[nodiscard]] MachineConfig make_opteron_dc_ib();
+
+/// All proposed systems.
+[[nodiscard]] std::vector<MachineConfig> proposed_systems();
+
+}  // namespace msim::machine

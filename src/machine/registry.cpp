@@ -1,0 +1,364 @@
+#include "machine/registry.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace msim::machine {
+
+namespace {
+
+constexpr double ns = 1e-9;
+constexpr double us = 1e-6;
+
+CacheLevel level(std::string name, std::uint64_t size, std::uint32_t line,
+                 std::uint32_t assoc, double unit_gbs, double random_gbs,
+                 double latency_ns) {
+  return CacheLevel{.name = std::move(name),
+                    .size_bytes = size,
+                    .line_bytes = line,
+                    .associativity = assoc,
+                    .unit_stride_bw = unit_gbs * GB,
+                    .random_bw = random_gbs * GB,
+                    .latency_s = latency_ns * ns};
+}
+
+// --- IBM p690 (Power4 1.3 GHz, Colony) ---------------------------------
+// Power4: 2 FMA units -> 4 flop/cycle; 32 KiB L1D, ~1.5 MB L2 (modeled as
+// the nearest power of two), 32 MB off-chip L3 shared per 8-core MCM (modeled as the 4 MB
+// per-processor share); 32-way nodes share memory,
+// giving strong contention. HPL efficiency ~0.70 on these systems.
+MachineConfig p690_13(std::string name, std::string site_notes_efficiency) {
+  (void)site_notes_efficiency;
+  MachineConfig c;
+  c.name = std::move(name);
+  c.architecture = "IBM_690_1.3GHz_COL";
+  c.total_processors = 320;
+  c.cpu = Processor{.clock_ghz = 1.3,
+                    .flops_per_cycle = 4,
+                    .hpl_efficiency = 0.70,
+                    .dependency_derate = 0.55,
+                    .branch_derate = 0.75,
+                    .latency_hiding = 0.75};
+  c.caches = {level("L1", 32 * KiB, 128, 2, 10.0, 4.0, 2.0),
+              level("L2", 2 * MiB, 128, 8, 7.0, 2.2, 10.0),
+              level("L3", 4 * MiB, 512, 8, 4.5, 1.2, 40.0)};
+  c.memory = MainMemory{.unit_stride_bw = 2.0 * GB,
+                        .random_bw = 0.35 * GB,
+                        .latency_s = 250 * ns};
+  c.tlb = Tlb{.entries = 1024, .page_bytes = 4096, .miss_penalty_s = 100 * ns};
+  c.net = Network{.latency_s = 18 * us,
+                  .bandwidth = 0.35 * GB,
+                  .eager_threshold_bytes = 16 * KiB,
+                  .per_message_overhead_s = 3 * us,
+                  .procs_per_node = 32};
+  c.system_efficiency = 0.92;
+  c.memory_contention = 0.30;
+  return c;
+}
+
+std::vector<MachineConfig> build_registry() {
+  std::vector<MachineConfig> machines;
+
+  // ---- ERDC_O3800: SGI Origin 3800, R14000 400 MHz, NUMAlink ----------
+  // MIPS R14000: 1 FMA/cycle -> 2 flop/cycle, 0.8 GF peak; modest HPL
+  // efficiency. 8 MB unified off-chip L2. NUMAlink gives low MPI latency
+  // but per-processor DRAM bandwidth is limited.
+  {
+    MachineConfig c;
+    c.name = "ERDC_O3800";
+    c.architecture = "SGI_O3800_400MHz_NUMA";
+    c.total_processors = 504;
+    c.cpu = Processor{.clock_ghz = 0.4,
+                      .flops_per_cycle = 2,
+                      .hpl_efficiency = 0.75,
+                      .dependency_derate = 0.78,
+                      .branch_derate = 0.80,
+                      .latency_hiding = 0.50};
+    c.caches = {level("L1", 32 * KiB, 64, 2, 3.2, 1.6, 2.5),
+                level("L2", 8 * MiB, 128, 2, 1.6, 0.60, 25.0)};
+    c.memory = MainMemory{.unit_stride_bw = 0.55 * GB,
+                          .random_bw = 0.16 * GB,
+                          .latency_s = 320 * ns};
+    c.tlb = Tlb{.entries = 64, .page_bytes = 16384,
+                .miss_penalty_s = 200 * ns};
+    c.net = Network{.latency_s = 3 * us,
+                    .bandwidth = 0.8 * GB,
+                    .eager_threshold_bytes = 16 * KiB,
+                    .per_message_overhead_s = 1 * us,
+                    .procs_per_node = 4};
+    c.system_efficiency = 0.84;
+    c.memory_contention = 0.25;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- MHPCC_P3 / NAVO_P3: IBM Power3-II 375 MHz, Colony --------------
+  // Power3: 2 FMA units -> 4 flop/cycle, 1.5 GF peak; 64 KiB L1, 8 MB L2.
+  // Colony switch has high latency. The two sites run the same
+  // architecture; they differ only in node population and site effects.
+  {
+    MachineConfig c;
+    c.name = "MHPCC_P3";
+    c.architecture = "IBM_P3_375MHz_COL";
+    c.total_processors = 736;
+    c.cpu = Processor{.clock_ghz = 0.375,
+                      .flops_per_cycle = 4,
+                      .hpl_efficiency = 0.85,
+                      .dependency_derate = 0.62,
+                      .branch_derate = 0.80,
+                      .latency_hiding = 0.60};
+    c.caches = {level("L1", 64 * KiB, 128, 4, 6.0, 2.5, 2.7),
+                level("L2", 8 * MiB, 128, 4, 2.6, 0.90, 35.0)};
+    c.memory = MainMemory{.unit_stride_bw = 1.0 * GB,
+                          .random_bw = 0.18 * GB,
+                          .latency_s = 350 * ns};
+    c.tlb = Tlb{.entries = 256, .page_bytes = 4096,
+                .miss_penalty_s = 150 * ns};
+    c.net = Network{.latency_s = 20 * us,
+                    .bandwidth = 0.35 * GB,
+                    .eager_threshold_bytes = 16 * KiB,
+                    .per_message_overhead_s = 4 * us,
+                    .procs_per_node = 16};
+    c.system_efficiency = 0.90;
+    c.memory_contention = 0.30;
+    machines.push_back(c);
+
+    c.name = "NAVO_P3";
+    c.total_processors = 928;
+    c.net.bandwidth = 0.33 * GB;
+    c.system_efficiency = 0.86;
+    c.memory_contention = 0.33;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- ASC_SC45: HP AlphaServer SC45, EV68 1.0 GHz, Quadrics ----------
+  // Alpha 21264: 2 FP pipes without FMA -> 2 flop/cycle and a low Rmax,
+  // but a strong memory system for its flops — the canonical example of a
+  // machine HPL mispredicts (the paper reports 167% HPL error here).
+  {
+    MachineConfig c;
+    c.name = "ASC_SC45";
+    c.architecture = "HP_SC45_1GHz_QUAD";
+    c.total_processors = 472;
+    c.cpu = Processor{.clock_ghz = 1.0,
+                      .flops_per_cycle = 2,
+                      .hpl_efficiency = 0.58,
+                      .dependency_derate = 0.78,
+                      .branch_derate = 0.85,
+                      .latency_hiding = 0.70};
+    c.caches = {level("L1", 64 * KiB, 64, 2, 16.0, 5.0, 3.0),
+                level("L2", 8 * MiB, 64, 1, 4.4, 1.5, 12.0)};
+    c.memory = MainMemory{.unit_stride_bw = 1.6 * GB,
+                          .random_bw = 0.42 * GB,
+                          .latency_s = 170 * ns};
+    c.tlb = Tlb{.entries = 128, .page_bytes = 8192,
+                .miss_penalty_s = 150 * ns};
+    c.net = Network{.latency_s = 4.5 * us,
+                    .bandwidth = 0.30 * GB,
+                    .eager_threshold_bytes = 32 * KiB,
+                    .per_message_overhead_s = 1.5 * us,
+                    .procs_per_node = 4};
+    c.system_efficiency = 0.95;
+    c.memory_contention = 0.22;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- MHPCC_690_1.3: IBM p690 1.3 GHz, Colony -------------------------
+  machines.push_back(p690_13("MHPCC_690_1.3", "site"));
+  machines.back().net.bandwidth = 0.33 * GB;
+  machines.back().system_efficiency = 0.90;
+  machines.back().memory_contention = 0.32;
+
+  // ---- ARL_690_1.7: IBM p690 1.7 GHz, Federation ----------------------
+  // Power4+ clock bump plus the much faster Federation switch.
+  {
+    MachineConfig c = p690_13("ARL_690_1.7", "site");
+    c.architecture = "IBM_690_1.7GHz_FED";
+    c.total_processors = 128;
+    c.cpu.clock_ghz = 1.7;
+    c.cpu.hpl_efficiency = 0.68;
+    c.caches = {level("L1", 32 * KiB, 128, 2, 13.0, 5.0, 1.8),
+                level("L2", 2 * MiB, 128, 8, 8.8, 2.8, 9.0),
+                level("L3", 4 * MiB, 512, 8, 5.2, 1.4, 35.0)};
+    c.memory = MainMemory{.unit_stride_bw = 2.3 * GB,
+                          .random_bw = 0.38 * GB,
+                          .latency_s = 230 * ns};
+    c.net = Network{.latency_s = 7 * us,
+                    .bandwidth = 1.4 * GB,
+                    .eager_threshold_bytes = 32 * KiB,
+                    .per_message_overhead_s = 2 * us,
+                    .procs_per_node = 32};
+    c.system_efficiency = 0.91;
+    c.memory_contention = 0.32;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- ARL_Xeon: Linux Networx Xeon 3.06 GHz, Myrinet ------------------
+  // Pentium 4 era: high clock, SSE2 -> 2 flop/cycle, tiny 8 KiB L1, long
+  // pipeline (severe branch-miss and dependency penalties), shared FSB.
+  {
+    MachineConfig c;
+    c.name = "ARL_Xeon";
+    c.architecture = "LNX_Xeon_3.06GHz_MNET";
+    c.total_processors = 256;
+    c.cpu = Processor{.clock_ghz = 3.06,
+                      .flops_per_cycle = 2,
+                      .hpl_efficiency = 0.55,
+                      .dependency_derate = 0.40,
+                      .branch_derate = 0.60,
+                      .latency_hiding = 0.65};
+    c.caches = {level("L1", 8 * KiB, 64, 4, 24.0, 8.0, 0.65),
+                level("L2", 512 * KiB, 64, 8, 9.5, 3.0, 6.0)};
+    c.memory = MainMemory{.unit_stride_bw = 1.5 * GB,
+                          .random_bw = 0.22 * GB,
+                          .latency_s = 190 * ns};
+    c.tlb = Tlb{.entries = 64, .page_bytes = 4096,
+                .miss_penalty_s = 140 * ns};
+    c.net = Network{.latency_s = 7 * us,
+                    .bandwidth = 0.24 * GB,
+                    .eager_threshold_bytes = 32 * KiB,
+                    .per_message_overhead_s = 1.5 * us,
+                    .procs_per_node = 2};
+    c.system_efficiency = 0.82;
+    c.memory_contention = 0.40;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- ARL_Altix: SGI Altix 3700, Itanium2 1.5 GHz, NUMAlink4 ----------
+  // Itanium2: 2 FMA -> 4 flop/cycle with outstanding HPL efficiency and an
+  // extremely fast L2/L3 (FP loads bypass L1), but in-order EPIC execution
+  // collapses on dependency- and branch-limited loops — the machine that
+  // motivates the paper's Metric #9.
+  {
+    MachineConfig c;
+    c.name = "ARL_Altix";
+    c.architecture = "SGI_Altix_1.5GHz_NUMA";
+    c.total_processors = 256;
+    c.cpu = Processor{.clock_ghz = 1.5,
+                      .flops_per_cycle = 4,
+                      .hpl_efficiency = 0.85,
+                      .dependency_derate = 0.25,
+                      .branch_derate = 0.55,
+                      .latency_hiding = 0.50};
+    c.caches = {level("L1", 16 * KiB, 64, 4, 12.0, 4.0, 0.7),
+                level("L2", 256 * KiB, 128, 8, 24.0, 7.0, 4.0),
+                level("L3", 4 * MiB, 128, 8, 15.0, 4.5, 10.0)};
+    c.memory = MainMemory{.unit_stride_bw = 2.7 * GB,
+                          .random_bw = 0.45 * GB,
+                          .latency_s = 160 * ns};
+    c.tlb = Tlb{.entries = 128, .page_bytes = 16384,
+                .miss_penalty_s = 60 * ns};
+    c.net = Network{.latency_s = 2 * us,
+                    .bandwidth = 1.6 * GB,
+                    .eager_threshold_bytes = 64 * KiB,
+                    .per_message_overhead_s = 1 * us,
+                    .procs_per_node = 2};
+    c.system_efficiency = 0.90;
+    c.memory_contention = 0.20;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- NAVO_655: IBM p655 1.7 GHz, Federation ---------------------------
+  // Power4+ in 8-way nodes: same core as the p690 1.7 but much better
+  // per-processor memory bandwidth (fewer sharers) — best-in-class L1
+  // bandwidth in the paper's Figure 1.
+  {
+    MachineConfig c;
+    c.name = "NAVO_655";
+    c.architecture = "IBM_655_1.7GHz_FED";
+    c.total_processors = 2832;
+    c.cpu = Processor{.clock_ghz = 1.7,
+                      .flops_per_cycle = 4,
+                      .hpl_efficiency = 0.70,
+                      .dependency_derate = 0.55,
+                      .branch_derate = 0.75,
+                      .latency_hiding = 0.75};
+    c.caches = {level("L1", 32 * KiB, 128, 2, 14.0, 5.5, 1.7),
+                level("L2", 2 * MiB, 128, 8, 9.5, 3.0, 8.0),
+                level("L3", 4 * MiB, 512, 8, 5.5, 1.5, 32.0)};
+    c.memory = MainMemory{.unit_stride_bw = 2.2 * GB,
+                          .random_bw = 0.42 * GB,
+                          .latency_s = 210 * ns};
+    c.tlb = Tlb{.entries = 1024, .page_bytes = 4096,
+                .miss_penalty_s = 80 * ns};
+    c.net = Network{.latency_s = 6 * us,
+                    .bandwidth = 1.5 * GB,
+                    .eager_threshold_bytes = 32 * KiB,
+                    .per_message_overhead_s = 2 * us,
+                    .procs_per_node = 8};
+    c.system_efficiency = 0.96;
+    c.memory_contention = 0.25;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- ARL_Opteron: Opteron 2.2 GHz, Myrinet ----------------------------
+  // On-die memory controller: the best main-memory bandwidth and latency of
+  // the set (it wins the right-hand side of Figure 1) with only moderate
+  // peak flops — the anti-HPL data point at the other extreme from SC45.
+  {
+    MachineConfig c;
+    c.name = "ARL_Opteron";
+    c.architecture = "IBM_Opteron_2.2GHz_MNET";
+    c.total_processors = 2304;
+    c.cpu = Processor{.clock_ghz = 2.2,
+                      .flops_per_cycle = 2,
+                      .hpl_efficiency = 0.78,
+                      .dependency_derate = 0.85,
+                      .branch_derate = 0.80,
+                      .latency_hiding = 0.80};
+    c.caches = {level("L1", 64 * KiB, 64, 2, 12.0, 6.0, 1.4),
+                level("L2", 1 * MiB, 64, 8, 7.0, 2.5, 5.5)};
+    c.memory = MainMemory{.unit_stride_bw = 3.2 * GB,
+                          .random_bw = 0.55 * GB,
+                          .latency_s = 120 * ns};
+    c.tlb = Tlb{.entries = 512, .page_bytes = 4096,
+                .miss_penalty_s = 60 * ns};
+    c.net = Network{.latency_s = 6.5 * us,
+                    .bandwidth = 0.25 * GB,
+                    .eager_threshold_bytes = 32 * KiB,
+                    .per_message_overhead_s = 1.3 * us,
+                    .procs_per_node = 2};
+    c.system_efficiency = 0.90;
+    c.memory_contention = 0.28;
+    machines.push_back(std::move(c));
+  }
+
+  // ---- Base system: the NAVO p690 the paper traced on ------------------
+  machines.push_back(p690_13("NAVO_690_BASE", "base"));
+
+  for (const auto& machine : machines) validate(machine);
+  return machines;
+}
+
+const std::vector<MachineConfig>& registry() {
+  static const std::vector<MachineConfig> machines = build_registry();
+  return machines;
+}
+
+}  // namespace
+
+std::string base_system_name() { return "NAVO_690_BASE"; }
+
+std::vector<std::string> target_system_names() {
+  return {"ERDC_O3800", "MHPCC_P3",  "NAVO_P3",  "ASC_SC45",
+          "MHPCC_690_1.3", "ARL_690_1.7", "ARL_Xeon", "ARL_Altix",
+          "NAVO_655",  "ARL_Opteron"};
+}
+
+const MachineConfig& find(const std::string& name) {
+  for (const auto& machine : registry()) {
+    if (machine.name == name) return machine;
+  }
+  throw precondition_error("unknown machine '" + name + "'");
+}
+
+std::span<const MachineConfig> all() { return registry(); }
+
+std::vector<MachineConfig> targets() {
+  std::vector<MachineConfig> out;
+  for (const auto& name : target_system_names()) out.push_back(find(name));
+  return out;
+}
+
+}  // namespace msim::machine

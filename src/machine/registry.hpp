@@ -1,0 +1,39 @@
+// Registry of the study's machine models.
+//
+// The ten target systems follow the paper's Tables 1 and 2; the eleventh
+// entry is the base system the paper traced on (a NAVO IBM p690). Constants
+// are era-plausible engineering estimates reconstructed from public 2003-05
+// documentation of each processor/interconnect family — see the per-system
+// notes in registry.cpp. Absolute fidelity to the (unpublished) DoD probe
+// data is impossible; what matters for the reproduction is the *diversity*
+// of flop/memory/network balance across systems, which these profiles
+// preserve (e.g. the Opteron's on-die memory controller winning STREAM while
+// losing HPL, the Altix's huge mid-cache bandwidth but poor
+// dependency-limited behaviour, the SC45's low Rmax but strong memory system).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::machine {
+
+/// Name of the base system used for tracing (paper: "the NAVO p690").
+[[nodiscard]] std::string base_system_name();
+
+/// Names of the ten target systems, in the paper's Table 5 order.
+[[nodiscard]] std::vector<std::string> target_system_names();
+
+/// Look up any registry machine (targets + base) by name; throws
+/// precondition_error for unknown names.
+[[nodiscard]] const MachineConfig& find(const std::string& name);
+
+/// All registry machines (ten targets followed by the base system).
+[[nodiscard]] std::span<const MachineConfig> all();
+
+/// The ten target machines only, Table 5 order.
+[[nodiscard]] std::vector<MachineConfig> targets();
+
+}  // namespace msim::machine

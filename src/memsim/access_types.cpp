@@ -1,0 +1,27 @@
+#include "memsim/access_types.hpp"
+
+namespace msim::memsim {
+
+std::string to_string(StrideClass c) {
+  switch (c) {
+    case StrideClass::Unit:
+      return "unit";
+    case StrideClass::Short:
+      return "short";
+    case StrideClass::Random:
+      return "random";
+  }
+  return "?";
+}
+
+std::string to_string(DependencyClass c) {
+  switch (c) {
+    case DependencyClass::Independent:
+      return "independent";
+    case DependencyClass::Serial:
+      return "serial";
+  }
+  return "?";
+}
+
+}  // namespace msim::memsim

@@ -1,0 +1,44 @@
+// Shared vocabulary for memory-access characterization.
+//
+// The paper's tracer "parses the address stream with a stride detector,
+// determining what portion of memory references are stride-1, non-unit short
+// strides (up to stride-8), and random stride" — these bins are the currency
+// exchanged between the tracer, the probes, and the convolver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace msim::memsim {
+
+/// Stride bin of a memory reference stream.
+enum class StrideClass : std::uint8_t {
+  Unit,    ///< stride-1 in elements
+  Short,   ///< non-unit stride up to the short-stride threshold (paper: 8)
+  Random,  ///< no detectable stride
+};
+
+inline constexpr std::array<StrideClass, 3> kAllStrideClasses = {
+    StrideClass::Unit, StrideClass::Short, StrideClass::Random};
+
+[[nodiscard]] std::string to_string(StrideClass c);
+
+/// Inner-loop schedulability of a basic block's memory references.
+enum class DependencyClass : std::uint8_t {
+  Independent,  ///< references are independent; the core can pipeline them
+  Serial,       ///< loop-carried dependence serializes successive accesses
+};
+
+[[nodiscard]] std::string to_string(DependencyClass c);
+
+/// How a stream of references exercises the memory system.
+struct AccessProfile {
+  StrideClass stride = StrideClass::Unit;
+  DependencyClass dependency = DependencyClass::Independent;
+  /// Fraction of loop iterations ending in a data-dependent branch, in
+  /// [0, 1]; derates bandwidth on machines with expensive mispredicts.
+  double branch_density = 0.0;
+};
+
+}  // namespace msim::memsim

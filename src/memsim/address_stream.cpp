@@ -1,0 +1,53 @@
+#include "memsim/address_stream.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace msim::memsim {
+
+AddressGenerator::AddressGenerator(StreamSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  MSIM_REQUIRE(!spec_.components.empty(), "stream spec needs components");
+  MSIM_REQUIRE(spec_.working_set_bytes >= spec_.element_bytes,
+               "working set smaller than one element");
+  MSIM_REQUIRE(spec_.element_bytes > 0, "element size must be positive");
+  cursors_.resize(spec_.components.size(), 0);
+  weights_.reserve(spec_.components.size());
+  for (const auto& component : spec_.components) {
+    MSIM_REQUIRE(component.weight >= 0.0, "component weight must be >= 0");
+    weights_.push_back(component.weight);
+  }
+}
+
+TaggedAddress AddressGenerator::next_tagged() {
+  const std::size_t idx = rng_.pick_weighted(weights_);
+  const auto& component = spec_.components[idx];
+  const std::uint64_t span = spec_.working_set_bytes;
+  std::uint64_t offset;
+  if (component.stride_bytes == 0) {
+    // Random reference: uniform over aligned elements of the working set.
+    const std::uint64_t slots = span / spec_.element_bytes;
+    offset = rng_.uniform_u64(slots) * spec_.element_bytes;
+  } else {
+    offset = cursors_[idx];
+    const std::int64_t stride = component.stride_bytes;
+    std::int64_t next_cursor = static_cast<std::int64_t>(offset) + stride;
+    const auto span_s = static_cast<std::int64_t>(span);
+    // Wrap within [0, span): forward strides wrap to 0, backward to the end.
+    if (next_cursor >= span_s) next_cursor -= span_s;
+    if (next_cursor < 0) next_cursor += span_s;
+    cursors_[idx] = static_cast<std::uint64_t>(next_cursor);
+  }
+  return TaggedAddress{.stream_id = static_cast<std::uint32_t>(idx),
+                       .address = spec_.base_address + offset};
+}
+
+std::vector<std::uint64_t> AddressGenerator::generate(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace msim::memsim

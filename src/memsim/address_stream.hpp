@@ -1,0 +1,68 @@
+// Synthetic address-stream generation.
+//
+// Application basic blocks describe their memory behaviour *generatively* —
+// as a mix of strided and random reference patterns over a working set. The
+// tracer never reads that spec: it asks the generator for a concrete stream
+// of addresses and infers the pattern with the stride detector, exactly like
+// binary instrumentation observing a real application. The same generators
+// drive the cache simulator for the MAPS probes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace msim::memsim {
+
+/// One component of a reference-pattern mix.
+struct PatternComponent {
+  /// Stride in *bytes* between successive references; 0 means random over
+  /// the working set.
+  std::int64_t stride_bytes = 8;
+  /// Relative weight of this component in the interleaved stream.
+  double weight = 1.0;
+};
+
+/// Generative description of a block's reference stream.
+struct StreamSpec {
+  std::uint64_t base_address = 1ull << 32;  ///< arbitrary VA region start
+  std::uint64_t working_set_bytes = 1ull << 20;
+  std::uint32_t element_bytes = 8;  ///< size of each reference
+  std::vector<PatternComponent> components;
+};
+
+/// One generated reference, tagged with the id of the pattern component
+/// that issued it — the analog of the program counter a real memory tracer
+/// records with each reference.
+struct TaggedAddress {
+  std::uint32_t stream_id = 0;
+  std::uint64_t address = 0;
+};
+
+/// Produces a deterministic address stream from a StreamSpec. Components
+/// are interleaved in weight proportion using the supplied RNG, while each
+/// strided component walks its own cursor (wrapping within the working set).
+class AddressGenerator {
+ public:
+  AddressGenerator(StreamSpec spec, std::uint64_t seed);
+
+  /// Next reference with its issuing-stream tag.
+  [[nodiscard]] TaggedAddress next_tagged();
+
+  /// Next reference address.
+  [[nodiscard]] std::uint64_t next() { return next_tagged().address; }
+
+  /// Generate a batch of n addresses (convenience for samplers).
+  [[nodiscard]] std::vector<std::uint64_t> generate(std::size_t n);
+
+  [[nodiscard]] const StreamSpec& spec() const { return spec_; }
+
+ private:
+  StreamSpec spec_;
+  Rng rng_;
+  std::vector<std::uint64_t> cursors_;  ///< per-component offsets
+  std::vector<double> weights_;
+};
+
+}  // namespace msim::memsim

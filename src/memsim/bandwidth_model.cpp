@@ -1,0 +1,133 @@
+#include "memsim/bandwidth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::memsim {
+
+namespace {
+
+/// For strided sweeps: fraction of references still served by a level of
+/// capacity `size` when the working set is `ws` — 1 below capacity, falling
+/// linearly to 0 at 2x capacity.
+double sweep_retention(std::uint64_t ws, std::uint64_t size) {
+  if (ws <= size) return 1.0;
+  const double ratio = static_cast<double>(ws) / static_cast<double>(size);
+  if (ratio >= 2.0) return 0.0;
+  return 2.0 - ratio;
+}
+
+}  // namespace
+
+std::vector<double> level_service_fractions(
+    const machine::MachineConfig& machine, std::uint64_t working_set_bytes,
+    StrideClass stride) {
+  MSIM_REQUIRE(working_set_bytes > 0, "working set must be positive");
+  const std::size_t depth = machine.caches.size();
+  std::vector<double> fractions(depth + 1, 0.0);
+
+  if (stride == StrideClass::Random) {
+    // Probabilistic residency: each level holds what fits beyond the
+    // coverage of the levels inside it.
+    const double ws = static_cast<double>(working_set_bytes);
+    double covered = 0.0;
+    for (std::size_t i = 0; i < depth; ++i) {
+      const double capacity =
+          static_cast<double>(machine.caches[i].size_bytes);
+      const double reach = std::min(capacity, ws);
+      fractions[i] = std::max(0.0, reach - covered) / ws;
+      covered = std::max(covered, reach);
+    }
+    fractions[depth] = std::max(0.0, ws - covered) / ws;
+  } else {
+    // Sweeping access: served by the innermost fitting level, with a linear
+    // handover octave per level boundary.
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < depth && remaining > 0.0; ++i) {
+      const double keep =
+          sweep_retention(working_set_bytes, machine.caches[i].size_bytes);
+      fractions[i] = remaining * keep;
+      remaining *= (1.0 - keep);
+    }
+    fractions[depth] = remaining;
+  }
+
+  // Normalize tiny FP residue so downstream weighting is exact.
+  double total = 0.0;
+  for (double f : fractions) total += f;
+  MSIM_CHECK(total > 0.0, "service fractions vanished");
+  for (double& f : fractions) f /= total;
+  return fractions;
+}
+
+double level_bandwidth(const machine::MachineConfig& machine,
+                       std::size_t level, const AccessProfile& profile) {
+  MSIM_REQUIRE(level <= machine.caches.size(), "level out of range");
+  double unit_bw, random_bw;
+  if (level < machine.caches.size()) {
+    unit_bw = machine.caches[level].unit_stride_bw;
+    random_bw = machine.caches[level].random_bw;
+  } else {
+    unit_bw = machine.memory.unit_stride_bw;
+    random_bw = machine.memory.random_bw;
+  }
+
+  double bandwidth = 0.0;
+  switch (profile.stride) {
+    case StrideClass::Unit:
+      bandwidth = unit_bw;
+      break;
+    case StrideClass::Short:
+      // One element used per partially-utilized line but the walk is still
+      // prefetchable: between the two extremes, geometric mean.
+      bandwidth = std::sqrt(unit_bw * random_bw);
+      break;
+    case StrideClass::Random:
+      bandwidth = random_bw;
+      break;
+  }
+
+  if (profile.dependency == DependencyClass::Serial) {
+    bandwidth *= machine.cpu.dependency_derate;
+  }
+  const double branch_factor =
+      1.0 - profile.branch_density * (1.0 - machine.cpu.branch_derate);
+  bandwidth *= branch_factor;
+  MSIM_CHECK(bandwidth > 0.0, "derated bandwidth must stay positive");
+  return bandwidth;
+}
+
+double sustained_bandwidth(const machine::MachineConfig& machine,
+                           std::uint64_t working_set_bytes,
+                           const AccessProfile& profile) {
+  const auto fractions =
+      level_service_fractions(machine, working_set_bytes, profile.stride);
+  // Harmonic combination: total time per byte is the service-weighted sum
+  // of per-level times per byte.
+  double time_per_byte = 0.0;
+  for (std::size_t level = 0; level < fractions.size(); ++level) {
+    if (fractions[level] <= 0.0) continue;
+    time_per_byte += fractions[level] / level_bandwidth(machine, level,
+                                                        profile);
+  }
+  MSIM_CHECK(time_per_byte > 0.0, "time per byte must be positive");
+  return 1.0 / time_per_byte;
+}
+
+double average_latency(const machine::MachineConfig& machine,
+                       std::uint64_t working_set_bytes, StrideClass stride) {
+  const auto fractions =
+      level_service_fractions(machine, working_set_bytes, stride);
+  double latency = 0.0;
+  for (std::size_t level = 0; level < fractions.size(); ++level) {
+    const double level_latency = level < machine.caches.size()
+                                     ? machine.caches[level].latency_s
+                                     : machine.memory.latency_s;
+    latency += fractions[level] * level_latency;
+  }
+  return latency;
+}
+
+}  // namespace msim::memsim

@@ -1,0 +1,60 @@
+// Analytic memory-bandwidth surface of a machine model.
+//
+// This is the machine's "true" memory response: sustained bandwidth as a
+// function of working-set size, stride class, and inner-loop dependency and
+// branch structure. The MAPS probe samples this surface pointwise (that is
+// what MAPS does on real hardware); STREAM and GUPS sample single points of
+// it (large working set, unit/random stride); the detailed simulator
+// integrates over it and then applies ground-truth-only effects (TLB,
+// contention, system efficiency) on top.
+//
+// Level-service model:
+//  * random access over a working set W: each level of capacity C serves the
+//    fraction of references that hit the part of W probabilistically
+//    resident in it ((min(C,W) - inner coverage) / W);
+//  * strided sweeps are served by the innermost level whose capacity holds
+//    W, with a linear transition over [C, 2C] to model partial reuse and
+//    prefetch effects (real MAPS curves fall over roughly an octave, cf.
+//    the paper's Figure 1).
+//
+// Stride classes map to level bandwidths as: Unit -> unit_stride_bw;
+// Random -> random_bw; Short -> geometric mean of the two (one element used
+// per partially-utilized line, still prefetchable).
+//
+// Dependency and branch structure derate bandwidth multiplicatively by the
+// processor's dependency_derate / branch_derate — this is the effect the
+// paper's ENHANCED MAPS measures and Metric #9 exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "memsim/access_types.hpp"
+
+namespace msim::memsim {
+
+/// Fraction of references served by each hierarchy level (last slot = main
+/// memory) for a given working set and stride class. Sums to 1.
+[[nodiscard]] std::vector<double> level_service_fractions(
+    const machine::MachineConfig& machine, std::uint64_t working_set_bytes,
+    StrideClass stride);
+
+/// Bandwidth of one hierarchy level under the given access profile
+/// (level == caches.size() selects main memory).
+[[nodiscard]] double level_bandwidth(const machine::MachineConfig& machine,
+                                     std::size_t level,
+                                     const AccessProfile& profile);
+
+/// Sustained bandwidth (bytes/s) for a stream over the given working set.
+[[nodiscard]] double sustained_bandwidth(const machine::MachineConfig& machine,
+                                         std::uint64_t working_set_bytes,
+                                         const AccessProfile& profile);
+
+/// Average per-reference memory latency exposure (seconds) for the stream;
+/// used by the ground-truth executor for latency-bound serial chains.
+[[nodiscard]] double average_latency(const machine::MachineConfig& machine,
+                                     std::uint64_t working_set_bytes,
+                                     StrideClass stride);
+
+}  // namespace msim::memsim

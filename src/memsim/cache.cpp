@@ -1,0 +1,96 @@
+#include "memsim/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::memsim {
+
+Cache::Cache(const machine::CacheLevel& config)
+    : line_bytes_(config.line_bytes),
+      sets_(config.size_bytes /
+            (static_cast<std::uint64_t>(config.line_bytes) *
+             config.associativity)),
+      ways_(config.associativity) {
+  MSIM_REQUIRE(sets_ > 0, "cache has zero sets");
+  lines_.resize(sets_ * ways_);
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++clock_;
+  ++stats_.accesses;
+  const std::uint64_t line = address / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::uint64_t tag = line / sets_;
+
+  Way* begin = &lines_[set * ways_];
+  Way* victim = begin;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = begin[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid slot
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& way : lines_) way = Way{};
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+double HierarchyStats::fraction_at(std::size_t level) const {
+  MSIM_REQUIRE(level < hits_per_level.size(), "level out of range");
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits_per_level[level]) /
+         static_cast<double>(total);
+}
+
+CacheHierarchy::CacheHierarchy(const machine::MachineConfig& machine) {
+  MSIM_REQUIRE(!machine.caches.empty(), "machine has no caches");
+  levels_.reserve(machine.caches.size());
+  for (const auto& level : machine.caches) levels_.emplace_back(level);
+}
+
+std::size_t CacheHierarchy::access(std::uint64_t address) {
+  std::size_t served_by = levels_.size();  // main memory by default
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    // Probe every level so inclusion is maintained: a hit at level i still
+    // allocates (refreshes) in the outer levels through their own access.
+    if (levels_[i].access(address) && served_by == levels_.size()) {
+      served_by = i;
+    }
+  }
+  return served_by;
+}
+
+HierarchyStats CacheHierarchy::run(
+    const std::vector<std::uint64_t>& addresses) {
+  HierarchyStats stats;
+  stats.hits_per_level.assign(levels_.size() + 1, 0);
+  for (std::uint64_t address : addresses) {
+    ++stats.hits_per_level[access(address)];
+    ++stats.total;
+  }
+  return stats;
+}
+
+void CacheHierarchy::reset() {
+  for (auto& level : levels_) level.reset();
+}
+
+const Cache& CacheHierarchy::level(std::size_t i) const {
+  MSIM_REQUIRE(i < levels_.size(), "cache level out of range");
+  return levels_[i];
+}
+
+}  // namespace msim::memsim

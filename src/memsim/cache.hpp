@@ -1,0 +1,91 @@
+// Set-associative cache model with true-LRU replacement, and a multi-level
+// hierarchy built from a MachineConfig. Used by the tracer (to measure which
+// level a block's working set lives in) and by the MAPS probe's
+// trace-driven validation path. Loads and stores are treated identically —
+// the study's bandwidth curves do not distinguish them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::memsim {
+
+/// Per-cache access counters.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] std::uint64_t misses() const { return accesses - hits; }
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// One set-associative cache level.
+class Cache {
+ public:
+  explicit Cache(const machine::CacheLevel& config);
+
+  /// Access a byte address; returns true on hit. Misses allocate.
+  bool access(std::uint64_t address);
+
+  /// Drop all contents and counters.
+  void reset();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t line_bytes() const { return line_bytes_; }
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;  ///< logical clock for LRU
+    bool valid = false;
+  };
+
+  std::uint32_t line_bytes_;
+  std::size_t sets_;
+  std::uint32_t ways_;
+  std::vector<Way> lines_;  ///< sets_ * ways_, row-major by set
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+};
+
+/// Result of pushing a stream through the full hierarchy.
+struct HierarchyStats {
+  /// hits_per_level[i] = hits in cache level i; the final slot counts
+  /// references served by main memory.
+  std::vector<std::uint64_t> hits_per_level;
+  std::uint64_t total = 0;
+
+  /// Fraction of references served at or above the given level.
+  [[nodiscard]] double fraction_at(std::size_t level) const;
+};
+
+/// Inclusive multi-level hierarchy: an access probes L1, then L2, ... and on
+/// a full miss allocates in every level.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const machine::MachineConfig& machine);
+
+  /// Access one address; returns the level index that served it
+  /// (levels().size() means main memory).
+  std::size_t access(std::uint64_t address);
+
+  /// Run a whole stream and summarize.
+  HierarchyStats run(const std::vector<std::uint64_t>& addresses);
+
+  void reset();
+
+  [[nodiscard]] std::size_t depth() const { return levels_.size(); }
+  [[nodiscard]] const Cache& level(std::size_t i) const;
+
+ private:
+  std::vector<Cache> levels_;
+};
+
+}  // namespace msim::memsim

@@ -1,0 +1,65 @@
+#include "memsim/hierarchy_sim.hpp"
+
+#include "common/check.hpp"
+#include "memsim/bandwidth_model.hpp"
+#include "memsim/tlb.hpp"
+
+namespace msim::memsim {
+
+std::vector<double> TraceDrivenResult::service_fractions() const {
+  std::vector<double> fractions(hierarchy.hits_per_level.size(), 0.0);
+  if (hierarchy.total == 0) return fractions;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    fractions[i] = static_cast<double>(hierarchy.hits_per_level[i]) /
+                   static_cast<double>(hierarchy.total);
+  }
+  return fractions;
+}
+
+TraceDrivenResult simulate_stream(const machine::MachineConfig& machine,
+                                  const StreamSpec& spec,
+                                  const TraceDrivenOptions& options) {
+  MSIM_REQUIRE(options.measured_refs > 0, "need references to measure");
+
+  AddressGenerator generator(spec, options.seed);
+  CacheHierarchy hierarchy(machine);
+  Tlb tlb(machine.tlb);
+
+  for (std::uint64_t i = 0; i < options.warmup_refs; ++i) {
+    const std::uint64_t address = generator.next();
+    (void)hierarchy.access(address);
+    (void)tlb.access(address);
+  }
+  tlb.reset();
+
+  TraceDrivenResult result;
+  result.hierarchy.hits_per_level.assign(machine.caches.size() + 1, 0);
+  for (std::uint64_t i = 0; i < options.measured_refs; ++i) {
+    const std::uint64_t address = generator.next();
+    ++result.hierarchy.hits_per_level[hierarchy.access(address)];
+    ++result.hierarchy.total;
+    if (options.include_tlb && !tlb.access(address)) ++result.tlb_misses;
+  }
+
+  // Price the measured distribution with the per-level bandwidths for the
+  // requested access flavor, plus TLB penalties.
+  double seconds = 0.0;
+  for (std::size_t level = 0; level <= machine.caches.size(); ++level) {
+    const double refs =
+        static_cast<double>(result.hierarchy.hits_per_level[level]);
+    if (refs == 0.0) continue;
+    const double bytes = refs * spec.element_bytes;
+    seconds += bytes / level_bandwidth(machine, level, options.profile);
+  }
+  seconds += static_cast<double>(result.tlb_misses) *
+             machine.tlb.miss_penalty_s;
+
+  result.seconds = seconds;
+  const double total_bytes =
+      static_cast<double>(result.hierarchy.total) * spec.element_bytes;
+  MSIM_CHECK(seconds > 0.0, "trace-driven time must be positive");
+  result.bandwidth = total_bytes / seconds;
+  return result;
+}
+
+}  // namespace msim::memsim

@@ -1,0 +1,46 @@
+// Trace-driven hierarchy simulation.
+//
+// The analytic bandwidth surface (bandwidth_model) is fast enough to
+// integrate over whole applications, but it is a model; this module is the
+// reference implementation it is validated against. It drives a concrete
+// address stream through the set-associative cache hierarchy and the TLB,
+// measures where each reference is served, and prices the stream with the
+// per-level bandwidths — the slow-but-honest path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "memsim/access_types.hpp"
+#include "memsim/address_stream.hpp"
+#include "memsim/cache.hpp"
+
+namespace msim::memsim {
+
+/// Result of a trace-driven stream measurement.
+struct TraceDrivenResult {
+  HierarchyStats hierarchy;            ///< per-level service counts
+  std::uint64_t tlb_misses = 0;
+  double seconds = 0.0;                ///< modeled time for the stream
+  double bandwidth = 0.0;              ///< bytes moved / seconds
+
+  /// Fraction of references served by each level (last = memory).
+  [[nodiscard]] std::vector<double> service_fractions() const;
+};
+
+struct TraceDrivenOptions {
+  std::uint64_t warmup_refs = 1u << 14;  ///< fill caches before measuring
+  std::uint64_t measured_refs = 1u << 17;
+  std::uint64_t seed = 0x7ea5e;
+  /// Access flavor used when pricing each level (dependency/branching).
+  AccessProfile profile{};
+  bool include_tlb = true;
+};
+
+/// Drive `spec` through `machine`'s caches and TLB and measure it.
+[[nodiscard]] TraceDrivenResult simulate_stream(
+    const machine::MachineConfig& machine, const StreamSpec& spec,
+    const TraceDrivenOptions& options = {});
+
+}  // namespace msim::memsim

@@ -1,0 +1,68 @@
+#include "memsim/tlb.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace msim::memsim {
+
+Tlb::Tlb(const machine::Tlb& config)
+    : entries_(config.entries), page_bytes_(config.page_bytes) {
+  MSIM_REQUIRE(entries_ > 0, "TLB needs entries");
+  MSIM_REQUIRE(page_bytes_ > 0, "TLB needs a page size");
+}
+
+bool Tlb::access(std::uint64_t address) {
+  const std::uint64_t page = address / page_bytes_;
+  const auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= entries_) {
+    const std::uint64_t evicted = lru_.back();
+    lru_.pop_back();
+    map_.erase(evicted);
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+void Tlb::reset() {
+  hits_ = 0;
+  misses_ = 0;
+  lru_.clear();
+  map_.clear();
+}
+
+double Tlb::miss_rate() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(misses_) /
+                          static_cast<double>(total);
+}
+
+double Tlb::expected_miss_rate(const machine::Tlb& config,
+                               std::uint64_t working_set,
+                               std::uint64_t stride_bytes) {
+  MSIM_REQUIRE(working_set > 0, "working set must be positive");
+  const double coverage =
+      static_cast<double>(config.entries) * config.page_bytes;
+  if (static_cast<double>(working_set) <= coverage) return 0.0;
+  // Working set exceeds TLB reach. For strided walks, one miss per page
+  // crossing; for random references (stride 0), every access misses with
+  // probability 1 - coverage/ws.
+  if (stride_bytes == 0) {
+    return 1.0 - coverage / static_cast<double>(working_set);
+  }
+  const double refs_per_page =
+      static_cast<double>(config.page_bytes) /
+      static_cast<double>(std::min<std::uint64_t>(stride_bytes,
+                                                  config.page_bytes));
+  return 1.0 / std::max(1.0, refs_per_page);
+}
+
+}  // namespace msim::memsim

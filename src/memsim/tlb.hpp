@@ -1,0 +1,46 @@
+// Fully-associative LRU TLB model.
+//
+// TLB behaviour is one of the ground-truth-only effects: no probe in the
+// study measures it, so its cost is part of the irreducible prediction error
+// (see DESIGN.md section 5).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "machine/machine_config.hpp"
+
+namespace msim::memsim {
+
+class Tlb {
+ public:
+  explicit Tlb(const machine::Tlb& config);
+
+  /// Translate an address; returns true on TLB hit.
+  bool access(std::uint64_t address);
+
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_rate() const;
+
+  /// Analytic expected miss rate for a reference pattern: given a working
+  /// set and stride class, how often does a reference leave the page
+  /// coverage of the TLB? Used by the detailed simulator, which cannot
+  /// afford per-reference simulation at application scale.
+  [[nodiscard]] static double expected_miss_rate(const machine::Tlb& config,
+                                                 std::uint64_t working_set,
+                                                 std::uint64_t stride_bytes);
+
+ private:
+  std::uint32_t entries_;
+  std::uint32_t page_bytes_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<std::uint64_t> lru_;  ///< front = most recent page
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+};
+
+}  // namespace msim::memsim

@@ -1,0 +1,28 @@
+#include "memsim/working_set.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::memsim {
+
+WorkingSetTracker::WorkingSetTracker(std::uint32_t granularity_bytes)
+    : granularity_(granularity_bytes) {
+  MSIM_REQUIRE(granularity_bytes != 0 &&
+                   (granularity_bytes & (granularity_bytes - 1)) == 0,
+               "granularity must be a power of two");
+}
+
+void WorkingSetTracker::touch(std::uint64_t address) {
+  lines_.insert(address / granularity_);
+}
+
+void WorkingSetTracker::touch_all(const std::vector<std::uint64_t>& addresses) {
+  for (std::uint64_t address : addresses) touch(address);
+}
+
+std::uint64_t WorkingSetTracker::bytes() const {
+  return static_cast<std::uint64_t>(lines_.size()) * granularity_;
+}
+
+void WorkingSetTracker::reset() { lines_.clear(); }
+
+}  // namespace msim::memsim

@@ -1,0 +1,37 @@
+// Working-set measurement over an observed address stream.
+//
+// The tracer cannot read a block's generative spec, so it estimates the
+// working set the way a real memory tracer does: by counting unique cache
+// lines touched. The count is exact over the sampled window, which makes it
+// an *underestimate* of the true working set when sampling — a realistic
+// tracer artifact.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace msim::memsim {
+
+class WorkingSetTracker {
+ public:
+  /// granularity_bytes is the line size used for uniquing (power of two).
+  explicit WorkingSetTracker(std::uint32_t granularity_bytes = 64);
+
+  void touch(std::uint64_t address);
+  void touch_all(const std::vector<std::uint64_t>& addresses);
+
+  /// Unique lines touched so far.
+  [[nodiscard]] std::uint64_t unique_lines() const { return lines_.size(); }
+
+  /// Estimated working set in bytes (unique lines x granularity).
+  [[nodiscard]] std::uint64_t bytes() const;
+
+  void reset();
+
+ private:
+  std::uint32_t granularity_;
+  std::unordered_set<std::uint64_t> lines_;
+};
+
+}  // namespace msim::memsim

@@ -1,0 +1,109 @@
+#include "metrics/balanced_rating.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/regression.hpp"
+
+namespace msim::metrics {
+
+std::array<double, kBalancedCategories> category_rates(
+    const probes::ProbeSet& probes) {
+  MSIM_REQUIRE(probes.net.allreduce_small_s > 0.0,
+               "probe set lacks the all_reduce measurement");
+  return {probes.hpl_rmax, probes.stream_bw,
+          1.0 / probes.net.allreduce_small_s};
+}
+
+namespace {
+
+std::map<std::string, std::array<double, kBalancedCategories>>
+normalize_categories(const std::vector<probes::ProbeSet>& probe_sets) {
+  MSIM_REQUIRE(!probe_sets.empty(), "need at least one probe set");
+  std::array<double, kBalancedCategories> best{};
+  std::map<std::string, std::array<double, kBalancedCategories>> raw;
+  for (const auto& set : probe_sets) {
+    const auto rates = category_rates(set);
+    MSIM_REQUIRE(raw.emplace(set.machine, rates).second,
+                 "duplicate machine in probe sets: " + set.machine);
+    for (std::size_t c = 0; c < kBalancedCategories; ++c) {
+      best[c] = std::max(best[c], rates[c]);
+    }
+  }
+  for (auto& [machine, rates] : raw) {
+    (void)machine;
+    for (std::size_t c = 0; c < kBalancedCategories; ++c) {
+      MSIM_CHECK(best[c] > 0.0, "category best must be positive");
+      rates[c] /= best[c];
+    }
+  }
+  return raw;
+}
+
+}  // namespace
+
+BalancedRating::BalancedRating(
+    const std::vector<probes::ProbeSet>& probe_sets,
+    std::array<double, kBalancedCategories> weights)
+    : weights_(weights), normalized_(normalize_categories(probe_sets)) {
+  double total = 0.0;
+  for (double w : weights_) {
+    MSIM_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  MSIM_REQUIRE(total > 0.0, "weights must not all be zero");
+  for (double& w : weights_) w /= total;
+}
+
+double BalancedRating::score(const std::string& machine) const {
+  const auto it = normalized_.find(machine);
+  MSIM_REQUIRE(it != normalized_.end(),
+               "machine not in comparison set: " + machine);
+  double composite = 0.0;
+  for (std::size_t c = 0; c < kBalancedCategories; ++c) {
+    composite += weights_[c] * it->second[c];
+  }
+  MSIM_CHECK(composite > 0.0, "composite score must be positive");
+  return composite;
+}
+
+double BalancedRating::predict(double measured_base_seconds,
+                               const std::string& base_machine,
+                               const std::string& target_machine) const {
+  MSIM_REQUIRE(measured_base_seconds > 0.0, "base time must be positive");
+  return measured_base_seconds * score(base_machine) /
+         score(target_machine);
+}
+
+std::array<double, kBalancedCategories> fit_balanced_weights(
+    const std::vector<probes::ProbeSet>& probe_sets,
+    const std::string& base_machine,
+    const std::vector<SpeedObservation>& observations) {
+  MSIM_REQUIRE(!observations.empty(), "need observations to fit");
+  const auto normalized = normalize_categories(probe_sets);
+  const auto base_it = normalized.find(base_machine);
+  MSIM_REQUIRE(base_it != normalized.end(),
+               "base machine not in probe sets: " + base_machine);
+
+  stats::Matrix design(observations.size(), kBalancedCategories);
+  std::vector<double> rhs(observations.size(), 0.0);
+  for (std::size_t r = 0; r < observations.size(); ++r) {
+    const auto& obs = observations[r];
+    MSIM_REQUIRE(obs.speed_vs_base > 0.0, "speed must be positive");
+    const auto it = normalized.find(obs.machine);
+    MSIM_REQUIRE(it != normalized.end(),
+                 "machine not in probe sets: " + obs.machine);
+    for (std::size_t c = 0; c < kBalancedCategories; ++c) {
+      design.at(r, c) =
+          it->second[c] - obs.speed_vs_base * base_it->second[c];
+    }
+  }
+  const auto fit = stats::least_squares_simplex(design, rhs);
+  std::array<double, kBalancedCategories> weights{};
+  for (std::size_t c = 0; c < kBalancedCategories; ++c) {
+    weights[c] = fit.weights[c];
+  }
+  return weights;
+}
+
+}  // namespace msim::metrics

@@ -1,0 +1,72 @@
+// IDC-style "Balanced Rating" composite (paper Section 4, between metrics
+// #3 and #4).
+//
+// Three category scores — processor (HPL), memory (STREAM), interconnect
+// (the all_reduce test within NETBENCH) — are each normalized to the best
+// system in the comparison set (0..1) and combined with weights. The paper
+// evaluates equal weights (error 35%) and regression-fitted weights, which
+// came out 5% HPL / 50% STREAM / 45% all_reduce (error 33%).
+//
+// The fit: for observation (X, Y) let v = T(X0,Y)/T(X,Y) be the true
+// speed of X relative to base. A composite used through Equation 1 predicts
+// v by S(X)/S(X0), so ideal weights satisfy S(X) - v * S(X0) = 0 for every
+// observation — linear in w. We minimize the residual over the probability
+// simplex (weights non-negative, summing to 1) with the projected-gradient
+// solver in stats::least_squares_simplex.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "probes/probe_set.hpp"
+
+namespace msim::metrics {
+
+inline constexpr std::size_t kBalancedCategories = 3;
+
+/// Raw category rates (higher = better): HPL, STREAM, all_reduce speed.
+[[nodiscard]] std::array<double, kBalancedCategories> category_rates(
+    const probes::ProbeSet& probes);
+
+/// A balanced-rating model over a fixed comparison set of machines.
+class BalancedRating {
+ public:
+  /// Build with the given weights (must be non-negative, need not be
+  /// normalized; they are normalized to sum to 1).
+  BalancedRating(const std::vector<probes::ProbeSet>& probe_sets,
+                 std::array<double, kBalancedCategories> weights);
+
+  /// Composite score of a machine in the comparison set, in (0, 1].
+  [[nodiscard]] double score(const std::string& machine) const;
+
+  /// Equation-1 style prediction using composite scores as the "rate".
+  [[nodiscard]] double predict(double measured_base_seconds,
+                               const std::string& base_machine,
+                               const std::string& target_machine) const;
+
+  [[nodiscard]] const std::array<double, kBalancedCategories>& weights()
+      const {
+    return weights_;
+  }
+
+ private:
+  std::array<double, kBalancedCategories> weights_;
+  std::map<std::string, std::array<double, kBalancedCategories>> normalized_;
+};
+
+/// One row of fitting data: a target machine and its true speed relative to
+/// the base system for some (application, count).
+struct SpeedObservation {
+  std::string machine;
+  double speed_vs_base = 1.0;  ///< T(base)/T(machine)
+};
+
+/// Fit category weights on the simplex that best explain the observations.
+[[nodiscard]] std::array<double, kBalancedCategories> fit_balanced_weights(
+    const std::vector<probes::ProbeSet>& probe_sets,
+    const std::string& base_machine,
+    const std::vector<SpeedObservation>& observations);
+
+}  // namespace msim::metrics

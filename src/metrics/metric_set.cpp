@@ -1,0 +1,110 @@
+#include "metrics/metric_set.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::metrics {
+
+MetricKind kind(Metric metric) {
+  switch (metric) {
+    case Metric::S1_Hpl:
+    case Metric::S2_Stream:
+    case Metric::S3_Gups:
+      return MetricKind::Simple;
+    case Metric::P4_Hpl:
+    case Metric::P5_HplStream:
+    case Metric::P6_HplStreamGups:
+    case Metric::P7_HplMaps:
+    case Metric::P8_HplMapsNet:
+    case Metric::P9_HplMapsNetDep:
+      return MetricKind::Predictive;
+    case Metric::BalancedEqual:
+    case Metric::BalancedFitted:
+      return MetricKind::Composite;
+  }
+  MSIM_CHECK(false, "unknown metric");
+  return MetricKind::Simple;
+}
+
+std::string row_label(Metric metric) {
+  switch (metric) {
+    case Metric::S1_Hpl:
+      return "1-S";
+    case Metric::S2_Stream:
+      return "2-S";
+    case Metric::S3_Gups:
+      return "3-S";
+    case Metric::P4_Hpl:
+      return "4-P";
+    case Metric::P5_HplStream:
+      return "5-P";
+    case Metric::P6_HplStreamGups:
+      return "6-P";
+    case Metric::P7_HplMaps:
+      return "7-P";
+    case Metric::P8_HplMapsNet:
+      return "8-P";
+    case Metric::P9_HplMapsNetDep:
+      return "9-P";
+    case Metric::BalancedEqual:
+      return "B-E";
+    case Metric::BalancedFitted:
+      return "B-F";
+  }
+  return "?";
+}
+
+std::string description(Metric metric) {
+  switch (metric) {
+    case Metric::S1_Hpl:
+      return "HPL";
+    case Metric::S2_Stream:
+      return "STREAM";
+    case Metric::S3_Gups:
+      return "GUPS";
+    case Metric::BalancedEqual:
+      return "Balanced (equal weights)";
+    case Metric::BalancedFitted:
+      return "Balanced (fitted weights)";
+    default: {
+      const auto predictive = predictive_of(metric);
+      MSIM_CHECK(predictive.has_value(), "metric without description");
+      return convolve::to_string(*predictive);
+    }
+  }
+}
+
+std::vector<Metric> paper_metrics() {
+  return {Metric::S1_Hpl,          Metric::S2_Stream,
+          Metric::S3_Gups,         Metric::P4_Hpl,
+          Metric::P5_HplStream,    Metric::P6_HplStreamGups,
+          Metric::P7_HplMaps,      Metric::P8_HplMapsNet,
+          Metric::P9_HplMapsNetDep};
+}
+
+std::vector<Metric> all_metrics() {
+  auto metrics = paper_metrics();
+  metrics.push_back(Metric::BalancedEqual);
+  metrics.push_back(Metric::BalancedFitted);
+  return metrics;
+}
+
+std::optional<convolve::PredictiveMetric> predictive_of(Metric metric) {
+  switch (metric) {
+    case Metric::P4_Hpl:
+      return convolve::PredictiveMetric::M4_Hpl;
+    case Metric::P5_HplStream:
+      return convolve::PredictiveMetric::M5_HplStream;
+    case Metric::P6_HplStreamGups:
+      return convolve::PredictiveMetric::M6_HplStreamGups;
+    case Metric::P7_HplMaps:
+      return convolve::PredictiveMetric::M7_HplMaps;
+    case Metric::P8_HplMapsNet:
+      return convolve::PredictiveMetric::M8_HplMapsNet;
+    case Metric::P9_HplMapsNetDep:
+      return convolve::PredictiveMetric::M9_HplMapsNetDep;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace msim::metrics

@@ -1,0 +1,48 @@
+// The unified catalog of metrics evaluated in the study: the paper's nine
+// (Table 3) plus the two balanced-rating composites discussed in Section 4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "convolve/convolver.hpp"
+
+namespace msim::metrics {
+
+enum class Metric {
+  S1_Hpl,
+  S2_Stream,
+  S3_Gups,
+  P4_Hpl,
+  P5_HplStream,
+  P6_HplStreamGups,
+  P7_HplMaps,
+  P8_HplMapsNet,
+  P9_HplMapsNetDep,
+  BalancedEqual,   ///< IDC equal-weight composite
+  BalancedFitted,  ///< regression-fitted weights
+};
+
+enum class MetricKind { Simple, Predictive, Composite };
+
+[[nodiscard]] MetricKind kind(Metric metric);
+
+/// Paper row label, e.g. "1-S" or "9-P" ("B-E"/"B-F" for the composites).
+[[nodiscard]] std::string row_label(Metric metric);
+
+/// Description matching the paper's Table 4, e.g. "HPL+MAPS+NET".
+[[nodiscard]] std::string description(Metric metric);
+
+/// The paper's Table 4 rows, in order (#1-#9, no composites).
+[[nodiscard]] std::vector<Metric> paper_metrics();
+
+/// All metrics including the composites.
+[[nodiscard]] std::vector<Metric> all_metrics();
+
+/// The convolver configuration behind a predictive metric (nullopt for
+/// simple/composite metrics).
+[[nodiscard]] std::optional<convolve::PredictiveMetric> predictive_of(
+    Metric metric);
+
+}  // namespace msim::metrics

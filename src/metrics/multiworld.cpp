@@ -1,0 +1,125 @@
+#include "metrics/multiworld.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::metrics {
+
+MultiWorldResult run_multiworld(std::size_t worlds,
+                                std::uint64_t first_salt,
+                                const std::vector<Metric>& metric_list) {
+  MSIM_REQUIRE(worlds >= 1, "need at least one world");
+  MSIM_REQUIRE(!metric_list.empty(), "need at least one metric");
+
+  MultiWorldResult result;
+  std::map<Metric, std::vector<double>> errors;
+
+  struct ClaimCounter {
+    std::string description;
+    std::size_t holds = 0;
+  };
+  std::vector<ClaimCounter> claims = {
+      {"HPL is the worst metric", 0},
+      {"GUPS beats STREAM", 0},
+      {"the best traced metric beats every simple metric", 0},
+      {"balanced ratings do not beat GUPS", 0},
+      {"the dependency term helps: #9 <= #7 and #9 <= #8", 0},
+      {"#6 or #9 is the most accurate metric (paper Sec. 6)", 0},
+  };
+
+  for (std::size_t world = 0; world < worlds; ++world) {
+    const std::uint64_t salt = first_salt + world;
+    result.salts.push_back(salt);
+
+    StudyOptions options;
+    options.executor.noise_salt = salt;
+    const Study study = Study::build(options);
+    const auto predictions = study.evaluate(metric_list);
+
+    std::map<Metric, double> world_error;
+    for (Metric metric : metric_list) {
+      const double error =
+          Study::summarize(Study::slice_metric(predictions, metric))
+              .mean_abs_error_pct;
+      errors[metric].push_back(error);
+      world_error[metric] = error;
+    }
+
+    auto get = [&world_error](Metric metric) {
+      const auto it = world_error.find(metric);
+      MSIM_CHECK(it != world_error.end(), "metric missing from world");
+      return it->second;
+    };
+
+    // Claim 1: HPL worst.
+    bool worst = true;
+    for (const auto& [metric, error] : world_error) {
+      if (metric != Metric::S1_Hpl && metric != Metric::P4_Hpl &&
+          error > get(Metric::S1_Hpl)) {
+        worst = false;
+      }
+    }
+    if (worst) ++claims[0].holds;
+
+    // Claim 2: GUPS < STREAM.
+    if (get(Metric::S3_Gups) < get(Metric::S2_Stream)) ++claims[1].holds;
+
+    // Claim 3: the best traced metric beats every simple metric.
+    const double best_simple =
+        std::min({get(Metric::S1_Hpl), get(Metric::S2_Stream),
+                  get(Metric::S3_Gups)});
+    const double best_traced =
+        std::min({get(Metric::P6_HplStreamGups), get(Metric::P7_HplMaps),
+                  get(Metric::P8_HplMapsNet),
+                  get(Metric::P9_HplMapsNetDep)});
+    if (best_traced < best_simple) ++claims[2].holds;
+
+    // Claim 4: composites don't beat GUPS.
+    if (world_error.count(Metric::BalancedEqual) != 0 &&
+        get(Metric::BalancedEqual) >= get(Metric::S3_Gups) &&
+        get(Metric::BalancedFitted) >= get(Metric::S3_Gups) * 0.9) {
+      ++claims[3].holds;
+    }
+
+    // Claim 5: the dependency term never hurts the MAPS family.
+    if (get(Metric::P9_HplMapsNetDep) <= get(Metric::P7_HplMaps) + 0.01 &&
+        get(Metric::P9_HplMapsNetDep) <=
+            get(Metric::P8_HplMapsNet) + 0.01) {
+      ++claims[4].holds;
+    }
+
+    // Claim 6: the overall winner is one of the paper's two consistency
+    // picks, #6 or #9 ("it seems that Metrics #6 and #9 provided the most
+    // consistent representation of the application test cases").
+    bool traced_pick_wins = true;
+    const double pick = std::min(get(Metric::P6_HplStreamGups),
+                                 get(Metric::P9_HplMapsNetDep));
+    for (const auto& [metric, error] : world_error) {
+      if (error < pick - 0.01) traced_pick_wins = false;
+    }
+    if (traced_pick_wins) ++claims[5].holds;
+  }
+
+  for (Metric metric : metric_list) {
+    WorldDistribution distribution;
+    distribution.metric = metric;
+    distribution.per_world_error = errors[metric];
+    distribution.mean = stats::mean(distribution.per_world_error);
+    distribution.stddev =
+        stats::sample_stddev(distribution.per_world_error);
+    distribution.min = stats::min(distribution.per_world_error);
+    distribution.max = stats::max(distribution.per_world_error);
+    result.distributions.push_back(std::move(distribution));
+  }
+  for (const auto& counter : claims) {
+    result.claims.push_back(OrderingClaim{.description = counter.description,
+                                          .holds_in = counter.holds,
+                                          .worlds = worlds});
+  }
+  return result;
+}
+
+}  // namespace msim::metrics

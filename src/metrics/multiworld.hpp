@@ -1,0 +1,52 @@
+// Multi-world robustness analysis.
+//
+// The ground truth contains deliberate unmodeled variation (run-to-run
+// noise and per-(machine, application) compiler affinity), seeded by a
+// single `noise_salt`. One salt is one "world" — one realization of
+// everything the 2004 study could not control. A reproduction whose
+// conclusions held in only one world would be an artifact of that world;
+// this module re-runs the full study across many salts and reports, for
+// each metric, the distribution of its overall error and how often each of
+// the paper's ordering claims holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/metric_set.hpp"
+#include "metrics/study.hpp"
+
+namespace msim::metrics {
+
+/// Error distribution of one metric across worlds.
+struct WorldDistribution {
+  Metric metric{};
+  std::vector<double> per_world_error;  ///< mean |err| %, one per world
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One of the paper's ordering claims, with its holding rate.
+struct OrderingClaim {
+  std::string description;
+  std::size_t holds_in = 0;   ///< number of worlds where the claim holds
+  std::size_t worlds = 0;
+};
+
+/// Full multi-world analysis result.
+struct MultiWorldResult {
+  std::vector<std::uint64_t> salts;
+  std::vector<WorldDistribution> distributions;  ///< one per metric
+  std::vector<OrderingClaim> claims;
+};
+
+/// Run the paper study in `worlds` consecutive salt worlds (starting at
+/// `first_salt`) and analyze every metric plus the paper's five ordering
+/// claims. Deterministic; ~2 s per world.
+[[nodiscard]] MultiWorldResult run_multiworld(
+    std::size_t worlds = 16, std::uint64_t first_salt = 0,
+    const std::vector<Metric>& metrics = all_metrics());
+
+}  // namespace msim::metrics

@@ -1,0 +1,64 @@
+#include "metrics/ranking.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "stats/correlation.hpp"
+
+namespace msim::metrics {
+
+RankingQuality ranking_quality(const Study& study, Metric metric) {
+  RankingQuality quality;
+  quality.metric = metric;
+
+  double spearman_sum = 0.0;
+  double kendall_sum = 0.0;
+  double regret_sum = 0.0;
+  std::size_t top_picks = 0;
+  std::size_t configurations = 0;
+
+  for (const auto& test_case : study.suite()) {
+    for (int nprocs : test_case.cpu_counts) {
+      std::vector<double> predicted, actual;
+      for (const auto& machine : study.target_names()) {
+        predicted.push_back(
+            study.predict(metric, test_case.name, nprocs, machine));
+        actual.push_back(
+            study.observations().at(test_case.name, nprocs, machine));
+      }
+      spearman_sum += stats::spearman(predicted, actual);
+      kendall_sum += stats::kendall_tau(predicted, actual);
+
+      const std::size_t pick = static_cast<std::size_t>(
+          std::min_element(predicted.begin(), predicted.end()) -
+          predicted.begin());
+      const std::size_t best = static_cast<std::size_t>(
+          std::min_element(actual.begin(), actual.end()) - actual.begin());
+      if (pick == best) ++top_picks;
+      regret_sum += actual[pick] / actual[best] - 1.0;
+      ++configurations;
+    }
+  }
+
+  MSIM_CHECK(configurations > 0, "study has no configurations");
+  quality.mean_spearman = spearman_sum / static_cast<double>(configurations);
+  quality.mean_kendall = kendall_sum / static_cast<double>(configurations);
+  quality.top_pick_accuracy =
+      static_cast<double>(top_picks) / static_cast<double>(configurations);
+  quality.mean_pick_regret =
+      regret_sum / static_cast<double>(configurations);
+  quality.configurations = configurations;
+  return quality;
+}
+
+std::vector<RankingQuality> ranking_qualities(
+    const Study& study, const std::vector<Metric>& metrics) {
+  std::vector<RankingQuality> qualities;
+  qualities.reserve(metrics.size());
+  for (Metric metric : metrics) {
+    qualities.push_back(ranking_quality(study, metric));
+  }
+  return qualities;
+}
+
+}  // namespace msim::metrics

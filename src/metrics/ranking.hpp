@@ -1,0 +1,42 @@
+// Ranking quality: how well does each metric order the machines?
+//
+// The paper's opening motivation is *ranking* HPC systems ("a ranking of
+// HPC systems has been of keen interest to many... system X is 50% faster
+// than system Y for application Z"). Average absolute error is one lens;
+// this module scores the orderings directly: for each (application, count)
+// it compares the ranking a metric induces against the true (observed)
+// ranking, by Spearman rank correlation, Kendall tau, and two procurement
+// summaries — how often the metric names the true fastest machine, and how
+// much performance is left on the table by buying its pick.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/study.hpp"
+
+namespace msim::metrics {
+
+/// Ranking scores for one metric over a set of (app, count) pairs.
+struct RankingQuality {
+  Metric metric{};
+  double mean_spearman = 0.0;
+  double mean_kendall = 0.0;
+  /// Fraction of (app, count) pairs where the metric's predicted-fastest
+  /// machine is truly the fastest.
+  double top_pick_accuracy = 0.0;
+  /// Mean regret of the metric's pick: time(pick)/time(true best) - 1,
+  /// averaged over (app, count) pairs. 0 = always optimal.
+  double mean_pick_regret = 0.0;
+  std::size_t configurations = 0;
+};
+
+/// Score one metric's rankings over every (app, count) in the study.
+[[nodiscard]] RankingQuality ranking_quality(const Study& study,
+                                             Metric metric);
+
+/// Score a list of metrics (convenience for benches).
+[[nodiscard]] std::vector<RankingQuality> ranking_qualities(
+    const Study& study, const std::vector<Metric>& metrics);
+
+}  // namespace msim::metrics

@@ -1,0 +1,47 @@
+#include "metrics/simple.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::metrics {
+
+std::string to_string(SimpleMetric metric) {
+  switch (metric) {
+    case SimpleMetric::Hpl:
+      return "HPL";
+    case SimpleMetric::Stream:
+      return "STREAM";
+    case SimpleMetric::Gups:
+      return "GUPS";
+  }
+  return "?";
+}
+
+double simple_rate(const probes::ProbeSet& probes, SimpleMetric metric) {
+  switch (metric) {
+    case SimpleMetric::Hpl:
+      return probes.hpl_rmax;
+    case SimpleMetric::Stream:
+      return probes.stream_bw;
+    case SimpleMetric::Gups:
+      return probes.gups_bw;
+  }
+  MSIM_CHECK(false, "unknown simple metric");
+  return 0.0;
+}
+
+double eq1_predict(double measured_base_seconds, double base_rate,
+                   double target_rate) {
+  MSIM_REQUIRE(measured_base_seconds > 0.0, "base time must be positive");
+  MSIM_REQUIRE(base_rate > 0.0 && target_rate > 0.0,
+               "rates must be positive");
+  return measured_base_seconds * base_rate / target_rate;
+}
+
+double predict_simple(double measured_base_seconds,
+                      const probes::ProbeSet& base,
+                      const probes::ProbeSet& target, SimpleMetric metric) {
+  return eq1_predict(measured_base_seconds, simple_rate(base, metric),
+                     simple_rate(target, metric));
+}
+
+}  // namespace msim::metrics

@@ -1,0 +1,38 @@
+// Simple metrics #1-#3 (paper Equation 1).
+//
+// "The performance for a specific application is assumed to be faster or
+// slower according to the ratio of the simple benchmark results for system X
+// and the base system X0." The paper's R is written as if time-like; all
+// three simple benchmarks report *rates* (higher is faster), so the
+// prediction inverts the ratio: T'(X,Y) = T(X0,Y) * R(X0) / R(X).
+#pragma once
+
+#include <string>
+
+#include "probes/probe_set.hpp"
+
+namespace msim::metrics {
+
+enum class SimpleMetric {
+  Hpl,
+  Stream,
+  Gups,
+};
+
+[[nodiscard]] std::string to_string(SimpleMetric metric);
+
+/// The benchmark rate Equation 1 consumes for this metric.
+[[nodiscard]] double simple_rate(const probes::ProbeSet& probes,
+                                 SimpleMetric metric);
+
+/// Equation 1 for rate-valued benchmarks.
+[[nodiscard]] double eq1_predict(double measured_base_seconds,
+                                 double base_rate, double target_rate);
+
+/// Convenience: predict app time on a target from its probe sets.
+[[nodiscard]] double predict_simple(double measured_base_seconds,
+                                    const probes::ProbeSet& base,
+                                    const probes::ProbeSet& target,
+                                    SimpleMetric metric);
+
+}  // namespace msim::metrics

@@ -1,0 +1,217 @@
+#include "metrics/study.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "metrics/simple.hpp"
+#include "probes/synthetic.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::metrics {
+
+double Prediction::abs_error_pct() const { return std::abs(signed_error_pct); }
+
+Study Study::build(const StudyOptions& options) {
+  return build(machine::targets(),
+               machine::find(machine::base_system_name()),
+               workload::ti05_suite(), options);
+}
+
+Study Study::build(std::vector<machine::MachineConfig> targets,
+                   machine::MachineConfig base_machine,
+                   std::vector<workload::TestCase> suite,
+                   const StudyOptions& options) {
+  MSIM_REQUIRE(!targets.empty(), "study needs target machines");
+  MSIM_REQUIRE(!suite.empty(), "study needs test cases");
+
+  Study study;
+  study.base_ = base_machine.name;
+  study.suite_ = std::move(suite);
+  study.options_ = options;
+
+  std::vector<machine::MachineConfig> machines = std::move(targets);
+  for (const auto& machine : machines) {
+    MSIM_REQUIRE(machine.name != study.base_,
+                 "base machine must not also be a target");
+    study.target_names_.push_back(machine.name);
+  }
+  machines.push_back(std::move(base_machine));
+
+  // 1. Ground truth (the "real runs").
+  study.observations_ =
+      simulate::run_campaign(machines, study.suite_, options.executor);
+
+  // 2. Probe every machine.
+  for (const auto& machine : machines) {
+    study.probes_.emplace(machine.name, probes::run_probe_suite(machine));
+  }
+
+  // 3. Trace every (application, count) on the base system.
+  for (const auto& test_case : study.suite_) {
+    for (int nprocs : test_case.cpu_counts) {
+      const workload::AppModel app = test_case.build(nprocs);
+      study.signatures_.emplace(
+          std::make_pair(test_case.name, nprocs),
+          trace::trace_application(app, study.base_, options.tracer));
+    }
+  }
+  return study;
+}
+
+const probes::ProbeSet& Study::probe_set(const std::string& machine) const {
+  const auto it = probes_.find(machine);
+  MSIM_REQUIRE(it != probes_.end(), "no probe set for " + machine);
+  return it->second;
+}
+
+const trace::ApplicationSignature& Study::signature(const std::string& app,
+                                                    int nprocs) const {
+  const auto it = signatures_.find(std::make_pair(app, nprocs));
+  MSIM_REQUIRE(it != signatures_.end(),
+               "no signature for " + app + "@" + std::to_string(nprocs));
+  return it->second;
+}
+
+const BalancedRating& Study::balanced_equal() const {
+  if (!balanced_equal_) {
+    std::vector<probes::ProbeSet> sets;
+    for (const auto& [name, set] : probes_) {
+      (void)name;
+      sets.push_back(set);
+    }
+    balanced_equal_ = std::make_unique<BalancedRating>(
+        sets, std::array<double, kBalancedCategories>{1.0, 1.0, 1.0});
+  }
+  return *balanced_equal_;
+}
+
+const BalancedRating& Study::balanced_fitted() const {
+  if (!balanced_fitted_) {
+    std::vector<probes::ProbeSet> sets;
+    for (const auto& [name, set] : probes_) {
+      (void)name;
+      sets.push_back(set);
+    }
+    std::vector<SpeedObservation> speeds;
+    for (const auto& test_case : suite_) {
+      for (int nprocs : test_case.cpu_counts) {
+        const double base_time =
+            observations_.at(test_case.name, nprocs, base_);
+        for (const auto& target : target_names_) {
+          speeds.push_back(SpeedObservation{
+              .machine = target,
+              .speed_vs_base =
+                  base_time / observations_.at(test_case.name, nprocs,
+                                               target)});
+        }
+      }
+    }
+    const auto weights = fit_balanced_weights(sets, base_, speeds);
+    balanced_fitted_ = std::make_unique<BalancedRating>(sets, weights);
+  }
+  return *balanced_fitted_;
+}
+
+double Study::predict(Metric metric, const std::string& app, int nprocs,
+                      const std::string& machine) const {
+  const double base_time = observations_.at(app, nprocs, base_);
+  switch (kind(metric)) {
+    case MetricKind::Simple: {
+      SimpleMetric simple = SimpleMetric::Hpl;
+      if (metric == Metric::S2_Stream) simple = SimpleMetric::Stream;
+      if (metric == Metric::S3_Gups) simple = SimpleMetric::Gups;
+      return predict_simple(base_time, probe_set(base_), probe_set(machine),
+                            simple);
+    }
+    case MetricKind::Predictive: {
+      const auto predictive = predictive_of(metric);
+      MSIM_CHECK(predictive.has_value(), "predictive metric expected");
+      return convolve::predict_time(signature(app, nprocs),
+                                    probe_set(machine), probe_set(base_),
+                                    base_time, *predictive,
+                                    options_.convolver);
+    }
+    case MetricKind::Composite: {
+      const BalancedRating& rating = metric == Metric::BalancedEqual
+                                         ? balanced_equal()
+                                         : balanced_fitted();
+      return rating.predict(base_time, base_, machine);
+    }
+  }
+  MSIM_CHECK(false, "unknown metric kind");
+  return 0.0;
+}
+
+std::vector<Prediction> Study::evaluate(
+    const std::vector<Metric>& metrics) const {
+  std::vector<Prediction> predictions;
+  for (Metric metric : metrics) {
+    for (const auto& test_case : suite_) {
+      for (int nprocs : test_case.cpu_counts) {
+        for (const auto& target : target_names_) {
+          const double actual =
+              observations_.at(test_case.name, nprocs, target);
+          const double predicted =
+              predict(metric, test_case.name, nprocs, target);
+          predictions.push_back(Prediction{
+              .metric = metric,
+              .app = test_case.name,
+              .nprocs = nprocs,
+              .machine = target,
+              .predicted_seconds = predicted,
+              .actual_seconds = actual,
+              .signed_error_pct =
+                  stats::signed_percent_error(predicted, actual)});
+        }
+      }
+    }
+  }
+  return predictions;
+}
+
+ErrorSummary Study::summarize(const std::vector<Prediction>& predictions) {
+  MSIM_REQUIRE(!predictions.empty(), "cannot summarize zero predictions");
+  std::vector<double> abs_errors;
+  abs_errors.reserve(predictions.size());
+  for (const auto& prediction : predictions) {
+    abs_errors.push_back(prediction.abs_error_pct());
+  }
+  return ErrorSummary{
+      .mean_abs_error_pct = stats::mean(abs_errors),
+      .stddev_abs_error_pct = stats::sample_stddev(abs_errors),
+      .count = abs_errors.size()};
+}
+
+std::vector<Prediction> Study::slice_metric(
+    const std::vector<Prediction>& predictions, Metric metric) {
+  std::vector<Prediction> out;
+  for (const auto& prediction : predictions) {
+    if (prediction.metric == metric) out.push_back(prediction);
+  }
+  return out;
+}
+
+std::vector<Prediction> Study::slice_machine(
+    const std::vector<Prediction>& predictions, const std::string& machine) {
+  std::vector<Prediction> out;
+  for (const auto& prediction : predictions) {
+    if (prediction.machine == machine) out.push_back(prediction);
+  }
+  return out;
+}
+
+std::vector<Prediction> Study::slice_app(
+    const std::vector<Prediction>& predictions, const std::string& app,
+    int nprocs) {
+  std::vector<Prediction> out;
+  for (const auto& prediction : predictions) {
+    if (prediction.app == app &&
+        (nprocs == 0 || prediction.nprocs == nprocs)) {
+      out.push_back(prediction);
+    }
+  }
+  return out;
+}
+
+}  // namespace msim::metrics

@@ -1,0 +1,125 @@
+// Study driver: assembles the paper's full experiment.
+//
+//   1. "Run" the five TI-05 test cases at their three processor counts on
+//      the ten target systems and the base system (detailed simulator) —
+//      the 150+15 observations;
+//   2. run the probe suite on every machine;
+//   3. trace every (application, count) on the base system;
+//   4. predict every observation with every metric and score it with
+//      Equation 2.
+//
+// All heavy inputs are computed once in Study::build() and the evaluation
+// layer is pure queries, so benches for Tables 4/5 and Figures 2-7 share
+// one set of inputs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "metrics/balanced_rating.hpp"
+#include "metrics/metric_set.hpp"
+#include "probes/probe_set.hpp"
+#include "simulate/campaign.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::metrics {
+
+/// One scored prediction (a cell of the paper's 1,350).
+struct Prediction {
+  Metric metric;
+  std::string app;
+  int nprocs = 0;
+  std::string machine;
+  double predicted_seconds = 0.0;
+  double actual_seconds = 0.0;
+  double signed_error_pct = 0.0;
+
+  [[nodiscard]] double abs_error_pct() const;
+};
+
+/// Mean/stddev of absolute error over some slice of predictions.
+struct ErrorSummary {
+  double mean_abs_error_pct = 0.0;
+  double stddev_abs_error_pct = 0.0;
+  std::size_t count = 0;
+};
+
+struct StudyOptions {
+  simulate::ExecutorOptions executor{};
+  trace::TracerOptions tracer{};
+  convolve::ConvolverOptions convolver{};
+};
+
+class Study {
+ public:
+  /// Build the full paper study (10 targets + base, TI-05 suite).
+  [[nodiscard]] static Study build(const StudyOptions& options = {});
+
+  /// Build over a custom machine list and suite (base must be last in
+  /// `machines` or named explicitly).
+  [[nodiscard]] static Study build(
+      std::vector<machine::MachineConfig> targets,
+      machine::MachineConfig base_machine,
+      std::vector<workload::TestCase> suite,
+      const StudyOptions& options = {});
+
+  /// Predict one configuration with one metric.
+  [[nodiscard]] double predict(Metric metric, const std::string& app,
+                               int nprocs, const std::string& machine) const;
+
+  /// Score every (metric x app x count x target machine) combination.
+  [[nodiscard]] std::vector<Prediction> evaluate(
+      const std::vector<Metric>& metrics) const;
+
+  // --- aggregate views over a prediction list -------------------------
+  [[nodiscard]] static ErrorSummary summarize(
+      const std::vector<Prediction>& predictions);
+  [[nodiscard]] static std::vector<Prediction> slice_metric(
+      const std::vector<Prediction>& predictions, Metric metric);
+  [[nodiscard]] static std::vector<Prediction> slice_machine(
+      const std::vector<Prediction>& predictions, const std::string& machine);
+  [[nodiscard]] static std::vector<Prediction> slice_app(
+      const std::vector<Prediction>& predictions, const std::string& app,
+      int nprocs = 0);  ///< nprocs 0 = all counts
+
+  // --- accessors -------------------------------------------------------
+  [[nodiscard]] const simulate::ObservationSet& observations() const {
+    return observations_;
+  }
+  [[nodiscard]] const probes::ProbeSet& probe_set(
+      const std::string& machine) const;
+  [[nodiscard]] const trace::ApplicationSignature& signature(
+      const std::string& app, int nprocs) const;
+  [[nodiscard]] const std::string& base_machine() const { return base_; }
+  [[nodiscard]] const std::vector<std::string>& target_names() const {
+    return target_names_;
+  }
+  [[nodiscard]] const std::vector<workload::TestCase>& suite() const {
+    return suite_;
+  }
+  [[nodiscard]] const BalancedRating& balanced_equal() const;
+  [[nodiscard]] const BalancedRating& balanced_fitted() const;
+
+ private:
+  Study() = default;
+
+  std::vector<std::string> target_names_;
+  std::string base_;
+  std::vector<workload::TestCase> suite_;
+  StudyOptions options_;
+
+  simulate::ObservationSet observations_;
+  std::map<std::string, probes::ProbeSet> probes_;
+  std::map<std::pair<std::string, int>, trace::ApplicationSignature>
+      signatures_;
+
+  // Built lazily from probe sets (+ observations for the fitted variant).
+  mutable std::unique_ptr<BalancedRating> balanced_equal_;
+  mutable std::unique_ptr<BalancedRating> balanced_fitted_;
+};
+
+}  // namespace msim::metrics

@@ -1,0 +1,21 @@
+#include "netsim/comm_event.hpp"
+
+namespace msim::netsim {
+
+std::string to_string(CommType type) {
+  switch (type) {
+    case CommType::PointToPoint:
+      return "p2p";
+    case CommType::AllReduce:
+      return "allreduce";
+    case CommType::Broadcast:
+      return "bcast";
+    case CommType::AllToAll:
+      return "alltoall";
+    case CommType::Barrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+}  // namespace msim::netsim

@@ -1,0 +1,29 @@
+// Communication-event vocabulary shared by the workload models, the
+// MPIDTRACE-analog comm tracer, the NETBENCH probe, and the convolver's
+// network term.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msim::netsim {
+
+/// MPI operation categories the cost model distinguishes.
+enum class CommType : std::uint8_t {
+  PointToPoint,  ///< matched send/recv pair (e.g. halo exchange)
+  AllReduce,
+  Broadcast,
+  AllToAll,
+  Barrier,
+};
+
+[[nodiscard]] std::string to_string(CommType type);
+
+/// A batch of identical communication operations, per process per timestep.
+struct CommEvent {
+  CommType type = CommType::PointToPoint;
+  std::uint64_t bytes = 0;  ///< payload per operation (0 for Barrier)
+  std::uint64_t count = 1;  ///< how many such operations
+};
+
+}  // namespace msim::netsim

@@ -1,0 +1,81 @@
+#include "netsim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::netsim {
+
+namespace {
+double ceil_log2(int n) {
+  MSIM_REQUIRE(n >= 1, "need at least one process");
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+}  // namespace
+
+double shared_bandwidth(const machine::Network& net, double node_sharing) {
+  MSIM_REQUIRE(node_sharing >= 1.0, "node_sharing must be >= 1");
+  return net.bandwidth / node_sharing;
+}
+
+double pt2pt_time(const machine::Network& net, std::uint64_t bytes,
+                  double node_sharing) {
+  const double bw = shared_bandwidth(net, node_sharing);
+  const double transfer = static_cast<double>(bytes) / bw;
+  if (bytes <= net.eager_threshold_bytes) {
+    return net.per_message_overhead_s + net.latency_s + transfer;
+  }
+  // Rendezvous: request + clear-to-send handshake adds a round trip.
+  return net.per_message_overhead_s + 3.0 * net.latency_s + transfer;
+}
+
+double collective_time(const machine::Network& net, CommType type,
+                       std::uint64_t bytes, int nprocs, double node_sharing) {
+  MSIM_REQUIRE(nprocs >= 1, "need at least one process");
+  if (nprocs == 1) return 0.0;
+  const double log_p = ceil_log2(nprocs);
+  const double p = static_cast<double>(nprocs);
+  const double bw = shared_bandwidth(net, node_sharing);
+  const double bytes_d = static_cast<double>(bytes);
+  const double alpha = net.latency_s + net.per_message_overhead_s;
+
+  switch (type) {
+    case CommType::Barrier:
+      // Dissemination barrier: ceil(log2 p) rounds of zero-byte messages.
+      return log_p * alpha;
+
+    case CommType::AllReduce:
+      if (bytes <= net.eager_threshold_bytes) {
+        // Recursive doubling: log p rounds, full payload each round.
+        return log_p * (alpha + bytes_d / bw);
+      }
+      // Rabenseifner (reduce-scatter + allgather).
+      return 2.0 * log_p * alpha + 2.0 * (p - 1.0) / p * bytes_d / bw;
+
+    case CommType::Broadcast:
+      if (bytes <= net.eager_threshold_bytes) {
+        return log_p * (alpha + bytes_d / bw);  // binomial tree
+      }
+      // Scatter + allgather (van de Geijn).
+      return 2.0 * log_p * alpha + 2.0 * (p - 1.0) / p * bytes_d / bw;
+
+    case CommType::AllToAll:
+      // Pairwise exchange: p-1 rounds, each sending `bytes` to one peer.
+      return (p - 1.0) * (alpha + bytes_d / bw);
+
+    case CommType::PointToPoint:
+      return pt2pt_time(net, bytes, node_sharing);
+  }
+  MSIM_CHECK(false, "unknown collective type");
+  return 0.0;
+}
+
+double event_time(const machine::Network& net, const CommEvent& event,
+                  int nprocs, double node_sharing) {
+  const double single =
+      collective_time(net, event.type, event.bytes, nprocs, node_sharing);
+  return single * static_cast<double>(event.count);
+}
+
+}  // namespace msim::netsim

@@ -1,0 +1,35 @@
+// Interconnect cost model: Hockney point-to-point with an eager/rendezvous
+// protocol split, and standard tree/ring collective algorithms (Thakur et
+// al.) on top.
+//
+// `node_sharing` models concurrent senders per node dividing NIC bandwidth.
+// The NETBENCH probe measures with node_sharing = 1 (a dedicated ping-pong,
+// as real netbench does); the ground-truth executor applies the machine's
+// actual procs_per_node — an intentional, realistic probe blind spot.
+#pragma once
+
+#include "machine/machine_config.hpp"
+#include "netsim/comm_event.hpp"
+
+namespace msim::netsim {
+
+/// Time for one point-to-point message of `bytes` (one direction).
+[[nodiscard]] double pt2pt_time(const machine::Network& net,
+                                std::uint64_t bytes,
+                                double node_sharing = 1.0);
+
+/// Time for one collective across `nprocs` ranks.
+[[nodiscard]] double collective_time(const machine::Network& net,
+                                     CommType type, std::uint64_t bytes,
+                                     int nprocs, double node_sharing = 1.0);
+
+/// Time for a CommEvent batch (count * single-operation time).
+[[nodiscard]] double event_time(const machine::Network& net,
+                                const CommEvent& event, int nprocs,
+                                double node_sharing = 1.0);
+
+/// Effective per-process bandwidth given senders sharing a node's NIC.
+[[nodiscard]] double shared_bandwidth(const machine::Network& net,
+                                      double node_sharing);
+
+}  // namespace msim::netsim

@@ -1,0 +1,42 @@
+// Rank-level event simulation of collectives.
+//
+// The analytic cost model (cost_model.hpp) prices collectives with closed
+// forms; this module is the reference it is validated against: it runs the
+// actual communication schedules — recursive doubling, binomial trees,
+// pairwise exchange, dissemination — rank by rank, round by round, with
+// per-rank clocks. Two things the closed forms cannot express fall out
+// naturally: process skew (ranks arriving at the collective at different
+// times, the real cost of load imbalance at synchronization points) and
+// idle rounds for non-power-of-two communicators.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/machine_config.hpp"
+#include "netsim/comm_event.hpp"
+
+namespace msim::netsim {
+
+struct EventSimOptions {
+  /// Standard deviation of per-rank arrival skew, seconds (0 = all ranks
+  /// enter the collective simultaneously).
+  double skew_stddev_s = 0.0;
+  std::uint64_t seed = 0xde7e77;
+  /// NIC sharing factor applied to bandwidth (cf. shared_bandwidth).
+  double node_sharing = 1.0;
+};
+
+/// Completion time of one collective: the time at which the *last* rank
+/// finishes, measured from the earliest rank's arrival.
+[[nodiscard]] double simulate_collective(const machine::Network& net,
+                                         CommType type, std::uint64_t bytes,
+                                         int nprocs,
+                                         const EventSimOptions& options = {});
+
+/// Completion time of a halo exchange: every rank exchanges `bytes` with
+/// `neighbors` peers; exchanges with distinct peers serialize on the NIC.
+[[nodiscard]] double simulate_halo_exchange(
+    const machine::Network& net, std::uint64_t bytes, int neighbors,
+    int nprocs, const EventSimOptions& options = {});
+
+}  // namespace msim::netsim

@@ -1,0 +1,169 @@
+#include "probes/native.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace msim::probes::native {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+KernelResult stream_triad(std::size_t elements, int repeats) {
+  MSIM_REQUIRE(elements > 0 && repeats > 0, "triad needs work");
+  std::vector<double> a(elements, 0.0);
+  std::vector<double> b(elements, 1.0);
+  std::vector<double> c(elements, 2.0);
+  const double scalar = 3.0;
+
+  const auto start = Clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < elements; ++i) {
+      a[i] = b[i] + scalar * c[i];
+    }
+    // Rotate roles so the compiler cannot hoist the loop away.
+    std::swap(a, b);
+  }
+  KernelResult result;
+  result.seconds = elapsed_seconds(start);
+  result.bytes = 3.0 * static_cast<double>(elements) * sizeof(double) *
+                 repeats;
+  result.checksum = static_cast<std::uint64_t>(a[elements / 2]);
+  return result;
+}
+
+KernelResult random_update(int log2_elements, std::uint64_t updates) {
+  MSIM_REQUIRE(log2_elements >= 4 && log2_elements <= 30,
+               "table exponent out of range");
+  const std::size_t n = std::size_t{1} << log2_elements;
+  std::vector<std::uint64_t> table(n);
+  std::iota(table.begin(), table.end(), 0);
+
+  // The classic GUPS recurrence: the next index comes from an LCG-ish
+  // stream, the update XORs the stream value in.
+  std::uint64_t ran = 0x123456789abcdef0ull;
+  const auto start = Clock::now();
+  for (std::uint64_t u = 0; u < updates; ++u) {
+    ran = ran * 6364136223846793005ull + 1442695040888963407ull;
+    table[ran & (n - 1)] ^= ran;
+  }
+  KernelResult result;
+  result.seconds = elapsed_seconds(start);
+  result.bytes = static_cast<double>(updates) * sizeof(std::uint64_t) * 2;
+  result.checksum = table[ran & (n - 1)];
+  return result;
+}
+
+KernelResult strided_read(std::size_t working_set_bytes,
+                          std::size_t stride_elements, int repeats) {
+  MSIM_REQUIRE(stride_elements >= 1, "stride must be >= 1");
+  const std::size_t elements =
+      std::max<std::size_t>(working_set_bytes / sizeof(double),
+                            stride_elements);
+  std::vector<double> data(elements, 1.0);
+
+  double sum = 0.0;
+  std::size_t touched = 0;
+  const auto start = Clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t offset = 0; offset < stride_elements; ++offset) {
+      for (std::size_t i = offset; i < elements; i += stride_elements) {
+        sum += data[i];
+        ++touched;
+      }
+    }
+  }
+  KernelResult result;
+  result.seconds = elapsed_seconds(start);
+  result.bytes = static_cast<double>(touched) * sizeof(double);
+  result.checksum = static_cast<std::uint64_t>(sum);
+  return result;
+}
+
+KernelResult pointer_chase(std::size_t working_set_bytes,
+                           std::uint64_t steps) {
+  const std::size_t slots =
+      std::max<std::size_t>(working_set_bytes / sizeof(std::uint64_t), 16);
+  std::vector<std::uint64_t> next(slots);
+
+  // Sattolo's algorithm: a single cycle covering every slot, so the chase
+  // visits the whole working set with no shortcut.
+  std::iota(next.begin(), next.end(), 0);
+  Rng rng(0xc0ffee);
+  for (std::size_t i = slots - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_u64(i);  // j in [0, i)
+    std::swap(next[i], next[j]);
+  }
+
+  std::uint64_t cursor = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    cursor = next[cursor];
+  }
+  KernelResult result;
+  result.seconds = elapsed_seconds(start);
+  result.bytes = static_cast<double>(steps) * sizeof(std::uint64_t);
+  result.checksum = cursor;
+  return result;
+}
+
+KernelResult branchy_read(std::size_t working_set_bytes, int repeats) {
+  const std::size_t elements =
+      std::max<std::size_t>(working_set_bytes / sizeof(std::uint64_t), 16);
+  std::vector<std::uint64_t> data(elements);
+  Rng rng(0xbadbeef);
+  for (auto& value : data) value = rng();
+
+  std::uint64_t accumulator = 0;
+  std::size_t touched = 0;
+  const auto start = Clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t i = 0; i < elements; ++i) {
+      // The low bit of random data is unpredictable: ~50% mispredicts on
+      // real hardware, exactly what ENHANCED MAPS induces.
+      if (data[i] & 1) {
+        accumulator += data[i];
+      } else {
+        accumulator ^= data[i] >> 1;
+      }
+      ++touched;
+    }
+  }
+  KernelResult result;
+  result.seconds = elapsed_seconds(start);
+  result.bytes = static_cast<double>(touched) * sizeof(std::uint64_t);
+  result.checksum = accumulator;
+  return result;
+}
+
+std::vector<NativeMapsPoint> native_maps_sweep(
+    const std::vector<std::size_t>& sizes) {
+  std::vector<NativeMapsPoint> points;
+  points.reserve(sizes.size());
+  for (std::size_t size : sizes) {
+    NativeMapsPoint point;
+    point.working_set_bytes = size;
+    // Budget the work so each point costs roughly the same wall time.
+    const int repeats = static_cast<int>(
+        std::max<std::size_t>(1, (64u << 20) / std::max<std::size_t>(size,
+                                                                     1)));
+    point.unit_bw = strided_read(size, 1, repeats).bandwidth();
+    const std::uint64_t steps =
+        std::max<std::uint64_t>(1u << 16, (4u << 20) / 8);
+    point.chase_bw = pointer_chase(size, steps).bandwidth();
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace msim::probes::native

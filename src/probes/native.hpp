@@ -1,0 +1,60 @@
+// Native host implementations of the probe kernels.
+//
+// The study runs its probes against machine *models*; these are the same
+// kernels implemented for real silicon, demonstrating that the probe suite
+// (STREAM triad, GUPS-style random update, MAPS working-set sweeps, the
+// ENHANCED dependency/branch variants, and a serial pointer chase) is
+// portable to actual hardware. They are used by the native_probes bench and
+// the maps_explorer example; nothing in the reproduction pipeline depends
+// on them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace msim::probes::native {
+
+/// Result of one native kernel run.
+struct KernelResult {
+  double seconds = 0.0;
+  double bytes = 0.0;
+  std::uint64_t checksum = 0;  ///< defeats dead-code elimination
+
+  [[nodiscard]] double bandwidth() const {
+    return seconds > 0.0 ? bytes / seconds : 0.0;
+  }
+};
+
+/// STREAM triad a[i] = b[i] + s*c[i] over arrays of `elements` doubles,
+/// repeated `repeats` times. Traffic counted as 3 arrays per sweep.
+[[nodiscard]] KernelResult stream_triad(std::size_t elements, int repeats);
+
+/// GUPS-style random XOR update over a table of 2^log2_elements u64s.
+[[nodiscard]] KernelResult random_update(int log2_elements,
+                                         std::uint64_t updates);
+
+/// Strided read-sum over a working set; stride in elements (1 = unit).
+[[nodiscard]] KernelResult strided_read(std::size_t working_set_bytes,
+                                        std::size_t stride_elements,
+                                        int repeats);
+
+/// Dependent (pointer-chase) traversal of a shuffled ring covering the
+/// working set — the latency-bound analog ENHANCED MAPS measures.
+[[nodiscard]] KernelResult pointer_chase(std::size_t working_set_bytes,
+                                         std::uint64_t steps);
+
+/// Strided read with an unpredictable inner branch taken with probability
+/// ~1/2 — the branch component of ENHANCED MAPS.
+[[nodiscard]] KernelResult branchy_read(std::size_t working_set_bytes,
+                                        int repeats);
+
+/// A MAPS sweep on the host: bandwidth per working-set size.
+struct NativeMapsPoint {
+  std::size_t working_set_bytes = 0;
+  double unit_bw = 0.0;
+  double chase_bw = 0.0;
+};
+[[nodiscard]] std::vector<NativeMapsPoint> native_maps_sweep(
+    const std::vector<std::size_t>& sizes);
+
+}  // namespace msim::probes::native

@@ -1,0 +1,150 @@
+#include "probes/probe_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim::probes {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad number for '" + key + "': " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const auto parsed = std::stoull(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad integer for '" + key + "': " + value);
+  }
+}
+
+void emit_curve(std::ostringstream& os, const std::string& name,
+                const MapsCurve& curve) {
+  os << name << ".stride = " << memsim::to_string(curve.stride) << '\n';
+  os << name << ".dependency_limited = "
+     << (curve.dependency_limited ? 1 : 0) << '\n';
+  os << name << ".points = " << curve.points.size() << '\n';
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    os << name << ".point." << i << ".ws = "
+       << curve.points[i].working_set_bytes << '\n';
+    // Full precision: the curve is measurement data.
+    os << name << ".point." << i << ".bw = ";
+    os.precision(17);
+    os << curve.points[i].bandwidth << '\n';
+  }
+}
+
+memsim::StrideClass stride_from_string(const std::string& name) {
+  for (auto stride : memsim::kAllStrideClasses) {
+    if (memsim::to_string(stride) == name) return stride;
+  }
+  throw precondition_error("unknown stride class '" + name + "'");
+}
+
+MapsCurve take_curve(std::map<std::string, std::string>& pairs,
+                     const std::string& name) {
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+  MapsCurve curve;
+  curve.stride = stride_from_string(take(name + ".stride"));
+  curve.dependency_limited =
+      parse_u64(name, take(name + ".dependency_limited")) != 0;
+  const std::uint64_t points = parse_u64(name, take(name + ".points"));
+  for (std::uint64_t i = 0; i < points; ++i) {
+    const std::string prefix = name + ".point." + std::to_string(i);
+    MapsPoint point;
+    point.working_set_bytes = parse_u64(prefix, take(prefix + ".ws"));
+    point.bandwidth = parse_double(prefix, take(prefix + ".bw"));
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::string to_text(const ProbeSet& set) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# msim probe set\n";
+  os << "machine = " << set.machine << '\n';
+  os << "hpl_rmax = " << set.hpl_rmax << '\n';
+  os << "stream_bw = " << set.stream_bw << '\n';
+  os << "gups_bw = " << set.gups_bw << '\n';
+  emit_curve(os, "maps_unit", set.maps_unit);
+  emit_curve(os, "maps_random", set.maps_random);
+  emit_curve(os, "maps_unit_dep", set.maps_unit_dep);
+  emit_curve(os, "maps_random_dep", set.maps_random_dep);
+  os.precision(17);
+  os << "net.latency_s = " << set.net.latency_s << '\n';
+  os << "net.bandwidth = " << set.net.bandwidth << '\n';
+  os << "net.allreduce_small_s = " << set.net.allreduce_small_s << '\n';
+  return os.str();
+}
+
+ProbeSet probe_set_from_text(const std::string& text) {
+  std::map<std::string, std::string> pairs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    MSIM_REQUIRE(eq != std::string::npos, "missing '=' in: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    MSIM_REQUIRE(pairs.emplace(key, trim(line.substr(eq + 1))).second,
+                 "duplicate key '" + key + "'");
+  }
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+
+  ProbeSet set;
+  set.machine = take("machine");
+  set.hpl_rmax = parse_double("hpl_rmax", take("hpl_rmax"));
+  set.stream_bw = parse_double("stream_bw", take("stream_bw"));
+  set.gups_bw = parse_double("gups_bw", take("gups_bw"));
+  set.maps_unit = take_curve(pairs, "maps_unit");
+  set.maps_random = take_curve(pairs, "maps_random");
+  set.maps_unit_dep = take_curve(pairs, "maps_unit_dep");
+  set.maps_random_dep = take_curve(pairs, "maps_random_dep");
+  set.net.latency_s = parse_double("net.latency_s", take("net.latency_s"));
+  set.net.bandwidth = parse_double("net.bandwidth", take("net.bandwidth"));
+  set.net.allreduce_small_s = parse_double("net.allreduce_small_s",
+                                           take("net.allreduce_small_s"));
+  MSIM_REQUIRE(pairs.empty(),
+               "unknown key '" + pairs.begin()->first + "' in probe set");
+  return set;
+}
+
+}  // namespace msim::probes

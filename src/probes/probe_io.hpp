@@ -1,0 +1,21 @@
+// Text (de)serialization for probe sets.
+//
+// A ProbeSet is the machine-side artifact of the methodology: run the
+// suite once per candidate system, archive the result, and convolve any
+// number of application signatures against it later. Lossless for
+// everything the convolver and simple metrics consume.
+#pragma once
+
+#include <string>
+
+#include "probes/probe_set.hpp"
+
+namespace msim::probes {
+
+/// Serialize a probe set to text.
+[[nodiscard]] std::string to_text(const ProbeSet& set);
+
+/// Parse a probe set; throws precondition_error on malformed input.
+[[nodiscard]] ProbeSet probe_set_from_text(const std::string& text);
+
+}  // namespace msim::probes

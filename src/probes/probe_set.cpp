@@ -1,0 +1,36 @@
+#include "probes/probe_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::probes {
+
+double MapsCurve::bandwidth_at(std::uint64_t working_set_bytes) const {
+  MSIM_REQUIRE(!points.empty(), "MAPS curve has no points");
+  MSIM_REQUIRE(working_set_bytes > 0, "working set must be positive");
+
+  if (working_set_bytes <= points.front().working_set_bytes) {
+    return points.front().bandwidth;
+  }
+  if (working_set_bytes >= points.back().working_set_bytes) {
+    return points.back().bandwidth;
+  }
+  const auto upper = std::lower_bound(
+      points.begin(), points.end(), working_set_bytes,
+      [](const MapsPoint& point, std::uint64_t ws) {
+        return point.working_set_bytes < ws;
+      });
+  const auto lower = upper - 1;
+  // Log-log interpolation: bandwidth plateaus and cliffs are octave-shaped.
+  const double x0 = std::log2(static_cast<double>(lower->working_set_bytes));
+  const double x1 = std::log2(static_cast<double>(upper->working_set_bytes));
+  const double x = std::log2(static_cast<double>(working_set_bytes));
+  const double t = (x - x0) / (x1 - x0);
+  const double y0 = std::log2(lower->bandwidth);
+  const double y1 = std::log2(upper->bandwidth);
+  return std::exp2(y0 + t * (y1 - y0));
+}
+
+}  // namespace msim::probes

@@ -1,0 +1,61 @@
+// Probe results: what the study is allowed to know about a target machine.
+//
+// Real procurement benchmarking runs HPL, STREAM, GUPS, MEMBENCH MAPS and
+// NETBENCH on each candidate system; every prediction metric in the paper
+// consumes only these numbers (plus the application trace). ProbeSet is the
+// exact information boundary: nothing else about the machine model may leak
+// into a predictor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/access_types.hpp"
+
+namespace msim::probes {
+
+/// One sampled point of a MAPS bandwidth curve.
+struct MapsPoint {
+  std::uint64_t working_set_bytes = 0;
+  double bandwidth = 0.0;  ///< bytes/s
+};
+
+/// A MAPS curve: bandwidth versus working-set size for one access flavor.
+struct MapsCurve {
+  memsim::StrideClass stride = memsim::StrideClass::Unit;
+  bool dependency_limited = false;  ///< ENHANCED MAPS variant
+  std::vector<MapsPoint> points;    ///< ascending working-set order
+
+  /// Log-log interpolated bandwidth lookup (clamped at the ends).
+  [[nodiscard]] double bandwidth_at(std::uint64_t working_set_bytes) const;
+};
+
+/// NETBENCH results: ping-pong latency/bandwidth plus a reference
+/// all_reduce measurement (the "all_reduce test within NETBENCH" the paper
+/// uses for the balanced rating).
+struct NetbenchResult {
+  double latency_s = 0.0;     ///< zero-byte one-way ping-pong latency
+  double bandwidth = 0.0;     ///< large-message ping-pong bandwidth, bytes/s
+  double allreduce_small_s = 0.0;  ///< 8-byte allreduce at 64 ranks, seconds
+};
+
+/// Full probe suite output for one machine.
+struct ProbeSet {
+  std::string machine;
+
+  double hpl_rmax = 0.0;   ///< flops/s per processor
+  double stream_bw = 0.0;  ///< bytes/s, unit stride from main memory
+  double gups_bw = 0.0;    ///< bytes/s, random access from main memory
+
+  MapsCurve maps_unit;
+  MapsCurve maps_random;
+  // ENHANCED MAPS: the same sweeps with an induced loop-carried dependence
+  // and inner branch (paper Section 3, Metric #9).
+  MapsCurve maps_unit_dep;
+  MapsCurve maps_random_dep;
+
+  NetbenchResult net;
+};
+
+}  // namespace msim::probes

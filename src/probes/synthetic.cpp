@@ -1,0 +1,189 @@
+#include "probes/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "netsim/cost_model.hpp"
+#include "simulate/executor.hpp"
+#include "workload/basic_block.hpp"
+
+namespace msim::probes {
+
+namespace {
+
+using memsim::DependencyClass;
+using memsim::StrideClass;
+
+/// Executor options for probe runs: a probe is averaged over many
+/// repetitions (no run-to-run noise) and too simple to suffer app-level
+/// system inefficiency, but it does experience contention and the TLB.
+simulate::ExecutorOptions probe_options() {
+  simulate::ExecutorOptions options;
+  options.apply_noise = false;
+  options.apply_system_efficiency = false;
+  return options;
+}
+
+/// Measure the wall time of a one-block, one-timestep workload.
+double measure_block(const machine::MachineConfig& machine,
+                     workload::BasicBlock block) {
+  workload::Phase phase;
+  phase.name = "probe";
+  phase.blocks.push_back(std::move(block));
+  workload::AppModel app;
+  app.name = "probe";
+  app.nprocs = 1;
+  app.timesteps = 1;
+  app.phases.push_back(std::move(phase));
+  return simulate::execute(app, machine, probe_options()).wall_seconds;
+}
+
+/// A memory-only sweep over `working_set` with the given access flavor;
+/// returns measured bandwidth in bytes/s.
+double measure_bandwidth(const machine::MachineConfig& machine,
+                         std::uint64_t working_set, StrideClass stride,
+                         bool dependency_limited) {
+  workload::MemoryMix mix;
+  switch (stride) {
+    case StrideClass::Unit:
+      mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+             .short_stride_elements = 2};
+      break;
+    case StrideClass::Short:
+      mix = {.unit = 0.0, .short_ = 1.0, .random = 0.0,
+             .short_stride_elements = 4};
+      break;
+    case StrideClass::Random:
+      mix = {.unit = 0.0, .short_ = 0.0, .random = 1.0,
+             .short_stride_elements = 2};
+      break;
+  }
+  // Enough traffic to amortize; bandwidth is traffic / time.
+  const std::uint64_t refs = std::max<std::uint64_t>(
+      working_set / 8, std::uint64_t{1} << 16);
+  workload::BasicBlock block{
+      .name = "probe/maps",
+      .flops_per_iteration = 0,
+      .refs_per_iteration = 8,
+      .element_bytes = 8,
+      .iterations = refs / 8,
+      .mix = mix,
+      .working_set_bytes = working_set,
+      .dependency = dependency_limited ? DependencyClass::Serial
+                                       : DependencyClass::Independent,
+      // ENHANCED MAPS also places a light data-dependent branch in the
+      // inner loop, matching typical dependence-limited app loops.
+      .branch_density = dependency_limited ? 0.2 : 0.0,
+      .ilp_efficiency = 0.9};
+  const double bytes =
+      static_cast<double>(block.bytes_per_timestep());
+  const double seconds = measure_block(machine, block);
+  MSIM_CHECK(seconds > 0.0, "probe measured zero time");
+  return bytes / seconds;
+}
+
+/// Working set that is decisively "main memory" for this machine.
+std::uint64_t main_memory_working_set(const machine::MachineConfig& machine) {
+  return std::max<std::uint64_t>(64 * MiB, machine.total_cache_bytes() * 16);
+}
+
+}  // namespace
+
+double hpl_probe(const machine::MachineConfig& machine) {
+  // HPL is compute-bound dense LU; its achieved fraction of peak *is* the
+  // machine's measured HPL efficiency, so the probe executes a flop-only
+  // block at that ILP efficiency and reports the achieved rate.
+  const std::uint64_t flops = 1ull << 32;
+  workload::BasicBlock block{
+      .name = "probe/hpl",
+      .flops_per_iteration = 1ull << 20,
+      .refs_per_iteration = 1,
+      .element_bytes = 8,
+      .iterations = flops >> 20,
+      .mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+              .short_stride_elements = 2},
+      .working_set_bytes = 4 * KiB,
+      .dependency = DependencyClass::Independent,
+      .branch_density = 0.0,
+      .ilp_efficiency = machine.cpu.hpl_efficiency};
+  const double seconds = measure_block(machine, block);
+  return static_cast<double>(flops) / seconds;
+}
+
+double stream_probe(const machine::MachineConfig& machine) {
+  return measure_bandwidth(machine, main_memory_working_set(machine),
+                           StrideClass::Unit, false);
+}
+
+double gups_probe(const machine::MachineConfig& machine) {
+  return measure_bandwidth(machine, main_memory_working_set(machine),
+                           StrideClass::Random, false);
+}
+
+std::vector<std::uint64_t> default_maps_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t size = 2 * KiB; size <= 256 * MiB; size *= 2) {
+    sizes.push_back(size);
+    const std::uint64_t half_octave = size + size / 2;
+    if (half_octave <= 256 * MiB) sizes.push_back(half_octave);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+MapsCurve maps_probe(const machine::MachineConfig& machine,
+                     memsim::StrideClass stride, bool dependency_limited,
+                     const std::vector<std::uint64_t>& sizes) {
+  MSIM_REQUIRE(!sizes.empty(), "MAPS needs at least one size");
+  MapsCurve curve;
+  curve.stride = stride;
+  curve.dependency_limited = dependency_limited;
+  for (std::uint64_t size : sizes) {
+    curve.points.push_back(MapsPoint{
+        .working_set_bytes = size,
+        .bandwidth =
+            measure_bandwidth(machine, size, stride, dependency_limited)});
+  }
+  return curve;
+}
+
+NetbenchResult netbench_probe(const machine::MachineConfig& machine) {
+  // A dedicated two-rank ping-pong: no node sharing — the probe cannot see
+  // the NIC contention applications will create.
+  NetbenchResult result;
+  result.latency_s = netsim::pt2pt_time(machine.net, 0, 1.0);
+  const std::uint64_t big = 4 * MiB;
+  const double big_time = netsim::pt2pt_time(machine.net, big, 1.0);
+  result.bandwidth = static_cast<double>(big) / big_time;
+  result.allreduce_small_s = netsim::collective_time(
+      machine.net, netsim::CommType::AllReduce, 8, 64, 1.0);
+  return result;
+}
+
+ProbeSet run_probe_suite(const machine::MachineConfig& machine) {
+  machine::validate(machine);
+  ProbeSet set;
+  set.machine = machine.name;
+  set.hpl_rmax = hpl_probe(machine);
+  set.stream_bw = stream_probe(machine);
+  set.gups_bw = gups_probe(machine);
+  set.maps_unit = maps_probe(machine, StrideClass::Unit, false);
+  set.maps_random = maps_probe(machine, StrideClass::Random, false);
+  set.maps_unit_dep = maps_probe(machine, StrideClass::Unit, true);
+  set.maps_random_dep = maps_probe(machine, StrideClass::Random, true);
+  set.net = netbench_probe(machine);
+  return set;
+}
+
+std::vector<ProbeSet> run_probe_suites(
+    const std::vector<machine::MachineConfig>& machines) {
+  std::vector<ProbeSet> sets;
+  sets.reserve(machines.size());
+  for (const auto& machine : machines) {
+    sets.push_back(run_probe_suite(machine));
+  }
+  return sets;
+}
+
+}  // namespace msim::probes

@@ -1,0 +1,51 @@
+// Synthetic probe implementations.
+//
+// Each probe builds a tiny single-block workload and measures it through the
+// *same* detailed executor applications run through (contention and TLB
+// included — a real STREAM run on a full node experiences both), then
+// reports a rate. Probes never read machine parameters directly except via
+// the executed measurement; the one exception is HPL, whose result is by
+// construction the machine's measured Rmax (see hpl_probe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "probes/probe_set.hpp"
+
+namespace msim::probes {
+
+/// HPL: per-processor Rmax in flops/s.
+[[nodiscard]] double hpl_probe(const machine::MachineConfig& machine);
+
+/// STREAM: unit-stride bandwidth from main memory, bytes/s.
+[[nodiscard]] double stream_probe(const machine::MachineConfig& machine);
+
+/// GUPS: random-access bandwidth from main memory, bytes/s.
+[[nodiscard]] double gups_probe(const machine::MachineConfig& machine);
+
+/// Default MAPS sweep sizes: 2 KiB .. 256 MiB, two points per octave.
+[[nodiscard]] std::vector<std::uint64_t> default_maps_sizes();
+
+/// MEMBENCH MAPS: bandwidth versus working-set size for one stride class.
+/// `dependency_limited` selects the ENHANCED MAPS variant (induced serial
+/// dependence plus inner branch).
+[[nodiscard]] MapsCurve maps_probe(const machine::MachineConfig& machine,
+                                   memsim::StrideClass stride,
+                                   bool dependency_limited,
+                                   const std::vector<std::uint64_t>& sizes =
+                                       default_maps_sizes());
+
+/// NETBENCH: ping-pong latency and bandwidth plus reference all_reduce.
+[[nodiscard]] NetbenchResult netbench_probe(
+    const machine::MachineConfig& machine);
+
+/// Run the whole suite on a machine.
+[[nodiscard]] ProbeSet run_probe_suite(const machine::MachineConfig& machine);
+
+/// Run the suite on every machine in a list.
+[[nodiscard]] std::vector<ProbeSet> run_probe_suites(
+    const std::vector<machine::MachineConfig>& machines);
+
+}  // namespace msim::probes

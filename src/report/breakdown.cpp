@@ -1,0 +1,112 @@
+#include "report/breakdown.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace msim::report {
+
+TimeShares time_shares(const simulate::RunResult& run) {
+  double flop = 0.0, memory = 0.0, tlb = 0.0, accounted = 0.0;
+  for (const auto& phase : run.per_timestep) {
+    for (const auto& block : phase.blocks) {
+      // Attribute the block to its dominant resource.
+      if (block.flop_seconds >= block.memory_seconds + block.tlb_seconds) {
+        flop += block.total_seconds;
+      } else {
+        const double mem_side = block.memory_seconds + block.tlb_seconds;
+        MSIM_CHECK(mem_side > 0.0, "memory-bound block with zero time");
+        memory += block.total_seconds * (block.memory_seconds / mem_side);
+        tlb += block.total_seconds * (block.tlb_seconds / mem_side);
+      }
+      accounted += block.total_seconds;
+    }
+  }
+  double comm = 0.0;
+  double total = 0.0;
+  for (const auto& phase : run.per_timestep) {
+    comm += phase.comm_seconds;
+    total += phase.total_seconds();
+  }
+  MSIM_REQUIRE(total > 0.0, "run has zero time");
+
+  TimeShares shares;
+  shares.flop = flop / total;
+  shares.memory = memory / total;
+  shares.tlb = tlb / total;
+  shares.comm = comm / total;
+  shares.other =
+      1.0 - (shares.flop + shares.memory + shares.tlb + shares.comm);
+  // Imbalance scales block time up after attribution; fold the residual
+  // into 'other' but never negative beyond rounding.
+  MSIM_CHECK(shares.other > -1e-6, "time shares exceed the total");
+  if (shares.other < 0.0) shares.other = 0.0;
+  return shares;
+}
+
+std::string render_breakdown(const workload::AppModel& app,
+                             const machine::MachineConfig& machine,
+                             const simulate::ExecutorOptions& options) {
+  const simulate::RunResult run = simulate::execute(app, machine, options);
+
+  AsciiTable table({"Phase / block", "Flop (s)", "Memory (s)", "TLB (s)",
+                    "Total (s)", "Bound by"});
+  for (std::size_t c = 1; c < 5; ++c) table.set_align(c, Align::Right);
+
+  for (const auto& phase : run.per_timestep) {
+    for (const auto& block : phase.blocks) {
+      const bool flop_bound =
+          block.flop_seconds >= block.memory_seconds + block.tlb_seconds;
+      table.add_row({"  " + block.block,
+                     AsciiTable::num(block.flop_seconds, 3),
+                     AsciiTable::num(block.memory_seconds, 3),
+                     AsciiTable::num(block.tlb_seconds, 3),
+                     AsciiTable::num(block.total_seconds, 3),
+                     flop_bound ? "flops" : "memory"});
+    }
+    table.add_row({phase.phase + " comm", "-", "-", "-",
+                   AsciiTable::num(phase.comm_seconds, 3), "network"});
+    table.add_rule();
+  }
+
+  const TimeShares shares = time_shares(run);
+  std::ostringstream os;
+  os << app.name << " @ " << app.nprocs << " CPUs on " << machine.name
+     << " — " << AsciiTable::num(run.wall_seconds, 0)
+     << " s total (per-timestep breakdown):\n"
+     << table.render();
+  os << "Shares: flops " << AsciiTable::num(shares.flop * 100, 0)
+     << "%, memory " << AsciiTable::num(shares.memory * 100, 0)
+     << "%, TLB " << AsciiTable::num(shares.tlb * 100, 0) << "%, comm "
+     << AsciiTable::num(shares.comm * 100, 0) << "%, overlap/imbalance "
+     << AsciiTable::num(shares.other * 100, 0) << "%\n";
+  return os.str();
+}
+
+std::string render_bottleneck_summary(
+    const workload::AppModel& app,
+    const std::vector<machine::MachineConfig>& machines,
+    const simulate::ExecutorOptions& options) {
+  MSIM_REQUIRE(!machines.empty(), "need at least one machine");
+  AsciiTable table({"Machine", "Wall (s)", "Flop %", "Memory %", "TLB %",
+                    "Comm %"});
+  for (std::size_t c = 1; c < 6; ++c) table.set_align(c, Align::Right);
+  for (const auto& machine : machines) {
+    const auto run = simulate::execute(app, machine, options);
+    const TimeShares shares = time_shares(run);
+    table.add_row({machine.name, AsciiTable::num(run.wall_seconds, 0),
+                   AsciiTable::num(shares.flop * 100, 0),
+                   AsciiTable::num(shares.memory * 100, 0),
+                   AsciiTable::num(shares.tlb * 100, 0),
+                   AsciiTable::num(shares.comm * 100, 0)});
+  }
+  std::ostringstream os;
+  os << "Bottlenecks for " << app.name << " @ " << app.nprocs
+     << " CPUs:\n"
+     << table.render();
+  return os.str();
+}
+
+}  // namespace msim::report

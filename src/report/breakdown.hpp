@@ -1,0 +1,42 @@
+// Bottleneck breakdowns: where does an application spend its time on a
+// machine? Renders the detailed simulator's per-block flop / memory / TLB /
+// communication decomposition — the view a performance engineer wants
+// before believing any prediction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "simulate/executor.hpp"
+#include "workload/basic_block.hpp"
+
+namespace msim::report {
+
+/// Aggregate shares of one run's wall-clock time.
+struct TimeShares {
+  double flop = 0.0;    ///< fraction bounded by floating point
+  double memory = 0.0;  ///< fraction bounded by memory bandwidth
+  double tlb = 0.0;     ///< fraction spent in address translation
+  double comm = 0.0;    ///< fraction in MPI
+  /// Residual overlap/imbalance share so the four above plus this sum to 1.
+  double other = 0.0;
+};
+
+/// Compute time shares from a simulated run. Per-block times are
+/// attributed to the dominant resource of each block (max of flop vs
+/// memory+tlb), which matches how bottlenecks are reported in practice.
+[[nodiscard]] TimeShares time_shares(const simulate::RunResult& run);
+
+/// Full per-block breakdown table for one (application, machine) pair.
+[[nodiscard]] std::string render_breakdown(
+    const workload::AppModel& app, const machine::MachineConfig& machine,
+    const simulate::ExecutorOptions& options = {});
+
+/// Side-by-side dominant-resource summary across several machines.
+[[nodiscard]] std::string render_bottleneck_summary(
+    const workload::AppModel& app,
+    const std::vector<machine::MachineConfig>& machines,
+    const simulate::ExecutorOptions& options = {});
+
+}  // namespace msim::report

@@ -1,0 +1,50 @@
+#include "report/gnuplot.hpp"
+
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace msim::report {
+
+void write_fig1_gnuplot(std::ostream& out, const std::string& csv_path,
+                        const std::vector<std::string>& systems) {
+  MSIM_REQUIRE(!systems.empty(), "need at least one system to plot");
+  out << "# Reproduces paper Figure 1: unit-stride memory bandwidth versus\n"
+         "# working-set size. Run: gnuplot <this file>\n"
+         "set datafile separator ','\n"
+         "set terminal pngcairo size 900,600\n"
+         "set output 'fig1_maps.png'\n"
+         "set logscale x 2\n"
+         "set logscale y 10\n"
+         "set xlabel 'working set (bytes)'\n"
+         "set ylabel 'bandwidth (bytes/s)'\n"
+         "set key top right\n"
+         "set grid\n"
+         "plot ";
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    if (i != 0) out << ", \\\n     ";
+    out << '\'' << csv_path << "' every ::1 using 1:" << (i + 2)
+        << " with linespoints title '" << systems[i] << '\'';
+  }
+  out << '\n';
+}
+
+void write_fig2_gnuplot(std::ostream& out, const std::string& csv_path) {
+  out << "# Reproduces paper Figure 2: average absolute error per metric.\n"
+         "# Run: gnuplot <this file>\n"
+         "set datafile separator ','\n"
+         "set terminal pngcairo size 900,600\n"
+         "set output 'fig2_error_per_metric.png'\n"
+         "set style data histogram\n"
+         "set style histogram errorbars gap 1 lw 1\n"
+         "set style fill solid 0.6 border -1\n"
+         "set ylabel 'average absolute error (%)'\n"
+         "set xtics rotate by -35\n"
+         "set yrange [0:*]\n"
+         "set grid ytics\n"
+         "plot '"
+      << csv_path
+      << "' every ::1 using 3:4:xtic(1) title 'msim reproduction'\n";
+}
+
+}  // namespace msim::report

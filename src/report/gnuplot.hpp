@@ -1,0 +1,24 @@
+// Gnuplot script emission for the paper's two graphical artifacts.
+//
+// The figure benches write CSV series; these helpers emit matching gnuplot
+// scripts so `gnuplot fig1_maps.gp` reproduces the paper's Figure 1 plot
+// (log-x bandwidth curves) and Figure 2 (the Table-4 bar chart) from the
+// CSVs, with no plotting dependency inside msim itself.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msim::report {
+
+/// Script plotting a MAPS CSV (working_set_bytes, one bandwidth column per
+/// system) as Figure 1: log2 x-axis in bytes, GB/s on y.
+void write_fig1_gnuplot(std::ostream& out, const std::string& csv_path,
+                        const std::vector<std::string>& systems);
+
+/// Script plotting the Table-4 CSV (metric, description, mean, stddev) as
+/// Figure 2: a bar chart of average absolute error with error bars.
+void write_fig2_gnuplot(std::ostream& out, const std::string& csv_path);
+
+}  // namespace msim::report

@@ -1,0 +1,273 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "data/paper_data.hpp"
+#include "stats/correlation.hpp"
+
+namespace msim::report {
+
+namespace {
+
+using metrics::Metric;
+using metrics::Prediction;
+using metrics::Study;
+
+}  // namespace
+
+std::string render_table4(const Study& study,
+                          const std::vector<Prediction>& predictions,
+                          bool include_composites) {
+  AsciiTable table({"# & Type", "Metric Description", "Avg |Err| (%)",
+                    "Stddev (%)", "Paper Avg", "Paper Stddev"});
+  for (std::size_t c = 2; c < 6; ++c) table.set_align(c, Align::Right);
+
+  const auto& paper = data::table4();
+  const auto metric_list = include_composites ? metrics::all_metrics()
+                                              : metrics::paper_metrics();
+  for (Metric metric : metric_list) {
+    const auto slice = Study::slice_metric(predictions, metric);
+    if (slice.empty()) continue;
+    const auto summary = Study::summarize(slice);
+    std::string paper_mean = "-";
+    std::string paper_sd = "-";
+    for (const auto& row : paper) {
+      if (row.label == metrics::row_label(metric)) {
+        paper_mean = AsciiTable::num(row.mean_abs_error_pct, 0);
+        paper_sd = AsciiTable::num(row.stddev_pct, 0);
+      }
+    }
+    if (metric == Metric::BalancedEqual) {
+      paper_mean = AsciiTable::num(data::balanced_reference().equal_mean_pct, 0);
+      paper_sd = AsciiTable::num(data::balanced_reference().equal_stddev_pct, 0);
+    }
+    if (metric == Metric::BalancedFitted) {
+      paper_mean =
+          AsciiTable::num(data::balanced_reference().fitted_mean_pct, 0);
+      paper_sd =
+          AsciiTable::num(data::balanced_reference().fitted_stddev_pct, 0);
+    }
+    table.add_row({metrics::row_label(metric), metrics::description(metric),
+                   AsciiTable::num(summary.mean_abs_error_pct, 0),
+                   AsciiTable::num(summary.stddev_abs_error_pct, 0),
+                   paper_mean, paper_sd});
+  }
+  (void)study;
+  return table.render();
+}
+
+std::string render_table5(const Study& study,
+                          const std::vector<Prediction>& predictions) {
+  std::vector<std::string> headers = {"System"};
+  for (Metric metric : metrics::paper_metrics()) {
+    headers.push_back(metrics::row_label(metric));
+  }
+  AsciiTable table(headers);
+  for (std::size_t c = 1; c < headers.size(); ++c) {
+    table.set_align(c, Align::Right);
+  }
+
+  auto add_machine_row = [&](const std::string& machine,
+                             const std::vector<Prediction>& slice) {
+    std::vector<std::string> cells = {machine};
+    for (Metric metric : metrics::paper_metrics()) {
+      const auto per_metric = Study::slice_metric(slice, metric);
+      cells.push_back(AsciiTable::num(
+          Study::summarize(per_metric).mean_abs_error_pct, 0));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  for (const auto& machine : study.target_names()) {
+    add_machine_row(machine, Study::slice_machine(predictions, machine));
+  }
+  table.add_rule();
+  add_machine_row("OVERALL", predictions);
+
+  std::ostringstream os;
+  os << "Measured (this reproduction):\n" << table.render();
+
+  AsciiTable paper_table(headers);
+  for (std::size_t c = 1; c < headers.size(); ++c) {
+    paper_table.set_align(c, Align::Right);
+  }
+  for (const auto& row : data::table5()) {
+    std::vector<std::string> cells = {row.machine};
+    for (double value : row.error_pct) {
+      cells.push_back(AsciiTable::num(value, 0));
+    }
+    paper_table.add_row(std::move(cells));
+  }
+  os << "\nPaper (Table 5):\n" << paper_table.render();
+  return os.str();
+}
+
+std::string render_figure_app(const Study& study,
+                              const std::vector<Prediction>& predictions,
+                              const std::string& app) {
+  const workload::TestCase* test_case = nullptr;
+  for (const auto& candidate : study.suite()) {
+    if (candidate.name == app) test_case = &candidate;
+  }
+  MSIM_REQUIRE(test_case != nullptr, "unknown app '" + app + "'");
+
+  std::vector<std::string> headers = {"Metric"};
+  for (int nprocs : test_case->cpu_counts) {
+    headers.push_back(std::to_string(nprocs) + " CPUs");
+  }
+  headers.push_back("All");
+  AsciiTable table(headers);
+  for (std::size_t c = 1; c < headers.size(); ++c) {
+    table.set_align(c, Align::Right);
+  }
+
+  const auto app_slice = Study::slice_app(predictions, app);
+  for (Metric metric : metrics::paper_metrics()) {
+    const auto per_metric = Study::slice_metric(app_slice, metric);
+    if (per_metric.empty()) continue;
+    std::vector<std::string> cells = {metrics::row_label(metric) + " " +
+                                      metrics::description(metric)};
+    for (int nprocs : test_case->cpu_counts) {
+      const auto per_count = Study::slice_app(per_metric, app, nprocs);
+      cells.push_back(AsciiTable::num(
+          Study::summarize(per_count).mean_abs_error_pct, 0));
+    }
+    cells.push_back(
+        AsciiTable::num(Study::summarize(per_metric).mean_abs_error_pct, 0));
+    table.add_row(std::move(cells));
+  }
+  std::ostringstream os;
+  os << "Average absolute error (%) for " << app << ":\n" << table.render();
+  return os.str();
+}
+
+std::string render_maps_table(const std::vector<probes::ProbeSet>& sets,
+                              bool random_stride) {
+  MSIM_REQUIRE(!sets.empty(), "need at least one probe set");
+  std::vector<std::string> headers = {"Working set"};
+  for (const auto& set : sets) headers.push_back(set.machine);
+  AsciiTable table(headers);
+  for (std::size_t c = 1; c < headers.size(); ++c) {
+    table.set_align(c, Align::Right);
+  }
+
+  const auto& reference_curve =
+      random_stride ? sets.front().maps_random : sets.front().maps_unit;
+  for (const auto& point : reference_curve.points) {
+    std::vector<std::string> cells = {format_bytes(point.working_set_bytes)};
+    for (const auto& set : sets) {
+      const auto& curve = random_stride ? set.maps_random : set.maps_unit;
+      cells.push_back(AsciiTable::num(
+          curve.bandwidth_at(point.working_set_bytes) / GB, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::ostringstream os;
+  os << (random_stride ? "Random" : "Unit") << "-stride MAPS bandwidth"
+     << " (GB/s) versus working-set size:\n"
+     << table.render();
+  return os.str();
+}
+
+std::string render_appendix_comparison(
+    const simulate::ObservationSet& observations) {
+  std::ostringstream os;
+  for (const auto& paper_table : data::observed_tables()) {
+    std::vector<std::string> headers = {"Machine"};
+    for (int nprocs : paper_table.cpu_counts) {
+      headers.push_back(std::to_string(nprocs) + " sim");
+      headers.push_back(std::to_string(nprocs) + " paper");
+    }
+    AsciiTable table(headers);
+    for (std::size_t c = 1; c < headers.size(); ++c) {
+      table.set_align(c, Align::Right);
+    }
+
+    // Collect per-count series for rank correlation.
+    std::vector<std::vector<double>> sim_series(paper_table.cpu_counts.size());
+    std::vector<std::vector<double>> paper_series(
+        paper_table.cpu_counts.size());
+
+    std::vector<std::string> machines;
+    for (const auto& cell : paper_table.cells) {
+      if (std::find(machines.begin(), machines.end(), cell.machine) ==
+          machines.end()) {
+        machines.push_back(cell.machine);
+      }
+    }
+    for (const auto& machine : machines) {
+      std::vector<std::string> cells = {machine};
+      for (std::size_t k = 0; k < paper_table.cpu_counts.size(); ++k) {
+        const int nprocs = paper_table.cpu_counts[k];
+        const auto simulated =
+            observations.find(paper_table.app, nprocs, machine);
+        const auto paper_value =
+            data::observed_seconds(paper_table.app, nprocs, machine);
+        cells.push_back(simulated ? AsciiTable::num(*simulated, 0) : "-");
+        cells.push_back(paper_value ? AsciiTable::num(*paper_value, 0) : "-");
+        if (simulated && paper_value) {
+          sim_series[k].push_back(*simulated);
+          paper_series[k].push_back(*paper_value);
+        }
+      }
+      table.add_row(std::move(cells));
+    }
+    os << paper_table.app << " times-to-solution (seconds):\n"
+       << table.render();
+    os << "Spearman rank correlation (simulated vs paper):";
+    for (std::size_t k = 0; k < paper_table.cpu_counts.size(); ++k) {
+      os << "  " << paper_table.cpu_counts[k] << " CPUs: ";
+      if (sim_series[k].size() >= 3) {
+        os << AsciiTable::num(
+            stats::spearman(sim_series[k], paper_series[k]), 2);
+      } else {
+        os << "n/a";
+      }
+    }
+    os << "\n\n";
+  }
+  return os.str();
+}
+
+void write_table4_csv(std::ostream& out, const Study& study,
+                      const std::vector<Prediction>& predictions) {
+  (void)study;
+  CsvWriter csv(out);
+  csv.row({"metric", "description", "mean_abs_error_pct",
+           "stddev_abs_error_pct"});
+  for (Metric metric : metrics::all_metrics()) {
+    const auto slice = Study::slice_metric(predictions, metric);
+    if (slice.empty()) continue;
+    const auto summary = Study::summarize(slice);
+    csv.row({metrics::row_label(metric), metrics::description(metric),
+             AsciiTable::num(summary.mean_abs_error_pct, 2),
+             AsciiTable::num(summary.stddev_abs_error_pct, 2)});
+  }
+}
+
+void write_maps_csv(std::ostream& out,
+                    const std::vector<probes::ProbeSet>& sets,
+                    bool random_stride) {
+  MSIM_REQUIRE(!sets.empty(), "need at least one probe set");
+  CsvWriter csv(out);
+  std::vector<std::string> header = {"working_set_bytes"};
+  for (const auto& set : sets) header.push_back(set.machine);
+  csv.row(header);
+  const auto& reference_curve =
+      random_stride ? sets.front().maps_random : sets.front().maps_unit;
+  for (const auto& point : reference_curve.points) {
+    std::vector<double> values;
+    for (const auto& set : sets) {
+      const auto& curve = random_stride ? set.maps_random : set.maps_unit;
+      values.push_back(curve.bandwidth_at(point.working_set_bytes));
+    }
+    csv.numeric_row(std::to_string(point.working_set_bytes), values, 0);
+  }
+}
+
+}  // namespace msim::report

@@ -1,0 +1,57 @@
+// Paper-layout rendering of study results.
+//
+// Each renderer produces the table/figure data the paper reports, in a
+// diffable fixed-width layout, side by side with the paper's reference
+// values where they exist. Benches print these and also dump CSV series for
+// plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/study.hpp"
+#include "probes/probe_set.hpp"
+
+namespace msim::report {
+
+/// Table 4 / Figure 2: overall average absolute error and standard
+/// deviation per metric, with the paper's values alongside.
+[[nodiscard]] std::string render_table4(
+    const metrics::Study& study,
+    const std::vector<metrics::Prediction>& predictions,
+    bool include_composites = true);
+
+/// Table 5: per-system average absolute error for metrics #1-#9, with an
+/// OVERALL row, plus the paper's reference matrix.
+[[nodiscard]] std::string render_table5(
+    const metrics::Study& study,
+    const std::vector<metrics::Prediction>& predictions);
+
+/// Figures 3-7: per-application error assessment — one table per test
+/// case with a row per (metric) and a column per CPU count.
+[[nodiscard]] std::string render_figure_app(
+    const metrics::Study& study,
+    const std::vector<metrics::Prediction>& predictions,
+    const std::string& app);
+
+/// Figure 1: MAPS bandwidth-versus-working-set table for a list of probe
+/// sets (unit stride by default).
+[[nodiscard]] std::string render_maps_table(
+    const std::vector<probes::ProbeSet>& sets, bool random_stride = false);
+
+/// Appendix comparison: per app, simulated ground truth vs the paper's
+/// observed times, with Spearman rank correlation per (app, count).
+[[nodiscard]] std::string render_appendix_comparison(
+    const simulate::ObservationSet& observations);
+
+/// Dump Figure-2-style series (metric label, mean, stddev) as CSV.
+void write_table4_csv(std::ostream& out, const metrics::Study& study,
+                      const std::vector<metrics::Prediction>& predictions);
+
+/// Dump a MAPS curve set as CSV (working_set_bytes, one column per system).
+void write_maps_csv(std::ostream& out,
+                    const std::vector<probes::ProbeSet>& sets,
+                    bool random_stride = false);
+
+}  // namespace msim::report

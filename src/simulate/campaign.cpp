@@ -1,0 +1,115 @@
+#include "simulate/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+
+namespace msim::simulate {
+
+void ObservationSet::add(Observation observation) {
+  MSIM_REQUIRE(!find(observation.app, observation.nprocs, observation.machine)
+                    .has_value(),
+               "duplicate observation");
+  obs_.push_back(std::move(observation));
+}
+
+std::optional<double> ObservationSet::find(const std::string& app, int nprocs,
+                                           const std::string& machine) const {
+  for (const auto& observation : obs_) {
+    if (observation.app == app && observation.nprocs == nprocs &&
+        observation.machine == machine) {
+      return observation.seconds;
+    }
+  }
+  return std::nullopt;
+}
+
+double ObservationSet::at(const std::string& app, int nprocs,
+                          const std::string& machine) const {
+  const auto found = find(app, nprocs, machine);
+  MSIM_REQUIRE(found.has_value(),
+               "no observation for " + app + "@" + std::to_string(nprocs) +
+                   " on " + machine);
+  return *found;
+}
+
+ObservationSet run_campaign(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite,
+    const ExecutorOptions& options) {
+  ObservationSet set;
+  for (const auto& test_case : suite) {
+    for (int nprocs : test_case.cpu_counts) {
+      const workload::AppModel app = test_case.build(nprocs);
+      for (const auto& machine : machines) {
+        const RunResult run = execute(app, machine, options);
+        set.add(Observation{.app = test_case.name,
+                            .nprocs = nprocs,
+                            .machine = machine.name,
+                            .seconds = run.wall_seconds});
+      }
+    }
+  }
+  return set;
+}
+
+ObservationSet run_campaign_parallel(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite,
+    const ExecutorOptions& options, unsigned threads) {
+  // Work items: one per (test case, count), in deterministic order.
+  struct WorkItem {
+    const workload::TestCase* test_case;
+    int nprocs;
+  };
+  std::vector<WorkItem> items;
+  for (const auto& test_case : suite) {
+    for (int nprocs : test_case.cpu_counts) {
+      items.push_back(WorkItem{&test_case, nprocs});
+    }
+  }
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(threads, items.size()));
+
+  // Each slot is written by exactly one worker; no synchronization needed
+  // beyond the atomic work counter and thread joins.
+  std::vector<std::vector<Observation>> results(items.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t index = next.fetch_add(1); index < items.size();
+         index = next.fetch_add(1)) {
+      const WorkItem& item = items[index];
+      const workload::AppModel app = item.test_case->build(item.nprocs);
+      for (const auto& machine : machines) {
+        const RunResult run = execute(app, machine, options);
+        results[index].push_back(Observation{.app = item.test_case->name,
+                                             .nprocs = item.nprocs,
+                                             .machine = machine.name,
+                                             .seconds = run.wall_seconds});
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  ObservationSet set;
+  for (auto& chunk : results) {
+    for (auto& observation : chunk) set.add(std::move(observation));
+  }
+  return set;
+}
+
+ObservationSet run_paper_campaign() {
+  std::vector<machine::MachineConfig> machines = machine::targets();
+  machines.push_back(machine::find(machine::base_system_name()));
+  return run_campaign(machines, workload::ti05_suite());
+}
+
+}  // namespace msim::simulate

@@ -1,0 +1,63 @@
+// Full-study campaign driver: run every (application, processor count,
+// machine) combination — the paper's 150 observations — and collect them in
+// an indexed set the evaluation layer can query.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "simulate/executor.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::simulate {
+
+/// One (app, nprocs, machine) measured wall-clock observation.
+struct Observation {
+  std::string app;
+  int nprocs = 0;
+  std::string machine;
+  double seconds = 0.0;
+};
+
+/// Indexed collection of observations.
+class ObservationSet {
+ public:
+  void add(Observation observation);
+
+  /// Time for a configuration, or nullopt if absent.
+  [[nodiscard]] std::optional<double> find(const std::string& app, int nprocs,
+                                           const std::string& machine) const;
+
+  /// Time for a configuration; throws precondition_error if absent.
+  [[nodiscard]] double at(const std::string& app, int nprocs,
+                          const std::string& machine) const;
+
+  [[nodiscard]] const std::vector<Observation>& all() const { return obs_; }
+  [[nodiscard]] std::size_t size() const { return obs_.size(); }
+
+ private:
+  std::vector<Observation> obs_;
+};
+
+/// Run the given test cases at their paper processor counts on each machine.
+[[nodiscard]] ObservationSet run_campaign(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite,
+    const ExecutorOptions& options = {});
+
+/// Same campaign fanned out across threads — one task per (test case,
+/// processor count), each sweeping all machines. Results are identical to
+/// run_campaign (the executor is pure), and observations are collected in
+/// the same deterministic order. `threads` of 0 uses the hardware count.
+[[nodiscard]] ObservationSet run_campaign_parallel(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite,
+    const ExecutorOptions& options = {}, unsigned threads = 0);
+
+/// Convenience: the full paper campaign (10 targets + base system, TI-05
+/// suite, default executor options).
+[[nodiscard]] ObservationSet run_paper_campaign();
+
+}  // namespace msim::simulate

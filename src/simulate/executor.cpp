@@ -1,0 +1,222 @@
+#include "simulate/executor.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "cpusim/flop_model.hpp"
+#include "memsim/bandwidth_model.hpp"
+#include "memsim/tlb.hpp"
+#include "netsim/cost_model.hpp"
+
+namespace msim::simulate {
+
+namespace {
+
+using memsim::AccessProfile;
+using memsim::DependencyClass;
+using memsim::StrideClass;
+
+std::uint64_t hash_string(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char ch : text) h = mix64(h, static_cast<std::uint64_t>(ch));
+  return h;
+}
+
+/// Deterministic relative noise in [-1, 1] for a (machine, app, nprocs)
+/// triple — stands in for run-to-run weather (OS noise, placement).
+double unit_noise(const std::string& machine, const std::string& app,
+                  int nprocs, std::uint64_t salt) {
+  std::uint64_t state = mix64(hash_string(machine) ^ salt,
+                              hash_string(app));
+  state = mix64(state, static_cast<std::uint64_t>(nprocs));
+  const std::uint64_t draw = splitmix64(state);
+  return static_cast<double>(draw >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+/// Memory time of a block: per-stride-class traffic divided by the
+/// sustained bandwidth for that class at the block's (conflict-inflated)
+/// working set.
+double block_memory_time(const workload::BasicBlock& block,
+                         const machine::MachineConfig& machine,
+                         std::uint64_t effective_working_set) {
+  const double total_bytes = static_cast<double>(block.bytes_per_timestep());
+  struct ClassShare {
+    StrideClass stride;
+    double fraction;
+  };
+  const ClassShare shares[] = {
+      {StrideClass::Unit, block.mix.unit},
+      {StrideClass::Short, block.mix.short_},
+      {StrideClass::Random, block.mix.random},
+  };
+  double seconds = 0.0;
+  for (const auto& share : shares) {
+    if (share.fraction <= 0.0) continue;
+    const AccessProfile profile{.stride = share.stride,
+                                .dependency = block.dependency,
+                                .branch_density = block.branch_density};
+    const double bw = memsim::sustained_bandwidth(
+        machine, effective_working_set, profile);
+    seconds += total_bytes * share.fraction / bw;
+  }
+  return seconds;
+}
+
+/// TLB stall time of a block per timestep.
+double block_tlb_time(const workload::BasicBlock& block,
+                      const machine::MachineConfig& machine) {
+  const double refs = static_cast<double>(block.refs_per_iteration) *
+                      static_cast<double>(block.iterations);
+  struct ClassStride {
+    double fraction;
+    std::uint64_t stride_bytes;
+    double locality;  ///< fraction of references that reuse a hot page
+  };
+  const ClassStride strides[] = {
+      {block.mix.unit, block.element_bytes, 0.0},
+      {block.mix.short_,
+       static_cast<std::uint64_t>(block.element_bytes) *
+           static_cast<std::uint64_t>(block.mix.short_stride_elements),
+       0.0},
+      {block.mix.random, 0, block.page_locality},
+  };
+  double seconds = 0.0;
+  for (const auto& entry : strides) {
+    if (entry.fraction <= 0.0) continue;
+    const double miss_rate =
+        memsim::Tlb::expected_miss_rate(machine.tlb,
+                                        block.working_set_bytes,
+                                        entry.stride_bytes) *
+        (1.0 - entry.locality);
+    seconds += refs * entry.fraction * miss_rate *
+               machine.tlb.miss_penalty_s;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+double conflict_susceptibility(const machine::MachineConfig& machine) {
+  double total = 0.0;
+  for (const auto& level : machine.caches) {
+    total += 1.0 / std::sqrt(static_cast<double>(level.associativity));
+  }
+  return total / static_cast<double>(machine.caches.size());
+}
+
+std::uint64_t conflict_inflated_working_set(
+    const workload::BasicBlock& block, const machine::MachineConfig& machine,
+    double strength) {
+  const double u = block.mix.unit;
+  const double s = block.mix.short_;
+  const double r = block.mix.random;
+  const double diversity = 1.0 - (u * u + s * s + r * r);
+  const double inflation =
+      1.0 + strength * diversity * conflict_susceptibility(machine);
+  return static_cast<std::uint64_t>(
+      static_cast<double>(block.working_set_bytes) * inflation);
+}
+
+machine::MachineConfig apply_contention(
+    const machine::MachineConfig& machine) {
+  machine::MachineConfig contended = machine;
+  const double sharing =
+      std::pow(static_cast<double>(machine.net.procs_per_node),
+               machine.memory_contention);
+  contended.memory.unit_stride_bw /= sharing;
+  contended.memory.random_bw /= sharing;
+  return contended;
+}
+
+RunResult execute(const workload::AppModel& app,
+                  const machine::MachineConfig& machine,
+                  const ExecutorOptions& options) {
+  workload::validate(app);
+  machine::validate(machine);
+
+  const machine::MachineConfig effective =
+      options.apply_contention ? apply_contention(machine) : machine;
+
+  RunResult result;
+  result.app = app.name;
+  result.machine = machine.name;
+  result.nprocs = app.nprocs;
+
+  double compute_per_step = 0.0;
+  double comm_per_step = 0.0;
+  for (const auto& phase : app.phases) {
+    PhaseTiming timing;
+    timing.phase = phase.name;
+
+    double phase_compute = 0.0;
+    for (const auto& block : phase.blocks) {
+      BlockTiming bt;
+      bt.block = block.name;
+      bt.flop_seconds = cpusim::flop_time(
+          effective,
+          cpusim::FlopWork{
+              .flops = block.flops_per_timestep(),
+              .ilp_efficiency = block.ilp_efficiency,
+              .serial_dependent =
+                  block.dependency == DependencyClass::Serial});
+      const std::uint64_t effective_ws =
+          options.apply_conflicts
+              ? conflict_inflated_working_set(block, effective,
+                                              options.conflict_strength)
+              : block.working_set_bytes;
+      bt.memory_seconds = block_memory_time(block, effective, effective_ws);
+      bt.tlb_seconds =
+          options.apply_tlb ? block_tlb_time(block, effective) : 0.0;
+      bt.total_seconds =
+          cpusim::combine_overlap(bt.flop_seconds,
+                                  bt.memory_seconds + bt.tlb_seconds,
+                                  options.overlap,
+                                  effective.cpu.latency_hiding);
+      phase_compute += bt.total_seconds;
+      timing.blocks.push_back(std::move(bt));
+    }
+    timing.compute_seconds = phase_compute * phase.load_imbalance;
+
+    double phase_comm = 0.0;
+    for (const auto& event : phase.comm) {
+      // Point-to-point halo exchanges fire from every rank on a node at
+      // once and share the NIC; collectives are modeled as internally
+      // scheduled (sharing 1).
+      const double sharing =
+          event.type == netsim::CommType::PointToPoint
+              ? std::pow(static_cast<double>(effective.net.procs_per_node),
+                         0.35)
+              : 1.0;
+      phase_comm +=
+          netsim::event_time(effective.net, event, app.nprocs, sharing);
+    }
+    timing.comm_seconds = phase_comm;
+
+    compute_per_step += timing.compute_seconds;
+    comm_per_step += timing.comm_seconds;
+    result.per_timestep.push_back(std::move(timing));
+  }
+
+  double scale = 1.0;
+  if (options.apply_system_efficiency) scale /= machine.system_efficiency;
+  if (options.apply_noise) {
+    // Per-(machine, app) compiler/runtime affinity, constant across counts,
+    // plus per-count run-to-run variability.
+    scale *= 1.0 + options.affinity_amplitude *
+                       unit_noise(machine.name, app.name, 0,
+                                  options.noise_salt);
+    scale *= 1.0 + options.noise_amplitude *
+                       unit_noise(machine.name, app.name, app.nprocs,
+                                  options.noise_salt);
+  }
+
+  const double steps = static_cast<double>(app.timesteps);
+  result.compute_seconds = compute_per_step * steps * scale;
+  result.comm_seconds = comm_per_step * steps * scale;
+  result.wall_seconds = result.compute_seconds + result.comm_seconds;
+  MSIM_CHECK(result.wall_seconds > 0.0, "simulated time must be positive");
+  return result;
+}
+
+}  // namespace msim::simulate

@@ -1,0 +1,57 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::stats {
+
+BootstrapInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, std::size_t resamples, std::uint64_t seed) {
+  MSIM_REQUIRE(!values.empty(), "bootstrap needs data");
+  MSIM_REQUIRE(confidence > 0.0 && confidence < 1.0,
+               "confidence must be in (0, 1)");
+  MSIM_REQUIRE(resamples >= 10, "need a sensible number of resamples");
+
+  BootstrapInterval interval;
+  interval.point = statistic(values);
+
+  Rng rng(seed);
+  std::vector<double> resample(values.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : resample) {
+      value = values[rng.uniform_u64(values.size())];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto index = [&](double quantile) {
+    const double position =
+        quantile * static_cast<double>(estimates.size() - 1);
+    return estimates[static_cast<std::size_t>(std::llround(position))];
+  };
+  interval.lower = index(alpha);
+  interval.upper = index(1.0 - alpha);
+  return interval;
+}
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> values,
+                                    double confidence,
+                                    std::size_t resamples,
+                                    std::uint64_t seed) {
+  return bootstrap_ci(
+      values, [](std::span<const double> sample) { return mean(sample); },
+      confidence, resamples, seed);
+}
+
+}  // namespace msim::stats

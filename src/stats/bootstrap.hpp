@@ -1,0 +1,36 @@
+// Bootstrap confidence intervals.
+//
+// The paper reports mean absolute errors over 150 predictions without
+// uncertainty; with only 15 (application, count) configurations the means
+// are noisier than they look. This resamples the per-prediction errors
+// with replacement to put percentile confidence intervals on any summary
+// statistic — used by the Table-4 bench's --ci flag and the multi-world
+// analysis discussion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace msim::stats {
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< the statistic on the original sample
+  double lower = 0.0;  ///< percentile CI lower bound
+  double upper = 0.0;  ///< percentile CI upper bound
+};
+
+/// Percentile-bootstrap CI of `statistic` over `values`.
+/// `confidence` in (0, 1), e.g. 0.95. Deterministic for a fixed seed.
+[[nodiscard]] BootstrapInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence = 0.95, std::size_t resamples = 2000,
+    std::uint64_t seed = 0xb007);
+
+/// Convenience: CI of the mean.
+[[nodiscard]] BootstrapInterval bootstrap_mean_ci(
+    std::span<const double> values, double confidence = 0.95,
+    std::size_t resamples = 2000, std::uint64_t seed = 0xb007);
+
+}  // namespace msim::stats

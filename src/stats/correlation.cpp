@@ -1,0 +1,87 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  MSIM_REQUIRE(x.size() == y.size(), "series must have equal length");
+  MSIM_REQUIRE(x.size() >= 2, "correlation needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+/// Fractional ranks with ties replaced by their average rank.
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) +
+                                   static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  MSIM_REQUIRE(x.size() == y.size(), "series must have equal length");
+  const auto rx = fractional_ranks(x);
+  const auto ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  MSIM_REQUIRE(x.size() == y.size(), "series must have equal length");
+  MSIM_REQUIRE(x.size() >= 2, "correlation needs at least two points");
+  const std::size_t n = x.size();
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (n - 1) / 2.0;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace msim::stats

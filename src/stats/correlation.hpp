@@ -1,0 +1,25 @@
+// Correlation measures used to relate metric scores to observed application
+// performance (the paper's framing: "determine the correlation of each
+// estimator to true performance data"). Spearman rank correlation also backs
+// the appendix-validation bench, where we compare how our simulated machine
+// models *rank* systems against the paper's observed run times.
+#pragma once
+
+#include <span>
+
+namespace msim::stats {
+
+/// Pearson product-moment correlation of two equal-length series (n >= 2).
+/// Returns 0 when either series is constant.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on fractional ranks; ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+/// Kendall's tau-b (handles ties in both series).
+[[nodiscard]] double kendall_tau(std::span<const double> x,
+                                 std::span<const double> y);
+
+}  // namespace msim::stats

@@ -1,0 +1,186 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace msim::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  MSIM_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MSIM_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MSIM_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        sum += at(r, i) * at(r, j);
+      }
+      g.at(i, j) = sum;
+      g.at(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
+  MSIM_REQUIRE(v.size() == rows_, "vector length must equal rows");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += at(r, c) * v[r];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(std::span<const double> x) const {
+  MSIM_REQUIRE(x.size() == cols_, "vector length must equal cols");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      sum += at(r, c) * x[c];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> solve_spd(const Matrix& s, std::span<const double> b) {
+  MSIM_REQUIRE(s.rows() == s.cols(), "solve_spd needs a square matrix");
+  MSIM_REQUIRE(b.size() == s.rows(), "rhs length must match matrix");
+  const std::size_t n = s.rows();
+
+  // Cholesky factorization S = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = s.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        MSIM_CHECK(sum > 0.0, "matrix is not positive definite");
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge) {
+  MSIM_REQUIRE(ridge >= 0.0, "ridge must be non-negative");
+  Matrix gram = a.gram();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += ridge;
+  const auto rhs = a.transpose_times(b);
+  return solve_spd(gram, rhs);
+}
+
+std::vector<double> project_to_simplex(std::span<const double> v) {
+  MSIM_REQUIRE(!v.empty(), "projection of empty vector");
+  // Held, Wolfe & Crowder / Duchi et al.: sort descending, find threshold.
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double cumulative = 0.0;
+  double theta = 0.0;
+  std::size_t support = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    const double candidate =
+        (cumulative - 1.0) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0.0) {
+      theta = candidate;
+      support = i + 1;
+    }
+  }
+  MSIM_CHECK(support > 0, "simplex projection found empty support");
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::max(0.0, v[i] - theta);
+  }
+  return out;
+}
+
+SimplexFit least_squares_simplex(const Matrix& a, std::span<const double> b,
+                                 std::size_t max_iters, double tolerance) {
+  const std::size_t k = a.cols();
+  const Matrix gram = a.gram();
+  const auto atb = a.transpose_times(b);
+
+  // Lipschitz constant of the gradient = largest eigenvalue of A^T A;
+  // the trace is a cheap upper bound and suffices for a fixed step size.
+  double lipschitz = 0.0;
+  for (std::size_t i = 0; i < k; ++i) lipschitz += gram.at(i, i);
+  if (lipschitz <= 0.0) lipschitz = 1.0;
+  const double step = 1.0 / lipschitz;
+
+  std::vector<double> w(k, 1.0 / static_cast<double>(k));
+  auto objective = [&](std::span<const double> weights) {
+    const auto aw = a.times(weights);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < aw.size(); ++r) {
+      const double d = aw[r] - b[r];
+      sum += d * d;
+    }
+    return 0.5 * sum;
+  };
+
+  double prev = objective(w);
+  std::size_t iter = 0;
+  for (; iter < max_iters; ++iter) {
+    // gradient = A^T A w - A^T b
+    std::vector<double> grad(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      double sum = -atb[i];
+      for (std::size_t j = 0; j < k; ++j) sum += gram.at(i, j) * w[j];
+      grad[i] = sum;
+    }
+    std::vector<double> trial(k);
+    for (std::size_t i = 0; i < k; ++i) trial[i] = w[i] - step * grad[i];
+    w = project_to_simplex(trial);
+    const double cur = objective(w);
+    if (std::abs(prev - cur) <= tolerance * std::max(1.0, prev)) {
+      prev = cur;
+      ++iter;
+      break;
+    }
+    prev = cur;
+  }
+  return SimplexFit{.weights = std::move(w), .objective = prev,
+                    .iterations = iter};
+}
+
+}  // namespace msim::stats

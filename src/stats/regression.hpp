@@ -1,0 +1,74 @@
+// Small dense linear algebra for the balanced-rating experiments.
+//
+// The paper's Section 4 fits category weights (HPL, STREAM, all_reduce) by
+// linear regression to minimize prediction error, finding 5%/50%/45%. We
+// provide ordinary least squares (normal equations + Cholesky) and a
+// projected-gradient solver for weights constrained to the probability
+// simplex (non-negative, summing to one), which is what a "balanced rating"
+// requires.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace msim::stats {
+
+/// Dense row-major matrix, sized at construction.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// A^T * A (cols x cols).
+  [[nodiscard]] Matrix gram() const;
+
+  /// A^T * v for a vector of length rows().
+  [[nodiscard]] std::vector<double> transpose_times(
+      std::span<const double> v) const;
+
+  /// A * x for a vector of length cols().
+  [[nodiscard]] std::vector<double> times(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solve S x = b for symmetric positive definite S via Cholesky.
+/// Throws invariant_error if S is not positive definite.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& s,
+                                            std::span<const double> b);
+
+/// Ordinary least squares: argmin_x ||A x - b||_2. A small ridge term
+/// (lambda >= 0) stabilizes rank-deficient designs.
+[[nodiscard]] std::vector<double> least_squares(const Matrix& a,
+                                                std::span<const double> b,
+                                                double ridge = 0.0);
+
+/// Result of the constrained simplex fit.
+struct SimplexFit {
+  std::vector<double> weights;  ///< non-negative, sums to 1
+  double objective = 0.0;       ///< final 0.5*||A w - b||^2
+  std::size_t iterations = 0;
+};
+
+/// argmin_w ||A w - b||^2 subject to w >= 0, sum(w) = 1 — projected gradient
+/// with Euclidean projection onto the simplex. Deterministic; converges for
+/// any PSD Gram matrix.
+[[nodiscard]] SimplexFit least_squares_simplex(const Matrix& a,
+                                               std::span<const double> b,
+                                               std::size_t max_iters = 20000,
+                                               double tolerance = 1e-12);
+
+/// Euclidean projection of v onto {w : w >= 0, sum w = 1}.
+[[nodiscard]] std::vector<double> project_to_simplex(
+    std::span<const double> v);
+
+}  // namespace msim::stats

@@ -1,0 +1,104 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::stats {
+
+double signed_percent_error(double predicted, double measured) {
+  MSIM_REQUIRE(measured > 0.0, "measured time must be positive");
+  return (predicted - measured) / measured * 100.0;
+}
+
+double absolute_percent_error(double predicted, double measured) {
+  return std::abs(signed_percent_error(predicted, measured));
+}
+
+double mean(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "mean of empty span");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> values, double mu) {
+  double sum = 0.0;
+  for (double v : values) {
+    const double d = v - mu;
+    sum += d * d;
+  }
+  return sum;
+}
+}  // namespace
+
+double sample_stddev(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "stddev of empty span");
+  if (values.size() == 1) return 0.0;
+  return std::sqrt(sum_sq_dev(values, mean(values)) /
+                   static_cast<double>(values.size() - 1));
+}
+
+double population_stddev(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "stddev of empty span");
+  return std::sqrt(sum_sq_dev(values, mean(values)) /
+                   static_cast<double>(values.size()));
+}
+
+double median(std::vector<double> values) {
+  MSIM_REQUIRE(!values.empty(), "median of empty vector");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double min(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "min of empty span");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "max of empty span");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double geometric_mean(std::span<const double> values) {
+  MSIM_REQUIRE(!values.empty(), "geometric mean of empty span");
+  double log_sum = 0.0;
+  for (double v : values) {
+    MSIM_REQUIRE(v > 0.0, "geometric mean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void RunningStats::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  MSIM_REQUIRE(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::sample_stddev() const {
+  MSIM_REQUIRE(count_ > 0, "stddev of empty accumulator");
+  if (count_ == 1) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double RunningStats::population_stddev() const {
+  MSIM_REQUIRE(count_ > 0, "stddev of empty accumulator");
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+}  // namespace msim::stats

@@ -1,0 +1,54 @@
+// Error and summary statistics used throughout the study.
+//
+// Equation 2 of the paper: %error = (T' - T) / T * 100, where T' is the
+// predicted and T the measured wall-clock time. Negative error means the
+// prediction was faster (optimistic) than reality. Averages across
+// experiments are taken over |error| to prevent cancellation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace msim::stats {
+
+/// Signed percent error per the paper's Equation 2.
+[[nodiscard]] double signed_percent_error(double predicted, double measured);
+
+/// |Equation 2| — the quantity averaged in Tables 4 and 5.
+[[nodiscard]] double absolute_percent_error(double predicted, double measured);
+
+/// Arithmetic mean. Empty input is a precondition violation.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for a single value.
+[[nodiscard]] double sample_stddev(std::span<const double> values);
+
+/// Population standard deviation (n denominator).
+[[nodiscard]] double population_stddev(std::span<const double> values);
+
+/// Median (average of middle two for even n).
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Minimum / maximum of a non-empty span.
+[[nodiscard]] double min(std::span<const double> values);
+[[nodiscard]] double max(std::span<const double> values);
+
+/// Geometric mean of strictly positive values.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Running accumulator (Welford) for mean and standard deviation.
+class RunningStats {
+ public:
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sample_stddev() const;
+  [[nodiscard]] double population_stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace msim::stats

@@ -1,0 +1,19 @@
+#include "trace/dilation.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::trace {
+
+TracingCost tracing_cost(double base_seconds, int nprocs,
+                         const DilationModel& model) {
+  MSIM_REQUIRE(base_seconds > 0.0, "base runtime must be positive");
+  MSIM_REQUIRE(nprocs > 0, "nprocs must be positive");
+  const double cpu_hours =
+      base_seconds * static_cast<double>(nprocs) / 3600.0;
+  return TracingCost{
+      .counter_hours = cpu_hours * model.counter_slowdown,
+      .memory_hours = cpu_hours * model.memory_trace_slowdown,
+  };
+}
+
+}  // namespace msim::trace

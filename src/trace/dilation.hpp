@@ -1,0 +1,33 @@
+// Tracing-cost model (paper Section 3).
+//
+// "MetaSim has been carefully streamlined for speed, imposing approximately
+// a 30x slowdown on an instrumented application" — and tracing is a
+// non-recurring cost paid once per application on the base system. This
+// model quantifies the paper's "was the increase in accuracy worth the
+// effort?" question for the tracing-cost bench (E7).
+#pragma once
+
+#include <cstdint>
+
+namespace msim::trace {
+
+struct DilationModel {
+  /// Execution-time multiplier of full memory tracing (Metrics #6-#9).
+  double memory_trace_slowdown = 30.0;
+  /// Multiplier of counter-only runs (Metrics #4-#5 use hardware
+  /// performance counters; overhead is negligible).
+  double counter_slowdown = 1.02;
+};
+
+/// What each metric family costs to prepare, in base-system CPU-hours.
+struct TracingCost {
+  double counter_hours = 0.0;  ///< Metrics #4-#5
+  double memory_hours = 0.0;   ///< Metrics #6-#9
+};
+
+/// Cost of preparing predictions for an application whose untraced runtime
+/// on the base system is `base_seconds` at `nprocs` processors.
+[[nodiscard]] TracingCost tracing_cost(double base_seconds, int nprocs,
+                                       const DilationModel& model = {});
+
+}  // namespace msim::trace

@@ -1,0 +1,133 @@
+#include "trace/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::trace {
+
+double power_law_scale(double x_a, int p_a, double x_b, int p_b, int p) {
+  MSIM_REQUIRE(p_a > 0 && p_b > 0 && p > 0, "counts must be positive");
+  MSIM_REQUIRE(p_a != p_b, "need two distinct counts to fit");
+  MSIM_REQUIRE(x_a >= 0.0 && x_b >= 0.0, "values must be non-negative");
+  if (x_a == 0.0 || x_b == 0.0) return 0.0;
+  const double exponent = std::log(x_b / x_a) /
+                          std::log(static_cast<double>(p_b) / p_a);
+  return x_a * std::pow(static_cast<double>(p) / p_a, exponent);
+}
+
+namespace {
+
+std::uint64_t scale_u64(std::uint64_t x_a, int p_a, std::uint64_t x_b,
+                        int p_b, int p) {
+  const double scaled = power_law_scale(static_cast<double>(x_a), p_a,
+                                        static_cast<double>(x_b), p_b, p);
+  return static_cast<std::uint64_t>(scaled + 0.5);
+}
+
+/// Linear interpolation/extrapolation weight of `p` between p_a and p_b in
+/// log space: 0 at p_a, 1 at p_b.
+double log_weight(int p_a, int p_b, int p) {
+  return std::log(static_cast<double>(p) / p_a) /
+         std::log(static_cast<double>(p_b) / p_a);
+}
+
+}  // namespace
+
+ApplicationSignature scale_signature(const ApplicationSignature& first,
+                                     const ApplicationSignature& second,
+                                     int target_nprocs) {
+  MSIM_REQUIRE(first.app == second.app, "signatures are different apps");
+  MSIM_REQUIRE(first.traced_on == second.traced_on,
+               "signatures traced on different base systems");
+  MSIM_REQUIRE(first.nprocs != second.nprocs,
+               "need traces at two distinct counts");
+  MSIM_REQUIRE(target_nprocs > 0, "target count must be positive");
+  MSIM_REQUIRE(first.blocks.size() == second.blocks.size(),
+               "signatures have different block structure");
+  MSIM_REQUIRE(first.comm.size() == second.comm.size(),
+               "signatures have different phase structure");
+  MSIM_REQUIRE(first.timesteps == second.timesteps,
+               "signatures have different timestep counts");
+
+  const int p_a = first.nprocs;
+  const int p_b = second.nprocs;
+  const int p = target_nprocs;
+  const double w = log_weight(p_a, p_b, p);
+  const bool nearer_second =
+      std::abs(std::log(static_cast<double>(p) / p_b)) <
+      std::abs(std::log(static_cast<double>(p) / p_a));
+
+  ApplicationSignature scaled;
+  scaled.app = first.app;
+  scaled.nprocs = p;
+  scaled.timesteps = first.timesteps;
+  scaled.traced_on = first.traced_on;
+
+  for (std::size_t i = 0; i < first.blocks.size(); ++i) {
+    const auto& a = first.blocks[i];
+    const auto& b = second.blocks[i];
+    MSIM_REQUIRE(a.name == b.name, "block order mismatch: " + a.name);
+
+    BlockSignature block;
+    block.name = a.name;
+    block.phase = a.phase;
+    block.element_bytes = a.element_bytes;
+    block.flops = scale_u64(a.flops, p_a, b.flops, p_b, p);
+    block.refs = scale_u64(a.refs, p_a, b.refs, p_b, p);
+    block.working_set_estimate = std::max<std::uint64_t>(
+        scale_u64(a.working_set_estimate, p_a, b.working_set_estimate, p_b,
+                  p),
+        a.element_bytes);
+
+    // Stride fractions drift slowly with count (halo-to-volume effects);
+    // interpolate linearly in log p and re-normalize.
+    double unit = a.unit_fraction + w * (b.unit_fraction - a.unit_fraction);
+    double short_f =
+        a.short_fraction + w * (b.short_fraction - a.short_fraction);
+    double random =
+        a.random_fraction + w * (b.random_fraction - a.random_fraction);
+    unit = std::max(unit, 0.0);
+    short_f = std::max(short_f, 0.0);
+    random = std::max(random, 0.0);
+    const double total = unit + short_f + random;
+    MSIM_CHECK(total > 0.0, "scaled fractions vanished: " + a.name);
+    block.unit_fraction = unit / total;
+    block.short_fraction = short_f / total;
+    block.random_fraction = random / total;
+
+    block.branch_density =
+        a.branch_density + w * (b.branch_density - a.branch_density);
+    block.working_set_is_lower_bound =
+        a.working_set_is_lower_bound || b.working_set_is_lower_bound;
+    block.dependency_limited = nearer_second ? b.dependency_limited
+                                             : a.dependency_limited;
+    scaled.blocks.push_back(std::move(block));
+  }
+
+  for (std::size_t phase = 0; phase < first.comm.size(); ++phase) {
+    const auto& a = first.comm[phase];
+    const auto& b = second.comm[phase];
+    MSIM_REQUIRE(a.phase == b.phase, "phase order mismatch: " + a.phase);
+    MSIM_REQUIRE(a.events.size() == b.events.size(),
+                 "comm schedule mismatch in phase " + a.phase);
+    PhaseComm out;
+    out.phase = a.phase;
+    for (std::size_t e = 0; e < a.events.size(); ++e) {
+      MSIM_REQUIRE(a.events[e].type == b.events[e].type,
+                   "comm event type mismatch in phase " + a.phase);
+      netsim::CommEvent event;
+      event.type = a.events[e].type;
+      event.bytes =
+          scale_u64(a.events[e].bytes, p_a, b.events[e].bytes, p_b, p);
+      event.count =
+          scale_u64(a.events[e].count, p_a, b.events[e].count, p_b, p);
+      out.events.push_back(event);
+    }
+    scaled.comm.push_back(std::move(out));
+  }
+  return scaled;
+}
+
+}  // namespace msim::trace

@@ -1,0 +1,33 @@
+// Cross-count signature scaling.
+//
+// Tracing at large processor counts is the most expensive part of the
+// methodology. A standard practice (and a natural extension of the paper)
+// is to trace an application at two *small* counts and extrapolate the
+// signature to the counts you actually care about: with strong scaling,
+// per-block operation counts, working sets and halo sizes follow power
+// laws in the processor count, so two traced points determine each
+// exponent. This module fits those per-block power laws and synthesizes a
+// signature for an untraced count — everything downstream (the convolver,
+// the metrics) works unchanged.
+#pragma once
+
+#include "trace/signature.hpp"
+
+namespace msim::trace {
+
+/// Fit x(p) = x_a * (p/p_a)^e through (p_a, x_a) and (p_b, x_b) and
+/// evaluate at p. Exact for any power law, including constants (e = 0).
+/// Zero values are carried through as zero.
+[[nodiscard]] double power_law_scale(double x_a, int p_a, double x_b,
+                                     int p_b, int p);
+
+/// Synthesize the signature at `target_nprocs` from two traced counts.
+/// Requirements: same application, same base system, same block and phase
+/// structure, distinct counts. Fractions are interpolated linearly in
+/// log(p) and re-normalized; boolean analysis verdicts are taken from the
+/// trace nearest the target.
+[[nodiscard]] ApplicationSignature scale_signature(
+    const ApplicationSignature& first, const ApplicationSignature& second,
+    int target_nprocs);
+
+}  // namespace msim::trace

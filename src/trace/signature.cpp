@@ -1,0 +1,17 @@
+#include "trace/signature.hpp"
+
+namespace msim::trace {
+
+std::uint64_t ApplicationSignature::total_flops_per_timestep() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) total += block.flops;
+  return total;
+}
+
+std::uint64_t ApplicationSignature::total_bytes_per_timestep() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) total += block.bytes();
+  return total;
+}
+
+}  // namespace msim::trace

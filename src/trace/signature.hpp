@@ -1,0 +1,66 @@
+// Application signatures: the "transfer function" data the paper's
+// predictive metrics convolve with machine rates.
+//
+// A signature is everything tracing on the base system may legitimately
+// know: exact operation counts per basic block (instrumentation counts
+// exactly), *observed* stride-class fractions (from the stride detector),
+// *estimated* working sets (from sampling), exact branch counts, the static
+// analyzer's dependency verdict, and the MPIDTRACE communication-event
+// counts. It deliberately excludes ground-truth-only facts: true stride
+// mixes, true working sets, ILP efficiency, load imbalance, page locality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/comm_event.hpp"
+
+namespace msim::trace {
+
+/// Traced profile of one basic block (per process, per timestep).
+struct BlockSignature {
+  std::string name;
+  std::string phase;
+
+  std::uint64_t flops = 0;  ///< exact (performance counters)
+  std::uint64_t refs = 0;   ///< exact load/store count
+  std::uint32_t element_bytes = 8;
+
+  // Stride-detector output (fractions of refs, sum to 1).
+  double unit_fraction = 0.0;
+  double short_fraction = 0.0;
+  double random_fraction = 0.0;
+
+  std::uint64_t working_set_estimate = 0;  ///< bytes
+  bool working_set_is_lower_bound = false;
+
+  double branch_density = 0.0;     ///< exact (branch counters)
+  bool dependency_limited = false; ///< static analyzer verdict
+
+  /// Total memory traffic per timestep, bytes.
+  [[nodiscard]] std::uint64_t bytes() const {
+    return refs * element_bytes;
+  }
+};
+
+/// Communication schedule of one phase, as MPIDTRACE records it (exact).
+struct PhaseComm {
+  std::string phase;
+  std::vector<netsim::CommEvent> events;  ///< per process, per timestep
+};
+
+/// Complete traced signature of an (application, processor count) pair.
+struct ApplicationSignature {
+  std::string app;
+  int nprocs = 0;
+  int timesteps = 0;
+  std::string traced_on;  ///< base system name
+  std::vector<BlockSignature> blocks;
+  std::vector<PhaseComm> comm;
+
+  [[nodiscard]] std::uint64_t total_flops_per_timestep() const;
+  [[nodiscard]] std::uint64_t total_bytes_per_timestep() const;
+};
+
+}  // namespace msim::trace

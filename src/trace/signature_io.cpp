@@ -1,0 +1,181 @@
+#include "trace/signature_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim::trace {
+
+namespace {
+
+netsim::CommType comm_type_from_string(const std::string& name) {
+  for (auto type : {netsim::CommType::PointToPoint,
+                    netsim::CommType::AllReduce, netsim::CommType::Broadcast,
+                    netsim::CommType::AllToAll, netsim::CommType::Barrier}) {
+    if (netsim::to_string(type) == name) return type;
+  }
+  throw precondition_error("unknown comm type '" + name + "'");
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad number for '" + key + "': " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const auto parsed = std::stoull(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad integer for '" + key + "': " + value);
+  }
+}
+
+}  // namespace
+
+std::string to_text(const ApplicationSignature& signature) {
+  std::ostringstream os;
+  os << "# msim application signature\n";
+  os << "app = " << signature.app << '\n';
+  os << "nprocs = " << signature.nprocs << '\n';
+  os << "timesteps = " << signature.timesteps << '\n';
+  os << "traced_on = " << signature.traced_on << '\n';
+  os << "blocks = " << signature.blocks.size() << '\n';
+  for (std::size_t i = 0; i < signature.blocks.size(); ++i) {
+    const auto& block = signature.blocks[i];
+    const std::string prefix = "block." + std::to_string(i) + '.';
+    os << prefix << "name = " << block.name << '\n';
+    os << prefix << "phase = " << block.phase << '\n';
+    os << prefix << "flops = " << block.flops << '\n';
+    os << prefix << "refs = " << block.refs << '\n';
+    os << prefix << "element_bytes = " << block.element_bytes << '\n';
+    os << prefix << "unit_fraction = " << block.unit_fraction << '\n';
+    os << prefix << "short_fraction = " << block.short_fraction << '\n';
+    os << prefix << "random_fraction = " << block.random_fraction << '\n';
+    os << prefix << "working_set_estimate = " << block.working_set_estimate
+       << '\n';
+    os << prefix << "working_set_is_lower_bound = "
+       << (block.working_set_is_lower_bound ? 1 : 0) << '\n';
+    os << prefix << "branch_density = " << block.branch_density << '\n';
+    os << prefix << "dependency_limited = "
+       << (block.dependency_limited ? 1 : 0) << '\n';
+  }
+  os << "phases = " << signature.comm.size() << '\n';
+  for (std::size_t p = 0; p < signature.comm.size(); ++p) {
+    const auto& phase = signature.comm[p];
+    const std::string phase_prefix = "phase." + std::to_string(p) + '.';
+    os << phase_prefix << "name = " << phase.phase << '\n';
+    os << phase_prefix << "events = " << phase.events.size() << '\n';
+    for (std::size_t e = 0; e < phase.events.size(); ++e) {
+      const auto& event = phase.events[e];
+      const std::string prefix =
+          phase_prefix + "event." + std::to_string(e) + '.';
+      os << prefix << "type = " << netsim::to_string(event.type) << '\n';
+      os << prefix << "bytes = " << event.bytes << '\n';
+      os << prefix << "count = " << event.count << '\n';
+    }
+  }
+  return os.str();
+}
+
+ApplicationSignature signature_from_text(const std::string& text) {
+  std::map<std::string, std::string> pairs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    MSIM_REQUIRE(eq != std::string::npos, "missing '=' in: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    MSIM_REQUIRE(pairs.emplace(key, trim(line.substr(eq + 1))).second,
+                 "duplicate key '" + key + "'");
+  }
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+
+  ApplicationSignature signature;
+  signature.app = take("app");
+  signature.nprocs = static_cast<int>(parse_u64("nprocs", take("nprocs")));
+  signature.timesteps =
+      static_cast<int>(parse_u64("timesteps", take("timesteps")));
+  signature.traced_on = take("traced_on");
+
+  const std::uint64_t block_count = parse_u64("blocks", take("blocks"));
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    const std::string prefix = "block." + std::to_string(i) + '.';
+    BlockSignature block;
+    block.name = take(prefix + "name");
+    block.phase = take(prefix + "phase");
+    block.flops = parse_u64(prefix + "flops", take(prefix + "flops"));
+    block.refs = parse_u64(prefix + "refs", take(prefix + "refs"));
+    block.element_bytes = static_cast<std::uint32_t>(
+        parse_u64(prefix + "element_bytes", take(prefix + "element_bytes")));
+    block.unit_fraction =
+        parse_double(prefix + "unit_fraction", take(prefix + "unit_fraction"));
+    block.short_fraction = parse_double(prefix + "short_fraction",
+                                        take(prefix + "short_fraction"));
+    block.random_fraction = parse_double(prefix + "random_fraction",
+                                         take(prefix + "random_fraction"));
+    block.working_set_estimate =
+        parse_u64(prefix + "working_set_estimate",
+                  take(prefix + "working_set_estimate"));
+    block.working_set_is_lower_bound =
+        parse_u64(prefix + "working_set_is_lower_bound",
+                  take(prefix + "working_set_is_lower_bound")) != 0;
+    block.branch_density = parse_double(prefix + "branch_density",
+                                        take(prefix + "branch_density"));
+    block.dependency_limited =
+        parse_u64(prefix + "dependency_limited",
+                  take(prefix + "dependency_limited")) != 0;
+    signature.blocks.push_back(std::move(block));
+  }
+
+  const std::uint64_t phase_count = parse_u64("phases", take("phases"));
+  for (std::uint64_t p = 0; p < phase_count; ++p) {
+    const std::string phase_prefix = "phase." + std::to_string(p) + '.';
+    PhaseComm phase;
+    phase.phase = take(phase_prefix + "name");
+    const std::uint64_t event_count =
+        parse_u64(phase_prefix + "events", take(phase_prefix + "events"));
+    for (std::uint64_t e = 0; e < event_count; ++e) {
+      const std::string prefix =
+          phase_prefix + "event." + std::to_string(e) + '.';
+      netsim::CommEvent event;
+      event.type = comm_type_from_string(take(prefix + "type"));
+      event.bytes = parse_u64(prefix + "bytes", take(prefix + "bytes"));
+      event.count = parse_u64(prefix + "count", take(prefix + "count"));
+      phase.events.push_back(event);
+    }
+    signature.comm.push_back(std::move(phase));
+  }
+
+  MSIM_REQUIRE(pairs.empty(),
+               "unknown key '" + pairs.begin()->first + "' in signature");
+  return signature;
+}
+
+}  // namespace msim::trace

@@ -1,0 +1,22 @@
+// Text (de)serialization for application signatures.
+//
+// Tracing is the expensive step of the methodology (30x dilation on the
+// base system); real workflows trace once and archive the signature. This
+// is the archive format: the same "dotted.key = value" style as machine
+// configs, lossless for everything the convolver consumes.
+#pragma once
+
+#include <string>
+
+#include "trace/signature.hpp"
+
+namespace msim::trace {
+
+/// Serialize a signature to text.
+[[nodiscard]] std::string to_text(const ApplicationSignature& signature);
+
+/// Parse a signature; throws precondition_error on malformed input.
+[[nodiscard]] ApplicationSignature signature_from_text(
+    const std::string& text);
+
+}  // namespace msim::trace

@@ -1,0 +1,35 @@
+#include "trace/static_analysis.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace msim::trace {
+
+StaticAnalyzer::StaticAnalyzer(double false_negative_rate,
+                               double false_positive_rate,
+                               std::uint64_t seed)
+    : false_negative_rate_(false_negative_rate),
+      false_positive_rate_(false_positive_rate),
+      seed_(seed) {
+  MSIM_REQUIRE(false_negative_rate >= 0.0 && false_negative_rate <= 1.0,
+               "false negative rate must be in [0, 1]");
+  MSIM_REQUIRE(false_positive_rate >= 0.0 && false_positive_rate <= 1.0,
+               "false positive rate must be in [0, 1]");
+}
+
+bool StaticAnalyzer::dependency_limited(
+    const workload::BasicBlock& block) const {
+  // Deterministic per-block draw: the same block always gets the same
+  // verdict, as a real analyzer would.
+  std::uint64_t h = seed_;
+  for (char ch : block.name) h = mix64(h, static_cast<std::uint64_t>(ch));
+  const double draw =
+      static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+
+  const bool truly_serial =
+      block.dependency == memsim::DependencyClass::Serial;
+  if (truly_serial) return draw >= false_negative_rate_;
+  return draw < false_positive_rate_;
+}
+
+}  // namespace msim::trace

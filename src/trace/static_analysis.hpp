@@ -1,0 +1,35 @@
+// Static dependency analysis of basic blocks.
+//
+// Metric #9 needs to know which loops are ILP-limited by loop-carried
+// dependences or internal branches. The paper obtained this by static
+// analysis of the binary ("so ILP limited basic blocks could be
+// identified"). Static analysis is imperfect — aliasing hides some
+// dependences and spurious ones are reported — so the analyzer has tunable
+// false-negative and false-positive rates, drawn deterministically per
+// block name. Setting both rates to zero models a perfect analyzer
+// (useful as an ablation of how much of #9's residual error it causes).
+#pragma once
+
+#include "workload/basic_block.hpp"
+
+namespace msim::trace {
+
+class StaticAnalyzer {
+ public:
+  /// Rates in [0, 1]: a false negative misses a real serial dependence; a
+  /// false positive flags an independent loop as dependence-limited.
+  explicit StaticAnalyzer(double false_negative_rate = 0.10,
+                          double false_positive_rate = 0.05,
+                          std::uint64_t seed = 0x5ca1ab1e);
+
+  /// Verdict: is this block's inner loop dependency-limited?
+  [[nodiscard]] bool dependency_limited(
+      const workload::BasicBlock& block) const;
+
+ private:
+  double false_negative_rate_;
+  double false_positive_rate_;
+  std::uint64_t seed_;
+};
+
+}  // namespace msim::trace

@@ -1,0 +1,61 @@
+#include "trace/stride_detector.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace msim::trace {
+
+double StrideCounts::unit_fraction() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(unit) / static_cast<double>(n);
+}
+
+double StrideCounts::short_fraction() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(short_) / static_cast<double>(n);
+}
+
+double StrideCounts::random_fraction() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(random) / static_cast<double>(n);
+}
+
+StrideDetector::StrideDetector(std::uint32_t element_bytes,
+                               int short_threshold)
+    : element_bytes_(element_bytes),
+      short_threshold_bytes_(static_cast<std::int64_t>(element_bytes) *
+                             short_threshold) {
+  MSIM_REQUIRE(element_bytes > 0, "element size must be positive");
+  MSIM_REQUIRE(short_threshold >= 1, "short threshold must be >= 1");
+}
+
+void StrideDetector::observe(const TaggedRef& ref) {
+  const auto [it, inserted] = last_address_.try_emplace(ref.pc, ref.address);
+  if (inserted) {
+    // No history for this PC yet: conservatively random (real detectors
+    // warm up the same way; the bias vanishes for long streams).
+    ++counts_.random;
+    return;
+  }
+  const std::int64_t delta = static_cast<std::int64_t>(ref.address) -
+                             static_cast<std::int64_t>(it->second);
+  it->second = ref.address;
+
+  const std::int64_t magnitude = std::llabs(delta);
+  if (magnitude == element_bytes_) {
+    ++counts_.unit;
+  } else if (magnitude != 0 && magnitude <= short_threshold_bytes_ &&
+             magnitude % element_bytes_ == 0) {
+    ++counts_.short_;
+  } else {
+    ++counts_.random;
+  }
+}
+
+void StrideDetector::reset() {
+  counts_ = StrideCounts{};
+  last_address_.clear();
+}
+
+}  // namespace msim::trace

@@ -1,0 +1,78 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "memsim/address_stream.hpp"
+#include "trace/stride_detector.hpp"
+#include "trace/working_set_estimator.hpp"
+
+namespace msim::trace {
+
+BlockSignature trace_block(const workload::BasicBlock& block,
+                           const std::string& phase,
+                           const TracerOptions& options) {
+  workload::validate(block);
+  MSIM_REQUIRE(options.sample_refs > 0, "sample size must be positive");
+
+  // Deterministic per-block sampling seed.
+  std::uint64_t seed = options.seed;
+  for (char ch : block.name) seed = mix64(seed, static_cast<std::uint64_t>(ch));
+
+  memsim::AddressGenerator generator(block.stream_spec(), seed);
+  StrideDetector detector(block.element_bytes,
+                          options.short_stride_threshold);
+  WorkingSetEstimator extents(block.element_bytes);
+
+  const std::uint64_t refs_per_timestep =
+      block.refs_per_iteration * block.iterations;
+  const std::uint64_t samples =
+      std::min<std::uint64_t>(options.sample_refs, refs_per_timestep);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const memsim::TaggedAddress ref = generator.next_tagged();
+    detector.observe(TaggedRef{.pc = ref.stream_id, .address = ref.address});
+    extents.observe(ref.stream_id, ref.address);
+  }
+
+  const StrideCounts& counts = detector.counts();
+  const ExtentEstimate extent = extents.estimate();
+
+  BlockSignature signature;
+  signature.name = block.name;
+  signature.phase = phase;
+  signature.flops = block.flops_per_timestep();
+  signature.refs = refs_per_timestep;
+  signature.element_bytes = block.element_bytes;
+  signature.unit_fraction = counts.unit_fraction();
+  signature.short_fraction = counts.short_fraction();
+  signature.random_fraction = counts.random_fraction();
+  signature.working_set_estimate =
+      std::max<std::uint64_t>(extent.bytes, block.element_bytes);
+  signature.working_set_is_lower_bound = extent.is_lower_bound;
+  signature.branch_density = block.branch_density;  // counted exactly
+  signature.dependency_limited = options.analyzer.dependency_limited(block);
+  return signature;
+}
+
+ApplicationSignature trace_application(const workload::AppModel& app,
+                                       const std::string& base_system,
+                                       const TracerOptions& options) {
+  workload::validate(app);
+  ApplicationSignature signature;
+  signature.app = app.name;
+  signature.nprocs = app.nprocs;
+  signature.timesteps = app.timesteps;
+  signature.traced_on = base_system;
+  for (const auto& phase : app.phases) {
+    for (const auto& block : phase.blocks) {
+      signature.blocks.push_back(trace_block(block, phase.name, options));
+    }
+    // MPIDTRACE records every communication event exactly.
+    signature.comm.push_back(
+        PhaseComm{.phase = phase.name, .events = phase.comm});
+  }
+  return signature;
+}
+
+}  // namespace msim::trace

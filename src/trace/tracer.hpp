@@ -1,0 +1,43 @@
+// MetaSim-Tracer analog: produce an ApplicationSignature by observing the
+// application's reference streams, not by reading its spec.
+//
+// For each basic block the tracer:
+//  1. samples `sample_refs` PC-tagged references from the block's address
+//     generator (instrumented execution on the base system);
+//  2. classifies them with the stride detector;
+//  3. estimates the working set with the per-PC extent estimator;
+//  4. copies the exact flop / reference / branch counts (hardware counters
+//     and instrumentation count exactly);
+//  5. asks the static analyzer for a dependency verdict.
+// Communication is recorded exactly (MPIDTRACE sees every MPI call).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/signature.hpp"
+#include "trace/static_analysis.hpp"
+#include "workload/basic_block.hpp"
+
+namespace msim::trace {
+
+struct TracerOptions {
+  /// References sampled per basic block. Larger samples reduce stride and
+  /// working-set estimation error but dilate (simulated) tracing time.
+  std::uint64_t sample_refs = 1u << 18;
+  /// Largest stride (elements) classified as "short" (paper: 8).
+  int short_stride_threshold = 8;
+  std::uint64_t seed = 0x7ace5eedull;
+  StaticAnalyzer analyzer{};
+};
+
+/// Trace one basic block.
+[[nodiscard]] BlockSignature trace_block(const workload::BasicBlock& block,
+                                         const std::string& phase,
+                                         const TracerOptions& options = {});
+
+/// Trace a full application instantiation on the named base system.
+[[nodiscard]] ApplicationSignature trace_application(
+    const workload::AppModel& app, const std::string& base_system,
+    const TracerOptions& options = {});
+
+}  // namespace msim::trace

@@ -1,0 +1,107 @@
+#include "trace/working_set_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace msim::trace {
+
+double invert_unique_count(std::uint64_t unique, std::uint64_t draws,
+                           double cap) {
+  MSIM_REQUIRE(unique <= draws, "unique count cannot exceed draws");
+  if (draws == 0) return 0.0;
+  const double u = static_cast<double>(unique);
+  const double n = static_cast<double>(draws);
+  if (unique == draws) return cap;  // no collisions: unbounded above
+
+  // Solve u = L (1 - exp(-n/L)) for L by Newton iteration on
+  // f(L) = L (1 - exp(-n/L)) - u. f is increasing in L.
+  double estimate = std::max(u, 1.0);
+  for (int iter = 0; iter < 64; ++iter) {
+    const double e = std::exp(-n / estimate);
+    const double f = estimate * (1.0 - e) - u;
+    const double df = 1.0 - e - (n / estimate) * e;
+    if (std::abs(df) < 1e-300) break;
+    double next = estimate - f / df;
+    if (next <= 0.0) next = estimate / 2.0;
+    if (next > cap) return cap;
+    if (std::abs(next - estimate) <= 1e-9 * estimate) return next;
+    estimate = next;
+  }
+  return std::min(estimate, cap);
+}
+
+WorkingSetEstimator::WorkingSetEstimator(std::uint32_t element_bytes)
+    : element_bytes_(element_bytes) {
+  MSIM_REQUIRE(element_bytes > 0, "element size must be positive");
+}
+
+void WorkingSetEstimator::observe(std::uint32_t pc, std::uint64_t address) {
+  PcState& state = streams_[pc];
+  ++state.draws;
+  state.unique.insert(address / element_bytes_);
+  state.min_address = std::min(state.min_address, address);
+  state.max_address = std::max(state.max_address, address);
+
+  if (state.has_last) {
+    const std::int64_t delta = static_cast<std::int64_t>(address) -
+                               static_cast<std::int64_t>(state.last_address);
+    const std::int64_t magnitude = std::llabs(delta);
+    const std::int64_t small = static_cast<std::int64_t>(element_bytes_) * 64;
+    if (magnitude != 0 && magnitude <= small) {
+      state.stride = delta;
+      ++state.strided_steps;
+    } else if (state.stride != 0 && ((state.stride > 0) != (delta > 0))) {
+      // Opposite-sign jump after a strided run: the walk wrapped. A
+      // forward walk at the last slot W-s jumps to 0, so delta = s - W and
+      // the extent is |delta - stride| = W (symmetrically for backward
+      // walks).
+      const std::uint64_t extent =
+          static_cast<std::uint64_t>(std::llabs(delta - state.stride));
+      state.wrap_extent = std::max(state.wrap_extent, extent);
+      ++state.jump_steps;
+    } else {
+      ++state.jump_steps;
+    }
+  }
+  state.has_last = true;
+  state.last_address = address;
+}
+
+ExtentEstimate WorkingSetEstimator::estimate() const {
+  ExtentEstimate best;
+  bool any_bounded = false;
+  for (const auto& [pc, state] : streams_) {
+    (void)pc;
+    ExtentEstimate mine;
+    const bool looks_strided =
+        state.strided_steps > 4 * (state.jump_steps + 1);
+    if (looks_strided) {
+      if (state.wrap_extent > 0) {
+        mine.bytes = state.wrap_extent;
+      } else {
+        mine.bytes = state.max_address - state.min_address + element_bytes_;
+        mine.is_lower_bound = true;
+      }
+    } else {
+      const double slots = invert_unique_count(state.unique.size(),
+                                               state.draws);
+      mine.bytes = static_cast<std::uint64_t>(
+          std::min(slots * element_bytes_, 1e15));
+    }
+    // Prefer the largest bounded estimate; fall back to lower bounds.
+    if (!mine.is_lower_bound) {
+      if (!any_bounded || mine.bytes > best.bytes) {
+        best = mine;
+        any_bounded = true;
+      }
+    } else if (!any_bounded && mine.bytes > best.bytes) {
+      best = mine;
+    }
+  }
+  return best;
+}
+
+}  // namespace msim::trace

@@ -1,0 +1,63 @@
+// Working-set estimation from a *sampled* reference stream.
+//
+// A tracer that samples (it must — full traces dilate execution ~30x even in
+// MetaSim's streamlined form) cannot simply count unique lines: a sample that
+// is smaller than the working set touches only part of it. We estimate per
+// issuing PC, the way real analyses do:
+//  * strided streams: a wrap of the walk shows up as one large opposite-sign
+//    jump; the extent is stride - jump. If no wrap is observed, the touched
+//    span is a certified lower bound — an honest tracer artifact;
+//  * random streams: unique-count saturation. After n uniform draws over L
+//    lines the expected unique count is L(1 - (1 - 1/L)^n); we invert that
+//    (Newton) to estimate L from the observed unique count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace msim::trace {
+
+/// Result of estimating one stream's extent.
+struct ExtentEstimate {
+  std::uint64_t bytes = 0;
+  bool is_lower_bound = false;  ///< strided stream that never wrapped
+};
+
+/// Estimate the number of distinct slots L of a uniform random draw from
+/// the observed unique count after n draws. Returns `cap` when the sample
+/// shows no saturation (unique == n). Granularity of the result is slots,
+/// not bytes.
+[[nodiscard]] double invert_unique_count(std::uint64_t unique,
+                                         std::uint64_t draws,
+                                         double cap = 1e15);
+
+/// Streaming per-PC working-set estimator.
+class WorkingSetEstimator {
+ public:
+  explicit WorkingSetEstimator(std::uint32_t element_bytes = 8);
+
+  void observe(std::uint32_t pc, std::uint64_t address);
+
+  /// Combined estimate across PCs: the largest per-stream extent.
+  [[nodiscard]] ExtentEstimate estimate() const;
+
+ private:
+  struct PcState {
+    bool has_last = false;
+    std::uint64_t last_address = 0;
+    std::int64_t stride = 0;        ///< most recent small delta
+    std::uint64_t wrap_extent = 0;  ///< extent from observed wraps
+    std::uint64_t min_address = ~0ull;
+    std::uint64_t max_address = 0;
+    std::uint64_t draws = 0;
+    std::unordered_set<std::uint64_t> unique;  ///< element-granular
+    std::uint64_t strided_steps = 0;
+    std::uint64_t jump_steps = 0;
+  };
+
+  std::uint32_t element_bytes_;
+  std::unordered_map<std::uint32_t, PcState> streams_;
+};
+
+}  // namespace msim::trace

@@ -1,0 +1,211 @@
+#include "workload/app_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim::workload {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad number for '" + key + "': " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const auto parsed = std::stoull(value, &used);
+    MSIM_REQUIRE(used == value.size(), "trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw precondition_error("bad integer for '" + key + "': " + value);
+  }
+}
+
+netsim::CommType comm_type_from_string(const std::string& name) {
+  for (auto type : {netsim::CommType::PointToPoint,
+                    netsim::CommType::AllReduce, netsim::CommType::Broadcast,
+                    netsim::CommType::AllToAll, netsim::CommType::Barrier}) {
+    if (netsim::to_string(type) == name) return type;
+  }
+  throw precondition_error("unknown comm type '" + name + "'");
+}
+
+std::string dependency_to_string(memsim::DependencyClass dep) {
+  return dep == memsim::DependencyClass::Serial ? "serial" : "independent";
+}
+
+memsim::DependencyClass dependency_from_string(const std::string& name) {
+  if (name == "serial") return memsim::DependencyClass::Serial;
+  if (name == "independent") return memsim::DependencyClass::Independent;
+  throw precondition_error("unknown dependency class '" + name + "'");
+}
+
+}  // namespace
+
+std::string to_text(const AppModel& app) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# msim application model\n";
+  os << "name = " << app.name << '\n';
+  os << "nprocs = " << app.nprocs << '\n';
+  os << "timesteps = " << app.timesteps << '\n';
+  os << "phases = " << app.phases.size() << '\n';
+  for (std::size_t p = 0; p < app.phases.size(); ++p) {
+    const auto& phase = app.phases[p];
+    const std::string phase_prefix = "phase." + std::to_string(p) + '.';
+    os << phase_prefix << "name = " << phase.name << '\n';
+    os << phase_prefix << "load_imbalance = " << phase.load_imbalance
+       << '\n';
+    os << phase_prefix << "blocks = " << phase.blocks.size() << '\n';
+    for (std::size_t i = 0; i < phase.blocks.size(); ++i) {
+      const auto& block = phase.blocks[i];
+      const std::string prefix =
+          phase_prefix + "block." + std::to_string(i) + '.';
+      os << prefix << "name = " << block.name << '\n';
+      os << prefix << "flops_per_iteration = " << block.flops_per_iteration
+         << '\n';
+      os << prefix << "refs_per_iteration = " << block.refs_per_iteration
+         << '\n';
+      os << prefix << "element_bytes = " << block.element_bytes << '\n';
+      os << prefix << "iterations = " << block.iterations << '\n';
+      os << prefix << "mix.unit = " << block.mix.unit << '\n';
+      os << prefix << "mix.short = " << block.mix.short_ << '\n';
+      os << prefix << "mix.random = " << block.mix.random << '\n';
+      os << prefix << "mix.short_stride_elements = "
+         << block.mix.short_stride_elements << '\n';
+      os << prefix << "working_set_bytes = " << block.working_set_bytes
+         << '\n';
+      os << prefix << "dependency = "
+         << dependency_to_string(block.dependency) << '\n';
+      os << prefix << "branch_density = " << block.branch_density << '\n';
+      os << prefix << "ilp_efficiency = " << block.ilp_efficiency << '\n';
+      os << prefix << "page_locality = " << block.page_locality << '\n';
+    }
+    os << phase_prefix << "events = " << phase.comm.size() << '\n';
+    for (std::size_t e = 0; e < phase.comm.size(); ++e) {
+      const auto& event = phase.comm[e];
+      const std::string prefix =
+          phase_prefix + "event." + std::to_string(e) + '.';
+      os << prefix << "type = " << netsim::to_string(event.type) << '\n';
+      os << prefix << "bytes = " << event.bytes << '\n';
+      os << prefix << "count = " << event.count << '\n';
+    }
+  }
+  return os.str();
+}
+
+AppModel app_from_text(const std::string& text) {
+  std::map<std::string, std::string> pairs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    MSIM_REQUIRE(eq != std::string::npos, "missing '=' in: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    MSIM_REQUIRE(pairs.emplace(key, trim(line.substr(eq + 1))).second,
+                 "duplicate key '" + key + "'");
+  }
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+
+  AppModel app;
+  app.name = take("name");
+  app.nprocs = static_cast<int>(parse_u64("nprocs", take("nprocs")));
+  app.timesteps =
+      static_cast<int>(parse_u64("timesteps", take("timesteps")));
+
+  const std::uint64_t phase_count = parse_u64("phases", take("phases"));
+  for (std::uint64_t p = 0; p < phase_count; ++p) {
+    const std::string phase_prefix = "phase." + std::to_string(p) + '.';
+    Phase phase;
+    phase.name = take(phase_prefix + "name");
+    phase.load_imbalance = parse_double(
+        phase_prefix + "load_imbalance", take(phase_prefix +
+                                              "load_imbalance"));
+
+    const std::uint64_t block_count =
+        parse_u64(phase_prefix + "blocks", take(phase_prefix + "blocks"));
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      const std::string prefix =
+          phase_prefix + "block." + std::to_string(i) + '.';
+      BasicBlock block;
+      block.name = take(prefix + "name");
+      block.flops_per_iteration = parse_u64(
+          prefix + "flops_per_iteration", take(prefix +
+                                               "flops_per_iteration"));
+      block.refs_per_iteration = parse_u64(
+          prefix + "refs_per_iteration", take(prefix +
+                                              "refs_per_iteration"));
+      block.element_bytes = static_cast<std::uint32_t>(parse_u64(
+          prefix + "element_bytes", take(prefix + "element_bytes")));
+      block.iterations =
+          parse_u64(prefix + "iterations", take(prefix + "iterations"));
+      block.mix.unit =
+          parse_double(prefix + "mix.unit", take(prefix + "mix.unit"));
+      block.mix.short_ =
+          parse_double(prefix + "mix.short", take(prefix + "mix.short"));
+      block.mix.random =
+          parse_double(prefix + "mix.random", take(prefix + "mix.random"));
+      block.mix.short_stride_elements = static_cast<int>(
+          parse_u64(prefix + "mix.short_stride_elements",
+                    take(prefix + "mix.short_stride_elements")));
+      block.working_set_bytes = parse_u64(
+          prefix + "working_set_bytes", take(prefix + "working_set_bytes"));
+      block.dependency =
+          dependency_from_string(take(prefix + "dependency"));
+      block.branch_density = parse_double(prefix + "branch_density",
+                                          take(prefix + "branch_density"));
+      block.ilp_efficiency = parse_double(prefix + "ilp_efficiency",
+                                          take(prefix + "ilp_efficiency"));
+      block.page_locality = parse_double(prefix + "page_locality",
+                                         take(prefix + "page_locality"));
+      phase.blocks.push_back(std::move(block));
+    }
+
+    const std::uint64_t event_count =
+        parse_u64(phase_prefix + "events", take(phase_prefix + "events"));
+    for (std::uint64_t e = 0; e < event_count; ++e) {
+      const std::string prefix =
+          phase_prefix + "event." + std::to_string(e) + '.';
+      netsim::CommEvent event;
+      event.type = comm_type_from_string(take(prefix + "type"));
+      event.bytes = parse_u64(prefix + "bytes", take(prefix + "bytes"));
+      event.count = parse_u64(prefix + "count", take(prefix + "count"));
+      phase.comm.push_back(event);
+    }
+    app.phases.push_back(std::move(phase));
+  }
+
+  MSIM_REQUIRE(pairs.empty(),
+               "unknown key '" + pairs.begin()->first + "' in app model");
+  validate(app);
+  return app;
+}
+
+}  // namespace msim::workload

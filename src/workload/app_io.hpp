@@ -1,0 +1,23 @@
+// Text (de)serialization of application models.
+//
+// Users bring their own workloads: an AppModel can be described in the same
+// "dotted.key = value" format the machine registry uses, loaded at run
+// time, traced, and predicted — no recompilation. The format is the
+// public, documented way to feed custom applications to the CLI
+// (`msim predict-custom --app-file my_app.msim ...`).
+#pragma once
+
+#include <string>
+
+#include "workload/basic_block.hpp"
+
+namespace msim::workload {
+
+/// Serialize an app model to text.
+[[nodiscard]] std::string to_text(const AppModel& app);
+
+/// Parse an app model; throws precondition_error on malformed input and
+/// validates the result.
+[[nodiscard]] AppModel app_from_text(const std::string& text);
+
+}  // namespace msim::workload

@@ -1,0 +1,54 @@
+// The five DoD TI-05 application test-case analogs (paper Section 2).
+//
+// Each builder instantiates an AppModel at a processor count with
+// strong-scaled per-process work and surface-to-volume communication
+// scaling. Operation mixes, working sets, dependency structure and branch
+// densities are engineering reconstructions of each code's published
+// character:
+//   AVUS        — unstructured finite-volume CFD: memory-bound, substantial
+//                 indirect (random) addressing, halo exchange + residual
+//                 allreduces;
+//   HYCOM       — structured ocean model: unit-stride-heavy baroclinic
+//                 update, a latency-sensitive barotropic solver with many
+//                 small allreduces, branchy isopycnal remapping;
+//   OVERFLOW-2  — overset structured CFD: stencil sweeps plus implicit ADI
+//                 line solves whose recurrences serialize cache-resident
+//                 loops (the behaviour Metric #9 exists to capture), and a
+//                 chimera interpolation with gather-style access;
+//   RF-CTH      — AMR shock physics: very branchy hydro, random-access EOS
+//                 table lookups, pointer-chasing regrid phase, load
+//                 imbalance from adaptation.
+//
+// The paper's exact per-processor-count run configurations are kept
+// (AVUS-Std 32/64/128, AVUS-Lg 128/256/384, HYCOM 59/96/124,
+// OVERFLOW2 32/48/64, RFCTH 16/32/64).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/basic_block.hpp"
+
+namespace msim::workload {
+
+[[nodiscard]] AppModel make_avus_standard(int nprocs);
+[[nodiscard]] AppModel make_avus_large(int nprocs);
+[[nodiscard]] AppModel make_hycom_standard(int nprocs);
+[[nodiscard]] AppModel make_overflow2_standard(int nprocs);
+[[nodiscard]] AppModel make_rfcth_standard(int nprocs);
+
+/// One study test case: name, the paper's processor counts, and a builder.
+struct TestCase {
+  std::string name;
+  std::vector<int> cpu_counts;
+  std::function<AppModel(int)> build;
+};
+
+/// The five TI-05 test cases in the paper's order with the paper's counts.
+[[nodiscard]] std::vector<TestCase> ti05_suite();
+
+/// Look up a test case by name; throws precondition_error when unknown.
+[[nodiscard]] const TestCase& find_test_case(const std::string& name);
+
+}  // namespace msim::workload

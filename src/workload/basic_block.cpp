@@ -1,0 +1,103 @@
+#include "workload/basic_block.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace msim::workload {
+
+void validate(const MemoryMix& mix) {
+  MSIM_REQUIRE(mix.unit >= 0.0 && mix.short_ >= 0.0 && mix.random >= 0.0,
+               "mix fractions must be non-negative");
+  const double total = mix.unit + mix.short_ + mix.random;
+  MSIM_REQUIRE(std::abs(total - 1.0) < 1e-9, "mix fractions must sum to 1");
+  MSIM_REQUIRE(mix.short_stride_elements >= 2 &&
+                   mix.short_stride_elements <= 8,
+               "short stride must be in [2, 8] elements");
+}
+
+std::uint64_t BasicBlock::bytes_per_timestep() const {
+  return refs_per_iteration * iterations * element_bytes;
+}
+
+std::uint64_t BasicBlock::flops_per_timestep() const {
+  return flops_per_iteration * iterations;
+}
+
+memsim::StreamSpec BasicBlock::stream_spec() const {
+  std::uint64_t name_hash = 0x51ab5c17ull;
+  for (char ch : name) name_hash = mix64(name_hash, static_cast<
+                                         std::uint64_t>(ch));
+  memsim::StreamSpec spec;
+  spec.base_address = (name_hash | 0x1000ull) << 20;  // disjoint VA regions
+  spec.working_set_bytes = working_set_bytes;
+  spec.element_bytes = element_bytes;
+  if (mix.unit > 0.0) {
+    spec.components.push_back(
+        {.stride_bytes = element_bytes, .weight = mix.unit});
+  }
+  if (mix.short_ > 0.0) {
+    spec.components.push_back(
+        {.stride_bytes = static_cast<std::int64_t>(element_bytes) *
+                         mix.short_stride_elements,
+         .weight = mix.short_});
+  }
+  if (mix.random > 0.0) {
+    spec.components.push_back({.stride_bytes = 0, .weight = mix.random});
+  }
+  return spec;
+}
+
+void validate(const BasicBlock& block) {
+  MSIM_REQUIRE(!block.name.empty(), "block name must be set");
+  MSIM_REQUIRE(block.refs_per_iteration > 0 || block.flops_per_iteration > 0,
+               "block must do some work: " + block.name);
+  MSIM_REQUIRE(block.iterations > 0, "block iterations must be > 0: " +
+                                         block.name);
+  MSIM_REQUIRE(block.element_bytes > 0 && block.element_bytes <= 64,
+               "element size out of range: " + block.name);
+  MSIM_REQUIRE(block.working_set_bytes >= block.element_bytes,
+               "working set too small: " + block.name);
+  MSIM_REQUIRE(block.branch_density >= 0.0 && block.branch_density <= 1.0,
+               "branch density must be in [0, 1]: " + block.name);
+  MSIM_REQUIRE(block.ilp_efficiency > 0.0 && block.ilp_efficiency <= 1.0,
+               "ilp efficiency must be in (0, 1]: " + block.name);
+  MSIM_REQUIRE(block.page_locality >= 0.0 && block.page_locality < 1.0,
+               "page locality must be in [0, 1): " + block.name);
+  validate(block.mix);
+}
+
+void validate(const Phase& phase) {
+  MSIM_REQUIRE(!phase.name.empty(), "phase name must be set");
+  MSIM_REQUIRE(!phase.blocks.empty(), "phase needs blocks: " + phase.name);
+  MSIM_REQUIRE(phase.load_imbalance >= 1.0,
+               "load imbalance must be >= 1: " + phase.name);
+  for (const auto& block : phase.blocks) validate(block);
+}
+
+std::uint64_t AppModel::total_flops_per_timestep() const {
+  std::uint64_t total = 0;
+  for (const auto& phase : phases) {
+    for (const auto& block : phase.blocks) total += block.flops_per_timestep();
+  }
+  return total;
+}
+
+std::uint64_t AppModel::total_bytes_per_timestep() const {
+  std::uint64_t total = 0;
+  for (const auto& phase : phases) {
+    for (const auto& block : phase.blocks) total += block.bytes_per_timestep();
+  }
+  return total;
+}
+
+void validate(const AppModel& app) {
+  MSIM_REQUIRE(!app.name.empty(), "app name must be set");
+  MSIM_REQUIRE(app.nprocs > 0, "nprocs must be > 0");
+  MSIM_REQUIRE(app.timesteps > 0, "timesteps must be > 0");
+  MSIM_REQUIRE(!app.phases.empty(), "app needs phases");
+  for (const auto& phase : app.phases) validate(phase);
+}
+
+}  // namespace msim::workload

@@ -1,0 +1,93 @@
+// Application model vocabulary.
+//
+// An application is a set of phases executed every timestep; each phase is a
+// set of basic blocks plus a communication schedule. A basic block carries
+// *generative* ground truth about its behaviour — true stride mix, working
+// set, dependency class, ILP — which only the simulator may read directly.
+// The tracer (src/trace) must recover what it can by observing generated
+// address streams, exactly like instrumentation on a real binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/access_types.hpp"
+#include "memsim/address_stream.hpp"
+#include "netsim/comm_event.hpp"
+
+namespace msim::workload {
+
+/// True composition of a block's memory references by stride class.
+struct MemoryMix {
+  double unit = 1.0;    ///< fraction of references with stride 1
+  double short_ = 0.0;  ///< fraction with short non-unit stride
+  double random = 0.0;  ///< fraction with no usable stride
+  /// Element stride (in elements) of the short-stride component, 2..8.
+  int short_stride_elements = 4;
+};
+
+/// Validates that the mix is a distribution and the stride is in range.
+void validate(const MemoryMix& mix);
+
+/// One traced/simulated unit of computation.
+struct BasicBlock {
+  std::string name;
+
+  std::uint64_t flops_per_iteration = 0;
+  std::uint64_t refs_per_iteration = 0;  ///< loads + stores
+  std::uint32_t element_bytes = 8;
+  std::uint64_t iterations = 0;  ///< per process, per timestep
+
+  MemoryMix mix;
+  std::uint64_t working_set_bytes = 0;  ///< per process
+
+  memsim::DependencyClass dependency =
+      memsim::DependencyClass::Independent;
+  double branch_density = 0.0;  ///< data-dependent branches per iteration
+  double ilp_efficiency = 0.25; ///< achievable fraction of FP peak (OOO core)
+  /// Fraction of this block's *random* references that land on a
+  /// recently-touched page. Real indirect access (renumbered meshes, AMR
+  /// blocks) is far from uniformly random at page granularity; GUPS-style
+  /// probes have none of this locality. Ground-truth TLB effect only.
+  double page_locality = 0.0;
+
+  /// Total memory traffic of this block per timestep, bytes.
+  [[nodiscard]] std::uint64_t bytes_per_timestep() const;
+  /// Total FP operations per timestep.
+  [[nodiscard]] std::uint64_t flops_per_timestep() const;
+
+  /// Generative address-stream spec for the tracer's samplers. The seed
+  /// space is disjoint per block via the block-name hash.
+  [[nodiscard]] memsim::StreamSpec stream_spec() const;
+};
+
+void validate(const BasicBlock& block);
+
+/// A phase: blocks plus the communication issued each timestep.
+struct Phase {
+  std::string name;
+  std::vector<BasicBlock> blocks;
+  std::vector<netsim::CommEvent> comm;  ///< per process, per timestep
+  /// Ratio of slowest to mean process compute time (AMR and irregular
+  /// meshes cause >1). Ground truth only; tracing a single process
+  /// cannot see it.
+  double load_imbalance = 1.0;
+};
+
+void validate(const Phase& phase);
+
+/// A complete application test case instantiated at a processor count.
+struct AppModel {
+  std::string name;       ///< e.g. "AVUS_Standard"
+  int nprocs = 0;
+  int timesteps = 0;
+  std::vector<Phase> phases;
+
+  [[nodiscard]] std::uint64_t total_flops_per_timestep() const;
+  [[nodiscard]] std::uint64_t total_bytes_per_timestep() const;
+};
+
+void validate(const AppModel& app);
+
+}  // namespace msim::workload

@@ -1,0 +1,112 @@
+#include "workload/extra_apps.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace msim::workload {
+
+namespace {
+
+using memsim::DependencyClass;
+using netsim::CommEvent;
+using netsim::CommType;
+
+std::uint64_t u64(double value) {
+  MSIM_CHECK(value >= 0.0, "negative count");
+  return static_cast<std::uint64_t>(value + 0.5);
+}
+
+}  // namespace
+
+AppModel make_fft3d(int nprocs) {
+  MSIM_REQUIRE(nprocs > 0, "nprocs must be positive");
+  const double total_points = 1024.0 * 1024.0 * 1024.0;  // 1024^3 grid
+  const double points = total_points / nprocs;
+
+  Phase step;
+  step.name = "fft_step";
+
+  // Local 1-D FFT passes: unit-stride butterflies over the local slab.
+  step.blocks.push_back(BasicBlock{
+      .name = "FFT3D/local_ffts",
+      .flops_per_iteration = 40,  // ~5 N log N across the slab
+      .refs_per_iteration = 12,
+      .element_bytes = 16,  // complex doubles
+      .iterations = u64(points * 2),
+      .mix = {.unit = 0.70, .short_ = 0.25, .random = 0.05,
+              .short_stride_elements = 8},
+      .working_set_bytes = u64(points * 16),
+      .dependency = DependencyClass::Independent,
+      .branch_density = 0.02,
+      .ilp_efficiency = 0.35,
+      .page_locality = 0.70});
+
+  // Local transpose between dimensions: strided pathology.
+  step.blocks.push_back(BasicBlock{
+      .name = "FFT3D/local_transpose",
+      .flops_per_iteration = 0,
+      .refs_per_iteration = 2,
+      .element_bytes = 16,
+      .iterations = u64(points * 2),
+      .mix = {.unit = 0.30, .short_ = 0.50, .random = 0.20,
+              .short_stride_elements = 8},
+      .working_set_bytes = u64(points * 16),
+      .dependency = DependencyClass::Independent,
+      .branch_density = 0.01,
+      .ilp_efficiency = 0.30,
+      .page_locality = 0.60});
+
+  // The global transpose: an alltoall moving the entire local slab, twice
+  // per timestep (forward + inverse transform).
+  step.comm = {CommEvent{.type = CommType::AllToAll,
+                         .bytes = u64(points * 16 / nprocs),
+                         .count = 2}};
+
+  AppModel app;
+  app.name = "FFT3D";
+  app.nprocs = nprocs;
+  app.timesteps = 200;
+  app.phases.push_back(std::move(step));
+  validate(app);
+  return app;
+}
+
+AppModel make_krylov_latency(int nprocs) {
+  MSIM_REQUIRE(nprocs > 0, "nprocs must be positive");
+  const double rows = 2e8 / nprocs;
+
+  Phase iterate;
+  iterate.name = "krylov";
+  iterate.blocks.push_back(BasicBlock{
+      .name = "Krylov/spmv_small",
+      .flops_per_iteration = 8,
+      .refs_per_iteration = 6,
+      .element_bytes = 8,
+      .iterations = u64(rows * 4),
+      .mix = {.unit = 0.55, .short_ = 0.15, .random = 0.30,
+              .short_stride_elements = 4},
+      .working_set_bytes = u64(rows * 48),
+      .dependency = DependencyClass::Independent,
+      .branch_density = 0.04,
+      .ilp_efficiency = 0.25,
+      .page_locality = 0.55});
+  // Two dot products per iteration, ~400 solver iterations per timestep:
+  // pure allreduce latency at scale.
+  iterate.comm = {
+      CommEvent{.type = CommType::AllReduce, .bytes = 8, .count = 800},
+      CommEvent{.type = CommType::PointToPoint,
+                .bytes = u64(4.0 * std::sqrt(rows) * 8.0),
+                .count = 400},
+  };
+
+  AppModel app;
+  app.name = "KrylovLatency";
+  app.nprocs = nprocs;
+  app.timesteps = 60;
+  app.phases.push_back(std::move(iterate));
+  validate(app);
+  return app;
+}
+
+}  // namespace msim::workload

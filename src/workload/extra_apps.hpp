@@ -1,0 +1,24 @@
+// Extension workloads beyond the TI-05 suite.
+//
+// The paper notes that adding the NETBENCH term (#8) helped only marginally
+// "because these application cases are not communication bound". These
+// extra application models exist to probe that caveat: workloads whose
+// communication structure dominates at scale, where the network term is
+// decisive rather than marginal.
+#pragma once
+
+#include "workload/basic_block.hpp"
+
+namespace msim::workload {
+
+/// A 3-D FFT pseudo-spectral solver: modest local compute (transpose +
+/// butterfly passes) but an alltoall across the full machine every
+/// timestep — the canonical communication-bound HPC pattern.
+[[nodiscard]] AppModel make_fft3d(int nprocs);
+
+/// A latency-bound implicit solver: tiny per-iteration compute with two
+/// global reductions per Krylov iteration — dominated by allreduce latency
+/// at scale.
+[[nodiscard]] AppModel make_krylov_latency(int nprocs);
+
+}  // namespace msim::workload

@@ -1,0 +1,25 @@
+#!/bin/sh
+# End-to-end smoke test of the msim CLI: every command exercised once,
+# including the archive formats. Fails on any non-zero exit or missing
+# output marker.
+set -e
+MSIM="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$MSIM" help | grep -q "predict-custom"
+"$MSIM" machines | grep -q "ARL_Opteron"
+"$MSIM" show-machine ASC_SC45 | grep -q "cpu.clock_ghz = 1"
+"$MSIM" probe ARL_Xeon --out "$WORK/xeon.probe" | grep -q "STREAM"
+grep -q "maps_unit.points" "$WORK/xeon.probe"
+"$MSIM" trace RFCTH_Standard 16 --out "$WORK/rfcth.sig" | grep -q "eos_lookup"
+grep -q "block.0.name" "$WORK/rfcth.sig"
+"$MSIM" predict RFCTH_Standard 16 NAVO_655 --metric 9-P | grep -q "HPL+MAPS+NET+DEP"
+"$MSIM" rank HYCOM_Standard 96 | grep -q "ranked by"
+"$MSIM" export-app AVUS_Standard 32 --out "$WORK/avus.app"
+grep -q "phase.0.block.0.name" "$WORK/avus.app"
+"$MSIM" predict-custom "$WORK/avus.app" ARL_Altix | grep -q "predicted on"
+# Error paths return non-zero.
+if "$MSIM" unknown-command >/dev/null 2>&1; then exit 1; fi
+if "$MSIM" show-machine NO_SUCH >/dev/null 2>&1; then exit 1; fi
+echo "CLI smoke test passed"

@@ -1,0 +1,131 @@
+// Address-stream generation: determinism, range containment, stride walks,
+// wrapping, component weighting, and PC tagging.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "memsim/address_stream.hpp"
+
+namespace msim::memsim {
+namespace {
+
+StreamSpec unit_spec(std::uint64_t ws = 1024, std::uint32_t element = 8) {
+  StreamSpec spec;
+  spec.base_address = 0x10000;
+  spec.working_set_bytes = ws;
+  spec.element_bytes = element;
+  spec.components = {{.stride_bytes = element, .weight = 1.0}};
+  return spec;
+}
+
+TEST(AddressGenerator, DeterministicPerSeed) {
+  StreamSpec spec = unit_spec(4096);
+  spec.components.push_back({.stride_bytes = 0, .weight = 1.0});
+  AddressGenerator a(spec, 5), b(spec, 5), c(spec, 6);
+  bool any_differs = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto ref_a = a.next();
+    EXPECT_EQ(ref_a, b.next());
+    if (ref_a != c.next()) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(AddressGenerator, AddressesStayInWorkingSet) {
+  StreamSpec spec = unit_spec(2048);
+  spec.components.push_back({.stride_bytes = 0, .weight = 2.0});
+  spec.components.push_back({.stride_bytes = 32, .weight = 1.0});
+  AddressGenerator generator(spec, 9);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t address = generator.next();
+    EXPECT_GE(address, spec.base_address);
+    EXPECT_LT(address, spec.base_address + spec.working_set_bytes);
+  }
+}
+
+TEST(AddressGenerator, UnitStrideWalksSequentially) {
+  AddressGenerator generator(unit_spec(64), 1);
+  // next() returns the current cursor, then advances (wrapping at the
+  // working-set boundary).
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (std::uint64_t offset = 0; offset < 64; offset += 8) {
+      EXPECT_EQ(generator.next(), 0x10000 + offset);
+    }
+  }
+}
+
+TEST(AddressGenerator, BackwardStrideWraps) {
+  StreamSpec spec = unit_spec(64);
+  spec.components[0].stride_bytes = -8;
+  AddressGenerator generator(spec, 1);
+  EXPECT_EQ(generator.next(), 0x10000 + 0);   // starts at the cursor
+  EXPECT_EQ(generator.next(), 0x10000 + 56);  // 0 - 8 wraps to the end
+  EXPECT_EQ(generator.next(), 0x10000 + 48);
+}
+
+TEST(AddressGenerator, RandomAddressesAreElementAligned) {
+  StreamSpec spec = unit_spec(4096, 16);
+  spec.components = {{.stride_bytes = 0, .weight = 1.0}};
+  AddressGenerator generator(spec, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ((generator.next() - spec.base_address) % 16, 0u);
+  }
+}
+
+TEST(AddressGenerator, ComponentWeightsAreRespected) {
+  StreamSpec spec = unit_spec(1u << 20);
+  spec.components = {{.stride_bytes = 8, .weight = 3.0},
+                     {.stride_bytes = 0, .weight = 1.0}};
+  AddressGenerator generator(spec, 17);
+  std::map<std::uint32_t, int> counts;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[generator.next_tagged().stream_id];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.75, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.25, 0.02);
+}
+
+TEST(AddressGenerator, TagsIdentifyComponents) {
+  StreamSpec spec = unit_spec(1u << 16);
+  spec.components = {{.stride_bytes = 8, .weight = 1.0},
+                     {.stride_bytes = 0, .weight = 1.0}};
+  AddressGenerator generator(spec, 21);
+  std::uint64_t last_strided = 0;
+  bool has_last = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto ref = generator.next_tagged();
+    ASSERT_LT(ref.stream_id, 2u);
+    if (ref.stream_id == 0) {
+      if (has_last && ref.address > last_strided) {
+        EXPECT_EQ(ref.address - last_strided, 8u);  // strided stream
+      }
+      last_strided = ref.address;
+      has_last = true;
+    }
+  }
+}
+
+TEST(AddressGenerator, GenerateBatch) {
+  AddressGenerator generator(unit_spec(), 1);
+  const auto batch = generator.generate(100);
+  EXPECT_EQ(batch.size(), 100u);
+}
+
+TEST(AddressGenerator, RejectsBadSpecs) {
+  StreamSpec empty = unit_spec();
+  empty.components.clear();
+  EXPECT_THROW(AddressGenerator(empty, 1), precondition_error);
+
+  StreamSpec tiny = unit_spec();
+  tiny.working_set_bytes = 4;  // < element size
+  EXPECT_THROW(AddressGenerator(tiny, 1), precondition_error);
+
+  StreamSpec negative = unit_spec();
+  negative.components[0].weight = -1.0;
+  EXPECT_THROW(AddressGenerator(negative, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::memsim

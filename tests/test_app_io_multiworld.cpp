@@ -1,0 +1,100 @@
+// App-model text round-trips and the multi-world analysis plumbing.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "metrics/multiworld.hpp"
+#include "simulate/executor.hpp"
+#include "workload/app_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim {
+namespace {
+
+class AppIoRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppIoRoundTrip, RoundTripsLosslessly) {
+  const auto& test_case = workload::find_test_case(GetParam());
+  const auto original = test_case.build(test_case.cpu_counts[1]);
+  const auto parsed = workload::app_from_text(workload::to_text(original));
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.nprocs, original.nprocs);
+  EXPECT_EQ(parsed.timesteps, original.timesteps);
+  ASSERT_EQ(parsed.phases.size(), original.phases.size());
+  for (std::size_t p = 0; p < parsed.phases.size(); ++p) {
+    const auto& a = parsed.phases[p];
+    const auto& b = original.phases[p];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.load_imbalance, b.load_imbalance);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+      EXPECT_EQ(a.blocks[i].name, b.blocks[i].name);
+      EXPECT_EQ(a.blocks[i].iterations, b.blocks[i].iterations);
+      EXPECT_EQ(a.blocks[i].working_set_bytes,
+                b.blocks[i].working_set_bytes);
+      EXPECT_EQ(a.blocks[i].dependency, b.blocks[i].dependency);
+      EXPECT_DOUBLE_EQ(a.blocks[i].mix.unit, b.blocks[i].mix.unit);
+      EXPECT_DOUBLE_EQ(a.blocks[i].page_locality,
+                       b.blocks[i].page_locality);
+    }
+    ASSERT_EQ(a.comm.size(), b.comm.size());
+  }
+
+  // The decisive check: the detailed simulator cannot tell them apart.
+  const auto& machine = machine::find("NAVO_655");
+  EXPECT_DOUBLE_EQ(simulate::execute(parsed, machine).wall_seconds,
+                   simulate::execute(original, machine).wall_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ti05, AppIoRoundTrip,
+    ::testing::Values("AVUS_Standard", "AVUS_Large", "HYCOM_Standard",
+                      "OVERFLOW2_Standard", "RFCTH_Standard"));
+
+TEST(AppIo, ParseErrors) {
+  EXPECT_THROW((void)workload::app_from_text("name = x\n"),
+               precondition_error);
+  auto text =
+      workload::to_text(workload::make_rfcth_standard(16));
+  EXPECT_THROW((void)workload::app_from_text(text + "extra = 1\n"),
+               precondition_error);
+  // A broken mix must fail model validation after parsing.
+  const auto pos = text.find("mix.unit = ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "mix.unit = 0.9");
+  EXPECT_THROW((void)workload::app_from_text(text), precondition_error);
+}
+
+TEST(MultiWorld, TwoWorldAnalysisHasFullStructure) {
+  const auto result = metrics::run_multiworld(2, 100);
+  EXPECT_EQ(result.salts, (std::vector<std::uint64_t>{100, 101}));
+  EXPECT_EQ(result.distributions.size(), metrics::all_metrics().size());
+  for (const auto& distribution : result.distributions) {
+    EXPECT_EQ(distribution.per_world_error.size(), 2u);
+    EXPECT_LE(distribution.min, distribution.mean);
+    EXPECT_LE(distribution.mean, distribution.max);
+    EXPECT_GT(distribution.mean, 0.0);
+  }
+  EXPECT_EQ(result.claims.size(), 6u);
+  for (const auto& claim : result.claims) {
+    EXPECT_EQ(claim.worlds, 2u);
+    EXPECT_LE(claim.holds_in, 2u);
+  }
+}
+
+TEST(MultiWorld, RobustClaimsHoldInProbeWorlds) {
+  // The always-stable claims should hold even in a 2-world sample.
+  const auto result = metrics::run_multiworld(2, 40);
+  EXPECT_EQ(result.claims[0].holds_in, 2u);  // HPL worst
+  EXPECT_EQ(result.claims[2].holds_in, 2u);  // traced beats simple
+}
+
+TEST(MultiWorld, RejectsEmptyInput) {
+  EXPECT_THROW((void)metrics::run_multiworld(0), precondition_error);
+  EXPECT_THROW((void)metrics::run_multiworld(1, 0, {}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace msim

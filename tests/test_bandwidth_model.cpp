@@ -1,0 +1,178 @@
+// The analytic bandwidth surface: service fractions, stride/dependency
+// effects, and monotonicity properties across all machine models.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "memsim/bandwidth_model.hpp"
+#include "test_support.hpp"
+
+namespace msim::memsim {
+namespace {
+
+AccessProfile profile(StrideClass stride,
+                      DependencyClass dep = DependencyClass::Independent,
+                      double branches = 0.0) {
+  return AccessProfile{.stride = stride, .dependency = dep,
+                       .branch_density = branches};
+}
+
+TEST(ServiceFractions, SumToOne) {
+  const auto& machine = machine::find("NAVO_655");
+  for (std::uint64_t ws : {4 * KiB, 256 * KiB, 8 * MiB, 1 * GiB}) {
+    for (StrideClass stride : kAllStrideClasses) {
+      const auto fractions = level_service_fractions(machine, ws, stride);
+      EXPECT_EQ(fractions.size(), machine.caches.size() + 1);
+      double total = 0.0;
+      for (double f : fractions) {
+        EXPECT_GE(f, 0.0);
+        total += f;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ServiceFractions, TinySweepServedByL1) {
+  const auto& machine = machine::find("ARL_Opteron");
+  const auto fractions =
+      level_service_fractions(machine, 4 * KiB, StrideClass::Unit);
+  EXPECT_NEAR(fractions[0], 1.0, 1e-12);
+}
+
+TEST(ServiceFractions, HugeSweepServedByMemory) {
+  const auto& machine = machine::find("ARL_Opteron");
+  const auto fractions = level_service_fractions(
+      machine, machine.total_cache_bytes() * 16, StrideClass::Unit);
+  EXPECT_NEAR(fractions.back(), 1.0, 1e-12);
+}
+
+TEST(ServiceFractions, RandomResidencyIsProportional) {
+  const auto& machine = machine::find("ARL_Xeon");  // L1 8K, L2 512K
+  const std::uint64_t ws = 1 * MiB;
+  const auto fractions =
+      level_service_fractions(machine, ws, StrideClass::Random);
+  EXPECT_NEAR(fractions[0], 8.0 * KiB / ws, 1e-9);
+  EXPECT_NEAR(fractions[1], (512.0 - 8.0) * KiB / ws, 1e-9);
+  EXPECT_NEAR(fractions[2], 1.0 - 512.0 * KiB / ws, 1e-9);
+}
+
+TEST(LevelBandwidth, StrideOrdering) {
+  const auto& machine = machine::find("NAVO_655");
+  for (std::size_t level = 0; level <= machine.caches.size(); ++level) {
+    const double unit =
+        level_bandwidth(machine, level, profile(StrideClass::Unit));
+    const double short_bw =
+        level_bandwidth(machine, level, profile(StrideClass::Short));
+    const double random =
+        level_bandwidth(machine, level, profile(StrideClass::Random));
+    EXPECT_GE(unit, short_bw);
+    EXPECT_GE(short_bw, random);
+  }
+  EXPECT_THROW(
+      (void)level_bandwidth(machine, machine.caches.size() + 1,
+                            profile(StrideClass::Unit)),
+      precondition_error);
+}
+
+TEST(LevelBandwidth, DependencyAndBranchDerate) {
+  const auto& machine = machine::find("ARL_Altix");
+  const double free =
+      level_bandwidth(machine, 1, profile(StrideClass::Unit));
+  const double serial = level_bandwidth(
+      machine, 1, profile(StrideClass::Unit, DependencyClass::Serial));
+  const double branchy = level_bandwidth(
+      machine, 1,
+      profile(StrideClass::Unit, DependencyClass::Independent, 0.5));
+  EXPECT_NEAR(serial, free * machine.cpu.dependency_derate, 1e-6);
+  EXPECT_LT(branchy, free);
+  EXPECT_GT(branchy, serial);  // Altix's dependency derate is harsher
+}
+
+/// Parameterized over all machines: the unit-stride bandwidth surface is
+/// non-increasing in working-set size, and random never beats unit.
+class SurfaceProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SurfaceProperty, MemoryBandwidthIsTheFloor) {
+  // Bandwidth may rise between inner levels (Altix's L1-bypass), but main
+  // memory is always the floor, and past the last cache the curve is
+  // non-increasing.
+  const auto& machine = machine::find(GetParam());
+  const double floor =
+      sustained_bandwidth(machine, 4 * GiB, profile(StrideClass::Unit));
+  double previous = 1e18;
+  for (std::uint64_t ws = 2 * KiB; ws <= 512 * MiB; ws *= 2) {
+    const double bw =
+        sustained_bandwidth(machine, ws, profile(StrideClass::Unit));
+    EXPECT_GE(bw, floor * (1.0 - 1e-9)) << format_bytes(ws);
+    if (ws >= machine.caches.back().size_bytes * 2) {
+      EXPECT_LE(bw, previous * (1.0 + 1e-9)) << format_bytes(ws);
+      previous = bw;
+    }
+  }
+}
+
+TEST_P(SurfaceProperty, RandomNeverBeatsUnit) {
+  const auto& machine = machine::find(GetParam());
+  for (std::uint64_t ws = 2 * KiB; ws <= 512 * MiB; ws *= 4) {
+    const double unit =
+        sustained_bandwidth(machine, ws, profile(StrideClass::Unit));
+    const double random =
+        sustained_bandwidth(machine, ws, profile(StrideClass::Random));
+    EXPECT_LE(random, unit + 1e-6);
+  }
+}
+
+TEST_P(SurfaceProperty, DependencyAlwaysCosts) {
+  const auto& machine = machine::find(GetParam());
+  for (std::uint64_t ws : {8 * KiB, 1 * MiB, 64 * MiB}) {
+    const double free =
+        sustained_bandwidth(machine, ws, profile(StrideClass::Unit));
+    const double serial = sustained_bandwidth(
+        machine, ws, profile(StrideClass::Unit, DependencyClass::Serial));
+    EXPECT_LT(serial, free);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, SurfaceProperty,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Surface, LimitsMatchConfiguredBandwidths) {
+  const auto& machine = machine::find("ARL_Opteron");
+  // Deep in L1.
+  EXPECT_NEAR(sustained_bandwidth(machine, 2 * KiB,
+                                  profile(StrideClass::Unit)),
+              machine.caches[0].unit_stride_bw, 1e-3);
+  // Deep in memory.
+  EXPECT_NEAR(sustained_bandwidth(machine, 1 * GiB,
+                                  profile(StrideClass::Unit)),
+              machine.memory.unit_stride_bw, 1e-3);
+}
+
+TEST(AverageLatency, GrowsWithWorkingSet) {
+  const auto& machine = machine::find("NAVO_655");
+  const double small =
+      average_latency(machine, 4 * KiB, StrideClass::Random);
+  const double large =
+      average_latency(machine, 1 * GiB, StrideClass::Random);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(large, machine.memory.latency_s, machine.memory.latency_s);
+}
+
+TEST(Surface, RejectsZeroWorkingSet) {
+  const auto& machine = machine::find("NAVO_655");
+  EXPECT_THROW((void)level_service_fractions(machine, 0, StrideClass::Unit),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::memsim

@@ -1,0 +1,83 @@
+// Bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::stats {
+namespace {
+
+TEST(Bootstrap, PointEstimateIsTheSampleStatistic) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const auto interval = bootstrap_mean_ci(values);
+  EXPECT_DOUBLE_EQ(interval.point, 2.5);
+  EXPECT_LE(interval.lower, interval.point);
+  EXPECT_GE(interval.upper, interval.point);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  const std::vector<double> constant(50, 7.0);
+  const auto interval = bootstrap_mean_ci(constant);
+  EXPECT_DOUBLE_EQ(interval.lower, 7.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 7.0);
+}
+
+TEST(Bootstrap, CoversTheTrueMeanAtRoughlyTheNominalRate) {
+  // Draw many samples from a known distribution and count how often the
+  // 90% CI covers the true mean; expect roughly 90% (loose bounds).
+  Rng rng(5150);
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample(40);
+    for (auto& value : sample) value = rng.normal(10.0, 3.0);
+    const auto interval =
+        bootstrap_mean_ci(sample, 0.90, 500, 900 + t);
+    if (interval.lower <= 10.0 && 10.0 <= interval.upper) ++covered;
+  }
+  EXPECT_GT(covered, trials * 0.80);
+  EXPECT_LT(covered, trials * 0.99);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  Rng rng(17);
+  std::vector<double> sample(60);
+  for (auto& value : sample) value = rng.uniform(0.0, 100.0);
+  const auto narrow = bootstrap_mean_ci(sample, 0.50);
+  const auto wide = bootstrap_mean_ci(sample, 0.99);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(Bootstrap, DeterministicPerSeed) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const auto a = bootstrap_mean_ci(values, 0.95, 500, 42);
+  const auto b = bootstrap_mean_ci(values, 0.95, 500, 42);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> values = {1.0, 2.0, 100.0};
+  const auto interval = bootstrap_ci(
+      values,
+      [](std::span<const double> sample) {
+        return msim::stats::max(sample);
+      },
+      0.95, 200);
+  EXPECT_DOUBLE_EQ(interval.point, 100.0);
+  EXPECT_LE(interval.upper, 100.0);  // max never exceeds the sample max
+}
+
+TEST(Bootstrap, RejectsBadInput) {
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW((void)bootstrap_mean_ci({}), precondition_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(values, 1.5), precondition_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(values, 0.9, 2), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::stats

@@ -1,0 +1,167 @@
+// Set-associative cache model and multi-level hierarchy.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "memsim/address_stream.hpp"
+#include "memsim/cache.hpp"
+#include "test_support.hpp"
+
+namespace msim::memsim {
+namespace {
+
+machine::CacheLevel small_cache(std::uint64_t size = 1024,
+                                std::uint32_t line = 64,
+                                std::uint32_t ways = 2) {
+  return machine::CacheLevel{.name = "T",
+                             .size_bytes = size,
+                             .line_bytes = line,
+                             .associativity = ways,
+                             .unit_stride_bw = 1e9,
+                             .random_bw = 1e8,
+                             .latency_s = 1e-9};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x13f));  // same 64-byte line
+  EXPECT_FALSE(cache.access(0x140));  // next line
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 1024 B / 64 B line / 2-way = 8 sets. Three lines mapping to set 0:
+  // line addresses differing by sets*line = 512 bytes.
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.num_sets(), 8u);
+  EXPECT_FALSE(cache.access(0x0000));   // A
+  EXPECT_FALSE(cache.access(0x0200));   // B
+  EXPECT_TRUE(cache.access(0x0000));    // A again (now MRU)
+  EXPECT_FALSE(cache.access(0x0400));   // C evicts B (LRU)
+  EXPECT_TRUE(cache.access(0x0000));    // A survives
+  EXPECT_FALSE(cache.access(0x0200));   // B was evicted
+}
+
+TEST(Cache, ResetClearsEverything) {
+  Cache cache(small_cache());
+  (void)cache.access(0x0);
+  (void)cache.access(0x0);
+  cache.reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_FALSE(cache.access(0x0));  // cold again
+}
+
+TEST(Cache, FullyUsedWithinCapacity) {
+  // Touch exactly the capacity repeatedly: after warmup everything hits.
+  Cache cache(small_cache(4096, 64, 4));
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t address = 0; address < 4096; address += 64) {
+      (void)cache.access(address);
+    }
+  }
+  // 64 lines, first pass all miss, subsequent passes all hit.
+  EXPECT_EQ(cache.stats().misses(), 64u);
+  EXPECT_EQ(cache.stats().hits, 128u);
+}
+
+TEST(Cache, CyclicSweepBeyondCapacityThrashesLru) {
+  // Classic LRU pathology: sweep 2x capacity cyclically -> ~0 hits.
+  Cache cache(small_cache(1024, 64, 2));
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t address = 0; address < 2048; address += 64) {
+      (void)cache.access(address);
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(Cache, HitRateHelper) {
+  Cache cache(small_cache());
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+  (void)cache.access(0);
+  (void)cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+/// Parameterized over machines: the hierarchy serves a small working set
+/// from L1 and a huge random one mostly from memory.
+class HierarchyProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HierarchyProperty, SmallWorkingSetLivesInL1) {
+  const auto& machine = machine::find(GetParam());
+  CacheHierarchy hierarchy(machine);
+  StreamSpec spec;
+  spec.working_set_bytes = machine.caches[0].size_bytes / 4;
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 8, .weight = 1.0}};
+  AddressGenerator generator(spec, 3);
+
+  // Warm up one sweep, then measure.
+  const std::size_t sweep = spec.working_set_bytes / 8;
+  for (std::size_t i = 0; i < sweep; ++i) (void)hierarchy.access(
+      generator.next());
+  const auto stats = hierarchy.run(generator.generate(4 * sweep));
+  EXPECT_GT(stats.fraction_at(0), 0.95) << "expected L1 residency";
+}
+
+TEST_P(HierarchyProperty, HugeRandomWorkingSetFallsToMemory) {
+  const auto& machine = machine::find(GetParam());
+  CacheHierarchy hierarchy(machine);
+  StreamSpec spec;
+  spec.working_set_bytes = machine.total_cache_bytes() * 64;
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 0, .weight = 1.0}};
+  AddressGenerator generator(spec, 5);
+  const auto stats = hierarchy.run(generator.generate(50000));
+  EXPECT_GT(stats.fraction_at(machine.caches.size()), 0.90)
+      << "expected main-memory service";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, HierarchyProperty,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Hierarchy, StatsSumToTotal) {
+  const auto& machine = machine::find("NAVO_655");
+  CacheHierarchy hierarchy(machine);
+  StreamSpec spec;
+  spec.working_set_bytes = 4 * MiB;
+  spec.components = {{.stride_bytes = 8, .weight = 1.0},
+                     {.stride_bytes = 0, .weight = 1.0}};
+  AddressGenerator generator(spec, 7);
+  const auto stats = hierarchy.run(generator.generate(20000));
+  std::uint64_t sum = 0;
+  for (std::uint64_t hits : stats.hits_per_level) sum += hits;
+  EXPECT_EQ(sum, stats.total);
+  EXPECT_EQ(stats.total, 20000u);
+}
+
+TEST(Hierarchy, FractionOutOfRangeThrows) {
+  HierarchyStats stats;
+  stats.hits_per_level = {1, 2};
+  stats.total = 3;
+  EXPECT_THROW((void)stats.fraction_at(2), precondition_error);
+}
+
+TEST(Hierarchy, LevelAccessors) {
+  const auto& machine = machine::find("ARL_Altix");
+  CacheHierarchy hierarchy(machine);
+  EXPECT_EQ(hierarchy.depth(), machine.caches.size());
+  EXPECT_EQ(hierarchy.level(0).line_bytes(), machine.caches[0].line_bytes);
+  EXPECT_THROW((void)hierarchy.level(9), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::memsim

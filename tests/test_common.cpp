@@ -1,0 +1,126 @@
+// Units, contract macros, ASCII tables, and CSV emission.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace msim {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(KiB), "1 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(64 * KiB), "64 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB / 2), "1.5 MiB");
+  EXPECT_EQ(format_bytes(2 * GiB), "2 GiB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(1.5e9, "B"), "1.50 GB/s");
+  EXPECT_EQ(format_rate(250.0, "B"), "250.00 B/s");
+  EXPECT_EQ(format_rate(3.2e6, "FLOP"), "3.20 MFLOP/s");
+}
+
+TEST(Units, CycleSeconds) {
+  EXPECT_DOUBLE_EQ(cycle_seconds(1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(cycle_seconds(2.0), 0.5e-9);
+}
+
+TEST(Check, RequireThrowsPreconditionError) {
+  const auto boom = [] { MSIM_REQUIRE(1 == 2, "math is broken"); };
+  EXPECT_THROW(boom(), precondition_error);
+  try {
+    boom();
+  } catch (const precondition_error& error) {
+    EXPECT_NE(std::string(error.what()).find("math is broken"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckThrowsInvariantError) {
+  const auto boom = [] { MSIM_CHECK(false, "invariant"); };
+  EXPECT_THROW(boom(), invariant_error);
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(MSIM_REQUIRE(true, ""));
+  EXPECT_NO_THROW(MSIM_CHECK(2 + 2 == 4, ""));
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"bee", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| bee   | 22    |"), std::string::npos);
+}
+
+TEST(AsciiTable, RightAlignment) {
+  AsciiTable table({"n"});
+  table.set_align(0, Align::Right);
+  table.add_row({"7"});
+  table.add_row({"123"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("|   7 |"), std::string::npos);
+  EXPECT_NE(out.find("| 123 |"), std::string::npos);
+}
+
+TEST(AsciiTable, RuleSeparatesRows) {
+  AsciiTable table({"x"});
+  table.add_row({"a"});
+  table.add_rule();
+  table.add_row({"b"});
+  const std::string out = table.render();
+  // header rule + top + bottom + inserted = 4 horizontal rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+---"); pos != std::string::npos;
+       pos = out.find("+---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiTable, RejectsBadUsage) {
+  EXPECT_THROW(AsciiTable({}), precondition_error);
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), precondition_error);
+  EXPECT_THROW(table.set_align(5, Align::Left), precondition_error);
+}
+
+TEST(AsciiTable, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(63.4, 0), "63");
+  EXPECT_EQ(AsciiTable::pct(18.0), "18");
+}
+
+TEST(Csv, PlainCellsUnquoted) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.numeric_row("label", {1.0, 2.5}, 1);
+  EXPECT_EQ(out.str(), "label,1.0,2.5\n");
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,253 @@
+// The convolver: metric rate selection, overlap, the network term, and the
+// ratio normalization that makes Metric #4 coincide with simple HPL.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "probes/synthetic.hpp"
+#include "test_support.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::convolve {
+namespace {
+
+const probes::ProbeSet& suite_for(const std::string& machine) {
+  static std::map<std::string, probes::ProbeSet> cache;
+  auto it = cache.find(machine);
+  if (it == cache.end()) {
+    it = cache.emplace(machine, probes::run_probe_suite(
+                                    machine::find(machine))).first;
+  }
+  return it->second;
+}
+
+trace::BlockSignature flop_block() {
+  trace::BlockSignature block;
+  block.name = "flops";
+  block.phase = "p";
+  block.flops = 1u << 30;
+  block.refs = 1;
+  block.unit_fraction = 1.0;
+  block.working_set_estimate = 4 * KiB;
+  return block;
+}
+
+trace::BlockSignature memory_block(double unit, double short_, double random,
+                                   std::uint64_t ws) {
+  trace::BlockSignature block;
+  block.name = "memory";
+  block.phase = "p";
+  block.flops = 0;
+  block.refs = 1u << 27;
+  block.element_bytes = 8;
+  block.unit_fraction = unit;
+  block.short_fraction = short_;
+  block.random_fraction = random;
+  block.working_set_estimate = ws;
+  return block;
+}
+
+TEST(Convolver, Metric4IsFlopsOverRmax) {
+  const auto& probes_set = suite_for("NAVO_655");
+  const auto block = flop_block();
+  EXPECT_NEAR(
+      convolve_block(block, probes_set, PredictiveMetric::M4_Hpl),
+      static_cast<double>(block.flops) / probes_set.hpl_rmax, 1e-9);
+}
+
+TEST(Convolver, Metric5UsesStreamForAllMemory) {
+  const auto& probes_set = suite_for("NAVO_655");
+  const auto block = memory_block(0.3, 0.3, 0.4, 1 * GiB);
+  const double expected =
+      static_cast<double>(block.bytes()) / probes_set.stream_bw;
+  EXPECT_NEAR(convolve_block(block, probes_set,
+                             PredictiveMetric::M5_HplStream),
+              expected, expected * 1e-9);
+}
+
+TEST(Convolver, Metric6SplitsStreamAndGups) {
+  const auto& probes_set = suite_for("NAVO_655");
+  const auto all_unit = memory_block(1.0, 0.0, 0.0, 1 * GiB);
+  const auto all_random = memory_block(0.0, 0.0, 1.0, 1 * GiB);
+  const double unit_time = convolve_block(
+      all_unit, probes_set, PredictiveMetric::M6_HplStreamGups);
+  const double random_time = convolve_block(
+      all_random, probes_set, PredictiveMetric::M6_HplStreamGups);
+  EXPECT_NEAR(unit_time,
+              static_cast<double>(all_unit.bytes()) / probes_set.stream_bw,
+              unit_time * 1e-9);
+  EXPECT_NEAR(random_time,
+              static_cast<double>(all_random.bytes()) / probes_set.gups_bw,
+              random_time * 1e-9);
+  EXPECT_GT(random_time, unit_time);
+}
+
+TEST(Convolver, Metric7ReadsMapsAtWorkingSet) {
+  const auto& probes_set = suite_for("ARL_Altix");
+  // A cache-resident block is much faster under #7 than under #6 (which
+  // charges main-memory rates regardless of locality).
+  const auto cached = memory_block(1.0, 0.0, 0.0, 128 * KiB);
+  const double m6 = convolve_block(cached, probes_set,
+                                   PredictiveMetric::M6_HplStreamGups);
+  const double m7 =
+      convolve_block(cached, probes_set, PredictiveMetric::M7_HplMaps);
+  EXPECT_LT(m7, m6 * 0.5);
+}
+
+TEST(Convolver, Metric9AppliesEnhancedCurvesToFlaggedBlocks) {
+  const auto& probes_set = suite_for("ARL_Altix");
+  auto block = memory_block(1.0, 0.0, 0.0, 128 * KiB);
+  const double unflagged =
+      convolve_block(block, probes_set, PredictiveMetric::M9_HplMapsNetDep);
+  block.dependency_limited = true;
+  const double flagged =
+      convolve_block(block, probes_set, PredictiveMetric::M9_HplMapsNetDep);
+  EXPECT_GT(flagged, unflagged);  // dependency-limited loops are slower
+  // #7 ignores the flag entirely.
+  EXPECT_NEAR(convolve_block(block, probes_set,
+                             PredictiveMetric::M7_HplMaps),
+              unflagged, unflagged * 1e-9);
+}
+
+TEST(Convolver, MaxOverlapTakesTheLongerSide) {
+  const auto& probes_set = suite_for("NAVO_655");
+  auto block = memory_block(1.0, 0.0, 0.0, 1 * GiB);
+  block.flops = 1;  // negligible flops: time = memory
+  const double mem_dominated =
+      convolve_block(block, probes_set, PredictiveMetric::M5_HplStream);
+  block.flops = 1ull << 40;  // overwhelming flops: time = flops
+  const double flop_dominated =
+      convolve_block(block, probes_set, PredictiveMetric::M5_HplStream);
+  EXPECT_NEAR(flop_dominated,
+              static_cast<double>(block.flops) / probes_set.hpl_rmax,
+              flop_dominated * 1e-6);
+  EXPECT_GT(flop_dominated, mem_dominated);
+}
+
+TEST(Convolver, SumOverlapAdds) {
+  const auto& probes_set = suite_for("NAVO_655");
+  auto block = memory_block(1.0, 0.0, 0.0, 1 * GiB);
+  block.flops = 1u << 30;
+  ConvolverOptions sum_options;
+  sum_options.overlap = cpusim::OverlapPolicy::Sum;
+  const double summed = convolve_block(
+      block, probes_set, PredictiveMetric::M5_HplStream, sum_options);
+  const double maxed =
+      convolve_block(block, probes_set, PredictiveMetric::M5_HplStream);
+  EXPECT_GT(summed, maxed);
+  EXPECT_NEAR(summed,
+              static_cast<double>(block.flops) / probes_set.hpl_rmax +
+                  static_cast<double>(block.bytes()) / probes_set.stream_bw,
+              summed * 1e-9);
+}
+
+trace::ApplicationSignature tiny_signature(int nprocs = 16) {
+  trace::ApplicationSignature signature;
+  signature.app = "tiny";
+  signature.nprocs = nprocs;
+  signature.timesteps = 10;
+  signature.traced_on = "base";
+  auto block = memory_block(0.5, 0.2, 0.3, 8 * MiB);
+  block.flops = 1u << 24;  // some FP work so flop-only metrics are nonzero
+  signature.blocks = {std::move(block)};
+  signature.comm = {trace::PhaseComm{
+      .phase = "p",
+      .events = {netsim::CommEvent{.type = netsim::CommType::AllReduce,
+                                   .bytes = 64,
+                                   .count = 20}}}};
+  return signature;
+}
+
+TEST(Convolver, NetworkTermOnlyForMetrics8And9) {
+  const auto& probes_set = suite_for("MHPCC_P3");
+  const auto signature = tiny_signature();
+  EXPECT_DOUBLE_EQ(
+      convolve_comm(signature, probes_set, PredictiveMetric::M7_HplMaps),
+      0.0);
+  EXPECT_GT(convolve_comm(signature, probes_set,
+                          PredictiveMetric::M8_HplMapsNet),
+            0.0);
+  EXPECT_GT(convolve_comm(signature, probes_set,
+                          PredictiveMetric::M9_HplMapsNetDep),
+            0.0);
+}
+
+TEST(Convolver, CommTimeGrowsWithProcessCount) {
+  const auto& probes_set = suite_for("MHPCC_P3");
+  EXPECT_GT(convolve_comm(tiny_signature(256), probes_set,
+                          PredictiveMetric::M8_HplMapsNet),
+            convolve_comm(tiny_signature(16), probes_set,
+                          PredictiveMetric::M8_HplMapsNet));
+}
+
+TEST(Convolver, ConvolvedTimeScalesWithTimesteps) {
+  const auto& probes_set = suite_for("NAVO_655");
+  auto signature = tiny_signature();
+  const double ten = convolved_time(signature, probes_set,
+                                    PredictiveMetric::M6_HplStreamGups);
+  signature.timesteps = 20;
+  EXPECT_NEAR(convolved_time(signature, probes_set,
+                             PredictiveMetric::M6_HplStreamGups),
+              2.0 * ten, ten * 1e-9);
+}
+
+TEST(Convolver, RatioNormalizationMakesMetric4EqualSimpleHpl) {
+  // The paper calls Metric #4 "a sanity test for the predictive method":
+  // with flop-only counts the convolver must reproduce the pencil-and-
+  // paper Rmax ratio exactly — for any signature.
+  const auto& base_probes = suite_for(machine::base_system_name());
+  const auto app = workload::make_rfcth_standard(32);
+  const auto signature =
+      trace::trace_application(app, machine::base_system_name());
+  const double base_seconds = 1234.5;
+  for (const auto& target : {"ERDC_O3800", "ASC_SC45", "ARL_Opteron"}) {
+    const auto& target_probes = suite_for(target);
+    const double convolver_prediction =
+        predict_time(signature, target_probes, base_probes, base_seconds,
+                     PredictiveMetric::M4_Hpl);
+    const double eq1_prediction =
+        base_seconds * base_probes.hpl_rmax / target_probes.hpl_rmax;
+    EXPECT_NEAR(convolver_prediction, eq1_prediction,
+                eq1_prediction * 1e-9)
+        << target;
+  }
+}
+
+TEST(Convolver, PredictionOnBaseIsExact) {
+  // Predicting the base system from itself returns the measured time.
+  const auto& base_probes = suite_for(machine::base_system_name());
+  const auto signature = tiny_signature();
+  for (auto metric :
+       {PredictiveMetric::M4_Hpl, PredictiveMetric::M6_HplStreamGups,
+        PredictiveMetric::M9_HplMapsNetDep}) {
+    EXPECT_NEAR(predict_time(signature, base_probes, base_probes, 777.0,
+                             metric),
+                777.0, 1e-6);
+  }
+}
+
+TEST(Convolver, MetricPredicates) {
+  EXPECT_FALSE(uses_maps(PredictiveMetric::M6_HplStreamGups));
+  EXPECT_TRUE(uses_maps(PredictiveMetric::M7_HplMaps));
+  EXPECT_TRUE(uses_maps(PredictiveMetric::M9_HplMapsNetDep));
+  EXPECT_FALSE(uses_network(PredictiveMetric::M7_HplMaps));
+  EXPECT_TRUE(uses_network(PredictiveMetric::M8_HplMapsNet));
+  EXPECT_EQ(to_string(PredictiveMetric::M8_HplMapsNet), "HPL+MAPS+NET");
+}
+
+TEST(Convolver, EmptySignatureRejected) {
+  const auto& probes_set = suite_for("NAVO_655");
+  trace::ApplicationSignature empty;
+  empty.timesteps = 1;
+  EXPECT_THROW((void)convolved_time(empty, probes_set,
+                                    PredictiveMetric::M6_HplStreamGups),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::convolve

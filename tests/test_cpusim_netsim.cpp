@@ -1,0 +1,185 @@
+// Flop model, overlap policies, and the interconnect cost model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "cpusim/flop_model.hpp"
+#include "cpusim/overlap.hpp"
+#include "machine/registry.hpp"
+#include "netsim/cost_model.hpp"
+
+namespace msim {
+namespace {
+
+TEST(FlopModel, AchievedRateScalesWithIlp) {
+  const auto& machine = machine::find("NAVO_655");
+  const cpusim::FlopWork half{.flops = 100, .ilp_efficiency = 0.5};
+  const cpusim::FlopWork quarter{.flops = 100, .ilp_efficiency = 0.25};
+  EXPECT_NEAR(cpusim::achieved_flop_rate(machine, half),
+              machine.peak_flops() * 0.5, 1.0);
+  EXPECT_NEAR(cpusim::achieved_flop_rate(machine, quarter) * 2.0,
+              cpusim::achieved_flop_rate(machine, half), 1.0);
+}
+
+TEST(FlopModel, SerialChainsAreSlower) {
+  const auto& machine = machine::find("ARL_Altix");
+  const cpusim::FlopWork free{.flops = 100, .ilp_efficiency = 0.5,
+                              .serial_dependent = false};
+  const cpusim::FlopWork serial{.flops = 100, .ilp_efficiency = 0.5,
+                                .serial_dependent = true};
+  EXPECT_GT(cpusim::achieved_flop_rate(machine, free),
+            cpusim::achieved_flop_rate(machine, serial));
+}
+
+TEST(FlopModel, TimeOfZeroFlopsIsZero) {
+  const auto& machine = machine::find("NAVO_655");
+  EXPECT_DOUBLE_EQ(
+      cpusim::flop_time(machine, {.flops = 0, .ilp_efficiency = 0.5}), 0.0);
+}
+
+TEST(FlopModel, RejectsBadIlp) {
+  const auto& machine = machine::find("NAVO_655");
+  EXPECT_THROW((void)cpusim::achieved_flop_rate(
+                   machine, {.flops = 1, .ilp_efficiency = 0.0}),
+               precondition_error);
+  EXPECT_THROW((void)cpusim::achieved_flop_rate(
+                   machine, {.flops = 1, .ilp_efficiency = 1.5}),
+               precondition_error);
+}
+
+TEST(Overlap, PolicyOrdering) {
+  // max <= partial <= sum for any inputs and hiding level.
+  for (double flop : {0.0, 1.0, 3.0}) {
+    for (double mem : {0.0, 2.0, 5.0}) {
+      for (double hiding : {0.0, 0.5, 1.0}) {
+        const double maxed = cpusim::combine_overlap(
+            flop, mem, cpusim::OverlapPolicy::Max, hiding);
+        const double partial = cpusim::combine_overlap(
+            flop, mem, cpusim::OverlapPolicy::Partial, hiding);
+        const double summed = cpusim::combine_overlap(
+            flop, mem, cpusim::OverlapPolicy::Sum, hiding);
+        EXPECT_LE(maxed, partial + 1e-12);
+        EXPECT_LE(partial, summed + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Overlap, PartialLimits) {
+  // hiding=1 -> Max; hiding=0 -> Sum.
+  EXPECT_DOUBLE_EQ(
+      cpusim::combine_overlap(2.0, 3.0, cpusim::OverlapPolicy::Partial, 1.0),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      cpusim::combine_overlap(2.0, 3.0, cpusim::OverlapPolicy::Partial, 0.0),
+      5.0);
+}
+
+TEST(Overlap, RejectsBadInput) {
+  EXPECT_THROW((void)cpusim::combine_overlap(
+                   -1.0, 0.0, cpusim::OverlapPolicy::Max, 0.5),
+               precondition_error);
+  EXPECT_THROW((void)cpusim::combine_overlap(
+                   1.0, 1.0, cpusim::OverlapPolicy::Max, 2.0),
+               precondition_error);
+}
+
+machine::Network test_net() {
+  return machine::Network{.latency_s = 5e-6,
+                          .bandwidth = 0.5 * GB,
+                          .eager_threshold_bytes = 16 * KiB,
+                          .per_message_overhead_s = 1e-6,
+                          .procs_per_node = 4};
+}
+
+TEST(Netsim, PtToPtEagerVersusRendezvous) {
+  const auto net = test_net();
+  const double eager = netsim::pt2pt_time(net, 16 * KiB);
+  const double rendezvous = netsim::pt2pt_time(net, 16 * KiB + 1);
+  // Rendezvous adds a round trip: two extra latencies (minus one byte).
+  EXPECT_NEAR(rendezvous - eager, 2.0 * net.latency_s, 1e-8);
+}
+
+TEST(Netsim, PtToPtMonotoneInSize) {
+  const auto net = test_net();
+  double previous = 0.0;
+  for (std::uint64_t bytes = 0; bytes <= 4 * MiB; bytes += 128 * KiB) {
+    const double t = netsim::pt2pt_time(net, bytes);
+    EXPECT_GE(t, previous);
+    previous = t;
+  }
+}
+
+TEST(Netsim, ZeroByteLatency) {
+  const auto net = test_net();
+  EXPECT_DOUBLE_EQ(netsim::pt2pt_time(net, 0),
+                   net.per_message_overhead_s + net.latency_s);
+}
+
+TEST(Netsim, SingleProcessCollectivesAreFree) {
+  const auto net = test_net();
+  for (auto type : {netsim::CommType::AllReduce, netsim::CommType::Broadcast,
+                    netsim::CommType::AllToAll, netsim::CommType::Barrier}) {
+    EXPECT_DOUBLE_EQ(netsim::collective_time(net, type, 1024, 1), 0.0);
+  }
+}
+
+TEST(Netsim, CollectivesGrowWithProcessCount) {
+  const auto net = test_net();
+  for (auto type : {netsim::CommType::AllReduce, netsim::CommType::Broadcast,
+                    netsim::CommType::AllToAll,
+                    netsim::CommType::Barrier}) {
+    const double small = netsim::collective_time(net, type, 1024, 8);
+    const double large = netsim::collective_time(net, type, 1024, 256);
+    EXPECT_GT(large, small) << netsim::to_string(type);
+  }
+}
+
+TEST(Netsim, BarrierIsLogP) {
+  const auto net = test_net();
+  const double alpha = net.latency_s + net.per_message_overhead_s;
+  EXPECT_NEAR(
+      netsim::collective_time(net, netsim::CommType::Barrier, 0, 64),
+      6.0 * alpha, 1e-12);
+  EXPECT_NEAR(
+      netsim::collective_time(net, netsim::CommType::Barrier, 0, 65),
+      7.0 * alpha, 1e-12);
+}
+
+TEST(Netsim, AllToAllIsPairwise) {
+  const auto net = test_net();
+  const double alpha = net.latency_s + net.per_message_overhead_s;
+  const double expected = 3.0 * (alpha + 1000.0 / net.bandwidth);
+  EXPECT_NEAR(
+      netsim::collective_time(net, netsim::CommType::AllToAll, 1000, 4),
+      expected, 1e-12);
+}
+
+TEST(Netsim, EventTimeScalesWithCount) {
+  const auto net = test_net();
+  const netsim::CommEvent once{.type = netsim::CommType::AllReduce,
+                               .bytes = 64,
+                               .count = 1};
+  const netsim::CommEvent many{.type = netsim::CommType::AllReduce,
+                               .bytes = 64,
+                               .count = 50};
+  EXPECT_NEAR(netsim::event_time(net, many, 32),
+              50.0 * netsim::event_time(net, once, 32), 1e-12);
+}
+
+TEST(Netsim, SharedBandwidthDividesByNodeSharing) {
+  const auto net = test_net();
+  EXPECT_DOUBLE_EQ(netsim::shared_bandwidth(net, 2.0), net.bandwidth / 2.0);
+  EXPECT_THROW((void)netsim::shared_bandwidth(net, 0.5), precondition_error);
+  const double shared = netsim::pt2pt_time(net, 1 * MiB, 4.0);
+  const double alone = netsim::pt2pt_time(net, 1 * MiB, 1.0);
+  EXPECT_GT(shared, alone);
+}
+
+TEST(Netsim, CommTypeNames) {
+  EXPECT_EQ(netsim::to_string(netsim::CommType::AllReduce), "allreduce");
+  EXPECT_EQ(netsim::to_string(netsim::CommType::PointToPoint), "p2p");
+}
+
+}  // namespace
+}  // namespace msim

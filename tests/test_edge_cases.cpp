@@ -1,0 +1,162 @@
+// Edge-case sweep across modules: boundary inputs, rarely-taken branches,
+// and formatting corners not covered by the behavioural suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "metrics/study.hpp"
+#include "netsim/cost_model.hpp"
+#include "probes/synthetic.hpp"
+#include "trace/tracer.hpp"
+
+namespace msim {
+namespace {
+
+TEST(EdgeTable, RuleAtStartAndEnd) {
+  AsciiTable table({"x"});
+  table.add_rule();  // before any row: coincides with the header rule
+  table.add_row({"a"});
+  table.add_rule();  // after the last row: coincides with the bottom rule
+  EXPECT_NO_THROW((void)table.render());
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(EdgeTable, StreamInsertion) {
+  AsciiTable table({"k", "v"});
+  table.add_row({"a", "1"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.render());
+}
+
+TEST(EdgeUnits, ExtremeValues) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+  // Beyond GiB the suffix saturates at GiB.
+  EXPECT_EQ(format_bytes(2048ull * GiB), "2048 GiB");
+  // Rates saturate at the G prefix.
+  EXPECT_EQ(format_rate(5e12, "B"), "5000.00 GB/s");
+}
+
+TEST(EdgeNetsim, TwoRankCollectives) {
+  const auto& net = machine::find("ARL_Altix").net;
+  // log2(2) = 1 round for every tree algorithm.
+  const double alpha = net.latency_s + net.per_message_overhead_s;
+  EXPECT_NEAR(netsim::collective_time(net, netsim::CommType::Barrier, 0, 2),
+              alpha, 1e-12);
+  EXPECT_NEAR(
+      netsim::collective_time(net, netsim::CommType::AllToAll, 100, 2),
+      alpha + 100.0 / net.bandwidth, 1e-12);
+}
+
+TEST(EdgeNetsim, LargeBroadcastUsesScatterAllgather) {
+  const auto& net = machine::find("MHPCC_P3").net;
+  const std::uint64_t big = net.eager_threshold_bytes * 8;
+  const double tree_cost =
+      std::ceil(std::log2(64.0)) *
+      (net.latency_s + net.per_message_overhead_s +
+       static_cast<double>(big) / net.bandwidth);
+  // The long-message algorithm must beat the naive tree for large payloads.
+  EXPECT_LT(
+      netsim::collective_time(net, netsim::CommType::Broadcast, big, 64),
+      tree_cost);
+}
+
+TEST(EdgeMetrics, EveryMetricHasDistinctLabelAndDescription) {
+  std::set<std::string> labels;
+  for (metrics::Metric metric : metrics::all_metrics()) {
+    EXPECT_TRUE(labels.insert(metrics::row_label(metric)).second);
+    EXPECT_FALSE(metrics::description(metric).empty());
+  }
+  EXPECT_EQ(labels.size(), 11u);
+}
+
+TEST(EdgeConvolver, ShortMappingOptionsAreOrdered) {
+  // unit rate >= geometric mean >= random rate, so the three mappings
+  // order the short bin's time accordingly.
+  const auto probes_set =
+      probes::run_probe_suite(machine::find("NAVO_655"));
+  trace::BlockSignature block;
+  block.name = "short-only";
+  block.refs = 1u << 24;
+  block.element_bytes = 8;
+  block.short_fraction = 1.0;
+  block.working_set_estimate = 1 * GiB;
+
+  auto time_with = [&](convolve::ShortStrideMapping mapping) {
+    convolve::ConvolverOptions options;
+    options.short_mapping = mapping;
+    return convolve::convolve_block(
+        block, probes_set, convolve::PredictiveMetric::M6_HplStreamGups,
+        options);
+  };
+  const double as_unit = time_with(convolve::ShortStrideMapping::AsUnit);
+  const double geometric =
+      time_with(convolve::ShortStrideMapping::GeometricMean);
+  const double as_random =
+      time_with(convolve::ShortStrideMapping::AsRandom);
+  EXPECT_LT(as_unit, geometric);
+  EXPECT_LT(geometric, as_random);
+}
+
+TEST(EdgeTracer, BlockWithOnlyFlops) {
+  workload::BasicBlock block{
+      .name = "flops-only",
+      .flops_per_iteration = 100,
+      .refs_per_iteration = 1,  // tracer needs at least one ref stream
+      .element_bytes = 8,
+      .iterations = 1000,
+      .mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+              .short_stride_elements = 2},
+      .working_set_bytes = 4 * KiB,
+      .ilp_efficiency = 0.9};
+  const auto signature = trace::trace_block(block, "p");
+  EXPECT_EQ(signature.flops, 100000u);
+  EXPECT_EQ(signature.refs, 1000u);
+  EXPECT_NEAR(signature.unit_fraction, 1.0, 0.01);
+}
+
+TEST(EdgeProbes, MapsWithCustomSizes) {
+  const auto& machine = machine::find("ARL_Xeon");
+  const std::vector<std::uint64_t> sizes = {4 * KiB, 4 * MiB};
+  const auto curve =
+      probes::maps_probe(machine, memsim::StrideClass::Unit, false, sizes);
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_GT(curve.points[0].bandwidth, curve.points[1].bandwidth);
+  EXPECT_THROW((void)probes::maps_probe(machine,
+                                        memsim::StrideClass::Unit, false,
+                                        {}),
+               precondition_error);
+}
+
+TEST(EdgeProbes, ShortStrideProbeExists) {
+  // The Short stride class is probeable even though the suite only
+  // archives unit and random curves.
+  const auto& machine = machine::find("NAVO_655");
+  const auto curve = probes::maps_probe(
+      machine, memsim::StrideClass::Short, false, {64 * KiB});
+  EXPECT_GT(curve.points[0].bandwidth, 0.0);
+}
+
+TEST(EdgeStudy, PredictUnknownConfigurationThrows) {
+  const auto study = metrics::Study::build(
+      {machine::find("ARL_Xeon")},
+      machine::find(machine::base_system_name()),
+      {workload::find_test_case("RFCTH_Standard")});
+  EXPECT_THROW((void)study.predict(metrics::Metric::S1_Hpl,
+                                   "RFCTH_Standard", 16, "NAVO_655"),
+               precondition_error);
+  EXPECT_THROW((void)study.predict(metrics::Metric::S1_Hpl, "AVUS_Standard",
+                                   32, "ARL_Xeon"),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace msim

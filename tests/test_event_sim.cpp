@@ -1,0 +1,152 @@
+// Rank-level event simulation versus the analytic collective cost model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "netsim/cost_model.hpp"
+#include "netsim/event_sim.hpp"
+#include "report/breakdown.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::netsim {
+namespace {
+
+machine::Network test_net() {
+  return machine::Network{.latency_s = 5e-6,
+                          .bandwidth = 0.5 * GB,
+                          .eager_threshold_bytes = 16 * KiB,
+                          .per_message_overhead_s = 1e-6,
+                          .procs_per_node = 4};
+}
+
+TEST(EventSim, SingleRankIsFree) {
+  const auto net = test_net();
+  for (auto type : {CommType::AllReduce, CommType::Broadcast,
+                    CommType::AllToAll, CommType::Barrier}) {
+    EXPECT_DOUBLE_EQ(simulate_collective(net, type, 1024, 1), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(simulate_halo_exchange(net, 1024, 4, 1), 0.0);
+}
+
+TEST(EventSim, ZeroSkewAllreduceMatchesAnalyticExactly) {
+  // For power-of-two communicators and small messages, the analytic model
+  // *is* recursive doubling: log2(p) rounds of (alpha + b/bw).
+  const auto net = test_net();
+  for (int nprocs : {2, 8, 64, 256}) {
+    const double simulated =
+        simulate_collective(net, CommType::AllReduce, 1024, nprocs);
+    const double analytic =
+        collective_time(net, CommType::AllReduce, 1024, nprocs);
+    EXPECT_NEAR(simulated, analytic, analytic * 1e-9) << nprocs;
+  }
+}
+
+TEST(EventSim, ZeroSkewBarrierMatchesAnalytic) {
+  const auto net = test_net();
+  for (int nprocs : {2, 16, 128}) {
+    EXPECT_NEAR(simulate_collective(net, CommType::Barrier, 0, nprocs),
+                collective_time(net, CommType::Barrier, 0, nprocs),
+                1e-12)
+        << nprocs;
+  }
+}
+
+TEST(EventSim, NonPowerOfTwoTakesTheCeilingRound) {
+  // 65 ranks need 7 rounds, same as 128 (idle peers notwithstanding).
+  const auto net = test_net();
+  const double p65 = simulate_collective(net, CommType::Barrier, 0, 65);
+  const double p64 = simulate_collective(net, CommType::Barrier, 0, 64);
+  EXPECT_GT(p65, p64);
+  EXPECT_NEAR(p65, collective_time(net, CommType::Barrier, 0, 65), 1e-12);
+}
+
+TEST(EventSim, BroadcastMatchesBinomialTree) {
+  const auto net = test_net();
+  const double simulated =
+      simulate_collective(net, CommType::Broadcast, 4096, 32);
+  const double analytic =
+      collective_time(net, CommType::Broadcast, 4096, 32);
+  EXPECT_NEAR(simulated, analytic, analytic * 1e-9);
+}
+
+TEST(EventSim, AlltoallScalesLinearlyInRanks) {
+  const auto net = test_net();
+  const double p8 = simulate_collective(net, CommType::AllToAll, 2048, 8);
+  const double p16 = simulate_collective(net, CommType::AllToAll, 2048, 16);
+  // p-1 rounds: 15/7 ratio.
+  EXPECT_NEAR(p16 / p8, 15.0 / 7.0, 0.05);
+}
+
+TEST(EventSim, SkewOnlyAddsTime) {
+  const auto net = test_net();
+  const double crisp =
+      simulate_collective(net, CommType::AllReduce, 512, 64);
+  for (double skew : {1e-6, 1e-4, 1e-2}) {
+    EventSimOptions options;
+    options.skew_stddev_s = skew;
+    const double skewed =
+        simulate_collective(net, CommType::AllReduce, 512, 64, options);
+    EXPECT_GE(skewed, crisp);
+  }
+  // Large skew dominates the collective itself.
+  EventSimOptions huge;
+  huge.skew_stddev_s = 1.0;
+  EXPECT_GT(simulate_collective(net, CommType::AllReduce, 512, 64, huge),
+            100 * crisp);
+}
+
+TEST(EventSim, SkewIsDeterministicPerSeed) {
+  const auto net = test_net();
+  EventSimOptions a, b;
+  a.skew_stddev_s = b.skew_stddev_s = 1e-4;
+  EXPECT_DOUBLE_EQ(
+      simulate_collective(net, CommType::AllReduce, 512, 32, a),
+      simulate_collective(net, CommType::AllReduce, 512, 32, b));
+  b.seed = a.seed + 1;
+  EXPECT_NE(simulate_collective(net, CommType::AllReduce, 512, 32, a),
+            simulate_collective(net, CommType::AllReduce, 512, 32, b));
+}
+
+TEST(EventSim, HaloExchangeSerializesNeighbors) {
+  const auto net = test_net();
+  const double two = simulate_halo_exchange(net, 64 * KiB, 2, 64);
+  const double six = simulate_halo_exchange(net, 64 * KiB, 6, 64);
+  EXPECT_NEAR(six / two, 3.0, 0.2);
+  // And matches p2p cost per neighbor at zero skew.
+  EXPECT_NEAR(two, 2.0 * pt2pt_time(net, 64 * KiB), two * 0.05);
+}
+
+TEST(EventSim, NodeSharingSlowsLargeMessages) {
+  const auto net = test_net();
+  EventSimOptions shared;
+  shared.node_sharing = 4.0;
+  EXPECT_GT(simulate_collective(net, CommType::AllToAll, 1 * MiB, 16,
+                                shared),
+            simulate_collective(net, CommType::AllToAll, 1 * MiB, 16));
+}
+
+TEST(TimeShares, SumToOneAndMatchIntuition) {
+  const auto app = workload::make_rfcth_standard(32);
+  const auto run = simulate::execute(app, machine::find("ARL_Xeon"));
+  const auto shares = report::time_shares(run);
+  EXPECT_NEAR(shares.flop + shares.memory + shares.tlb + shares.comm +
+                  shares.other,
+              1.0, 1e-9);
+  EXPECT_GT(shares.memory, shares.flop);  // RFCTH is memory/TLB-bound
+  EXPECT_GE(shares.other, 0.0);
+}
+
+TEST(Breakdown, RendersEveryBlock) {
+  const auto app = workload::make_hycom_standard(59);
+  const std::string out =
+      report::render_breakdown(app, machine::find("NAVO_655"));
+  EXPECT_NE(out.find("HYCOM/barotropic_solve"), std::string::npos);
+  EXPECT_NE(out.find("Shares:"), std::string::npos);
+  const std::string summary = report::render_bottleneck_summary(
+      app, {machine::find("NAVO_655"), machine::find("ARL_Xeon")});
+  EXPECT_NE(summary.find("ARL_Xeon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msim::netsim

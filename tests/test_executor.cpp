@@ -1,0 +1,176 @@
+// Ground-truth executor: determinism, effect toggles, contention and
+// conflict modeling, and the observation campaign.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "simulate/campaign.hpp"
+#include "simulate/executor.hpp"
+#include "test_support.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::simulate {
+namespace {
+
+const workload::AppModel& test_app() {
+  static const workload::AppModel app = workload::make_hycom_standard(96);
+  return app;
+}
+
+TEST(Executor, ProducesPositiveDeterministicTimes) {
+  const auto& machine = machine::find("NAVO_655");
+  const RunResult a = execute(test_app(), machine);
+  const RunResult b = execute(test_app(), machine);
+  EXPECT_GT(a.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.app, "HYCOM_Standard");
+  EXPECT_EQ(a.machine, "NAVO_655");
+  EXPECT_EQ(a.nprocs, 96);
+}
+
+TEST(Executor, WallIsComputePlusComm) {
+  const RunResult run = execute(test_app(), machine::find("ASC_SC45"));
+  EXPECT_NEAR(run.wall_seconds, run.compute_seconds + run.comm_seconds,
+              1e-9);
+  EXPECT_GT(run.comm_fraction(), 0.0);
+  EXPECT_LT(run.comm_fraction(), 0.5);
+}
+
+TEST(Executor, PerTimestepBreakdownPresent) {
+  const RunResult run = execute(test_app(), machine::find("ARL_Xeon"));
+  ASSERT_EQ(run.per_timestep.size(), test_app().phases.size());
+  for (std::size_t i = 0; i < run.per_timestep.size(); ++i) {
+    EXPECT_EQ(run.per_timestep[i].phase, test_app().phases[i].name);
+    EXPECT_EQ(run.per_timestep[i].blocks.size(),
+              test_app().phases[i].blocks.size());
+    for (const auto& block : run.per_timestep[i].blocks) {
+      EXPECT_GE(block.total_seconds,
+                std::max(block.flop_seconds,
+                         block.memory_seconds + block.tlb_seconds) - 1e-12);
+    }
+  }
+}
+
+TEST(Executor, TlbToggleOnlySlowsDown) {
+  const auto& machine = machine::find("ARL_Xeon");  // small TLB
+  ExecutorOptions with, without;
+  without.apply_tlb = false;
+  EXPECT_GT(execute(test_app(), machine, with).wall_seconds,
+            execute(test_app(), machine, without).wall_seconds);
+}
+
+TEST(Executor, ContentionToggleOnlySlowsDown) {
+  const auto& machine = machine::find("MHPCC_690_1.3");  // 32-way nodes
+  ExecutorOptions with, without;
+  without.apply_contention = false;
+  EXPECT_GT(execute(test_app(), machine, with).wall_seconds,
+            execute(test_app(), machine, without).wall_seconds);
+}
+
+TEST(Executor, SystemEfficiencySlowsDown) {
+  const auto& machine = machine::find("ARL_Xeon");
+  ExecutorOptions with, without;
+  with.apply_noise = without.apply_noise = false;
+  without.apply_system_efficiency = false;
+  const double ratio = execute(test_app(), machine, with).wall_seconds /
+                       execute(test_app(), machine, without).wall_seconds;
+  EXPECT_NEAR(ratio, 1.0 / machine.system_efficiency, 1e-9);
+}
+
+TEST(Executor, NoiseIsBounded) {
+  const auto& machine = machine::find("ARL_Opteron");
+  ExecutorOptions noisy, quiet;
+  quiet.apply_noise = false;
+  const double with_noise = execute(test_app(), machine, noisy).wall_seconds;
+  const double baseline = execute(test_app(), machine, quiet).wall_seconds;
+  const double bound = (1.0 + noisy.noise_amplitude) *
+                       (1.0 + noisy.affinity_amplitude);
+  EXPECT_LT(with_noise / baseline, bound + 1e-9);
+  EXPECT_GT(with_noise / baseline, 1.0 / bound - 1e-9);
+}
+
+TEST(Executor, DifferentSaltsGiveDifferentWorlds) {
+  const auto& machine = machine::find("ARL_Opteron");
+  ExecutorOptions a, b;
+  b.noise_salt = a.noise_salt + 1;
+  EXPECT_NE(execute(test_app(), machine, a).wall_seconds,
+            execute(test_app(), machine, b).wall_seconds);
+}
+
+TEST(Contention, DividesMemoryBandwidthOnly) {
+  const auto& machine = machine::find("MHPCC_P3");
+  const auto contended = apply_contention(machine);
+  EXPECT_LT(contended.memory.unit_stride_bw, machine.memory.unit_stride_bw);
+  EXPECT_LT(contended.memory.random_bw, machine.memory.random_bw);
+  EXPECT_DOUBLE_EQ(contended.caches[0].unit_stride_bw,
+                   machine.caches[0].unit_stride_bw);
+}
+
+TEST(Conflicts, SusceptibilityReflectsAssociativity) {
+  // SC45 has a direct-mapped L2: highest susceptibility of the set.
+  const double sc45 = conflict_susceptibility(machine::find("ASC_SC45"));
+  const double p655 = conflict_susceptibility(machine::find("NAVO_655"));
+  EXPECT_GT(sc45, p655);
+  EXPECT_LE(sc45, 1.0);
+}
+
+TEST(Conflicts, PureStreamsAreNotInflated) {
+  workload::BasicBlock block{
+      .name = "pure",
+      .flops_per_iteration = 1,
+      .refs_per_iteration = 1,
+      .element_bytes = 8,
+      .iterations = 1,
+      .mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+              .short_stride_elements = 2},
+      .working_set_bytes = 1 << 20,
+      .ilp_efficiency = 0.5};
+  EXPECT_EQ(conflict_inflated_working_set(block,
+                                          machine::find("ASC_SC45"), 1.0),
+            block.working_set_bytes);
+}
+
+TEST(Conflicts, MixedStreamsInflate) {
+  workload::BasicBlock block{
+      .name = "mixed",
+      .flops_per_iteration = 1,
+      .refs_per_iteration = 1,
+      .element_bytes = 8,
+      .iterations = 1,
+      .mix = {.unit = 0.4, .short_ = 0.3, .random = 0.3,
+              .short_stride_elements = 4},
+      .working_set_bytes = 1 << 20,
+      .ilp_efficiency = 0.5};
+  const auto inflated = conflict_inflated_working_set(
+      block, machine::find("ASC_SC45"), 1.0);
+  EXPECT_GT(inflated, block.working_set_bytes);
+  EXPECT_LT(inflated, block.working_set_bytes * 2);
+}
+
+TEST(Campaign, BuildsAllObservations) {
+  // 2 machines x (1 test case x 3 counts) = 6 observations.
+  std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Xeon"), machine::find("ARL_Opteron")};
+  std::vector<workload::TestCase> suite = {
+      workload::find_test_case("RFCTH_Standard")};
+  const ObservationSet set = run_campaign(machines, suite);
+  EXPECT_EQ(set.size(), 6u);
+  EXPECT_GT(set.at("RFCTH_Standard", 16, "ARL_Xeon"), 0.0);
+  EXPECT_FALSE(set.find("RFCTH_Standard", 99, "ARL_Xeon").has_value());
+  EXPECT_THROW((void)set.at("RFCTH_Standard", 99, "ARL_Xeon"),
+               precondition_error);
+}
+
+TEST(Campaign, RejectsDuplicates) {
+  ObservationSet set;
+  set.add({"A", 1, "M", 10.0});
+  EXPECT_THROW(set.add({"A", 1, "M", 20.0}), precondition_error);
+}
+
+TEST(Campaign, PaperCampaignHas165Observations) {
+  // 5 apps x 3 counts x (10 targets + base) = 165; reuse the shared study.
+  EXPECT_EQ(msim::testing::shared_study().observations().size(), 165u);
+}
+
+}  // namespace
+}  // namespace msim::simulate

@@ -1,0 +1,66 @@
+// The extension workloads (FFT3D, KrylovLatency) and their intended
+// communication character.
+#include <gtest/gtest.h>
+
+#include "machine/registry.hpp"
+#include "report/breakdown.hpp"
+#include "simulate/executor.hpp"
+#include "workload/extra_apps.hpp"
+
+namespace msim::workload {
+namespace {
+
+TEST(ExtraApps, ValidateAcrossCounts) {
+  for (int nprocs : {16, 64, 256, 1024}) {
+    EXPECT_NO_THROW(validate(make_fft3d(nprocs)));
+    EXPECT_NO_THROW(validate(make_krylov_latency(nprocs)));
+  }
+}
+
+TEST(ExtraApps, Fft3dMovesTheWholeSlabThroughAlltoall) {
+  const auto app = make_fft3d(256);
+  ASSERT_EQ(app.phases.size(), 1u);
+  const auto& events = app.phases[0].comm;
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, netsim::CommType::AllToAll);
+  // Per-pair payload x (p-1) pairs ~ the local slab size.
+  const double slab = 1024.0 * 1024.0 * 1024.0 / 256 * 16;
+  EXPECT_NEAR(static_cast<double>(events[0].bytes) * 255, slab,
+              slab * 0.05);
+}
+
+TEST(ExtraApps, KrylovBecomesCommBoundAtScale) {
+  const auto& machine = machine::find("MHPCC_P3");  // high-latency Colony
+  const double small = simulate::execute(make_krylov_latency(64), machine)
+                           .comm_fraction();
+  const double large =
+      simulate::execute(make_krylov_latency(1024), machine)
+          .comm_fraction();
+  EXPECT_LT(small, 0.2);
+  EXPECT_GT(large, 0.3);
+  EXPECT_GT(large, small * 2);
+}
+
+TEST(ExtraApps, CommFractionTracksInterconnectQuality) {
+  // The same Krylov run is much less comm-bound on the low-latency Altix
+  // than on the Colony-switched P3.
+  const auto app = make_krylov_latency(256);
+  const double on_p3 =
+      simulate::execute(app, machine::find("MHPCC_P3")).comm_fraction();
+  const double on_altix =
+      simulate::execute(app, machine::find("ARL_Altix")).comm_fraction();
+  EXPECT_GT(on_p3, on_altix);
+}
+
+TEST(ExtraApps, BreakdownSeesTheCommShare) {
+  const auto run = simulate::execute(make_krylov_latency(1024),
+                                     machine::find("MHPCC_P3"));
+  const auto shares = report::time_shares(run);
+  EXPECT_GT(shares.comm, 0.3);
+  EXPECT_NEAR(shares.flop + shares.memory + shares.tlb + shares.comm +
+                  shares.other,
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msim::workload

@@ -1,0 +1,224 @@
+// Fuzz-style property tests: random valid machines and workloads must
+// never break the pipeline's invariants. Each case derives deterministic
+// structure from a seeded generator, so failures are reproducible by seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/proposed.hpp"
+#include "machine/config_io.hpp"
+#include "memsim/bandwidth_model.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/executor.hpp"
+#include "trace/tracer.hpp"
+#include "workload/app_io.hpp"
+
+namespace msim {
+namespace {
+
+/// A random but *valid* machine config: parameters drawn within physical
+/// ranges, cache hierarchy constructed to respect the validation rules.
+machine::MachineConfig random_machine(std::uint64_t seed) {
+  Rng rng(seed);
+  machine::MachineConfig c;
+  c.name = "FUZZ_" + std::to_string(seed);
+  c.architecture = "FUZZ";
+  c.total_processors = 16 << rng.uniform_u64(6);
+
+  c.cpu.clock_ghz = rng.uniform(0.3, 4.0);
+  c.cpu.flops_per_cycle = 1 << rng.uniform_u64(3);
+  c.cpu.hpl_efficiency = rng.uniform(0.3, 0.95);
+  c.cpu.dependency_derate = rng.uniform(0.2, 1.0);
+  c.cpu.branch_derate = rng.uniform(0.4, 1.0);
+  c.cpu.latency_hiding = rng.uniform(0.0, 1.0);
+
+  const int levels = 1 + static_cast<int>(rng.uniform_u64(3));
+  std::uint64_t size = std::uint64_t{8} << (10 + rng.uniform_u64(3));
+  double bandwidth = rng.uniform(4.0, 40.0) * GB;
+  for (int i = 0; i < levels; ++i) {
+    machine::CacheLevel level;
+    level.name = "L" + std::to_string(i + 1);
+    level.size_bytes = size;
+    level.line_bytes = 32u << rng.uniform_u64(3);
+    level.associativity = 1u << rng.uniform_u64(5);
+    level.unit_stride_bw = bandwidth;
+    level.random_bw = bandwidth * rng.uniform(0.2, 1.0);
+    level.latency_s = rng.uniform(1.0, 50.0) * 1e-9;
+    c.caches.push_back(level);
+    size <<= 2 + rng.uniform_u64(3);
+    bandwidth *= rng.uniform(0.3, 1.0);
+  }
+  c.memory.unit_stride_bw =
+      std::min(bandwidth, c.caches.back().unit_stride_bw) *
+      rng.uniform(0.3, 1.0);
+  c.memory.random_bw = c.memory.unit_stride_bw * rng.uniform(0.05, 0.5);
+  c.memory.latency_s = rng.uniform(80.0, 400.0) * 1e-9;
+
+  c.tlb.entries = 32u << rng.uniform_u64(6);
+  c.tlb.page_bytes = 4096u << rng.uniform_u64(3);
+  c.tlb.miss_penalty_s = rng.uniform(20.0, 300.0) * 1e-9;
+
+  c.net.latency_s = rng.uniform(1.0, 30.0) * 1e-6;
+  c.net.bandwidth = rng.uniform(0.1, 2.0) * GB;
+  c.net.eager_threshold_bytes = 1024u << rng.uniform_u64(7);
+  c.net.per_message_overhead_s = rng.uniform(0.2, 5.0) * 1e-6;
+  c.net.procs_per_node = 1 << rng.uniform_u64(6);
+
+  c.system_efficiency = rng.uniform(0.7, 1.0);
+  c.memory_contention = rng.uniform(0.0, 0.6);
+  return c;
+}
+
+/// A random valid single-phase workload.
+workload::AppModel random_app(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::AppModel app;
+  app.name = "FuzzApp_" + std::to_string(seed);
+  app.nprocs = 8 << rng.uniform_u64(6);
+  app.timesteps = 1 + static_cast<int>(rng.uniform_u64(200));
+
+  workload::Phase phase;
+  phase.name = "phase";
+  phase.load_imbalance = rng.uniform(1.0, 1.5);
+  const int blocks = 1 + static_cast<int>(rng.uniform_u64(4));
+  for (int b = 0; b < blocks; ++b) {
+    workload::BasicBlock block;
+    block.name = app.name + "/b" + std::to_string(b);
+    block.flops_per_iteration = rng.uniform_u64(200);
+    block.refs_per_iteration = 1 + rng.uniform_u64(40);
+    block.element_bytes = 4u << rng.uniform_u64(2);
+    block.iterations = 1000 + rng.uniform_u64(1u << 22);
+    double unit = rng.uniform(0.0, 1.0);
+    double short_f = rng.uniform(0.0, 1.0 - unit);
+    block.mix.unit = unit;
+    block.mix.short_ = short_f;
+    block.mix.random = 1.0 - unit - short_f;
+    block.mix.short_stride_elements =
+        2 + static_cast<int>(rng.uniform_u64(7));
+    block.working_set_bytes =
+        std::max<std::uint64_t>(block.element_bytes,
+                                std::uint64_t{1} << (12 +
+                                                     rng.uniform_u64(16)));
+    block.dependency = rng.bernoulli(0.3)
+                           ? memsim::DependencyClass::Serial
+                           : memsim::DependencyClass::Independent;
+    block.branch_density = rng.uniform(0.0, 0.5);
+    block.ilp_efficiency = rng.uniform(0.05, 0.9);
+    block.page_locality = rng.uniform(0.0, 0.9);
+    phase.blocks.push_back(std::move(block));
+  }
+  const int events = static_cast<int>(rng.uniform_u64(4));
+  for (int e = 0; e < events; ++e) {
+    netsim::CommEvent event;
+    const auto types = {netsim::CommType::PointToPoint,
+                        netsim::CommType::AllReduce,
+                        netsim::CommType::Broadcast,
+                        netsim::CommType::AllToAll,
+                        netsim::CommType::Barrier};
+    event.type = *(types.begin() + rng.uniform_u64(types.size()));
+    event.bytes = rng.uniform_u64(1u << 20);
+    event.count = 1 + rng.uniform_u64(100);
+    phase.comm.push_back(event);
+  }
+  app.phases.push_back(std::move(phase));
+  workload::validate(app);
+  return app;
+}
+
+class MachineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MachineFuzz, RandomMachinesSurviveTheWholePipeline) {
+  const auto machine = random_machine(GetParam());
+  ASSERT_NO_THROW(machine::validate(machine));
+
+  // Config IO round-trips.
+  const auto parsed = machine::from_text(machine::to_text(machine));
+  EXPECT_EQ(machine::to_text(parsed), machine::to_text(machine));
+
+  // Bandwidth surface invariants.
+  for (std::uint64_t ws = 4 * KiB; ws <= 256 * MiB; ws *= 8) {
+    const double unit = memsim::sustained_bandwidth(
+        machine, ws,
+        {.stride = memsim::StrideClass::Unit,
+         .dependency = memsim::DependencyClass::Independent,
+         .branch_density = 0.0});
+    const double random = memsim::sustained_bandwidth(
+        machine, ws,
+        {.stride = memsim::StrideClass::Random,
+         .dependency = memsim::DependencyClass::Independent,
+         .branch_density = 0.0});
+    EXPECT_GT(unit, 0.0);
+    EXPECT_LE(random, unit * (1 + 1e-9));
+  }
+
+  // Probes run and are ordered sensibly.
+  const auto probes_set = probes::run_probe_suite(machine);
+  EXPECT_GT(probes_set.hpl_rmax, 0.0);
+  EXPECT_GT(probes_set.stream_bw, 0.0);
+  EXPECT_LE(probes_set.gups_bw, probes_set.stream_bw * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+class WorkloadFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadFuzz, RandomAppsSurviveTheWholePipeline) {
+  const auto app = random_app(GetParam());
+  const auto machine = random_machine(GetParam() * 7 + 1);
+
+  // Ground truth is positive and deterministic.
+  const auto run_a = simulate::execute(app, machine);
+  const auto run_b = simulate::execute(app, machine);
+  EXPECT_GT(run_a.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(run_a.wall_seconds, run_b.wall_seconds);
+
+  // App IO round-trips to the identical simulated time.
+  const auto parsed = workload::app_from_text(workload::to_text(app));
+  EXPECT_DOUBLE_EQ(simulate::execute(parsed, machine).wall_seconds,
+                   run_a.wall_seconds);
+
+  // Tracing produces a consistent signature.
+  trace::TracerOptions tracer;
+  tracer.sample_refs = 1 << 14;  // keep fuzz cases fast
+  const auto signature = trace::trace_application(app, "fuzz-base", tracer);
+  EXPECT_EQ(signature.total_flops_per_timestep(),
+            app.total_flops_per_timestep());
+  for (const auto& block : signature.blocks) {
+    EXPECT_NEAR(block.unit_fraction + block.short_fraction +
+                    block.random_fraction,
+                1.0, 1e-9);
+    EXPECT_GT(block.working_set_estimate, 0u);
+  }
+
+  // Convolution against random-machine probes stays positive and finite.
+  const auto probes_set = probes::run_probe_suite(machine);
+  for (auto metric : {convolve::PredictiveMetric::M4_Hpl,
+                      convolve::PredictiveMetric::M6_HplStreamGups,
+                      convolve::PredictiveMetric::M9_HplMapsNetDep}) {
+    const double convolved =
+        convolve::convolved_time(signature, probes_set, metric);
+    EXPECT_TRUE(std::isfinite(convolved));
+    EXPECT_GE(convolved, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadFuzz,
+                         ::testing::Range<std::uint64_t>(2000, 2012));
+
+TEST(ProposedSystems, ValidateAndProbe) {
+  for (const auto& machine : machine::proposed_systems()) {
+    EXPECT_NO_THROW(machine::validate(machine));
+    const auto probes_set = probes::run_probe_suite(machine);
+    EXPECT_GT(probes_set.hpl_rmax, 0.0);
+  }
+  // The XT3's un-contended controller makes it the STREAM leader.
+  EXPECT_GT(probes::run_probe_suite(machine::make_cray_xt3()).stream_bw,
+            4.0 * GB);
+}
+
+}  // namespace
+}  // namespace msim

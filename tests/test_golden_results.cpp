@@ -1,0 +1,79 @@
+// Golden regression pins for the reference world.
+//
+// EXPERIMENTS.md documents exact Table-4 numbers for the repository's
+// reference world (noise_salt = 14). These tests pin them within +-1.5
+// percentage points so that accidental changes to machine constants,
+// workload mixes, or model code are caught immediately — anyone changing
+// the calibration must update EXPERIMENTS.md deliberately.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.hpp"
+
+namespace msim {
+namespace {
+
+using metrics::Metric;
+
+TEST(Golden, ReferenceWorldTable4) {
+  const auto& study = msim::testing::shared_study();
+  const auto predictions = study.evaluate(metrics::all_metrics());
+
+  const std::map<Metric, double> documented = {
+      {Metric::S1_Hpl, 97.0},
+      {Metric::S2_Stream, 24.0},
+      {Metric::S3_Gups, 19.0},
+      {Metric::P4_Hpl, 97.0},
+      {Metric::P5_HplStream, 23.0},
+      {Metric::P6_HplStreamGups, 17.0},
+      {Metric::P7_HplMaps, 18.0},
+      {Metric::P8_HplMapsNet, 18.0},
+      {Metric::P9_HplMapsNetDep, 16.0},
+      {Metric::BalancedEqual, 28.0},
+      {Metric::BalancedFitted, 23.0},
+  };
+  for (const auto& [metric, expected] : documented) {
+    const double measured =
+        metrics::Study::summarize(
+            metrics::Study::slice_metric(predictions, metric))
+            .mean_abs_error_pct;
+    EXPECT_NEAR(measured, expected, 1.5)
+        << metrics::description(metric)
+        << " drifted from the value documented in EXPERIMENTS.md";
+  }
+}
+
+TEST(Golden, ReferenceWorldProbeAnchors) {
+  // STREAM/GUPS/HPL anchors for three contrasting systems.
+  const auto& study = msim::testing::shared_study();
+  EXPECT_NEAR(study.probe_set("ARL_Opteron").stream_bw / 1e9, 2.54, 0.3);
+  EXPECT_NEAR(study.probe_set("MHPCC_690_1.3").stream_bw / 1e9, 0.65, 0.1);
+  EXPECT_NEAR(study.probe_set("ARL_Altix").hpl_rmax / 1e9, 5.1, 0.1);
+  EXPECT_NEAR(study.probe_set("ERDC_O3800").hpl_rmax / 1e9, 0.6, 0.05);
+}
+
+TEST(Golden, ReferenceWorldGroundTruthAnchors) {
+  // A few simulated "observed" run times, pinned loosely (10%).
+  const auto& observations = msim::testing::shared_study().observations();
+  const std::map<std::string, double> anchors = {
+      {"AVUS_Standard/32/NAVO_655", 3400.0},
+      {"HYCOM_Standard/59/ARL_Altix", 1207.0},
+      {"OVERFLOW2_Standard/32/ARL_Altix", 4243.0},
+      {"RFCTH_Standard/16/ASC_SC45", 3433.0},
+  };
+  for (const auto& [key, expected] : anchors) {
+    const auto first = key.find('/');
+    const auto second = key.find('/', first + 1);
+    const std::string app = key.substr(0, first);
+    const int nprocs =
+        std::atoi(key.substr(first + 1, second - first - 1).c_str());
+    const std::string machine = key.substr(second + 1);
+    EXPECT_NEAR(observations.at(app, nprocs, machine), expected,
+                expected * 0.10)
+        << key;
+  }
+}
+
+}  // namespace
+}  // namespace msim

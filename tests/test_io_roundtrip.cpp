@@ -1,0 +1,118 @@
+// Round-trip tests for the archive formats: application signatures and
+// probe sets must survive serialize -> parse with full predictive fidelity.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/registry.hpp"
+#include "probes/probe_io.hpp"
+#include "probes/synthetic.hpp"
+#include "test_support.hpp"
+#include "trace/signature_io.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim {
+namespace {
+
+TEST(SignatureIo, RoundTripsAllFields) {
+  const auto app = workload::make_overflow2_standard(48);
+  const auto original =
+      trace::trace_application(app, machine::base_system_name());
+  const auto parsed =
+      trace::signature_from_text(trace::to_text(original));
+
+  EXPECT_EQ(parsed.app, original.app);
+  EXPECT_EQ(parsed.nprocs, original.nprocs);
+  EXPECT_EQ(parsed.timesteps, original.timesteps);
+  EXPECT_EQ(parsed.traced_on, original.traced_on);
+  ASSERT_EQ(parsed.blocks.size(), original.blocks.size());
+  for (std::size_t i = 0; i < parsed.blocks.size(); ++i) {
+    const auto& a = parsed.blocks[i];
+    const auto& b = original.blocks[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.refs, b.refs);
+    EXPECT_EQ(a.working_set_estimate, b.working_set_estimate);
+    EXPECT_EQ(a.working_set_is_lower_bound, b.working_set_is_lower_bound);
+    EXPECT_EQ(a.dependency_limited, b.dependency_limited);
+    EXPECT_NEAR(a.unit_fraction, b.unit_fraction, 1e-6);
+    EXPECT_NEAR(a.random_fraction, b.random_fraction, 1e-6);
+  }
+  ASSERT_EQ(parsed.comm.size(), original.comm.size());
+  for (std::size_t p = 0; p < parsed.comm.size(); ++p) {
+    ASSERT_EQ(parsed.comm[p].events.size(), original.comm[p].events.size());
+    for (std::size_t e = 0; e < parsed.comm[p].events.size(); ++e) {
+      EXPECT_EQ(parsed.comm[p].events[e].type,
+                original.comm[p].events[e].type);
+      EXPECT_EQ(parsed.comm[p].events[e].bytes,
+                original.comm[p].events[e].bytes);
+      EXPECT_EQ(parsed.comm[p].events[e].count,
+                original.comm[p].events[e].count);
+    }
+  }
+}
+
+TEST(SignatureIo, ParseErrors) {
+  EXPECT_THROW((void)trace::signature_from_text("garbage without equals"),
+               precondition_error);
+  EXPECT_THROW((void)trace::signature_from_text("app = x\n"),
+               precondition_error);  // missing fields
+  const auto app = workload::make_rfcth_standard(16);
+  std::string text = trace::to_text(
+      trace::trace_application(app, machine::base_system_name()));
+  text += "unexpected.key = 1\n";
+  EXPECT_THROW((void)trace::signature_from_text(text), precondition_error);
+}
+
+/// Probe-set round trips for every machine, checked through the convolver:
+/// predictions from a parsed set must match the original bit-for-bit in
+/// effect (same conv times for a reference signature).
+class ProbeIoRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProbeIoRoundTrip, PreservesPredictiveBehaviour) {
+  const auto original =
+      probes::run_probe_suite(machine::find(GetParam()));
+  const auto parsed = probes::probe_set_from_text(probes::to_text(original));
+
+  EXPECT_EQ(parsed.machine, original.machine);
+  EXPECT_DOUBLE_EQ(parsed.hpl_rmax, original.hpl_rmax);
+  EXPECT_DOUBLE_EQ(parsed.stream_bw, original.stream_bw);
+  EXPECT_DOUBLE_EQ(parsed.gups_bw, original.gups_bw);
+  EXPECT_EQ(parsed.maps_unit.points.size(),
+            original.maps_unit.points.size());
+  EXPECT_DOUBLE_EQ(parsed.net.allreduce_small_s,
+                   original.net.allreduce_small_s);
+
+  static const auto signature = trace::trace_application(
+      workload::make_avus_standard(64), machine::base_system_name());
+  for (auto metric : {convolve::PredictiveMetric::M6_HplStreamGups,
+                      convolve::PredictiveMetric::M9_HplMapsNetDep}) {
+    EXPECT_DOUBLE_EQ(convolve::convolved_time(signature, parsed, metric),
+                     convolve::convolved_time(signature, original, metric));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, ProbeIoRoundTrip,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ProbeIo, ParseErrors) {
+  EXPECT_THROW((void)probes::probe_set_from_text("machine = x\n"),
+               precondition_error);
+  auto text =
+      probes::to_text(probes::run_probe_suite(machine::find("ARL_Xeon")));
+  text += "bogus = 7\n";
+  EXPECT_THROW((void)probes::probe_set_from_text(text), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,189 @@
+// Machine configs, validation rules, the registry, and text round-tripping.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/config_io.hpp"
+#include "machine/registry.hpp"
+#include "test_support.hpp"
+
+namespace msim::machine {
+namespace {
+
+TEST(Registry, HasTenTargetsPlusBase) {
+  EXPECT_EQ(target_system_names().size(), 10u);
+  EXPECT_EQ(all().size(), 11u);
+  EXPECT_EQ(find(base_system_name()).name, base_system_name());
+}
+
+TEST(Registry, TargetOrderMatchesPaperTable5) {
+  const auto names = target_system_names();
+  EXPECT_EQ(names.front(), "ERDC_O3800");
+  EXPECT_EQ(names.back(), "ARL_Opteron");
+  EXPECT_EQ(names[3], "ASC_SC45");
+  EXPECT_EQ(names[7], "ARL_Altix");
+}
+
+TEST(Registry, UnknownMachineThrows) {
+  EXPECT_THROW((void)find("CRAY_XMP"), precondition_error);
+}
+
+TEST(Registry, ProcessorCountsMatchPaperTable2) {
+  EXPECT_EQ(find("ERDC_O3800").total_processors, 504);
+  EXPECT_EQ(find("MHPCC_P3").total_processors, 736);
+  EXPECT_EQ(find("NAVO_P3").total_processors, 928);
+  EXPECT_EQ(find("ASC_SC45").total_processors, 472);
+  EXPECT_EQ(find("NAVO_655").total_processors, 2832);
+  EXPECT_EQ(find("ARL_Opteron").total_processors, 2304);
+}
+
+TEST(MachineConfig, PeakAndRmax) {
+  const auto& p655 = find("NAVO_655");
+  EXPECT_DOUBLE_EQ(p655.peak_flops(), 1.7e9 * 4);
+  EXPECT_DOUBLE_EQ(p655.rmax_flops(), 1.7e9 * 4 * 0.70);
+  EXPECT_GT(p655.total_cache_bytes(), 2 * MiB);
+}
+
+/// Parameterized over every registry machine: validation passes and the
+/// basic physical sanity conditions hold.
+class MachineSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MachineSanity, ValidatesAndIsPhysical) {
+  const MachineConfig& config = find(GetParam());
+  EXPECT_NO_THROW(validate(config));
+  EXPECT_GT(config.rmax_flops(), 0.0);
+  EXPECT_LE(config.rmax_flops(), config.peak_flops());
+  // Cache levels grow and their latency grows outward. (Bandwidth need not
+  // fall monotonically level-to-level: the Altix models Itanium2's
+  // L1-bypassing FP loads, where L2 is the fastest level.)
+  for (std::size_t i = 1; i < config.caches.size(); ++i) {
+    EXPECT_GT(config.caches[i].size_bytes, config.caches[i - 1].size_bytes);
+    EXPECT_GE(config.caches[i].latency_s, config.caches[i - 1].latency_s);
+  }
+  // Memory is behind the last cache.
+  EXPECT_LE(config.memory.unit_stride_bw,
+            config.caches.back().unit_stride_bw);
+  EXPECT_GE(config.memory.latency_s, config.caches.back().latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, MachineSanity,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+MachineConfig valid_config() { return find("ARL_Opteron"); }
+
+TEST(Validation, RejectsBadProcessor) {
+  auto config = valid_config();
+  config.cpu.clock_ghz = 0.0;
+  EXPECT_THROW(validate(config), precondition_error);
+  config = valid_config();
+  config.cpu.hpl_efficiency = 1.5;
+  EXPECT_THROW(validate(config), precondition_error);
+  config = valid_config();
+  config.cpu.dependency_derate = 0.0;
+  EXPECT_THROW(validate(config), precondition_error);
+}
+
+TEST(Validation, RejectsBadCaches) {
+  auto config = valid_config();
+  config.caches.clear();
+  EXPECT_THROW(validate(config), precondition_error);
+
+  config = valid_config();
+  config.caches[0].size_bytes = 3000;  // not a power of two
+  EXPECT_THROW(validate(config), precondition_error);
+
+  config = valid_config();
+  config.caches[0].random_bw = config.caches[0].unit_stride_bw * 2;
+  EXPECT_THROW(validate(config), precondition_error);
+
+  config = valid_config();
+  config.caches[1].size_bytes = config.caches[0].size_bytes;  // not growing
+  EXPECT_THROW(validate(config), precondition_error);
+}
+
+TEST(Validation, RejectsMemoryFasterThanCache) {
+  auto config = valid_config();
+  config.memory.unit_stride_bw = config.caches.back().unit_stride_bw * 2;
+  EXPECT_THROW(validate(config), precondition_error);
+}
+
+TEST(Validation, RejectsBadNetwork) {
+  auto config = valid_config();
+  config.net.latency_s = 0.0;
+  EXPECT_THROW(validate(config), precondition_error);
+  config = valid_config();
+  config.net.procs_per_node = 0;
+  EXPECT_THROW(validate(config), precondition_error);
+}
+
+/// Parameterized round-trip: serialize -> parse -> identical behaviour.
+class ConfigIoRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConfigIoRoundTrip, TextRoundTripsLosslessly) {
+  const MachineConfig& original = find(GetParam());
+  const std::string text = to_text(original);
+  const MachineConfig parsed = from_text(text);
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.architecture, original.architecture);
+  EXPECT_EQ(parsed.total_processors, original.total_processors);
+  EXPECT_DOUBLE_EQ(parsed.cpu.clock_ghz, original.cpu.clock_ghz);
+  EXPECT_EQ(parsed.caches.size(), original.caches.size());
+  for (std::size_t i = 0; i < parsed.caches.size(); ++i) {
+    EXPECT_EQ(parsed.caches[i].size_bytes, original.caches[i].size_bytes);
+    EXPECT_DOUBLE_EQ(parsed.caches[i].unit_stride_bw,
+                     original.caches[i].unit_stride_bw);
+  }
+  EXPECT_DOUBLE_EQ(parsed.memory.random_bw, original.memory.random_bw);
+  EXPECT_EQ(parsed.net.eager_threshold_bytes,
+            original.net.eager_threshold_bytes);
+  EXPECT_DOUBLE_EQ(parsed.system_efficiency, original.system_efficiency);
+  // And the re-serialization is textually identical (canonical form).
+  EXPECT_EQ(to_text(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, ConfigIoRoundTrip,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(ConfigIo, ParseErrors) {
+  EXPECT_THROW((void)from_text("name = x\nname = y\n"), precondition_error);
+  EXPECT_THROW((void)from_text("no equals sign here"), precondition_error);
+  EXPECT_THROW((void)from_text("name = only-a-name\n"), precondition_error);
+
+  std::string text = to_text(find("ARL_Xeon"));
+  text += "mystery.key = 42\n";
+  EXPECT_THROW((void)from_text(text), precondition_error);
+}
+
+TEST(ConfigIo, ParseBadNumbers) {
+  std::string text = to_text(find("ARL_Xeon"));
+  const auto pos = text.find("cpu.clock_ghz = ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "cpu.clock_ghz = fast");
+  EXPECT_THROW((void)from_text(text), precondition_error);
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored) {
+  std::string text = "# leading comment\n\n" + to_text(find("ASC_SC45"));
+  text += "\n  # trailing comment\n";
+  EXPECT_EQ(from_text(text).name, "ASC_SC45");
+}
+
+}  // namespace
+}  // namespace msim::machine

@@ -1,0 +1,133 @@
+// Simple metrics (Equation 1), the metric catalog, and the balanced rating.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "metrics/balanced_rating.hpp"
+#include "metrics/metric_set.hpp"
+#include "metrics/simple.hpp"
+#include "probes/synthetic.hpp"
+#include "test_support.hpp"
+
+namespace msim::metrics {
+namespace {
+
+TEST(Eq1, FasterTargetPredictsShorterTime) {
+  // Target twice as fast as base -> half the time.
+  EXPECT_DOUBLE_EQ(eq1_predict(1000.0, 1.0, 2.0), 500.0);
+  EXPECT_DOUBLE_EQ(eq1_predict(1000.0, 2.0, 1.0), 2000.0);
+  EXPECT_DOUBLE_EQ(eq1_predict(1000.0, 3.0, 3.0), 1000.0);
+}
+
+TEST(Eq1, RejectsBadInput) {
+  EXPECT_THROW((void)eq1_predict(0.0, 1.0, 1.0), precondition_error);
+  EXPECT_THROW((void)eq1_predict(1.0, 0.0, 1.0), precondition_error);
+  EXPECT_THROW((void)eq1_predict(1.0, 1.0, -1.0), precondition_error);
+}
+
+TEST(SimpleMetrics, RatesComeFromProbeSet) {
+  probes::ProbeSet set;
+  set.hpl_rmax = 1.0;
+  set.stream_bw = 2.0;
+  set.gups_bw = 3.0;
+  EXPECT_DOUBLE_EQ(simple_rate(set, SimpleMetric::Hpl), 1.0);
+  EXPECT_DOUBLE_EQ(simple_rate(set, SimpleMetric::Stream), 2.0);
+  EXPECT_DOUBLE_EQ(simple_rate(set, SimpleMetric::Gups), 3.0);
+  EXPECT_EQ(to_string(SimpleMetric::Gups), "GUPS");
+}
+
+TEST(MetricSet, CatalogShape) {
+  EXPECT_EQ(paper_metrics().size(), 9u);
+  EXPECT_EQ(all_metrics().size(), 11u);
+  EXPECT_EQ(row_label(Metric::S1_Hpl), "1-S");
+  EXPECT_EQ(row_label(Metric::P9_HplMapsNetDep), "9-P");
+  EXPECT_EQ(description(Metric::P6_HplStreamGups), "HPL+STREAM+GUPS");
+  EXPECT_EQ(kind(Metric::S2_Stream), MetricKind::Simple);
+  EXPECT_EQ(kind(Metric::P7_HplMaps), MetricKind::Predictive);
+  EXPECT_EQ(kind(Metric::BalancedEqual), MetricKind::Composite);
+}
+
+TEST(MetricSet, PredictiveMapping) {
+  EXPECT_FALSE(predictive_of(Metric::S1_Hpl).has_value());
+  EXPECT_FALSE(predictive_of(Metric::BalancedFitted).has_value());
+  EXPECT_EQ(predictive_of(Metric::P8_HplMapsNet),
+            convolve::PredictiveMetric::M8_HplMapsNet);
+}
+
+probes::ProbeSet fake_probe_set(const std::string& name, double hpl,
+                                double stream, double allreduce_s) {
+  probes::ProbeSet set;
+  set.machine = name;
+  set.hpl_rmax = hpl;
+  set.stream_bw = stream;
+  set.gups_bw = stream / 10;
+  set.net.latency_s = 1e-6;
+  set.net.bandwidth = 1e9;
+  set.net.allreduce_small_s = allreduce_s;
+  return set;
+}
+
+TEST(BalancedRating, NormalizesToBestSystem) {
+  const std::vector<probes::ProbeSet> sets = {
+      fake_probe_set("fast_cpu", 10.0, 1.0, 1e-4),
+      fake_probe_set("fast_mem", 1.0, 10.0, 1e-4),
+  };
+  const BalancedRating rating(sets, {1.0, 1.0, 1.0});
+  // Each machine wins one category and ties the third:
+  // fast_cpu: (1, 0.1, 1)/3 = 0.7; fast_mem the same.
+  EXPECT_NEAR(rating.score("fast_cpu"), 0.7, 1e-9);
+  EXPECT_NEAR(rating.score("fast_mem"), 0.7, 1e-9);
+}
+
+TEST(BalancedRating, WeightsAreNormalized) {
+  const std::vector<probes::ProbeSet> sets = {
+      fake_probe_set("a", 1.0, 1.0, 1.0)};
+  const BalancedRating rating(sets, {2.0, 2.0, 4.0});
+  EXPECT_NEAR(rating.weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(rating.weights()[2], 0.5, 1e-12);
+}
+
+TEST(BalancedRating, PredictUsesScoreRatio) {
+  const std::vector<probes::ProbeSet> sets = {
+      fake_probe_set("base", 1.0, 1.0, 1e-3),
+      fake_probe_set("twice", 2.0, 2.0, 5e-4),
+  };
+  const BalancedRating rating(sets, {1.0, 1.0, 1.0});
+  // "twice" dominates every category 2:1 -> predicted twice as fast.
+  EXPECT_NEAR(rating.predict(1000.0, "base", "twice"), 500.0, 1e-6);
+}
+
+TEST(BalancedRating, UnknownMachineThrows) {
+  const std::vector<probes::ProbeSet> sets = {
+      fake_probe_set("a", 1.0, 1.0, 1.0)};
+  const BalancedRating rating(sets, {1.0, 1.0, 1.0});
+  EXPECT_THROW((void)rating.score("nope"), precondition_error);
+}
+
+TEST(BalancedRating, FitRecoversDominantCategory) {
+  // Build machines whose true speed ratio follows STREAM exactly; the fit
+  // should put (nearly) all weight on the STREAM category.
+  std::vector<probes::ProbeSet> sets = {
+      fake_probe_set("base", 5.0, 1.0, 1e-3),
+      fake_probe_set("m1", 1.0, 2.0, 1e-3),
+      fake_probe_set("m2", 10.0, 4.0, 1e-3),
+      fake_probe_set("m3", 2.0, 0.5, 1e-3),
+  };
+  std::vector<SpeedObservation> speeds;
+  for (const auto& set : sets) {
+    if (set.machine == "base") continue;
+    speeds.push_back(SpeedObservation{
+        .machine = set.machine,
+        .speed_vs_base = set.stream_bw / 1.0});  // speed == STREAM ratio
+  }
+  const auto weights = fit_balanced_weights(sets, "base", speeds);
+  EXPECT_GT(weights[1], 0.8) << "STREAM should dominate the fit";
+}
+
+TEST(BalancedRating, DuplicateMachineRejected) {
+  std::vector<probes::ProbeSet> sets = {fake_probe_set("a", 1, 1, 1),
+                                        fake_probe_set("a", 2, 2, 2)};
+  EXPECT_THROW(BalancedRating(sets, {1, 1, 1}), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::metrics

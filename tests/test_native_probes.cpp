@@ -1,0 +1,81 @@
+// Native host probe kernels: they must produce real, positive bandwidths
+// and honor their working-set/stride contracts on whatever machine runs
+// the test suite.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "probes/native.hpp"
+
+namespace msim::probes::native {
+namespace {
+
+TEST(NativeStream, TriadProducesBandwidth) {
+  const auto result = stream_triad(1 << 16, 4);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.bytes, 3.0 * (1 << 16) * 8 * 4);
+  EXPECT_GT(result.bandwidth(), 1e7);  // any machine beats 10 MB/s
+}
+
+TEST(NativeStream, RejectsEmptyWork) {
+  EXPECT_THROW((void)stream_triad(0, 1), precondition_error);
+  EXPECT_THROW((void)stream_triad(16, 0), precondition_error);
+}
+
+TEST(NativeGups, UpdatesAreCounted) {
+  const auto result = random_update(16, 1 << 16);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.bytes, (1 << 16) * 16.0);
+  EXPECT_THROW((void)random_update(2, 10), precondition_error);
+}
+
+TEST(NativeStridedRead, CountsTouchedElements) {
+  const auto unit = strided_read(1 << 16, 1, 2);
+  // stride 1, two repeats: every element read twice.
+  EXPECT_DOUBLE_EQ(unit.bytes, 2.0 * (1 << 16));
+  const auto strided = strided_read(1 << 16, 8, 2);
+  // Multi-offset passes still touch every element once per repeat.
+  EXPECT_DOUBLE_EQ(strided.bytes, 2.0 * (1 << 16));
+  EXPECT_THROW((void)strided_read(1024, 0, 1), precondition_error);
+}
+
+TEST(NativeStridedRead, CacheResidentIsFasterThanMemory) {
+  // A soft performance property: a 16 KiB sweep should not be slower than
+  // a 64 MiB sweep (identical inner loop, smaller footprint). Allow slack
+  // for timer noise in CI.
+  const double small_bw = strided_read(16 << 10, 1, 512).bandwidth();
+  const double large_bw = strided_read(64 << 20, 1, 1).bandwidth();
+  EXPECT_GT(small_bw, large_bw * 0.5);
+}
+
+TEST(NativePointerChase, VisitsTheWholeRing) {
+  // Sattolo's shuffle builds a single cycle: after exactly `slots` steps
+  // the cursor returns to the start.
+  const std::size_t ws = 4096;  // 512 slots
+  const std::size_t slots = ws / 8;
+  const auto full_loop = pointer_chase(ws, slots);
+  EXPECT_EQ(full_loop.checksum, 0u) << "cycle must close after n steps";
+  const auto partial = pointer_chase(ws, slots - 1);
+  EXPECT_NE(partial.checksum, 0u) << "cycle must not close early";
+}
+
+TEST(NativeBranchyRead, ProducesBandwidth) {
+  const auto result = branchy_read(1 << 16, 4);
+  EXPECT_GT(result.bandwidth(), 1e6);
+  EXPECT_DOUBLE_EQ(result.bytes, 4.0 * (1 << 16));
+}
+
+TEST(NativeMaps, SweepReportsEveryRequestedSize) {
+  const std::vector<std::size_t> sizes = {16 << 10, 256 << 10, 4 << 20};
+  const auto points = native_maps_sweep(sizes);
+  ASSERT_EQ(points.size(), sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(points[i].working_set_bytes, sizes[i]);
+    EXPECT_GT(points[i].unit_bw, 0.0);
+    EXPECT_GT(points[i].chase_bw, 0.0);
+    // Dependent chasing is never faster than independent streaming.
+    EXPECT_LT(points[i].chase_bw, points[i].unit_bw);
+  }
+}
+
+}  // namespace
+}  // namespace msim::probes::native

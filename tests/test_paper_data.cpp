@@ -1,0 +1,95 @@
+// The embedded paper data: appendix tables, Table 4/5 reference values.
+#include <gtest/gtest.h>
+
+#include "data/paper_data.hpp"
+
+namespace msim::data {
+namespace {
+
+TEST(Appendix, FiveTablesWithTenMachinesEach) {
+  const auto& tables = observed_tables();
+  ASSERT_EQ(tables.size(), 5u);
+  for (const auto& table : tables) {
+    EXPECT_EQ(table.cpu_counts.size(), 3u);
+    EXPECT_EQ(table.cells.size(), 30u) << table.app;
+  }
+}
+
+TEST(Appendix, KnownValuesMatchThePaper) {
+  // Table 6 (AVUS Standard).
+  EXPECT_DOUBLE_EQ(*observed_seconds("AVUS_Standard", 32, "ERDC_O3800"),
+                   12737.0);
+  EXPECT_DOUBLE_EQ(*observed_seconds("AVUS_Standard", 128, "ARL_Opteron"),
+                   1401.0);
+  // Table 8 (HYCOM).
+  EXPECT_DOUBLE_EQ(*observed_seconds("HYCOM_Standard", 59, "ARL_Altix"),
+                   2263.0);
+  EXPECT_DOUBLE_EQ(*observed_seconds("HYCOM_Standard", 124, "NAVO_655"),
+                   990.0);
+  // Table 10 (RFCTH) includes the anomalous ARL_690 cell the paper prints.
+  EXPECT_DOUBLE_EQ(*observed_seconds("RFCTH_Standard", 64, "ARL_690_1.7"),
+                   5156.0);
+}
+
+TEST(Appendix, BlanksMatchThePaper) {
+  EXPECT_FALSE(observed_seconds("AVUS_Standard", 128, "ARL_Altix"));
+  EXPECT_FALSE(observed_seconds("AVUS_Large", 128, "ARL_Altix"));
+  EXPECT_FALSE(observed_seconds("OVERFLOW2_Standard", 48, "ASC_SC45"));
+  EXPECT_FALSE(observed_seconds("OVERFLOW2_Standard", 32, "ARL_Xeon"));
+  EXPECT_FALSE(observed_seconds("RFCTH_Standard", 16, "ARL_Altix"));
+  // Unknown configurations are also empty, not errors.
+  EXPECT_FALSE(observed_seconds("AVUS_Standard", 999, "ERDC_O3800"));
+  EXPECT_FALSE(observed_seconds("NOT_AN_APP", 32, "ERDC_O3800"));
+}
+
+TEST(Appendix, BlankCountMatchesThePaper) {
+  std::size_t blanks = 0;
+  for (const auto& table : observed_tables()) {
+    for (const auto& cell : table.cells) {
+      if (!cell.seconds.has_value()) ++blanks;
+    }
+  }
+  // Tables 6-10 show 1 + 7 + 0 + 13 + 1 = 22 empty cells.
+  EXPECT_EQ(blanks, 22u);
+}
+
+TEST(Table4, NineRowsInPaperOrder) {
+  const auto& rows = table4();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows[0].label, "1-S");
+  EXPECT_DOUBLE_EQ(rows[0].mean_abs_error_pct, 63.0);
+  EXPECT_DOUBLE_EQ(rows[2].mean_abs_error_pct, 33.0);   // GUPS
+  EXPECT_DOUBLE_EQ(rows[5].mean_abs_error_pct, 22.0);   // #6
+  EXPECT_DOUBLE_EQ(rows[8].mean_abs_error_pct, 18.0);   // #9
+  EXPECT_EQ(rows[8].description, "HPL+MAPS+NET+DEP");
+}
+
+TEST(Table5, OverallRowMatchesTable4) {
+  const auto& rows = table5();
+  ASSERT_EQ(rows.size(), 11u);
+  EXPECT_EQ(rows.back().machine, "OVERALL");
+  const auto& overall = rows.back().error_pct;
+  const auto& t4 = table4();
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(overall[i], t4[i].mean_abs_error_pct) << "metric " << i;
+  }
+}
+
+TEST(Table5, FamousCells) {
+  // The Altix STREAM error of 281% and SC45 HPL error of 167%.
+  const auto& rows = table5();
+  EXPECT_DOUBLE_EQ(rows[7].error_pct[1], 281.0);
+  EXPECT_DOUBLE_EQ(rows[3].error_pct[0], 167.0);
+}
+
+TEST(Balanced, ReferenceValues) {
+  const auto reference = balanced_reference();
+  EXPECT_DOUBLE_EQ(reference.equal_mean_pct, 35.0);
+  EXPECT_DOUBLE_EQ(reference.fitted_mean_pct, 33.0);
+  EXPECT_DOUBLE_EQ(reference.fitted_weights[0], 0.05);
+  EXPECT_DOUBLE_EQ(reference.fitted_weights[1], 0.50);
+  EXPECT_DOUBLE_EQ(reference.fitted_weights[2], 0.45);
+}
+
+}  // namespace
+}  // namespace msim::data

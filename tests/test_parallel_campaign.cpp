@@ -1,0 +1,44 @@
+// The threaded campaign runner must be bit-identical to the serial one.
+#include <gtest/gtest.h>
+
+#include "machine/registry.hpp"
+#include "simulate/campaign.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::simulate {
+namespace {
+
+TEST(ParallelCampaign, MatchesSerialExactly) {
+  const std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Xeon"), machine::find("ARL_Altix"),
+      machine::find("NAVO_655")};
+  const std::vector<workload::TestCase> suite = {
+      workload::find_test_case("RFCTH_Standard"),
+      workload::find_test_case("HYCOM_Standard")};
+
+  const ObservationSet serial = run_campaign(machines, suite);
+  for (unsigned threads : {1u, 2u, 7u}) {
+    const ObservationSet parallel =
+        run_campaign_parallel(machines, suite, {}, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (const auto& observation : serial.all()) {
+      EXPECT_DOUBLE_EQ(parallel.at(observation.app, observation.nprocs,
+                                   observation.machine),
+                       observation.seconds)
+          << observation.app << "@" << observation.nprocs << " on "
+          << observation.machine;
+    }
+  }
+}
+
+TEST(ParallelCampaign, DefaultThreadCountWorks) {
+  const std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Opteron")};
+  const std::vector<workload::TestCase> suite = {
+      workload::find_test_case("AVUS_Standard")};
+  const auto set = run_campaign_parallel(machines, suite);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace msim::simulate

@@ -1,0 +1,172 @@
+// The synthetic probe suite: probes measure the machine models the way real
+// probes measure real machines, so their results must track the configured
+// hardware parameters.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/executor.hpp"
+#include "test_support.hpp"
+
+namespace msim::probes {
+namespace {
+
+/// Probe suites are deterministic and cheap enough to cache per machine.
+const ProbeSet& cached_suite(const std::string& machine) {
+  static std::map<std::string, ProbeSet> cache;
+  auto it = cache.find(machine);
+  if (it == cache.end()) {
+    it = cache.emplace(machine,
+                       run_probe_suite(machine::find(machine))).first;
+  }
+  return it->second;
+}
+
+class ProbeProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProbeProperty, HplReportsRmax) {
+  const auto& machine = machine::find(GetParam());
+  EXPECT_NEAR(cached_suite(GetParam()).hpl_rmax, machine.rmax_flops(),
+              machine.rmax_flops() * 0.01);
+}
+
+TEST_P(ProbeProperty, StreamSeesContendedMainMemory) {
+  const auto& machine = machine::find(GetParam());
+  const double stream = cached_suite(GetParam()).stream_bw;
+  // STREAM runs from main memory on a loaded node: at or below the
+  // contended memory bandwidth, and never above the raw one.
+  EXPECT_LE(stream, machine.memory.unit_stride_bw * 1.01);
+  const double contended =
+      simulate::apply_contention(machine).memory.unit_stride_bw;
+  EXPECT_NEAR(stream, contended, contended * 0.15);
+}
+
+TEST_P(ProbeProperty, GupsIsFarBelowStream) {
+  const auto& set = cached_suite(GetParam());
+  EXPECT_LT(set.gups_bw, set.stream_bw * 0.5);
+  EXPECT_GT(set.gups_bw, 0.0);
+}
+
+TEST_P(ProbeProperty, MapsCurvesBracketStreamAndGups) {
+  const auto& set = cached_suite(GetParam());
+  // The right-hand end of the unit MAPS curve is the STREAM point, the
+  // right-hand end of the random curve the GUPS point (paper Section 3).
+  const std::uint64_t big = set.maps_unit.points.back().working_set_bytes;
+  EXPECT_NEAR(set.maps_unit.bandwidth_at(big), set.stream_bw,
+              set.stream_bw * 0.25);
+  EXPECT_NEAR(set.maps_random.bandwidth_at(big), set.gups_bw,
+              set.gups_bw * 0.5);
+  // The left-hand (cache) end is faster than the right-hand (memory) end.
+  const std::uint64_t small = set.maps_unit.points.front().working_set_bytes;
+  EXPECT_GT(set.maps_unit.bandwidth_at(small),
+            set.maps_unit.bandwidth_at(big));
+}
+
+TEST_P(ProbeProperty, EnhancedCurvesNeverBeatStandard) {
+  const auto& set = cached_suite(GetParam());
+  for (const auto& point : set.maps_unit.points) {
+    EXPECT_LE(set.maps_unit_dep.bandwidth_at(point.working_set_bytes),
+              set.maps_unit.bandwidth_at(point.working_set_bytes) * 1.001)
+        << format_bytes(point.working_set_bytes);
+    EXPECT_LE(set.maps_random_dep.bandwidth_at(point.working_set_bytes),
+              set.maps_random.bandwidth_at(point.working_set_bytes) * 1.001);
+  }
+}
+
+TEST_P(ProbeProperty, NetbenchMatchesConfiguredLink) {
+  const auto& machine = machine::find(GetParam());
+  const auto& net = cached_suite(GetParam()).net;
+  EXPECT_NEAR(net.latency_s,
+              machine.net.latency_s + machine.net.per_message_overhead_s,
+              1e-9);
+  // Large-message bandwidth approaches the configured link rate.
+  EXPECT_GT(net.bandwidth, machine.net.bandwidth * 0.5);
+  EXPECT_LE(net.bandwidth, machine.net.bandwidth * 1.01);
+  EXPECT_GT(net.allreduce_small_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachines, ProbeProperty,
+    ::testing::ValuesIn(msim::testing::all_machine_names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (ch == '.' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Probes, MapsSweepCoversCaches) {
+  const auto sizes = default_maps_sizes();
+  EXPECT_GE(sizes.size(), 20u);
+  EXPECT_LE(sizes.front(), 4 * KiB);
+  EXPECT_GE(sizes.back(), 128 * MiB);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);  // strictly ascending
+  }
+}
+
+TEST(Probes, StreamReflectsMachineOrdering) {
+  // The Opteron's on-die controller beats the Colony p690's loaded bus.
+  EXPECT_GT(cached_suite("ARL_Opteron").stream_bw,
+            cached_suite("MHPCC_690_1.3").stream_bw * 2);
+}
+
+TEST(Probes, Figure1Crossovers) {
+  // The shape the paper plots: p655 wins in L1, Altix mid-cache, Opteron
+  // from main memory.
+  const auto& opteron = cached_suite("ARL_Opteron");
+  const auto& altix = cached_suite("ARL_Altix");
+  const auto& p655 = cached_suite("NAVO_655");
+
+  EXPECT_GT(p655.maps_unit.bandwidth_at(4 * KiB),
+            altix.maps_unit.bandwidth_at(4 * KiB));
+  EXPECT_GT(p655.maps_unit.bandwidth_at(4 * KiB),
+            opteron.maps_unit.bandwidth_at(4 * KiB));
+
+  EXPECT_GT(altix.maps_unit.bandwidth_at(512 * KiB),
+            p655.maps_unit.bandwidth_at(512 * KiB));
+  EXPECT_GT(altix.maps_unit.bandwidth_at(512 * KiB),
+            opteron.maps_unit.bandwidth_at(512 * KiB));
+
+  EXPECT_GT(opteron.maps_unit.bandwidth_at(256 * MiB),
+            altix.maps_unit.bandwidth_at(256 * MiB));
+  EXPECT_GT(opteron.maps_unit.bandwidth_at(256 * MiB),
+            p655.maps_unit.bandwidth_at(256 * MiB));
+}
+
+TEST(MapsCurve, InterpolationBetweenPoints) {
+  MapsCurve curve;
+  curve.points = {{1024, 8e9}, {4096, 2e9}};
+  // Log-log midpoint of (1K, 8G) and (4K, 2G) is (2K, 4G).
+  EXPECT_NEAR(curve.bandwidth_at(2048), 4e9, 1e6);
+  // Clamping at the ends.
+  EXPECT_DOUBLE_EQ(curve.bandwidth_at(1), 8e9);
+  EXPECT_DOUBLE_EQ(curve.bandwidth_at(1 << 30), 2e9);
+  // Exact hits return the measured value.
+  EXPECT_DOUBLE_EQ(curve.bandwidth_at(1024), 8e9);
+  EXPECT_DOUBLE_EQ(curve.bandwidth_at(4096), 2e9);
+}
+
+TEST(MapsCurve, EmptyCurveThrows) {
+  MapsCurve curve;
+  EXPECT_THROW((void)curve.bandwidth_at(1024), precondition_error);
+  curve.points = {{1024, 1e9}};
+  EXPECT_THROW((void)curve.bandwidth_at(0), precondition_error);
+}
+
+TEST(Probes, SuitesRunForAllMachines) {
+  const auto sets = run_probe_suites(machine::targets());
+  EXPECT_EQ(sets.size(), 10u);
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.machine.empty());
+    EXPECT_GT(set.hpl_rmax, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace msim::probes

@@ -1,0 +1,147 @@
+// Ranking-quality scoring and cross-count signature scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "metrics/ranking.hpp"
+#include "test_support.hpp"
+#include "trace/scaling.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim {
+namespace {
+
+TEST(PowerLaw, ExactForPowerLaws) {
+  // x(p) = 100 / p: exponent -1.
+  EXPECT_NEAR(trace::power_law_scale(100.0, 1, 50.0, 2, 4), 25.0, 1e-9);
+  // Constant: exponent 0.
+  EXPECT_NEAR(trace::power_law_scale(7.0, 16, 7.0, 64, 256), 7.0, 1e-9);
+  // Surface scaling p^(-2/3): from 32 to 128 at base 1.
+  const double x32 = std::pow(32.0, -2.0 / 3.0);
+  const double x64 = std::pow(64.0, -2.0 / 3.0);
+  EXPECT_NEAR(trace::power_law_scale(x32, 32, x64, 64, 128),
+              std::pow(128.0, -2.0 / 3.0), 1e-12);
+}
+
+TEST(PowerLaw, ZeroesPropagate) {
+  EXPECT_DOUBLE_EQ(trace::power_law_scale(0.0, 1, 0.0, 2, 4), 0.0);
+  EXPECT_DOUBLE_EQ(trace::power_law_scale(0.0, 1, 5.0, 2, 4), 0.0);
+}
+
+TEST(PowerLaw, RejectsBadInput) {
+  EXPECT_THROW((void)trace::power_law_scale(1.0, 2, 1.0, 2, 4),
+               precondition_error);  // identical counts
+  EXPECT_THROW((void)trace::power_law_scale(1.0, 0, 1.0, 2, 4),
+               precondition_error);
+  EXPECT_THROW((void)trace::power_law_scale(-1.0, 1, 1.0, 2, 4),
+               precondition_error);
+}
+
+/// Property: for every app, the scaled signature at a *traced* count must
+/// closely match the genuine trace at that count (interpolation check).
+class ScalingProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScalingProperty, InterpolationMatchesRealTrace) {
+  const auto& test_case = workload::find_test_case(GetParam());
+  const int p0 = test_case.cpu_counts[0];
+  const int p1 = test_case.cpu_counts[1];
+  const int p2 = test_case.cpu_counts[2];
+  const auto& study = msim::testing::shared_study();
+
+  // Scale from the outer counts to the middle one and compare.
+  const auto scaled = trace::scale_signature(
+      study.signature(GetParam(), p0), study.signature(GetParam(), p2), p1);
+  const auto& real = study.signature(GetParam(), p1);
+
+  EXPECT_EQ(scaled.nprocs, p1);
+  ASSERT_EQ(scaled.blocks.size(), real.blocks.size());
+  for (std::size_t i = 0; i < scaled.blocks.size(); ++i) {
+    const auto& s = scaled.blocks[i];
+    const auto& r = real.blocks[i];
+    EXPECT_NEAR(static_cast<double>(s.refs),
+                static_cast<double>(r.refs),
+                static_cast<double>(r.refs) * 0.05)
+        << s.name;
+    EXPECT_NEAR(static_cast<double>(s.flops),
+                static_cast<double>(r.flops),
+                static_cast<double>(r.flops) * 0.05)
+        << s.name;
+    EXPECT_NEAR(s.unit_fraction, r.unit_fraction, 0.05) << s.name;
+    // Working-set estimates carry tracer sampling noise on both sides.
+    EXPECT_NEAR(static_cast<double>(s.working_set_estimate),
+                static_cast<double>(r.working_set_estimate),
+                static_cast<double>(r.working_set_estimate) * 0.5)
+        << s.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ti05, ScalingProperty,
+    ::testing::Values("AVUS_Standard", "AVUS_Large", "HYCOM_Standard",
+                      "OVERFLOW2_Standard", "RFCTH_Standard"));
+
+TEST(Scaling, RejectsIncompatibleSignatures) {
+  const auto& study = msim::testing::shared_study();
+  const auto& avus32 = study.signature("AVUS_Standard", 32);
+  const auto& avus64 = study.signature("AVUS_Standard", 64);
+  const auto& hycom = study.signature("HYCOM_Standard", 59);
+  EXPECT_THROW((void)trace::scale_signature(avus32, hycom, 100),
+               precondition_error);
+  EXPECT_THROW((void)trace::scale_signature(avus32, avus32, 100),
+               precondition_error);
+  EXPECT_THROW((void)trace::scale_signature(avus32, avus64, 0),
+               precondition_error);
+}
+
+TEST(Scaling, FractionsRemainADistribution) {
+  const auto& study = msim::testing::shared_study();
+  const auto scaled = trace::scale_signature(
+      study.signature("RFCTH_Standard", 16),
+      study.signature("RFCTH_Standard", 64), 512);  // far extrapolation
+  for (const auto& block : scaled.blocks) {
+    EXPECT_GE(block.unit_fraction, 0.0);
+    EXPECT_GE(block.short_fraction, 0.0);
+    EXPECT_GE(block.random_fraction, 0.0);
+    EXPECT_NEAR(block.unit_fraction + block.short_fraction +
+                    block.random_fraction,
+                1.0, 1e-9);
+  }
+}
+
+TEST(RankingQuality, ScoresTheFullStudy) {
+  const auto& study = msim::testing::shared_study();
+  const auto quality =
+      metrics::ranking_quality(study, metrics::Metric::P9_HplMapsNetDep);
+  EXPECT_EQ(quality.configurations, 15u);
+  EXPECT_GT(quality.mean_spearman, 0.8);
+  EXPECT_GE(quality.top_pick_accuracy, 0.5);
+  EXPECT_GE(quality.mean_pick_regret, 0.0);
+  EXPECT_LT(quality.mean_pick_regret, 0.1);
+}
+
+TEST(RankingQuality, HplRanksWorseThanMetric9) {
+  const auto& study = msim::testing::shared_study();
+  const auto hpl = metrics::ranking_quality(study, metrics::Metric::S1_Hpl);
+  const auto m9 =
+      metrics::ranking_quality(study, metrics::Metric::P9_HplMapsNetDep);
+  EXPECT_LT(hpl.mean_spearman, m9.mean_spearman);
+  EXPECT_LT(hpl.top_pick_accuracy, m9.top_pick_accuracy);
+  EXPECT_GT(hpl.mean_pick_regret, m9.mean_pick_regret);
+}
+
+TEST(RankingQuality, BatchMatchesSingles) {
+  const auto& study = msim::testing::shared_study();
+  const auto batch = metrics::ranking_qualities(
+      study, {metrics::Metric::S3_Gups, metrics::Metric::P6_HplStreamGups});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      batch[0].mean_spearman,
+      metrics::ranking_quality(study, metrics::Metric::S3_Gups)
+          .mean_spearman);
+}
+
+}  // namespace
+}  // namespace msim

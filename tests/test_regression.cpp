@@ -1,0 +1,207 @@
+// Dense linear algebra: SPD solves, least squares, simplex projection, and
+// the constrained weight fit behind the balanced-rating experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "stats/regression.hpp"
+
+namespace msim::stats {
+namespace {
+
+TEST(Matrix, BasicsAndBounds) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW((void)m.at(2, 0), precondition_error);
+  EXPECT_THROW(Matrix(0, 1), precondition_error);
+}
+
+TEST(Matrix, GramAndProducts) {
+  Matrix a(3, 2);
+  // a = [[1,0],[1,1],[0,2]]
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 1;
+  a.at(2, 1) = 2;
+  const Matrix g = a.gram();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 5.0);
+
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const auto atv = a.transpose_times(v);
+  EXPECT_DOUBLE_EQ(atv[0], 3.0);
+  EXPECT_DOUBLE_EQ(atv[1], 8.0);
+
+  const std::vector<double> x = {2.0, -1.0};
+  const auto ax = a.times(x);
+  EXPECT_DOUBLE_EQ(ax[0], 2.0);
+  EXPECT_DOUBLE_EQ(ax[1], 1.0);
+  EXPECT_DOUBLE_EQ(ax[2], -2.0);
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+  Matrix s(2, 2);
+  s.at(0, 0) = 4;
+  s.at(0, 1) = 1;
+  s.at(1, 0) = 1;
+  s.at(1, 1) = 3;
+  const std::vector<double> b = {1.0, 2.0};
+  const auto x = solve_spd(s, b);
+  EXPECT_NEAR(4 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3 * x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpd, RejectsIndefinite) {
+  Matrix s(2, 2);
+  s.at(0, 0) = 1;
+  s.at(0, 1) = 2;
+  s.at(1, 0) = 2;
+  s.at(1, 1) = 1;  // eigenvalues 3, -1
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW((void)solve_spd(s, b), invariant_error);
+}
+
+/// Property: least squares recovers planted coefficients from noiseless
+/// data at several problem sizes.
+class LeastSquaresProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LeastSquaresProperty, RecoversPlantedCoefficients) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(300 + rows * 31 + cols);
+  Matrix a(rows, cols);
+  std::vector<double> truth(cols);
+  for (int c = 0; c < cols; ++c) truth[c] = rng.uniform(-2.0, 2.0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) a.at(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  const auto b = a.times(truth);
+  const auto fit = least_squares(a, b);
+  for (int c = 0; c < cols; ++c) {
+    EXPECT_NEAR(fit[c], truth[c], 1e-8) << "coefficient " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeastSquaresProperty,
+    ::testing::Values(std::pair{3, 2}, std::pair{10, 3}, std::pair{50, 5},
+                      std::pair{200, 8}));
+
+TEST(LeastSquares, RidgeShrinksSolution) {
+  Rng rng(55);
+  Matrix a(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = rng.uniform();
+  }
+  const std::vector<double> b(20, 1.0);
+  const auto plain = least_squares(a, b);
+  const auto ridged = least_squares(a, b, 100.0);
+  double plain_norm = 0.0, ridged_norm = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    plain_norm += plain[c] * plain[c];
+    ridged_norm += ridged[c] * ridged[c];
+  }
+  EXPECT_LT(ridged_norm, plain_norm);
+}
+
+TEST(SimplexProjection, FixedPointsAndBasics) {
+  // Already on the simplex: unchanged.
+  const std::vector<double> on = {0.2, 0.3, 0.5};
+  const auto projected = project_to_simplex(on);
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_NEAR(projected[i], on[i], 1e-12);
+  }
+  // Dominant coordinate collapses to a vertex.
+  const auto vertex = project_to_simplex(std::vector<double>{10.0, 0.0, 0.0});
+  EXPECT_NEAR(vertex[0], 1.0, 1e-12);
+  EXPECT_NEAR(vertex[1], 0.0, 1e-12);
+}
+
+/// Property: for random vectors the projection is on the simplex and is
+/// the nearest point (checked against a dense random sample).
+class SimplexProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProjectionProperty, ProjectsOntoSimplex) {
+  Rng rng(700 + GetParam());
+  std::vector<double> v(GetParam());
+  for (auto& value : v) value = rng.uniform(-2.0, 2.0);
+  const auto w = project_to_simplex(v);
+
+  double total = 0.0;
+  for (double value : w) {
+    EXPECT_GE(value, 0.0);
+    total += value;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // No random simplex point is closer to v than the projection.
+  auto distance_sq = [&](const std::vector<double>& p) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      sum += (p[i] - v[i]) * (p[i] - v[i]);
+    }
+    return sum;
+  };
+  const double best = distance_sq(w);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(v.size());
+    double norm = 0.0;
+    for (auto& value : p) {
+      value = -std::log(1.0 - rng.uniform());  // Exp(1): Dirichlet sample
+      norm += value;
+    }
+    for (auto& value : p) value /= norm;
+    EXPECT_GE(distance_sq(p) + 1e-9, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexProjectionProperty,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+TEST(SimplexFit, RecoversPlantedWeights) {
+  Rng rng(99);
+  const std::vector<double> truth = {0.1, 0.6, 0.3};
+  Matrix a(60, 3);
+  std::vector<double> b(60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    double dot = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = rng.uniform();
+      dot += a.at(r, c) * truth[c];
+    }
+    b[r] = dot;
+  }
+  const auto fit = least_squares_simplex(a, b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(fit.weights[c], truth[c], 1e-3) << "weight " << c;
+  }
+  EXPECT_LT(fit.objective, 1e-6);
+}
+
+TEST(SimplexFit, WeightsAlwaysFeasible) {
+  Rng rng(123);
+  Matrix a(10, 4);
+  std::vector<double> b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a.at(r, c) = rng.uniform(-1, 1);
+    b[r] = rng.uniform(-1, 1);
+  }
+  const auto fit = least_squares_simplex(a, b);
+  double total = 0.0;
+  for (double w : fit.weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msim::stats

@@ -1,0 +1,130 @@
+// Report renderers: paper-layout tables and CSV series.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "report/gnuplot.hpp"
+#include "report/report.hpp"
+#include "test_support.hpp"
+
+namespace msim::report {
+namespace {
+
+const std::vector<metrics::Prediction>& shared_predictions() {
+  static const auto predictions =
+      msim::testing::shared_study().evaluate(metrics::all_metrics());
+  return predictions;
+}
+
+TEST(Report, Table4HasAllRowsAndPaperColumns) {
+  const auto& study = msim::testing::shared_study();
+  const std::string out = render_table4(study, shared_predictions());
+  for (const char* label : {"1-S", "2-S", "3-S", "4-P", "5-P", "6-P", "7-P",
+                            "8-P", "9-P", "B-E", "B-F"}) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(out.find("Paper Avg"), std::string::npos);
+  EXPECT_NE(out.find("HPL+MAPS+NET+DEP"), std::string::npos);
+}
+
+TEST(Report, Table4CanExcludeComposites) {
+  const auto& study = msim::testing::shared_study();
+  const std::string out =
+      render_table4(study, shared_predictions(), false);
+  EXPECT_EQ(out.find("B-E"), std::string::npos);
+}
+
+TEST(Report, Table5ListsEverySystemAndOverall) {
+  const auto& study = msim::testing::shared_study();
+  const std::string out = render_table5(study, shared_predictions());
+  for (const auto& machine : study.target_names()) {
+    EXPECT_NE(out.find(machine), std::string::npos) << machine;
+  }
+  EXPECT_NE(out.find("OVERALL"), std::string::npos);
+  EXPECT_NE(out.find("Paper (Table 5)"), std::string::npos);
+}
+
+TEST(Report, FigureAppHasCountColumns) {
+  const auto& study = msim::testing::shared_study();
+  const std::string out =
+      render_figure_app(study, shared_predictions(), "HYCOM_Standard");
+  EXPECT_NE(out.find("59 CPUs"), std::string::npos);
+  EXPECT_NE(out.find("96 CPUs"), std::string::npos);
+  EXPECT_NE(out.find("124 CPUs"), std::string::npos);
+  EXPECT_THROW(
+      (void)render_figure_app(study, shared_predictions(), "NOPE"),
+      precondition_error);
+}
+
+TEST(Report, MapsTableRendersBandwidths) {
+  const auto& study = msim::testing::shared_study();
+  const std::vector<probes::ProbeSet> sets = {
+      study.probe_set("ARL_Opteron"), study.probe_set("NAVO_655")};
+  const std::string out = render_maps_table(sets);
+  EXPECT_NE(out.find("ARL_Opteron"), std::string::npos);
+  EXPECT_NE(out.find("2 KiB"), std::string::npos);
+  EXPECT_NE(out.find("256 MiB"), std::string::npos);
+}
+
+TEST(Report, AppendixComparisonIncludesCorrelations) {
+  const auto& study = msim::testing::shared_study();
+  const std::string out =
+      render_appendix_comparison(study.observations());
+  EXPECT_NE(out.find("AVUS_Standard"), std::string::npos);
+  EXPECT_NE(out.find("Spearman"), std::string::npos);
+  // The paper's blanks render as dashes.
+  EXPECT_NE(out.find(" - "), std::string::npos);
+}
+
+TEST(Report, Table4CsvParses) {
+  const auto& study = msim::testing::shared_study();
+  std::ostringstream out;
+  write_table4_csv(out, study, shared_predictions());
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "metric,description,mean_abs_error_pct,"
+                  "stddev_abs_error_pct");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 3);
+  }
+  EXPECT_EQ(rows, 11u);
+}
+
+TEST(Report, MapsCsvHasOneColumnPerSystem) {
+  const auto& study = msim::testing::shared_study();
+  const std::vector<probes::ProbeSet> sets = {
+      study.probe_set("ARL_Altix"), study.probe_set("ARL_Xeon"),
+      study.probe_set("ASC_SC45")};
+  std::ostringstream out;
+  write_maps_csv(out, sets);
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "working_set_bytes,ARL_Altix,ARL_Xeon,ASC_SC45");
+}
+
+TEST(Gnuplot, Fig1ScriptReferencesEverySystem) {
+  std::ostringstream out;
+  write_fig1_gnuplot(out, "data.csv", {"A", "B", "C"});
+  const std::string script = out.str();
+  EXPECT_NE(script.find("logscale x 2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:4"), std::string::npos);
+  EXPECT_NE(script.find("title 'C'"), std::string::npos);
+  EXPECT_THROW(write_fig1_gnuplot(out, "x.csv", {}), precondition_error);
+}
+
+TEST(Gnuplot, Fig2ScriptIsAHistogram) {
+  std::ostringstream out;
+  write_fig2_gnuplot(out, "errors.csv");
+  const std::string script = out.str();
+  EXPECT_NE(script.find("histogram"), std::string::npos);
+  EXPECT_NE(script.find("errors.csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msim::report

@@ -1,0 +1,169 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace msim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  const std::uint64_t first = rng();
+  (void)rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), precondition_error);
+}
+
+TEST(Rng, UniformU64StaysBelowBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_u64(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformU64BoundOneIsAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_u64(1), 0u);
+  }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(13);
+  EXPECT_THROW((void)rng.uniform_u64(0), precondition_error);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(17);
+  std::array<int, 8> histogram{};
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[rng.uniform_u64(8)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, draws / 8, draws / 80);  // within 10%
+  }
+}
+
+TEST(Rng, NormalHasApproximateMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, PickWeightedFollowsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::array<int, 4> histogram{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[rng.pick_weighted(weights)];
+  }
+  EXPECT_EQ(histogram[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(histogram[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_NEAR(histogram[3] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(Rng, PickWeightedRejectsBadInput) {
+  Rng rng(37);
+  EXPECT_THROW((void)rng.pick_weighted({}), precondition_error);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW((void)rng.pick_weighted(negative), precondition_error);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW((void)rng.pick_weighted(zeros), precondition_error);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.25, 0.01);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,151 @@
+// Summary statistics, Equation-2 error, correlation measures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "stats/correlation.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::stats {
+namespace {
+
+TEST(Summary, Equation2SignConvention) {
+  // "Negative error indicates the prediction was faster than the actual
+  // runtime" (paper Section 3).
+  EXPECT_LT(signed_percent_error(50.0, 100.0), 0.0);
+  EXPECT_GT(signed_percent_error(150.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(signed_percent_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(signed_percent_error(120.0, 100.0), 20.0);
+}
+
+TEST(Summary, AbsoluteErrorPreventsCancellation) {
+  EXPECT_DOUBLE_EQ(absolute_percent_error(50.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(absolute_percent_error(150.0, 100.0), 50.0);
+}
+
+TEST(Summary, ErrorRejectsNonPositiveMeasured) {
+  EXPECT_THROW((void)signed_percent_error(1.0, 0.0), precondition_error);
+  EXPECT_THROW((void)signed_percent_error(1.0, -5.0), precondition_error);
+}
+
+TEST(Summary, MeanAndStddev) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_NEAR(population_stddev(values), 2.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(values), 2.138, 1e-3);
+}
+
+TEST(Summary, SingleValueStddevIsZero) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(one), 0.0);
+}
+
+TEST(Summary, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), precondition_error);
+  EXPECT_THROW((void)sample_stddev(empty), precondition_error);
+  EXPECT_THROW((void)median({}), precondition_error);
+  EXPECT_THROW((void)min(empty), precondition_error);
+  EXPECT_THROW((void)geometric_mean(empty), precondition_error);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Summary, MinMax) {
+  const std::vector<double> values = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(values), -1.0);
+  EXPECT_DOUBLE_EQ(max(values), 7.0);
+}
+
+TEST(Summary, GeometricMean) {
+  const std::vector<double> values = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(values), 4.0, 1e-12);
+  const std::vector<double> with_zero = {1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(with_zero), precondition_error);
+}
+
+/// Property: Welford accumulator matches the two-pass formulas for random
+/// inputs of many sizes.
+class WelfordProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordProperty, MatchesTwoPass) {
+  Rng rng(1000 + GetParam());
+  std::vector<double> values;
+  RunningStats running;
+  for (int i = 0; i < GetParam(); ++i) {
+    const double value = rng.uniform(-50.0, 50.0);
+    values.push_back(value);
+    running.add(value);
+  }
+  EXPECT_EQ(running.count(), values.size());
+  EXPECT_NEAR(running.mean(), mean(values), 1e-9);
+  EXPECT_NEAR(running.sample_stddev(), sample_stddev(values), 1e-9);
+  EXPECT_NEAR(running.population_stddev(), population_stddev(values), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WelfordProperty,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 4096));
+
+TEST(Correlation, PearsonPerfectLines) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {2, 4, 6, 8, 10};
+  const std::vector<double> down = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> flat = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+}
+
+TEST(Correlation, PearsonAffineInvariance) {
+  Rng rng(77);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  const double base = pearson(x, y);
+  std::vector<double> scaled;
+  for (double value : x) scaled.push_back(3.0 * value - 10.0);
+  EXPECT_NEAR(pearson(scaled, y), base, 1e-9);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> cubes = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(x, cubes), 1.0, 1e-12);
+  // Pearson on the same data is below 1 (nonlinear)...
+  EXPECT_LT(pearson(x, cubes), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, KendallTau) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 2, 4};
+  // 5 concordant pairs, 1 discordant -> tau = 4/6.
+  EXPECT_NEAR(kendall_tau(x, y), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Correlation, MismatchedLengthsThrow) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW((void)pearson(x, y), precondition_error);
+  EXPECT_THROW((void)spearman(x, y), precondition_error);
+  EXPECT_THROW((void)kendall_tau(x, y), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::stats

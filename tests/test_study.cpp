@@ -1,0 +1,123 @@
+// The study driver: prediction plumbing, slicing, and summaries.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "metrics/study.hpp"
+#include "test_support.hpp"
+
+namespace msim::metrics {
+namespace {
+
+/// A reduced study (2 targets, 1 test case) for cheap structural checks.
+const Study& small_study() {
+  static const Study study = Study::build(
+      {machine::find("ARL_Xeon"), machine::find("ARL_Opteron")},
+      machine::find(machine::base_system_name()),
+      {workload::find_test_case("RFCTH_Standard")});
+  return study;
+}
+
+TEST(Study, SmallStudyShape) {
+  const Study& study = small_study();
+  EXPECT_EQ(study.target_names().size(), 2u);
+  EXPECT_EQ(study.base_machine(), machine::base_system_name());
+  // (2 targets + base) x 3 counts = 9 observations.
+  EXPECT_EQ(study.observations().size(), 9u);
+  EXPECT_NO_THROW((void)study.probe_set("ARL_Xeon"));
+  EXPECT_THROW((void)study.probe_set("NAVO_655"), precondition_error);
+  EXPECT_NO_THROW((void)study.signature("RFCTH_Standard", 32));
+  EXPECT_THROW((void)study.signature("RFCTH_Standard", 31),
+               precondition_error);
+}
+
+TEST(Study, BaseCannotAlsoBeTarget) {
+  EXPECT_THROW(
+      Study::build({machine::find(machine::base_system_name())},
+                   machine::find(machine::base_system_name()),
+                   {workload::find_test_case("RFCTH_Standard")}),
+      precondition_error);
+}
+
+TEST(Study, EvaluateProducesOneCellPerCombination) {
+  const auto predictions =
+      small_study().evaluate({Metric::S1_Hpl, Metric::P6_HplStreamGups});
+  // 2 metrics x 3 counts x 2 targets = 12.
+  EXPECT_EQ(predictions.size(), 12u);
+  for (const auto& prediction : predictions) {
+    EXPECT_GT(prediction.predicted_seconds, 0.0);
+    EXPECT_GT(prediction.actual_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(prediction.abs_error_pct(),
+                     std::abs(prediction.signed_error_pct));
+  }
+}
+
+TEST(Study, PredictionsAreDeterministic) {
+  const double a = small_study().predict(Metric::P9_HplMapsNetDep,
+                                         "RFCTH_Standard", 32, "ARL_Xeon");
+  const double b = small_study().predict(Metric::P9_HplMapsNetDep,
+                                         "RFCTH_Standard", 32, "ARL_Xeon");
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Study, Metric4EqualsMetric1Everywhere) {
+  // The paper's Table 4 shows identical rows for #1 and #4; our ratio
+  // normalization reproduces that exactly, cell by cell.
+  const Study& study = msim::testing::shared_study();
+  const auto predictions =
+      study.evaluate({Metric::S1_Hpl, Metric::P4_Hpl});
+  const auto simple = Study::slice_metric(predictions, Metric::S1_Hpl);
+  const auto predictive = Study::slice_metric(predictions, Metric::P4_Hpl);
+  ASSERT_EQ(simple.size(), predictive.size());
+  ASSERT_EQ(simple.size(), 150u);
+  for (std::size_t i = 0; i < simple.size(); ++i) {
+    EXPECT_NEAR(simple[i].predicted_seconds, predictive[i].predicted_seconds,
+                simple[i].predicted_seconds * 1e-6)
+        << simple[i].app << "@" << simple[i].nprocs << " on "
+        << simple[i].machine;
+  }
+}
+
+TEST(Study, SlicesPartitionPredictions) {
+  const Study& study = small_study();
+  const auto predictions = study.evaluate({Metric::S2_Stream});
+  const auto xeon = Study::slice_machine(predictions, "ARL_Xeon");
+  const auto opteron = Study::slice_machine(predictions, "ARL_Opteron");
+  EXPECT_EQ(xeon.size() + opteron.size(), predictions.size());
+
+  const auto at32 = Study::slice_app(predictions, "RFCTH_Standard", 32);
+  EXPECT_EQ(at32.size(), 2u);
+  const auto all_counts = Study::slice_app(predictions, "RFCTH_Standard");
+  EXPECT_EQ(all_counts.size(), predictions.size());
+}
+
+TEST(Study, SummaryMatchesHandComputation) {
+  std::vector<Prediction> predictions(2);
+  predictions[0].signed_error_pct = 10.0;
+  predictions[1].signed_error_pct = -30.0;
+  const auto summary = Study::summarize(predictions);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_error_pct, 20.0);
+  EXPECT_NEAR(summary.stddev_abs_error_pct, 14.1421, 1e-3);
+  EXPECT_EQ(summary.count, 2u);
+  EXPECT_THROW((void)Study::summarize({}), precondition_error);
+}
+
+TEST(Study, BalancedRatingsAvailable) {
+  const Study& study = small_study();
+  const auto& equal = study.balanced_equal();
+  EXPECT_NEAR(equal.weights()[0], 1.0 / 3.0, 1e-12);
+  const auto& fitted = study.balanced_fitted();
+  double total = 0.0;
+  for (double w : fitted.weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Both predict something positive.
+  EXPECT_GT(study.predict(Metric::BalancedEqual, "RFCTH_Standard", 32,
+                          "ARL_Xeon"),
+            0.0);
+  EXPECT_GT(study.predict(Metric::BalancedFitted, "RFCTH_Standard", 32,
+                          "ARL_Opteron"),
+            0.0);
+}
+
+}  // namespace
+}  // namespace msim::metrics

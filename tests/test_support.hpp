@@ -1,0 +1,45 @@
+// Shared fixtures for the test suite: the full paper study is expensive
+// enough (~2 s) that tests share one instance, and several parameterized
+// suites sweep the machine registry or the TI-05 suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "metrics/study.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::testing {
+
+/// The full paper study, built once per test binary.
+inline const metrics::Study& shared_study() {
+  static const metrics::Study study = metrics::Study::build();
+  return study;
+}
+
+/// Names of every registry machine (targets + base) for parameterized
+/// machine sweeps.
+inline std::vector<std::string> all_machine_names() {
+  std::vector<std::string> names = machine::target_system_names();
+  names.push_back(machine::base_system_name());
+  return names;
+}
+
+/// (app, nprocs) pairs covering the whole TI-05 suite.
+struct AppInstance {
+  std::string app;
+  int nprocs;
+};
+
+inline std::vector<AppInstance> all_app_instances() {
+  std::vector<AppInstance> instances;
+  for (const auto& test_case : workload::ti05_suite()) {
+    for (int nprocs : test_case.cpu_counts) {
+      instances.push_back({test_case.name, nprocs});
+    }
+  }
+  return instances;
+}
+
+}  // namespace msim::testing

@@ -1,0 +1,203 @@
+// TLB model, working-set tracker, and the sampled working-set estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "memsim/address_stream.hpp"
+#include "memsim/tlb.hpp"
+#include "memsim/working_set.hpp"
+#include "trace/working_set_estimator.hpp"
+
+namespace msim {
+namespace {
+
+machine::Tlb small_tlb(std::uint32_t entries = 4,
+                       std::uint32_t page = 4096) {
+  return machine::Tlb{.entries = entries,
+                      .page_bytes = page,
+                      .miss_penalty_s = 100e-9};
+}
+
+TEST(Tlb, HitsWithinPage) {
+  memsim::Tlb tlb(small_tlb());
+  EXPECT_FALSE(tlb.access(0));
+  EXPECT_TRUE(tlb.access(100));
+  EXPECT_TRUE(tlb.access(4095));
+  EXPECT_FALSE(tlb.access(4096));
+  EXPECT_EQ(tlb.misses(), 2u);
+  EXPECT_EQ(tlb.hits(), 2u);
+}
+
+TEST(Tlb, LruEviction) {
+  memsim::Tlb tlb(small_tlb(2));
+  (void)tlb.access(0 * 4096);      // A
+  (void)tlb.access(1 * 4096);      // B
+  EXPECT_TRUE(tlb.access(0));      // A refreshed
+  (void)tlb.access(2 * 4096);      // C evicts B
+  EXPECT_TRUE(tlb.access(0));      // A still present
+  EXPECT_FALSE(tlb.access(4096));  // B gone
+}
+
+TEST(Tlb, ResetAndMissRate) {
+  memsim::Tlb tlb(small_tlb());
+  (void)tlb.access(0);
+  (void)tlb.access(0);
+  EXPECT_DOUBLE_EQ(tlb.miss_rate(), 0.5);
+  tlb.reset();
+  EXPECT_DOUBLE_EQ(tlb.miss_rate(), 0.0);
+}
+
+TEST(Tlb, ExpectedMissRateWithinCoverageIsZero) {
+  const auto config = small_tlb(16, 4096);  // 64 KiB coverage
+  EXPECT_DOUBLE_EQ(
+      memsim::Tlb::expected_miss_rate(config, 32 * KiB, 8), 0.0);
+  EXPECT_DOUBLE_EQ(
+      memsim::Tlb::expected_miss_rate(config, 32 * KiB, 0), 0.0);
+}
+
+TEST(Tlb, ExpectedMissRateStrided) {
+  const auto config = small_tlb(16, 4096);
+  // Beyond coverage, a stride-8 walk misses once per 512 references.
+  EXPECT_NEAR(memsim::Tlb::expected_miss_rate(config, 1 * MiB, 8),
+              1.0 / 512.0, 1e-12);
+  // A page-sized stride misses every reference.
+  EXPECT_NEAR(memsim::Tlb::expected_miss_rate(config, 1 * MiB, 4096), 1.0,
+              1e-12);
+}
+
+TEST(Tlb, ExpectedMissRateRandom) {
+  const auto config = small_tlb(16, 4096);  // 64 KiB coverage
+  EXPECT_NEAR(memsim::Tlb::expected_miss_rate(config, 128 * KiB, 0), 0.5,
+              1e-12);
+  EXPECT_NEAR(memsim::Tlb::expected_miss_rate(config, 64 * MiB, 0),
+              1.0 - 64.0 * KiB / (64.0 * MiB), 1e-9);
+}
+
+TEST(Tlb, SimulationAgreesWithAnalyticRandom) {
+  const auto config = small_tlb(16, 4096);
+  memsim::Tlb tlb(config);
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 256 * KiB;  // coverage is 64 KiB -> 75% misses
+  spec.components = {{.stride_bytes = 0, .weight = 1.0}};
+  memsim::AddressGenerator generator(spec, 13);
+  for (int i = 0; i < 50000; ++i) (void)tlb.access(generator.next());
+  EXPECT_NEAR(tlb.miss_rate(),
+              memsim::Tlb::expected_miss_rate(config, 256 * KiB, 0), 0.02);
+}
+
+TEST(WorkingSetTracker, CountsUniqueLines) {
+  memsim::WorkingSetTracker tracker(64);
+  tracker.touch(0);
+  tracker.touch(63);   // same line
+  tracker.touch(64);   // second line
+  tracker.touch(640);  // third line
+  EXPECT_EQ(tracker.unique_lines(), 3u);
+  EXPECT_EQ(tracker.bytes(), 3u * 64);
+  tracker.reset();
+  EXPECT_EQ(tracker.unique_lines(), 0u);
+}
+
+TEST(WorkingSetTracker, RejectsNonPowerOfTwoGranularity) {
+  EXPECT_THROW(memsim::WorkingSetTracker(100), precondition_error);
+}
+
+TEST(InvertUniqueCount, ExactWhenSaturated) {
+  // After very many draws over L slots, unique -> L.
+  EXPECT_NEAR(trace::invert_unique_count(1000, 1u << 20), 1000.0, 1.0);
+}
+
+TEST(InvertUniqueCount, CapWhenNoCollisions) {
+  EXPECT_DOUBLE_EQ(trace::invert_unique_count(500, 500, 1e12), 1e12);
+  EXPECT_DOUBLE_EQ(trace::invert_unique_count(0, 0), 0.0);
+}
+
+TEST(InvertUniqueCount, RejectsImpossibleInput) {
+  EXPECT_THROW((void)trace::invert_unique_count(10, 5), precondition_error);
+}
+
+/// Property: the estimator recovers the true working set of random streams
+/// across a wide size range using a bounded sample.
+class RandomExtentProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomExtentProperty, EstimatesRandomStreamExtent) {
+  const std::uint64_t ws = GetParam();
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = ws;
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 0, .weight = 1.0}};
+  memsim::AddressGenerator generator(spec, 31);
+  trace::WorkingSetEstimator estimator(8);
+  for (int i = 0; i < 1 << 18; ++i) {
+    const auto ref = generator.next_tagged();
+    estimator.observe(ref.stream_id, ref.address);
+  }
+  const auto estimate = estimator.estimate();
+  EXPECT_FALSE(estimate.is_lower_bound);
+  EXPECT_GT(estimate.bytes, ws / 2);
+  EXPECT_LT(estimate.bytes, ws * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomExtentProperty,
+                         ::testing::Values(64 * KiB, 512 * KiB, 4 * MiB,
+                                           32 * MiB));
+
+TEST(WorkingSetEstimator, StridedWrapGivesExactExtent) {
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 64 * KiB;
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 8, .weight = 1.0}};
+  memsim::AddressGenerator generator(spec, 37);
+  trace::WorkingSetEstimator estimator(8);
+  // Two full sweeps guarantee at least one observed wrap.
+  for (std::uint64_t i = 0; i < 2 * spec.working_set_bytes / 8; ++i) {
+    const auto ref = generator.next_tagged();
+    estimator.observe(ref.stream_id, ref.address);
+  }
+  const auto estimate = estimator.estimate();
+  EXPECT_FALSE(estimate.is_lower_bound);
+  EXPECT_EQ(estimate.bytes, spec.working_set_bytes);  // wrap extent is exact
+}
+
+TEST(WorkingSetEstimator, UnwrappedStrideIsLowerBound) {
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 1 * GiB;  // sample cannot cover this
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 8, .weight = 1.0}};
+  memsim::AddressGenerator generator(spec, 41);
+  trace::WorkingSetEstimator estimator(8);
+  const std::uint64_t samples = 1 << 14;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto ref = generator.next_tagged();
+    estimator.observe(ref.stream_id, ref.address);
+  }
+  const auto estimate = estimator.estimate();
+  EXPECT_TRUE(estimate.is_lower_bound);
+  EXPECT_NEAR(static_cast<double>(estimate.bytes),
+              static_cast<double>(samples * 8), samples * 8 * 0.01);
+}
+
+TEST(WorkingSetEstimator, MixedStreamPrefersBoundedEstimate) {
+  memsim::StreamSpec spec;
+  spec.working_set_bytes = 8 * MiB;
+  spec.element_bytes = 8;
+  spec.components = {{.stride_bytes = 8, .weight = 0.7},
+                     {.stride_bytes = 0, .weight = 0.3}};
+  memsim::AddressGenerator generator(spec, 43);
+  trace::WorkingSetEstimator estimator(8);
+  for (int i = 0; i < 1 << 18; ++i) {
+    const auto ref = generator.next_tagged();
+    estimator.observe(ref.stream_id, ref.address);
+  }
+  // The unit-stride component cannot wrap in this sample, but the random
+  // component saturates enough to bound the extent.
+  const auto estimate = estimator.estimate();
+  EXPECT_FALSE(estimate.is_lower_bound);
+  EXPECT_GT(estimate.bytes, 4 * MiB);
+  EXPECT_LT(estimate.bytes, 16 * MiB);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,245 @@
+// The tracer stack: stride detector, static analyzer, block/application
+// tracing, and the dilation cost model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "machine/registry.hpp"
+#include "memsim/address_stream.hpp"
+#include "test_support.hpp"
+#include "trace/dilation.hpp"
+#include "trace/static_analysis.hpp"
+#include "trace/stride_detector.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::trace {
+namespace {
+
+TEST(StrideDetector, PureUnitStride) {
+  StrideDetector detector(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    detector.observe({.pc = 0, .address = 0x1000 + i * 8});
+  }
+  EXPECT_GT(detector.counts().unit_fraction(), 0.99);
+}
+
+TEST(StrideDetector, ShortStrides) {
+  StrideDetector detector(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    detector.observe({.pc = 0, .address = 0x1000 + i * 32});  // stride 4
+  }
+  EXPECT_GT(detector.counts().short_fraction(), 0.99);
+}
+
+TEST(StrideDetector, ThresholdBoundary) {
+  // Stride 8 elements (64 bytes) is "short"; stride 9 (72 bytes) random.
+  StrideDetector at(8), beyond(8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    at.observe({.pc = 0, .address = i * 64});
+    beyond.observe({.pc = 0, .address = i * 72});
+  }
+  EXPECT_GT(at.counts().short_fraction(), 0.95);
+  EXPECT_GT(beyond.counts().random_fraction(), 0.95);
+}
+
+TEST(StrideDetector, BackwardStridesClassified) {
+  StrideDetector detector(8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    detector.observe({.pc = 0, .address = 1 << 20});
+    detector.observe({.pc = 1, .address = (1 << 20) - i * 8});
+  }
+  // pc 1 walks backward with stride -1: still unit.
+  EXPECT_GT(detector.counts().unit_fraction(), 0.45);
+}
+
+TEST(StrideDetector, RandomStream) {
+  StrideDetector detector(8);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    detector.observe({.pc = 0, .address = rng.uniform_u64(1 << 24) * 8});
+  }
+  EXPECT_GT(detector.counts().random_fraction(), 0.95);
+}
+
+TEST(StrideDetector, PcSeparationDisentanglesInterleaving) {
+  // Two interleaved unit-stride walks look random without PC separation;
+  // with it they classify as unit.
+  StrideDetector detector(8);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    detector.observe({.pc = 0, .address = 0x10000 + i * 8});
+    detector.observe({.pc = 1, .address = 0x90000 + i * 8});
+  }
+  EXPECT_GT(detector.counts().unit_fraction(), 0.99);
+}
+
+TEST(StrideDetector, FirstReferencePerPcIsRandom) {
+  StrideDetector detector(8);
+  detector.observe({.pc = 7, .address = 0});
+  EXPECT_EQ(detector.counts().random, 1u);
+  EXPECT_EQ(detector.counts().total(), 1u);
+}
+
+TEST(StrideDetector, ResetClears) {
+  StrideDetector detector(8);
+  detector.observe({.pc = 0, .address = 0});
+  detector.reset();
+  EXPECT_EQ(detector.counts().total(), 0u);
+}
+
+TEST(StrideDetector, MisalignedDeltasAreRandom) {
+  StrideDetector detector(8);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    detector.observe({.pc = 0, .address = i * 12});  // not element aligned
+  }
+  EXPECT_GT(detector.counts().random_fraction(), 0.95);
+}
+
+workload::BasicBlock serial_block() {
+  return workload::BasicBlock{
+      .name = "serial",
+      .flops_per_iteration = 1,
+      .refs_per_iteration = 4,
+      .element_bytes = 8,
+      .iterations = 1000,
+      .mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+              .short_stride_elements = 2},
+      .working_set_bytes = 64 * KiB,
+      .dependency = memsim::DependencyClass::Serial,
+      .ilp_efficiency = 0.3};
+}
+
+TEST(StaticAnalyzer, PerfectAnalyzerMatchesTruth) {
+  const StaticAnalyzer perfect(0.0, 0.0);
+  auto block = serial_block();
+  EXPECT_TRUE(perfect.dependency_limited(block));
+  block.dependency = memsim::DependencyClass::Independent;
+  EXPECT_FALSE(perfect.dependency_limited(block));
+}
+
+TEST(StaticAnalyzer, VerdictIsDeterministicPerBlock) {
+  const StaticAnalyzer analyzer(0.3, 0.3);
+  const auto block = serial_block();
+  const bool verdict = analyzer.dependency_limited(block);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(analyzer.dependency_limited(block), verdict);
+  }
+}
+
+TEST(StaticAnalyzer, ErrorRatesAreApproximatelyRespected) {
+  const StaticAnalyzer analyzer(0.2, 0.1);
+  int false_negatives = 0, false_positives = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto block = serial_block();
+    block.name = "block_" + std::to_string(i);
+    if (!analyzer.dependency_limited(block)) ++false_negatives;
+    block.dependency = memsim::DependencyClass::Independent;
+    block.name += "_indep";
+    if (analyzer.dependency_limited(block)) ++false_positives;
+  }
+  EXPECT_NEAR(false_negatives / static_cast<double>(n), 0.2, 0.03);
+  EXPECT_NEAR(false_positives / static_cast<double>(n), 0.1, 0.03);
+}
+
+TEST(StaticAnalyzer, RejectsBadRates) {
+  EXPECT_THROW(StaticAnalyzer(-0.1, 0.0), precondition_error);
+  EXPECT_THROW(StaticAnalyzer(0.0, 1.1), precondition_error);
+}
+
+TEST(Tracer, ExactCountsObservedFractions) {
+  workload::BasicBlock block{
+      .name = "traced",
+      .flops_per_iteration = 7,
+      .refs_per_iteration = 10,
+      .element_bytes = 8,
+      .iterations = 100000,
+      .mix = {.unit = 0.6, .short_ = 0.2, .random = 0.2,
+              .short_stride_elements = 4},
+      .working_set_bytes = 2 * MiB,
+      .branch_density = 0.15,
+      .ilp_efficiency = 0.3};
+  const BlockSignature signature = trace_block(block, "phase");
+  // Counters count exactly.
+  EXPECT_EQ(signature.flops, 700000u);
+  EXPECT_EQ(signature.refs, 1000000u);
+  EXPECT_DOUBLE_EQ(signature.branch_density, 0.15);
+  // Observed fractions track the generative mix within sampling error.
+  EXPECT_NEAR(signature.unit_fraction, 0.6, 0.03);
+  EXPECT_NEAR(signature.short_fraction, 0.2, 0.03);
+  EXPECT_NEAR(signature.random_fraction, 0.2, 0.03);
+  const double total = signature.unit_fraction + signature.short_fraction +
+                       signature.random_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Working set recovered within a factor of two.
+  EXPECT_GT(signature.working_set_estimate, 1 * MiB);
+  EXPECT_LT(signature.working_set_estimate, 4 * MiB);
+}
+
+TEST(Tracer, SampleNeverExceedsActualReferences) {
+  workload::BasicBlock block = serial_block();
+  block.iterations = 3;  // only 12 refs exist
+  TracerOptions options;
+  options.sample_refs = 1 << 20;
+  EXPECT_NO_THROW((void)trace_block(block, "p", options));
+}
+
+/// Property: tracing every TI-05 instance yields consistent signatures.
+class TraceAppProperty
+    : public ::testing::TestWithParam<msim::testing::AppInstance> {};
+
+TEST_P(TraceAppProperty, SignatureIsConsistentWithModel) {
+  const auto& instance = GetParam();
+  const auto app =
+      workload::find_test_case(instance.app).build(instance.nprocs);
+  const auto signature =
+      trace_application(app, machine::base_system_name());
+
+  EXPECT_EQ(signature.app, instance.app);
+  EXPECT_EQ(signature.nprocs, instance.nprocs);
+  EXPECT_EQ(signature.timesteps, app.timesteps);
+  EXPECT_EQ(signature.traced_on, machine::base_system_name());
+
+  // Exact totals match the model (counters don't sample).
+  EXPECT_EQ(signature.total_flops_per_timestep(),
+            app.total_flops_per_timestep());
+  EXPECT_EQ(signature.total_bytes_per_timestep(),
+            app.total_bytes_per_timestep());
+
+  // MPIDTRACE records the communication schedule verbatim.
+  ASSERT_EQ(signature.comm.size(), app.phases.size());
+  for (std::size_t i = 0; i < app.phases.size(); ++i) {
+    EXPECT_EQ(signature.comm[i].events.size(), app.phases[i].comm.size());
+  }
+
+  // Observed stride fractions stay near the generative mixes.
+  std::size_t block_index = 0;
+  for (const auto& phase : app.phases) {
+    for (const auto& block : phase.blocks) {
+      const auto& traced = signature.blocks[block_index++];
+      EXPECT_EQ(traced.name, block.name);
+      EXPECT_NEAR(traced.unit_fraction, block.mix.unit, 0.05)
+          << block.name;
+      EXPECT_NEAR(traced.random_fraction, block.mix.random, 0.05)
+          << block.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ti05, TraceAppProperty,
+    ::testing::ValuesIn(msim::testing::all_app_instances()),
+    [](const auto& info) {
+      return info.param.app + "_" + std::to_string(info.param.nprocs);
+    });
+
+TEST(Dilation, ThirtyTimesMemoryTraceCost) {
+  const auto cost = tracing_cost(3600.0, 64);
+  EXPECT_NEAR(cost.memory_hours, 64.0 * 30.0, 1e-9);
+  EXPECT_NEAR(cost.counter_hours, 64.0 * 1.02, 1e-9);
+  EXPECT_THROW((void)tracing_cost(0.0, 64), precondition_error);
+  EXPECT_THROW((void)tracing_cost(10.0, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace msim::trace

@@ -1,0 +1,197 @@
+// Application models: validation, the TI-05 suite, scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "test_support.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::workload {
+namespace {
+
+TEST(MemoryMix, ValidationRules) {
+  EXPECT_NO_THROW(validate(MemoryMix{.unit = 0.5, .short_ = 0.3,
+                                     .random = 0.2,
+                                     .short_stride_elements = 4}));
+  EXPECT_THROW(validate(MemoryMix{.unit = 0.5, .short_ = 0.3,
+                                  .random = 0.3,
+                                  .short_stride_elements = 4}),
+               precondition_error);  // does not sum to 1
+  EXPECT_THROW(validate(MemoryMix{.unit = 1.0, .short_ = 0.0, .random = 0.0,
+                                  .short_stride_elements = 9}),
+               precondition_error);  // stride above paper's threshold
+}
+
+BasicBlock minimal_block() {
+  return BasicBlock{.name = "b",
+                    .flops_per_iteration = 1,
+                    .refs_per_iteration = 2,
+                    .element_bytes = 8,
+                    .iterations = 10,
+                    .mix = {.unit = 1.0, .short_ = 0.0, .random = 0.0,
+                            .short_stride_elements = 2},
+                    .working_set_bytes = 1024,
+                    .ilp_efficiency = 0.5};
+}
+
+TEST(BasicBlock, TrafficAndFlopTotals) {
+  const BasicBlock block = minimal_block();
+  EXPECT_EQ(block.bytes_per_timestep(), 2u * 10 * 8);
+  EXPECT_EQ(block.flops_per_timestep(), 10u);
+}
+
+TEST(BasicBlock, StreamSpecMatchesMix) {
+  BasicBlock block = minimal_block();
+  block.mix = {.unit = 0.5, .short_ = 0.3, .random = 0.2,
+               .short_stride_elements = 4};
+  const auto spec = block.stream_spec();
+  ASSERT_EQ(spec.components.size(), 3u);
+  EXPECT_EQ(spec.components[0].stride_bytes, 8);
+  EXPECT_EQ(spec.components[1].stride_bytes, 32);
+  EXPECT_EQ(spec.components[2].stride_bytes, 0);
+  EXPECT_DOUBLE_EQ(spec.components[0].weight, 0.5);
+  EXPECT_EQ(spec.working_set_bytes, block.working_set_bytes);
+}
+
+TEST(BasicBlock, StreamSpecOmitsZeroComponents) {
+  const auto spec = minimal_block().stream_spec();
+  EXPECT_EQ(spec.components.size(), 1u);
+}
+
+TEST(BasicBlock, DistinctBlocksGetDistinctAddressRegions) {
+  BasicBlock a = minimal_block();
+  BasicBlock b = minimal_block();
+  b.name = "different";
+  EXPECT_NE(a.stream_spec().base_address, b.stream_spec().base_address);
+}
+
+TEST(BasicBlock, ValidationRejectsNonsense) {
+  BasicBlock block = minimal_block();
+  block.iterations = 0;
+  EXPECT_THROW(validate(block), precondition_error);
+
+  block = minimal_block();
+  block.working_set_bytes = 1;
+  EXPECT_THROW(validate(block), precondition_error);
+
+  block = minimal_block();
+  block.branch_density = 1.5;
+  EXPECT_THROW(validate(block), precondition_error);
+
+  block = minimal_block();
+  block.page_locality = 1.0;
+  EXPECT_THROW(validate(block), precondition_error);
+}
+
+TEST(Suite, HasFiveTestCasesWithPaperCounts) {
+  const auto suite = ti05_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "AVUS_Standard");
+  EXPECT_EQ(suite[0].cpu_counts, (std::vector<int>{32, 64, 128}));
+  EXPECT_EQ(suite[1].cpu_counts, (std::vector<int>{128, 256, 384}));
+  EXPECT_EQ(suite[2].cpu_counts, (std::vector<int>{59, 96, 124}));
+  EXPECT_EQ(suite[3].cpu_counts, (std::vector<int>{32, 48, 64}));
+  EXPECT_EQ(suite[4].cpu_counts, (std::vector<int>{16, 32, 64}));
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(find_test_case("HYCOM_Standard").name, "HYCOM_Standard");
+  EXPECT_THROW((void)find_test_case("SPECfp"), precondition_error);
+}
+
+/// Every (app, count) instance validates and has sane structure.
+class AppInstanceProperty
+    : public ::testing::TestWithParam<msim::testing::AppInstance> {};
+
+TEST_P(AppInstanceProperty, BuildsAndValidates) {
+  const auto& instance = GetParam();
+  const AppModel app = find_test_case(instance.app).build(instance.nprocs);
+  EXPECT_NO_THROW(validate(app));
+  EXPECT_EQ(app.nprocs, instance.nprocs);
+  EXPECT_GT(app.timesteps, 0);
+  EXPECT_GT(app.total_flops_per_timestep(), 0u);
+  EXPECT_GT(app.total_bytes_per_timestep(), 0u);
+  for (const auto& phase : app.phases) {
+    EXPECT_GE(phase.load_imbalance, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ti05, AppInstanceProperty,
+    ::testing::ValuesIn(msim::testing::all_app_instances()),
+    [](const auto& info) {
+      return info.param.app + "_" + std::to_string(info.param.nprocs);
+    });
+
+TEST(Scaling, PerProcessWorkShrinksWithProcessorCount) {
+  for (const auto& test_case : ti05_suite()) {
+    const auto small = test_case.build(test_case.cpu_counts.front());
+    const auto large = test_case.build(test_case.cpu_counts.back());
+    EXPECT_LT(large.total_bytes_per_timestep(),
+              small.total_bytes_per_timestep())
+        << test_case.name;
+    EXPECT_LT(large.total_flops_per_timestep(),
+              small.total_flops_per_timestep())
+        << test_case.name;
+  }
+}
+
+TEST(Scaling, TotalWorkIsRoughlyConserved) {
+  // Strong scaling: nprocs * per-process work stays within 10%.
+  for (const auto& test_case : ti05_suite()) {
+    const int p0 = test_case.cpu_counts.front();
+    const int p1 = test_case.cpu_counts.back();
+    const double total0 =
+        static_cast<double>(test_case.build(p0).total_flops_per_timestep()) *
+        p0;
+    const double total1 =
+        static_cast<double>(test_case.build(p1).total_flops_per_timestep()) *
+        p1;
+    EXPECT_NEAR(total1 / total0, 1.0, 0.1) << test_case.name;
+  }
+}
+
+TEST(Scaling, HaloBytesShrinkSublinearly) {
+  // Surface-to-volume: per-process halo bytes shrink with P, but slower
+  // than compute (so communication fraction grows).
+  const auto small = make_avus_standard(32);
+  const auto large = make_avus_standard(128);
+  const auto halo_bytes = [](const AppModel& app) {
+    double bytes = 0.0;
+    for (const auto& phase : app.phases) {
+      for (const auto& event : phase.comm) {
+        if (event.type == netsim::CommType::PointToPoint) {
+          bytes += static_cast<double>(event.bytes) * event.count;
+        }
+      }
+    }
+    return bytes;
+  };
+  const double ratio = halo_bytes(large) / halo_bytes(small);
+  EXPECT_LT(ratio, 1.0);          // shrinks per process
+  EXPECT_GT(ratio, 1.0 / 4.0);    // but slower than compute (1/4)
+}
+
+TEST(Apps, OverflowAdiIsSerialAndCacheResident) {
+  // The block the paper's Metric #9 story hinges on.
+  const auto app = make_overflow2_standard(32);
+  const BasicBlock* adi = nullptr;
+  for (const auto& phase : app.phases) {
+    for (const auto& block : phase.blocks) {
+      if (block.name.find("adi_sweep") != std::string::npos) adi = &block;
+    }
+  }
+  ASSERT_NE(adi, nullptr);
+  EXPECT_EQ(adi->dependency, memsim::DependencyClass::Serial);
+  EXPECT_LT(adi->working_set_bytes, 4u << 20);  // plane fits in big caches
+}
+
+TEST(Apps, AvusLargeIsBiggerThanStandard) {
+  const auto standard = make_avus_standard(128);
+  const auto large = make_avus_large(128);
+  EXPECT_GT(large.total_bytes_per_timestep(),
+            standard.total_bytes_per_timestep());
+  EXPECT_GT(large.timesteps, standard.timesteps);
+}
+
+}  // namespace
+}  // namespace msim::workload

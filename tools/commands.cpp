@@ -1,0 +1,332 @@
+#include "commands.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <optional>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "machine/config_io.hpp"
+#include "machine/registry.hpp"
+#include "metrics/study.hpp"
+#include "probes/probe_io.hpp"
+#include "probes/synthetic.hpp"
+#include "report/report.hpp"
+#include "simulate/executor.hpp"
+#include "stats/summary.hpp"
+#include "trace/signature_io.hpp"
+#include "trace/tracer.hpp"
+#include "convolve/convolver.hpp"
+#include "workload/app_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::cli {
+
+namespace {
+
+/// Extract "--flag value" from args; returns nullopt if absent.
+std::optional<std::string> take_option(Args& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag && i + 1 < args.size()) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i + 2));
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool take_flag(Args& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("error: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int usage_error(const char* message) {
+  std::printf("error: %s\n\n", message);
+  print_usage();
+  return 2;
+}
+
+metrics::Metric metric_from_token(const std::string& token) {
+  for (metrics::Metric metric : metrics::all_metrics()) {
+    if (metrics::row_label(metric) == token) return metric;
+  }
+  // Accept bare numbers 1..9 too.
+  for (metrics::Metric metric : metrics::paper_metrics()) {
+    if (metrics::row_label(metric).substr(0, 1) == token) return metric;
+  }
+  throw precondition_error("unknown metric '" + token +
+                           "' (use 1..9, 1-S..9-P, B-E, B-F)");
+}
+
+}  // namespace
+
+void print_usage() {
+  std::printf(
+      "msim — trace-convolution performance prediction (SC'05 "
+      "reproduction)\n\n"
+      "usage: msim <command> [args]\n\n"
+      "commands:\n"
+      "  machines                         list the machine registry\n"
+      "  show-machine <name>              dump a machine description\n"
+      "  probe <machine> [--out FILE]     run HPL/STREAM/GUPS/MAPS/NETBENCH\n"
+      "  trace <app> <nprocs> [--out FILE]  trace an application on the "
+      "base system\n"
+      "  predict <app> <nprocs> <machine> [--metric M]\n"
+      "                                   predict a run time (default: all "
+      "metrics)\n"
+      "  rank <app> <nprocs> [--metric M] rank every system for an app\n"
+      "  campaign [--no-composites]       run the full study (Table 4)\n"
+      "  export-app <app> <nprocs> --out FILE\n"
+      "                                   dump a TI-05 app model as text\n"
+      "  predict-custom <app-file> <machine> [--metric M]\n"
+      "                                   trace + predict a user-defined "
+      "app\n\n"
+      "apps: AVUS_Standard AVUS_Large HYCOM_Standard OVERFLOW2_Standard "
+      "RFCTH_Standard\n");
+}
+
+int cmd_machines(const Args&) {
+  AsciiTable table({"Name", "Architecture", "CPUs", "Rmax/proc", "Clock"});
+  table.set_align(2, Align::Right);
+  table.set_align(3, Align::Right);
+  table.set_align(4, Align::Right);
+  for (const auto& machine : machine::all()) {
+    table.add_row({machine.name, machine.architecture,
+                   std::to_string(machine.total_processors),
+                   format_rate(machine.rmax_flops(), "FLOP"),
+                   AsciiTable::num(machine.cpu.clock_ghz, 2) + " GHz"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(base system for tracing: %s)\n",
+              machine::base_system_name().c_str());
+  return 0;
+}
+
+int cmd_show_machine(const Args& args) {
+  if (args.size() != 1) return usage_error("show-machine needs a name");
+  std::printf("%s", machine::to_text(machine::find(args[0])).c_str());
+  return 0;
+}
+
+int cmd_probe(const Args& raw_args) {
+  Args args = raw_args;
+  const auto out_path = take_option(args, "--out");
+  if (args.size() != 1) return usage_error("probe needs a machine name");
+
+  const auto& machine = machine::find(args[0]);
+  const auto set = probes::run_probe_suite(machine);
+  std::printf("Probe suite on %s (%s):\n", set.machine.c_str(),
+              machine.architecture.c_str());
+  std::printf("  HPL Rmax/proc: %s\n",
+              format_rate(set.hpl_rmax, "FLOP").c_str());
+  std::printf("  STREAM:        %s\n",
+              format_rate(set.stream_bw, "B").c_str());
+  std::printf("  GUPS:          %s\n", format_rate(set.gups_bw, "B").c_str());
+  std::printf("  NETBENCH:      %.2f us latency, %s bandwidth, 8B "
+              "allreduce@64 %.1f us\n",
+              set.net.latency_s * 1e6,
+              format_rate(set.net.bandwidth, "B").c_str(),
+              set.net.allreduce_small_s * 1e6);
+  std::printf("  MAPS:          %zu-point curves (unit/random x "
+              "standard/dependency)\n",
+              set.maps_unit.points.size());
+  if (out_path) write_file(*out_path, probes::to_text(set));
+  return 0;
+}
+
+int cmd_trace(const Args& raw_args) {
+  Args args = raw_args;
+  const auto out_path = take_option(args, "--out");
+  if (args.size() != 2) return usage_error("trace needs <app> <nprocs>");
+
+  const auto& test_case = workload::find_test_case(args[0]);
+  const int nprocs = std::atoi(args[1].c_str());
+  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+
+  const auto app = test_case.build(nprocs);
+  const auto signature =
+      trace::trace_application(app, machine::base_system_name());
+
+  AsciiTable table({"Block", "Unit", "Short", "Random", "WS estimate",
+                    "Dep?"});
+  for (std::size_t c = 1; c < 4; ++c) table.set_align(c, Align::Right);
+  for (const auto& block : signature.blocks) {
+    table.add_row({block.name, AsciiTable::num(block.unit_fraction, 2),
+                   AsciiTable::num(block.short_fraction, 2),
+                   AsciiTable::num(block.random_fraction, 2),
+                   format_bytes(block.working_set_estimate),
+                   block.dependency_limited ? "yes" : "no"});
+  }
+  std::printf("Traced %s @ %d CPUs on %s:\n%s", signature.app.c_str(),
+              nprocs, signature.traced_on.c_str(), table.render().c_str());
+  if (out_path) write_file(*out_path, trace::to_text(signature));
+  return 0;
+}
+
+int cmd_predict(const Args& raw_args) {
+  Args args = raw_args;
+  const auto metric_token = take_option(args, "--metric");
+  if (args.size() != 3) {
+    return usage_error("predict needs <app> <nprocs> <machine>");
+  }
+  const std::string app = args[0];
+  const int nprocs = std::atoi(args[1].c_str());
+  const std::string machine = args[2];
+  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+
+  const auto study = metrics::Study::build();
+  const double actual = study.observations().at(app, nprocs, machine);
+
+  std::vector<metrics::Metric> metric_list;
+  if (metric_token) {
+    metric_list = {metric_from_token(*metric_token)};
+  } else {
+    metric_list = metrics::all_metrics();
+  }
+
+  AsciiTable table({"Metric", "Predicted (s)", "\"Actual\" (s)",
+                    "Error (%)"});
+  for (std::size_t c = 1; c < 4; ++c) table.set_align(c, Align::Right);
+  for (metrics::Metric metric : metric_list) {
+    const double predicted = study.predict(metric, app, nprocs, machine);
+    table.add_row(
+        {metrics::row_label(metric) + " " + metrics::description(metric),
+         AsciiTable::num(predicted, 0), AsciiTable::num(actual, 0),
+         AsciiTable::num(stats::signed_percent_error(predicted, actual),
+                         1)});
+  }
+  std::printf("%s @ %d CPUs on %s:\n%s", app.c_str(), nprocs,
+              machine.c_str(), table.render().c_str());
+  return 0;
+}
+
+int cmd_rank(const Args& raw_args) {
+  Args args = raw_args;
+  const auto metric_token = take_option(args, "--metric");
+  if (args.size() != 2) return usage_error("rank needs <app> <nprocs>");
+  const std::string app = args[0];
+  const int nprocs = std::atoi(args[1].c_str());
+  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+  const metrics::Metric metric =
+      metric_token ? metric_from_token(*metric_token)
+                   : metrics::Metric::P9_HplMapsNetDep;
+
+  const auto study = metrics::Study::build();
+  struct Row {
+    std::string machine;
+    double predicted;
+    double actual;
+  };
+  std::vector<Row> rows;
+  for (const auto& machine : study.target_names()) {
+    rows.push_back(Row{machine,
+                       study.predict(metric, app, nprocs, machine),
+                       study.observations().at(app, nprocs, machine)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.predicted < b.predicted;
+  });
+
+  AsciiTable table({"Rank", "System", "Predicted (s)", "\"Actual\" (s)"});
+  table.set_align(0, Align::Right);
+  table.set_align(2, Align::Right);
+  table.set_align(3, Align::Right);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({std::to_string(i + 1), rows[i].machine,
+                   AsciiTable::num(rows[i].predicted, 0),
+                   AsciiTable::num(rows[i].actual, 0)});
+  }
+  std::printf("%s @ %d CPUs ranked by %s:\n%s", app.c_str(), nprocs,
+              metrics::description(metric).c_str(), table.render().c_str());
+  return 0;
+}
+
+int cmd_campaign(const Args& raw_args) {
+  Args args = raw_args;
+  const bool no_composites = take_flag(args, "--no-composites");
+  if (!args.empty()) return usage_error("campaign takes no positional args");
+
+  const auto study = metrics::Study::build();
+  const auto predictions = study.evaluate(
+      no_composites ? metrics::paper_metrics() : metrics::all_metrics());
+  std::printf("%s",
+              report::render_table4(study, predictions, !no_composites)
+                  .c_str());
+  return 0;
+}
+
+int cmd_export_app(const Args& raw_args) {
+  Args args = raw_args;
+  const auto out_path = take_option(args, "--out");
+  if (args.size() != 2 || !out_path) {
+    return usage_error("export-app needs <app> <nprocs> --out FILE");
+  }
+  const auto& test_case = workload::find_test_case(args[0]);
+  const int nprocs = std::atoi(args[1].c_str());
+  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+  write_file(*out_path, workload::to_text(test_case.build(nprocs)));
+  return 0;
+}
+
+int cmd_predict_custom(const Args& raw_args) {
+  Args args = raw_args;
+  const auto metric_token = take_option(args, "--metric");
+  if (args.size() != 2) {
+    return usage_error("predict-custom needs <app-file> <machine>");
+  }
+
+  std::ifstream in(args[0]);
+  if (!in) return usage_error("cannot read the app file");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const workload::AppModel app = workload::app_from_text(buffer.str());
+
+  const auto& base = machine::find(machine::base_system_name());
+  const auto& target = machine::find(args[1]);
+  const auto base_probes = probes::run_probe_suite(base);
+  const auto target_probes = probes::run_probe_suite(target);
+  const auto signature = trace::trace_application(app, base.name);
+  const double base_seconds = simulate::execute(app, base).wall_seconds;
+  const double actual = simulate::execute(app, target).wall_seconds;
+
+  const auto predictive =
+      metric_token
+          ? metrics::predictive_of(metric_from_token(*metric_token))
+          : convolve::PredictiveMetric::M9_HplMapsNetDep;
+  if (!predictive) {
+    return usage_error("predict-custom supports predictive metrics 4-9");
+  }
+  const double predicted = convolve::predict_time(
+      signature, target_probes, base_probes, base_seconds, *predictive);
+
+  std::printf("%s @ %d CPUs (%d timesteps), traced on %s\n",
+              app.name.c_str(), app.nprocs, app.timesteps,
+              base.name.c_str());
+  std::printf("  measured on base:       %9.0f s\n", base_seconds);
+  std::printf("  predicted on %-10s %9.0f s (%s)\n",
+              (target.name + ":").c_str(), predicted,
+              convolve::to_string(*predictive).c_str());
+  std::printf("  \"actual\" on target:     %9.0f s  (error %+.1f%%)\n",
+              actual, stats::signed_percent_error(predicted, actual));
+  return 0;
+}
+
+}  // namespace msim::cli

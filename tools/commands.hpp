@@ -1,0 +1,25 @@
+// msim CLI subcommands. Each command takes the remaining argv tokens and
+// returns a process exit code; argument errors print usage and return 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msim::cli {
+
+using Args = std::vector<std::string>;
+
+int cmd_machines(const Args& args);       ///< list the machine registry
+int cmd_show_machine(const Args& args);   ///< dump one machine config
+int cmd_probe(const Args& args);          ///< run the probe suite
+int cmd_trace(const Args& args);          ///< trace an application
+int cmd_predict(const Args& args);        ///< predict one configuration
+int cmd_rank(const Args& args);           ///< rank all systems for an app
+int cmd_campaign(const Args& args);       ///< the full Table-4 study
+int cmd_export_app(const Args& args);     ///< dump a TI-05 app model to text
+int cmd_predict_custom(const Args& args); ///< predict a user-defined app
+
+/// Print top-level usage.
+void print_usage();
+
+}  // namespace msim::cli

@@ -1,0 +1,50 @@
+// msim command-line interface: the library's workflows (probe, trace,
+// predict, rank, campaign) from a shell. See `msim help` or README.md.
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "commands.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim::cli;
+
+  const std::map<std::string, std::function<int(const Args&)>> commands = {
+      {"machines", cmd_machines},
+      {"show-machine", cmd_show_machine},
+      {"probe", cmd_probe},
+      {"trace", cmd_trace},
+      {"predict", cmd_predict},
+      {"rank", cmd_rank},
+      {"campaign", cmd_campaign},
+      {"export-app", cmd_export_app},
+      {"predict-custom", cmd_predict_custom},
+  };
+
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage();
+    return 0;
+  }
+  const auto it = commands.find(command);
+  if (it == commands.end()) {
+    std::printf("error: unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 2;
+  }
+
+  Args args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    return it->second(args);
+  } catch (const std::exception& error) {
+    std::printf("error: %s\n", error.what());
+    return 1;
+  }
+}
