@@ -3,10 +3,21 @@
 #include <cstdio>
 #include <fstream>
 
+#include "pipeline/study_builder.hpp"
+
 namespace msim::bench {
 
 const metrics::Study& paper_study() {
-  static const metrics::Study study = metrics::Study::build();
+  // Built through the staged pipeline with the artifact cache on: the
+  // first bench in a tree pays for the campaign/probes/traces once, every
+  // later bench (or rerun) loads the cached artifacts instead.
+  static const metrics::Study study = [] {
+    pipeline::StudyBuilder builder;
+    builder.cache(true);
+    metrics::Study built = builder.build();
+    std::printf("(%s)\n\n", builder.stats().summary().c_str());
+    return built;
+  }();
   return study;
 }
 

@@ -12,7 +12,7 @@
 #include "common/table.hpp"
 #include "convolve/convolver.hpp"
 #include "machine/proposed.hpp"
-#include "probes/synthetic.hpp"
+#include "pipeline/study_builder.hpp"
 
 int main() {
   using namespace msim;
@@ -22,10 +22,20 @@ int main() {
   const auto& study = bench::paper_study();
   const auto& base_probes = study.probe_set(study.base_machine());
   const auto proposed = machine::proposed_systems();
+
+  // Probe the proposed systems on the stage scheduler, cached per machine
+  // alongside the study's own probe artifacts.
+  pipeline::StageStats probe_stats{.name = "proposed-probes"};
+  auto probe_map = pipeline::run_probe_stage(
+      proposed, 0,
+      pipeline::ArtifactCache(pipeline::ArtifactCache::default_dir()),
+      &probe_stats);
   std::vector<probes::ProbeSet> proposed_probes;
   for (const auto& machine : proposed) {
-    proposed_probes.push_back(probes::run_probe_suite(machine));
+    proposed_probes.push_back(std::move(probe_map.at(machine.name)));
   }
+  std::printf("(%s: %zu/%zu cached)\n\n", probe_stats.name.c_str(),
+              probe_stats.cache_hits, probe_stats.items);
 
   std::vector<std::string> headers = {"Application", "CPUs",
                                       "best incumbent"};

@@ -21,7 +21,12 @@ int main(int argc, char** argv) {
                 "conclusion stability across noise worlds (beyond the "
                 "paper)");
 
-  const auto result = metrics::run_multiworld(worlds);
+  // Probes and traces do not depend on the noise salt: with the artifact
+  // cache on, only the ground-truth campaign is recomputed per world.
+  metrics::StudyOptions base_options;
+  base_options.cache_artifacts = true;
+  const auto result = metrics::run_multiworld(
+      worlds, 0, metrics::all_metrics(), base_options);
 
   AsciiTable table({"Metric", "Mean", "Stddev", "Min", "Max"});
   for (std::size_t c = 1; c < 5; ++c) table.set_align(c, Align::Right);

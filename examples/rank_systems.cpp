@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "metrics/study.hpp"
+#include "pipeline/study_builder.hpp"
 
 namespace {
 
@@ -38,7 +39,14 @@ int main(int argc, char** argv) {
   const std::size_t count_index =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
 
-  const auto study = metrics::Study::build();
+  // Build through the staged pipeline with the artifact cache on: rerunning
+  // this example (or any bench in the same tree) reuses the campaign,
+  // probe and trace artifacts.
+  pipeline::StudyBuilder builder;
+  builder.cache(true);
+  const auto study = builder.build();
+  std::printf("(%s)\n\n", builder.stats().summary().c_str());
+
   for (const auto& test_case : study.suite()) {
     const int nprocs =
         test_case.cpu_counts[std::min(count_index,

@@ -1,0 +1,59 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace msim {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+Fnv1a& Fnv1a::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= bytes[i];
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::update(const std::string& text) {
+  // Length-prefix so that ("ab","c") and ("a","bc") differ.
+  update_u64(text.size());
+  return update(text.data(), text.size());
+}
+
+Fnv1a& Fnv1a::update_u64(std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return update(bytes, sizeof bytes);
+}
+
+Fnv1a& Fnv1a::update_i64(std::int64_t value) {
+  return update_u64(static_cast<std::uint64_t>(value));
+}
+
+Fnv1a& Fnv1a::update_double(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return update_u64(bits);
+}
+
+Fnv1a& Fnv1a::update_bool(bool value) {
+  return update_u64(value ? 1u : 0u);
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xfu];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace msim

@@ -1,0 +1,36 @@
+// Stable content hashing for artifact-cache keys.
+//
+// FNV-1a (64-bit) over explicitly fed bytes. The pipeline keys every cached
+// stage artifact by a digest of exactly the inputs that stage consumes; the
+// hash must therefore be stable across platforms, compilers and runs —
+// std::hash guarantees none of that, so we carry our own. Doubles are fed
+// as their IEEE-754 bit patterns (bitwise identity is the contract the
+// deterministic simulator already provides).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace msim {
+
+/// Streaming FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  Fnv1a& update(const void* data, std::size_t size);
+  Fnv1a& update(const std::string& text);
+  Fnv1a& update_u64(std::uint64_t value);
+  Fnv1a& update_i64(std::int64_t value);
+  Fnv1a& update_double(double value);  ///< hashes the IEEE bit pattern
+  Fnv1a& update_bool(bool value);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  ///< FNV offset basis
+};
+
+/// 16-character lowercase hex rendering of a digest (cache file names).
+[[nodiscard]] std::string hex_digest(std::uint64_t digest);
+
+}  // namespace msim

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace msim::machine {
 
@@ -56,6 +57,9 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
 
 std::string to_text(const MachineConfig& c) {
   std::ostringstream os;
+  // Full precision: the text form doubles as the cache-key digest input
+  // (config_digest) and must distinguish any two non-identical configs.
+  os.precision(17);
   os << "# msim machine description\n";
   emit(os, "name", c.name);
   emit(os, "architecture", c.architecture);
@@ -203,6 +207,10 @@ MachineConfig from_text(const std::string& text) {
                "unknown key '" + pairs.begin()->first + "' in machine text");
   validate(c);
   return c;
+}
+
+std::uint64_t config_digest(const MachineConfig& config) {
+  return Fnv1a{}.update("msim-machine-v1").update(to_text(config)).digest();
 }
 
 }  // namespace msim::machine

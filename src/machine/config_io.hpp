@@ -19,4 +19,9 @@ namespace msim::machine {
 /// (unknown key, bad number, missing required field).
 [[nodiscard]] MachineConfig from_text(const std::string& text);
 
+/// Stable FNV-1a digest of every field of a config (hashes the canonical
+/// text form, so two configs digest equal iff they serialize equal). Used
+/// by the pipeline's artifact cache to key machine-derived stage outputs.
+[[nodiscard]] std::uint64_t config_digest(const MachineConfig& config);
+
 }  // namespace msim::machine

@@ -10,7 +10,8 @@ namespace msim::metrics {
 
 MultiWorldResult run_multiworld(std::size_t worlds,
                                 std::uint64_t first_salt,
-                                const std::vector<Metric>& metric_list) {
+                                const std::vector<Metric>& metric_list,
+                                const StudyOptions& base_options) {
   MSIM_REQUIRE(worlds >= 1, "need at least one world");
   MSIM_REQUIRE(!metric_list.empty(), "need at least one metric");
 
@@ -34,7 +35,7 @@ MultiWorldResult run_multiworld(std::size_t worlds,
     const std::uint64_t salt = first_salt + world;
     result.salts.push_back(salt);
 
-    StudyOptions options;
+    StudyOptions options = base_options;
     options.executor.noise_salt = salt;
     const Study study = Study::build(options);
     const auto predictions = study.evaluate(metric_list);

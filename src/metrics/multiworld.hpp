@@ -44,9 +44,13 @@ struct MultiWorldResult {
 
 /// Run the paper study in `worlds` consecutive salt worlds (starting at
 /// `first_salt`) and analyze every metric plus the paper's five ordering
-/// claims. Deterministic; ~2 s per world.
+/// claims. Deterministic; ~2 s per world. `base_options` seeds every
+/// world's StudyOptions (its executor.noise_salt is overwritten per
+/// world); pass cache_artifacts = true to reuse the salt-independent probe
+/// and trace artifacts across all worlds.
 [[nodiscard]] MultiWorldResult run_multiworld(
     std::size_t worlds = 16, std::uint64_t first_salt = 0,
-    const std::vector<Metric>& metrics = all_metrics());
+    const std::vector<Metric>& metrics = all_metrics(),
+    const StudyOptions& base_options = {});
 
 }  // namespace msim::metrics

@@ -1,10 +1,12 @@
 #include "metrics/study.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "machine/registry.hpp"
 #include "metrics/simple.hpp"
+#include "pipeline/study_builder.hpp"
 #include "probes/synthetic.hpp"
 #include "stats/summary.hpp"
 
@@ -12,48 +14,54 @@ namespace msim::metrics {
 
 double Prediction::abs_error_pct() const { return std::abs(signed_error_pct); }
 
+// The two build() overloads are forwarding shims: all stage execution
+// (parallel fan-out, artifact caching) lives in pipeline::StudyBuilder.
+// This is the one sanctioned upward call in the include layering — see
+// DESIGN.md section 3.
 Study Study::build(const StudyOptions& options) {
-  return build(machine::targets(),
-               machine::find(machine::base_system_name()),
-               workload::ti05_suite(), options);
+  return pipeline::StudyBuilder{}.options(options).build();
 }
 
 Study Study::build(std::vector<machine::MachineConfig> targets,
                    machine::MachineConfig base_machine,
                    std::vector<workload::TestCase> suite,
                    const StudyOptions& options) {
-  MSIM_REQUIRE(!targets.empty(), "study needs target machines");
-  MSIM_REQUIRE(!suite.empty(), "study needs test cases");
+  return pipeline::StudyBuilder{}
+      .targets(std::move(targets))
+      .base(std::move(base_machine))
+      .suite(std::move(suite))
+      .options(options)
+      .build();
+}
+
+Study Study::assemble(StudyParts parts) {
+  MSIM_REQUIRE(!parts.target_names.empty(), "study needs target machines");
+  MSIM_REQUIRE(!parts.suite.empty(), "study needs test cases");
+  MSIM_REQUIRE(!parts.base.empty(), "study needs a base machine");
 
   Study study;
-  study.base_ = base_machine.name;
-  study.suite_ = std::move(suite);
-  study.options_ = options;
+  study.target_names_ = std::move(parts.target_names);
+  study.base_ = std::move(parts.base);
+  study.suite_ = std::move(parts.suite);
+  study.options_ = std::move(parts.options);
+  study.observations_ = std::move(parts.observations);
+  study.probes_ = std::move(parts.probes);
+  study.signatures_ = std::move(parts.signatures);
 
-  std::vector<machine::MachineConfig> machines = std::move(targets);
-  for (const auto& machine : machines) {
-    MSIM_REQUIRE(machine.name != study.base_,
+  for (const auto& target : study.target_names_) {
+    MSIM_REQUIRE(target != study.base_,
                  "base machine must not also be a target");
-    study.target_names_.push_back(machine.name);
+    MSIM_REQUIRE(study.probes_.count(target) == 1,
+                 "missing probe set for target " + target);
   }
-  machines.push_back(std::move(base_machine));
-
-  // 1. Ground truth (the "real runs").
-  study.observations_ =
-      simulate::run_campaign(machines, study.suite_, options.executor);
-
-  // 2. Probe every machine.
-  for (const auto& machine : machines) {
-    study.probes_.emplace(machine.name, probes::run_probe_suite(machine));
-  }
-
-  // 3. Trace every (application, count) on the base system.
+  MSIM_REQUIRE(study.probes_.count(study.base_) == 1,
+               "missing probe set for base " + study.base_);
   for (const auto& test_case : study.suite_) {
     for (int nprocs : test_case.cpu_counts) {
-      const workload::AppModel app = test_case.build(nprocs);
-      study.signatures_.emplace(
-          std::make_pair(test_case.name, nprocs),
-          trace::trace_application(app, study.base_, options.tracer));
+      MSIM_REQUIRE(
+          study.signatures_.count({test_case.name, nprocs}) == 1,
+          "missing signature for " + test_case.name + "@" +
+              std::to_string(nprocs));
     }
   }
   return study;
@@ -73,26 +81,34 @@ const trace::ApplicationSignature& Study::signature(const std::string& app,
   return it->second;
 }
 
-const BalancedRating& Study::balanced_equal() const {
-  if (!balanced_equal_) {
-    std::vector<probes::ProbeSet> sets;
-    for (const auto& [name, set] : probes_) {
-      (void)name;
-      sets.push_back(set);
-    }
-    balanced_equal_ = std::make_unique<BalancedRating>(
-        sets, std::array<double, kBalancedCategories>{1.0, 1.0, 1.0});
+std::vector<probes::ProbeSet> Study::sorted_probe_sets() const {
+  // Explicitly name-sorted: the balanced ratings must be identical no
+  // matter what container holds the probe sets or how it iterates.
+  std::vector<std::string> names;
+  names.reserve(probes_.size());
+  for (const auto& [name, set] : probes_) {
+    (void)set;
+    names.push_back(name);
   }
-  return *balanced_equal_;
+  std::sort(names.begin(), names.end());
+  std::vector<probes::ProbeSet> sets;
+  sets.reserve(names.size());
+  for (const auto& name : names) sets.push_back(probes_.at(name));
+  return sets;
+}
+
+const BalancedRating& Study::balanced_equal() const {
+  std::call_once(lazy_->equal_once, [this] {
+    lazy_->equal = std::make_unique<BalancedRating>(
+        sorted_probe_sets(),
+        std::array<double, kBalancedCategories>{1.0, 1.0, 1.0});
+  });
+  return *lazy_->equal;
 }
 
 const BalancedRating& Study::balanced_fitted() const {
-  if (!balanced_fitted_) {
-    std::vector<probes::ProbeSet> sets;
-    for (const auto& [name, set] : probes_) {
-      (void)name;
-      sets.push_back(set);
-    }
+  std::call_once(lazy_->fitted_once, [this] {
+    const std::vector<probes::ProbeSet> sets = sorted_probe_sets();
     std::vector<SpeedObservation> speeds;
     for (const auto& test_case : suite_) {
       for (int nprocs : test_case.cpu_counts) {
@@ -108,9 +124,9 @@ const BalancedRating& Study::balanced_fitted() const {
       }
     }
     const auto weights = fit_balanced_weights(sets, base_, speeds);
-    balanced_fitted_ = std::make_unique<BalancedRating>(sets, weights);
-  }
-  return *balanced_fitted_;
+    lazy_->fitted = std::make_unique<BalancedRating>(sets, weights);
+  });
+  return *lazy_->fitted;
 }
 
 double Study::predict(Metric metric, const std::string& app, int nprocs,

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,20 +53,48 @@ struct StudyOptions {
   simulate::ExecutorOptions executor{};
   trace::TracerOptions tracer{};
   convolve::ConvolverOptions convolver{};
+
+  // --- pipeline execution knobs (content-neutral: they change how the
+  // study is built, never what it contains, and are excluded from
+  // artifact-cache keys) ------------------------------------------------
+  /// Worker threads for the build stages; 0 = hardware concurrency.
+  unsigned build_threads = 0;
+  /// Reuse/store stage artifacts in the on-disk cache.
+  bool cache_artifacts = false;
+  /// Cache root; empty = MSIM_CACHE_DIR or ".msim-cache".
+  std::string cache_dir{};
+};
+
+/// Everything a Study holds, produced stage by stage (see src/pipeline).
+struct StudyParts {
+  std::vector<std::string> target_names;
+  std::string base;
+  std::vector<workload::TestCase> suite;
+  StudyOptions options;
+  simulate::ObservationSet observations;
+  std::map<std::string, probes::ProbeSet> probes;
+  std::map<std::pair<std::string, int>, trace::ApplicationSignature>
+      signatures;
 };
 
 class Study {
  public:
   /// Build the full paper study (10 targets + base, TI-05 suite).
+  /// Thin shim over pipeline::StudyBuilder.
   [[nodiscard]] static Study build(const StudyOptions& options = {});
 
   /// Build over a custom machine list and suite (base must be last in
-  /// `machines` or named explicitly).
+  /// `machines` or named explicitly). Thin shim over
+  /// pipeline::StudyBuilder.
   [[nodiscard]] static Study build(
       std::vector<machine::MachineConfig> targets,
       machine::MachineConfig base_machine,
       std::vector<workload::TestCase> suite,
       const StudyOptions& options = {});
+
+  /// Assemble a study from independently produced stage outputs; validates
+  /// that every probe set and signature the suite needs is present.
+  [[nodiscard]] static Study assemble(StudyParts parts);
 
   /// Predict one configuration with one metric.
   [[nodiscard]] double predict(Metric metric, const std::string& app,
@@ -107,6 +136,10 @@ class Study {
  private:
   Study() = default;
 
+  /// Probe sets ordered by machine name — the balanced ratings must not
+  /// depend on map iteration order (deterministic across containers).
+  [[nodiscard]] std::vector<probes::ProbeSet> sorted_probe_sets() const;
+
   std::vector<std::string> target_names_;
   std::string base_;
   std::vector<workload::TestCase> suite_;
@@ -118,8 +151,15 @@ class Study {
       signatures_;
 
   // Built lazily from probe sets (+ observations for the fitted variant).
-  mutable std::unique_ptr<BalancedRating> balanced_equal_;
-  mutable std::unique_ptr<BalancedRating> balanced_fitted_;
+  // Heap-held so Study stays movable; call_once makes evaluate() safe to
+  // run from concurrent threads.
+  struct LazyComposites {
+    std::once_flag equal_once;
+    std::once_flag fitted_once;
+    std::unique_ptr<BalancedRating> equal;
+    std::unique_ptr<BalancedRating> fitted;
+  };
+  std::unique_ptr<LazyComposites> lazy_ = std::make_unique<LazyComposites>();
 };
 
 }  // namespace msim::metrics

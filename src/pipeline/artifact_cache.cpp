@@ -1,0 +1,67 @@
+#include "pipeline/artifact_cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <unistd.h>
+
+namespace msim::pipeline {
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(std::string dir)
+    : enabled_(true), dir_(dir.empty() ? default_dir() : std::move(dir)) {}
+
+std::string ArtifactCache::default_dir() {
+  if (const char* env = std::getenv("MSIM_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return ".msim-cache";
+}
+
+std::optional<std::string> ArtifactCache::load(
+    const std::string& name) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream in(fs::path(dir_) / name, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return buffer.str();
+}
+
+void ArtifactCache::store(const std::string& name,
+                          const std::string& content) const {
+  if (!enabled_) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;
+
+  // Unique temp name per process/thread so concurrent stores never share a
+  // staging file; rename() then publishes atomically.
+  static std::atomic<unsigned> counter{0};
+  const fs::path target = fs::path(dir_) / name;
+  const fs::path temp =
+      fs::path(dir_) / (name + ".tmp." +
+                        std::to_string(static_cast<unsigned long>(
+                            counter.fetch_add(1))) +
+                        "." + std::to_string(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << content;
+    if (!out.good()) {
+      out.close();
+      fs::remove(temp, ec);
+      return;
+    }
+  }
+  fs::rename(temp, target, ec);
+  if (ec) fs::remove(temp, ec);
+}
+
+}  // namespace msim::pipeline

@@ -1,0 +1,49 @@
+// Content-keyed on-disk artifact cache for pipeline stage outputs.
+//
+// Each cached artifact is one text file (the existing archive formats:
+// probe sets, application signatures, observation sets) named by the
+// FNV-1a digest of exactly the inputs that produced it. The cache is a
+// flat directory — `MSIM_CACHE_DIR` or `.msim-cache` under the working
+// directory — shared by every bench, tool and test in the tree, so the
+// second process to need an artifact loads it instead of recomputing.
+//
+// Concurrency: writers stage into a unique temp file and rename() into
+// place (atomic on POSIX), so concurrent builders race benignly — both
+// compute, one rename wins, contents are identical by construction.
+// Unreadable or malformed entries are treated as misses and overwritten.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace msim::pipeline {
+
+class ArtifactCache {
+ public:
+  /// Disabled cache: every lookup misses, stores are no-ops.
+  ArtifactCache() = default;
+
+  /// Enabled cache rooted at `dir`; empty uses default_dir(). The
+  /// directory is created on first store.
+  explicit ArtifactCache(std::string dir);
+
+  /// `MSIM_CACHE_DIR` if set, else ".msim-cache" (working directory).
+  [[nodiscard]] static std::string default_dir();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Artifact contents, or nullopt when disabled/absent/unreadable.
+  [[nodiscard]] std::optional<std::string> load(
+      const std::string& name) const;
+
+  /// Best-effort atomic store; failures are silent (the cache is an
+  /// optimization, never a correctness dependency).
+  void store(const std::string& name, const std::string& content) const;
+
+ private:
+  bool enabled_ = false;
+  std::string dir_;
+};
+
+}  // namespace msim::pipeline

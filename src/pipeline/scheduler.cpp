@@ -1,0 +1,55 @@
+#include "pipeline/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msim::pipeline {
+
+unsigned effective_threads(unsigned threads, std::size_t items) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return std::max<unsigned>(
+      1, static_cast<unsigned>(
+             std::min<std::size_t>(threads, std::max<std::size_t>(items, 1))));
+}
+
+void run_indexed(std::size_t items, unsigned threads,
+                 const std::function<void(std::size_t)>& task) {
+  if (items == 0) return;
+  const unsigned workers = effective_threads(threads, items);
+
+  if (workers == 1) {
+    for (std::size_t index = 0; index < items; ++index) task(index);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (std::size_t index = next.fetch_add(1); index < items;
+         index = next.fetch_add(1)) {
+      try {
+        task(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining work so siblings stop picking up tasks.
+        next.store(items);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace msim::pipeline

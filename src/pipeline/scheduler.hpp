@@ -1,0 +1,27 @@
+// Stage scheduler: bounded thread-pooled fan-out over an indexed work list.
+//
+// Every pipeline stage is an array of independent, pure tasks (one per
+// machine, one per (application, count), ...). The scheduler runs them on a
+// fixed pool with an atomic work counter — no work stealing, no shared
+// mutable state beyond the counter — so results land in caller-owned,
+// per-index slots and stage output is bitwise independent of the thread
+// count. The first task exception is captured and rethrown on the calling
+// thread after the pool joins.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace msim::pipeline {
+
+/// Number of workers actually used for `items` tasks: `threads` (or the
+/// hardware concurrency when 0), clamped to [1, items].
+[[nodiscard]] unsigned effective_threads(unsigned threads, std::size_t items);
+
+/// Run `task(0) ... task(items-1)` across a pool of `threads` workers
+/// (0 = hardware concurrency). Serial when one worker suffices. Rethrows
+/// the first task exception after all workers finish.
+void run_indexed(std::size_t items, unsigned threads,
+                 const std::function<void(std::size_t)>& task);
+
+}  // namespace msim::pipeline

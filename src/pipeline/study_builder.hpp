@@ -1,0 +1,117 @@
+// Staged, parallel, artifact-cached Study construction.
+//
+// Study::build()'s three expensive inputs are produced as explicit,
+// independently schedulable stages, each fanned out on the stage scheduler
+// and memoized in the on-disk artifact cache:
+//
+//   GroundTruth — the full campaign (run_campaign_parallel), one artifact
+//                 keyed by every machine config + the suite + the executor
+//                 options;
+//   Probes      — one probe suite per machine, keyed per machine config
+//                 (probe results depend on nothing else, so ablations that
+//                 swap bases or noise salts reuse them);
+//   Traces      — one signature per (application, count), keyed by the app
+//                 model text + base system name + tracer options;
+//   Assemble    — Study::assemble() over the collected parts (cheap, pure).
+//
+// Keys are stable FNV-1a digests of the canonical text forms, so a second
+// bench, tool or test in the same tree gets cache hits instead of
+// recomputes, and a changed machine field, suite definition or StudyOptions
+// value changes the key instead of serving stale artifacts. Convolver
+// options are deliberately excluded: they are applied at predict() time,
+// after every cached stage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "metrics/study.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "probes/probe_set.hpp"
+
+namespace msim::pipeline {
+
+/// Execution record of one stage.
+struct StageStats {
+  std::string name;
+  std::size_t items = 0;       ///< work items in the stage
+  std::size_t cache_hits = 0;  ///< items served from the artifact cache
+  double seconds = 0.0;        ///< wall-clock spent in the stage
+
+  /// True when the whole stage was skipped in favour of cached artifacts.
+  [[nodiscard]] bool all_cached() const {
+    return items > 0 && cache_hits == items;
+  }
+};
+
+/// Execution record of a full build (valid after StudyBuilder::build()).
+struct BuildStats {
+  StageStats ground_truth{.name = "ground-truth"};
+  StageStats probes{.name = "probes"};
+  StageStats traces{.name = "traces"};
+  double assemble_seconds = 0.0;
+  double total_seconds = 0.0;
+  bool cache_enabled = false;
+  std::string cache_dir;
+
+  /// The bench-banner cache-stats line (report::render_pipeline_stats).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Cache keys of the current configuration (per-item keys folded together
+/// for the fan-out stages). Exposed so tests can assert key sensitivity.
+struct StageKeys {
+  std::uint64_t ground_truth = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t traces = 0;
+};
+
+class StudyBuilder {
+ public:
+  /// Defaults to the full paper study: registry targets, registry base
+  /// system, TI-05 suite, reference StudyOptions.
+  StudyBuilder() = default;
+
+  StudyBuilder& targets(std::vector<machine::MachineConfig> targets);
+  StudyBuilder& base(machine::MachineConfig base_machine);
+  StudyBuilder& suite(std::vector<workload::TestCase> suite);
+  StudyBuilder& options(metrics::StudyOptions options);
+  /// Worker threads for every stage; 0 = hardware concurrency.
+  StudyBuilder& threads(unsigned threads);
+  /// Enable/disable the artifact cache (overrides options.cache_artifacts).
+  StudyBuilder& cache(bool enabled);
+  /// Cache root; empty = MSIM_CACHE_DIR or ".msim-cache".
+  StudyBuilder& cache_dir(std::string dir);
+
+  /// Run GroundTruth, Probes, Traces and Assemble; callable repeatedly.
+  [[nodiscard]] metrics::Study build();
+
+  /// Stats of the most recent build().
+  [[nodiscard]] const BuildStats& stats() const { return stats_; }
+
+  /// Stage keys for the current configuration, without building.
+  [[nodiscard]] StageKeys stage_keys() const;
+
+ private:
+  std::optional<std::vector<machine::MachineConfig>> targets_;
+  std::optional<machine::MachineConfig> base_;
+  std::optional<std::vector<workload::TestCase>> suite_;
+  metrics::StudyOptions options_{};
+  std::optional<unsigned> threads_;
+  std::optional<bool> cache_enabled_;
+  std::string cache_dir_{};
+  BuildStats stats_{};
+};
+
+/// Probe a machine list on the stage scheduler with per-machine caching.
+/// Shared by the Probes stage and by benches that probe machines outside a
+/// study (e.g. proposed systems). `stats` may be null.
+[[nodiscard]] std::map<std::string, probes::ProbeSet> run_probe_stage(
+    const std::vector<machine::MachineConfig>& machines, unsigned threads,
+    const ArtifactCache& cache, StageStats* stats);
+
+}  // namespace msim::pipeline

@@ -270,4 +270,25 @@ void write_maps_csv(std::ostream& out,
   }
 }
 
+std::string render_pipeline_stats(
+    const std::vector<PipelineStageLine>& stages, double total_seconds,
+    bool cache_enabled, const std::string& cache_dir) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "pipeline:";
+  for (const auto& stage : stages) {
+    os << ' ' << stage.name << ' ';
+    if (cache_enabled) {
+      os << stage.cache_hits << '/' << stage.items << " cached ";
+    } else {
+      os << stage.items << (stage.items == 1 ? " item " : " items ");
+    }
+    os << stage.seconds << "s |";
+  }
+  os << " total " << total_seconds << "s | cache ";
+  os << (cache_enabled ? cache_dir : "off");
+  return os.str();
+}
+
 }  // namespace msim::report

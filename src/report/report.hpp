@@ -54,4 +54,19 @@ void write_maps_csv(std::ostream& out,
                     const std::vector<probes::ProbeSet>& sets,
                     bool random_stride = false);
 
+/// One pipeline stage for the bench-banner cache-stats line.
+struct PipelineStageLine {
+  std::string name;
+  std::size_t items = 0;
+  std::size_t cache_hits = 0;
+  double seconds = 0.0;
+};
+
+/// Single-line stage/cache summary printed under bench banners, e.g.
+///   pipeline: ground-truth 1/1 cached 0.00s | probes 11/11 cached 0.00s |
+///   traces 15/15 cached 0.01s | total 0.02s | cache .msim-cache
+[[nodiscard]] std::string render_pipeline_stats(
+    const std::vector<PipelineStageLine>& stages, double total_seconds,
+    bool cache_enabled, const std::string& cache_dir);
+
 }  // namespace msim::report

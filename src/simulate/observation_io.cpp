@@ -1,0 +1,100 @@
+#include "simulate/observation_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace msim::simulate {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string to_text(const ObservationSet& set) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# msim observation set\n";
+  os << "observations = " << set.size() << '\n';
+  const auto& all = set.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::string prefix = "obs." + std::to_string(i) + '.';
+    os << prefix << "app = " << all[i].app << '\n';
+    os << prefix << "nprocs = " << all[i].nprocs << '\n';
+    os << prefix << "machine = " << all[i].machine << '\n';
+    os << prefix << "seconds = " << all[i].seconds << '\n';
+  }
+  return os.str();
+}
+
+ObservationSet observation_set_from_text(const std::string& text) {
+  std::map<std::string, std::string> pairs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    MSIM_REQUIRE(eq != std::string::npos, "missing '=' in: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    MSIM_REQUIRE(pairs.emplace(key, trim(line.substr(eq + 1))).second,
+                 "duplicate key '" + key + "'");
+  }
+  auto take = [&pairs](const std::string& key) {
+    const auto it = pairs.find(key);
+    MSIM_REQUIRE(it != pairs.end(), "missing key '" + key + "'");
+    std::string value = it->second;
+    pairs.erase(it);
+    return value;
+  };
+  auto parse_u64 = [](const std::string& key, const std::string& value) {
+    try {
+      std::size_t used = 0;
+      const auto parsed = std::stoull(value, &used);
+      MSIM_REQUIRE(used == value.size(), "trailing junk");
+      return parsed;
+    } catch (const std::exception&) {
+      throw precondition_error("bad integer for '" + key + "': " + value);
+    }
+  };
+  auto parse_double = [](const std::string& key, const std::string& value) {
+    try {
+      std::size_t used = 0;
+      const double parsed = std::stod(value, &used);
+      MSIM_REQUIRE(used == value.size(), "trailing junk");
+      return parsed;
+    } catch (const std::exception&) {
+      throw precondition_error("bad number for '" + key + "': " + value);
+    }
+  };
+
+  ObservationSet set;
+  const std::uint64_t count =
+      parse_u64("observations", take("observations"));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string prefix = "obs." + std::to_string(i) + '.';
+    Observation observation;
+    observation.app = take(prefix + "app");
+    observation.nprocs = static_cast<int>(
+        parse_u64(prefix + "nprocs", take(prefix + "nprocs")));
+    observation.machine = take(prefix + "machine");
+    observation.seconds =
+        parse_double(prefix + "seconds", take(prefix + "seconds"));
+    set.add(std::move(observation));
+  }
+  MSIM_REQUIRE(pairs.empty(),
+               "unknown key '" + pairs.begin()->first +
+                   "' in observation set");
+  return set;
+}
+
+}  // namespace msim::simulate

@@ -1,0 +1,23 @@
+// Text (de)serialization for observation sets.
+//
+// An ObservationSet is the ground-truth artifact of a campaign — the
+// paper's 150+15 measured wall-clocks. Campaigns are the most expensive
+// pipeline stage, so the artifact cache archives them in the same
+// "dotted.key = value" style as the other formats, losslessly (times are
+// written at full precision and round-trip bitwise).
+#pragma once
+
+#include <string>
+
+#include "simulate/campaign.hpp"
+
+namespace msim::simulate {
+
+/// Serialize an observation set to text (observation order preserved).
+[[nodiscard]] std::string to_text(const ObservationSet& set);
+
+/// Parse an observation set; throws precondition_error on malformed input.
+[[nodiscard]] ObservationSet observation_set_from_text(
+    const std::string& text);
+
+}  // namespace msim::simulate

@@ -51,6 +51,10 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
 
 std::string to_text(const ApplicationSignature& signature) {
   std::ostringstream os;
+  // Full precision: the stride fractions and branch densities are measured
+  // data; the archive must round-trip bitwise so cached signatures predict
+  // exactly what freshly traced ones do.
+  os.precision(17);
   os << "# msim application signature\n";
   os << "app = " << signature.app << '\n';
   os << "nprocs = " << signature.nprocs << '\n';

@@ -26,6 +26,17 @@ class StaticAnalyzer {
   [[nodiscard]] bool dependency_limited(
       const workload::BasicBlock& block) const;
 
+  // Accessors for the analyzer's identity (the pipeline hashes these into
+  // trace-stage cache keys; two analyzers with equal rates and seed give
+  // equal verdicts).
+  [[nodiscard]] double false_negative_rate() const {
+    return false_negative_rate_;
+  }
+  [[nodiscard]] double false_positive_rate() const {
+    return false_positive_rate_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
  private:
   double false_negative_rate_;
   double false_positive_rate_;

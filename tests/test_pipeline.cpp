@@ -1,0 +1,292 @@
+// The staged pipeline engine: scheduler determinism, artifact-cache
+// round-trips, cache-key sensitivity, and concurrent evaluation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "pipeline/scheduler.hpp"
+#include "pipeline/study_builder.hpp"
+#include "probes/probe_io.hpp"
+#include "simulate/observation_io.hpp"
+#include "trace/signature_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A reduced configuration (2 targets, 1 test case) cheap enough to build
+/// several times per test.
+StudyBuilder small_builder() {
+  StudyBuilder builder;
+  builder.targets({machine::find("ARL_Xeon"), machine::find("ARL_Opteron")})
+      .base(machine::find(machine::base_system_name()))
+      .suite({workload::find_test_case("RFCTH_Standard")});
+  return builder;
+}
+
+/// Fresh scratch cache directory, unique per test.
+fs::path scratch_cache(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("msim-test-" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(Scheduler, EffectiveThreadsClampsToItems) {
+  EXPECT_EQ(effective_threads(4, 2), 2u);
+  EXPECT_EQ(effective_threads(1, 100), 1u);
+  EXPECT_EQ(effective_threads(8, 0), 1u);
+  EXPECT_GE(effective_threads(0, 100), 1u);  // 0 = hardware concurrency
+}
+
+TEST(Scheduler, RunIndexedCoversEveryItemOnce) {
+  std::vector<int> hits(97, 0);
+  run_indexed(hits.size(), 4,
+              [&hits](std::size_t index) { ++hits[index]; });
+  for (int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(Scheduler, RunIndexedPropagatesFirstException) {
+  EXPECT_THROW(run_indexed(16, 4,
+                           [](std::size_t index) {
+                             if (index == 7) {
+                               throw std::runtime_error("boom");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ObservationIo, RoundTripIsBitwise) {
+  simulate::ObservationSet set;
+  set.add({"RFCTH_Standard", 32, "ARL_Xeon", 1234.5678901234567});
+  set.add({"HYCOM_Standard", 59, "NAVO_655", 0.0000123456789012345});
+  set.add({"OOCORE_Large", 64, "MHPCC_Dell", 9.87e6});
+
+  const auto parsed =
+      simulate::observation_set_from_text(simulate::to_text(set));
+  ASSERT_EQ(parsed.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(parsed.all()[i].app, set.all()[i].app);
+    EXPECT_EQ(parsed.all()[i].nprocs, set.all()[i].nprocs);
+    EXPECT_EQ(parsed.all()[i].machine, set.all()[i].machine);
+    EXPECT_EQ(parsed.all()[i].seconds, set.all()[i].seconds);  // bitwise
+  }
+}
+
+TEST(ObservationIo, MalformedTextThrows) {
+  EXPECT_ANY_THROW((void)simulate::observation_set_from_text("not a set"));
+}
+
+TEST(Pipeline, ParallelBuildMatchesSerialBitwise) {
+  auto serial_builder = small_builder();
+  serial_builder.threads(1).cache(false);
+  const auto serial = serial_builder.build();
+
+  auto parallel_builder = small_builder();
+  parallel_builder.threads(4).cache(false);
+  const auto parallel = parallel_builder.build();
+
+  // Ground truth: same observations, same order, bit-for-bit.
+  ASSERT_EQ(parallel.observations().size(), serial.observations().size());
+  for (std::size_t i = 0; i < serial.observations().size(); ++i) {
+    const auto& a = serial.observations().all()[i];
+    const auto& b = parallel.observations().all()[i];
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.nprocs, b.nprocs);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.seconds, b.seconds);
+  }
+
+  // Probes and traces: identical canonical text.
+  for (const auto& name : serial.target_names()) {
+    EXPECT_EQ(probes::to_text(serial.probe_set(name)),
+              probes::to_text(parallel.probe_set(name)));
+  }
+  for (const auto& test_case : serial.suite()) {
+    for (int nprocs : test_case.cpu_counts) {
+      EXPECT_EQ(
+          trace::to_text(serial.signature(test_case.name, nprocs)),
+          trace::to_text(parallel.signature(test_case.name, nprocs)));
+    }
+  }
+}
+
+TEST(Pipeline, CacheRoundTripReturnsIdenticalStudy) {
+  const fs::path dir = scratch_cache("cache-roundtrip");
+
+  auto cold_builder = small_builder();
+  cold_builder.cache(true).cache_dir(dir.string());
+  const auto cold = cold_builder.build();
+  EXPECT_EQ(cold_builder.stats().ground_truth.cache_hits, 0u);
+  EXPECT_EQ(cold_builder.stats().probes.cache_hits, 0u);
+  EXPECT_EQ(cold_builder.stats().traces.cache_hits, 0u);
+
+  auto warm_builder = small_builder();
+  warm_builder.cache(true).cache_dir(dir.string());
+  const auto warm = warm_builder.build();
+  EXPECT_TRUE(warm_builder.stats().ground_truth.all_cached());
+  EXPECT_TRUE(warm_builder.stats().probes.all_cached());
+  EXPECT_TRUE(warm_builder.stats().traces.all_cached());
+
+  // Every prediction must survive the text round-trip bit-for-bit.
+  const auto metric_list = metrics::all_metrics();
+  const auto cold_predictions = cold.evaluate(metric_list);
+  const auto warm_predictions = warm.evaluate(metric_list);
+  ASSERT_EQ(cold_predictions.size(), warm_predictions.size());
+  for (std::size_t i = 0; i < cold_predictions.size(); ++i) {
+    EXPECT_EQ(cold_predictions[i].predicted_seconds,
+              warm_predictions[i].predicted_seconds);
+    EXPECT_EQ(cold_predictions[i].actual_seconds,
+              warm_predictions[i].actual_seconds);
+  }
+
+  fs::remove_all(dir);
+}
+
+TEST(Pipeline, CorruptArtifactsAreTreatedAsMisses) {
+  const fs::path dir = scratch_cache("cache-corrupt");
+
+  auto cold_builder = small_builder();
+  cold_builder.cache(true).cache_dir(dir.string());
+  const auto cold = cold_builder.build();
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "not a valid artifact\n";
+  }
+
+  auto rebuilt_builder = small_builder();
+  rebuilt_builder.cache(true).cache_dir(dir.string());
+  const auto rebuilt = rebuilt_builder.build();
+  EXPECT_EQ(rebuilt_builder.stats().ground_truth.cache_hits, 0u);
+  EXPECT_EQ(rebuilt_builder.stats().probes.cache_hits, 0u);
+  EXPECT_EQ(rebuilt_builder.stats().traces.cache_hits, 0u);
+  EXPECT_EQ(rebuilt.observations().all()[0].seconds,
+            cold.observations().all()[0].seconds);
+
+  fs::remove_all(dir);
+}
+
+TEST(Pipeline, StageKeysAreSensitiveToContent) {
+  auto builder = small_builder();
+  const StageKeys base = builder.stage_keys();
+
+  // Executor options feed only the ground-truth campaign.
+  {
+    auto changed = small_builder();
+    metrics::StudyOptions options;
+    options.executor.noise_salt = 42;
+    changed.options(options);
+    const StageKeys keys = changed.stage_keys();
+    EXPECT_NE(keys.ground_truth, base.ground_truth);
+    EXPECT_EQ(keys.probes, base.probes);
+    EXPECT_EQ(keys.traces, base.traces);
+  }
+
+  // Tracer options feed only the trace stage.
+  {
+    auto changed = small_builder();
+    metrics::StudyOptions options;
+    options.tracer.sample_refs = 1u << 12;
+    changed.options(options);
+    const StageKeys keys = changed.stage_keys();
+    EXPECT_EQ(keys.ground_truth, base.ground_truth);
+    EXPECT_EQ(keys.probes, base.probes);
+    EXPECT_NE(keys.traces, base.traces);
+  }
+
+  // A target machine's hardware feeds its probes and the campaign, but
+  // not the base-system traces.
+  {
+    auto xeon = machine::find("ARL_Xeon");
+    xeon.memory_contention += 0.125;
+    StudyBuilder changed;
+    changed.targets({xeon, machine::find("ARL_Opteron")})
+        .base(machine::find(machine::base_system_name()))
+        .suite({workload::find_test_case("RFCTH_Standard")});
+    const StageKeys keys = changed.stage_keys();
+    EXPECT_NE(keys.ground_truth, base.ground_truth);
+    EXPECT_NE(keys.probes, base.probes);
+    EXPECT_EQ(keys.traces, base.traces);
+  }
+
+  // Convolver options apply at predict() time, after every cached stage,
+  // so they are deliberately excluded from every key.
+  {
+    auto changed = small_builder();
+    metrics::StudyOptions options;
+    options.convolver.overlap = cpusim::OverlapPolicy::Sum;
+    changed.options(options);
+    const StageKeys keys = changed.stage_keys();
+    EXPECT_EQ(keys.ground_truth, base.ground_truth);
+    EXPECT_EQ(keys.probes, base.probes);
+    EXPECT_EQ(keys.traces, base.traces);
+  }
+
+  // The suite feeds the campaign and the traces, not the probes.
+  {
+    StudyBuilder changed;
+    changed.targets(
+        {machine::find("ARL_Xeon"), machine::find("ARL_Opteron")})
+        .base(machine::find(machine::base_system_name()))
+        .suite({workload::find_test_case("HYCOM_Standard")});
+    const StageKeys keys = changed.stage_keys();
+    EXPECT_NE(keys.ground_truth, base.ground_truth);
+    EXPECT_EQ(keys.probes, base.probes);
+    EXPECT_NE(keys.traces, base.traces);
+  }
+}
+
+TEST(Pipeline, ConcurrentEvaluateIsThreadSafe) {
+  auto builder = small_builder();
+  builder.cache(false);
+  const auto study = builder.build();
+
+  // The balanced composites are built lazily on first use; hammer them
+  // from several threads and require every thread to see the same values.
+  const auto metric_list = metrics::all_metrics();
+  const auto expected = study.evaluate(metric_list);
+  std::vector<std::thread> workers;
+  std::vector<bool> matches(4, false);
+  for (std::size_t t = 0; t < matches.size(); ++t) {
+    workers.emplace_back([&study, &metric_list, &expected, &matches, t] {
+      const auto predictions = study.evaluate(metric_list);
+      bool same = predictions.size() == expected.size();
+      for (std::size_t i = 0; same && i < predictions.size(); ++i) {
+        same = predictions[i].predicted_seconds ==
+               expected[i].predicted_seconds;
+      }
+      matches[t] = same;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (bool match : matches) EXPECT_TRUE(match);
+}
+
+TEST(ArtifactCache, DisabledCacheNeverStores) {
+  const ArtifactCache cache;
+  EXPECT_FALSE(cache.enabled());
+  cache.store("anything.txt", "content");
+  EXPECT_FALSE(cache.load("anything.txt").has_value());
+}
+
+TEST(ArtifactCache, StoreThenLoadRoundTrips) {
+  const fs::path dir = scratch_cache("artifact-io");
+  const ArtifactCache cache(dir.string());
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.load("a.txt").has_value());
+  cache.store("a.txt", "payload\n");
+  const auto loaded = cache.load("a.txt");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload\n");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace msim::pipeline

@@ -10,6 +10,7 @@
 #include "machine/config_io.hpp"
 #include "machine/registry.hpp"
 #include "metrics/study.hpp"
+#include "pipeline/study_builder.hpp"
 #include "probes/probe_io.hpp"
 #include "probes/synthetic.hpp"
 #include "report/report.hpp"
@@ -62,6 +63,20 @@ int usage_error(const char* message) {
   std::printf("error: %s\n\n", message);
   print_usage();
   return 2;
+}
+
+/// The paper study, built through the staged pipeline with the artifact
+/// cache on: repeated CLI invocations in the same tree reuse the campaign,
+/// probe and trace artifacts instead of recomputing them.
+const metrics::Study& cached_study() {
+  static const metrics::Study study = [] {
+    pipeline::StudyBuilder builder;
+    builder.cache(true);
+    metrics::Study built = builder.build();
+    std::printf("(%s)\n", builder.stats().summary().c_str());
+    return built;
+  }();
+  return study;
 }
 
 metrics::Metric metric_from_token(const std::string& token) {
@@ -192,7 +207,7 @@ int cmd_predict(const Args& raw_args) {
   const std::string machine = args[2];
   if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
 
-  const auto study = metrics::Study::build();
+  const auto& study = cached_study();
   const double actual = study.observations().at(app, nprocs, machine);
 
   std::vector<metrics::Metric> metric_list;
@@ -229,7 +244,7 @@ int cmd_rank(const Args& raw_args) {
       metric_token ? metric_from_token(*metric_token)
                    : metrics::Metric::P9_HplMapsNetDep;
 
-  const auto study = metrics::Study::build();
+  const auto& study = cached_study();
   struct Row {
     std::string machine;
     double predicted;
@@ -264,7 +279,7 @@ int cmd_campaign(const Args& raw_args) {
   const bool no_composites = take_flag(args, "--no-composites");
   if (!args.empty()) return usage_error("campaign takes no positional args");
 
-  const auto study = metrics::Study::build();
+  const auto& study = cached_study();
   const auto predictions = study.evaluate(
       no_composites ? metrics::paper_metrics() : metrics::all_metrics());
   std::printf("%s",
