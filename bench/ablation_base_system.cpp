@@ -14,9 +14,9 @@
 #include "machine/registry.hpp"
 #include "pipeline/study_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("ablation_base_system",
+  bench::banner(argc, argv, "ablation_base_system",
                 "base-system sensitivity (beyond the paper)");
 
   AsciiTable table({"Base system", "1-S HPL", "3-S GUPS", "6-P", "9-P"});

@@ -21,9 +21,9 @@ double metric_error(const metrics::Study& study, metrics::Metric metric) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("ablation_design_choices",
+  bench::banner(argc, argv, "ablation_design_choices",
                 "DESIGN.md section 6 (ablations of modeling choices)");
 
   AsciiTable table({"Variant", "#6", "#7", "#9"});

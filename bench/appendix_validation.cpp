@@ -9,9 +9,9 @@
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("appendix_validation",
+  bench::banner(argc, argv, "appendix_validation",
                 "Appendix Tables 6-10 (observed times-to-solution)");
   const auto& study = bench::paper_study();
   std::printf("%s",

@@ -10,9 +10,9 @@
 #include "common/table.hpp"
 #include "data/paper_data.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("balanced_rating",
+  bench::banner(argc, argv, "balanced_rating",
                 "Section 4 text (IDC balanced rating, equal vs fitted)");
   const auto& study = bench::paper_study();
 

@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/telemetry.hpp"
 #include "pipeline/study_builder.hpp"
+#include "report/report.hpp"
 
 namespace msim::bench {
 
@@ -15,13 +17,28 @@ const metrics::Study& paper_study() {
     pipeline::StudyBuilder builder;
     builder.cache(true);
     metrics::Study built = builder.build();
-    std::printf("(%s)\n\n", builder.stats().summary().c_str());
+    // Stats are diagnostics (timings vary run to run): stderr, so stdout
+    // stays a clean, diffable table stream.
+    std::fprintf(stderr, "(%s)\n", builder.stats().summary().c_str());
     return built;
   }();
   return study;
 }
 
-void banner(const std::string& experiment, const std::string& paper_artifact) {
+void banner(const std::string& experiment,
+            const std::string& paper_artifact) {
+  banner(0, nullptr, experiment, paper_artifact);
+}
+
+void banner(int argc, char** argv, const std::string& experiment,
+            const std::string& paper_artifact) {
+  obs::set_metrics_renderer(&report::render_metrics);
+  obs::init_from_env();
+  for (int i = 1; i < argc; ++i) {
+    (void)obs::handle_telemetry_flag(argv[i]);
+  }
+  obs::install_exit_writer();
+
   std::printf("=========================================================\n");
   std::printf("msim reproduction | %s\n", experiment.c_str());
   std::printf("reproduces: %s\n", paper_artifact.c_str());
@@ -33,11 +50,11 @@ void banner(const std::string& experiment, const std::string& paper_artifact) {
 void save_artifact(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) {
-    std::printf("(could not write %s)\n", path.c_str());
+    std::fprintf(stderr, "(could not write %s)\n", path.c_str());
     return;
   }
   out << content;
-  std::printf("(wrote %s)\n", path.c_str());
+  std::fprintf(stderr, "(wrote %s)\n", path.c_str());
 }
 
 }  // namespace msim::bench

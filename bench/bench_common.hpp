@@ -1,6 +1,11 @@
 // Shared plumbing for the experiment benches: a cached full-paper Study, a
 // standard header banner, and CSV-to-file helpers. Every bench is
 // deterministic; running one twice produces identical output.
+//
+// Output discipline: stdout carries only the banner and the diffable
+// result tables; diagnostics (pipeline/cache stats, save_artifact logging,
+// telemetry summaries) go to stderr so stdout can be compared byte for
+// byte across runs.
 #pragma once
 
 #include <string>
@@ -13,11 +18,18 @@ namespace msim::bench {
 /// suite, reference executor options).
 [[nodiscard]] const metrics::Study& paper_study();
 
-/// Print the standard experiment banner.
+/// Print the standard experiment banner (stdout) and activate telemetry
+/// from the environment (MSIM_TRACE / MSIM_METRICS).
 void banner(const std::string& experiment, const std::string& paper_artifact);
 
-/// Write `content` to `path` and log where it went (best effort: failures
-/// to open the file are reported, not fatal).
+/// As above, and additionally honor --trace[=<path>] / --metrics flags
+/// anywhere in argv. Benches ignore the telemetry tokens for their own
+/// flag parsing; this overload is the preferred entry point.
+void banner(int argc, char** argv, const std::string& experiment,
+            const std::string& paper_artifact);
+
+/// Write `content` to `path` and log where it went on stderr (best effort:
+/// failures to open the file are reported, not fatal).
 void save_artifact(const std::string& path, const std::string& content);
 
 }  // namespace msim::bench

@@ -71,9 +71,9 @@ void evaluate_app(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("extension_comm_bound",
+  bench::banner(argc, argv, "extension_comm_bound",
                 "the paper's caveat: NETBENCH on communication-bound codes");
 
   evaluate_app("FFT3D (alltoall-dominated pseudo-spectral solver)",

@@ -13,9 +13,9 @@
 #include "stats/summary.hpp"
 #include "trace/scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("extension_scaling",
+  bench::banner(argc, argv, "extension_scaling",
                 "cross-count signature extrapolation (beyond the paper)");
 
   const auto& study = bench::paper_study();

@@ -14,9 +14,9 @@
 #include "machine/proposed.hpp"
 #include "pipeline/study_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("extension_ti06_outlook",
+  bench::banner(argc, argv, "extension_ti06_outlook",
                 "proposed-systems evaluation (the procurement use case)");
 
   const auto& study = bench::paper_study();

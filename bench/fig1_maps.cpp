@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--random") == 0) random_stride = true;
   }
 
-  bench::banner("fig1_maps",
+  bench::banner(argc, argv, "fig1_maps",
                 "Figure 1 (MAPS bandwidth vs working-set size)");
 
   std::vector<machine::MachineConfig> machines;

@@ -1,8 +1,8 @@
 // E4 — reproduces paper Figure 3: error assessment for AVUS Standard.
 #include "fig_app_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return msim::bench::run_figure_app(
-      "fig3_avus_standard", "Figure 3 (AVUS Standard error assessment)",
+      argc, argv, "fig3_avus_standard", "Figure 3 (AVUS Standard error assessment)",
       "AVUS_Standard");
 }

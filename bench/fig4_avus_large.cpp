@@ -1,8 +1,8 @@
 // E4 — reproduces paper Figure 4: error assessment for AVUS Large.
 #include "fig_app_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return msim::bench::run_figure_app(
-      "fig4_avus_large", "Figure 4 (AVUS Large error assessment)",
+      argc, argv, "fig4_avus_large", "Figure 4 (AVUS Large error assessment)",
       "AVUS_Large");
 }

@@ -1,8 +1,8 @@
 // E4 — reproduces paper Figure 5: error assessment for HYCOM Standard.
 #include "fig_app_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return msim::bench::run_figure_app(
-      "fig5_hycom", "Figure 5 (HYCOM Standard error assessment)",
+      argc, argv, "fig5_hycom", "Figure 5 (HYCOM Standard error assessment)",
       "HYCOM_Standard");
 }

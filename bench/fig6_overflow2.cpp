@@ -1,8 +1,8 @@
 // E4 — reproduces paper Figure 6: error assessment for OVERFLOW-2 Standard.
 #include "fig_app_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return msim::bench::run_figure_app(
-      "fig6_overflow2", "Figure 6 (OVERFLOW2 Standard error assessment)",
+      argc, argv, "fig6_overflow2", "Figure 6 (OVERFLOW2 Standard error assessment)",
       "OVERFLOW2_Standard");
 }

@@ -1,8 +1,8 @@
 // E4 — reproduces paper Figure 7: error assessment for RF-CTH Standard.
 #include "fig_app_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return msim::bench::run_figure_app(
-      "fig7_rfcth", "Figure 7 (RFCTH Standard error assessment)",
+      argc, argv, "fig7_rfcth", "Figure 7 (RFCTH Standard error assessment)",
       "RFCTH_Standard");
 }

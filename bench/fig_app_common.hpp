@@ -9,10 +9,11 @@
 
 namespace msim::bench {
 
-inline int run_figure_app(const std::string& experiment,
+inline int run_figure_app(int argc, char** argv,
+                          const std::string& experiment,
                           const std::string& artifact,
                           const std::string& app) {
-  banner(experiment, artifact);
+  banner(argc, argv, experiment, artifact);
   const auto& study = paper_study();
   const auto predictions = study.evaluate(metrics::paper_metrics());
   std::printf("%s\n",

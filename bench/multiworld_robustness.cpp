@@ -14,10 +14,17 @@
 
 int main(int argc, char** argv) {
   using namespace msim;
-  const std::size_t worlds =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  // First non-flag argument is the world count (flags such as --trace /
+  // --metrics are consumed by banner()).
+  std::size_t worlds = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      worlds = static_cast<std::size_t>(std::atoi(argv[i]));
+      break;
+    }
+  }
 
-  bench::banner("multiworld_robustness",
+  bench::banner(argc, argv, "multiworld_robustness",
                 "conclusion stability across noise worlds (beyond the "
                 "paper)");
 

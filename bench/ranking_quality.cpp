@@ -12,9 +12,9 @@
 #include "common/table.hpp"
 #include "metrics/ranking.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("ranking_quality",
+  bench::banner(argc, argv, "ranking_quality",
                 "Section 7 conclusion (ranking accuracy of each metric)");
 
   const auto& study = bench::paper_study();

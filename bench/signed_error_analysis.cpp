@@ -12,9 +12,9 @@
 #include "common/table.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("signed_error_analysis",
+  bench::banner(argc, argv, "signed_error_analysis",
                 "Section 3 (signed vs absolute error, bias per metric)");
 
   const auto& study = bench::paper_study();

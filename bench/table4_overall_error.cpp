@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--ci") == 0) with_ci = true;
   }
 
-  bench::banner("table4_overall_error",
+  bench::banner(argc, argv, "table4_overall_error",
                 "Table 4 + Figure 2 (overall error per metric)");
 
   const metrics::Study* study = &bench::paper_study();

@@ -6,9 +6,9 @@
 #include "bench_common.hpp"
 #include "report/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("table5_system_error",
+  bench::banner(argc, argv, "table5_system_error",
                 "Table 5 (per-system error per metric)");
   const auto& study = bench::paper_study();
   const auto predictions = study.evaluate(metrics::paper_metrics());

@@ -10,9 +10,9 @@
 #include "common/table.hpp"
 #include "trace/dilation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msim;
-  bench::banner("tracing_cost",
+  bench::banner(argc, argv, "tracing_cost",
                 "Section 3 (tracing dilation vs accuracy tradeoff)");
   const auto& study = bench::paper_study();
 

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   pipeline::StudyBuilder builder;
   builder.cache(true);
   const auto study = builder.build();
-  std::printf("(%s)\n\n", builder.stats().summary().c_str());
+  std::fprintf(stderr, "(%s)\n", builder.stats().summary().c_str());
 
   for (const auto& test_case : study.suite()) {
     const int nprocs =

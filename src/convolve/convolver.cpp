@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace msim::convolve {
 
@@ -194,6 +196,13 @@ double predict_time(const trace::ApplicationSignature& sig,
                     const ConvolverOptions& options) {
   MSIM_REQUIRE(measured_base_seconds > 0.0,
                "measured base time must be positive");
+  static obs::Counter& predictions =
+      obs::Registry::instance().counter("convolve.predictions");
+  predictions.add();
+  obs::Span span("predict", "convolve");
+  span.arg("app", sig.app)
+      .arg("machine", target_probes.machine)
+      .arg("metric", to_string(metric));
   const double target = convolved_time(sig, target_probes, metric, options);
   const double base = convolved_time(sig, base_probes, metric, options);
   MSIM_CHECK(base > 0.0, "convolved base time must be positive");

@@ -1,0 +1,147 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace msim::obs {
+
+namespace {
+
+/// Relaxed CAS update helpers for atomic<double> aggregates.
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Better>
+void atomic_extreme(std::atomic<double>& target, double value,
+                    Better better) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (better(value, expected) &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double value) noexcept {
+  if (!(value > 0.0)) return 0;
+  const int exponent = std::ilogb(value);
+  return std::clamp(exponent + 40, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int index) noexcept {
+  return std::ldexp(1.0, index - 40 + 1);
+}
+
+void Histogram::record(double value) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_extreme(min_, value, [](double a, double b) { return a < b; });
+  atomic_extreme(max_, value, [](double a, double b) { return a > b; });
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = out.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  out.max = out.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    out.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += buckets[static_cast<std::size_t>(i)];
+    if (cumulative > target) return Histogram::bucket_upper(i);
+  }
+  return max;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumented destructors and atexit hooks may touch
+  // metrics after static destruction would have run.
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back(CounterRow{name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back(GaugeRow{name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.push_back(HistogramRow{name, histogram->snapshot()});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace msim::obs

@@ -1,0 +1,150 @@
+// Process-wide metric registry: counters, gauges and histograms.
+//
+// Instrumented code asks the Registry once for a metric handle (typically
+// cached in a function-local static) and then updates it with plain relaxed
+// atomics — no lock, no allocation, no branch on any enable flag — so the
+// hot path costs one atomic add whether telemetry output is on or off.
+// Registration itself takes a mutex; handles stay valid for the life of the
+// process (reset() zeroes values but never deallocates, so cached
+// references cannot dangle).
+//
+// Naming convention: dot-separated lowercase paths, unit as the last
+// component where one applies — "cache.load.bytes", "cache.load.seconds",
+// "campaign.runs". The snapshot is sorted by name, which makes the rendered
+// metrics table (report::render_metrics) diffable.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msim::obs {
+
+/// Monotonic event count. Relaxed atomic add on the hot path.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (utilization, sizes).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution of a positive quantity (latency seconds,
+/// payload bytes). Buckets cover 2^-40 .. 2^23 (~1e-12 s to ~8e6, clamped
+/// beyond), enough for nanosecond latencies and multi-megabyte payloads.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    /// Approximate quantile (upper bound of the covering bucket).
+    [[nodiscard]] double quantile(double q) const;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+  /// Bucket index for a value (exposed for tests).
+  [[nodiscard]] static int bucket_index(double value) noexcept;
+  /// Upper bound of a bucket (2^(index-40)).
+  [[nodiscard]] static double bucket_upper(int index) noexcept;
+
+ private:
+  // Extremes start at +/-infinity so concurrent first samples need no
+  // special case; snapshot() reports 0 for an empty histogram.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+struct CounterRow {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeRow {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramRow {
+  std::string name;
+  Histogram::Snapshot values;
+};
+
+/// Point-in-time copy of every registered metric, each section sorted by
+/// name.
+struct Snapshot {
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (never destroyed, safe during atexit).
+  [[nodiscard]] static Registry& instance();
+
+  /// Find-or-create; the returned reference is valid forever.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every metric value. Entries are kept alive so handles cached by
+  /// instrumented code never dangle. Test-only.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace msim::obs

@@ -1,0 +1,260 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace msim::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One completed trace event ("ph":"X").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  int depth = 0;
+  std::string args;  ///< pre-escaped fragments, may be empty
+};
+
+/// Per-thread event buffer. Owned by the global lane registry (not the
+/// thread), so events survive thread exit; the mutex is uncontended except
+/// against write_trace/reset.
+struct Lane {
+  explicit Lane(int id) : tid(id) {}
+  const int tid;
+  int depth = 0;  ///< current span nesting; touched only by the owner
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct LaneRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Lane>> lanes;
+};
+
+LaneRegistry& lane_registry() {
+  static LaneRegistry* const registry = new LaneRegistry();
+  return *registry;
+}
+
+Lane& this_lane() {
+  thread_local Lane* lane = [] {
+    LaneRegistry& registry = lane_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.lanes.push_back(
+        std::make_unique<Lane>(static_cast<int>(registry.lanes.size())));
+    return registry.lanes.back().get();
+  }();
+  return *lane;
+}
+
+std::atomic<bool> g_tracing{false};
+std::mutex g_path_mutex;
+std::string g_trace_path;  // guarded by g_path_mutex
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void enable_tracing(std::string path) {
+  (void)trace_epoch();  // pin the epoch no later than the first enable
+  {
+    std::lock_guard<std::mutex> lock(g_path_mutex);
+    g_trace_path = std::move(path);
+  }
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() noexcept {
+  g_tracing.store(false, std::memory_order_relaxed);
+}
+
+std::string trace_path() {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  return g_trace_path;
+}
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+std::size_t buffered_event_count() {
+  LaneRegistry& registry = lane_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& lane : registry.lanes) {
+    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    total += lane->events.size();
+  }
+  return total;
+}
+
+void reset_tracing_for_testing() {
+  disable_tracing();
+  {
+    std::lock_guard<std::mutex> lock(g_path_mutex);
+    g_trace_path.clear();
+  }
+  LaneRegistry& registry = lane_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& lane : registry.lanes) {
+    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    lane->events.clear();
+  }
+}
+
+Span::Span(const char* name, const char* category) noexcept
+    : name_(name), category_(category) {
+  if (!tracing_enabled()) return;
+  recording_ = true;
+  start_us_ = now_us();
+  ++this_lane().depth;
+}
+
+Span& Span::arg(const char* key, const std::string& value) {
+  if (recording_) {
+    if (!args_.empty()) args_ += ',';
+    args_ += '"';
+    args_ += json_escape(key);
+    args_ += "\":\"";
+    args_ += json_escape(value);
+    args_ += '"';
+  }
+  return *this;
+}
+
+Span& Span::arg(const char* key, std::int64_t value) {
+  if (recording_) {
+    if (!args_.empty()) args_ += ',';
+    args_ += '"';
+    args_ += json_escape(key);
+    args_ += "\":";
+    args_ += std::to_string(value);
+  }
+  return *this;
+}
+
+Span::~Span() {
+  if (!recording_) return;
+  const double end_us = now_us();
+  Lane& lane = this_lane();
+  const int depth = --lane.depth;
+  TraceEvent event{name_,   category_,          start_us_,
+                   end_us - start_us_, depth,   std::move(args_)};
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.events.push_back(std::move(event));
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_trace() { return write_trace(trace_path()); }
+
+bool write_trace(const std::string& path) {
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"msim\"}}";
+
+  std::ostringstream events;
+  events.setf(std::ios::fixed);
+  events.precision(3);
+  {
+    LaneRegistry& registry = lane_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& lane : registry.lanes) {
+      std::lock_guard<std::mutex> lane_lock(lane->mutex);
+      if (lane->events.empty()) continue;
+      events << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+             << "\"tid\":" << lane->tid
+             << ",\"args\":{\"name\":\"msim-thread-" << lane->tid
+             << "\"}}";
+      for (const TraceEvent& event : lane->events) {
+        events << ",\n{\"name\":\"" << json_escape(event.name)
+               << "\",\"cat\":\"" << json_escape(event.category)
+               << "\",\"ph\":\"X\",\"ts\":" << event.start_us
+               << ",\"dur\":" << event.duration_us
+               << ",\"pid\":1,\"tid\":" << lane->tid
+               << ",\"args\":{\"depth\":" << event.depth;
+        if (!event.args.empty()) events << ',' << event.args;
+        events << "}}";
+      }
+    }
+  }
+
+  // Final counter/gauge values as Chrome counter events, so cache hit/miss
+  // tallies (with miss reasons) travel inside the trace file itself.
+  const Snapshot snapshot = Registry::instance().snapshot();
+  const double ts = now_us();
+  for (const auto& row : snapshot.counters) {
+    events << ",\n{\"name\":\"" << json_escape(row.name)
+           << "\",\"ph\":\"C\",\"ts\":" << ts
+           << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" << row.value
+           << "}}";
+  }
+  for (const auto& row : snapshot.gauges) {
+    events << ",\n{\"name\":\"" << json_escape(row.name)
+           << "\",\"ph\":\"C\",\"ts\":" << ts
+           << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":" << row.value
+           << "}}";
+  }
+
+  out << events.str() << "\n]}\n";
+  return out.good();
+}
+
+}  // namespace msim::obs

@@ -1,0 +1,81 @@
+// RAII scoped timers and the Chrome trace-event sink.
+//
+// A Span marks one timed region. When tracing is off (the default) its
+// constructor reads a single relaxed atomic flag and does nothing else —
+// no clock read, no allocation — so instrumentation can stay in hot paths
+// permanently. When tracing is on, each completed span is appended to a
+// per-thread buffer (one uncontended mutex acquisition per span) and
+// write_trace() merges every buffer into one Chrome trace-event JSON file
+// that Perfetto / chrome://tracing load directly; see docs/FORMATS.md for
+// the exact schema.
+//
+// Threads are identified by a small dense lane id assigned on first use
+// (the main thread is usually lane 0); spans also carry their per-thread
+// nesting depth as an argument. Buffers are owned by a process-lifetime
+// registry, never by the thread, so spans recorded by pool workers survive
+// the workers joining.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msim::obs {
+
+/// True while a trace destination is set. Relaxed read; safe anywhere.
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Start recording spans, to be written to `path` (Chrome trace JSON).
+void enable_tracing(std::string path);
+
+/// Stop recording. Buffered events are kept until write_trace/reset.
+void disable_tracing() noexcept;
+
+/// Destination set by enable_tracing (empty when tracing was never on).
+[[nodiscard]] std::string trace_path();
+
+/// Merge every thread's buffered spans plus a final snapshot of all
+/// registry counters into the Chrome trace JSON at trace_path(). Returns
+/// false when the file cannot be written or tracing was never enabled.
+bool write_trace();
+
+/// As write_trace() but to an explicit path.
+bool write_trace(const std::string& path);
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] double now_us() noexcept;
+
+/// Drop all buffered events, disable tracing, forget the path. Test-only.
+void reset_tracing_for_testing();
+
+/// Number of buffered events across all threads (test hook).
+[[nodiscard]] std::size_t buffered_event_count();
+
+class Span {
+ public:
+  /// `name` and `category` must be string literals (or otherwise outlive
+  /// the span); they are copied only when the span completes.
+  Span(const char* name, const char* category) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value argument (shown in the trace viewer). No-ops when
+  /// the span is not recording.
+  Span& arg(const char* key, const std::string& value);
+  Span& arg(const char* key, std::int64_t value);
+
+  [[nodiscard]] bool recording() const noexcept { return recording_; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  bool recording_ = false;
+  std::string args_;  ///< pre-escaped `"k":v` fragments, comma-joined
+};
+
+/// Escape a string for embedding inside a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace msim::obs

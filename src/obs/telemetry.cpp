@@ -1,0 +1,103 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/span.hpp"
+
+namespace msim::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics{false};
+std::atomic<MetricsRenderer> g_renderer{nullptr};
+std::atomic<bool> g_exit_writer_installed{false};
+
+std::string plain_render(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "telemetry metrics:\n";
+  for (const auto& row : snapshot.counters) {
+    os << "  " << row.name << " = " << row.value << "\n";
+  }
+  for (const auto& row : snapshot.gauges) {
+    os << "  " << row.name << " = " << row.value << "\n";
+  }
+  for (const auto& row : snapshot.histograms) {
+    os << "  " << row.name << " count=" << row.values.count
+       << " mean=" << row.values.mean() << " max=" << row.values.max
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void enable_metrics() noexcept {
+  g_metrics.store(true, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+bool collecting() noexcept { return tracing_enabled() || metrics_enabled(); }
+
+void init_from_env() {
+  if (const char* path = std::getenv("MSIM_TRACE");
+      path != nullptr && path[0] != '\0') {
+    enable_tracing(path);
+  }
+  if (const char* flag = std::getenv("MSIM_METRICS");
+      flag != nullptr && flag[0] != '\0' &&
+      !(flag[0] == '0' && flag[1] == '\0')) {
+    enable_metrics();
+  }
+}
+
+bool handle_telemetry_flag(const std::string& token) {
+  if (token == "--metrics") {
+    enable_metrics();
+    return true;
+  }
+  if (token == "--trace") {
+    enable_tracing("trace.json");
+    return true;
+  }
+  if (token.rfind("--trace=", 0) == 0) {
+    const std::string path = token.substr(8);
+    enable_tracing(path.empty() ? "trace.json" : path);
+    return true;
+  }
+  return false;
+}
+
+void set_metrics_renderer(MetricsRenderer renderer) noexcept {
+  g_renderer.store(renderer, std::memory_order_relaxed);
+}
+
+void flush_telemetry() {
+  if (tracing_enabled()) (void)write_trace();
+  if (metrics_enabled()) {
+    const MetricsRenderer renderer =
+        g_renderer.load(std::memory_order_relaxed);
+    const std::string table = (renderer != nullptr ? renderer
+                                                   : &plain_render)(
+        Registry::instance().snapshot());
+    std::fputs(table.c_str(), stderr);
+  }
+}
+
+void install_exit_writer() {
+  if (g_exit_writer_installed.exchange(true)) return;
+  std::atexit(&flush_telemetry);
+}
+
+void reset_for_testing() {
+  g_metrics.store(false, std::memory_order_relaxed);
+  reset_tracing_for_testing();
+  Registry::instance().reset_values();
+}
+
+}  // namespace msim::obs

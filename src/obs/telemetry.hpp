@@ -1,0 +1,59 @@
+// Telemetry activation and process-exit wiring.
+//
+// Everything is off by default. Two independent outputs:
+//
+//   tracing — MSIM_TRACE=<path> or --trace[=<path>] (default trace.json):
+//             spans are buffered and written as Chrome trace-event JSON at
+//             process exit (or via obs::write_trace()).
+//   metrics — MSIM_METRICS=<non-empty, not "0"> or --metrics: a summary
+//             table of all registry counters/gauges/histograms is printed
+//             to *stderr* at process exit, keeping stdout diffable.
+//
+// The pretty fixed-width table lives in report::render_metrics; obs only
+// holds a function-pointer hook so this module stays dependency-free (a
+// plain "name value" fallback is used if no renderer was installed).
+//
+// collecting() gates optional clock reads (latency histograms, worker
+// utilization): true when either output is active. Plain counters are NOT
+// gated — a relaxed atomic add is cheaper than the branch would be worth,
+// and tests rely on exact counts regardless of environment.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace msim::obs {
+
+/// Enable the exit-time metrics table (stderr).
+void enable_metrics() noexcept;
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// True when any telemetry output is active (tracing or metrics); gates
+/// optional timing work in instrumented code.
+[[nodiscard]] bool collecting() noexcept;
+
+/// Read MSIM_TRACE / MSIM_METRICS and enable the corresponding outputs.
+void init_from_env();
+
+/// Recognise and apply one command-line token: "--trace",
+/// "--trace=<path>" or "--metrics". Returns true when the token was a
+/// telemetry flag (callers that validate argv should drop it).
+bool handle_telemetry_flag(const std::string& token);
+
+/// Renderer used for the exit-time metrics table (report::render_metrics).
+using MetricsRenderer = std::string (*)(const Snapshot&);
+void set_metrics_renderer(MetricsRenderer renderer) noexcept;
+
+/// Register flush_telemetry with std::atexit (idempotent).
+void install_exit_writer();
+
+/// Write the trace file (if tracing) and print the metrics table to
+/// stderr (if metrics). Called automatically at exit once
+/// install_exit_writer() has run; safe to call directly and repeatedly.
+void flush_telemetry();
+
+/// Disable all outputs and zero metric values and span buffers. Test-only.
+void reset_for_testing();
+
+}  // namespace msim::obs

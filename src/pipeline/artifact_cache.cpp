@@ -1,6 +1,7 @@
 #include "pipeline/artifact_cache.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,9 +9,46 @@
 #include <system_error>
 #include <unistd.h>
 
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+
 namespace msim::pipeline {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Handles resolved once; updates are relaxed atomic adds after that.
+struct CacheMetrics {
+  obs::Counter& miss_absent =
+      obs::Registry::instance().counter("cache.miss.absent");
+  obs::Counter& miss_unreadable =
+      obs::Registry::instance().counter("cache.miss.unreadable");
+  obs::Counter& loads = obs::Registry::instance().counter("cache.load.count");
+  obs::Counter& load_bytes =
+      obs::Registry::instance().counter("cache.load.bytes");
+  obs::Counter& stores =
+      obs::Registry::instance().counter("cache.store.count");
+  obs::Counter& store_bytes =
+      obs::Registry::instance().counter("cache.store.bytes");
+  obs::Histogram& load_seconds =
+      obs::Registry::instance().histogram("cache.load.seconds");
+  obs::Histogram& store_seconds =
+      obs::Registry::instance().histogram("cache.store.seconds");
+};
+
+CacheMetrics& metrics() {
+  static CacheMetrics* const handles = new CacheMetrics();
+  return *handles;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 ArtifactCache::ArtifactCache(std::string dir)
     : enabled_(true), dir_(dir.empty() ? default_dir() : std::move(dir)) {}
@@ -26,17 +64,35 @@ std::string ArtifactCache::default_dir() {
 std::optional<std::string> ArtifactCache::load(
     const std::string& name) const {
   if (!enabled_) return std::nullopt;
+  // Latency is only measured while telemetry output is active; the
+  // counters below are always-on relaxed atomics.
+  const bool timed = obs::collecting();
+  const auto start = timed ? Clock::now() : Clock::time_point{};
+
   std::ifstream in(fs::path(dir_) / name, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    metrics().miss_absent.add();
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) return std::nullopt;
-  return buffer.str();
+  if (!in.good() && !in.eof()) {
+    metrics().miss_unreadable.add();
+    return std::nullopt;
+  }
+  std::string content = buffer.str();
+  metrics().loads.add();
+  metrics().load_bytes.add(content.size());
+  if (timed) metrics().load_seconds.record(seconds_since(start));
+  return content;
 }
 
 void ArtifactCache::store(const std::string& name,
                           const std::string& content) const {
   if (!enabled_) return;
+  const bool timed = obs::collecting();
+  const auto start = timed ? Clock::now() : Clock::time_point{};
+
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) return;
@@ -61,7 +117,33 @@ void ArtifactCache::store(const std::string& name,
     }
   }
   fs::rename(temp, target, ec);
-  if (ec) fs::remove(temp, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return;
+  }
+  metrics().stores.add();
+  metrics().store_bytes.add(content.size());
+  if (timed) metrics().store_seconds.record(seconds_since(start));
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  Stats totals;
+  if (!enabled_) return totals;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return totals;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    // Skip in-flight staging files (`<name>.tmp.<n>.<pid>`).
+    if (entry.path().filename().string().find(".tmp.") !=
+        std::string::npos) {
+      continue;
+    }
+    ++totals.entries;
+    const auto size = entry.file_size(ec);
+    if (!ec) totals.bytes += size;
+  }
+  return totals;
 }
 
 }  // namespace msim::pipeline

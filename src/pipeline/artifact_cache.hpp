@@ -11,8 +11,16 @@
 // place (atomic on POSIX), so concurrent builders race benignly — both
 // compute, one rename wins, contents are identical by construction.
 // Unreadable or malformed entries are treated as misses and overwritten.
+//
+// Observability: loads and stores feed the obs registry — `cache.load.*`
+// and `cache.store.*` counters plus latency histograms, with misses split
+// by reason (`cache.miss.absent` = no such entry, `cache.miss.unreadable`
+// = present but the read failed; the pipeline's parse layer adds
+// `cache.miss.malformed` for entries that load but fail to parse, and
+// `cache.hit` for entries that survive parsing).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -40,6 +48,14 @@ class ArtifactCache {
   /// Best-effort atomic store; failures are silent (the cache is an
   /// optimization, never a correctness dependency).
   void store(const std::string& name, const std::string& content) const;
+
+  /// Cheap directory totals (staging temp files excluded). All zeros when
+  /// the cache is disabled or the directory does not exist yet.
+  struct Stats {
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
 
  private:
   bool enabled_ = false;

@@ -2,14 +2,50 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+
 namespace msim::pipeline {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Publish per-stage task count and worker utilization after a fan-out.
+/// Cold path (once per stage), so the by-name registry lookups are fine.
+void publish_stage_metrics(const char* label, std::size_t items,
+                           unsigned workers, double busy_seconds,
+                           double wall_seconds) {
+  const std::string prefix = std::string("scheduler.") + label;
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter(prefix + ".tasks").add(items);
+  const double capacity = wall_seconds * static_cast<double>(workers);
+  registry.gauge(prefix + ".utilization")
+      .set(capacity > 0.0 ? busy_seconds / capacity : 0.0);
+}
+
+}  // namespace
+
+unsigned env_threads() {
+  const char* env = std::getenv("MSIM_THREADS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return static_cast<unsigned>(std::min<unsigned long>(value, 1024));
+}
+
 unsigned effective_threads(unsigned threads, std::size_t items) {
+  if (threads == 0) threads = env_threads();
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   return std::max<unsigned>(
@@ -18,38 +54,68 @@ unsigned effective_threads(unsigned threads, std::size_t items) {
 }
 
 void run_indexed(std::size_t items, unsigned threads,
-                 const std::function<void(std::size_t)>& task) {
+                 const std::function<void(std::size_t)>& task,
+                 const char* label) {
   if (items == 0) return;
+  const char* stage = label != nullptr ? label : "tasks";
   const unsigned workers = effective_threads(threads, items);
+  const bool collect = obs::collecting();
+  const auto wall_start = Clock::now();
 
-  if (workers == 1) {
-    for (std::size_t index = 0; index < items; ++index) task(index);
-    return;
-  }
+  // Per-worker busy time; slot 0 doubles as the serial path's slot.
+  std::vector<double> busy(workers, 0.0);
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (std::size_t index = next.fetch_add(1); index < items;
-         index = next.fetch_add(1)) {
-      try {
-        task(index);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Drain the remaining work so siblings stop picking up tasks.
-        next.store(items);
-      }
+  auto run_one = [&](std::size_t index, double& busy_seconds) {
+    if (!collect) {
+      task(index);
+      return;
     }
+    obs::Span span(stage, "scheduler");
+    span.arg("index", static_cast<std::int64_t>(index));
+    const auto start = Clock::now();
+    task(index);
+    busy_seconds +=
+        std::chrono::duration<double>(Clock::now() - start).count();
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  if (workers == 1) {
+    for (std::size_t index = 0; index < items; ++index) {
+      run_one(index, busy[0]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&](unsigned slot) {
+      for (std::size_t index = next.fetch_add(1); index < items;
+           index = next.fetch_add(1)) {
+        try {
+          run_one(index, busy[slot]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          // Drain the remaining work so siblings stop picking up tasks.
+          next.store(items);
+        }
+      }
+    };
 
-  if (first_error) std::rethrow_exception(first_error);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
+    for (auto& thread : pool) thread.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  if (collect) {
+    double busy_seconds = 0.0;
+    for (double b : busy) busy_seconds += b;
+    publish_stage_metrics(
+        stage, items, workers,
+        busy_seconds,
+        std::chrono::duration<double>(Clock::now() - wall_start).count());
+  }
 }
 
 }  // namespace msim::pipeline

@@ -7,6 +7,12 @@
 // per-index slots and stage output is bitwise independent of the thread
 // count. The first task exception is captured and rethrown on the calling
 // thread after the pool joins.
+//
+// Observability: when obs telemetry is active, every task runs inside an
+// obs::Span named after the stage label, and each fan-out publishes
+// `scheduler.<label>.tasks` / `scheduler.<label>.utilization` (busy time
+// over workers x wall time) to the obs registry. With telemetry off no
+// clocks are read and outputs are bitwise unchanged.
 #pragma once
 
 #include <cstddef>
@@ -14,14 +20,22 @@
 
 namespace msim::pipeline {
 
-/// Number of workers actually used for `items` tasks: `threads` (or the
-/// hardware concurrency when 0), clamped to [1, items].
+/// Number of workers actually used for `items` tasks: `threads`, clamped
+/// to [1, items]. A `threads` of 0 means "default": the MSIM_THREADS
+/// environment variable when set to a positive integer, else the hardware
+/// concurrency — so CI and benches can pin worker counts without code
+/// changes.
 [[nodiscard]] unsigned effective_threads(unsigned threads, std::size_t items);
 
+/// MSIM_THREADS as a worker count, or 0 when unset/invalid/zero.
+[[nodiscard]] unsigned env_threads();
+
 /// Run `task(0) ... task(items-1)` across a pool of `threads` workers
-/// (0 = hardware concurrency). Serial when one worker suffices. Rethrows
-/// the first task exception after all workers finish.
+/// (0 = default, see effective_threads). Serial when one worker suffices.
+/// Rethrows the first task exception after all workers finish. `label`
+/// names the stage in telemetry spans and metrics (nullptr = "tasks").
 void run_indexed(std::size_t items, unsigned threads,
-                 const std::function<void(std::size_t)>& task);
+                 const std::function<void(std::size_t)>& task,
+                 const char* label = nullptr);
 
 }  // namespace msim::pipeline

@@ -8,6 +8,8 @@
 #include "common/hash.hpp"
 #include "machine/config_io.hpp"
 #include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "pipeline/scheduler.hpp"
 #include "probes/probe_io.hpp"
 #include "probes/synthetic.hpp"
@@ -114,15 +116,23 @@ std::uint64_t trace_key(const SuiteItem& item, const std::string& base,
 
 /// Cached load via a format-specific parser; malformed or unreadable
 /// entries count as misses (the artifact is recomputed and re-stored).
+/// Feeds the obs registry: `cache.hit` for entries that parse,
+/// `cache.miss.malformed` for entries that load but do not.
 template <typename Parse>
 auto try_cache(const ArtifactCache& cache, const std::string& name,
                Parse parse)
     -> std::optional<decltype(parse(std::string{}))> {
+  static obs::Counter& hits = obs::Registry::instance().counter("cache.hit");
+  static obs::Counter& malformed =
+      obs::Registry::instance().counter("cache.miss.malformed");
   const auto text = cache.load(name);
   if (!text) return std::nullopt;
   try {
-    return parse(*text);
+    auto parsed = parse(*text);
+    hits.add();
+    return parsed;
   } catch (const std::exception&) {
+    malformed.add();
     return std::nullopt;
   }
 }
@@ -199,21 +209,27 @@ std::map<std::string, probes::ProbeSet> run_probe_stage(
     const std::vector<machine::MachineConfig>& machines, unsigned threads,
     const ArtifactCache& cache, StageStats* stats) {
   const auto start = Clock::now();
+  obs::Span stage_span("stage:probes", "pipeline");
+  stage_span.arg("items", static_cast<std::int64_t>(machines.size()));
   std::vector<probes::ProbeSet> results(machines.size());
   std::vector<unsigned char> hit(machines.size(), 0);
 
-  run_indexed(machines.size(), threads, [&](std::size_t index) {
-    const auto& machine = machines[index];
-    const std::string name =
-        "probe-" + hex_digest(probe_key(machine)) + ".txt";
-    if (auto cached = try_cache(cache, name, probes::probe_set_from_text)) {
-      results[index] = std::move(*cached);
-      hit[index] = 1;
-      return;
-    }
-    results[index] = probes::run_probe_suite(machine);
-    cache.store(name, probes::to_text(results[index]));
-  });
+  run_indexed(
+      machines.size(), threads,
+      [&](std::size_t index) {
+        const auto& machine = machines[index];
+        const std::string name =
+            "probe-" + hex_digest(probe_key(machine)) + ".txt";
+        if (auto cached =
+                try_cache(cache, name, probes::probe_set_from_text)) {
+          results[index] = std::move(*cached);
+          hit[index] = 1;
+          return;
+        }
+        results[index] = probes::run_probe_suite(machine);
+        cache.store(name, probes::to_text(results[index]));
+      },
+      "probes");
 
   std::map<std::string, probes::ProbeSet> sets;
   for (std::size_t i = 0; i < machines.size(); ++i) {
@@ -263,6 +279,7 @@ metrics::Study StudyBuilder::build() {
   simulate::ObservationSet observations;
   {
     const auto start = Clock::now();
+    obs::Span stage_span("stage:ground-truth", "pipeline");
     const std::string name =
         "gt-" +
         hex_digest(ground_truth_key(machines, items, options_.executor)) +
@@ -290,25 +307,31 @@ metrics::Study StudyBuilder::build() {
       signatures;
   {
     const auto start = Clock::now();
+    obs::Span stage_span("stage:traces", "pipeline");
+    stage_span.arg("items", static_cast<std::int64_t>(items.size()));
     std::vector<trace::ApplicationSignature> results(items.size());
     std::vector<unsigned char> hit(items.size(), 0);
-    run_indexed(items.size(), threads, [&](std::size_t index) {
-      const SuiteItem& item = items[index];
-      const workload::TestCase& test_case = suite[item.case_index];
-      const std::string name =
-          "sig-" +
-          hex_digest(trace_key(item, base.name, options_.tracer)) + ".txt";
-      if (auto cached =
-              try_cache(cache, name, trace::signature_from_text)) {
-        results[index] = std::move(*cached);
-        hit[index] = 1;
-        return;
-      }
-      const workload::AppModel app = test_case.build(item.nprocs);
-      results[index] =
-          trace::trace_application(app, base.name, options_.tracer);
-      cache.store(name, trace::to_text(results[index]));
-    });
+    run_indexed(
+        items.size(), threads,
+        [&](std::size_t index) {
+          const SuiteItem& item = items[index];
+          const workload::TestCase& test_case = suite[item.case_index];
+          const std::string name =
+              "sig-" +
+              hex_digest(trace_key(item, base.name, options_.tracer)) +
+              ".txt";
+          if (auto cached =
+                  try_cache(cache, name, trace::signature_from_text)) {
+            results[index] = std::move(*cached);
+            hit[index] = 1;
+            return;
+          }
+          const workload::AppModel app = test_case.build(item.nprocs);
+          results[index] =
+              trace::trace_application(app, base.name, options_.tracer);
+          cache.store(name, trace::to_text(results[index]));
+        },
+        "traces");
     for (std::size_t i = 0; i < items.size(); ++i) {
       signatures.emplace(
           std::make_pair(suite[items[i].case_index].name, items[i].nprocs),
@@ -321,6 +344,7 @@ metrics::Study StudyBuilder::build() {
 
   // --- Stage 4: Assemble ----------------------------------------------
   const auto assemble_start = Clock::now();
+  obs::Span assemble_span("stage:assemble", "pipeline");
   metrics::StudyParts parts;
   for (const auto& target : targets) parts.target_names.push_back(target.name);
   parts.base = base.name;
@@ -332,6 +356,11 @@ metrics::Study StudyBuilder::build() {
   metrics::Study study = metrics::Study::assemble(std::move(parts));
   stats_.assemble_seconds = seconds_since(assemble_start);
   stats_.total_seconds = seconds_since(total_start);
+  if (cache.enabled()) {
+    const ArtifactCache::Stats cache_stats = cache.stats();
+    stats_.cache_entries = cache_stats.entries;
+    stats_.cache_bytes = cache_stats.bytes;
+  }
   return study;
 }
 
@@ -349,7 +378,9 @@ std::string BuildStats::summary() const {
                                  .items = traces.items,
                                  .cache_hits = traces.cache_hits,
                                  .seconds = traces.seconds}},
-      total_seconds, cache_enabled, cache_dir);
+      total_seconds, cache_enabled, cache_dir,
+      report::PipelineCacheLine{.entries = cache_entries,
+                                .bytes = cache_bytes});
 }
 
 }  // namespace msim::pipeline

@@ -57,6 +57,9 @@ struct BuildStats {
   double total_seconds = 0.0;
   bool cache_enabled = false;
   std::string cache_dir;
+  /// On-disk cache totals after the build (ArtifactCache::stats()).
+  std::size_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
 
   /// The bench-banner cache-stats line (report::render_pipeline_stats).
   [[nodiscard]] std::string summary() const;

@@ -5,6 +5,8 @@
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "netsim/cost_model.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "simulate/executor.hpp"
 #include "workload/basic_block.hpp"
 
@@ -163,16 +165,37 @@ NetbenchResult netbench_probe(const machine::MachineConfig& machine) {
 
 ProbeSet run_probe_suite(const machine::MachineConfig& machine) {
   machine::validate(machine);
+  static obs::Counter& suites =
+      obs::Registry::instance().counter("probes.suites");
+  suites.add();
+  obs::Span suite_span("probe-suite", "probes");
+  suite_span.arg("machine", machine.name);
+
+  // One span per probe so stage imbalance inside a suite is visible in the
+  // trace (the MAPS sweeps dominate).
+  auto probe = [&machine](const char* name, auto run) {
+    obs::Span span(name, "probes");
+    span.arg("machine", machine.name);
+    return run();
+  };
   ProbeSet set;
   set.machine = machine.name;
-  set.hpl_rmax = hpl_probe(machine);
-  set.stream_bw = stream_probe(machine);
-  set.gups_bw = gups_probe(machine);
-  set.maps_unit = maps_probe(machine, StrideClass::Unit, false);
-  set.maps_random = maps_probe(machine, StrideClass::Random, false);
-  set.maps_unit_dep = maps_probe(machine, StrideClass::Unit, true);
-  set.maps_random_dep = maps_probe(machine, StrideClass::Random, true);
-  set.net = netbench_probe(machine);
+  set.hpl_rmax = probe("hpl", [&] { return hpl_probe(machine); });
+  set.stream_bw = probe("stream", [&] { return stream_probe(machine); });
+  set.gups_bw = probe("gups", [&] { return gups_probe(machine); });
+  set.maps_unit = probe("maps:unit", [&] {
+    return maps_probe(machine, StrideClass::Unit, false);
+  });
+  set.maps_random = probe("maps:random", [&] {
+    return maps_probe(machine, StrideClass::Random, false);
+  });
+  set.maps_unit_dep = probe("maps:unit-dep", [&] {
+    return maps_probe(machine, StrideClass::Unit, true);
+  });
+  set.maps_random_dep = probe("maps:random-dep", [&] {
+    return maps_probe(machine, StrideClass::Random, true);
+  });
+  set.net = probe("netbench", [&] { return netbench_probe(machine); });
   return set;
 }
 

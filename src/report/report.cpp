@@ -272,7 +272,8 @@ void write_maps_csv(std::ostream& out,
 
 std::string render_pipeline_stats(
     const std::vector<PipelineStageLine>& stages, double total_seconds,
-    bool cache_enabled, const std::string& cache_dir) {
+    bool cache_enabled, const std::string& cache_dir,
+    const PipelineCacheLine& cache_totals) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(2);
@@ -288,6 +289,46 @@ std::string render_pipeline_stats(
   }
   os << " total " << total_seconds << "s | cache ";
   os << (cache_enabled ? cache_dir : "off");
+  if (cache_enabled && cache_totals.entries > 0) {
+    os << " (" << cache_totals.entries
+       << (cache_totals.entries == 1 ? " entry, " : " entries, ")
+       << format_bytes(cache_totals.bytes) << ')';
+  }
+  return os.str();
+}
+
+std::string render_metrics(const obs::Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "telemetry metrics:\n";
+  if (snapshot.empty()) {
+    os << "(no metrics recorded)\n";
+    return os.str();
+  }
+
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    AsciiTable table({"Metric", "Kind", "Value"});
+    table.set_align(2, Align::Right);
+    for (const auto& row : snapshot.counters) {
+      table.add_row({row.name, "counter", std::to_string(row.value)});
+    }
+    for (const auto& row : snapshot.gauges) {
+      table.add_row({row.name, "gauge", AsciiTable::num(row.value, 3)});
+    }
+    os << table.render();
+  }
+
+  if (!snapshot.histograms.empty()) {
+    AsciiTable table({"Histogram", "Count", "Mean", "Min", "Max", "~P95"});
+    for (std::size_t c = 1; c < 6; ++c) table.set_align(c, Align::Right);
+    for (const auto& row : snapshot.histograms) {
+      const auto& h = row.values;
+      table.add_row({row.name, std::to_string(h.count),
+                     AsciiTable::num(h.mean(), 6),
+                     AsciiTable::num(h.min, 6), AsciiTable::num(h.max, 6),
+                     AsciiTable::num(h.quantile(0.95), 6)});
+    }
+    os << table.render();
+  }
   return os.str();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "metrics/study.hpp"
+#include "obs/registry.hpp"
 #include "probes/probe_set.hpp"
 
 namespace msim::report {
@@ -62,11 +63,24 @@ struct PipelineStageLine {
   double seconds = 0.0;
 };
 
+/// On-disk cache totals appended to the stats line (0/0 = omit).
+struct PipelineCacheLine {
+  std::size_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Single-line stage/cache summary printed under bench banners, e.g.
 ///   pipeline: ground-truth 1/1 cached 0.00s | probes 11/11 cached 0.00s |
 ///   traces 15/15 cached 0.01s | total 0.02s | cache .msim-cache
+///   (27 entries, 1.4 MiB)
 [[nodiscard]] std::string render_pipeline_stats(
     const std::vector<PipelineStageLine>& stages, double total_seconds,
-    bool cache_enabled, const std::string& cache_dir);
+    bool cache_enabled, const std::string& cache_dir,
+    const PipelineCacheLine& cache_totals = {});
+
+/// Fixed-width summary of every obs registry metric (counters, gauges,
+/// histograms), sorted by name. Printed to stderr at process exit when
+/// MSIM_METRICS / --metrics is set; see docs/FORMATS.md.
+[[nodiscard]] std::string render_metrics(const obs::Snapshot& snapshot);
 
 }  // namespace msim::report

@@ -6,8 +6,30 @@
 
 #include "common/check.hpp"
 #include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace msim::simulate {
+
+namespace {
+
+/// One detailed-simulator run, wrapped in telemetry: a span per
+/// (app, machine, nprocs) and an always-on run counter.
+RunResult traced_execute(const workload::AppModel& app,
+                         const machine::MachineConfig& machine,
+                         const ExecutorOptions& options,
+                         const std::string& app_name, int nprocs) {
+  static obs::Counter& runs =
+      obs::Registry::instance().counter("campaign.runs");
+  runs.add();
+  obs::Span span("run", "campaign");
+  span.arg("app", app_name)
+      .arg("machine", machine.name)
+      .arg("nprocs", nprocs);
+  return execute(app, machine, options);
+}
+
+}  // namespace
 
 void ObservationSet::add(Observation observation) {
   MSIM_REQUIRE(!find(observation.app, observation.nprocs, observation.machine)
@@ -45,7 +67,8 @@ ObservationSet run_campaign(
     for (int nprocs : test_case.cpu_counts) {
       const workload::AppModel app = test_case.build(nprocs);
       for (const auto& machine : machines) {
-        const RunResult run = execute(app, machine, options);
+        const RunResult run =
+            traced_execute(app, machine, options, test_case.name, nprocs);
         set.add(Observation{.app = test_case.name,
                             .nprocs = nprocs,
                             .machine = machine.name,
@@ -85,7 +108,8 @@ ObservationSet run_campaign_parallel(
       const WorkItem& item = items[index];
       const workload::AppModel app = item.test_case->build(item.nprocs);
       for (const auto& machine : machines) {
-        const RunResult run = execute(app, machine, options);
+        const RunResult run = traced_execute(
+            app, machine, options, item.test_case->name, item.nprocs);
         results[index].push_back(Observation{.app = item.test_case->name,
                                              .nprocs = item.nprocs,
                                              .machine = machine.name,

@@ -1,0 +1,364 @@
+// The obs telemetry layer: registry exactness under contention, span
+// buffering, Chrome trace-event export, activation plumbing — and the
+// invariant the whole subsystem is built around: results are byte-identical
+// with telemetry on or off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "metrics/study.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/study_builder.hpp"
+#include "report/report.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every obs test starts from a clean slate: outputs off, values zeroed,
+/// span buffers dropped.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_for_testing(); }
+  void TearDown() override { reset_for_testing(); }
+};
+
+fs::path scratch_file(const std::string& name) {
+  return fs::temp_directory_path() / ("msim-obs-" + name);
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Structural JSON check without a parser dependency: quote-aware
+/// brace/bracket balance, ending at depth zero exactly at EOF.
+bool json_is_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool saw_root = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        saw_root = true;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+    if (saw_root && depth == 0) {
+      // Only whitespace may follow the root value.
+      saw_root = false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST_F(ObsTest, CounterExactUnderContention) {
+  Counter& counter = Registry::instance().counter("test.obs.concurrency");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, RegistryHandlesAreStableAcrossReset) {
+  Counter& first = Registry::instance().counter("test.obs.stable");
+  first.add(7);
+  Registry::instance().reset_values();
+  EXPECT_EQ(first.value(), 0u);
+  // Same name resolves to the same object; the old handle still works.
+  Counter& second = Registry::instance().counter("test.obs.stable");
+  EXPECT_EQ(&first, &second);
+  first.add(3);
+  EXPECT_EQ(second.value(), 3u);
+}
+
+TEST_F(ObsTest, HistogramRecordsExtremesAndQuantiles) {
+  Histogram& histogram =
+      Registry::instance().histogram("test.obs.histogram");
+  histogram.record(0.001);
+  histogram.record(0.002);
+  histogram.record(8.0);
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.001);
+  EXPECT_DOUBLE_EQ(snap.max, 8.0);
+  EXPECT_NEAR(snap.sum, 8.003, 1e-12);
+  // The p100 upper bound must cover the largest sample.
+  EXPECT_GE(snap.quantile(1.0), 8.0);
+  EXPECT_GT(snap.quantile(0.5), 0.0);
+
+  // Bucket geometry: monotone index, upper bound covers the value.
+  const int small = Histogram::bucket_index(1e-9);
+  const int large = Histogram::bucket_index(1e6);
+  EXPECT_LT(small, large);
+  EXPECT_GE(Histogram::bucket_upper(Histogram::bucket_index(0.5)), 0.5);
+}
+
+TEST_F(ObsTest, EmptyHistogramSnapshotIsAllZero) {
+  Histogram& histogram = Registry::instance().histogram("test.obs.empty");
+  const Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  (void)Registry::instance().counter("test.obs.zzz");
+  (void)Registry::instance().counter("test.obs.aaa");
+  const Snapshot snap = Registry::instance().snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+TEST_F(ObsTest, SpansAreFreeWhenTracingOff) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    Span span("noop", "test");
+    span.arg("key", std::string("value"));
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_EQ(buffered_event_count(), 0u);
+}
+
+TEST_F(ObsTest, TraceFileIsLoadableChromeJson) {
+  const fs::path path = scratch_file("trace.json");
+  enable_tracing(path.string());
+  ASSERT_TRUE(tracing_enabled());
+
+  {
+    Span outer("outer", "test");
+    outer.arg("label", std::string("a\"b\\c"));  // exercises escaping
+    Span inner("inner", "test");
+    inner.arg("index", std::int64_t{42});
+  }
+  std::thread([] { Span span("worker-span", "test"); }).join();
+  Registry::instance().counter("test.obs.trace-counter").add(5);
+
+  EXPECT_EQ(buffered_event_count(), 3u);
+  ASSERT_TRUE(write_trace());
+
+  const std::string json = slurp(path);
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Complete events for all three spans, on two distinct lanes.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"a\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(json.find("\"index\":42"), std::string::npos);
+  // Counter events carry the final registry values.
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"C\""), 1u);
+  EXPECT_NE(json.find("test.obs.trace-counter"), std::string::npos);
+  // Thread metadata names both lanes.
+  EXPECT_GE(count_occurrences(json, "\"thread_name\""), 2u);
+
+  fs::remove(path);
+}
+
+TEST_F(ObsTest, TelemetryFlagParsing) {
+  EXPECT_FALSE(handle_telemetry_flag("--verbose"));
+  EXPECT_FALSE(handle_telemetry_flag("trace"));
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(tracing_enabled());
+
+  EXPECT_TRUE(handle_telemetry_flag("--metrics"));
+  EXPECT_TRUE(metrics_enabled());
+  EXPECT_TRUE(collecting());
+
+  EXPECT_TRUE(handle_telemetry_flag("--trace=custom.json"));
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_EQ(trace_path(), "custom.json");
+
+  reset_for_testing();
+  EXPECT_TRUE(handle_telemetry_flag("--trace"));
+  EXPECT_EQ(trace_path(), "trace.json");  // bare flag default
+}
+
+TEST_F(ObsTest, InitFromEnvActivatesOutputs) {
+  ::setenv("MSIM_TRACE", "/tmp/msim-env-trace.json", 1);
+  ::setenv("MSIM_METRICS", "1", 1);
+  init_from_env();
+  EXPECT_TRUE(tracing_enabled());
+  EXPECT_EQ(trace_path(), "/tmp/msim-env-trace.json");
+  EXPECT_TRUE(metrics_enabled());
+
+  reset_for_testing();
+  ::unsetenv("MSIM_TRACE");
+  ::setenv("MSIM_METRICS", "0", 1);  // explicit off
+  init_from_env();
+  EXPECT_FALSE(tracing_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  ::unsetenv("MSIM_METRICS");
+}
+
+TEST_F(ObsTest, RenderMetricsListsEveryMetric) {
+  Registry::instance().counter("test.obs.render.counter").add(12);
+  Registry::instance().gauge("test.obs.render.gauge").set(0.5);
+  Registry::instance().histogram("test.obs.render.hist").record(2.5);
+  const std::string table =
+      report::render_metrics(Registry::instance().snapshot());
+  EXPECT_NE(table.find("test.obs.render.counter"), std::string::npos);
+  EXPECT_NE(table.find("test.obs.render.gauge"), std::string::npos);
+  EXPECT_NE(table.find("test.obs.render.hist"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+}
+
+/// The acceptance test for the whole layer: a full (reduced) study built
+/// with tracing + metrics active produces bit-identical results and tables
+/// to one built with telemetry off — and the trace records every pipeline
+/// stage, per-run campaign spans, and the cache counters with miss reasons.
+TEST_F(ObsTest, StudyResultsAreByteIdenticalWithTelemetryOn) {
+  auto make_builder = [] {
+    pipeline::StudyBuilder builder;
+    builder
+        .targets(
+            {machine::find("ARL_Xeon"), machine::find("ARL_Opteron")})
+        .base(machine::find(machine::base_system_name()))
+        .suite({workload::find_test_case("RFCTH_Standard")});
+    return builder;
+  };
+  const fs::path cache_dir = fs::temp_directory_path() / "msim-obs-study";
+  fs::remove_all(cache_dir);
+  const fs::path trace_cold = scratch_file("study-cold.json");
+  const fs::path trace_warm = scratch_file("study-warm.json");
+
+  // Telemetry off: the baseline.
+  auto off_builder = make_builder();
+  const metrics::Study off_study = off_builder.build();
+  const auto off_predictions = off_study.evaluate(metrics::all_metrics());
+  const std::string off_table =
+      report::render_table4(off_study, off_predictions, true);
+
+  // Telemetry on, cold cache.
+  reset_for_testing();
+  enable_tracing(trace_cold.string());
+  enable_metrics();
+  auto cold_builder = make_builder();
+  cold_builder.cache(true).cache_dir(cache_dir.string());
+  const metrics::Study cold_study = cold_builder.build();
+  const auto cold_predictions =
+      cold_study.evaluate(metrics::all_metrics());
+  ASSERT_TRUE(write_trace());
+  const Snapshot cold_snapshot = Registry::instance().snapshot();
+
+  // Bitwise identity: telemetry must not perturb a single result.
+  ASSERT_EQ(cold_predictions.size(), off_predictions.size());
+  for (std::size_t i = 0; i < off_predictions.size(); ++i) {
+    EXPECT_EQ(cold_predictions[i].predicted_seconds,
+              off_predictions[i].predicted_seconds);
+    EXPECT_EQ(cold_predictions[i].actual_seconds,
+              off_predictions[i].actual_seconds);
+  }
+  EXPECT_EQ(report::render_table4(cold_study, cold_predictions, true),
+            off_table);
+
+  // The trace covers all four stages and the campaign runs.
+  const std::string cold_json = slurp(trace_cold);
+  EXPECT_TRUE(json_is_balanced(cold_json));
+  for (const char* stage :
+       {"stage:ground-truth", "stage:probes", "stage:traces",
+        "stage:assemble"}) {
+    EXPECT_NE(cold_json.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_GE(count_occurrences(cold_json, "\"name\":\"run\""), 6u)
+      << "expected one campaign span per (app, machine, nprocs)";
+  EXPECT_NE(cold_json.find("\"name\":\"probe-suite\""), std::string::npos);
+  EXPECT_NE(cold_json.find("\"name\":\"predict\""), std::string::npos);
+
+  // Cold cache: every lookup is a miss with reason "absent".
+  auto counter_value = [](const Snapshot& snap, const std::string& name) {
+    for (const auto& row : snap.counters) {
+      if (row.name == name) return row.value;
+    }
+    return std::uint64_t{0};
+  };
+  EXPECT_GT(counter_value(cold_snapshot, "cache.miss.absent"), 0u);
+  EXPECT_EQ(counter_value(cold_snapshot, "cache.hit"), 0u);
+  EXPECT_GT(counter_value(cold_snapshot, "cache.store.count"), 0u);
+  EXPECT_NE(cold_json.find("cache.miss.absent"), std::string::npos);
+
+  // Warm rebuild: hits, no new stores.
+  reset_for_testing();
+  enable_tracing(trace_warm.string());
+  auto warm_builder = make_builder();
+  warm_builder.cache(true).cache_dir(cache_dir.string());
+  const metrics::Study warm_study = warm_builder.build();
+  ASSERT_TRUE(write_trace());
+  const Snapshot warm_snapshot = Registry::instance().snapshot();
+  EXPECT_GT(counter_value(warm_snapshot, "cache.hit"), 0u);
+  EXPECT_EQ(counter_value(warm_snapshot, "cache.miss.absent"), 0u);
+  EXPECT_EQ(counter_value(warm_snapshot, "cache.store.count"), 0u);
+
+  // Warm results also identical to the baseline.
+  const auto warm_predictions =
+      warm_study.evaluate(metrics::all_metrics());
+  ASSERT_EQ(warm_predictions.size(), off_predictions.size());
+  for (std::size_t i = 0; i < off_predictions.size(); ++i) {
+    EXPECT_EQ(warm_predictions[i].predicted_seconds,
+              off_predictions[i].predicted_seconds);
+  }
+
+  fs::remove(trace_cold);
+  fs::remove(trace_warm);
+  fs::remove_all(cache_dir);
+}
+
+}  // namespace
+}  // namespace msim::obs

@@ -2,6 +2,7 @@
 // round-trips, cache-key sensitivity, and concurrent evaluation.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -45,6 +46,32 @@ TEST(Scheduler, EffectiveThreadsClampsToItems) {
   EXPECT_GE(effective_threads(0, 100), 1u);  // 0 = hardware concurrency
 }
 
+TEST(Scheduler, MsimThreadsEnvOverridesDefault) {
+  ::setenv("MSIM_THREADS", "3", 1);
+  EXPECT_EQ(env_threads(), 3u);
+  EXPECT_EQ(effective_threads(0, 100), 3u);
+  // An explicit thread count always beats the environment.
+  EXPECT_EQ(effective_threads(5, 100), 5u);
+  // Still clamped to the number of items.
+  EXPECT_EQ(effective_threads(0, 2), 2u);
+
+  // Malformed or out-of-range values are ignored (fall back to hardware
+  // concurrency).
+  ::setenv("MSIM_THREADS", "banana", 1);
+  EXPECT_EQ(env_threads(), 0u);
+  ::setenv("MSIM_THREADS", "3banana", 1);
+  EXPECT_EQ(env_threads(), 0u);
+  ::setenv("MSIM_THREADS", "0", 1);
+  EXPECT_EQ(env_threads(), 0u);
+  // Absurd values are capped, not honored.
+  ::setenv("MSIM_THREADS", "99999999", 1);
+  EXPECT_EQ(env_threads(), 1024u);
+
+  ::unsetenv("MSIM_THREADS");
+  EXPECT_EQ(env_threads(), 0u);
+  EXPECT_GE(effective_threads(0, 100), 1u);
+}
+
 TEST(Scheduler, RunIndexedCoversEveryItemOnce) {
   std::vector<int> hits(97, 0);
   run_indexed(hits.size(), 4,
@@ -60,6 +87,24 @@ TEST(Scheduler, RunIndexedPropagatesFirstException) {
                              }
                            }),
                std::runtime_error);
+}
+
+TEST(Scheduler, SerialExceptionStopsImmediately) {
+  // With one thread the items run in order and an exception propagates
+  // before any later item starts.
+  std::vector<int> hits(8, 0);
+  try {
+    run_indexed(hits.size(), 1, [&hits](std::size_t index) {
+      ++hits[index];
+      if (index == 3) throw std::runtime_error("stop at three");
+    });
+    FAIL() << "expected run_indexed to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "stop at three");
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i <= 3 ? 1 : 0) << "index " << i;
+  }
 }
 
 TEST(ObservationIo, RoundTripIsBitwise) {
@@ -285,6 +330,24 @@ TEST(ArtifactCache, StoreThenLoadRoundTrips) {
   const auto loaded = cache.load("a.txt");
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(*loaded, "payload\n");
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCache, StatsCountEntriesAndBytes) {
+  const ArtifactCache disabled;
+  EXPECT_EQ(disabled.stats().entries, 0u);
+  EXPECT_EQ(disabled.stats().bytes, 0u);
+
+  const fs::path dir = scratch_cache("artifact-stats");
+  const ArtifactCache cache(dir.string());
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  cache.store("a.txt", "12345");
+  cache.store("b.txt", "1234567890");
+  cache.store("c.txt", "");
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 15u);
   fs::remove_all(dir);
 }
 

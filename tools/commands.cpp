@@ -56,7 +56,7 @@ void write_file(const std::string& path, const std::string& content) {
     return;
   }
   out << content;
-  std::printf("wrote %s\n", path.c_str());
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 int usage_error(const char* message) {
@@ -73,7 +73,8 @@ const metrics::Study& cached_study() {
     pipeline::StudyBuilder builder;
     builder.cache(true);
     metrics::Study built = builder.build();
-    std::printf("(%s)\n", builder.stats().summary().c_str());
+    // Diagnostics go to stderr; stdout carries only command output.
+    std::fprintf(stderr, "(%s)\n", builder.stats().summary().c_str());
     return built;
   }();
   return study;
@@ -114,6 +115,10 @@ void print_usage() {
       "  predict-custom <app-file> <machine> [--metric M]\n"
       "                                   trace + predict a user-defined "
       "app\n\n"
+      "telemetry (any command): --trace[=FILE] write a Chrome trace "
+      "(default trace.json),\n"
+      "  --metrics print a metrics table to stderr at exit; env "
+      "MSIM_TRACE=FILE / MSIM_METRICS=1\n\n"
       "apps: AVUS_Standard AVUS_Large HYCOM_Standard OVERFLOW2_Standard "
       "RFCTH_Standard\n");
 }

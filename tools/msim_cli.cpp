@@ -7,9 +7,17 @@
 #include <string>
 
 #include "commands.hpp"
+#include "obs/telemetry.hpp"
+#include "report/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace msim::cli;
+
+  // Telemetry is opt-in (MSIM_TRACE / MSIM_METRICS env or --trace /
+  // --metrics anywhere on the command line) and never touches stdout.
+  msim::obs::set_metrics_renderer(&msim::report::render_metrics);
+  msim::obs::init_from_env();
+  msim::obs::install_exit_writer();
 
   const std::map<std::string, std::function<int(const Args&)>> commands = {
       {"machines", cmd_machines},
@@ -40,7 +48,10 @@ int main(int argc, char** argv) {
   }
 
   Args args;
-  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  for (int i = 2; i < argc; ++i) {
+    if (msim::obs::handle_telemetry_flag(argv[i])) continue;
+    args.emplace_back(argv[i]);
+  }
   try {
     return it->second(args);
   } catch (const std::exception& error) {
