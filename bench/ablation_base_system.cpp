@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     builder.targets(std::move(targets))
         .base(machine::find(base_name))
         .suite(workload::ti05_suite())
-        .cache(true);
+        .cache(true)
+        .cache_dir(bench::cache_dir());
     const auto study = builder.build();
     const auto predictions = study.evaluate(
         {metrics::Metric::S1_Hpl, metrics::Metric::S3_Gups,

@@ -1,7 +1,12 @@
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "obs/telemetry.hpp"
 #include "pipeline/study_builder.hpp"
@@ -9,13 +14,50 @@
 
 namespace msim::bench {
 
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Cache root for this bench process. Now that cache v2 evicts under a
+/// size cap, two benches sharing one directory could evict each other's
+/// entries mid-run, so the default is a per-run scratch directory
+/// (removed at exit). Setting MSIM_CACHE_DIR opts into a shared
+/// directory — the cross-bench warm-reuse mode; safe because loads and
+/// stores are atomic and checksummed, just no longer the default.
+std::string resolve_cache_dir() {
+  if (const char* env = std::getenv("MSIM_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return std::string(env);  // opt-in shared directory
+  }
+  std::error_code ec;
+  fs::path scratch = fs::temp_directory_path(ec) /
+                     ("msim-bench-cache-" + std::to_string(::getpid()));
+  if (ec) scratch = ".msim-cache-" + std::to_string(::getpid());
+  static std::string cleanup_path;
+  cleanup_path = scratch.string();
+  std::atexit([] {
+    std::error_code ignored;
+    fs::remove_all(cleanup_path, ignored);
+  });
+  return cleanup_path;
+}
+
+}  // namespace
+
+const std::string& cache_dir() {
+  static const std::string dir = resolve_cache_dir();
+  return dir;
+}
+
 const metrics::Study& paper_study() {
-  // Built through the staged pipeline with the artifact cache on: the
-  // first bench in a tree pays for the campaign/probes/traces once, every
-  // later bench (or rerun) loads the cached artifacts instead.
+  // Built through the staged pipeline with the artifact cache on. With a
+  // shared MSIM_CACHE_DIR the first bench in a tree pays for the
+  // campaign/probes/traces once and every later bench (or rerun) loads
+  // the cached artifacts; by default the cache is per-run scratch (see
+  // cache_dir above), which still dedupes within one process.
   static const metrics::Study study = [] {
     pipeline::StudyBuilder builder;
-    builder.cache(true);
+    builder.cache(true).cache_dir(cache_dir());
     metrics::Study built = builder.build();
     // Stats are diagnostics (timings vary run to run): stderr, so stdout
     // stays a clean, diffable table stream.

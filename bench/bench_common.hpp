@@ -18,6 +18,13 @@ namespace msim::bench {
 /// suite, reference executor options).
 [[nodiscard]] const metrics::Study& paper_study();
 
+/// The cache directory benches build in: `MSIM_CACHE_DIR` when set (the
+/// opt-in shared directory, what CI uses for warm cross-bench runs), else
+/// a per-run scratch directory removed at process exit — with cache v2's
+/// LRU eviction, concurrent benches sharing a directory by accident could
+/// evict each other's working set mid-run.
+[[nodiscard]] const std::string& cache_dir();
+
 /// Print the standard experiment banner (stdout) and activate telemetry
 /// from the environment (MSIM_TRACE / MSIM_METRICS).
 void banner(const std::string& experiment, const std::string& paper_artifact);

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   pipeline::StageStats probe_stats{.name = "proposed-probes"};
   auto probe_map = pipeline::run_probe_stage(
       proposed, 0,
-      pipeline::ArtifactCache(pipeline::ArtifactCache::default_dir()),
+      pipeline::ArtifactCache(bench::cache_dir()),
       &probe_stats);
   std::vector<probes::ProbeSet> proposed_probes;
   for (const auto& machine : proposed) {

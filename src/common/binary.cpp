@@ -1,0 +1,119 @@
+#include "common/binary.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/hash.hpp"
+
+namespace msim {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'B', 'F'};
+constexpr std::uint32_t kFrameVersion = 1;
+// magic + version + kind + payload length + payload checksum.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+
+}  // namespace
+
+void BinaryWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xffu));
+  }
+}
+
+void BinaryWriter::f64(double value) {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::str(const std::string& value) {
+  u64(value.size());
+  out_.append(value);
+}
+
+std::uint8_t BinaryReader::u8() {
+  MSIM_REQUIRE(remaining() >= 1, "binary payload truncated");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t BinaryReader::u32() {
+  MSIM_REQUIRE(remaining() >= 4, "binary payload truncated");
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data_[pos_++]))
+             << shift;
+  }
+  return value;
+}
+
+std::uint64_t BinaryReader::u64() {
+  MSIM_REQUIRE(remaining() >= 8, "binary payload truncated");
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_++]))
+             << shift;
+  }
+  return value;
+}
+
+double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BinaryReader::str() {
+  const std::uint64_t size = u64();
+  MSIM_REQUIRE(remaining() >= size, "binary payload truncated");
+  std::string value = data_.substr(pos_, size);
+  pos_ += size;
+  return value;
+}
+
+std::string frame_payload(ArtifactKind kind, const std::string& payload) {
+  std::string framed;
+  framed.append(kMagic, sizeof(kMagic));
+  BinaryWriter header;
+  header.u32(kFrameVersion);
+  header.u32(static_cast<std::uint32_t>(kind));
+  header.u64(payload.size());
+  header.u64(Fnv1a{}.update(payload).digest());
+  framed.append(header.bytes());
+  framed.append(payload);
+  return framed;
+}
+
+std::string unframe_payload(ArtifactKind kind, const std::string& framed) {
+  MSIM_REQUIRE(framed.size() >= kHeaderBytes,
+               "framed artifact truncated before header end");
+  MSIM_REQUIRE(is_framed(framed), "framed artifact has wrong magic");
+  BinaryReader reader(framed);
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)reader.u8();
+  const std::uint32_t version = reader.u32();
+  MSIM_REQUIRE(version == kFrameVersion,
+               "unsupported frame version " + std::to_string(version));
+  const std::uint32_t framed_kind = reader.u32();
+  MSIM_REQUIRE(framed_kind == static_cast<std::uint32_t>(kind),
+               "framed artifact has kind " + std::to_string(framed_kind) +
+                   ", expected " +
+                   std::to_string(static_cast<std::uint32_t>(kind)));
+  const std::uint64_t payload_bytes = reader.u64();
+  const std::uint64_t checksum = reader.u64();
+  MSIM_REQUIRE(reader.remaining() == payload_bytes,
+               "framed artifact length mismatch (truncated or padded)");
+  std::string payload = framed.substr(kHeaderBytes);
+  MSIM_REQUIRE(Fnv1a{}.update(payload).digest() == checksum,
+               "framed artifact checksum mismatch (corrupt payload)");
+  return payload;
+}
+
+bool is_framed(const std::string& data) {
+  return data.size() >= sizeof(kMagic) &&
+         std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace msim

@@ -1,0 +1,92 @@
+// Little-endian binary encoding and the framed-artifact envelope.
+//
+// The artifact cache stores its large curve artifacts (probe sets with
+// four MAPS bandwidth sweeps) in a compact binary form instead of the
+// line-oriented text format. Every binary artifact is wrapped in one
+// self-verifying frame:
+//
+//   offset  size  field
+//   0       4     magic "MSBF" (msim binary frame)
+//   4       u32   frame version (currently 1)
+//   8       u32   artifact kind (ArtifactKind)
+//   12      u64   payload length in bytes
+//   20      u64   FNV-1a digest of the payload bytes
+//   28      ...   payload (little-endian fields, layout owned by the kind)
+//
+// The frame is what makes truncation and bit-flips detectable *before*
+// any payload field is interpreted: a reader checks magic, version, kind,
+// length and checksum, and throws precondition_error on any mismatch —
+// which the cache's parse layer turns into a miss, never wrong data.
+// Multi-byte integers are assembled byte-by-byte (shift/or), so the
+// encoding is identical on any host endianness; doubles travel as their
+// IEEE-754 bit patterns, preserving bitwise round-trip identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace msim {
+
+/// What a framed payload contains (frame field 3). Values are wire format:
+/// never renumber.
+enum class ArtifactKind : std::uint32_t {
+  ProbeSet = 1,
+};
+
+/// Appends little-endian fields to a growing byte string.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void f64(double value);  ///< IEEE-754 bit pattern, bitwise round-trip
+  /// Length-prefixed (u64) byte string.
+  void str(const std::string& value);
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Consumes little-endian fields from a byte string; every read is
+/// bounds-checked and throws precondition_error on underrun.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Call at the end of a decode: trailing bytes mean a layout mismatch.
+  void expect_done() const {
+    MSIM_REQUIRE(remaining() == 0, "trailing bytes after binary payload");
+  }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+/// Wrap a payload in the self-verifying frame described above.
+[[nodiscard]] std::string frame_payload(ArtifactKind kind,
+                                        const std::string& payload);
+
+/// Unwrap a frame, validating magic, version, kind, length and checksum.
+/// Throws precondition_error on any mismatch (truncation, corruption,
+/// wrong kind).
+[[nodiscard]] std::string unframe_payload(ArtifactKind kind,
+                                          const std::string& framed);
+
+/// Cheap sniff: does this byte string start with the frame magic? Used for
+/// the transparent fallback from binary artifacts to v1 text artifacts.
+[[nodiscard]] bool is_framed(const std::string& data);
+
+}  // namespace msim

@@ -63,6 +63,9 @@ struct StudyOptions {
   bool cache_artifacts = false;
   /// Cache root; empty = MSIM_CACHE_DIR or ".msim-cache".
   std::string cache_dir{};
+  /// Cache size cap in bytes, enforced by LRU eviction at store time;
+  /// 0 = MSIM_CACHE_MAX_BYTES or unlimited.
+  std::uint64_t cache_max_bytes = 0;
 };
 
 /// Everything a Study holds, produced stage by stage (see src/pipeline).

@@ -1,14 +1,24 @@
 #include "pipeline/artifact_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <system_error>
-#include <unistd.h>
+#include <vector>
 
+#include "common/hash.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 
@@ -20,12 +30,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+constexpr const char* kIndexName = "index.msim";
+constexpr const char* kLockName = "index.lock";
+
 /// Handles resolved once; updates are relaxed atomic adds after that.
 struct CacheMetrics {
   obs::Counter& miss_absent =
       obs::Registry::instance().counter("cache.miss.absent");
   obs::Counter& miss_unreadable =
       obs::Registry::instance().counter("cache.miss.unreadable");
+  obs::Counter& miss_corrupt =
+      obs::Registry::instance().counter("cache.miss.corrupt");
   obs::Counter& loads = obs::Registry::instance().counter("cache.load.count");
   obs::Counter& load_bytes =
       obs::Registry::instance().counter("cache.load.bytes");
@@ -33,6 +48,12 @@ struct CacheMetrics {
       obs::Registry::instance().counter("cache.store.count");
   obs::Counter& store_bytes =
       obs::Registry::instance().counter("cache.store.bytes");
+  obs::Counter& evict_count =
+      obs::Registry::instance().counter("cache.evict.count");
+  obs::Counter& evict_bytes =
+      obs::Registry::instance().counter("cache.evict.bytes");
+  obs::Counter& index_rebuilds =
+      obs::Registry::instance().counter("cache.index.rebuild");
   obs::Histogram& load_seconds =
       obs::Registry::instance().histogram("cache.load.seconds");
   obs::Histogram& store_seconds =
@@ -48,10 +69,299 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Payload files are everything except the index, its lock, and in-flight
+/// staging files (`<name>.tmp.<n>.<pid>`).
+bool is_payload_name(const std::string& name) {
+  return name != kIndexName && name != kLockName &&
+         name.find(".tmp.") == std::string::npos;
+}
+
+std::int64_t file_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             fs::file_time_type::clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t mtime_ns(const fs::path& path) {
+  std::error_code ec;
+  const fs::file_time_type stamp = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             stamp.time_since_epoch())
+      .count();
+}
+
+/// Best-effort mtime refresh: loads "touch" their entry so file mtimes
+/// stay a cross-process LRU ordering that index rebuilds recover for free.
+void touch_now(const fs::path& path) {
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+/// Advisory exclusive lock on `<dir>/index.lock`, held for the duration of
+/// an index read-merge-write. flock() locks the open file description, so
+/// it excludes other threads' FileLocks in this process *and* other
+/// processes sharing the directory. Best effort: if the lock file cannot
+/// be opened the update proceeds unlocked (rename keeps it crash-safe,
+/// merely last-writer-wins).
+class FileLock {
+ public:
+  explicit FileLock(const fs::path& dir) {
+    fd_ = ::open((dir / kLockName).c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                 0644);
+    if (fd_ >= 0) {
+      while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+      }
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+using IndexMap = std::map<std::string, ArtifactCache::IndexEntry>;
+
+std::string index_to_text(const IndexMap& index) {
+  std::ostringstream os;
+  os << "# msim cache index v2\n";
+  os << "entries = " << index.size() << '\n';
+  std::size_t i = 0;
+  for (const auto& [name, entry] : index) {
+    const std::string prefix = "entry." + std::to_string(i++);
+    os << prefix << ".name = " << name << '\n';
+    os << prefix << ".bytes = " << entry.bytes << '\n';
+    os << prefix << ".checksum = " << hex_digest(entry.checksum) << '\n';
+    os << prefix << ".access_ns = " << entry.access_ns << '\n';
+  }
+  return os.str();
+}
+
+enum class IndexRead { Ok, Missing, Garbled };
+
+std::optional<std::string> take_pair(
+    std::map<std::string, std::string>& pairs, const std::string& key) {
+  const auto it = pairs.find(key);
+  if (it == pairs.end()) return std::nullopt;
+  std::string value = it->second;
+  pairs.erase(it);
+  return value;
+}
+
+/// Strict parse; any anomaly (bad count, missing key, malformed number,
+/// leftovers) reports Garbled so the caller rebuilds from the directory.
+IndexRead read_index_file(const fs::path& dir, IndexMap& out) {
+  out.clear();
+  std::ifstream in(dir / kIndexName, std::ios::binary);
+  if (!in) return IndexRead::Missing;
+  std::map<std::string, std::string> pairs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return IndexRead::Garbled;
+    auto trim = [](std::string text) {
+      const auto first = text.find_first_not_of(" \t\r");
+      if (first == std::string::npos) return std::string{};
+      const auto last = text.find_last_not_of(" \t\r");
+      return text.substr(first, last - first + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    if (!pairs.emplace(key, trim(line.substr(eq + 1))).second) {
+      return IndexRead::Garbled;
+    }
+  }
+  if (!in.eof()) return IndexRead::Garbled;
+
+  auto parse_u64 = [](const std::string& value, int base,
+                      std::uint64_t& parsed) {
+    try {
+      std::size_t used = 0;
+      parsed = std::stoull(value, &used, base);
+      return used == value.size() && !value.empty() && value[0] != '-';
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  auto parse_i64 = [](const std::string& value, std::int64_t& parsed) {
+    try {
+      std::size_t used = 0;
+      parsed = std::stoll(value, &used);
+      return used == value.size() && !value.empty();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  const auto count_text = take_pair(pairs, "entries");
+  std::uint64_t count = 0;
+  if (!count_text || !parse_u64(*count_text, 10, count)) {
+    return IndexRead::Garbled;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string prefix = "entry." + std::to_string(i);
+    const auto name = take_pair(pairs, prefix + ".name");
+    const auto bytes = take_pair(pairs, prefix + ".bytes");
+    const auto checksum = take_pair(pairs, prefix + ".checksum");
+    const auto access = take_pair(pairs, prefix + ".access_ns");
+    if (!name || !bytes || !checksum || !access ||
+        !is_payload_name(*name)) {
+      return IndexRead::Garbled;
+    }
+    ArtifactCache::IndexEntry entry;
+    entry.name = *name;
+    if (!parse_u64(*bytes, 10, entry.bytes) ||
+        !parse_u64(*checksum, 16, entry.checksum) ||
+        !parse_i64(*access, entry.access_ns)) {
+      return IndexRead::Garbled;
+    }
+    if (!out.emplace(entry.name, entry).second) return IndexRead::Garbled;
+  }
+  if (!pairs.empty()) return IndexRead::Garbled;
+  return IndexRead::Ok;
+}
+
+/// The directory is the source of truth: index every payload file with
+/// its size, content checksum and mtime stamp.
+IndexMap scan_directory(const fs::path& dir) {
+  IndexMap scanned;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return scanned;
+  for (const auto& file : it) {
+    if (!file.is_regular_file(ec) || ec) continue;
+    const std::string name = file.path().filename().string();
+    if (!is_payload_name(name)) continue;
+    std::ifstream in(file.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) continue;
+    const std::string content = buffer.str();
+    ArtifactCache::IndexEntry entry;
+    entry.name = name;
+    entry.bytes = content.size();
+    entry.checksum = Fnv1a{}.update(content).digest();
+    entry.access_ns = mtime_ns(file.path());
+    scanned.emplace(name, entry);
+  }
+  return scanned;
+}
+
+/// Crash-safe index publish: stage to a unique temp file, rename over.
+void write_index_file(const fs::path& dir, const IndexMap& index) {
+  static std::atomic<unsigned> counter{0};
+  std::error_code ec;
+  const fs::path temp =
+      dir / (std::string(kIndexName) + ".tmp." +
+             std::to_string(
+                 static_cast<unsigned long>(counter.fetch_add(1))) +
+             "." + std::to_string(::getpid()));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << index_to_text(index);
+    if (!out.good()) {
+      out.close();
+      fs::remove(temp, ec);
+      return;
+    }
+  }
+  fs::rename(temp, dir / kIndexName, ec);
+  if (ec) fs::remove(temp, ec);
+}
+
 }  // namespace
 
-ArtifactCache::ArtifactCache(std::string dir)
-    : enabled_(true), dir_(dir.empty() ? default_dir() : std::move(dir)) {}
+struct ArtifactCache::State {
+  std::string dir;
+  std::uint64_t max_bytes = 0;
+
+  // In-memory view of the index. `loaded` flips once the on-disk index
+  // has been read (or rebuilt); until then the map is empty.
+  mutable std::mutex mutex;
+  mutable IndexMap index;
+  mutable bool loaded = false;
+  mutable std::atomic<std::uint64_t> evictions{0};
+
+  /// Read-or-heal the on-disk index (caller holds `mutex`). A missing
+  /// index over a non-empty directory, or a garbled one, is rebuilt from
+  /// a directory scan and republished — self-healing, never fatal.
+  void ensure_loaded() const {
+    if (loaded) return;
+    const fs::path root(dir);
+    FileLock lock(root);
+    IndexMap disk;
+    const IndexRead result = read_index_file(root, disk);
+    if (result == IndexRead::Ok) {
+      index = std::move(disk);
+    } else {
+      IndexMap scanned = scan_directory(root);
+      // A fresh (or still absent) cache directory with no index is the
+      // normal cold start, not a fault: nothing to rebuild.
+      if (result == IndexRead::Garbled || !scanned.empty()) {
+        write_index_file(root, scanned);
+        metrics().index_rebuilds.add();
+      }
+      index = std::move(scanned);
+    }
+    loaded = true;
+  }
+
+  /// Evict least-recently-used rows until `merged` fits the cap. `keep`
+  /// (the entry just stored) is never evicted by its own store. Caller
+  /// holds `mutex` and the FileLock.
+  void evict_over_cap(IndexMap& merged, const std::string& keep) const {
+    std::uint64_t total = 0;
+    for (const auto& [name, entry] : merged) total += entry.bytes;
+    if (total <= max_bytes) return;
+
+    std::vector<const IndexEntry*> order;
+    order.reserve(merged.size());
+    for (const auto& [name, entry] : merged) order.push_back(&entry);
+    std::sort(order.begin(), order.end(),
+              [](const IndexEntry* a, const IndexEntry* b) {
+                return a->access_ns != b->access_ns
+                           ? a->access_ns < b->access_ns
+                           : a->name < b->name;
+              });
+
+    std::vector<std::string> dropped;
+    for (const IndexEntry* victim : order) {
+      if (total <= max_bytes) break;
+      if (victim->name == keep) continue;
+      std::error_code ec;
+      const bool removed =
+          fs::remove(fs::path(dir) / victim->name, ec) && !ec;
+      if (removed) {
+        metrics().evict_count.add();
+        metrics().evict_bytes.add(victim->bytes);
+        evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Even when the file was already gone the stale row leaves the
+      // index.
+      total -= victim->bytes;
+      dropped.push_back(victim->name);
+    }
+    for (const auto& name : dropped) merged.erase(name);
+  }
+};
+
+ArtifactCache::ArtifactCache(std::string dir, std::uint64_t max_bytes)
+    : state_(std::make_shared<State>()) {
+  state_->dir = dir.empty() ? default_dir() : std::move(dir);
+  state_->max_bytes = max_bytes > 0 ? max_bytes : default_max_bytes();
+}
 
 std::string ArtifactCache::default_dir() {
   if (const char* env = std::getenv("MSIM_CACHE_DIR");
@@ -61,15 +371,46 @@ std::string ArtifactCache::default_dir() {
   return ".msim-cache";
 }
 
+std::uint64_t ArtifactCache::default_max_bytes() {
+  const char* env = std::getenv("MSIM_CACHE_MAX_BYTES");
+  if (env == nullptr || env[0] == '\0' || env[0] == '-') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || errno != 0) return 0;
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': multiplier = 1ull << 10; break;
+      case 'm': multiplier = 1ull << 20; break;
+      case 'g': multiplier = 1ull << 30; break;
+      default: return 0;
+    }
+    if (end[1] != '\0') return 0;
+  }
+  return static_cast<std::uint64_t>(value) * multiplier;
+}
+
+const std::string& ArtifactCache::dir() const {
+  static const std::string empty;
+  return state_ ? state_->dir : empty;
+}
+
+std::uint64_t ArtifactCache::max_bytes() const {
+  return state_ ? state_->max_bytes : 0;
+}
+
 std::optional<std::string> ArtifactCache::load(
     const std::string& name) const {
-  if (!enabled_) return std::nullopt;
+  if (!state_) return std::nullopt;
+  const State& state = *state_;
   // Latency is only measured while telemetry output is active; the
   // counters below are always-on relaxed atomics.
   const bool timed = obs::collecting();
   const auto start = timed ? Clock::now() : Clock::time_point{};
 
-  std::ifstream in(fs::path(dir_) / name, std::ios::binary);
+  const fs::path path = fs::path(state.dir) / name;
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     metrics().miss_absent.add();
     return std::nullopt;
@@ -81,6 +422,41 @@ std::optional<std::string> ArtifactCache::load(
     return std::nullopt;
   }
   std::string content = buffer.str();
+  const std::uint64_t checksum = Fnv1a{}.update(content).digest();
+
+  bool corrupt = false;
+  {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    state.ensure_loaded();
+    const auto it = state.index.find(name);
+    if (it != state.index.end()) {
+      if (it->second.bytes != content.size() ||
+          it->second.checksum != checksum) {
+        // The payload no longer matches what was stored: a truncated or
+        // bit-flipped entry. Drop it — a miss recomputes; wrong data is
+        // never returned.
+        state.index.erase(it);
+        corrupt = true;
+      } else {
+        it->second.access_ns = file_now_ns();
+      }
+    } else {
+      // Stored by another process since the index was read: adopt it.
+      IndexEntry entry;
+      entry.name = name;
+      entry.bytes = content.size();
+      entry.checksum = checksum;
+      entry.access_ns = file_now_ns();
+      state.index.emplace(name, entry);
+    }
+  }
+  if (corrupt) {
+    metrics().miss_corrupt.add();
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+  touch_now(path);
   metrics().loads.add();
   metrics().load_bytes.add(content.size());
   if (timed) metrics().load_seconds.record(seconds_since(start));
@@ -89,23 +465,24 @@ std::optional<std::string> ArtifactCache::load(
 
 void ArtifactCache::store(const std::string& name,
                           const std::string& content) const {
-  if (!enabled_) return;
+  if (!state_) return;
+  const State& state = *state_;
   const bool timed = obs::collecting();
   const auto start = timed ? Clock::now() : Clock::time_point{};
 
   std::error_code ec;
-  fs::create_directories(dir_, ec);
+  fs::create_directories(state.dir, ec);
   if (ec) return;
 
   // Unique temp name per process/thread so concurrent stores never share a
   // staging file; rename() then publishes atomically.
   static std::atomic<unsigned> counter{0};
-  const fs::path target = fs::path(dir_) / name;
+  const fs::path target = fs::path(state.dir) / name;
   const fs::path temp =
-      fs::path(dir_) / (name + ".tmp." +
-                        std::to_string(static_cast<unsigned long>(
-                            counter.fetch_add(1))) +
-                        "." + std::to_string(::getpid()));
+      fs::path(state.dir) / (name + ".tmp." +
+                             std::to_string(static_cast<unsigned long>(
+                                 counter.fetch_add(1))) +
+                             "." + std::to_string(::getpid()));
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     if (!out) return;
@@ -121,6 +498,42 @@ void ArtifactCache::store(const std::string& name,
     fs::remove(temp, ec);
     return;
   }
+
+  // Index bookkeeping: read-merge-write under the cross-process lock so
+  // concurrent writers never erase each other's rows, then enforce the
+  // size cap by LRU eviction.
+  {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    FileLock lock(fs::path(state.dir));
+    IndexMap merged;
+    if (read_index_file(fs::path(state.dir), merged) != IndexRead::Ok) {
+      merged = scan_directory(fs::path(state.dir));
+      metrics().index_rebuilds.add();
+    }
+    for (const auto& [known_name, known] : state.index) {
+      const auto it = merged.find(known_name);
+      if (it == merged.end()) {
+        // Known to us but not on disk's index: keep the row only if the
+        // payload still exists (it may have been evicted elsewhere).
+        if (fs::exists(fs::path(state.dir) / known_name, ec) && !ec) {
+          merged.emplace(known_name, known);
+        }
+      } else if (known.access_ns > it->second.access_ns) {
+        it->second.access_ns = known.access_ns;
+      }
+    }
+    IndexEntry entry;
+    entry.name = name;
+    entry.bytes = content.size();
+    entry.checksum = Fnv1a{}.update(content).digest();
+    entry.access_ns = mtime_ns(target);
+    merged[name] = entry;
+    if (state.max_bytes > 0) state.evict_over_cap(merged, name);
+    write_index_file(fs::path(state.dir), merged);
+    state.index = std::move(merged);
+    state.loaded = true;
+  }
+
   metrics().stores.add();
   metrics().store_bytes.add(content.size());
   if (timed) metrics().store_seconds.record(seconds_since(start));
@@ -128,22 +541,66 @@ void ArtifactCache::store(const std::string& name,
 
 ArtifactCache::Stats ArtifactCache::stats() const {
   Stats totals;
-  if (!enabled_) return totals;
+  if (!state_) return totals;
+  const State& state = *state_;
+  totals.max_bytes = state.max_bytes;
+  totals.evictions = state.evictions.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(state.mutex);
+  state.ensure_loaded();
   std::error_code ec;
-  fs::directory_iterator it(dir_, ec);
-  if (ec) return totals;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file(ec) || ec) continue;
-    // Skip in-flight staging files (`<name>.tmp.<n>.<pid>`).
-    if (entry.path().filename().string().find(".tmp.") !=
-        std::string::npos) {
-      continue;
-    }
+  for (const auto& [name, entry] : state.index) {
+    if (!fs::exists(fs::path(state.dir) / name, ec) || ec) continue;
     ++totals.entries;
-    const auto size = entry.file_size(ec);
-    if (!ec) totals.bytes += size;
+    totals.bytes += entry.bytes;
   }
   return totals;
+}
+
+std::vector<ArtifactCache::IndexEntry> ArtifactCache::index_entries()
+    const {
+  std::vector<IndexEntry> entries;
+  if (!state_) return entries;
+  const State& state = *state_;
+  std::lock_guard<std::mutex> guard(state.mutex);
+  state.ensure_loaded();
+  entries.reserve(state.index.size());
+  for (const auto& [name, entry] : state.index) entries.push_back(entry);
+  return entries;
+}
+
+std::size_t ArtifactCache::rebuild_index() const {
+  if (!state_) return 0;
+  const State& state = *state_;
+  std::lock_guard<std::mutex> guard(state.mutex);
+  const fs::path dir(state.dir);
+  FileLock lock(dir);
+  IndexMap scanned = scan_directory(dir);
+  write_index_file(dir, scanned);
+  metrics().index_rebuilds.add();
+  state.index = std::move(scanned);
+  state.loaded = true;
+  return state.index.size();
+}
+
+bool ArtifactCache::index_consistent() const {
+  if (!state_) return true;
+  const State& state = *state_;
+  std::lock_guard<std::mutex> guard(state.mutex);
+  const fs::path dir(state.dir);
+  FileLock lock(dir);
+  IndexMap disk;
+  if (read_index_file(dir, disk) != IndexRead::Ok) return false;
+  const IndexMap actual = scan_directory(dir);
+  if (disk.size() != actual.size()) return false;
+  for (const auto& [name, entry] : disk) {
+    const auto it = actual.find(name);
+    if (it == actual.end()) return false;
+    if (it->second.bytes != entry.bytes ||
+        it->second.checksum != entry.checksum) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace msim::pipeline

@@ -1,28 +1,53 @@
-// Content-keyed on-disk artifact cache for pipeline stage outputs.
+// Content-keyed on-disk artifact cache for pipeline stage outputs — v2:
+// an indexed, size-capped, self-healing LRU store.
 //
-// Each cached artifact is one text file (the existing archive formats:
-// probe sets, application signatures, observation sets) named by the
-// FNV-1a digest of exactly the inputs that produced it. The cache is a
-// flat directory — `MSIM_CACHE_DIR` or `.msim-cache` under the working
-// directory — shared by every bench, tool and test in the tree, so the
-// second process to need an artifact loads it instead of recomputing.
+// Each cached artifact is one file (text archives for observation sets and
+// signatures, framed binary for probe sets — see common/binary.hpp) named
+// by the FNV-1a digest of exactly the inputs that produced it. The cache
+// is one directory — `MSIM_CACHE_DIR` or `.msim-cache` under the working
+// directory — shared by every bench, tool and test that opts in.
 //
-// Concurrency: writers stage into a unique temp file and rename() into
-// place (atomic on POSIX), so concurrent builders race benignly — both
-// compute, one rename wins, contents are identical by construction.
-// Unreadable or malformed entries are treated as misses and overwritten.
+// On top of the v1 flat directory, v2 maintains a persistent index file
+// (`index.msim`: entry name, byte size, last-access stamp, payload
+// checksum) written with the same temp-file+rename discipline as the
+// artifacts themselves, so a crash at any instant leaves either the old or
+// the new index, never a torn one. The index buys three things:
 //
-// Observability: loads and stores feed the obs registry — `cache.load.*`
-// and `cache.store.*` counters plus latency histograms, with misses split
-// by reason (`cache.miss.absent` = no such entry, `cache.miss.unreadable`
-// = present but the read failed; the pipeline's parse layer adds
-// `cache.miss.malformed` for entries that load but fail to parse, and
-// `cache.hit` for entries that survive parsing).
+//   eviction  — a configurable size cap (`MSIM_CACHE_MAX_BYTES` or the
+//               StudyBuilder::cache_max_bytes option; 0 = unlimited)
+//               enforced at store time by least-recently-used eviction
+//               (stamps follow file mtimes, which loads refresh);
+//   integrity — loads verify the payload checksum recorded at store time,
+//               so a bit-flipped or truncated entry degrades to a miss
+//               (`cache.miss.corrupt`) and is deleted, never returned;
+//   cheap stats — entry/byte totals without a full directory walk.
+//
+// The directory stays the source of truth: a missing, stale or garbled
+// index is rebuilt from a directory scan (`cache.index.rebuild`), and an
+// artifact present on disk but absent from the index is adopted on first
+// load. Deleting the index — or the whole directory — is always safe.
+//
+// Concurrency: payload writers stage into a unique temp file and rename()
+// into place (atomic on POSIX), so readers never observe partial payloads.
+// Index updates (store bookkeeping, eviction, rebuild) additionally hold
+// an advisory `flock` on `index.lock`, which serializes them across
+// threads and across processes sharing the directory; each update
+// re-reads the on-disk index and merges before writing, so concurrent
+// writers do not erase each other's entries.
+//
+// Observability: `cache.load.*` / `cache.store.*` counters plus latency
+// histograms; misses split by reason (`cache.miss.absent`,
+// `cache.miss.unreadable`, `cache.miss.corrupt` for checksum failures;
+// the pipeline's parse layer adds `cache.miss.malformed` and `cache.hit`);
+// `cache.evict.{count,bytes}` and `cache.index.rebuild` for the v2
+// machinery.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace msim::pipeline {
 
@@ -32,34 +57,73 @@ class ArtifactCache {
   ArtifactCache() = default;
 
   /// Enabled cache rooted at `dir`; empty uses default_dir(). The
-  /// directory is created on first store.
-  explicit ArtifactCache(std::string dir);
+  /// directory is created on first store. `max_bytes` caps the total
+  /// payload bytes kept (LRU-evicted at store time); 0 defers to
+  /// default_max_bytes().
+  explicit ArtifactCache(std::string dir, std::uint64_t max_bytes = 0);
 
   /// `MSIM_CACHE_DIR` if set, else ".msim-cache" (working directory).
   [[nodiscard]] static std::string default_dir();
 
-  [[nodiscard]] bool enabled() const { return enabled_; }
-  [[nodiscard]] const std::string& dir() const { return dir_; }
+  /// `MSIM_CACHE_MAX_BYTES` if set to a positive integer (optional
+  /// k/m/g suffix, powers of 1024), else 0 = unlimited.
+  [[nodiscard]] static std::uint64_t default_max_bytes();
 
-  /// Artifact contents, or nullopt when disabled/absent/unreadable.
+  [[nodiscard]] bool enabled() const { return state_ != nullptr; }
+  [[nodiscard]] const std::string& dir() const;
+  [[nodiscard]] std::uint64_t max_bytes() const;
+
+  /// Artifact contents, or nullopt when disabled/absent/unreadable/
+  /// corrupt. A checksum mismatch against the index deletes the entry
+  /// (it will be recomputed) — wrong data is never returned.
   [[nodiscard]] std::optional<std::string> load(
       const std::string& name) const;
 
   /// Best-effort atomic store; failures are silent (the cache is an
-  /// optimization, never a correctness dependency).
+  /// optimization, never a correctness dependency). Updates the index
+  /// and evicts least-recently-used entries while the cap is exceeded
+  /// (the entry just stored is never evicted by its own store).
   void store(const std::string& name, const std::string& content) const;
 
-  /// Cheap directory totals (staging temp files excluded). All zeros when
-  /// the cache is disabled or the directory does not exist yet.
+  /// Totals from the index (payload entries only; the index and lock
+  /// files don't count). All zeros when the cache is disabled or the
+  /// directory does not exist yet.
   struct Stats {
     std::size_t entries = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t max_bytes = 0;  ///< configured cap, 0 = unlimited
+    std::uint64_t evictions = 0;  ///< entries evicted via this instance
   };
   [[nodiscard]] Stats stats() const;
 
+  /// One row of the persistent index.
+  struct IndexEntry {
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;   ///< FNV-1a of the payload bytes
+    std::int64_t access_ns = 0;   ///< last-access stamp (file mtime, ns)
+  };
+
+  /// Snapshot of the index (loading or healing it first if needed),
+  /// sorted by name. Empty when disabled.
+  [[nodiscard]] std::vector<IndexEntry> index_entries() const;
+
+  /// Drop any in-memory view and rebuild the index from a directory
+  /// scan; returns the number of entries indexed. No-op when disabled.
+  std::size_t rebuild_index() const;
+
+  /// True when every on-disk index row matches an existing payload file
+  /// (size and checksum) and every payload file in the directory has an
+  /// index row. A missing-or-garbled index is inconsistent. Test hook;
+  /// also true for a disabled cache (vacuously).
+  [[nodiscard]] bool index_consistent() const;
+
  private:
-  bool enabled_ = false;
-  std::string dir_;
+  struct State;
+  // Shared (not unique) so the cache object stays cheaply copyable; all
+  // copies see one in-memory index view, matching the one directory they
+  // point at.
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace msim::pipeline

@@ -175,6 +175,20 @@ StudyBuilder& StudyBuilder::cache_dir(std::string dir) {
   return *this;
 }
 
+StudyBuilder& StudyBuilder::cache_max_bytes(std::uint64_t max_bytes) {
+  cache_max_bytes_ = max_bytes;
+  return *this;
+}
+
+std::string probe_artifact_name(const machine::MachineConfig& machine) {
+  return "probe-" + hex_digest(probe_key(machine)) + ".bin";
+}
+
+std::string legacy_probe_artifact_name(
+    const machine::MachineConfig& machine) {
+  return "probe-" + hex_digest(probe_key(machine)) + ".txt";
+}
+
 StageKeys StudyBuilder::stage_keys() const {
   const std::vector<machine::MachineConfig> targets =
       targets_ ? *targets_ : machine::targets();
@@ -218,16 +232,27 @@ std::map<std::string, probes::ProbeSet> run_probe_stage(
       machines.size(), threads,
       [&](std::size_t index) {
         const auto& machine = machines[index];
-        const std::string name =
-            "probe-" + hex_digest(probe_key(machine)) + ".txt";
+        // Probe sets are stored framed-binary (cache v2); the parser
+        // sniffs the frame magic, so either encoding loads from either
+        // name. A hit at the v1 text name is re-stored as binary so the
+        // cache converges to the compact format.
+        const std::string name = probe_artifact_name(machine);
         if (auto cached =
-                try_cache(cache, name, probes::probe_set_from_text)) {
+                try_cache(cache, name, probes::probe_set_from_artifact)) {
           results[index] = std::move(*cached);
           hit[index] = 1;
           return;
         }
+        const std::string legacy = legacy_probe_artifact_name(machine);
+        if (auto cached = try_cache(cache, legacy,
+                                    probes::probe_set_from_artifact)) {
+          results[index] = std::move(*cached);
+          hit[index] = 1;
+          cache.store(name, probes::to_binary(results[index]));
+          return;
+        }
         results[index] = probes::run_probe_suite(machine);
-        cache.store(name, probes::to_text(results[index]));
+        cache.store(name, probes::to_binary(results[index]));
       },
       "probes");
 
@@ -262,8 +287,10 @@ metrics::Study StudyBuilder::build() {
       cache_enabled_ ? *cache_enabled_ : options_.cache_artifacts;
   const std::string dir =
       !cache_dir_.empty() ? cache_dir_ : options_.cache_dir;
+  const std::uint64_t max_bytes =
+      cache_max_bytes_ ? *cache_max_bytes_ : options_.cache_max_bytes;
   const ArtifactCache cache =
-      use_cache ? ArtifactCache(dir) : ArtifactCache();
+      use_cache ? ArtifactCache(dir, max_bytes) : ArtifactCache();
   const unsigned threads =
       threads_ ? *threads_ : options_.build_threads;
 
@@ -360,6 +387,8 @@ metrics::Study StudyBuilder::build() {
     const ArtifactCache::Stats cache_stats = cache.stats();
     stats_.cache_entries = cache_stats.entries;
     stats_.cache_bytes = cache_stats.bytes;
+    stats_.cache_max_bytes = cache_stats.max_bytes;
+    stats_.cache_evictions = cache_stats.evictions;
   }
   return study;
 }
@@ -380,7 +409,9 @@ std::string BuildStats::summary() const {
                                  .seconds = traces.seconds}},
       total_seconds, cache_enabled, cache_dir,
       report::PipelineCacheLine{.entries = cache_entries,
-                                .bytes = cache_bytes});
+                                .bytes = cache_bytes,
+                                .max_bytes = cache_max_bytes,
+                                .evictions = cache_evictions});
 }
 
 }  // namespace msim::pipeline

@@ -60,6 +60,8 @@ struct BuildStats {
   /// On-disk cache totals after the build (ArtifactCache::stats()).
   std::size_t cache_entries = 0;
   std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_max_bytes = 0;  ///< configured cap, 0 = unlimited
+  std::uint64_t cache_evictions = 0;  ///< entries evicted during the build
 
   /// The bench-banner cache-stats line (report::render_pipeline_stats).
   [[nodiscard]] std::string summary() const;
@@ -89,6 +91,9 @@ class StudyBuilder {
   StudyBuilder& cache(bool enabled);
   /// Cache root; empty = MSIM_CACHE_DIR or ".msim-cache".
   StudyBuilder& cache_dir(std::string dir);
+  /// Cache size cap in bytes, enforced by LRU eviction at store time;
+  /// 0 = MSIM_CACHE_MAX_BYTES or unlimited.
+  StudyBuilder& cache_max_bytes(std::uint64_t max_bytes);
 
   /// Run GroundTruth, Probes, Traces and Assemble; callable repeatedly.
   [[nodiscard]] metrics::Study build();
@@ -107,8 +112,17 @@ class StudyBuilder {
   std::optional<unsigned> threads_;
   std::optional<bool> cache_enabled_;
   std::string cache_dir_{};
+  std::optional<std::uint64_t> cache_max_bytes_;
   BuildStats stats_{};
 };
+
+/// Cache file name of a machine's probe artifact (framed binary since
+/// cache v2) and the v1 text name the old code wrote. Exposed so tests
+/// can stage artifacts at the exact names the probe stage looks up.
+[[nodiscard]] std::string probe_artifact_name(
+    const machine::MachineConfig& machine);
+[[nodiscard]] std::string legacy_probe_artifact_name(
+    const machine::MachineConfig& machine);
 
 /// Probe a machine list on the stage scheduler with per-machine caching.
 /// Shared by the Probes stage and by benches that probe machines outside a

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/binary.hpp"
 #include "common/check.hpp"
 
 namespace msim::probes {
@@ -145,6 +146,84 @@ ProbeSet probe_set_from_text(const std::string& text) {
   MSIM_REQUIRE(pairs.empty(),
                "unknown key '" + pairs.begin()->first + "' in probe set");
   return set;
+}
+
+namespace {
+
+void encode_curve(BinaryWriter& writer, const MapsCurve& curve) {
+  writer.u8(static_cast<std::uint8_t>(curve.stride));
+  writer.u8(curve.dependency_limited ? 1 : 0);
+  writer.u64(curve.points.size());
+  for (const MapsPoint& point : curve.points) {
+    writer.u64(point.working_set_bytes);
+    writer.f64(point.bandwidth);
+  }
+}
+
+MapsCurve decode_curve(BinaryReader& reader) {
+  MapsCurve curve;
+  const std::uint8_t stride = reader.u8();
+  MSIM_REQUIRE(stride < memsim::kAllStrideClasses.size(),
+               "bad stride class " + std::to_string(stride));
+  curve.stride = static_cast<memsim::StrideClass>(stride);
+  const std::uint8_t dep = reader.u8();
+  MSIM_REQUIRE(dep <= 1, "bad dependency flag");
+  curve.dependency_limited = dep != 0;
+  const std::uint64_t points = reader.u64();
+  // Guards a corrupt count from turning into a giant allocation before the
+  // per-point reads hit the truncation check.
+  MSIM_REQUIRE(points <= reader.remaining() / 16,
+               "curve point count exceeds payload");
+  curve.points.reserve(points);
+  for (std::uint64_t i = 0; i < points; ++i) {
+    MapsPoint point;
+    point.working_set_bytes = reader.u64();
+    point.bandwidth = reader.f64();
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::string to_binary(const ProbeSet& set) {
+  BinaryWriter writer;
+  writer.str(set.machine);
+  writer.f64(set.hpl_rmax);
+  writer.f64(set.stream_bw);
+  writer.f64(set.gups_bw);
+  encode_curve(writer, set.maps_unit);
+  encode_curve(writer, set.maps_random);
+  encode_curve(writer, set.maps_unit_dep);
+  encode_curve(writer, set.maps_random_dep);
+  writer.f64(set.net.latency_s);
+  writer.f64(set.net.bandwidth);
+  writer.f64(set.net.allreduce_small_s);
+  return frame_payload(ArtifactKind::ProbeSet, writer.take());
+}
+
+ProbeSet probe_set_from_binary(const std::string& data) {
+  const std::string payload = unframe_payload(ArtifactKind::ProbeSet, data);
+  BinaryReader reader(payload);
+  ProbeSet set;
+  set.machine = reader.str();
+  set.hpl_rmax = reader.f64();
+  set.stream_bw = reader.f64();
+  set.gups_bw = reader.f64();
+  set.maps_unit = decode_curve(reader);
+  set.maps_random = decode_curve(reader);
+  set.maps_unit_dep = decode_curve(reader);
+  set.maps_random_dep = decode_curve(reader);
+  set.net.latency_s = reader.f64();
+  set.net.bandwidth = reader.f64();
+  set.net.allreduce_small_s = reader.f64();
+  reader.expect_done();
+  return set;
+}
+
+ProbeSet probe_set_from_artifact(const std::string& data) {
+  return is_framed(data) ? probe_set_from_binary(data)
+                         : probe_set_from_text(data);
 }
 
 }  // namespace msim::probes

@@ -1,9 +1,21 @@
-// Text (de)serialization for probe sets.
+// Text and binary (de)serialization for probe sets.
 //
 // A ProbeSet is the machine-side artifact of the methodology: run the
 // suite once per candidate system, archive the result, and convolve any
 // number of application signatures against it later. Lossless for
 // everything the convolver and simple metrics consume.
+//
+// Two interchangeable encodings:
+//   text    — the human-readable `dotted.key = value` archive format
+//             (docs/FORMATS.md), what `msim probe --out` writes;
+//   binary  — a compact framed encoding (common/binary.hpp: magic,
+//             version, checksum, little-endian payload) used by the
+//             artifact cache, where the four MAPS curves dominate the
+//             payload and a text round-trip is pure overhead.
+// Both round-trip bitwise (doubles travel as IEEE-754 bit patterns);
+// probe_set_from_artifact() sniffs the frame magic and accepts either,
+// which is what lets v1 text artifacts keep loading after the cache
+// switched to binary.
 #pragma once
 
 #include <string>
@@ -17,5 +29,17 @@ namespace msim::probes {
 
 /// Parse a probe set; throws precondition_error on malformed input.
 [[nodiscard]] ProbeSet probe_set_from_text(const std::string& text);
+
+/// Serialize a probe set to the framed binary artifact encoding.
+[[nodiscard]] std::string to_binary(const ProbeSet& set);
+
+/// Decode a framed binary probe set; throws precondition_error on a bad
+/// frame (wrong magic/version/kind, truncation, checksum mismatch) or a
+/// malformed payload.
+[[nodiscard]] ProbeSet probe_set_from_binary(const std::string& data);
+
+/// Decode either encoding: binary when the frame magic matches, else v1
+/// text. Throws precondition_error when neither parses.
+[[nodiscard]] ProbeSet probe_set_from_artifact(const std::string& data);
 
 }  // namespace msim::probes

@@ -292,7 +292,14 @@ std::string render_pipeline_stats(
   if (cache_enabled && cache_totals.entries > 0) {
     os << " (" << cache_totals.entries
        << (cache_totals.entries == 1 ? " entry, " : " entries, ")
-       << format_bytes(cache_totals.bytes) << ')';
+       << format_bytes(cache_totals.bytes);
+    if (cache_totals.max_bytes > 0) {
+      os << ", cap " << format_bytes(cache_totals.max_bytes);
+    }
+    if (cache_totals.evictions > 0) {
+      os << ", " << cache_totals.evictions << " evicted";
+    }
+    os << ')';
   }
   return os.str();
 }

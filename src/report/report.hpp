@@ -67,6 +67,8 @@ struct PipelineStageLine {
 struct PipelineCacheLine {
   std::size_t entries = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t max_bytes = 0;  ///< configured size cap, 0 = unlimited
+  std::uint64_t evictions = 0;  ///< entries evicted during the run
 };
 
 /// Single-line stage/cache summary printed under bench banners, e.g.

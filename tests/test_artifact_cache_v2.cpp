@@ -1,0 +1,449 @@
+// Artifact cache v2: the persistent index, the LRU size cap, the framed
+// binary probe encoding, and — above all — fault injection. Every way an
+// entry or the index can be damaged (truncation, bit flips, loss,
+// garbage) must degrade to a cache miss and self-heal, never crash and
+// never return wrong data.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "pipeline/study_builder.hpp"
+#include "probes/probe_io.hpp"
+#include "probes/synthetic.hpp"
+
+namespace msim::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch cache directory, unique per test.
+fs::path scratch_cache(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("msim-test-" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+/// A synthetic probe set with randomized MAPS curves; `salt` varies every
+/// field so distinct salts give distinct payloads.
+probes::ProbeSet synthetic_probe_set(std::uint64_t salt) {
+  std::mt19937_64 rng(salt);
+  std::uniform_real_distribution<double> bw(1e6, 1e12);
+  std::uniform_int_distribution<std::uint64_t> ws(1024, 1ull << 34);
+  std::uniform_int_distribution<int> npoints(0, 40);
+
+  auto curve = [&](memsim::StrideClass stride, bool dep) {
+    probes::MapsCurve result;
+    result.stride = stride;
+    result.dependency_limited = dep;
+    const int points = npoints(rng);
+    for (int i = 0; i < points; ++i) {
+      result.points.push_back({ws(rng), bw(rng)});
+    }
+    return result;
+  };
+
+  probes::ProbeSet set;
+  set.machine = "Synthetic_" + std::to_string(salt);
+  set.hpl_rmax = bw(rng);
+  set.stream_bw = bw(rng);
+  set.gups_bw = bw(rng);
+  set.maps_unit = curve(memsim::StrideClass::Unit, false);
+  set.maps_random = curve(memsim::StrideClass::Random, false);
+  set.maps_unit_dep = curve(memsim::StrideClass::Unit, true);
+  set.maps_random_dep = curve(memsim::StrideClass::Random, true);
+  set.net.latency_s = bw(rng) * 1e-15;
+  set.net.bandwidth = bw(rng);
+  set.net.allreduce_small_s = bw(rng) * 1e-14;
+  return set;
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_probe_sets_bitwise_equal(const probes::ProbeSet& a,
+                                     const probes::ProbeSet& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_TRUE(bitwise_equal(a.hpl_rmax, b.hpl_rmax));
+  EXPECT_TRUE(bitwise_equal(a.stream_bw, b.stream_bw));
+  EXPECT_TRUE(bitwise_equal(a.gups_bw, b.gups_bw));
+  auto expect_curve = [](const probes::MapsCurve& x,
+                         const probes::MapsCurve& y) {
+    EXPECT_EQ(x.stride, y.stride);
+    EXPECT_EQ(x.dependency_limited, y.dependency_limited);
+    ASSERT_EQ(x.points.size(), y.points.size());
+    for (std::size_t i = 0; i < x.points.size(); ++i) {
+      EXPECT_EQ(x.points[i].working_set_bytes,
+                y.points[i].working_set_bytes);
+      EXPECT_TRUE(
+          bitwise_equal(x.points[i].bandwidth, y.points[i].bandwidth));
+    }
+  };
+  expect_curve(a.maps_unit, b.maps_unit);
+  expect_curve(a.maps_random, b.maps_random);
+  expect_curve(a.maps_unit_dep, b.maps_unit_dep);
+  expect_curve(a.maps_random_dep, b.maps_random_dep);
+  EXPECT_TRUE(bitwise_equal(a.net.latency_s, b.net.latency_s));
+  EXPECT_TRUE(bitwise_equal(a.net.bandwidth, b.net.bandwidth));
+  EXPECT_TRUE(
+      bitwise_equal(a.net.allreduce_small_s, b.net.allreduce_small_s));
+}
+
+// ---------------------------------------------------------------------
+// Binary probe encoding: round-trip fidelity and migration compatibility.
+// ---------------------------------------------------------------------
+
+TEST(ProbeBinaryIo, RoundTripIsBitwiseForRandomizedCurves) {
+  for (std::uint64_t salt = 1; salt <= 50; ++salt) {
+    const probes::ProbeSet original = synthetic_probe_set(salt);
+    const std::string encoded = probes::to_binary(original);
+    const probes::ProbeSet decoded = probes::probe_set_from_binary(encoded);
+    expect_probe_sets_bitwise_equal(original, decoded);
+    // And through the sniffing entry point too.
+    expect_probe_sets_bitwise_equal(
+        original, probes::probe_set_from_artifact(encoded));
+  }
+}
+
+TEST(ProbeBinaryIo, V1TextArtifactStillLoads) {
+  // Migration compatibility: an artifact written by the old text code
+  // must keep loading through the new artifact entry point.
+  const probes::ProbeSet original =
+      synthetic_probe_set(/*salt=*/20240507);
+  const std::string v1_text = probes::to_text(original);
+  const probes::ProbeSet decoded = probes::probe_set_from_artifact(v1_text);
+  expect_probe_sets_bitwise_equal(original, decoded);
+}
+
+TEST(ProbeBinaryIo, BinaryIsSmallerThanText) {
+  const probes::ProbeSet set = probes::run_probe_suite(
+      machine::find(machine::base_system_name()));
+  EXPECT_LT(probes::to_binary(set).size(), probes::to_text(set).size());
+}
+
+TEST(ProbeBinaryIo, TruncatedBinaryThrows) {
+  const std::string encoded =
+      probes::to_binary(synthetic_probe_set(/*salt=*/7));
+  // Every truncation point must throw, not crash or mis-decode — the
+  // frame length/checksum check fires before any payload field is used.
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{12},
+                           std::size_t{27}, encoded.size() / 2,
+                           encoded.size() - 1}) {
+    const std::string truncated = encoded.substr(0, keep);
+    EXPECT_THROW((void)probes::probe_set_from_artifact(truncated),
+                 precondition_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(ProbeBinaryIo, BitFlippedBinaryThrows) {
+  const std::string encoded =
+      probes::to_binary(synthetic_probe_set(/*salt=*/8));
+  // Flip one bit at a spread of offsets across header and payload.
+  for (std::size_t offset = 0; offset < encoded.size();
+       offset += encoded.size() / 13 + 1) {
+    std::string corrupted = encoded;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x10);
+    EXPECT_THROW((void)probes::probe_set_from_artifact(corrupted),
+                 precondition_error)
+        << "flipped bit at offset " << offset;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Index: schema, self-healing, crash-safety.
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheIndex, StoreMaintainsPersistentIndex) {
+  const fs::path dir = scratch_cache("index-basic");
+  const ArtifactCache cache(dir.string());
+  cache.store("a.txt", "alpha");
+  cache.store("b.txt", "beta-beta");
+
+  EXPECT_TRUE(fs::exists(dir / "index.msim"));
+  const auto entries = cache.index_entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "a.txt");
+  EXPECT_EQ(entries[0].bytes, 5u);
+  EXPECT_EQ(entries[1].name, "b.txt");
+  EXPECT_EQ(entries[1].bytes, 9u);
+  EXPECT_TRUE(cache.index_consistent());
+
+  // A second instance reading the same directory sees the same index.
+  const ArtifactCache reader(dir.string());
+  EXPECT_EQ(reader.index_entries().size(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheIndex, MissingIndexIsRebuiltFromDirectoryScan) {
+  const fs::path dir = scratch_cache("index-missing");
+  {
+    const ArtifactCache writer(dir.string());
+    writer.store("a.txt", "alpha");
+    writer.store("b.txt", "beta");
+  }
+  fs::remove(dir / "index.msim");
+
+  const std::uint64_t rebuilds_before = counter_value("cache.index.rebuild");
+  const ArtifactCache cache(dir.string());
+  // Loads keep working (the data was never damaged)...
+  const auto loaded = cache.load("a.txt");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "alpha");
+  // ...and the index healed itself from the scan.
+  EXPECT_GT(counter_value("cache.index.rebuild"), rebuilds_before);
+  EXPECT_TRUE(fs::exists(dir / "index.msim"));
+  EXPECT_EQ(cache.index_entries().size(), 2u);
+  EXPECT_TRUE(cache.index_consistent());
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheIndex, GarbledIndexIsRebuiltFromDirectoryScan) {
+  const fs::path dir = scratch_cache("index-garbled");
+  {
+    const ArtifactCache writer(dir.string());
+    writer.store("a.txt", "alpha");
+  }
+  const std::vector<std::string> junk_cases = {
+      "complete garbage\nno equals signs\n",
+      "entries = banana\n",
+      "entries = 5\n",  // claims rows it does not have
+      "entries = 1\nentry.0.name = a.txt\n",  // missing fields
+      std::string("\x00\xff\x7f binary noise", 16)};
+  for (const std::string& junk : junk_cases) {
+    write_file(dir / "index.msim", junk);
+    const std::uint64_t rebuilds_before =
+        counter_value("cache.index.rebuild");
+    const ArtifactCache cache(dir.string());
+    const auto loaded = cache.load("a.txt");
+    ASSERT_TRUE(loaded.has_value()) << "junk: " << junk;
+    EXPECT_EQ(*loaded, "alpha");
+    EXPECT_GT(counter_value("cache.index.rebuild"), rebuilds_before);
+    EXPECT_TRUE(cache.index_consistent());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheIndex, StaleIndexRowForMissingFileIsDropped) {
+  const fs::path dir = scratch_cache("index-stale");
+  const ArtifactCache cache(dir.string());
+  cache.store("a.txt", "alpha");
+  cache.store("gone.txt", "soon deleted");
+  fs::remove(dir / "gone.txt");
+
+  // The stale row must read as a plain miss, never a crash.
+  const std::uint64_t absent_before = counter_value("cache.miss.absent");
+  EXPECT_FALSE(cache.load("gone.txt").has_value());
+  EXPECT_GT(counter_value("cache.miss.absent"), absent_before);
+
+  // Stats skip the stale row; a rebuild drops it from the index.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.rebuild_index(), 1u);
+  EXPECT_TRUE(cache.index_consistent());
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheIndex, LeftoverIndexTempFromCrashIsIgnored) {
+  const fs::path dir = scratch_cache("index-crash-temp");
+  const ArtifactCache cache(dir.string());
+  cache.store("a.txt", "alpha");
+  // Simulate a crash mid-publish: a torn staging file next to the real
+  // index. It must be ignored by scans and never parsed as the index.
+  write_file(dir / "index.msim.tmp.99.12345", "entries = torn garba");
+  const ArtifactCache reader(dir.string());
+  EXPECT_EQ(reader.index_entries().size(), 1u);
+  EXPECT_EQ(reader.stats().entries, 1u);
+  ASSERT_TRUE(reader.load("a.txt").has_value());
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Payload fault injection through the cache: truncation and corruption
+// degrade to misses, heal, and never surface wrong data.
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheFaults, TruncatedEntryIsCorruptMissAndDeleted) {
+  const fs::path dir = scratch_cache("fault-truncate");
+  const ArtifactCache cache(dir.string());
+  const std::string content = probes::to_binary(synthetic_probe_set(11));
+  cache.store("probe-x.bin", content);
+
+  write_file(dir / "probe-x.bin", content.substr(0, content.size() / 2));
+  const std::uint64_t corrupt_before = counter_value("cache.miss.corrupt");
+  EXPECT_FALSE(cache.load("probe-x.bin").has_value());
+  EXPECT_GT(counter_value("cache.miss.corrupt"), corrupt_before);
+  // The damaged entry was deleted: the next load is a clean absent miss,
+  // and a re-store round-trips again.
+  EXPECT_FALSE(fs::exists(dir / "probe-x.bin"));
+  cache.store("probe-x.bin", content);
+  EXPECT_EQ(cache.load("probe-x.bin"), content);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheFaults, BitFlippedEntryIsCorruptMissAndDeleted) {
+  const fs::path dir = scratch_cache("fault-bitflip");
+  const ArtifactCache cache(dir.string());
+  cache.store("gt-y.txt", "obs.0.seconds = 123.456\n");
+
+  std::string flipped = read_file(dir / "gt-y.txt");
+  flipped[5] = static_cast<char>(flipped[5] ^ 0x01);
+  write_file(dir / "gt-y.txt", flipped);
+
+  const std::uint64_t corrupt_before = counter_value("cache.miss.corrupt");
+  EXPECT_FALSE(cache.load("gt-y.txt").has_value());
+  EXPECT_GT(counter_value("cache.miss.corrupt"), corrupt_before);
+  EXPECT_FALSE(fs::exists(dir / "gt-y.txt"));
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheFaults, CorruptionDetectedByFreshInstanceViaDiskIndex) {
+  const fs::path dir = scratch_cache("fault-fresh-instance");
+  {
+    const ArtifactCache writer(dir.string());
+    writer.store("entry.txt", "the original payload");
+  }
+  write_file(dir / "entry.txt", "the corrupted payload");  // same length
+  // A fresh instance has no in-memory state: detection must come from
+  // the checksum persisted in the on-disk index.
+  const ArtifactCache cache(dir.string());
+  const std::uint64_t corrupt_before = counter_value("cache.miss.corrupt");
+  EXPECT_FALSE(cache.load("entry.txt").has_value());
+  EXPECT_GT(counter_value("cache.miss.corrupt"), corrupt_before);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// LRU eviction under a size cap.
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheLru, EvictsLeastRecentlyUsedAtStoreTime) {
+  const fs::path dir = scratch_cache("lru-basic");
+  // Cap fits two 40-byte entries plus slack, not three.
+  const ArtifactCache cache(dir.string(), /*max_bytes=*/100);
+  const std::string payload(40, 'x');
+
+  const std::uint64_t evicted_before = counter_value("cache.evict.count");
+  cache.store("a.txt", payload);
+  cache.store("b.txt", payload);
+  // Touch `a` so `b` becomes the least recently used.
+  ASSERT_TRUE(cache.load("a.txt").has_value());
+  cache.store("c.txt", payload);
+
+  EXPECT_TRUE(cache.load("a.txt").has_value());   // recently used: kept
+  EXPECT_TRUE(cache.load("c.txt").has_value());   // just stored: kept
+  EXPECT_FALSE(cache.load("b.txt").has_value());  // LRU: evicted
+  EXPECT_GT(counter_value("cache.evict.count"), evicted_before);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 100u);
+  EXPECT_TRUE(cache.index_consistent());
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheLru, NewestEntryIsNeverEvictedByItsOwnStore) {
+  const fs::path dir = scratch_cache("lru-oversize");
+  const ArtifactCache cache(dir.string(), /*max_bytes=*/10);
+  cache.store("big.txt", std::string(1000, 'y'));
+  // Over the cap but just stored: kept (a cache that evicted its own
+  // store would never make progress).
+  EXPECT_TRUE(cache.load("big.txt").has_value());
+  // The next store displaces it.
+  cache.store("next.txt", std::string(8, 'z'));
+  EXPECT_FALSE(cache.load("big.txt").has_value());
+  EXPECT_TRUE(cache.load("next.txt").has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheLru, UncappedCacheNeverEvicts) {
+  const fs::path dir = scratch_cache("lru-uncapped");
+  const ArtifactCache cache(dir.string());
+  for (int i = 0; i < 32; ++i) {
+    cache.store("entry-" + std::to_string(i) + ".txt",
+                std::string(1024, 'a'));
+  }
+  EXPECT_EQ(cache.stats().entries, 32u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ArtifactCacheLru, MaxBytesEnvParsesSuffixes) {
+  ::setenv("MSIM_CACHE_MAX_BYTES", "1234", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 1234u);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "64k", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 64u * 1024);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "2M", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 2u * 1024 * 1024);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "1g", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 1ull << 30);
+  // Malformed values mean "no cap", never a crash or a surprise cap.
+  for (const char* bad : {"", "banana", "12q", "-5", "1kk"}) {
+    ::setenv("MSIM_CACHE_MAX_BYTES", bad, 1);
+    EXPECT_EQ(ArtifactCache::default_max_bytes(), 0u) << bad;
+  }
+  ::unsetenv("MSIM_CACHE_MAX_BYTES");
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Probe stage migration: v1 text artifacts written by the old code are
+// loaded, counted as hits, and upgraded to binary.
+// ---------------------------------------------------------------------
+
+TEST(ArtifactCacheMigration, LegacyTextProbeArtifactHitsAndUpgrades) {
+  const fs::path dir = scratch_cache("probe-migration");
+  const auto machine = machine::find("ARL_Xeon");
+  const probes::ProbeSet expected = probes::run_probe_suite(machine);
+
+  // Stage a v1 artifact exactly as the old code would have written it.
+  {
+    const ArtifactCache seed(dir.string());
+    seed.store(legacy_probe_artifact_name(machine),
+               probes::to_text(expected));
+  }
+
+  const ArtifactCache cache(dir.string());
+  StageStats stats;
+  const auto sets = run_probe_stage({machine}, 1, cache, &stats);
+  EXPECT_EQ(stats.cache_hits, 1u) << "v1 text artifact should hit";
+  expect_probe_sets_bitwise_equal(sets.at(machine.name), expected);
+
+  // The hit re-stored the artifact in the binary encoding; a second run
+  // hits the binary name directly.
+  const std::string upgraded =
+      read_file(dir / probe_artifact_name(machine));
+  ASSERT_FALSE(upgraded.empty());
+  expect_probe_sets_bitwise_equal(
+      probes::probe_set_from_artifact(upgraded), expected);
+  StageStats again;
+  const auto rerun = run_probe_stage({machine}, 1, cache, &again);
+  EXPECT_EQ(again.cache_hits, 1u);
+  expect_probe_sets_bitwise_equal(rerun.at(machine.name), expected);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace msim::pipeline
