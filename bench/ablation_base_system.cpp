@@ -12,7 +12,7 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "machine/registry.hpp"
-#include "pipeline/study_builder.hpp"
+#include "pipeline/study_graph.hpp"
 
 int main(int argc, char** argv) {
   using namespace msim;
@@ -25,21 +25,30 @@ int main(int argc, char** argv) {
   std::vector<std::string> bases = machine::target_system_names();
   bases.push_back(machine::base_system_name());
 
+  // Eleven full studies as one stage graph on one pool: every study probes
+  // the same eleven machines, so the graph holds one probe node per
+  // machine (the other ten studies dedup onto it) and overlaps the eleven
+  // ground-truth campaigns instead of serializing whole builds.
+  pipeline::StudyGraph graph;
+  graph.cache(true).cache_dir(bench::cache_dir());
+  std::vector<std::size_t> handles;
   for (const auto& base_name : bases) {
     std::vector<machine::MachineConfig> targets;
     for (const auto& machine : machine::all()) {
       if (machine.name != base_name) targets.push_back(machine);
     }
-    // Eleven full studies; the per-machine probe artifacts are identical
-    // across all of them, so with the cache on only the first study pays
-    // for probing (and reruns of this bench pay for nothing).
-    pipeline::StudyBuilder builder;
-    builder.targets(std::move(targets))
-        .base(machine::find(base_name))
-        .suite(workload::ti05_suite())
-        .cache(true)
-        .cache_dir(bench::cache_dir());
-    const auto study = builder.build();
+    handles.push_back(graph.add_study(
+        pipeline::StudySpec{.targets = std::move(targets),
+                            .base = machine::find(base_name),
+                            .suite = workload::ti05_suite()}));
+  }
+  graph.build_all();
+  std::fprintf(stderr, "[ablation_base_system] %s\n",
+               graph.stats().summary().c_str());
+
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    const auto& base_name = bases[b];
+    const auto study = graph.take_study(handles[b]);
     const auto predictions = study.evaluate(
         {metrics::Metric::S1_Hpl, metrics::Metric::S3_Gups,
          metrics::Metric::P6_HplStreamGups,

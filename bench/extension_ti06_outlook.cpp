@@ -12,30 +12,37 @@
 #include "common/table.hpp"
 #include "convolve/convolver.hpp"
 #include "machine/proposed.hpp"
-#include "pipeline/study_builder.hpp"
+#include "pipeline/study_graph.hpp"
 
 int main(int argc, char** argv) {
   using namespace msim;
   bench::banner(argc, argv, "extension_ti06_outlook",
                 "proposed-systems evaluation (the procurement use case)");
 
-  const auto& study = bench::paper_study();
-  const auto& base_probes = study.probe_set(study.base_machine());
   const auto proposed = machine::proposed_systems();
 
-  // Probe the proposed systems on the stage scheduler, cached per machine
-  // alongside the study's own probe artifacts.
-  pipeline::StageStats probe_stats{.name = "proposed-probes"};
-  auto probe_map = pipeline::run_probe_stage(
-      proposed, 0,
-      pipeline::ArtifactCache(bench::cache_dir()),
-      &probe_stats);
+  // The paper study and the proposed-system probes build as one stage
+  // graph: the probe batch rides the study's pool and cache, and any
+  // machine both sides probe resolves to a single node.
+  pipeline::StudyGraph graph;
+  graph.cache(true).cache_dir(bench::cache_dir());
+  const std::size_t study_handle = graph.add_study(pipeline::paper_spec());
+  const std::size_t batch_handle = graph.add_probes(proposed);
+  graph.build_all();
+  const auto study = graph.take_study(study_handle);
+  const auto& base_probes = study.probe_set(study.base_machine());
+
+  auto probe_map = graph.probe_sets(batch_handle);
   std::vector<probes::ProbeSet> proposed_probes;
   for (const auto& machine : proposed) {
     proposed_probes.push_back(std::move(probe_map.at(machine.name)));
   }
-  std::printf("(%s: %zu/%zu cached)\n\n", probe_stats.name.c_str(),
-              probe_stats.cache_hits, probe_stats.items);
+  // Diagnostics (cache/timing state varies run to run): stderr keeps
+  // stdout a clean, diffable table stream.
+  const pipeline::StageStats& probe_stats = graph.probe_stats(batch_handle);
+  std::fprintf(stderr, "(%s: %zu/%zu cached)\n(%s)\n",
+               "proposed-probes", probe_stats.cache_hits, probe_stats.items,
+               graph.stats().summary().c_str());
 
   std::vector<std::string> headers = {"Application", "CPUs",
                                       "best incumbent"};

@@ -28,10 +28,15 @@ int main(int argc, char** argv) {
                 "conclusion stability across noise worlds (beyond the "
                 "paper)");
 
-  // Probes and traces do not depend on the noise salt: with the artifact
-  // cache on, only the ground-truth campaign is recomputed per world.
+  // Probes and traces do not depend on the noise salt: the worlds share
+  // one stage graph, so every world past the first dedups onto the first
+  // world's probe/trace nodes and only the ground-truth campaigns fan
+  // out. The cache rides in the bench scratch directory (or the shared
+  // MSIM_CACHE_DIR) like every other bench, instead of littering the
+  // working directory.
   metrics::StudyOptions base_options;
   base_options.cache_artifacts = true;
+  base_options.cache_dir = bench::cache_dir();
   const auto result = metrics::run_multiworld(
       worlds, 0, metrics::all_metrics(), base_options);
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.hpp"
+#include "pipeline/study_graph.hpp"  // sanctioned upward call, like study.cpp
 #include "stats/summary.hpp"
 
 namespace msim::metrics {
@@ -31,13 +32,28 @@ MultiWorldResult run_multiworld(std::size_t worlds,
       {"#6 or #9 is the most accurate metric (paper Sec. 6)", 0},
   };
 
+  // All worlds build as one stage graph on one pool: the probe and trace
+  // nodes are salt-independent, so every world past the first dedups onto
+  // the first world's nodes and only the ground-truth campaigns (the part
+  // the salt actually perturbs) fan out.
+  pipeline::StudyGraph graph;
+  graph.threads(base_options.build_threads)
+      .cache(base_options.cache_artifacts)
+      .cache_dir(base_options.cache_dir)
+      .cache_max_bytes(base_options.cache_max_bytes);
+  std::vector<std::size_t> handles;
+  for (std::size_t world = 0; world < worlds; ++world) {
+    StudyOptions options = base_options;
+    options.executor.noise_salt = first_salt + world;
+    handles.push_back(graph.add_study(pipeline::paper_spec(options)));
+  }
+  graph.build_all();
+
   for (std::size_t world = 0; world < worlds; ++world) {
     const std::uint64_t salt = first_salt + world;
     result.salts.push_back(salt);
 
-    StudyOptions options = base_options;
-    options.executor.noise_salt = salt;
-    const Study study = Study::build(options);
+    const Study study = graph.take_study(handles[world]);
     const auto predictions = study.evaluate(metric_list);
 
     std::map<Metric, double> world_error;

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -372,12 +373,14 @@ std::string ArtifactCache::default_dir() {
 }
 
 std::uint64_t ArtifactCache::default_max_bytes() {
+  constexpr std::uint64_t kSaturated =
+      std::numeric_limits<std::uint64_t>::max();
   const char* env = std::getenv("MSIM_CACHE_MAX_BYTES");
   if (env == nullptr || env[0] == '\0' || env[0] == '-') return 0;
   char* end = nullptr;
   errno = 0;
   const unsigned long long value = std::strtoull(env, &end, 10);
-  if (end == env || errno != 0) return 0;
+  if (end == env) return 0;
   std::uint64_t multiplier = 1;
   if (*end != '\0') {
     switch (std::tolower(static_cast<unsigned char>(*end))) {
@@ -388,6 +391,13 @@ std::uint64_t ArtifactCache::default_max_bytes() {
     }
     if (end[1] != '\0') return 0;
   }
+  // Overflow saturates to the maximum cap (effectively unlimited) instead
+  // of wrapping: "99999999999g" must not silently become a tiny cap that
+  // evicts the whole cache. ERANGE from strtoull saturates the same way —
+  // 0 would mean "uncapped", which happens to coincide, but saturation
+  // keeps the rule uniform and deterministic.
+  if (errno == ERANGE) return kSaturated;
+  if (multiplier > 1 && value > kSaturated / multiplier) return kSaturated;
   return static_cast<std::uint64_t>(value) * multiplier;
 }
 

@@ -66,7 +66,11 @@ class ArtifactCache {
   [[nodiscard]] static std::string default_dir();
 
   /// `MSIM_CACHE_MAX_BYTES` if set to a positive integer (optional
-  /// k/m/g suffix, powers of 1024), else 0 = unlimited.
+  /// k/m/g suffix, powers of 1024), else 0 = unlimited. A value whose
+  /// suffix multiplication (or digits) would overflow 64 bits saturates
+  /// to UINT64_MAX — a huge requested cap must never wrap into a tiny
+  /// one. Malformed values (trailing garbage, unknown suffix, bare
+  /// suffix, negative) parse as 0 = unlimited.
   [[nodiscard]] static std::uint64_t default_max_bytes();
 
   [[nodiscard]] bool enabled() const { return state_ != nullptr; }

@@ -20,20 +20,54 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Publish per-stage task count and worker utilization after a fan-out.
-/// Cold path (once per stage), so the by-name registry lookups are fine.
-void publish_stage_metrics(const char* label, std::size_t items,
-                           unsigned workers, double busy_seconds,
-                           double wall_seconds) {
+// Worker accounting: a per-thread depth (nested scopes on one thread
+// count once) plus process-wide current/peak counts.
+thread_local unsigned tl_worker_depth = 0;
+std::atomic<unsigned> g_active_workers{0};
+std::atomic<unsigned> g_peak_workers{0};
+
+}  // namespace
+
+bool inside_scheduler_worker() noexcept { return tl_worker_depth > 0; }
+
+unsigned peak_workers() noexcept {
+  return g_peak_workers.load(std::memory_order_relaxed);
+}
+
+void reset_peak_workers() noexcept {
+  g_peak_workers.store(g_active_workers.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+WorkerScope::WorkerScope() noexcept : counted_(tl_worker_depth == 0) {
+  ++tl_worker_depth;
+  if (!counted_) return;
+  const unsigned active =
+      g_active_workers.fetch_add(1, std::memory_order_relaxed) + 1;
+  unsigned peak = g_peak_workers.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !g_peak_workers.compare_exchange_weak(peak, active,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+WorkerScope::~WorkerScope() {
+  --tl_worker_depth;
+  if (counted_) g_active_workers.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void publish_fanout_metrics(const char* label, std::size_t items,
+                            unsigned workers, double busy_seconds,
+                            double wall_seconds) {
   const std::string prefix = std::string("scheduler.") + label;
   obs::Registry& registry = obs::Registry::instance();
   registry.counter(prefix + ".tasks").add(items);
+  // A histogram, not a gauge: concurrent fan-outs of the same stage (two
+  // studies on one graph) would clobber a last-write-wins gauge.
   const double capacity = wall_seconds * static_cast<double>(workers);
-  registry.gauge(prefix + ".utilization")
-      .set(capacity > 0.0 ? busy_seconds / capacity : 0.0);
+  registry.histogram(prefix + ".utilization")
+      .record(capacity > 0.0 ? busy_seconds / capacity : 0.0);
 }
-
-}  // namespace
 
 unsigned env_threads() {
   const char* env = std::getenv("MSIM_THREADS");
@@ -58,7 +92,11 @@ void run_indexed(std::size_t items, unsigned threads,
                  const char* label) {
   if (items == 0) return;
   const char* stage = label != nullptr ? label : "tasks";
-  const unsigned workers = effective_threads(threads, items);
+  // A fan-out issued from inside a worker runs inline: the pool is
+  // already sized to effective_threads, so spawning another would
+  // oversubscribe N x N threads.
+  const unsigned workers =
+      inside_scheduler_worker() ? 1 : effective_threads(threads, items);
   const bool collect = obs::collecting();
   const auto wall_start = Clock::now();
 
@@ -79,6 +117,7 @@ void run_indexed(std::size_t items, unsigned threads,
   };
 
   if (workers == 1) {
+    WorkerScope scope;
     for (std::size_t index = 0; index < items; ++index) {
       run_one(index, busy[0]);
     }
@@ -87,6 +126,7 @@ void run_indexed(std::size_t items, unsigned threads,
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&](unsigned slot) {
+      WorkerScope scope;
       for (std::size_t index = next.fetch_add(1); index < items;
            index = next.fetch_add(1)) {
         try {
@@ -111,7 +151,7 @@ void run_indexed(std::size_t items, unsigned threads,
   if (collect) {
     double busy_seconds = 0.0;
     for (double b : busy) busy_seconds += b;
-    publish_stage_metrics(
+    publish_fanout_metrics(
         stage, items, workers,
         busy_seconds,
         std::chrono::duration<double>(Clock::now() - wall_start).count());

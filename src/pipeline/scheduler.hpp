@@ -8,11 +8,20 @@
 // count. The first task exception is captured and rethrown on the calling
 // thread after the pool joins.
 //
+// Nesting: every executing worker (pool thread, the inline serial path,
+// and StudyGraph pool workers) is registered through WorkerScope. A
+// fan-out issued from inside a worker degrades to inline serial execution
+// on that worker instead of spawning a second pool, so composed
+// parallelism (a campaign inside a graph node inside a pool) never
+// oversubscribes: the process runs at most `effective_threads` concurrent
+// workers, observable via peak_workers().
+//
 // Observability: when obs telemetry is active, every task runs inside an
-// obs::Span named after the stage label, and each fan-out publishes
+// obs::Span named after the stage label, and each fan-out records
 // `scheduler.<label>.tasks` / `scheduler.<label>.utilization` (busy time
-// over workers x wall time) to the obs registry. With telemetry off no
-// clocks are read and outputs are bitwise unchanged.
+// over workers x wall time; a histogram, so overlapping fan-outs of the
+// same stage accumulate instead of clobbering each other). With telemetry
+// off no clocks are read and outputs are bitwise unchanged.
 #pragma once
 
 #include <cstddef>
@@ -30,10 +39,47 @@ namespace msim::pipeline {
 /// MSIM_THREADS as a worker count, or 0 when unset/invalid/zero.
 [[nodiscard]] unsigned env_threads();
 
+/// True on a thread currently executing scheduler work (a run_indexed
+/// pool worker, the inline serial path, or a StudyGraph pool worker).
+/// Fan-outs check this and run inline instead of spawning a nested pool.
+[[nodiscard]] bool inside_scheduler_worker() noexcept;
+
+/// High-water mark of concurrently registered workers since the last
+/// reset_peak_workers(). Lets tests assert that a run never created more
+/// concurrent workers than MSIM_THREADS / effective_threads allows.
+[[nodiscard]] unsigned peak_workers() noexcept;
+void reset_peak_workers() noexcept;
+
+/// RAII worker registration: marks the current thread as a scheduler
+/// worker (see inside_scheduler_worker) and maintains the concurrent /
+/// peak worker counts. Nested scopes on one thread count once. Public so
+/// every pool implementation (run_indexed, StudyGraph) shares one
+/// accounting.
+class WorkerScope {
+ public:
+  WorkerScope() noexcept;
+  ~WorkerScope();
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+
+ private:
+  bool counted_;
+};
+
+/// Record a completed fan-out in the obs registry:
+/// `scheduler.<label>.tasks` counter and the
+/// `scheduler.<label>.utilization` histogram. Shared by run_indexed and
+/// the StudyGraph executor; call only while telemetry is collecting.
+void publish_fanout_metrics(const char* label, std::size_t items,
+                            unsigned workers, double busy_seconds,
+                            double wall_seconds);
+
 /// Run `task(0) ... task(items-1)` across a pool of `threads` workers
-/// (0 = default, see effective_threads). Serial when one worker suffices.
-/// Rethrows the first task exception after all workers finish. `label`
-/// names the stage in telemetry spans and metrics (nullptr = "tasks").
+/// (0 = default, see effective_threads). Serial when one worker suffices
+/// or when called from inside a scheduler worker (nested fan-outs do not
+/// spawn nested pools). Rethrows the first task exception after all
+/// workers finish. `label` names the stage in telemetry spans and metrics
+/// (nullptr = "tasks").
 void run_indexed(std::size_t items, unsigned threads,
                  const std::function<void(std::size_t)>& task,
                  const char* label = nullptr);

@@ -1,0 +1,180 @@
+#include "pipeline/stage_tasks.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "machine/config_io.hpp"
+#include "obs/registry.hpp"
+#include "pipeline/study_builder.hpp"
+#include "probes/probe_io.hpp"
+#include "probes/synthetic.hpp"
+#include "simulate/observation_io.hpp"
+#include "trace/signature_io.hpp"
+#include "workload/app_io.hpp"
+
+namespace msim::pipeline {
+
+namespace {
+
+void hash_executor_options(Fnv1a& hash,
+                           const simulate::ExecutorOptions& executor) {
+  hash.update("executor-v1");
+  hash.update_bool(executor.apply_tlb);
+  hash.update_bool(executor.apply_contention);
+  hash.update_bool(executor.apply_system_efficiency);
+  hash.update_bool(executor.apply_noise);
+  hash.update_u64(executor.noise_salt);
+  hash.update_double(executor.noise_amplitude);
+  hash.update_double(executor.affinity_amplitude);
+  hash.update_bool(executor.apply_conflicts);
+  hash.update_double(executor.conflict_strength);
+  hash.update_i64(static_cast<std::int64_t>(executor.overlap));
+}
+
+void hash_tracer_options(Fnv1a& hash, const trace::TracerOptions& tracer) {
+  hash.update("tracer-v1");
+  hash.update_u64(tracer.sample_refs);
+  hash.update_i64(tracer.short_stride_threshold);
+  hash.update_u64(tracer.seed);
+  hash.update_double(tracer.analyzer.false_negative_rate());
+  hash.update_double(tracer.analyzer.false_positive_rate());
+  hash.update_u64(tracer.analyzer.seed());
+}
+
+/// Cached load via a format-specific parser; malformed or unreadable
+/// entries count as misses (the artifact is recomputed and re-stored).
+/// Feeds the obs registry: `cache.hit` for entries that parse,
+/// `cache.miss.malformed` for entries that load but do not.
+template <typename Parse>
+auto try_cache(const ArtifactCache& cache, const std::string& name,
+               Parse parse)
+    -> std::optional<decltype(parse(std::string{}))> {
+  static obs::Counter& hits = obs::Registry::instance().counter("cache.hit");
+  static obs::Counter& malformed =
+      obs::Registry::instance().counter("cache.miss.malformed");
+  const auto text = cache.load(name);
+  if (!text) return std::nullopt;
+  try {
+    auto parsed = parse(*text);
+    hits.add();
+    return parsed;
+  } catch (const std::exception&) {
+    malformed.add();
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<SuiteItem> suite_items(
+    const std::vector<workload::TestCase>& suite) {
+  std::vector<SuiteItem> items;
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    for (int nprocs : suite[c].cpu_counts) {
+      Fnv1a hash;
+      hash.update("msim-app-v1");
+      hash.update(suite[c].name);
+      hash.update_i64(nprocs);
+      hash.update(workload::to_text(suite[c].build(nprocs)));
+      items.push_back(SuiteItem{.case_index = c,
+                                .nprocs = nprocs,
+                                .app_digest = hash.digest()});
+    }
+  }
+  return items;
+}
+
+std::uint64_t ground_truth_key(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<SuiteItem>& items,
+    const simulate::ExecutorOptions& executor) {
+  Fnv1a hash;
+  hash.update("msim-gt-v1");
+  hash.update_u64(machines.size());
+  for (const auto& machine : machines) {
+    hash.update_u64(machine::config_digest(machine));
+  }
+  hash.update_u64(items.size());
+  for (const auto& item : items) hash.update_u64(item.app_digest);
+  hash_executor_options(hash, executor);
+  return hash.digest();
+}
+
+std::uint64_t probe_key(const machine::MachineConfig& machine) {
+  return Fnv1a{}
+      .update("msim-probe-v1")
+      .update_u64(machine::config_digest(machine))
+      .digest();
+}
+
+std::uint64_t trace_key(const SuiteItem& item, const std::string& base,
+                        const trace::TracerOptions& tracer) {
+  Fnv1a hash;
+  hash.update("msim-trace-v1");
+  hash.update_u64(item.app_digest);
+  hash.update(base);
+  hash_tracer_options(hash, tracer);
+  return hash.digest();
+}
+
+std::string ground_truth_artifact_name(std::uint64_t key) {
+  return "gt-" + hex_digest(key) + ".txt";
+}
+
+std::string trace_artifact_name(std::uint64_t key) {
+  return "sig-" + hex_digest(key) + ".txt";
+}
+
+std::optional<simulate::ObservationSet> load_ground_truth(
+    const ArtifactCache& cache, const std::string& name) {
+  return try_cache(cache, name, simulate::observation_set_from_text);
+}
+
+probes::ProbeSet probe_task(const machine::MachineConfig& machine,
+                            const ArtifactCache& cache, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Probe sets are stored framed-binary (cache v2); the parser sniffs the
+  // frame magic, so either encoding loads from either name. A hit at the
+  // v1 text name is re-stored as binary so the cache converges to the
+  // compact format.
+  const std::string name = probe_artifact_name(machine);
+  probes::ProbeSet result;
+  if (auto cached = try_cache(cache, name, probes::probe_set_from_artifact)) {
+    result = std::move(*cached);
+    if (cache_hit != nullptr) *cache_hit = true;
+  } else if (auto legacy =
+                 try_cache(cache, legacy_probe_artifact_name(machine),
+                           probes::probe_set_from_artifact)) {
+    result = std::move(*legacy);
+    if (cache_hit != nullptr) *cache_hit = true;
+    cache.store(name, probes::to_binary(result));
+  } else {
+    result = probes::run_probe_suite(machine);
+    cache.store(name, probes::to_binary(result));
+  }
+  MSIM_REQUIRE(result.machine == machine.name,
+               "probe artifact names the wrong machine (cache corrupt?)");
+  return result;
+}
+
+trace::ApplicationSignature trace_task(
+    const workload::TestCase& test_case, const SuiteItem& item,
+    const std::string& base_name, const trace::TracerOptions& tracer,
+    const ArtifactCache& cache, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  const std::string name =
+      trace_artifact_name(trace_key(item, base_name, tracer));
+  if (auto cached = try_cache(cache, name, trace::signature_from_text)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return std::move(*cached);
+  }
+  const workload::AppModel app = test_case.build(item.nprocs);
+  trace::ApplicationSignature signature =
+      trace::trace_application(app, base_name, tracer);
+  cache.store(name, trace::to_text(signature));
+  return signature;
+}
+
+}  // namespace msim::pipeline

@@ -1,0 +1,87 @@
+// Per-item stage tasks and content keys shared by StudyBuilder and
+// StudyGraph.
+//
+// Each task is the unit of work of one pipeline stage for one item —
+// probe one machine, trace one (application, count), load one cached
+// ground-truth campaign — including the artifact-cache consultation
+// (lookup, checksum-verified load, recompute-and-store on miss). Keeping
+// the task bodies here means the single-study builder and the cross-study
+// graph execute byte-identical work from byte-identical cache names, so a
+// study built either way is bitwise the same and their artifacts are
+// interchangeable on disk.
+//
+// Keys are stable FNV-1a digests of the canonical text forms of exactly
+// the inputs that produced an artifact; see study_builder.hpp for the
+// stage inventory and key discipline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "probes/probe_set.hpp"
+#include "simulate/campaign.hpp"
+#include "simulate/executor.hpp"
+#include "trace/tracer.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::pipeline {
+
+/// One (test case, processor count) unit of suite work, with the digest of
+/// the instantiated application model it denotes.
+struct SuiteItem {
+  std::size_t case_index = 0;
+  int nprocs = 0;
+  std::uint64_t app_digest = 0;
+};
+
+/// The suite's work list in deterministic (case, count) order, each item
+/// carrying its application-model digest.
+[[nodiscard]] std::vector<SuiteItem> suite_items(
+    const std::vector<workload::TestCase>& suite);
+
+// --- content keys -----------------------------------------------------
+
+[[nodiscard]] std::uint64_t ground_truth_key(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<SuiteItem>& items,
+    const simulate::ExecutorOptions& executor);
+
+[[nodiscard]] std::uint64_t probe_key(const machine::MachineConfig& machine);
+
+[[nodiscard]] std::uint64_t trace_key(const SuiteItem& item,
+                                      const std::string& base,
+                                      const trace::TracerOptions& tracer);
+
+/// Cache file names derived from the stage keys. Probe names live in
+/// study_builder.hpp (public API used by tests and benches).
+[[nodiscard]] std::string ground_truth_artifact_name(std::uint64_t key);
+[[nodiscard]] std::string trace_artifact_name(std::uint64_t key);
+
+// --- per-item stage tasks ---------------------------------------------
+
+/// Cached ground-truth campaign for `name`, or nullopt on any miss
+/// (absent, unreadable, corrupt, malformed). Storing is the caller's job:
+/// the campaign artifact covers a whole fan-out, not one item.
+[[nodiscard]] std::optional<simulate::ObservationSet> load_ground_truth(
+    const ArtifactCache& cache, const std::string& name);
+
+/// Probe one machine with per-machine caching (framed binary, with
+/// transparent v1-text fallback and on-hit upgrade). `cache_hit` (may be
+/// null) reports whether the cache served the result.
+[[nodiscard]] probes::ProbeSet probe_task(
+    const machine::MachineConfig& machine, const ArtifactCache& cache,
+    bool* cache_hit);
+
+/// Trace one (application, count) on the base system with per-item
+/// caching. `cache_hit` (may be null) reports whether the cache served
+/// the result.
+[[nodiscard]] trace::ApplicationSignature trace_task(
+    const workload::TestCase& test_case, const SuiteItem& item,
+    const std::string& base_name, const trace::TracerOptions& tracer,
+    const ArtifactCache& cache, bool* cache_hit);
+
+}  // namespace msim::pipeline

@@ -1,24 +1,15 @@
 #include "pipeline/study_builder.hpp"
 
 #include <chrono>
-#include <exception>
 #include <utility>
 
-#include "common/check.hpp"
 #include "common/hash.hpp"
-#include "machine/config_io.hpp"
 #include "machine/registry.hpp"
-#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "pipeline/scheduler.hpp"
-#include "probes/probe_io.hpp"
-#include "probes/synthetic.hpp"
+#include "pipeline/stage_tasks.hpp"
+#include "pipeline/study_graph.hpp"
 #include "report/report.hpp"
-#include "simulate/campaign.hpp"
-#include "simulate/observation_io.hpp"
-#include "trace/signature_io.hpp"
-#include "trace/tracer.hpp"
-#include "workload/app_io.hpp"
 
 namespace msim::pipeline {
 
@@ -28,113 +19,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// One (test case, processor count) unit of suite work, with the digest of
-/// the instantiated application model it denotes.
-struct SuiteItem {
-  std::size_t case_index = 0;
-  int nprocs = 0;
-  std::uint64_t app_digest = 0;
-};
-
-std::vector<SuiteItem> suite_items(
-    const std::vector<workload::TestCase>& suite) {
-  std::vector<SuiteItem> items;
-  for (std::size_t c = 0; c < suite.size(); ++c) {
-    for (int nprocs : suite[c].cpu_counts) {
-      Fnv1a hash;
-      hash.update("msim-app-v1");
-      hash.update(suite[c].name);
-      hash.update_i64(nprocs);
-      hash.update(workload::to_text(suite[c].build(nprocs)));
-      items.push_back(SuiteItem{.case_index = c,
-                                .nprocs = nprocs,
-                                .app_digest = hash.digest()});
-    }
-  }
-  return items;
-}
-
-void hash_executor_options(Fnv1a& hash,
-                           const simulate::ExecutorOptions& executor) {
-  hash.update("executor-v1");
-  hash.update_bool(executor.apply_tlb);
-  hash.update_bool(executor.apply_contention);
-  hash.update_bool(executor.apply_system_efficiency);
-  hash.update_bool(executor.apply_noise);
-  hash.update_u64(executor.noise_salt);
-  hash.update_double(executor.noise_amplitude);
-  hash.update_double(executor.affinity_amplitude);
-  hash.update_bool(executor.apply_conflicts);
-  hash.update_double(executor.conflict_strength);
-  hash.update_i64(static_cast<std::int64_t>(executor.overlap));
-}
-
-void hash_tracer_options(Fnv1a& hash, const trace::TracerOptions& tracer) {
-  hash.update("tracer-v1");
-  hash.update_u64(tracer.sample_refs);
-  hash.update_i64(tracer.short_stride_threshold);
-  hash.update_u64(tracer.seed);
-  hash.update_double(tracer.analyzer.false_negative_rate());
-  hash.update_double(tracer.analyzer.false_positive_rate());
-  hash.update_u64(tracer.analyzer.seed());
-}
-
-std::uint64_t ground_truth_key(
-    const std::vector<machine::MachineConfig>& machines,
-    const std::vector<SuiteItem>& items,
-    const simulate::ExecutorOptions& executor) {
-  Fnv1a hash;
-  hash.update("msim-gt-v1");
-  hash.update_u64(machines.size());
-  for (const auto& machine : machines) {
-    hash.update_u64(machine::config_digest(machine));
-  }
-  hash.update_u64(items.size());
-  for (const auto& item : items) hash.update_u64(item.app_digest);
-  hash_executor_options(hash, executor);
-  return hash.digest();
-}
-
-std::uint64_t probe_key(const machine::MachineConfig& machine) {
-  return Fnv1a{}
-      .update("msim-probe-v1")
-      .update_u64(machine::config_digest(machine))
-      .digest();
-}
-
-std::uint64_t trace_key(const SuiteItem& item, const std::string& base,
-                        const trace::TracerOptions& tracer) {
-  Fnv1a hash;
-  hash.update("msim-trace-v1");
-  hash.update_u64(item.app_digest);
-  hash.update(base);
-  hash_tracer_options(hash, tracer);
-  return hash.digest();
-}
-
-/// Cached load via a format-specific parser; malformed or unreadable
-/// entries count as misses (the artifact is recomputed and re-stored).
-/// Feeds the obs registry: `cache.hit` for entries that parse,
-/// `cache.miss.malformed` for entries that load but do not.
-template <typename Parse>
-auto try_cache(const ArtifactCache& cache, const std::string& name,
-               Parse parse)
-    -> std::optional<decltype(parse(std::string{}))> {
-  static obs::Counter& hits = obs::Registry::instance().counter("cache.hit");
-  static obs::Counter& malformed =
-      obs::Registry::instance().counter("cache.miss.malformed");
-  const auto text = cache.load(name);
-  if (!text) return std::nullopt;
-  try {
-    auto parsed = parse(*text);
-    hits.add();
-    return parsed;
-  } catch (const std::exception&) {
-    malformed.add();
-    return std::nullopt;
-  }
 }
 
 }  // namespace
@@ -231,35 +115,14 @@ std::map<std::string, probes::ProbeSet> run_probe_stage(
   run_indexed(
       machines.size(), threads,
       [&](std::size_t index) {
-        const auto& machine = machines[index];
-        // Probe sets are stored framed-binary (cache v2); the parser
-        // sniffs the frame magic, so either encoding loads from either
-        // name. A hit at the v1 text name is re-stored as binary so the
-        // cache converges to the compact format.
-        const std::string name = probe_artifact_name(machine);
-        if (auto cached =
-                try_cache(cache, name, probes::probe_set_from_artifact)) {
-          results[index] = std::move(*cached);
-          hit[index] = 1;
-          return;
-        }
-        const std::string legacy = legacy_probe_artifact_name(machine);
-        if (auto cached = try_cache(cache, legacy,
-                                    probes::probe_set_from_artifact)) {
-          results[index] = std::move(*cached);
-          hit[index] = 1;
-          cache.store(name, probes::to_binary(results[index]));
-          return;
-        }
-        results[index] = probes::run_probe_suite(machine);
-        cache.store(name, probes::to_binary(results[index]));
+        bool cache_hit = false;
+        results[index] = probe_task(machines[index], cache, &cache_hit);
+        hit[index] = cache_hit ? 1 : 0;
       },
       "probes");
 
   std::map<std::string, probes::ProbeSet> sets;
   for (std::size_t i = 0; i < machines.size(); ++i) {
-    MSIM_REQUIRE(results[i].machine == machines[i].name,
-                 "probe artifact names the wrong machine (cache corrupt?)");
     sets.emplace(machines[i].name, std::move(results[i]));
   }
   if (stats != nullptr) {
@@ -272,16 +135,12 @@ std::map<std::string, probes::ProbeSet> run_probe_stage(
 }
 
 metrics::Study StudyBuilder::build() {
-  const auto total_start = Clock::now();
-
   std::vector<machine::MachineConfig> targets =
       targets_ ? *targets_ : machine::targets();
   machine::MachineConfig base =
       base_ ? *base_ : machine::find(machine::base_system_name());
   std::vector<workload::TestCase> suite =
       suite_ ? *suite_ : workload::ti05_suite();
-  MSIM_REQUIRE(!targets.empty(), "study needs target machines");
-  MSIM_REQUIRE(!suite.empty(), "study needs test cases");
 
   const bool use_cache =
       cache_enabled_ ? *cache_enabled_ : options_.cache_artifacts;
@@ -289,108 +148,25 @@ metrics::Study StudyBuilder::build() {
       !cache_dir_.empty() ? cache_dir_ : options_.cache_dir;
   const std::uint64_t max_bytes =
       cache_max_bytes_ ? *cache_max_bytes_ : options_.cache_max_bytes;
-  const ArtifactCache cache =
-      use_cache ? ArtifactCache(dir, max_bytes) : ArtifactCache();
   const unsigned threads =
       threads_ ? *threads_ : options_.build_threads;
 
-  stats_ = BuildStats{};
-  stats_.cache_enabled = cache.enabled();
-  stats_.cache_dir = cache.enabled() ? cache.dir() : std::string{};
-
-  std::vector<machine::MachineConfig> machines = targets;
-  machines.push_back(base);
-  const std::vector<SuiteItem> items = suite_items(suite);
-
-  // --- Stage 1: GroundTruth (the full campaign) -----------------------
-  simulate::ObservationSet observations;
-  {
-    const auto start = Clock::now();
-    obs::Span stage_span("stage:ground-truth", "pipeline");
-    const std::string name =
-        "gt-" +
-        hex_digest(ground_truth_key(machines, items, options_.executor)) +
-        ".txt";
-    stats_.ground_truth.items = 1;
-    if (auto cached =
-            try_cache(cache, name, simulate::observation_set_from_text)) {
-      observations = std::move(*cached);
-      stats_.ground_truth.cache_hits = 1;
-    } else {
-      observations = simulate::run_campaign_parallel(
-          machines, suite, options_.executor,
-          effective_threads(threads, items.size()));
-      cache.store(name, simulate::to_text(observations));
-    }
-    stats_.ground_truth.seconds = seconds_since(start);
-  }
-
-  // --- Stage 2: Probes (fan out per machine) --------------------------
-  std::map<std::string, probes::ProbeSet> probe_sets =
-      run_probe_stage(machines, threads, cache, &stats_.probes);
-
-  // --- Stage 3: Traces (fan out per (application, count)) -------------
-  std::map<std::pair<std::string, int>, trace::ApplicationSignature>
-      signatures;
-  {
-    const auto start = Clock::now();
-    obs::Span stage_span("stage:traces", "pipeline");
-    stage_span.arg("items", static_cast<std::int64_t>(items.size()));
-    std::vector<trace::ApplicationSignature> results(items.size());
-    std::vector<unsigned char> hit(items.size(), 0);
-    run_indexed(
-        items.size(), threads,
-        [&](std::size_t index) {
-          const SuiteItem& item = items[index];
-          const workload::TestCase& test_case = suite[item.case_index];
-          const std::string name =
-              "sig-" +
-              hex_digest(trace_key(item, base.name, options_.tracer)) +
-              ".txt";
-          if (auto cached =
-                  try_cache(cache, name, trace::signature_from_text)) {
-            results[index] = std::move(*cached);
-            hit[index] = 1;
-            return;
-          }
-          const workload::AppModel app = test_case.build(item.nprocs);
-          results[index] =
-              trace::trace_application(app, base.name, options_.tracer);
-          cache.store(name, trace::to_text(results[index]));
-        },
-        "traces");
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      signatures.emplace(
-          std::make_pair(suite[items[i].case_index].name, items[i].nprocs),
-          std::move(results[i]));
-    }
-    stats_.traces.items = items.size();
-    for (unsigned char h : hit) stats_.traces.cache_hits += h;
-    stats_.traces.seconds = seconds_since(start);
-  }
-
-  // --- Stage 4: Assemble ----------------------------------------------
-  const auto assemble_start = Clock::now();
-  obs::Span assemble_span("stage:assemble", "pipeline");
-  metrics::StudyParts parts;
-  for (const auto& target : targets) parts.target_names.push_back(target.name);
-  parts.base = base.name;
-  parts.suite = std::move(suite);
-  parts.options = options_;
-  parts.observations = std::move(observations);
-  parts.probes = std::move(probe_sets);
-  parts.signatures = std::move(signatures);
-  metrics::Study study = metrics::Study::assemble(std::move(parts));
-  stats_.assemble_seconds = seconds_since(assemble_start);
-  stats_.total_seconds = seconds_since(total_start);
-  if (cache.enabled()) {
-    const ArtifactCache::Stats cache_stats = cache.stats();
-    stats_.cache_entries = cache_stats.entries;
-    stats_.cache_bytes = cache_stats.bytes;
-    stats_.cache_max_bytes = cache_stats.max_bytes;
-    stats_.cache_evictions = cache_stats.evictions;
-  }
-  return study;
+  // One engine: a single-spec cross-study graph. The graph lowers the
+  // spec into the same stage nodes (same content keys, same artifacts,
+  // same task bodies) a multi-study build would share.
+  StudyGraph graph;
+  graph.threads(threads)
+      .cache(use_cache)
+      .cache_dir(dir)
+      .cache_max_bytes(max_bytes);
+  const std::size_t handle =
+      graph.add_study(StudySpec{.targets = std::move(targets),
+                                .base = std::move(base),
+                                .suite = std::move(suite),
+                                .options = options_});
+  graph.build_all();
+  stats_ = graph.study_stats(handle);
+  return graph.take_study(handle);
 }
 
 std::string BuildStats::summary() const {

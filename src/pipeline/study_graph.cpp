@@ -1,0 +1,534 @@
+#include "pipeline/study_graph.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/scheduler.hpp"
+#include "pipeline/stage_tasks.hpp"
+#include "simulate/observation_io.hpp"
+
+namespace msim::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+StudySpec paper_spec(metrics::StudyOptions options) {
+  StudySpec spec;
+  spec.targets = machine::targets();
+  spec.base = machine::find(machine::base_system_name());
+  spec.suite = workload::ti05_suite();
+  spec.options = std::move(options);
+  return spec;
+}
+
+std::string GraphStats::summary() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "graph: %zu studies, %zu probe batches, %zu nodes, "
+                "%zu deduped, %zu cache hits, %u workers, busy %.2fs, "
+                "wall %.2fs",
+                studies, probe_batches, nodes, dedup_hits, cache_hits,
+                workers, busy_seconds, wall_seconds);
+  return line;
+}
+
+struct StudyGraph::Impl {
+  struct Node {
+    enum class Kind { GroundTruthItem, GroundTruthCollect, Probe, Trace,
+                      Assemble };
+    Kind kind;
+    const char* span_name = "stage";
+    std::function<void()> run;
+    std::vector<std::size_t> dependents;
+    std::size_t pending = 0;  ///< unmet dependencies (guarded by pool lock)
+    bool cache_hit = false;
+    double seconds = 0.0;
+
+    // Outputs (the slot matching `kind` is used).
+    std::vector<simulate::Observation> gt_chunk;   ///< GroundTruthItem
+    simulate::ObservationSet observations;         ///< GroundTruthCollect
+    std::vector<std::size_t> gt_item_nodes;        ///< GroundTruthCollect
+    probes::ProbeSet probe;                        ///< Probe
+    trace::ApplicationSignature signature;         ///< Trace
+  };
+
+  struct StudyRecord {
+    StudySpec spec;
+    std::vector<machine::MachineConfig> machines;  ///< targets + base, in order
+    std::vector<SuiteItem> items;
+    std::size_t gt_collect = 0;
+    std::vector<std::size_t> probe_nodes;  ///< one per machine, in order
+    std::vector<std::size_t> trace_nodes;  ///< one per item, in order
+    std::optional<metrics::Study> study;
+    bool taken = false;
+    BuildStats stats;
+  };
+
+  struct ProbeBatch {
+    std::vector<machine::MachineConfig> machines;
+    std::vector<std::size_t> probe_nodes;
+    StageStats stats{.name = "probes"};
+  };
+
+  // Configuration.
+  unsigned threads = 0;
+  bool cache_enabled = false;
+  std::string cache_root;
+  std::uint64_t cache_max = 0;
+
+  // Graph state.
+  std::vector<std::unique_ptr<StudyRecord>> studies;
+  std::vector<std::unique_ptr<ProbeBatch>> batches;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::map<std::pair<int, std::uint64_t>, std::size_t> node_by_key;
+  ArtifactCache cache;
+  GraphStats graph_stats;
+  bool built = false;
+
+  std::size_t new_node(Node::Kind kind, const char* span_name) {
+    auto node = std::make_unique<Node>();
+    node->kind = kind;
+    node->span_name = span_name;
+    nodes.push_back(std::move(node));
+    return nodes.size() - 1;
+  }
+
+  /// Node for (kind, key), creating it via `make` on first request.
+  /// Requests served by an existing node count as dedup hits.
+  template <typename Make>
+  std::size_t dedup_node(Node::Kind kind, std::uint64_t key, Make make) {
+    const auto found = node_by_key.find({static_cast<int>(kind), key});
+    if (found != node_by_key.end()) {
+      ++graph_stats.dedup_hits;
+      return found->second;
+    }
+    const std::size_t id = make();
+    node_by_key.emplace(std::make_pair(static_cast<int>(kind), key), id);
+    return id;
+  }
+
+  void depends_on(std::size_t dependent, std::size_t dependency) {
+    nodes[dependency]->dependents.push_back(dependent);
+    ++nodes[dependent]->pending;
+  }
+
+  // Node closures capture pointers to objects with graph lifetime (nodes
+  // are heap-allocated and stable; records and their members are never
+  // mutated after lowering), never references to lowering-time locals.
+  std::size_t probe_node_for(const machine::MachineConfig& machine) {
+    return dedup_node(Node::Kind::Probe, probe_key(machine), [&] {
+      const std::size_t id = new_node(Node::Kind::Probe, "stage:probes");
+      Node* node = nodes[id].get();
+      const machine::MachineConfig* config = &machine;
+      node->run = [this, node, config] {
+        node->probe = probe_task(*config, cache, &node->cache_hit);
+      };
+      return id;
+    });
+  }
+
+  /// Lower one study spec into nodes (ground truth, probes, traces,
+  /// assemble), deduplicating against everything lowered before it.
+  void lower_study(StudyRecord& record) {
+    // Ground truth: item nodes feeding a collect node that orders the
+    // observations deterministically and owns the campaign artifact. A
+    // cached campaign collapses to a pre-loaded collect node, probed here
+    // (at lowering time) because the artifact covers the whole fan-out.
+    const std::uint64_t gt_key = ground_truth_key(
+        record.machines, record.items, record.spec.options.executor);
+    record.gt_collect =
+        dedup_node(Node::Kind::GroundTruthCollect, gt_key, [&] {
+          const std::string artifact = ground_truth_artifact_name(gt_key);
+          const std::size_t collect_id =
+              new_node(Node::Kind::GroundTruthCollect, "stage:ground-truth");
+          if (auto cached = load_ground_truth(cache, artifact)) {
+            Node* collect = nodes[collect_id].get();
+            collect->observations = std::move(*cached);
+            collect->cache_hit = true;
+            collect->run = [] {};
+            return collect_id;
+          }
+          std::vector<std::size_t> item_ids;
+          for (std::size_t i = 0; i < record.items.size(); ++i) {
+            const std::size_t item_id =
+                new_node(Node::Kind::GroundTruthItem, "stage:ground-truth");
+            Node* item_node = nodes[item_id].get();
+            StudyRecord* rec = &record;
+            item_node->run = [this, item_node, rec, i] {
+              const SuiteItem& item = rec->items[i];
+              item_node->gt_chunk = simulate::run_campaign_item(
+                  rec->machines, rec->spec.suite,
+                  simulate::CampaignItem{.case_index = item.case_index,
+                                         .nprocs = item.nprocs},
+                  rec->spec.options.executor);
+            };
+            item_ids.push_back(item_id);
+          }
+          Node* collect = nodes[collect_id].get();
+          collect->gt_item_nodes = item_ids;
+          collect->run = [this, collect, artifact] {
+            for (std::size_t item_id : collect->gt_item_nodes) {
+              for (auto& observation : nodes[item_id]->gt_chunk) {
+                collect->observations.add(std::move(observation));
+              }
+            }
+            cache.store(artifact, simulate::to_text(collect->observations));
+          };
+          for (std::size_t item_id : item_ids) {
+            depends_on(collect_id, item_id);
+          }
+          return collect_id;
+        });
+
+    for (const auto& machine : record.machines) {
+      record.probe_nodes.push_back(probe_node_for(machine));
+    }
+
+    for (std::size_t i = 0; i < record.items.size(); ++i) {
+      const std::uint64_t key = trace_key(
+          record.items[i], record.spec.base.name, record.spec.options.tracer);
+      record.trace_nodes.push_back(
+          dedup_node(Node::Kind::Trace, key, [&] {
+            const std::size_t id = new_node(Node::Kind::Trace, "stage:traces");
+            Node* node = nodes[id].get();
+            StudyRecord* rec = &record;
+            node->run = [this, node, rec, i] {
+              const SuiteItem& item = rec->items[i];
+              node->signature = trace_task(
+                  rec->spec.suite[item.case_index], item, rec->spec.base.name,
+                  rec->spec.options.tracer, cache, &node->cache_hit);
+            };
+            return id;
+          }));
+    }
+
+    const std::size_t assemble_id =
+        new_node(Node::Kind::Assemble, "stage:assemble");
+    Node& assemble = *nodes[assemble_id];
+    StudyRecord* rec = &record;
+    assemble.run = [this, rec] { assemble_study(*rec); };
+    depends_on(assemble_id, record.gt_collect);
+    for (std::size_t id : record.probe_nodes) depends_on(assemble_id, id);
+    for (std::size_t id : record.trace_nodes) depends_on(assemble_id, id);
+  }
+
+  /// The Assemble node body: copy stage outputs (they may be shared with
+  /// other studies) into StudyParts and record per-study stats.
+  void assemble_study(StudyRecord& record) {
+    const auto start = Clock::now();
+    metrics::StudyParts parts;
+    for (const auto& target : record.spec.targets) {
+      parts.target_names.push_back(target.name);
+    }
+    parts.base = record.spec.base.name;
+    parts.suite = record.spec.suite;
+    parts.options = record.spec.options;
+    const Node& collect = *nodes[record.gt_collect];
+    parts.observations = collect.observations;
+    for (std::size_t i = 0; i < record.machines.size(); ++i) {
+      parts.probes.emplace(record.machines[i].name,
+                           nodes[record.probe_nodes[i]]->probe);
+    }
+    for (std::size_t i = 0; i < record.items.size(); ++i) {
+      parts.signatures.emplace(
+          std::make_pair(
+              record.spec.suite[record.items[i].case_index].name,
+              record.items[i].nprocs),
+          nodes[record.trace_nodes[i]]->signature);
+    }
+    record.study.emplace(metrics::Study::assemble(std::move(parts)));
+
+    BuildStats& stats = record.stats;
+    stats.ground_truth.items = 1;
+    stats.ground_truth.cache_hits = collect.cache_hit ? 1 : 0;
+    stats.ground_truth.seconds = collect.seconds;
+    for (std::size_t id : collect.gt_item_nodes) {
+      stats.ground_truth.seconds += nodes[id]->seconds;
+    }
+    stats.probes.items = record.probe_nodes.size();
+    for (std::size_t id : record.probe_nodes) {
+      stats.probes.cache_hits += nodes[id]->cache_hit ? 1 : 0;
+      stats.probes.seconds += nodes[id]->seconds;
+    }
+    stats.traces.items = record.trace_nodes.size();
+    for (std::size_t id : record.trace_nodes) {
+      stats.traces.cache_hits += nodes[id]->cache_hit ? 1 : 0;
+      stats.traces.seconds += nodes[id]->seconds;
+    }
+    stats.assemble_seconds = seconds_since(start);
+  }
+
+  void run_node(Node& node) {
+    const auto start = Clock::now();
+    if (obs::collecting()) {
+      obs::Span span(node.span_name, "pipeline");
+      node.run();
+    } else {
+      node.run();
+    }
+    node.seconds = seconds_since(start);
+  }
+
+  /// Execute the DAG on `workers` pool threads: per-worker deques (own
+  /// work popped LIFO for locality, steals FIFO from siblings), one lock
+  /// for the structural state — node tasks run unlocked and dominate, so
+  /// the lock is uncontended. Every pool thread registers a WorkerScope,
+  /// so fan-outs issued from inside a node run inline.
+  void execute(unsigned workers) {
+    std::vector<std::deque<std::size_t>> queues(workers);
+    std::mutex lock;
+    std::condition_variable work_ready;
+    std::size_t remaining = nodes.size();
+    std::exception_ptr first_error;
+    bool abort = false;
+
+    std::size_t seed = 0;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+      if (nodes[id]->pending == 0) {
+        queues[seed++ % workers].push_back(id);
+      }
+    }
+
+    auto worker = [&](unsigned slot) {
+      WorkerScope scope;
+      std::unique_lock<std::mutex> guard(lock);
+      while (!abort && remaining > 0) {
+        std::size_t id = 0;
+        bool found = false;
+        if (!queues[slot].empty()) {
+          id = queues[slot].back();
+          queues[slot].pop_back();
+          found = true;
+        } else {
+          for (unsigned step = 1; step < workers && !found; ++step) {
+            auto& victim = queues[(slot + step) % workers];
+            if (!victim.empty()) {
+              id = victim.front();
+              victim.pop_front();
+              found = true;
+            }
+          }
+        }
+        if (!found) {
+          work_ready.wait(guard);
+          continue;
+        }
+
+        guard.unlock();
+        std::exception_ptr error;
+        try {
+          run_node(*nodes[id]);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        guard.lock();
+
+        if (error) {
+          if (!first_error) first_error = error;
+          abort = true;
+          work_ready.notify_all();
+          break;
+        }
+        --remaining;
+        for (std::size_t dependent : nodes[id]->dependents) {
+          if (--nodes[dependent]->pending == 0) {
+            queues[slot].push_back(dependent);
+          }
+        }
+        // Wake siblings: new work may have appeared, or the graph drained.
+        work_ready.notify_all();
+      }
+      work_ready.notify_all();
+    };
+
+    if (workers == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
+      for (auto& thread : pool) thread.join();
+    }
+
+    if (first_error) std::rethrow_exception(first_error);
+    MSIM_CHECK(remaining == 0, "study graph stalled with nodes pending");
+  }
+
+  void build_all() {
+    MSIM_REQUIRE(!built, "study graph already built");
+    MSIM_REQUIRE(!studies.empty() || !batches.empty(),
+                 "study graph has nothing to build");
+    built = true;
+    const auto wall_start = Clock::now();
+    obs::Span graph_span("graph:build", "pipeline");
+
+    cache = cache_enabled ? ArtifactCache(cache_root, cache_max)
+                          : ArtifactCache();
+
+    for (auto& record : studies) lower_study(*record);
+    for (auto& batch : batches) {
+      for (const auto& machine : batch->machines) {
+        batch->probe_nodes.push_back(probe_node_for(machine));
+      }
+    }
+
+    graph_stats.studies = studies.size();
+    graph_stats.probe_batches = batches.size();
+    graph_stats.nodes = nodes.size();
+    obs::Registry& registry = obs::Registry::instance();
+    registry.counter("graph.builds").add();
+    registry.counter("graph.studies").add(studies.size());
+    registry.counter("graph.nodes").add(nodes.size());
+    registry.counter("graph.dedup.hits").add(graph_stats.dedup_hits);
+
+    const unsigned workers =
+        inside_scheduler_worker()
+            ? 1
+            : effective_threads(threads, nodes.size());
+    graph_stats.workers = workers;
+    execute(workers);
+
+    for (const auto& node : nodes) {
+      graph_stats.busy_seconds += node->seconds;
+      if (node->cache_hit) ++graph_stats.cache_hits;
+    }
+    graph_stats.wall_seconds = seconds_since(wall_start);
+    if (obs::collecting()) {
+      publish_fanout_metrics("graph", nodes.size(), workers,
+                             graph_stats.busy_seconds,
+                             graph_stats.wall_seconds);
+    }
+
+    // Per-study cache totals and overall wall clock (one shared build, so
+    // every study reports the same bottom line — same as a lone builder).
+    ArtifactCache::Stats cache_stats{};
+    if (cache.enabled()) cache_stats = cache.stats();
+    for (auto& record : studies) {
+      BuildStats& stats = record->stats;
+      stats.total_seconds = graph_stats.wall_seconds;
+      stats.cache_enabled = cache.enabled();
+      stats.cache_dir = cache.enabled() ? cache.dir() : std::string{};
+      stats.cache_entries = cache_stats.entries;
+      stats.cache_bytes = cache_stats.bytes;
+      stats.cache_max_bytes = cache_stats.max_bytes;
+      stats.cache_evictions = cache_stats.evictions;
+    }
+    for (auto& batch : batches) {
+      batch->stats.items = batch->probe_nodes.size();
+      for (std::size_t id : batch->probe_nodes) {
+        batch->stats.cache_hits += nodes[id]->cache_hit ? 1 : 0;
+        batch->stats.seconds += nodes[id]->seconds;
+      }
+    }
+  }
+};
+
+StudyGraph::StudyGraph() : impl_(std::make_unique<Impl>()) {}
+StudyGraph::~StudyGraph() = default;
+
+StudyGraph& StudyGraph::threads(unsigned threads) {
+  impl_->threads = threads;
+  return *this;
+}
+
+StudyGraph& StudyGraph::cache(bool enabled) {
+  impl_->cache_enabled = enabled;
+  return *this;
+}
+
+StudyGraph& StudyGraph::cache_dir(std::string dir) {
+  impl_->cache_root = std::move(dir);
+  return *this;
+}
+
+StudyGraph& StudyGraph::cache_max_bytes(std::uint64_t max_bytes) {
+  impl_->cache_max = max_bytes;
+  return *this;
+}
+
+std::size_t StudyGraph::add_study(StudySpec spec) {
+  MSIM_REQUIRE(!impl_->built, "study graph already built");
+  MSIM_REQUIRE(!spec.targets.empty(), "study needs target machines");
+  MSIM_REQUIRE(!spec.suite.empty(), "study needs test cases");
+  auto record = std::make_unique<Impl::StudyRecord>();
+  record->spec = std::move(spec);
+  record->machines = record->spec.targets;
+  record->machines.push_back(record->spec.base);
+  record->items = suite_items(record->spec.suite);
+  impl_->studies.push_back(std::move(record));
+  return impl_->studies.size() - 1;
+}
+
+std::size_t StudyGraph::add_probes(
+    std::vector<machine::MachineConfig> machines) {
+  MSIM_REQUIRE(!impl_->built, "study graph already built");
+  MSIM_REQUIRE(!machines.empty(), "probe batch needs machines");
+  auto batch = std::make_unique<Impl::ProbeBatch>();
+  batch->machines = std::move(machines);
+  impl_->batches.push_back(std::move(batch));
+  return impl_->batches.size() - 1;
+}
+
+void StudyGraph::build_all() { impl_->build_all(); }
+
+metrics::Study StudyGraph::take_study(std::size_t study) {
+  MSIM_REQUIRE(impl_->built, "build_all() must run before take_study");
+  MSIM_REQUIRE(study < impl_->studies.size(), "unknown study handle");
+  Impl::StudyRecord& record = *impl_->studies[study];
+  MSIM_REQUIRE(!record.taken, "study already taken from the graph");
+  record.taken = true;
+  metrics::Study taken = std::move(*record.study);
+  record.study.reset();
+  return taken;
+}
+
+const BuildStats& StudyGraph::study_stats(std::size_t study) const {
+  MSIM_REQUIRE(impl_->built, "build_all() must run before study_stats");
+  MSIM_REQUIRE(study < impl_->studies.size(), "unknown study handle");
+  return impl_->studies[study]->stats;
+}
+
+std::map<std::string, probes::ProbeSet> StudyGraph::probe_sets(
+    std::size_t batch) const {
+  MSIM_REQUIRE(impl_->built, "build_all() must run before probe_sets");
+  MSIM_REQUIRE(batch < impl_->batches.size(), "unknown probe batch handle");
+  const Impl::ProbeBatch& record = *impl_->batches[batch];
+  std::map<std::string, probes::ProbeSet> sets;
+  for (std::size_t i = 0; i < record.machines.size(); ++i) {
+    sets.emplace(record.machines[i].name,
+                 impl_->nodes[record.probe_nodes[i]]->probe);
+  }
+  return sets;
+}
+
+const StageStats& StudyGraph::probe_stats(std::size_t batch) const {
+  MSIM_REQUIRE(impl_->built, "build_all() must run before probe_stats");
+  MSIM_REQUIRE(batch < impl_->batches.size(), "unknown probe batch handle");
+  return impl_->batches[batch]->stats;
+}
+
+const GraphStats& StudyGraph::stats() const { return impl_->graph_stats; }
+
+}  // namespace msim::pipeline

@@ -1,0 +1,126 @@
+// Cross-study stage graph: many studies, one deduplicated DAG, one pool.
+//
+// A StudyGraph accepts any number of study specs (the 11 base-system
+// ablations, the W multiworld replicas, the TI-06 outlook variants) plus
+// standalone probe batches, lowers them all into one directed acyclic
+// graph of stage nodes, and executes the whole graph on a single
+// work-stealing pool sized by effective_threads. Two properties fall out:
+//
+//   dedup   — nodes are keyed by the same content keys that name the
+//             artifact cache entries, so stage work shared between specs
+//             exists once in the graph: probe nodes are identical across
+//             every ablation study (same machines), trace nodes are
+//             identical across worlds that differ only in `noise_salt`
+//             (traces never see the salt). `graph.dedup.hits` counts the
+//             requests served by an existing node.
+//   overlap — independent nodes from *different* studies run concurrently
+//             on the one pool, so the outer "for each base / for each
+//             world" loops stop serializing whole study builds. Workers
+//             register with the scheduler's nesting accounting, so a
+//             campaign fan-out inside a ground-truth node runs inline
+//             instead of spawning a second pool: the process never
+//             exceeds effective_threads concurrent workers.
+//
+// Node granularity matches the artifact cache: one node per machine
+// (probes), per (application, count) (traces), per campaign item
+// (ground-truth compute) plus one collect node per campaign that orders
+// observations deterministically and owns the whole-campaign artifact.
+// Results are therefore bitwise identical to a serial per-study build —
+// the same guarantee test_pipeline.cpp enforces per study — and
+// StudyBuilder::build() is itself a one-spec StudyGraph, so there is
+// exactly one engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+#include "metrics/study.hpp"
+#include "pipeline/study_builder.hpp"
+#include "probes/probe_set.hpp"
+
+namespace msim::pipeline {
+
+/// One study to build: the inputs Study::assemble needs. The options'
+/// pipeline-execution knobs (build_threads, cache_*) are ignored here —
+/// execution is configured once, graph-wide, via the StudyGraph setters.
+struct StudySpec {
+  std::vector<machine::MachineConfig> targets;
+  machine::MachineConfig base;
+  std::vector<workload::TestCase> suite;
+  metrics::StudyOptions options{};
+};
+
+/// The full paper study spec: registry targets, registry base system,
+/// TI-05 suite.
+[[nodiscard]] StudySpec paper_spec(metrics::StudyOptions options = {});
+
+/// Whole-graph execution record (valid after build_all()).
+struct GraphStats {
+  std::size_t studies = 0;      ///< study specs added
+  std::size_t probe_batches = 0;
+  std::size_t nodes = 0;        ///< nodes in the graph, after dedup
+  std::size_t dedup_hits = 0;   ///< node requests served by an existing node
+  std::size_t cache_hits = 0;   ///< nodes served by the artifact cache
+  unsigned workers = 0;         ///< pool size used
+  double busy_seconds = 0.0;    ///< summed node execution time
+  double wall_seconds = 0.0;    ///< build_all wall clock
+
+  /// One diagnostics line for bench stderr banners.
+  [[nodiscard]] std::string summary() const;
+};
+
+class StudyGraph {
+ public:
+  StudyGraph();
+  ~StudyGraph();
+  StudyGraph(const StudyGraph&) = delete;
+  StudyGraph& operator=(const StudyGraph&) = delete;
+
+  /// Worker threads for the pool; 0 = default (MSIM_THREADS or hardware).
+  StudyGraph& threads(unsigned threads);
+  /// Enable/disable the shared artifact cache (default: disabled).
+  StudyGraph& cache(bool enabled);
+  /// Cache root; empty = MSIM_CACHE_DIR or ".msim-cache".
+  StudyGraph& cache_dir(std::string dir);
+  /// Cache size cap in bytes; 0 = MSIM_CACHE_MAX_BYTES or unlimited.
+  StudyGraph& cache_max_bytes(std::uint64_t max_bytes);
+
+  /// Queue a study; returns its handle. Must precede build_all().
+  std::size_t add_study(StudySpec spec);
+
+  /// Queue a standalone probe batch (machines probed outside any study,
+  /// e.g. proposed systems); returns its handle. Probe nodes dedup
+  /// against study probe nodes by content key.
+  std::size_t add_probes(std::vector<machine::MachineConfig> machines);
+
+  /// Lower every queued spec into the deduplicated node graph and execute
+  /// it on one pool. Callable once; rethrows the first node exception.
+  void build_all();
+
+  /// Move a built study out of the graph. Callable once per handle.
+  [[nodiscard]] metrics::Study take_study(std::size_t study);
+
+  /// Per-study stage stats, comparable to StudyBuilder::stats(). A stage
+  /// item another study already executed counts as neither executed nor a
+  /// cache hit here — dedup is reported on the graph, not the study.
+  [[nodiscard]] const BuildStats& study_stats(std::size_t study) const;
+
+  /// Probe sets of a batch, keyed by machine name.
+  [[nodiscard]] std::map<std::string, probes::ProbeSet> probe_sets(
+      std::size_t batch) const;
+
+  /// Per-batch stage stats (items, cache hits, summed seconds).
+  [[nodiscard]] const StageStats& probe_stats(std::size_t batch) const;
+
+  [[nodiscard]] const GraphStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace msim::pipeline

@@ -1,13 +1,15 @@
 #include "simulate/campaign.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
-
 #include "common/check.hpp"
 #include "machine/registry.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+// Layering note: the campaign participates in the pipeline's shared stage
+// scheduler instead of owning a pool — run_indexed honors MSIM_THREADS and
+// degrades to inline execution when the campaign already runs on a
+// scheduler worker (a StudyGraph ground-truth node), so nested campaigns
+// can never oversubscribe the machine.
+#include "pipeline/scheduler.hpp"
 
 namespace msim::simulate {
 
@@ -79,49 +81,54 @@ ObservationSet run_campaign(
   return set;
 }
 
+std::vector<CampaignItem> campaign_items(
+    const std::vector<workload::TestCase>& suite) {
+  std::vector<CampaignItem> items;
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    for (int nprocs : suite[c].cpu_counts) {
+      items.push_back(CampaignItem{.case_index = c, .nprocs = nprocs});
+    }
+  }
+  return items;
+}
+
+std::vector<Observation> run_campaign_item(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite, const CampaignItem& item,
+    const ExecutorOptions& options) {
+  MSIM_REQUIRE(item.case_index < suite.size(),
+               "campaign item outside the suite");
+  const workload::TestCase& test_case = suite[item.case_index];
+  const workload::AppModel app = test_case.build(item.nprocs);
+  std::vector<Observation> observations;
+  observations.reserve(machines.size());
+  for (const auto& machine : machines) {
+    const RunResult run =
+        traced_execute(app, machine, options, test_case.name, item.nprocs);
+    observations.push_back(Observation{.app = test_case.name,
+                                       .nprocs = item.nprocs,
+                                       .machine = machine.name,
+                                       .seconds = run.wall_seconds});
+  }
+  return observations;
+}
+
 ObservationSet run_campaign_parallel(
     const std::vector<machine::MachineConfig>& machines,
     const std::vector<workload::TestCase>& suite,
     const ExecutorOptions& options, unsigned threads) {
-  // Work items: one per (test case, count), in deterministic order.
-  struct WorkItem {
-    const workload::TestCase* test_case;
-    int nprocs;
-  };
-  std::vector<WorkItem> items;
-  for (const auto& test_case : suite) {
-    for (int nprocs : test_case.cpu_counts) {
-      items.push_back(WorkItem{&test_case, nprocs});
-    }
-  }
-
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(threads, items.size()));
+  const std::vector<CampaignItem> items = campaign_items(suite);
 
   // Each slot is written by exactly one worker; no synchronization needed
-  // beyond the atomic work counter and thread joins.
+  // beyond what the scheduler provides.
   std::vector<std::vector<Observation>> results(items.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t index = next.fetch_add(1); index < items.size();
-         index = next.fetch_add(1)) {
-      const WorkItem& item = items[index];
-      const workload::AppModel app = item.test_case->build(item.nprocs);
-      for (const auto& machine : machines) {
-        const RunResult run = traced_execute(
-            app, machine, options, item.test_case->name, item.nprocs);
-        results[index].push_back(Observation{.app = item.test_case->name,
-                                             .nprocs = item.nprocs,
-                                             .machine = machine.name,
-                                             .seconds = run.wall_seconds});
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  pipeline::run_indexed(
+      items.size(), threads,
+      [&](std::size_t index) {
+        results[index] =
+            run_campaign_item(machines, suite, items[index], options);
+      },
+      "campaign");
 
   ObservationSet set;
   for (auto& chunk : results) {

@@ -47,10 +47,36 @@ class ObservationSet {
     const std::vector<workload::TestCase>& suite,
     const ExecutorOptions& options = {});
 
+/// One (test case, processor count) unit of campaign work. The campaign's
+/// natural fan-out granularity: each item sweeps every machine, and items
+/// are independent, so a scheduler (run_indexed or the cross-study
+/// StudyGraph) can run them in any order or concurrently.
+struct CampaignItem {
+  std::size_t case_index = 0;  ///< index into the suite
+  int nprocs = 0;
+};
+
+/// The campaign's work list for a suite, in deterministic (suite order,
+/// then cpu_counts order) sequence — the order run_campaign emits
+/// observations in.
+[[nodiscard]] std::vector<CampaignItem> campaign_items(
+    const std::vector<workload::TestCase>& suite);
+
+/// Run one campaign item: build the application model once and execute it
+/// on every machine, in machine order. Pure; the building block of both
+/// run_campaign_parallel and the StudyGraph's ground-truth nodes.
+[[nodiscard]] std::vector<Observation> run_campaign_item(
+    const std::vector<machine::MachineConfig>& machines,
+    const std::vector<workload::TestCase>& suite, const CampaignItem& item,
+    const ExecutorOptions& options = {});
+
 /// Same campaign fanned out across threads — one task per (test case,
 /// processor count), each sweeping all machines. Results are identical to
 /// run_campaign (the executor is pure), and observations are collected in
-/// the same deterministic order. `threads` of 0 uses the hardware count.
+/// the same deterministic order. Runs on the pipeline stage scheduler:
+/// `threads` of 0 uses the scheduler default (MSIM_THREADS when set, else
+/// the hardware count), and a campaign issued from inside a scheduler
+/// worker runs inline instead of spawning a nested pool.
 [[nodiscard]] ObservationSet run_campaign_parallel(
     const std::vector<machine::MachineConfig>& machines,
     const std::vector<workload::TestCase>& suite,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <string>
 
@@ -406,6 +407,41 @@ TEST(ArtifactCacheLru, MaxBytesEnvParsesSuffixes) {
   }
   ::unsetenv("MSIM_CACHE_MAX_BYTES");
   EXPECT_EQ(ArtifactCache::default_max_bytes(), 0u);
+}
+
+TEST(ArtifactCacheLru, MaxBytesEnvOverflowSaturates) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // A huge requested cap must never wrap into a tiny one: both digit
+  // overflow (ERANGE) and suffix-multiplication overflow saturate to
+  // UINT64_MAX (effectively unlimited), deterministically.
+  ::setenv("MSIM_CACHE_MAX_BYTES", "99999999999g", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), kMax);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "18446744073709551616", 1);  // 2^64
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), kMax);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "99999999999999999999999999", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), kMax);
+  // The largest g-value whose product still fits must NOT saturate...
+  ::setenv("MSIM_CACHE_MAX_BYTES", "17179869183g", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 17179869183ull << 30);
+  // ...and one more does.
+  ::setenv("MSIM_CACHE_MAX_BYTES", "17179869184g", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), kMax);
+  ::unsetenv("MSIM_CACHE_MAX_BYTES");
+}
+
+TEST(ArtifactCacheLru, MaxBytesEnvRejectsMalformedEdgeCases) {
+  // Trailing whitespace, bare suffix, unknown suffix, negative: all mean
+  // "no cap" (0), never a partial parse.
+  for (const char* bad : {"8 ", " ", "-1", "-1g", "1t", "g", "k8", "0x10"}) {
+    ::setenv("MSIM_CACHE_MAX_BYTES", bad, 1);
+    EXPECT_EQ(ArtifactCache::default_max_bytes(), 0u) << "'" << bad << "'";
+  }
+  // Plain and suffixed happy paths still parse next to the rejects.
+  ::setenv("MSIM_CACHE_MAX_BYTES", "8", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 8u);
+  ::setenv("MSIM_CACHE_MAX_BYTES", "8K", 1);
+  EXPECT_EQ(ArtifactCache::default_max_bytes(), 8u * 1024);
+  ::unsetenv("MSIM_CACHE_MAX_BYTES");
 }
 
 // ---------------------------------------------------------------------

@@ -1,7 +1,12 @@
-// The threaded campaign runner must be bit-identical to the serial one.
+// The threaded campaign runner must be bit-identical to the serial one —
+// and must never create more concurrent workers than the scheduler's
+// effective thread count, no matter how fan-outs nest.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "machine/registry.hpp"
+#include "pipeline/scheduler.hpp"
 #include "simulate/campaign.hpp"
 #include "workload/apps.hpp"
 
@@ -38,6 +43,53 @@ TEST(ParallelCampaign, DefaultThreadCountWorks) {
       workload::find_test_case("AVUS_Standard")};
   const auto set = run_campaign_parallel(machines, suite);
   EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ParallelCampaign, HonorsMsimThreadsEndToEnd) {
+  // The scheduler's worker accounting observes every pool thread, so the
+  // peak across a whole campaign is the oversubscription bound: with
+  // MSIM_THREADS=2 no point of the run may ever have >2 workers alive.
+  const std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Xeon"), machine::find("NAVO_655")};
+  const std::vector<workload::TestCase> suite = {
+      workload::find_test_case("RFCTH_Standard"),
+      workload::find_test_case("HYCOM_Standard")};
+
+  ::setenv("MSIM_THREADS", "2", 1);
+  pipeline::reset_peak_workers();
+  const auto set = run_campaign_parallel(machines, suite);
+  ::unsetenv("MSIM_THREADS");
+  EXPECT_EQ(set.size(), 2u * 6u);
+  EXPECT_GE(pipeline::peak_workers(), 1u);
+  EXPECT_LE(pipeline::peak_workers(), 2u)
+      << "campaign oversubscribed past MSIM_THREADS";
+
+  // An explicit thread argument is bounded the same way.
+  pipeline::reset_peak_workers();
+  (void)run_campaign_parallel(machines, suite, {}, 3);
+  EXPECT_LE(pipeline::peak_workers(), 3u);
+}
+
+TEST(ParallelCampaign, NestedCampaignRunsInline) {
+  // A campaign launched from inside a scheduler worker (a study graph
+  // node, an outer fan-out) must degrade to inline execution instead of
+  // spawning a second pool: the old code nested hardware_concurrency
+  // threads under every outer worker.
+  const std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Opteron")};
+  const std::vector<workload::TestCase> suite = {
+      workload::find_test_case("AVUS_Standard")};
+
+  pipeline::reset_peak_workers();
+  ObservationSet inner_results[2];
+  pipeline::run_indexed(2, 2, [&](std::size_t index) {
+    EXPECT_TRUE(pipeline::inside_scheduler_worker());
+    // Asks for 4 threads; must get the caller's thread only.
+    inner_results[index] = run_campaign_parallel(machines, suite, {}, 4);
+  });
+  EXPECT_LE(pipeline::peak_workers(), 2u)
+      << "nested campaign spawned its own pool";
+  for (const auto& set : inner_results) EXPECT_EQ(set.size(), 3u);
 }
 
 }  // namespace

@@ -107,6 +107,26 @@ TEST(Scheduler, SerialExceptionStopsImmediately) {
   }
 }
 
+TEST(Scheduler, NestedRunIndexedDegradesToInline) {
+  // A fan-out issued from inside a pool worker must run on the calling
+  // worker thread (no second pool): N outer workers each asking for M
+  // inner threads used to oversubscribe to N x M.
+  reset_peak_workers();
+  std::vector<int> inner_hits(4 * 8, 0);
+  run_indexed(4, 4, [&](std::size_t outer) {
+    EXPECT_TRUE(inside_scheduler_worker());
+    const std::thread::id caller = std::this_thread::get_id();
+    run_indexed(8, 8, [&, outer, caller](std::size_t inner) {
+      EXPECT_EQ(std::this_thread::get_id(), caller)
+          << "nested fan-out left the calling worker thread";
+      ++inner_hits[outer * 8 + inner];
+    });
+  });
+  for (int hit : inner_hits) EXPECT_EQ(hit, 1);
+  EXPECT_LE(peak_workers(), 4u) << "nested fan-out spawned a second pool";
+  EXPECT_FALSE(inside_scheduler_worker());
+}
+
 TEST(ObservationIo, RoundTripIsBitwise) {
   simulate::ObservationSet set;
   set.add({"RFCTH_Standard", 32, "ARL_Xeon", 1234.5678901234567});

@@ -1,0 +1,235 @@
+// The cross-study stage graph: a multi-study build must be bitwise
+// identical to individual StudyBuilder builds, share stage nodes across
+// studies (probes across ablations, traces across noise worlds), honor
+// the warm-cache contract per study, and never exceed the scheduler's
+// thread bound.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "machine/registry.hpp"
+#include "metrics/metric_set.hpp"
+#include "pipeline/scheduler.hpp"
+#include "pipeline/stage_tasks.hpp"
+#include "pipeline/study_builder.hpp"
+#include "pipeline/study_graph.hpp"
+#include "probes/probe_io.hpp"
+#include "simulate/observation_io.hpp"
+#include "trace/signature_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch cache directory, unique per test.
+fs::path scratch_cache(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("msim-test-" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A reduced two-target, one-case spec cheap enough to build repeatedly.
+StudySpec small_spec(const std::string& base_name) {
+  StudySpec spec;
+  for (const auto& name :
+       {std::string("ARL_Xeon"), std::string("ARL_Opteron")}) {
+    if (name != base_name) spec.targets.push_back(machine::find(name));
+  }
+  spec.base = machine::find(base_name);
+  spec.suite = {workload::find_test_case("RFCTH_Standard")};
+  return spec;
+}
+
+void expect_studies_bitwise_equal(const metrics::Study& actual,
+                                  const metrics::Study& expected) {
+  EXPECT_EQ(simulate::to_text(actual.observations()),
+            simulate::to_text(expected.observations()));
+  const auto metric_list = metrics::all_metrics();
+  const auto lhs = actual.evaluate(metric_list);
+  const auto rhs = expected.evaluate(metric_list);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].predicted_seconds, rhs[i].predicted_seconds);
+    EXPECT_EQ(lhs[i].actual_seconds, rhs[i].actual_seconds);
+  }
+}
+
+TEST(StudyGraph, MultiStudyMatchesIndividualBuilders) {
+  // Two ablation-style studies (different base system) built on one graph
+  // must equal the same studies built one at a time by StudyBuilder.
+  StudyGraph graph;
+  const std::size_t a = graph.add_study(small_spec("ARL_Xeon"));
+  const std::size_t b = graph.add_study(small_spec("ARL_Opteron"));
+  graph.build_all();
+  const metrics::Study graph_a = graph.take_study(a);
+  const metrics::Study graph_b = graph.take_study(b);
+
+  auto build_single = [](const StudySpec& spec) {
+    StudyBuilder builder;
+    return builder.targets(spec.targets)
+        .base(spec.base)
+        .suite(spec.suite)
+        .options(spec.options)
+        .build();
+  };
+  expect_studies_bitwise_equal(graph_a, build_single(small_spec("ARL_Xeon")));
+  expect_studies_bitwise_equal(graph_b,
+                               build_single(small_spec("ARL_Opteron")));
+}
+
+TEST(StudyGraph, SharedMachinesDedupProbeNodes) {
+  // Ablation shape: both studies probe the same machine set, so the
+  // second study's probe requests are all served by the first study's
+  // nodes. Trace nodes dedup only when the base matches — here it does
+  // not, so only probes share.
+  const StudySpec first = small_spec("ARL_Xeon");
+  const StudySpec second = small_spec("ARL_Opteron");
+  StudyGraph graph;
+  (void)graph.add_study(first);
+  (void)graph.add_study(second);
+  graph.build_all();
+
+  // Both studies probe {ARL_Xeon, ARL_Opteron}: 2 shared probe nodes.
+  EXPECT_EQ(graph.stats().studies, 2u);
+  EXPECT_EQ(graph.stats().dedup_hits, 2u);
+  const std::size_t items = suite_items(first.suite).size();
+  // Nodes: study one = items + collect + 2 probes + items traces +
+  // assemble; study two adds everything except the probes.
+  EXPECT_EQ(graph.stats().nodes, 2 * (2 * items + 2) + 2);
+}
+
+TEST(StudyGraph, NoiseWorldsShareProbesAndTraces) {
+  // Multiworld shape: identical specs except the noise salt. Probes and
+  // traces never see the salt, so both dedup; only the ground-truth
+  // campaign (and assemble) fan out per world.
+  StudySpec world0 = small_spec("ARL_Xeon");
+  StudySpec world1 = small_spec("ARL_Xeon");
+  world1.options.executor.noise_salt = world0.options.executor.noise_salt + 1;
+
+  StudyGraph graph;
+  const std::size_t a = graph.add_study(world0);
+  const std::size_t b = graph.add_study(world1);
+  graph.build_all();
+
+  const std::size_t items = suite_items(world0.suite).size();
+  EXPECT_EQ(graph.stats().dedup_hits, 2 + items);
+
+  // The worlds share signatures bitwise but observe different ground
+  // truth (the salt perturbs the campaign).
+  const metrics::Study study_a = graph.take_study(a);
+  const metrics::Study study_b = graph.take_study(b);
+  const auto& test_case = world0.suite[0];
+  for (int nprocs : test_case.cpu_counts) {
+    EXPECT_EQ(trace::to_text(study_a.signature(test_case.name, nprocs)),
+              trace::to_text(study_b.signature(test_case.name, nprocs)));
+  }
+  EXPECT_NE(simulate::to_text(study_a.observations()),
+            simulate::to_text(study_b.observations()));
+}
+
+TEST(StudyGraph, WarmGraphReportsAllCachedPerStudy) {
+  const fs::path dir = scratch_cache("graph-warm");
+
+  {
+    StudyGraph cold;
+    cold.cache(true).cache_dir(dir.string());
+    const std::size_t a = cold.add_study(small_spec("ARL_Xeon"));
+    const std::size_t b = cold.add_study(small_spec("ARL_Opteron"));
+    cold.build_all();
+    EXPECT_EQ(cold.study_stats(a).ground_truth.cache_hits, 0u);
+    EXPECT_EQ(cold.study_stats(a).probes.cache_hits, 0u);
+    EXPECT_EQ(cold.study_stats(a).traces.cache_hits, 0u);
+    // Study b's probe nodes were computed by study a, not by the cache:
+    // dedup is reported on the graph, not as per-study cache hits.
+    EXPECT_EQ(cold.study_stats(b).probes.cache_hits, 0u);
+    EXPECT_EQ(cold.stats().dedup_hits, 2u);
+  }
+
+  StudyGraph warm;
+  warm.cache(true).cache_dir(dir.string());
+  const std::size_t a = warm.add_study(small_spec("ARL_Xeon"));
+  const std::size_t b = warm.add_study(small_spec("ARL_Opteron"));
+  warm.build_all();
+  for (std::size_t handle : {a, b}) {
+    EXPECT_TRUE(warm.study_stats(handle).ground_truth.all_cached());
+    EXPECT_TRUE(warm.study_stats(handle).probes.all_cached());
+    EXPECT_TRUE(warm.study_stats(handle).traces.all_cached());
+  }
+  EXPECT_GT(warm.stats().cache_hits, 0u);
+
+  fs::remove_all(dir);
+}
+
+TEST(StudyGraph, ProbeBatchMatchesRunProbeStage) {
+  const fs::path dir = scratch_cache("graph-probe-batch");
+  const std::vector<machine::MachineConfig> machines = {
+      machine::find("ARL_Xeon"), machine::find("ARL_Altix")};
+
+  StudyGraph graph;
+  graph.cache(true).cache_dir(dir.string());
+  // The batch shares ARL_Xeon with the study: one dedup hit.
+  const std::size_t study = graph.add_study(small_spec("ARL_Opteron"));
+  const std::size_t batch = graph.add_probes(machines);
+  graph.build_all();
+  (void)graph.take_study(study);
+
+  EXPECT_EQ(graph.probe_stats(batch).items, machines.size());
+  EXPECT_EQ(graph.stats().dedup_hits, 1u);
+
+  const auto graph_sets = graph.probe_sets(batch);
+  const auto stage_sets = run_probe_stage(
+      machines, 1, ArtifactCache(dir.string()), nullptr);
+  ASSERT_EQ(graph_sets.size(), stage_sets.size());
+  for (const auto& [name, probe_set] : stage_sets) {
+    ASSERT_TRUE(graph_sets.count(name)) << name;
+    EXPECT_EQ(probes::to_text(graph_sets.at(name)),
+              probes::to_text(probe_set));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(StudyGraph, HonorsThreadBoundEndToEnd) {
+  // The whole graph — campaigns included — runs on one pool: with
+  // MSIM_THREADS=2 the process must never have more than two concurrent
+  // scheduler workers, even though the campaign fan-out inside each
+  // ground-truth node would ask for its own pool.
+  ::setenv("MSIM_THREADS", "2", 1);
+  reset_peak_workers();
+  StudyGraph graph;
+  (void)graph.add_study(small_spec("ARL_Xeon"));
+  (void)graph.add_study(small_spec("ARL_Opteron"));
+  graph.build_all();
+  ::unsetenv("MSIM_THREADS");
+  EXPECT_EQ(graph.stats().workers, 2u);
+  EXPECT_GE(peak_workers(), 1u);
+  EXPECT_LE(peak_workers(), 2u) << "graph build oversubscribed the pool";
+}
+
+TEST(StudyGraph, GuardsAgainstMisuse) {
+  {
+    StudyGraph graph;
+    EXPECT_THROW(graph.build_all(), std::exception) << "empty graph";
+  }
+  StudyGraph graph;
+  const std::size_t handle = graph.add_study(small_spec("ARL_Xeon"));
+  EXPECT_THROW((void)graph.take_study(handle), std::exception)
+      << "take before build";
+  graph.build_all();
+  EXPECT_THROW(graph.build_all(), std::exception) << "second build";
+  EXPECT_THROW((void)graph.add_study(small_spec("ARL_Opteron")),
+               std::exception)
+      << "add after build";
+  (void)graph.take_study(handle);
+  EXPECT_THROW((void)graph.take_study(handle), std::exception)
+      << "double take";
+  EXPECT_THROW((void)graph.take_study(99), std::exception)
+      << "unknown handle";
+}
+
+}  // namespace
+}  // namespace msim::pipeline
