@@ -1,0 +1,13 @@
+# Reproduces paper Figure 2: average absolute error per metric.
+# Run: gnuplot <this file>
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig2_error_per_metric.png'
+set style data histogram
+set style histogram errorbars gap 1 lw 1
+set style fill solid 0.6 border -1
+set ylabel 'average absolute error (%)'
+set xtics rotate by -35
+set yrange [0:*]
+set grid ytics
+plot 'fig2_error_per_metric.csv' every ::1 using 3:4:xtic(1) title 'msim reproduction'
