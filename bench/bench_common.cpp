@@ -90,6 +90,12 @@ void banner(int argc, char** argv, const std::string& experiment,
 }
 
 void save_artifact(const std::string& path, const std::string& content) {
+  // Artifacts may target an output directory (e.g. figs/); create it.
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ignored;
+    fs::create_directories(parent, ignored);
+  }
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "(could not write %s)\n", path.c_str());

@@ -83,12 +83,15 @@ int main(int argc, char** argv) {
                 ci_table.render().c_str());
   }
 
+  // Generated figure inputs land in figs/ (gitignored), not the working
+  // directory; the .gp script references its sibling csv, so
+  // `cd figs && gnuplot fig2_error_per_metric.gp` reproduces Figure 2.
   std::ostringstream csv;
   report::write_table4_csv(csv, *study, predictions);
-  bench::save_artifact("fig2_error_per_metric.csv", csv.str());
+  bench::save_artifact("figs/fig2_error_per_metric.csv", csv.str());
 
   std::ostringstream script;
   report::write_fig2_gnuplot(script, "fig2_error_per_metric.csv");
-  bench::save_artifact("fig2_error_per_metric.gp", script.str());
+  bench::save_artifact("figs/fig2_error_per_metric.gp", script.str());
   return 0;
 }

@@ -18,6 +18,10 @@ namespace msim::pipeline {
 
 namespace {
 
+// Every field of the spec struct must be fed to the hash — a field
+// missing from the key would let semantically different configs share
+// cached artifacts. Enforced at build time:
+// msim-lint: key-for(simulate::ExecutorOptions)
 void hash_executor_options(Fnv1a& hash,
                            const simulate::ExecutorOptions& executor) {
   hash.update("executor-v1");
@@ -33,6 +37,7 @@ void hash_executor_options(Fnv1a& hash,
   hash.update_i64(static_cast<std::int64_t>(executor.overlap));
 }
 
+// msim-lint: key-for(trace::TracerOptions)
 void hash_tracer_options(Fnv1a& hash, const trace::TracerOptions& tracer) {
   hash.update("tracer-v1");
   hash.update_u64(tracer.sample_refs);

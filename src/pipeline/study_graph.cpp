@@ -283,6 +283,9 @@ struct StudyGraph::Impl {
   void run_node(Node& node) {
     const auto start = Clock::now();
     if (obs::collecting()) {
+      // span_name is one of the literal stage names passed to new_node
+      // ("stage:probes", "stage:traces", ...): statically enumerable.
+      // msim-lint: allow(obs.name-literal)
       obs::Span span(node.span_name, "pipeline");
       node.run();
     } else {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -73,8 +75,18 @@ void WorkingSetEstimator::observe(std::uint32_t pc, std::uint64_t address) {
 ExtentEstimate WorkingSetEstimator::estimate() const {
   ExtentEstimate best;
   bool any_bounded = false;
-  for (const auto& [pc, state] : streams_) {
-    (void)pc;
+  // Walk streams in pc order, not hash order: the winning estimate feeds
+  // block signatures (cached artifacts), so the walk must be reproducible
+  // across library versions and process runs.
+  std::vector<const std::pair<const std::uint32_t, PcState>*> ordered;
+  ordered.reserve(streams_.size());
+  // Order-insensitive collection; sorted by pc before use.
+  // msim-lint: allow(determinism.unordered-iteration)
+  for (const auto& entry : streams_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : ordered) {
+    const PcState& state = entry->second;
     ExtentEstimate mine;
     const bool looks_strided =
         state.strided_steps > 4 * (state.jump_steps + 1);

@@ -1,0 +1,23 @@
+// Fixture: key-for() annotated hash function that forgets a field
+// (cache-key.missing-field).
+struct Hasher {
+  void update_bool(bool value);
+  void update_double(double value);
+  void update_int(int value);
+};
+
+namespace demo {
+
+struct SpecOptions {
+  bool alpha = true;
+  double beta = 0.5;
+  int gamma = 3;  // never hashed below
+};
+
+// msim-lint: key-for(demo::SpecOptions)
+void hash_spec(Hasher& hash, const SpecOptions& spec) {
+  hash.update_bool(spec.alpha);
+  hash.update_double(spec.beta);
+}
+
+}  // namespace demo

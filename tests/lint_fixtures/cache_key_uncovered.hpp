@@ -1,0 +1,10 @@
+// Fixture: a required spec struct defined with no key-for() annotation
+// anywhere in the corpus (cache-key.uncovered-struct).
+namespace simulate {
+
+struct ExecutorOptions {
+  bool apply_tlb = true;
+  double noise_amplitude = 0.08;
+};
+
+}  // namespace simulate

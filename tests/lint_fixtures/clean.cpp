@@ -1,0 +1,28 @@
+// Fixture: idiomatic library code; must produce zero findings.
+//
+// Mentions of banned names inside comments (rand(), strtok, std::cout)
+// and strings must not trip the tokenizer-based rules.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+// "time(nullptr)" in a string literal is data, not a call:
+const char* kDoc = "never call time(nullptr) or sprintf in src/";
+
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+double total(const std::map<std::string, double>& ordered) {
+  double sum = 0.0;
+  for (const auto& [name, value] : ordered) {
+    (void)name;
+    sum += value;
+  }
+  return sum;
+}
+
+}  // namespace demo

@@ -1,0 +1,4 @@
+// Fixture: ambient randomness in library code (determinism.random).
+int draw() {
+  return rand() % 6;  // line 3: banned
+}

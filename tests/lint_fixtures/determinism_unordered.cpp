@@ -1,0 +1,15 @@
+// Fixture: iteration over a hash-ordered container
+// (determinism.unordered-iteration).
+#include <unordered_map>
+
+struct Tally {
+  std::unordered_map<int, double> weights_;
+
+  double sum() const {
+    double total = 0.0;
+    for (const auto& entry : weights_) {  // line 10: hash-ordered walk
+      total += entry.second;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,4 @@
+// Fixture: wall-clock read in library code (determinism.wall-clock).
+long stamp() {
+  return time(nullptr);  // line 3: banned
+}

@@ -1,0 +1,14 @@
+// Fixture: one telemetry name registered as two instrument kinds
+// (obs.name-collision).
+#include <string>
+
+struct Registry {
+  int& counter(const std::string& name);
+  double& histogram(const std::string& name);
+  static Registry& instance();
+};
+
+void record() {
+  Registry::instance().counter("cache.latency") += 1;
+  Registry::instance().histogram("cache.latency") = 0.5;  // line 13: clash
+}

@@ -1,0 +1,11 @@
+// Fixture: telemetry name that is not dotted.lowercase (obs.name-format).
+#include <string>
+
+struct Registry {
+  int& counter(const std::string& name);
+  static Registry& instance();
+};
+
+void bump() {
+  Registry::instance().counter("CacheHits") += 1;  // line 10: bad name
+}

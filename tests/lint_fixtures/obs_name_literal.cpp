@@ -1,0 +1,11 @@
+// Fixture: telemetry name computed at runtime (obs.name-literal).
+#include <string>
+
+struct Registry {
+  int& counter(const std::string& name);
+  static Registry& instance();
+};
+
+void bump(const std::string& stage) {
+  Registry::instance().counter(stage + ".tasks") += 1;  // line 10
+}

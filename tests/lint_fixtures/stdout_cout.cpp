@@ -1,0 +1,6 @@
+// Fixture: std::cout in a bench (stdout.cout).
+#include <iostream>
+
+void emit() {
+  std::cout << "hello\n";  // line 5: benches print via std::printf
+}

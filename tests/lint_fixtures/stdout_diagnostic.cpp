@@ -1,0 +1,10 @@
+// Fixture: diagnostic printed to stdout in a bench (stdout.diagnostic).
+#include <cstdio>
+
+void fail(const char* what) {
+  std::printf("error: %s\n", what);  // line 5: diagnostics go to stderr
+}
+
+void table() {
+  std::printf("Metric error:  1.5%%\n");  // fine: table line, not a prefix
+}

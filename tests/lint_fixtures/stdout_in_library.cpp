@@ -1,0 +1,6 @@
+// Fixture: library code writing to stdout (stdout.in-library).
+#include <cstdio>
+
+void announce(int value) {
+  std::printf("value is %d\n", value);  // line 5: library must not print
+}

@@ -1,0 +1,8 @@
+// Fixture: every violation here carries an inline allow directive, so
+// the file must lint clean (with two suppressions counted).
+int draw() {
+  return rand() % 6;  // msim-lint: allow(determinism.random)
+}
+
+// msim-lint: allow(determinism.wall-clock)
+long stamp() { return time(nullptr); }

@@ -1,0 +1,6 @@
+// Fixture: banned unsafe C API (unsafe.banned-function).
+#include <cstring>
+
+char* first_word(char* text) {
+  return strtok(text, " ");  // line 5: not reentrant
+}

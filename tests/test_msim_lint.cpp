@@ -1,0 +1,335 @@
+// msim-lint engine tests: one fixture per rule family (each carrying a
+// single known violation), tokenizer behavior, inline suppressions,
+// baseline round-trips, and a meta-test asserting the live tree lints
+// clean against the checked-in baseline.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "msim_lint/lint.hpp"
+
+namespace {
+
+using namespace msim::lint;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(MSIM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Lint one fixture as if it lived at `repo_path` inside the tree.
+LintResult lint_fixture(const std::string& repo_path,
+                        const std::string& fixture,
+                        const std::map<std::string, Severity>& overrides = {}) {
+  return run_rules({SourceFile{repo_path, read_fixture(fixture)}}, overrides);
+}
+
+std::vector<std::string> rules_of(const LintResult& result) {
+  std::vector<std::string> rules;
+  for (const Finding& finding : result.findings) rules.push_back(finding.rule);
+  return rules;
+}
+
+// --- one known violation per rule family ------------------------------
+
+TEST(MsimLint, FlagsAmbientRandomnessInLibrary) {
+  const LintResult result =
+      lint_fixture("src/fixture/draw.cpp", "determinism_random.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "determinism.random");
+  EXPECT_EQ(result.findings[0].line, 3);
+  EXPECT_EQ(result.findings[0].severity, Severity::Error);
+}
+
+TEST(MsimLint, RandomRuleDoesNotApplyOutsideLibrary) {
+  const LintResult in_tests =
+      lint_fixture("tests/fixture/draw.cpp", "determinism_random.cpp");
+  EXPECT_TRUE(in_tests.findings.empty());
+  const LintResult in_rng =
+      lint_fixture("src/common/rng_fixture.cpp", "determinism_random.cpp");
+  EXPECT_TRUE(in_rng.findings.empty()) << "src/common/rng* is allowlisted";
+}
+
+TEST(MsimLint, FlagsWallClockReads) {
+  const LintResult result =
+      lint_fixture("src/fixture/stamp.cpp", "determinism_wall_clock.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "determinism.wall-clock");
+  EXPECT_EQ(result.findings[0].line, 3);
+}
+
+TEST(MsimLint, FlagsUnorderedContainerIteration) {
+  const LintResult result =
+      lint_fixture("src/fixture/tally.cpp", "determinism_unordered.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "determinism.unordered-iteration");
+  EXPECT_EQ(result.findings[0].line, 10);
+  EXPECT_NE(result.findings[0].message.find("weights_"), std::string::npos);
+}
+
+TEST(MsimLint, FlagsSpecFieldMissingFromKeyFunction) {
+  const LintResult result = lint_fixture("src/pipeline/fixture_keys.cpp",
+                                         "cache_key_missing_field.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "cache-key.missing-field");
+  EXPECT_NE(result.findings[0].message.find("'gamma'"), std::string::npos);
+}
+
+TEST(MsimLint, FlagsRequiredSpecStructWithoutKeyAnnotation) {
+  const LintResult result = lint_fixture("src/simulate/fixture_spec.hpp",
+                                         "cache_key_uncovered.hpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "cache-key.uncovered-struct");
+  EXPECT_EQ(result.findings[0].line, 5);
+}
+
+TEST(MsimLint, FlagsStdoutWritesInLibrary) {
+  const LintResult result =
+      lint_fixture("src/fixture/announce.cpp", "stdout_in_library.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "stdout.in-library");
+  EXPECT_EQ(result.findings[0].line, 5);
+}
+
+TEST(MsimLint, FlagsCoutInBench) {
+  const LintResult result =
+      lint_fixture("bench/fixture_emit.cpp", "stdout_cout.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "stdout.cout");
+}
+
+TEST(MsimLint, FlagsDiagnosticPrefixOnStdoutButNotTableLines) {
+  const LintResult result =
+      lint_fixture("tools/fixture_fail.cpp", "stdout_diagnostic.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "stdout.diagnostic");
+  EXPECT_EQ(result.findings[0].line, 5);  // the "Metric error:" table
+                                          // line on 9 must not fire
+}
+
+TEST(MsimLint, FlagsRuntimeComputedTelemetryNames) {
+  const LintResult result =
+      lint_fixture("src/fixture/bump.cpp", "obs_name_literal.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "obs.name-literal");
+  EXPECT_EQ(result.findings[0].line, 10);
+}
+
+TEST(MsimLint, FlagsNonDottedLowercaseNames) {
+  const LintResult result =
+      lint_fixture("src/fixture/bump.cpp", "obs_name_format.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "obs.name-format");
+  EXPECT_NE(result.findings[0].message.find("CacheHits"), std::string::npos);
+}
+
+TEST(MsimLint, FlagsOneNameRegisteredAsTwoInstrumentKinds) {
+  const LintResult result =
+      lint_fixture("src/fixture/record.cpp", "obs_name_collision.cpp");
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "obs.name-collision");
+  EXPECT_EQ(result.findings[0].line, 13);
+}
+
+TEST(MsimLint, FlagsBannedUnsafeFunctions) {
+  // The unsafe rule applies in every scanned directory, tests included.
+  for (const char* path : {"src/fixture/words.cpp", "tests/fixture.cpp"}) {
+    const LintResult result = lint_fixture(path, "unsafe_banned.cpp");
+    ASSERT_EQ(result.findings.size(), 1u) << path;
+    EXPECT_EQ(result.findings[0].rule, "unsafe.banned-function");
+    EXPECT_EQ(result.findings[0].line, 5);
+  }
+}
+
+TEST(MsimLint, CleanFixtureProducesNoFindings) {
+  const LintResult result =
+      lint_fixture("src/fixture/clean.cpp", "clean.cpp");
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+// --- suppression ------------------------------------------------------
+
+TEST(MsimLint, InlineAllowSuppressesSameLineAndNextLine) {
+  const LintResult result =
+      lint_fixture("src/fixture/suppressed.cpp", "suppressed.cpp");
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+  EXPECT_EQ(result.suppressed, 2);
+}
+
+TEST(MsimLint, AllowDirectiveIsRuleSpecific) {
+  // An allow() for a different rule must not mask the finding.
+  const std::string source =
+      "int draw() {\n"
+      "  return rand() % 6;  // msim-lint: allow(determinism.wall-clock)\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/draw.cpp", source}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "determinism.random");
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+// --- severity ---------------------------------------------------------
+
+TEST(MsimLint, SeverityOverrideDowngradesToWarning) {
+  const LintResult result =
+      lint_fixture("src/fixture/draw.cpp", "determinism_random.cpp",
+                   {{"determinism.random", Severity::Warning}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].severity, Severity::Warning);
+  EXPECT_EQ(result.active_errors(), 0);
+  EXPECT_EQ(result.active_warnings(), 1);
+}
+
+// --- tokenizer --------------------------------------------------------
+
+TEST(MsimLint, LexerStripsCommentsAndPreprocessorLines) {
+  const LexedFile lexed = lex(SourceFile{
+      "src/x.cpp",
+      "#include <unordered_map>\n"
+      "// rand() in a comment\n"
+      "/* time(nullptr) in a block */\n"
+      "int x = 1;\n"});
+  for (const Token& tok : lexed.tokens) {
+    EXPECT_NE(tok.text, "rand");
+    EXPECT_NE(tok.text, "unordered_map");
+  }
+  ASSERT_GE(lexed.tokens.size(), 4u);
+  EXPECT_EQ(lexed.tokens[0].text, "int");
+  EXPECT_EQ(lexed.tokens[0].line, 4);
+}
+
+TEST(MsimLint, LexerKeepsStringBodiesOutOfIdentifierSpace) {
+  const LexedFile lexed = lex(SourceFile{
+      "src/x.cpp", "const char* s = \"rand() strtok sprintf\";\n"
+                   "const char* r = R\"(time(nullptr))\";\n"});
+  int strings = 0;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind == TokKind::String) ++strings;
+    EXPECT_FALSE(tok.kind == TokKind::Identifier && tok.text == "rand");
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(MsimLint, LexerHarvestsDirectives) {
+  const LexedFile lexed = lex(SourceFile{
+      "src/x.cpp",
+      "// msim-lint: allow(determinism.random, unsafe.banned-function)\n"
+      "int x;\n"});
+  ASSERT_EQ(lexed.allows.count(1), 1u);
+  EXPECT_EQ(lexed.allows.at(1).size(), 2u);
+  EXPECT_EQ(lexed.allows.at(1)[0], "determinism.random");
+  EXPECT_EQ(lexed.allows.at(1)[1], "unsafe.banned-function");
+}
+
+// --- baseline ---------------------------------------------------------
+
+TEST(MsimLint, BaselineRoundTripMarksEveryGrandfatheredFinding) {
+  const std::vector<SourceFile> corpus = {
+      SourceFile{"src/fixture/draw.cpp", read_fixture("determinism_random.cpp")},
+      SourceFile{"src/fixture/stamp.cpp",
+                 read_fixture("determinism_wall_clock.cpp")},
+  };
+  LintResult result = run_rules(corpus);
+  ASSERT_EQ(result.findings.size(), 2u);
+  ASSERT_EQ(result.active_errors(), 2);
+
+  const std::string rendered = render_baseline(result.findings);
+  const Baseline baseline = parse_baseline(rendered);
+  EXPECT_EQ(baseline.size(), 2u);
+
+  LintResult again = run_rules(corpus);
+  apply_baseline(again, baseline);
+  EXPECT_EQ(again.active_errors(), 0);
+  for (const Finding& finding : again.findings) {
+    EXPECT_TRUE(finding.baselined);
+  }
+}
+
+TEST(MsimLint, BaselineCountsPinDuplicateFindings) {
+  // Two identical violations share a fingerprint; a baseline entry with
+  // count 1 grandfathers only the first.
+  const std::string source =
+      "int a() { return rand(); }\n"
+      "int b() { return rand(); }\n";
+  const SourceFile file{"src/fixture/two.cpp", source};
+  LintResult result = run_rules({file});
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_EQ(fingerprint(result.findings[0]), fingerprint(result.findings[1]));
+
+  Baseline one_entry;
+  one_entry[fingerprint(result.findings[0])] = 1;
+  apply_baseline(result, one_entry);
+  EXPECT_EQ(result.active_errors(), 1);
+  EXPECT_TRUE(result.findings[0].baselined);
+  EXPECT_FALSE(result.findings[1].baselined);
+}
+
+TEST(MsimLint, BaselineParserIgnoresCommentsAndGarbage) {
+  const Baseline baseline = parse_baseline(
+      "# comment\n"
+      "\n"
+      "deadbeefdeadbeef 2 determinism.random src/x.cpp message text\n"
+      "not-a-count zero\n");
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(baseline.at("deadbeefdeadbeef"), 2);
+}
+
+// --- key-for positive path -------------------------------------------
+
+TEST(MsimLint, CompleteKeyFunctionProducesNoFindings) {
+  const std::string source =
+      "struct Hasher { void update_bool(bool v); void update_double(double "
+      "v); };\n"
+      "namespace demo {\n"
+      "struct SpecOptions { bool alpha = true; double beta = 0.5; };\n"
+      "// msim-lint: key-for(demo::SpecOptions)\n"
+      "void hash_spec(Hasher& h, const SpecOptions& s) {\n"
+      "  h.update_bool(s.alpha);\n"
+      "  h.update_double(s.beta);\n"
+      "}\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/pipeline/fixture_ok.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+// --- the live tree ----------------------------------------------------
+
+TEST(MsimLint, LiveTreeLintsCleanAgainstCheckedInBaseline) {
+  const std::vector<SourceFile> files = collect_tree(MSIM_REPO_ROOT);
+  ASSERT_GT(files.size(), 100u) << "tree walk found suspiciously few files";
+
+  LintResult result = run_rules(files);
+  std::ifstream in(std::string(MSIM_REPO_ROOT) +
+                   "/tools/msim_lint/baseline.txt");
+  if (in) {
+    std::ostringstream text;
+    text << in.rdbuf();
+    apply_baseline(result, parse_baseline(text.str()));
+  }
+  EXPECT_EQ(result.active_errors(), 0)
+      << "new msim-lint findings:\n"
+      << render_diagnostics(result)
+      << "fix them or (for deliberate exceptions) add an inline allow "
+         "directive / baseline entry";
+}
+
+TEST(MsimLint, TreeWalkSkipsFixtureCorpus) {
+  const std::vector<SourceFile> files = collect_tree(MSIM_REPO_ROOT);
+  for (const SourceFile& file : files) {
+    EXPECT_EQ(file.path.find("lint_fixtures"), std::string::npos)
+        << file.path;
+  }
+}
+
+}  // namespace

@@ -52,7 +52,7 @@ bool take_flag(Args& args, const std::string& flag) {
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) {
-    std::printf("error: cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return;
   }
   out << content;
@@ -60,7 +60,7 @@ void write_file(const std::string& path, const std::string& content) {
 }
 
 int usage_error(const char* message) {
-  std::printf("error: %s\n\n", message);
+  std::fprintf(stderr, "error: %s\n\n", message);
   print_usage();
   return 2;
 }

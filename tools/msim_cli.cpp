@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   }
   const auto it = commands.find(command);
   if (it == commands.end()) {
-    std::printf("error: unknown command '%s'\n\n", command.c_str());
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", command.c_str());
     print_usage();
     return 2;
   }
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   try {
     return it->second(args);
   } catch (const std::exception& error) {
-    std::printf("error: %s\n", error.what());
+    std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
 }

@@ -1,0 +1,135 @@
+// msim-lint — self-hosted static analysis for the msim tree.
+//
+// The paper's methodology only works because every prediction is exactly
+// reproducible: Eq-2 errors come from deterministic convolutions, and CI
+// proves it dynamically by byte-diffing stdout across thread counts and
+// cache states. This tool turns the invariants those jobs test *after*
+// the fact into build-time checks:
+//
+//   determinism.*   no wall clocks, no ambient randomness, no iteration
+//                   over hash-ordered containers in library code
+//   cache-key.*     every field of an annotated spec struct must be fed
+//                   to its FNV-1a content-key function
+//   stdout.*        library code never writes to stdout; bench/tool
+//                   diagnostics go to stderr (stdout is a table stream)
+//   obs.*           telemetry names are dotted.lowercase string literals,
+//                   one instrument kind per name
+//   unsafe.*        banned non-reentrant / unbounded C APIs
+//
+// Deliberately *not* a compiler: a lightweight tokenizer over the repo's
+// own sources (no libclang), so it builds everywhere the tree builds and
+// runs in milliseconds. Findings can be suppressed inline with an
+// `allow` directive (same line or the line above; syntax in
+// docs/LINT.md) or grandfathered in a checked-in baseline file; generic
+// C++ hygiene is clang-tidy's job (see .clang-tidy), not ours.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msim::lint {
+
+// --- findings ---------------------------------------------------------
+
+enum class Severity { Error, Warning };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+struct Finding {
+  std::string file;  ///< repo-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::Error;
+  std::string message;
+  bool baselined = false;
+};
+
+/// A rule's identity card (id, default severity, one-line description).
+struct RuleInfo {
+  std::string id;
+  Severity severity = Severity::Error;
+  std::string description;
+};
+
+/// Every rule the engine implements, in stable (documentation) order.
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+
+// --- tokenizer --------------------------------------------------------
+
+enum class TokKind { Identifier, Number, String, CharLit, Punct };
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;  ///< for String: the *unquoted* literal body
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;  ///< repo-relative, forward slashes
+  std::string text;
+};
+
+/// Tokenized translation unit: comments and preprocessor directives are
+/// stripped, but `msim-lint:` directives found in comments are kept.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> rules allowed on that line (from inline `allow` directives;
+  /// a directive covers its own line and the next line).
+  std::map<int, std::vector<std::string>> allows;
+  /// line -> struct names named by inline `key-for` annotations; each
+  /// attaches to the next function body in the file.
+  std::map<int, std::vector<std::string>> key_for;
+};
+
+[[nodiscard]] LexedFile lex(const SourceFile& file);
+
+// --- engine -----------------------------------------------------------
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< suppressed findings are not included
+  int suppressed = 0;
+
+  [[nodiscard]] int active_errors() const;
+  [[nodiscard]] int active_warnings() const;
+};
+
+/// Run every rule over the given files. `severity_overrides` maps rule id
+/// to a severity replacing the built-in default.
+[[nodiscard]] LintResult run_rules(
+    const std::vector<SourceFile>& files,
+    const std::map<std::string, Severity>& severity_overrides = {});
+
+/// Collect the lintable sources (`.cpp` / `.hpp` / `.h`) under the
+/// standard roots (src/ bench/ tools/ tests/), sorted by path so output
+/// is deterministic. Build trees and fixture corpora are skipped.
+[[nodiscard]] std::vector<SourceFile> collect_tree(const std::string& root);
+
+// --- baseline ---------------------------------------------------------
+
+/// Stable fingerprint of a finding: FNV-1a over (rule, file, message) —
+/// line numbers excluded so unrelated edits don't invalidate the entry.
+[[nodiscard]] std::string fingerprint(const Finding& finding);
+
+/// fingerprint -> grandfathered occurrence count.
+using Baseline = std::map<std::string, int>;
+
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Mark findings matched by the baseline (up to the stored count per
+/// fingerprint) as `baselined`; they no longer fail the run.
+void apply_baseline(LintResult& result, const Baseline& baseline);
+
+// --- reporting --------------------------------------------------------
+
+/// `file:line: severity [rule] message` diagnostics, one per line,
+/// baselined findings annotated. Sorted by (file, line, rule).
+[[nodiscard]] std::string render_diagnostics(const LintResult& result);
+
+/// Per-rule summary table (errors / warnings / baselined) plus totals.
+[[nodiscard]] std::string render_summary(const LintResult& result);
+
+}  // namespace msim::lint

@@ -1,0 +1,170 @@
+// Baseline store and reporting for msim-lint.
+//
+// The baseline grandfathers pre-existing findings so new rules can land
+// strict without a flag-day cleanup: entries are fingerprinted by
+// (rule, file, message) — not line numbers — so unrelated edits to a file
+// do not invalidate them, and each fingerprint carries an occurrence
+// count so duplicate findings in one file stay pinned. Regenerate with
+// `msim-lint --write-baseline`; burn entries down by fixing the code.
+#include "msim_lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "common/table.hpp"
+
+namespace msim::lint {
+
+namespace fs = std::filesystem;
+
+std::string fingerprint(const Finding& finding) {
+  Fnv1a hash;
+  hash.update(finding.rule);
+  hash.update("|");
+  hash.update(finding.file);
+  hash.update("|");
+  hash.update(finding.message);
+  return hex_digest(hash.digest());
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string fp;
+    int count = 0;
+    if (!(fields >> fp >> count) || count <= 0) continue;
+    baseline[fp] += count;
+  }
+  return baseline;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  // fingerprint -> (count, exemplar) in first-seen (file-sorted) order.
+  std::vector<std::pair<std::string, const Finding*>> order;
+  std::map<std::string, int> counts;
+  for (const Finding& finding : findings) {
+    const std::string fp = fingerprint(finding);
+    if (counts[fp]++ == 0) order.emplace_back(fp, &finding);
+  }
+  std::ostringstream out;
+  out << "# msim-lint baseline — grandfathered findings.\n"
+      << "# fingerprint count rule file message\n"
+      << "# Regenerate with `msim-lint --write-baseline`; shrink it by "
+         "fixing the code.\n";
+  for (const auto& [fp, finding] : order) {
+    out << fp << ' ' << counts[fp] << ' ' << finding->rule << ' '
+        << finding->file << ' ' << finding->message << '\n';
+  }
+  return out.str();
+}
+
+void apply_baseline(LintResult& result, const Baseline& baseline) {
+  Baseline remaining = baseline;
+  for (Finding& finding : result.findings) {
+    auto it = remaining.find(fingerprint(finding));
+    if (it != remaining.end() && it->second > 0) {
+      finding.baselined = true;
+      --it->second;
+    }
+  }
+}
+
+std::vector<SourceFile> collect_tree(const std::string& root) {
+  static const char* kRoots[] = {"src", "bench", "tools", "tests"};
+  std::vector<SourceFile> files;
+  for (const char* top : kRoots) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        // Fixture corpora contain deliberate violations; build trees are
+        // generated.
+        const std::string name = it->path().filename().string();
+        if (name == "lint_fixtures" || name.rfind("build", 0) == 0) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in) continue;
+      std::ostringstream text;
+      text << in.rdbuf();
+      SourceFile file;
+      file.path = (fs::path(top) / fs::relative(it->path(), dir))
+                      .generic_string();  // repo-relative, forward slashes
+      file.text = text.str();
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+std::string render_diagnostics(const LintResult& result) {
+  std::ostringstream out;
+  for (const Finding& finding : result.findings) {
+    out << finding.file << ':' << finding.line << ": "
+        << to_string(finding.severity) << " [" << finding.rule << "] "
+        << finding.message;
+    if (finding.baselined) out << " (baselined)";
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_summary(const LintResult& result) {
+  struct Row {
+    int errors = 0;
+    int warnings = 0;
+    int baselined = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (const RuleInfo& rule : all_rules()) rows[rule.id];  // stable order
+  for (const Finding& finding : result.findings) {
+    Row& row = rows[finding.rule];
+    if (finding.baselined) {
+      ++row.baselined;
+    } else if (finding.severity == Severity::Error) {
+      ++row.errors;
+    } else {
+      ++row.warnings;
+    }
+  }
+
+  AsciiTable table({"Rule", "Errors", "Warnings", "Baselined"});
+  for (std::size_t c = 1; c < 4; ++c) table.set_align(c, Align::Right);
+  Row total;
+  for (const auto& [rule, row] : rows) {
+    table.add_row({rule, std::to_string(row.errors),
+                   std::to_string(row.warnings),
+                   std::to_string(row.baselined)});
+    total.errors += row.errors;
+    total.warnings += row.warnings;
+    total.baselined += row.baselined;
+  }
+  table.add_rule();
+  table.add_row({"total", std::to_string(total.errors),
+                 std::to_string(total.warnings),
+                 std::to_string(total.baselined)});
+
+  std::ostringstream out;
+  out << table.render();
+  out << "(" << result.suppressed << " finding(s) suppressed inline via "
+      << "`msim-lint: allow(...)`)\n";
+  return out.str();
+}
+
+}  // namespace msim::lint

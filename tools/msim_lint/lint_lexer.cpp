@@ -1,0 +1,233 @@
+// Tokenizer for msim-lint: enough C++ lexing to make rule matching
+// reliable — comments and preprocessor lines are stripped (with
+// `msim-lint:` directives harvested from comments), string/char literals
+// are single tokens, `::` and `->` are fused so "preceded by" checks are
+// one-token lookbehinds. Everything else is a single-character punct.
+#include "msim_lint/lint.hpp"
+
+#include <cctype>
+
+namespace msim::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse one `msim-lint: <verb>(<args>)` directive out of a comment's
+/// text and record it against `line`.
+void harvest_directive(const std::string& comment, int line, LexedFile& out) {
+  const std::string marker = "msim-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  std::size_t pos = at + marker.size();
+  while (pos < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[pos]))) {
+    ++pos;
+  }
+  std::size_t verb_end = pos;
+  while (verb_end < comment.size() &&
+         (ident_char(comment[verb_end]) || comment[verb_end] == '-')) {
+    ++verb_end;
+  }
+  const std::string verb = comment.substr(pos, verb_end - pos);
+  const std::size_t open = comment.find('(', verb_end);
+  if (open == std::string::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+
+  std::vector<std::string> args;
+  std::string current;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!current.empty()) args.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current += c;
+    }
+  }
+  if (!current.empty()) args.push_back(current);
+  if (args.empty()) return;
+
+  if (verb == "allow") {
+    auto& slot = out.allows[line];
+    slot.insert(slot.end(), args.begin(), args.end());
+  } else if (verb == "key-for") {
+    auto& slot = out.key_for[line];
+    slot.insert(slot.end(), args.begin(), args.end());
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const SourceFile& file) {
+  LexedFile out;
+  out.path = file.path;
+  const std::string& s = file.text;
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto advance_newline = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = s[i];
+
+    if (c == '\n') {
+      advance_newline(c);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line (honoring backslash
+    // continuations). Include paths and macro bodies are not linted.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (s[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t end = i + 2;
+      while (end < n && s[end] != '\n') ++end;
+      harvest_directive(s.substr(i + 2, end - (i + 2)), line, out);
+      i = end;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      std::size_t end = i + 2;
+      std::string body;
+      int body_line = line;
+      while (end + 1 < n && !(s[end] == '*' && s[end + 1] == '/')) {
+        if (s[end] == '\n') {
+          harvest_directive(body, body_line, out);
+          body.clear();
+          ++line;
+          body_line = line;
+        } else {
+          body += s[end];
+        }
+        ++end;
+      }
+      harvest_directive(body, body_line, out);
+      i = end + 2 <= n ? end + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && s[d] != '(') delim += s[d++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t body_start = d + 1;
+      const std::size_t close = s.find(closer, body_start);
+      const std::size_t body_end = close == std::string::npos ? n : close;
+      const int start_line = line;
+      for (std::size_t k = i; k < body_end; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      out.tokens.push_back(Token{TokKind::String,
+                                 s.substr(body_start, body_end - body_start),
+                                 start_line});
+      i = close == std::string::npos ? n : close + closer.size();
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t end = i + 1;
+      std::string body;
+      while (end < n && s[end] != quote) {
+        if (s[end] == '\\' && end + 1 < n) {
+          body += s[end];
+          body += s[end + 1];
+          end += 2;
+          continue;
+        }
+        if (s[end] == '\n') ++line;  // unterminated; keep line count sane
+        body += s[end];
+        ++end;
+      }
+      out.tokens.push_back(Token{
+          quote == '"' ? TokKind::String : TokKind::CharLit, body, line});
+      i = end < n ? end + 1 : n;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t end = i + 1;
+      while (end < n && ident_char(s[end])) ++end;
+      out.tokens.push_back(
+          Token{TokKind::Identifier, s.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = i + 1;
+      while (end < n) {
+        const char d = s[end];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++end;
+        } else if ((d == '+' || d == '-') &&
+                   (s[end - 1] == 'e' || s[end - 1] == 'E' ||
+                    s[end - 1] == 'p' || s[end - 1] == 'P')) {
+          ++end;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(Token{TokKind::Number, s.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+
+    // Fused operators the rules look behind for; everything else is a
+    // single-character punct token.
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      out.tokens.push_back(Token{TokKind::Punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      out.tokens.push_back(Token{TokKind::Punct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{TokKind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace msim::lint

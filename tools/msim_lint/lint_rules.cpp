@@ -1,0 +1,869 @@
+// Rule engine for msim-lint. Every rule is a token-pattern matcher over
+// the lexed translation unit, scoped to the directories where its
+// invariant holds. Two rules are cross-file: cache-key completeness
+// (struct definitions live in headers, key functions in .cpp files) and
+// obs name collisions (one instrument kind per name, repo-wide).
+#include "msim_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <unordered_set>
+
+namespace msim::lint {
+
+namespace {
+
+// --- scoping ----------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Library sources whose results feed artifacts and tables.
+bool in_library(const std::string& path) { return starts_with(path, "src/"); }
+
+/// Directories exempt from the determinism rules: the RNG wrapper is
+/// where seeded randomness legitimately lives, and the telemetry layer
+/// measures wall time by design (its output never feeds results).
+bool determinism_exempt(const std::string& path) {
+  return starts_with(path, "src/obs/") || starts_with(path, "src/common/rng");
+}
+
+bool in_bench_or_tools(const std::string& path) {
+  return starts_with(path, "bench/") || starts_with(path, "tools/");
+}
+
+/// The obs naming rules apply everywhere telemetry is *used*; the layer's
+/// own implementation and its tests construct names dynamically.
+bool obs_rules_apply(const std::string& path) {
+  return (in_library(path) || in_bench_or_tools(path)) &&
+         !starts_with(path, "src/obs/");
+}
+
+// --- rule registry ----------------------------------------------------
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> rules = {
+      {"determinism.random", Severity::Error,
+       "ambient randomness (rand, random_device, ...) in library code; use "
+       "msim::Rng (src/common/rng) so every draw is seeded and replayable"},
+      {"determinism.wall-clock", Severity::Error,
+       "wall-clock reads (time(), system_clock) in library code; results "
+       "must not depend on when they were computed (steady_clock timing of "
+       "diagnostics is fine)"},
+      {"determinism.unordered-iteration", Severity::Error,
+       "iteration over a hash-ordered container in library code; iteration "
+       "order leaks into output, keys and artifacts — iterate a sorted copy "
+       "or use std::map/std::set"},
+      {"cache-key.missing-field", Severity::Error,
+       "a field of a key-for() annotated spec struct is never fed to the "
+       "content-key function; stale cache hits would silently reuse "
+       "artifacts across semantically different configs"},
+      {"cache-key.uncovered-struct", Severity::Error,
+       "a spec struct that feeds cached artifacts has no key-for() "
+       "annotated hash function"},
+      {"stdout.in-library", Severity::Error,
+       "library code writes to stdout; src/ returns strings and leaves the "
+       "byte-diffable table stream to bench/ and tools/"},
+      {"stdout.cout", Severity::Error,
+       "std::cout in bench/tools; tables go through std::printf, "
+       "diagnostics through std::fprintf(stderr, ...)"},
+      {"stdout.diagnostic", Severity::Error,
+       "diagnostic printed to stdout in bench/tools; stdout is a "
+       "byte-diffable table stream, diagnostics belong on stderr"},
+      {"obs.name-literal", Severity::Error,
+       "telemetry name is not a string literal; exporters and CI greps "
+       "depend on the name set being statically enumerable"},
+      {"obs.name-format", Severity::Error,
+       "telemetry name is not dotted.lowercase (counters/gauges/histograms: "
+       "at least two [a-z0-9_-] segments joined by dots; spans: lowercase "
+       "with optional ':' stage prefix)"},
+      {"obs.name-collision", Severity::Error,
+       "one telemetry name registered as two different instrument kinds; "
+       "the exporter would emit conflicting event types"},
+      {"unsafe.banned-function", Severity::Error,
+       "banned unsafe / non-reentrant C API (strtok, sprintf, gmtime, ...); "
+       "use the bounded or _r variants"},
+  };
+  return rules;
+}
+
+Severity severity_of(const std::string& rule,
+                     const std::map<std::string, Severity>& overrides) {
+  if (auto it = overrides.find(rule); it != overrides.end()) {
+    return it->second;
+  }
+  for (const RuleInfo& info : rule_registry()) {
+    if (info.id == rule) return info.severity;
+  }
+  return Severity::Error;
+}
+
+// --- per-file matching context ----------------------------------------
+
+struct FileContext {
+  const LexedFile* lexed = nullptr;
+  LintResult* result = nullptr;
+  const std::map<std::string, Severity>* overrides = nullptr;
+
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
+    for (int l : {line, line - 1}) {
+      auto it = lexed->allows.find(l);
+      if (it == lexed->allows.end()) continue;
+      for (const std::string& allowed : it->second) {
+        if (allowed == rule) return true;
+      }
+    }
+    return false;
+  }
+
+  void report(const std::string& rule, int line, std::string message) {
+    if (suppressed(rule, line)) {
+      ++result->suppressed;
+      return;
+    }
+    result->findings.push_back(Finding{lexed->path, line, rule,
+                                       severity_of(rule, *overrides),
+                                       std::move(message), false});
+  }
+};
+
+const Token* prev_token(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 ? &toks[i - 1] : nullptr;
+}
+
+const Token* next_token(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+}
+
+bool is_punct(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::Punct && t->text == text;
+}
+
+bool is_ident(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::Identifier && t->text == text;
+}
+
+/// True when the call at token i (an identifier) is a member access
+/// (`x.f(` / `x->f(`) or a qualified name whose qualifier is not `std`
+/// (`other::f(`) — those are never the global C function we banned.
+bool is_member_or_foreign_qualified(const std::vector<Token>& toks,
+                                    std::size_t i) {
+  const Token* prev = prev_token(toks, i);
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return true;
+  if (is_punct(prev, "::")) {
+    const Token* qualifier = i >= 2 ? &toks[i - 2] : nullptr;
+    return !is_ident(qualifier, "std");
+  }
+  return false;
+}
+
+// --- determinism ------------------------------------------------------
+
+void check_determinism(FileContext& ctx) {
+  if (!in_library(ctx.lexed->path) || determinism_exempt(ctx.lexed->path)) {
+    return;
+  }
+  const auto& toks = ctx.lexed->tokens;
+
+  static const std::unordered_set<std::string> random_functions = {
+      "rand",    "srand",   "rand_r",  "drand48", "erand48",
+      "lrand48", "mrand48", "jrand48", "nrand48", "random_shuffle"};
+  // Type-ish names: any mention is a dependency on ambient entropy or the
+  // wall clock, call or not.
+  static const std::unordered_set<std::string> random_types = {
+      "random_device"};
+  static const std::unordered_set<std::string> clock_types = {
+      "system_clock", "high_resolution_clock"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier) continue;
+
+    if (random_types.count(tok.text) != 0) {
+      ctx.report("determinism.random", tok.line,
+                 "'std::" + tok.text +
+                     "' draws ambient entropy; seed an msim::Rng "
+                     "(src/common/rng) instead");
+      continue;
+    }
+    if (clock_types.count(tok.text) != 0) {
+      ctx.report("determinism.wall-clock", tok.line,
+                 "'" + tok.text +
+                     "' reads the wall clock; results must be identical "
+                     "whenever they are computed (use steady_clock only "
+                     "for diagnostics)");
+      continue;
+    }
+
+    if (!is_punct(next_token(toks, i), "(")) continue;
+    if (is_member_or_foreign_qualified(toks, i)) continue;
+
+    if (random_functions.count(tok.text) != 0) {
+      ctx.report("determinism.random", tok.line,
+                 "'" + tok.text +
+                     "()' is ambient randomness; use msim::Rng "
+                     "(src/common/rng) so draws are seeded and replayable");
+      continue;
+    }
+    if (tok.text == "gettimeofday") {
+      ctx.report("determinism.wall-clock", tok.line,
+                 "'gettimeofday()' reads the wall clock");
+      continue;
+    }
+    if (tok.text == "time" || tok.text == "clock") {
+      // `time(...)` / `clock()` only when it is unambiguously the C
+      // function: std::-qualified, or called with the classic argument.
+      const Token* arg = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+      const bool classic_arg =
+          is_punct(arg, ")") ||
+          (arg != nullptr && (arg->text == "0" || arg->text == "NULL" ||
+                              arg->text == "nullptr"));
+      const bool std_qualified = is_punct(prev_token(toks, i), "::") &&
+                                 i >= 2 && is_ident(&toks[i - 2], "std");
+      if (classic_arg || std_qualified) {
+        ctx.report("determinism.wall-clock", tok.line,
+                   "'" + tok.text + "()' reads the wall clock");
+      }
+    }
+  }
+}
+
+/// Names of variables/members/parameters in this file declared with an
+/// unordered container type (tokenizer-level: `unordered_xxx<...> name`).
+std::set<std::string> unordered_decls(const std::vector<Token>& toks) {
+  static const std::unordered_set<std::string> containers = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        containers.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !is_punct(&toks[j], "<")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(&toks[j], "<")) ++depth;
+      if (is_punct(&toks[j], ">")) {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // Skip ref/pointer/const decoration, then expect the declared name.
+    while (j < toks.size() &&
+           (is_punct(&toks[j], "&") || is_punct(&toks[j], "*") ||
+            is_ident(&toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::Identifier) continue;
+    const Token* after = next_token(toks, j);
+    if (is_punct(after, ";") || is_punct(after, "=") ||
+        is_punct(after, "{") || is_punct(after, ",") ||
+        is_punct(after, ")")) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+/// `tracked` is the union of unordered-container names declared in this
+/// file and in its paired header (members iterated in the .cpp are
+/// declared in the .hpp).
+void check_unordered_iteration(FileContext& ctx,
+                               const std::set<std::string>& tracked) {
+  if (!in_library(ctx.lexed->path) || determinism_exempt(ctx.lexed->path)) {
+    return;
+  }
+  const auto& toks = ctx.lexed->tokens;
+  if (tracked.empty()) return;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression mentions a tracked container.
+    if (is_ident(&toks[i], "for") && is_punct(next_token(toks, i), "(")) {
+      std::size_t j = i + 1;
+      int depth = 0;
+      std::size_t colon = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(&toks[j], "(")) ++depth;
+        if (is_punct(&toks[j], ")") && --depth == 0) break;
+        if (depth == 1 && is_punct(&toks[j], ":") && colon == 0) colon = j;
+      }
+      if (colon != 0) {
+        for (std::size_t k = colon + 1; k < j; ++k) {
+          if (toks[k].kind == TokKind::Identifier &&
+              tracked.count(toks[k].text) != 0) {
+            ctx.report(
+                "determinism.unordered-iteration", toks[i].line,
+                "range-for over hash-ordered container '" + toks[k].text +
+                    "'; iterate a sorted copy (or use std::map/std::set) so "
+                    "downstream output and keys are order-stable");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: tracked.begin() / tracked.cbegin().
+    if (toks[i].kind == TokKind::Identifier &&
+        tracked.count(toks[i].text) != 0 &&
+        is_punct(next_token(toks, i), ".")) {
+      const Token* method = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+      if (method != nullptr &&
+          (method->text == "begin" || method->text == "cbegin")) {
+        ctx.report("determinism.unordered-iteration", toks[i].line,
+                   "iterator walk over hash-ordered container '" +
+                       toks[i].text + "' (" + method->text +
+                       "()); iteration order is not deterministic");
+      }
+    }
+  }
+}
+
+// --- stdout discipline ------------------------------------------------
+
+/// True when any argument of the call starting at the identifier token i
+/// names `stdout` (e.g. fprintf(stdout, ...)).
+bool call_mentions_stdout(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t j = i + 1;
+  if (j >= toks.size() || !is_punct(&toks[j], "(")) return false;
+  int depth = 0;
+  for (; j < toks.size(); ++j) {
+    if (is_punct(&toks[j], "(")) ++depth;
+    if (is_punct(&toks[j], ")") && --depth == 0) break;
+    if (is_ident(&toks[j], "stdout")) return true;
+  }
+  return false;
+}
+
+/// First string-literal argument of the call at identifier token i, or
+/// nullptr (adjacent literal concatenation: the first fragment).
+const Token* first_literal_arg(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (!is_punct(next_token(toks, i), "(")) return nullptr;
+  const Token* arg = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+  return arg != nullptr && arg->kind == TokKind::String ? arg : nullptr;
+}
+
+/// "error: ...", "warning: ...", "fatal: ..." (case-insensitive, colon
+/// required) — the repo's diagnostic prefix convention.
+bool looks_like_diagnostic(const std::string& literal) {
+  std::size_t pos = 0;
+  while (pos < literal.size() &&
+         std::isspace(static_cast<unsigned char>(literal[pos]))) {
+    ++pos;
+  }
+  std::string word;
+  while (pos < literal.size() &&
+         std::isalpha(static_cast<unsigned char>(literal[pos]))) {
+    word += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(literal[pos])));
+    ++pos;
+  }
+  if (pos >= literal.size() || literal[pos] != ':') return false;
+  return word == "error" || word == "warning" || word == "fatal";
+}
+
+void check_stdout(FileContext& ctx) {
+  const std::string& path = ctx.lexed->path;
+  const bool library = in_library(path);
+  const bool bench_tools = in_bench_or_tools(path);
+  if (!library && !bench_tools) return;
+  const auto& toks = ctx.lexed->tokens;
+
+  static const std::unordered_set<std::string> stdout_writers = {
+      "printf", "vprintf", "puts", "putchar"};
+  static const std::unordered_set<std::string> stream_writers = {
+      "fprintf", "vfprintf", "fputs", "fputc", "fwrite"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier) continue;
+
+    if (tok.text == "cout") {
+      if (library) {
+        ctx.report("stdout.in-library", tok.line,
+                   "std::cout in library code; return strings and let "
+                   "bench/tools own the table stream");
+      } else {
+        ctx.report("stdout.cout", tok.line,
+                   "std::cout in bench/tools; tables go through "
+                   "std::printf, diagnostics through "
+                   "std::fprintf(stderr, ...)");
+      }
+      continue;
+    }
+
+    if (is_member_or_foreign_qualified(toks, i)) continue;
+    if (!is_punct(next_token(toks, i), "(")) continue;
+
+    if (stdout_writers.count(tok.text) != 0) {
+      if (library) {
+        ctx.report("stdout.in-library", tok.line,
+                   "'" + tok.text +
+                       "()' writes to stdout from library code; src/ must "
+                       "not print");
+      } else if (const Token* lit = first_literal_arg(toks, i);
+                 lit != nullptr && looks_like_diagnostic(lit->text)) {
+        ctx.report("stdout.diagnostic", tok.line,
+                   "diagnostic \"" + lit->text.substr(0, 40) +
+                       "\" printed to stdout; use std::fprintf(stderr, ...) "
+                       "so the table stream stays byte-diffable");
+      }
+      continue;
+    }
+
+    if (stream_writers.count(tok.text) != 0 &&
+        call_mentions_stdout(toks, i)) {
+      if (library) {
+        ctx.report("stdout.in-library", tok.line,
+                   "'" + tok.text +
+                       "(stdout, ...)' writes to stdout from library code");
+      } else {
+        ctx.report("stdout.diagnostic", tok.line,
+                   "'" + tok.text +
+                       "(stdout, ...)' in bench/tools; tables use "
+                       "std::printf, everything else goes to stderr");
+      }
+    }
+  }
+}
+
+// --- obs naming -------------------------------------------------------
+
+struct ObsRegistration {
+  std::string name;
+  std::string kind;  // counter / gauge / histogram
+  std::string file;
+  int line = 0;
+};
+
+bool valid_metric_name(const std::string& name) {
+  bool saw_dot = false;
+  bool segment_open = false;  // current segment has at least one char
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '.') {
+      if (!segment_open) return false;  // empty segment
+      saw_dot = true;
+      segment_open = false;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+    segment_open = true;
+  }
+  return saw_dot && segment_open;
+}
+
+bool valid_span_name(const std::string& name) {
+  if (name.empty() || !(name[0] >= 'a' && name[0] <= 'z')) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-' || c == '.' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void check_obs_names(FileContext& ctx,
+                     std::vector<ObsRegistration>& registrations) {
+  if (!obs_rules_apply(ctx.lexed->path)) return;
+  const auto& toks = ctx.lexed->tokens;
+
+  static const std::unordered_set<std::string> instruments = {
+      "counter", "gauge", "histogram"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier) continue;
+
+    // registry.counter("name") / Registry::instance().histogram("name")
+    if (instruments.count(tok.text) != 0) {
+      const Token* prev = prev_token(toks, i);
+      if (!is_punct(prev, ".") && !is_punct(prev, "->")) continue;
+      if (!is_punct(next_token(toks, i), "(")) continue;
+      const Token* arg = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+      if (arg == nullptr || is_punct(arg, ")")) continue;
+      if (arg->kind != TokKind::String) {
+        ctx.report("obs.name-literal", tok.line,
+                   "'" + tok.text +
+                       "(...)' name is computed at runtime; exporters and "
+                       "CI greps need a statically enumerable name set");
+        continue;
+      }
+      if (!valid_metric_name(arg->text)) {
+        ctx.report("obs.name-format", arg->line,
+                   "telemetry name \"" + arg->text +
+                       "\" is not dotted.lowercase (expected at least two "
+                       "[a-z0-9_-] segments joined by '.')");
+      }
+      if (!ctx.suppressed("obs.name-collision", tok.line)) {
+        registrations.push_back(
+            ObsRegistration{arg->text, tok.text, ctx.lexed->path, tok.line});
+      }
+      continue;
+    }
+
+    // obs::Span span("name", "category") / obs::Span("name", ...)
+    if (tok.text == "Span") {
+      std::size_t open = 0;
+      const Token* next = next_token(toks, i);
+      if (is_punct(next, "(")) {
+        open = i + 1;
+      } else if (next != nullptr && next->kind == TokKind::Identifier &&
+                 is_punct(i + 2 < toks.size() ? &toks[i + 2] : nullptr,
+                          "(")) {
+        open = i + 2;
+      } else {
+        continue;  // declaration, reference, or something else
+      }
+      const Token* arg = open + 1 < toks.size() ? &toks[open + 1] : nullptr;
+      if (arg == nullptr || is_punct(arg, ")")) continue;
+      if (arg->kind != TokKind::String) {
+        ctx.report("obs.name-literal", tok.line,
+                   "Span name is computed at runtime; trace consumers need "
+                   "a statically enumerable span set");
+      } else if (!valid_span_name(arg->text)) {
+        ctx.report("obs.name-format", arg->line,
+                   "span name \"" + arg->text +
+                       "\" is not lowercase (allowed: [a-z0-9_.:-], "
+                       "starting with a letter)");
+      }
+    }
+  }
+}
+
+void check_obs_collisions(const std::vector<ObsRegistration>& registrations,
+                          const std::map<std::string, Severity>& overrides,
+                          LintResult& result) {
+  std::map<std::string, const ObsRegistration*> first_kind;
+  for (const ObsRegistration& reg : registrations) {
+    auto [it, inserted] = first_kind.emplace(reg.name, &reg);
+    if (inserted || it->second->kind == reg.kind) continue;
+    result.findings.push_back(Finding{
+        reg.file, reg.line, "obs.name-collision",
+        severity_of("obs.name-collision", overrides),
+        "telemetry name \"" + reg.name + "\" registered as a " + reg.kind +
+            " here but as a " + it->second->kind + " at " +
+            it->second->file + ":" + std::to_string(it->second->line),
+        false});
+  }
+}
+
+// --- cache-key completeness -------------------------------------------
+
+struct StructDef {
+  std::string name;  // unqualified
+  std::string file;
+  int line = 0;
+  std::vector<std::string> fields;
+};
+
+/// Harvest non-static data member names of `struct Name { ... };`
+/// definitions (tokenizer-level field extraction; member functions,
+/// using/typedef/static/nested-type statements are skipped).
+void collect_struct_defs(const LexedFile& lexed,
+                         std::vector<StructDef>& defs) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(&toks[i], "struct") && !is_ident(&toks[i], "class")) {
+      continue;
+    }
+    if (toks[i + 1].kind != TokKind::Identifier) continue;
+    // Find the opening brace: either immediately or after a base-clause.
+    std::size_t open = i + 2;
+    while (open < toks.size() && !is_punct(&toks[open], "{") &&
+           !is_punct(&toks[open], ";")) {
+      ++open;
+    }
+    if (open >= toks.size() || is_punct(&toks[open], ";")) continue;
+
+    StructDef def;
+    def.name = toks[i + 1].text;
+    def.file = lexed.path;
+    def.line = toks[i + 1].line;
+
+    int depth = 1;
+    std::size_t j = open + 1;
+    while (j < toks.size() && depth > 0) {
+      // One statement at class scope.
+      std::vector<const Token*> stmt;
+      bool has_paren = false;
+      bool done = false;
+      while (j < toks.size() && !done) {
+        const Token& t = toks[j];
+        if (is_punct(&t, "}")) {
+          --depth;
+          ++j;
+          done = true;
+          break;
+        }
+        if (is_punct(&t, "{")) {
+          if (has_paren) {
+            // Member function body: skip it entirely.
+            int inner = 1;
+            ++j;
+            while (j < toks.size() && inner > 0) {
+              if (is_punct(&toks[j], "{")) ++inner;
+              if (is_punct(&toks[j], "}")) --inner;
+              ++j;
+            }
+            // Optional trailing ';' after the body.
+            if (j < toks.size() && is_punct(&toks[j], ";")) ++j;
+            stmt.clear();
+            has_paren = false;
+            continue;
+          }
+          // Brace initializer: consume it as part of the statement.
+          int inner = 1;
+          ++j;
+          while (j < toks.size() && inner > 0) {
+            if (is_punct(&toks[j], "{")) ++inner;
+            if (is_punct(&toks[j], "}")) --inner;
+            ++j;
+          }
+          continue;
+        }
+        if (is_punct(&t, "(")) has_paren = true;
+        if (is_punct(&t, ";")) {
+          ++j;
+          break;
+        }
+        stmt.push_back(&t);
+        ++j;
+      }
+      if (done) break;
+      if (stmt.empty() || has_paren) continue;
+      static const std::unordered_set<std::string> non_field_starters = {
+          "using",  "typedef", "static", "friend",  "enum",
+          "struct", "class",   "public", "private", "protected"};
+      if (stmt.front()->kind == TokKind::Identifier &&
+          non_field_starters.count(stmt.front()->text) != 0) {
+        continue;
+      }
+      // Field name: last identifier before '=', '[' or end-of-statement.
+      const Token* name = nullptr;
+      for (const Token* t : stmt) {
+        if (is_punct(t, "=") || is_punct(t, "[")) break;
+        if (t->kind == TokKind::Identifier) name = t;
+      }
+      if (name != nullptr && stmt.size() >= 2) def.fields.push_back(name->text);
+    }
+    if (!def.fields.empty()) defs.push_back(def);
+  }
+}
+
+std::string last_component(const std::string& qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// Spec structs that must be covered by a key-for() annotation whenever
+/// their definition is part of the scanned corpus: these are the structs
+/// whose values select cached pipeline artifacts (see
+/// src/pipeline/stage_tasks.cpp).
+const std::vector<std::string>& required_key_coverage() {
+  static const std::vector<std::string> required = {
+      "simulate::ExecutorOptions",
+      "trace::TracerOptions",
+  };
+  return required;
+}
+
+void check_cache_keys(const std::vector<LexedFile>& lexed,
+                      const std::map<std::string, Severity>& overrides,
+                      LintResult& result) {
+  std::vector<StructDef> defs;
+  for (const LexedFile& file : lexed) collect_struct_defs(file, defs);
+
+  auto find_def = [&defs](const std::string& name) -> const StructDef* {
+    const std::string want = last_component(name);
+    for (const StructDef& def : defs) {
+      if (def.name == want) return &def;
+    }
+    return nullptr;
+  };
+
+  std::set<std::string> annotated;  // unqualified names seen in key-for()
+
+  for (const LexedFile& file : lexed) {
+    for (const auto& [line, names] : file.key_for) {
+      // The annotation attaches to the next function body in the file.
+      std::size_t body_start = file.tokens.size();
+      for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+        if (file.tokens[i].line >= line &&
+            is_punct(&file.tokens[i], "{")) {
+          body_start = i;
+          break;
+        }
+      }
+      std::set<std::string> body_idents;
+      int depth = 0;
+      for (std::size_t i = body_start; i < file.tokens.size(); ++i) {
+        if (is_punct(&file.tokens[i], "{")) ++depth;
+        if (is_punct(&file.tokens[i], "}") && --depth == 0) break;
+        if (file.tokens[i].kind == TokKind::Identifier) {
+          body_idents.insert(file.tokens[i].text);
+        }
+      }
+      for (const std::string& name : names) {
+        annotated.insert(last_component(name));
+        const StructDef* def = find_def(name);
+        if (def == nullptr) {
+          result.findings.push_back(
+              Finding{file.path, line, "cache-key.missing-field",
+                      severity_of("cache-key.missing-field", overrides),
+                      "key-for(" + name +
+                          "): no struct definition with that name in the "
+                          "scanned tree",
+                      false});
+          continue;
+        }
+        for (const std::string& field : def->fields) {
+          if (body_idents.count(field) != 0) continue;
+          result.findings.push_back(
+              Finding{file.path, line, "cache-key.missing-field",
+                      severity_of("cache-key.missing-field", overrides),
+                      "field '" + field + "' of " + name + " (" + def->file +
+                          ":" + std::to_string(def->line) +
+                          ") is never fed to this key function; a config "
+                          "change in that field would reuse stale artifacts",
+                      false});
+        }
+      }
+    }
+  }
+
+  for (const std::string& required : required_key_coverage()) {
+    if (annotated.count(last_component(required)) != 0) continue;
+    const StructDef* def = find_def(required);
+    if (def == nullptr) continue;  // struct not part of this corpus
+    result.findings.push_back(
+        Finding{def->file, def->line, "cache-key.uncovered-struct",
+                severity_of("cache-key.uncovered-struct", overrides),
+                "spec struct " + required +
+                    " feeds cached artifacts but no key function is "
+                    "annotated with `msim-lint: key-for(" +
+                    required + ")`",
+                false});
+  }
+}
+
+// --- banned unsafe APIs -----------------------------------------------
+
+void check_banned_functions(FileContext& ctx) {
+  const auto& toks = ctx.lexed->tokens;
+  struct Banned {
+    const char* name;
+    const char* hint;
+  };
+  static const Banned banned[] = {
+      {"strtok", "not reentrant; use strtok_r or a hand-rolled splitter"},
+      {"gets", "unbounded write; use fgets"},
+      {"sprintf", "unbounded write; use snprintf"},
+      {"vsprintf", "unbounded write; use vsnprintf"},
+      {"gmtime", "returns a shared static; use gmtime_r"},
+      {"localtime", "returns a shared static; use localtime_r"},
+      {"asctime", "returns a shared static; use strftime"},
+      {"ctime", "returns a shared static; use strftime"},
+      {"tmpnam", "racy; use mkstemp"},
+      {"mktemp", "racy; use mkstemp"},
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier) continue;
+    if (!is_punct(next_token(toks, i), "(")) continue;
+    if (is_member_or_foreign_qualified(toks, i)) continue;
+    for (const Banned& b : banned) {
+      if (tok.text == b.name) {
+        ctx.report("unsafe.banned-function", tok.line,
+                   "'" + tok.text + "()' is banned: " + b.hint);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- public surface ---------------------------------------------------
+
+const char* to_string(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& all_rules() { return rule_registry(); }
+
+int LintResult::active_errors() const {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::Error && !f.baselined) ++count;
+  }
+  return count;
+}
+
+int LintResult::active_warnings() const {
+  int count = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::Warning && !f.baselined) ++count;
+  }
+  return count;
+}
+
+LintResult run_rules(const std::vector<SourceFile>& files,
+                     const std::map<std::string, Severity>& overrides) {
+  LintResult result;
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& file : files) lexed.push_back(lex(file));
+
+  // Unordered-container declarations per file; a .cpp also tracks the
+  // names declared in its same-stem header (class members are declared in
+  // the .hpp but iterated in the .cpp).
+  std::map<std::string, std::set<std::string>> decls_by_path;
+  for (const LexedFile& file : lexed) {
+    decls_by_path[file.path] = unordered_decls(file.tokens);
+  }
+  auto tracked_for = [&decls_by_path](const std::string& path) {
+    std::set<std::string> tracked = decls_by_path[path];
+    const std::size_t dot = path.rfind('.');
+    if (dot != std::string::npos) {
+      for (const char* ext : {".hpp", ".h"}) {
+        auto it = decls_by_path.find(path.substr(0, dot) + ext);
+        if (it != decls_by_path.end()) {
+          tracked.insert(it->second.begin(), it->second.end());
+        }
+      }
+    }
+    return tracked;
+  };
+
+  std::vector<ObsRegistration> registrations;
+  for (const LexedFile& file : lexed) {
+    FileContext ctx{&file, &result, &overrides};
+    check_determinism(ctx);
+    check_unordered_iteration(ctx, tracked_for(file.path));
+    check_stdout(ctx);
+    check_obs_names(ctx, registrations);
+    check_banned_functions(ctx);
+  }
+  check_obs_collisions(registrations, overrides, result);
+  check_cache_keys(lexed, overrides, result);
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+}  // namespace msim::lint

@@ -1,0 +1,147 @@
+// msim-lint CLI. Walks src/ bench/ tools/ tests/, runs every rule, and
+// prints `file:line: severity [rule] message` diagnostics plus a per-rule
+// summary table. Exit status: 0 when every error is baselined or fixed,
+// 1 on non-baselined errors, 2 on usage/IO problems.
+//
+// Diagnostics and the summary go to stdout (they ARE this tool's table
+// stream); usage errors go to stderr.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "msim_lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace msim::lint;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "msim-lint — determinism / cache-key / output-discipline checks\n\n"
+      "usage: msim-lint [options]\n\n"
+      "options:\n"
+      "  --root DIR            repo root to scan (default: .)\n"
+      "  --baseline FILE       baseline file (default: "
+      "<root>/tools/msim_lint/baseline.txt)\n"
+      "  --no-baseline         ignore the baseline (report everything)\n"
+      "  --write-baseline      rewrite the baseline from current findings "
+      "and exit 0\n"
+      "  --severity RULE=LEVEL override a rule's severity (error|warning)\n"
+      "  --list-rules          print every rule with its default severity\n"
+      "  --quiet               print only the summary and failures\n");
+  return error != nullptr ? 2 : 0;
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  *ok = true;
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool use_baseline = true;
+  bool write_baseline = false;
+  bool quiet = false;
+  std::map<std::string, Severity> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--no-baseline") {
+      use_baseline = false;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--severity" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return usage("--severity expects RULE=error|warning");
+      }
+      const std::string level = spec.substr(eq + 1);
+      if (level != "error" && level != "warning") {
+        return usage("--severity level must be 'error' or 'warning'");
+      }
+      overrides[spec.substr(0, eq)] =
+          level == "error" ? Severity::Error : Severity::Warning;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& rule : all_rules()) {
+        std::printf("%-36s %-8s %s\n", rule.id.c_str(),
+                    to_string(rule.severity), rule.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(nullptr);
+    } else {
+      return usage(("unknown argument '" + arg + "'").c_str());
+    }
+  }
+
+  if (!fs::is_directory(fs::path(root) / "src")) {
+    return usage(("'" + root + "' does not look like the repo root "
+                  "(no src/ directory); pass --root").c_str());
+  }
+  if (baseline_path.empty()) {
+    baseline_path =
+        (fs::path(root) / "tools" / "msim_lint" / "baseline.txt").string();
+  }
+
+  const std::vector<SourceFile> files = collect_tree(root);
+  if (files.empty()) return usage("no lintable sources found under --root");
+  LintResult result = run_rules(files, overrides);
+
+  if (write_baseline) {
+    std::ofstream out(baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << render_baseline(result.findings);
+    std::printf("wrote %zu finding(s) to %s\n", result.findings.size(),
+                baseline_path.c_str());
+    return 0;
+  }
+
+  if (use_baseline) {
+    bool ok = false;
+    const std::string text = read_file(baseline_path, &ok);
+    if (ok) apply_baseline(result, parse_baseline(text));
+  }
+
+  if (!quiet) {
+    std::printf("%s", render_diagnostics(result).c_str());
+  } else {
+    for (const Finding& finding : result.findings) {
+      if (finding.baselined) continue;
+      std::printf("%s:%d: %s [%s] %s\n", finding.file.c_str(), finding.line,
+                  to_string(finding.severity), finding.rule.c_str(),
+                  finding.message.c_str());
+    }
+  }
+  std::printf("\n%s", render_summary(result).c_str());
+  std::printf("checked %zu files: %d error(s), %d warning(s)\n",
+              files.size(), result.active_errors(),
+              result.active_warnings());
+  return result.active_errors() > 0 ? 1 : 0;
+}
