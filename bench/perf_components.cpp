@@ -3,12 +3,23 @@
 // generators, the analytic bandwidth surface, block convolution, and a
 // whole-application trace. These guard the simulator's own performance —
 // the full 150-observation campaign must stay interactive.
+//
+// Before/after pairs gate the structure-of-arrays work: the per-block
+// prediction sweep vs the batched column kernel, the unmemoized probe
+// functions vs the suite runner, and a warm graph build with the batch
+// cache prefetch off vs on. Alongside the console table the run writes
+// figs/perf_components.csv (name, iterations, per-iteration times) so CI
+// can compare stage timings against a recorded baseline mechanically.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "bench_common.hpp"
 #include "convolve/convolver.hpp"
 #include "machine/registry.hpp"
 #include "memsim/bandwidth_model.hpp"
 #include "memsim/cache.hpp"
+#include "pipeline/study_graph.hpp"
 #include "probes/synthetic.hpp"
 #include "simulate/executor.hpp"
 #include "trace/stride_detector.hpp"
@@ -80,21 +91,75 @@ void BM_BandwidthSurface(benchmark::State& state) {
 }
 BENCHMARK(BM_BandwidthSurface);
 
+/// Shared inputs for the convolver benchmarks, built once per process.
+struct SweepInputs {
+  probes::ProbeSet probes;
+  trace::ApplicationSignature signature;
+};
+
+const SweepInputs& sweep_inputs() {
+  static const SweepInputs inputs{
+      probes::run_probe_suite(machine::find("NAVO_655")),
+      trace::trace_application(workload::make_avus_standard(64),
+                               machine::base_system_name())};
+  return inputs;
+}
+
+const std::vector<convolve::PredictiveMetric>& all_metrics() {
+  static const std::vector<convolve::PredictiveMetric> metrics = {
+      convolve::PredictiveMetric::M4_Hpl,
+      convolve::PredictiveMetric::M5_HplStream,
+      convolve::PredictiveMetric::M6_HplStreamGups,
+      convolve::PredictiveMetric::M7_HplMaps,
+      convolve::PredictiveMetric::M8_HplMapsNet,
+      convolve::PredictiveMetric::M9_HplMapsNetDep,
+  };
+  return metrics;
+}
+
 void BM_ConvolveBlock(benchmark::State& state) {
-  const auto probes_set = probes::run_probe_suite(machine::find("NAVO_655"));
-  const auto app = workload::make_avus_standard(64);
-  const auto signature =
-      trace::trace_application(app, machine::base_system_name());
+  const SweepInputs& in = sweep_inputs();
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(convolve::convolve_block(
-        signature.blocks[i % signature.blocks.size()], probes_set,
+        in.signature.blocks[i % in.signature.blocks.size()], in.probes,
         convolve::PredictiveMetric::M9_HplMapsNetDep));
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ConvolveBlock);
+
+// Before: the full six-metric prediction sweep as six independent
+// per-block convolution loops (what convolved_time replaced).
+void BM_ConvolveSweepPerBlock(benchmark::State& state) {
+  const SweepInputs& in = sweep_inputs();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (convolve::PredictiveMetric metric : all_metrics()) {
+      for (const trace::BlockView block : in.signature.blocks) {
+        total += convolve::convolve_block(block, in.probes, metric);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * all_metrics().size() *
+                          in.signature.blocks.size());
+}
+BENCHMARK(BM_ConvolveSweepPerBlock);
+
+// After: the same sweep through the batched structure-of-arrays kernel
+// (bitwise-identical results; the parity suite pins that down).
+void BM_ConvolveSweepKernel(benchmark::State& state) {
+  const SweepInputs& in = sweep_inputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        convolve::convolved_times(in.signature, in.probes, all_metrics()));
+  }
+  state.SetItemsProcessed(state.iterations() * all_metrics().size() *
+                          in.signature.blocks.size());
+}
+BENCHMARK(BM_ConvolveSweepKernel);
 
 void BM_TraceApplication(benchmark::State& state) {
   const auto app = workload::make_rfcth_standard(32);
@@ -116,6 +181,8 @@ void BM_GroundTruthRun(benchmark::State& state) {
 }
 BENCHMARK(BM_GroundTruthRun)->Unit(benchmark::kMicrosecond);
 
+// After: the suite runner — contention folded once, repeated bandwidth
+// points (STREAM/GUPS vs the MAPS sweeps) measured once.
 void BM_ProbeSuite(benchmark::State& state) {
   const auto& machine = machine::find("ASC_SC45");
   for (auto _ : state) {
@@ -124,6 +191,104 @@ void BM_ProbeSuite(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeSuite)->Unit(benchmark::kMillisecond);
 
+// Before: the same ProbeSet assembled from the standalone probe
+// functions, each re-deriving contention and re-measuring shared points.
+void BM_ProbeSuiteUnmemoized(benchmark::State& state) {
+  const auto& machine = machine::find("ASC_SC45");
+  const auto sizes = probes::default_maps_sizes();
+  using memsim::StrideClass;
+  for (auto _ : state) {
+    probes::ProbeSet set;
+    set.machine = machine.name;
+    set.hpl_rmax = probes::hpl_probe(machine);
+    set.stream_bw = probes::stream_probe(machine);
+    set.gups_bw = probes::gups_probe(machine);
+    set.maps_unit = probes::maps_probe(machine, StrideClass::Unit, false,
+                                       sizes);
+    set.maps_random = probes::maps_probe(machine, StrideClass::Random, false,
+                                         sizes);
+    set.maps_unit_dep = probes::maps_probe(machine, StrideClass::Unit, true,
+                                           sizes);
+    set.maps_random_dep = probes::maps_probe(machine, StrideClass::Random,
+                                             true, sizes);
+    set.net = probes::netbench_probe(machine);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_ProbeSuiteUnmemoized)->Unit(benchmark::kMillisecond);
+
+/// A small study spec for the warm-build pair: three targets plus the
+/// base system over two suite cases — enough probe/trace nodes for the
+/// batch loader to matter, small enough for a microbench binary.
+pipeline::StudySpec small_spec() {
+  pipeline::StudySpec spec;
+  spec.targets = {machine::find("ASC_SC45"), machine::find("ARL_Opteron"),
+                  machine::find("NAVO_655")};
+  spec.base = machine::find(machine::base_system_name());
+  auto suite = workload::ti05_suite();
+  suite.resize(2);
+  spec.suite = std::move(suite);
+  return spec;
+}
+
+void BM_GraphWarmBuild(benchmark::State& state, bool prefetch_on) {
+  const std::string dir = bench::cache_dir() + "/perf-graph";
+  {
+    // Populate the cache once; the timed builds below are fully warm.
+    pipeline::StudyGraph warm;
+    warm.threads(2).cache(true).cache_dir(dir);
+    warm.add_study(small_spec());
+    warm.build_all();
+  }
+  for (auto _ : state) {
+    pipeline::StudyGraph graph;
+    graph.threads(2).cache(true).cache_dir(dir).prefetch(prefetch_on);
+    const std::size_t handle = graph.add_study(small_spec());
+    graph.build_all();
+    benchmark::DoNotOptimize(graph.take_study(handle));
+  }
+}
+BENCHMARK_CAPTURE(BM_GraphWarmBuild, prefetch, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GraphWarmBuild, no_prefetch, false)
+    ->Unit(benchmark::kMillisecond);
+
+/// Console reporter that also accumulates one CSV row per run, so the
+/// human table and the machine-readable artifact come from one pass.
+class CsvTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    rows_ << "name,iterations,real_ns_per_iter,cpu_ns_per_iter\n";
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || !run.error_message.empty()) {
+        continue;
+      }
+      const double iters = static_cast<double>(run.iterations);
+      rows_ << run.benchmark_name() << ',' << run.iterations << ','
+            << run.real_accumulated_time / iters * 1e9 << ','
+            << run.cpu_accumulated_time / iters * 1e9 << '\n';
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] std::string csv() const { return rows_.str(); }
+
+ private:
+  std::ostringstream rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CsvTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  msim::bench::save_artifact("figs/perf_components.csv", reporter.csv());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,16 +32,16 @@ int main(int argc, char** argv) {
   std::printf("%-28s %10s %11s  %5s %5s %5s  %-10s %4s %4s\n", "block",
               "Mflop/ts", "refs/ts", "unit", "short", "rand", "ws est",
               "LB?", "dep?");
-  for (const auto& block : signature.blocks) {
+  for (const trace::BlockView block : signature.blocks) {
     std::printf("%-28s %10.1f %11lu  %5.2f %5.2f %5.2f  %-10s %4s %4s\n",
-                block.name.c_str(),
-                static_cast<double>(block.flops) / 1e6,
-                static_cast<unsigned long>(block.refs),
-                block.unit_fraction, block.short_fraction,
-                block.random_fraction,
-                format_bytes(block.working_set_estimate).c_str(),
-                block.working_set_is_lower_bound ? "yes" : "no",
-                block.dependency_limited ? "yes" : "no");
+                block.name().c_str(),
+                static_cast<double>(block.flops()) / 1e6,
+                static_cast<unsigned long>(block.refs()),
+                block.unit_fraction(), block.short_fraction(),
+                block.random_fraction(),
+                format_bytes(block.working_set_estimate()).c_str(),
+                block.working_set_is_lower_bound() ? "yes" : "no",
+                block.dependency_limited() ? "yes" : "no");
   }
 
   std::printf("\nCommunication per timestep per process (MPIDTRACE):\n");

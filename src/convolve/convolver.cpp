@@ -1,10 +1,23 @@
 #include "convolve/convolver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/check.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+
+// The block sweep is a structure-of-arrays kernel: rates are gathered
+// into flat per-block arrays, the elementwise time computation is a
+// SIMD-hintable stride-1 loop, and only the final accumulation is
+// ordered (summation order is part of the bitwise-output contract).
+#if defined(MSIM_HAVE_OPENMP_SIMD)
+#define MSIM_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define MSIM_PRAGMA_SIMD
+#endif
 
 namespace msim::convolve {
 
@@ -39,7 +52,43 @@ double map_short(double unit, double random, ShortStrideMapping mapping) {
   return unit;
 }
 
-BinRates memory_rates(const trace::BlockSignature& block,
+/// The numeric fields one block contributes to its convolved time —
+/// extracted identically from a row (BlockSignature) or an in-place
+/// column view (BlockView).
+struct BlockScalars {
+  std::uint64_t flops = 0;
+  std::uint64_t refs = 0;
+  std::uint32_t element_bytes = 8;
+  double unit_fraction = 0.0;
+  double short_fraction = 0.0;
+  double random_fraction = 0.0;
+  std::uint64_t working_set_estimate = 0;
+  bool dependency_limited = false;
+};
+
+BlockScalars scalars_of(const trace::BlockSignature& block) {
+  return BlockScalars{block.flops,
+                      block.refs,
+                      block.element_bytes,
+                      block.unit_fraction,
+                      block.short_fraction,
+                      block.random_fraction,
+                      block.working_set_estimate,
+                      block.dependency_limited};
+}
+
+BlockScalars scalars_of(const trace::BlockView& block) {
+  return BlockScalars{block.flops(),
+                      block.refs(),
+                      block.element_bytes(),
+                      block.unit_fraction(),
+                      block.short_fraction(),
+                      block.random_fraction(),
+                      block.working_set_estimate(),
+                      block.dependency_limited()};
+}
+
+BinRates memory_rates(const BlockScalars& block,
                       const probes::ProbeSet& probes,
                       PredictiveMetric metric,
                       const ConvolverOptions& options) {
@@ -84,6 +133,261 @@ BinRates memory_rates(const trace::BlockSignature& block,
   return rates;
 }
 
+double convolve_scalars(const BlockScalars& block,
+                        const probes::ProbeSet& probes,
+                        PredictiveMetric metric,
+                        const ConvolverOptions& options) {
+  MSIM_REQUIRE(probes.hpl_rmax > 0.0, "probe set lacks HPL");
+  const double flop_time =
+      static_cast<double>(block.flops) / probes.hpl_rmax;
+
+  if (metric == PredictiveMetric::M4_Hpl) return flop_time;
+
+  const BinRates rates = memory_rates(block, probes, metric, options);
+  const double bytes =
+      static_cast<double>(block.refs * block.element_bytes);
+  const double memory_time = bytes * block.unit_fraction / rates.unit +
+                             bytes * block.short_fraction / rates.short_ +
+                             bytes * block.random_fraction / rates.random;
+
+  // The convolver's overlap assumption; the paper uses full overlap (Max).
+  return cpusim::combine_overlap(flop_time, memory_time, options.overlap,
+                                 1.0);
+}
+
+// --- the structure-of-arrays sweep kernel ------------------------------
+
+/// Position of a working-set size on a MAPS sampling grid: either clamped
+/// at an end or inside a segment with an interpolation weight. Locating
+/// once and evaluating several curves against the position reproduces
+/// MapsCurve::bandwidth_at bitwise — same clamp tests, same binary
+/// search, same interpolation expression — while sharing the search and
+/// the x-side log2 computations across every curve on the grid.
+struct GridPos {
+  enum class Kind { Below, Above, Segment };
+  Kind kind = Kind::Below;
+  std::size_t lower = 0;  ///< lower segment index (Kind::Segment only)
+  double t = 0.0;         ///< log-space interpolation weight
+};
+
+GridPos locate(const probes::MapsCurve& grid, std::uint64_t ws) {
+  MSIM_REQUIRE(!grid.points.empty(), "MAPS curve has no points");
+  MSIM_REQUIRE(ws > 0, "working set must be positive");
+  const auto& pts = grid.points;
+  if (ws <= pts.front().working_set_bytes) return GridPos{};
+  if (ws >= pts.back().working_set_bytes) {
+    return GridPos{GridPos::Kind::Above, 0, 0.0};
+  }
+  const auto upper = std::lower_bound(
+      pts.begin(), pts.end(), ws,
+      [](const probes::MapsPoint& point, std::uint64_t want) {
+        return point.working_set_bytes < want;
+      });
+  const auto lower = upper - 1;
+  const double x0 = std::log2(static_cast<double>(lower->working_set_bytes));
+  const double x1 = std::log2(static_cast<double>(upper->working_set_bytes));
+  const double x = std::log2(static_cast<double>(ws));
+  return GridPos{GridPos::Kind::Segment,
+                 static_cast<std::size_t>(lower - pts.begin()),
+                 (x - x0) / (x1 - x0)};
+}
+
+double eval_at(const probes::MapsCurve& curve, const GridPos& pos) {
+  switch (pos.kind) {
+    case GridPos::Kind::Below:
+      return curve.points.front().bandwidth;
+    case GridPos::Kind::Above:
+      return curve.points.back().bandwidth;
+    case GridPos::Kind::Segment:
+      break;
+  }
+  const double y0 = std::log2(curve.points[pos.lower].bandwidth);
+  const double y1 = std::log2(curve.points[pos.lower + 1].bandwidth);
+  return std::exp2(y0 + pos.t * (y1 - y0));
+}
+
+bool same_grid(const probes::MapsCurve& a, const probes::MapsCurve& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].working_set_bytes != b.points[i].working_set_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Fill per-block bin-rate columns for the MAPS metrics. `normal` gets
+/// the #7/#8 rates, `dep` the #9 rates (ENHANCED curves only for blocks
+/// the analyzer flagged). Either may be null when not needed. When every
+/// involved curve shares one sampling grid — true for real probe suites —
+/// each block costs one grid search regardless of how many curves and
+/// metrics consume it.
+struct RateColumns {
+  double* unit = nullptr;
+  double* short_ = nullptr;
+  double* random = nullptr;
+};
+
+void fill_maps_rates(const trace::BlockColumns& c,
+                     const probes::ProbeSet& probes,
+                     const ConvolverOptions& options,
+                     const RateColumns& normal, const RateColumns& dep) {
+  const bool shared =
+      same_grid(probes.maps_unit, probes.maps_random) &&
+      (dep.unit == nullptr ||
+       (same_grid(probes.maps_unit, probes.maps_unit_dep) &&
+        same_grid(probes.maps_unit, probes.maps_random_dep)));
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ws = c.working_set_estimate[i];
+    const bool limited = c.dependency_limited[i] != 0;
+    GridPos pos;
+    if (shared) pos = locate(probes.maps_unit, ws);
+
+    double unit_rate = 0.0;
+    double random_rate = 0.0;
+    if (normal.unit != nullptr || (dep.unit != nullptr && !limited)) {
+      unit_rate = shared ? eval_at(probes.maps_unit, pos)
+                         : probes.maps_unit.bandwidth_at(ws);
+      random_rate = shared ? eval_at(probes.maps_random, pos)
+                           : probes.maps_random.bandwidth_at(ws);
+    }
+    if (normal.unit != nullptr) {
+      normal.unit[i] = unit_rate;
+      normal.random[i] = random_rate;
+      normal.short_[i] =
+          map_short(unit_rate, random_rate, options.short_mapping);
+      MSIM_CHECK(normal.unit[i] > 0.0 && normal.short_[i] > 0.0 &&
+                     normal.random[i] > 0.0,
+                 "memory rates must be positive");
+    }
+    if (dep.unit != nullptr) {
+      double unit9 = unit_rate;
+      double random9 = random_rate;
+      if (limited) {
+        unit9 = shared ? eval_at(probes.maps_unit_dep, pos)
+                       : probes.maps_unit_dep.bandwidth_at(ws);
+        random9 = shared ? eval_at(probes.maps_random_dep, pos)
+                         : probes.maps_random_dep.bandwidth_at(ws);
+      }
+      dep.unit[i] = unit9;
+      dep.random[i] = random9;
+      dep.short_[i] = map_short(unit9, random9, options.short_mapping);
+      MSIM_CHECK(dep.unit[i] > 0.0 && dep.short_[i] > 0.0 &&
+                     dep.random[i] > 0.0,
+                 "memory rates must be positive");
+    }
+  }
+}
+
+void fill_constant(double* dst, std::size_t n, double value) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+/// Elementwise block-time kernel + ordered accumulation. The loop body is
+/// the exact expression tree of convolve_scalars (flop time, byte count,
+/// three-bin memory time, overlap combine), evaluated lane-parallel over
+/// the columns; only the final sum runs in block order.
+double sum_block_times(const trace::BlockColumns& c, double hpl_rmax,
+                       const double* ru, const double* rs, const double* rr,
+                       cpusim::OverlapPolicy policy, double* times) {
+  const std::size_t n = c.size();
+  const std::uint64_t* flops = c.flops.data();
+  const std::uint64_t* refs = c.refs.data();
+  const std::uint32_t* element_bytes = c.element_bytes.data();
+  const double* uf = c.unit_fraction.data();
+  const double* sf = c.short_fraction.data();
+  const double* rf = c.random_fraction.data();
+
+  switch (policy) {
+    case cpusim::OverlapPolicy::Max:
+      MSIM_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        const double flop_time =
+            static_cast<double>(flops[i]) / hpl_rmax;
+        const double bytes =
+            static_cast<double>(refs[i] * element_bytes[i]);
+        const double memory_time = bytes * uf[i] / ru[i] +
+                                   bytes * sf[i] / rs[i] +
+                                   bytes * rf[i] / rr[i];
+        times[i] = std::max(flop_time, memory_time);
+      }
+      break;
+    case cpusim::OverlapPolicy::Sum:
+      MSIM_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        const double flop_time =
+            static_cast<double>(flops[i]) / hpl_rmax;
+        const double bytes =
+            static_cast<double>(refs[i] * element_bytes[i]);
+        const double memory_time = bytes * uf[i] / ru[i] +
+                                   bytes * sf[i] / rs[i] +
+                                   bytes * rf[i] / rr[i];
+        times[i] = flop_time + memory_time;
+      }
+      break;
+    case cpusim::OverlapPolicy::Partial:
+      // The convolver always combines with hiding = 1.0 (see
+      // convolve_scalars): longer + (1 - 1) * shorter.
+      MSIM_PRAGMA_SIMD
+      for (std::size_t i = 0; i < n; ++i) {
+        const double flop_time =
+            static_cast<double>(flops[i]) / hpl_rmax;
+        const double bytes =
+            static_cast<double>(refs[i] * element_bytes[i]);
+        const double memory_time = bytes * uf[i] / ru[i] +
+                                   bytes * sf[i] / rs[i] +
+                                   bytes * rf[i] / rr[i];
+        const double longer = std::max(flop_time, memory_time);
+        const double shorter = std::min(flop_time, memory_time);
+        times[i] = longer + (1.0 - 1.0) * shorter;
+      }
+      break;
+  }
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    MSIM_REQUIRE(times[i] >= 0.0, "times must be non-negative");
+    acc += times[i];
+  }
+  return acc;
+}
+
+/// Call-local scratch: rate and time columns for up to kStackBlocks
+/// blocks live on the stack; bigger signatures spill to one heap buffer.
+constexpr std::size_t kStackBlocks = 32;
+constexpr std::size_t kScratchColumns = 10;
+
+struct Scratch {
+  double stack[kStackBlocks * kScratchColumns];
+  std::vector<double> heap;
+
+  double* columns(std::size_t n) {
+    if (n <= kStackBlocks) return stack;
+    heap.resize(n * kScratchColumns);
+    return heap.data();
+  }
+};
+
+/// Per-timestep block sum for one metric, given prefilled rate columns
+/// (null for the flop-only metric #4).
+double metric_block_sum(const trace::ApplicationSignature& sig,
+                        const probes::ProbeSet& probes,
+                        PredictiveMetric metric,
+                        const ConvolverOptions& options,
+                        const RateColumns& rates, double* times) {
+  const trace::BlockColumns& c = sig.blocks;
+  if (metric == PredictiveMetric::M4_Hpl) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      acc += static_cast<double>(c.flops[i]) / probes.hpl_rmax;
+    }
+    return acc;
+  }
+  return sum_block_times(c, probes.hpl_rmax, rates.unit, rates.short_,
+                         rates.random, options.overlap, times);
+}
+
 }  // namespace
 
 std::string to_string(PredictiveMetric metric) {
@@ -118,21 +422,13 @@ bool uses_network(PredictiveMetric metric) {
 double convolve_block(const trace::BlockSignature& block,
                       const probes::ProbeSet& probes, PredictiveMetric metric,
                       const ConvolverOptions& options) {
-  MSIM_REQUIRE(probes.hpl_rmax > 0.0, "probe set lacks HPL");
-  const double flop_time =
-      static_cast<double>(block.flops) / probes.hpl_rmax;
+  return convolve_scalars(scalars_of(block), probes, metric, options);
+}
 
-  if (metric == PredictiveMetric::M4_Hpl) return flop_time;
-
-  const BinRates rates = memory_rates(block, probes, metric, options);
-  const double bytes = static_cast<double>(block.bytes());
-  const double memory_time = bytes * block.unit_fraction / rates.unit +
-                             bytes * block.short_fraction / rates.short_ +
-                             bytes * block.random_fraction / rates.random;
-
-  // The convolver's overlap assumption; the paper uses full overlap (Max).
-  return cpusim::combine_overlap(flop_time, memory_time, options.overlap,
-                                 1.0);
+double convolve_block(const trace::BlockView& block,
+                      const probes::ProbeSet& probes, PredictiveMetric metric,
+                      const ConvolverOptions& options) {
+  return convolve_scalars(scalars_of(block), probes, metric, options);
 }
 
 double convolve_comm(const trace::ApplicationSignature& sig,
@@ -181,12 +477,123 @@ double convolved_time(const trace::ApplicationSignature& sig,
                       const probes::ProbeSet& probes, PredictiveMetric metric,
                       const ConvolverOptions& options) {
   MSIM_REQUIRE(!sig.blocks.empty(), "signature has no blocks");
-  double per_timestep = 0.0;
-  for (const auto& block : sig.blocks) {
-    per_timestep += convolve_block(block, probes, metric, options);
+  MSIM_REQUIRE(probes.hpl_rmax > 0.0, "probe set lacks HPL");
+  const trace::BlockColumns& c = sig.blocks;
+  const std::size_t n = c.size();
+
+  Scratch scratch;
+  double* buf = scratch.columns(n);
+  RateColumns rates{buf, buf + n, buf + 2 * n};
+  double* times = buf + 3 * n;
+
+  switch (metric) {
+    case PredictiveMetric::M4_Hpl:
+      rates = RateColumns{};
+      break;
+    case PredictiveMetric::M5_HplStream:
+      MSIM_CHECK(probes.stream_bw > 0.0, "memory rates must be positive");
+      fill_constant(rates.unit, n, probes.stream_bw);
+      fill_constant(rates.short_, n, probes.stream_bw);
+      fill_constant(rates.random, n, probes.stream_bw);
+      break;
+    case PredictiveMetric::M6_HplStreamGups: {
+      const double short_bw =
+          map_short(probes.stream_bw, probes.gups_bw, options.short_mapping);
+      MSIM_CHECK(probes.stream_bw > 0.0 && short_bw > 0.0 &&
+                     probes.gups_bw > 0.0,
+                 "memory rates must be positive");
+      fill_constant(rates.unit, n, probes.stream_bw);
+      fill_constant(rates.short_, n, short_bw);
+      fill_constant(rates.random, n, probes.gups_bw);
+      break;
+    }
+    case PredictiveMetric::M7_HplMaps:
+    case PredictiveMetric::M8_HplMapsNet:
+      fill_maps_rates(c, probes, options, rates, RateColumns{});
+      break;
+    case PredictiveMetric::M9_HplMapsNetDep:
+      fill_maps_rates(c, probes, options, RateColumns{}, rates);
+      break;
   }
+
+  double per_timestep =
+      metric_block_sum(sig, probes, metric, options, rates, times);
   per_timestep += convolve_comm(sig, probes, metric, options);
   return per_timestep * static_cast<double>(sig.timesteps);
+}
+
+std::vector<double> convolved_times(
+    const trace::ApplicationSignature& sig, const probes::ProbeSet& probes,
+    const std::vector<PredictiveMetric>& metrics,
+    const ConvolverOptions& options) {
+  MSIM_REQUIRE(!sig.blocks.empty(), "signature has no blocks");
+  MSIM_REQUIRE(probes.hpl_rmax > 0.0, "probe set lacks HPL");
+  const trace::BlockColumns& c = sig.blocks;
+  const std::size_t n = c.size();
+
+  bool need_maps = false;
+  bool need_dep = false;
+  for (const PredictiveMetric metric : metrics) {
+    need_maps |= metric == PredictiveMetric::M7_HplMaps ||
+                 metric == PredictiveMetric::M8_HplMapsNet;
+    need_dep |= metric == PredictiveMetric::M9_HplMapsNetDep;
+  }
+
+  Scratch scratch;
+  double* buf = scratch.columns(n);
+  const RateColumns maps_rates{buf, buf + n, buf + 2 * n};
+  const RateColumns dep_rates{buf + 3 * n, buf + 4 * n, buf + 5 * n};
+  const RateColumns constant_rates{buf + 6 * n, buf + 7 * n, buf + 8 * n};
+  double* times = buf + 9 * n;
+
+  // One gather pass serves every MAPS metric in the sweep: #7 and #8 read
+  // the very same columns, #9 shares each block's grid position.
+  if (need_maps || need_dep) {
+    fill_maps_rates(c, probes, options,
+                    need_maps ? maps_rates : RateColumns{},
+                    need_dep ? dep_rates : RateColumns{});
+  }
+
+  std::vector<double> results;
+  results.reserve(metrics.size());
+  for (const PredictiveMetric metric : metrics) {
+    RateColumns rates;
+    switch (metric) {
+      case PredictiveMetric::M4_Hpl:
+        break;
+      case PredictiveMetric::M5_HplStream:
+        MSIM_CHECK(probes.stream_bw > 0.0, "memory rates must be positive");
+        rates = constant_rates;
+        fill_constant(rates.unit, n, probes.stream_bw);
+        fill_constant(rates.short_, n, probes.stream_bw);
+        fill_constant(rates.random, n, probes.stream_bw);
+        break;
+      case PredictiveMetric::M6_HplStreamGups: {
+        const double short_bw = map_short(probes.stream_bw, probes.gups_bw,
+                                          options.short_mapping);
+        MSIM_CHECK(probes.stream_bw > 0.0 && short_bw > 0.0 &&
+                       probes.gups_bw > 0.0,
+                   "memory rates must be positive");
+        rates = constant_rates;
+        fill_constant(rates.unit, n, probes.stream_bw);
+        fill_constant(rates.short_, n, short_bw);
+        fill_constant(rates.random, n, probes.gups_bw);
+        break;
+      }
+      case PredictiveMetric::M7_HplMaps:
+      case PredictiveMetric::M8_HplMapsNet:
+        rates = maps_rates;
+        break;
+      case PredictiveMetric::M9_HplMapsNetDep:
+        rates = dep_rates;
+        break;
+    }
+    double per_timestep =
+        metric_block_sum(sig, probes, metric, options, rates, times);
+    per_timestep += convolve_comm(sig, probes, metric, options);
+    results.push_back(per_timestep * static_cast<double>(sig.timesteps));
+  }
+  return results;
 }
 
 double predict_time(const trace::ApplicationSignature& sig,

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "cpusim/overlap.hpp"
 #include "probes/probe_set.hpp"
@@ -81,6 +82,13 @@ struct ConvolverOptions {
                                     PredictiveMetric metric,
                                     const ConvolverOptions& options = {});
 
+/// Same, for a block viewed in place inside an ApplicationSignature's
+/// columns (no row materialization).
+[[nodiscard]] double convolve_block(const trace::BlockView& block,
+                                    const probes::ProbeSet& probes,
+                                    PredictiveMetric metric,
+                                    const ConvolverOptions& options = {});
+
 /// Convolved communication time per timestep (only for #8/#9; 0 otherwise).
 [[nodiscard]] double convolve_comm(const trace::ApplicationSignature& sig,
                                    const probes::ProbeSet& probes,
@@ -88,10 +96,24 @@ struct ConvolverOptions {
                                    const ConvolverOptions& options = {});
 
 /// Absolute convolved wall-clock for the full application (all timesteps).
+/// Implemented as a structure-of-arrays kernel over the signature's block
+/// columns; results are bitwise-identical to summing convolve_block over
+/// every block (the parity suite pins this down).
 [[nodiscard]] double convolved_time(const trace::ApplicationSignature& sig,
                                     const probes::ProbeSet& probes,
                                     PredictiveMetric metric,
                                     const ConvolverOptions& options = {});
+
+/// Batched prediction sweep: convolved_time for every metric in one pass
+/// over the block columns. MAPS grid lookups are located once per block
+/// and shared across the metrics that read the same curves (#7/#8 are
+/// identical; #9 reuses the grid position), so a full six-metric sweep
+/// costs far fewer curve interpolations than six independent calls while
+/// returning bitwise-identical values.
+[[nodiscard]] std::vector<double> convolved_times(
+    const trace::ApplicationSignature& sig, const probes::ProbeSet& probes,
+    const std::vector<PredictiveMetric>& metrics,
+    const ConvolverOptions& options = {});
 
 /// Ratio-normalized prediction of the target's wall-clock:
 ///   T'(X) = T_measured(base) * convolved(X) / convolved(base).

@@ -73,6 +73,11 @@ auto try_cache(const ArtifactCache& cache, const std::string& name,
 
 }  // namespace
 
+// The app digest is the identity of a suite item everywhere downstream
+// (trace keys, ground-truth keys), so this loop is the key function for
+// both the case list it reads and the items it mints.
+// msim-lint: key-for(workload::TestCase)
+// msim-lint: key-for(pipeline::SuiteItem)
 std::vector<SuiteItem> suite_items(
     const std::vector<workload::TestCase>& suite) {
   std::vector<SuiteItem> items;
@@ -137,28 +142,41 @@ std::optional<simulate::ObservationSet> load_ground_truth(
   return try_cache(cache, name, simulate::observation_set_from_text);
 }
 
-probes::ProbeSet probe_task(const machine::MachineConfig& machine,
-                            const ArtifactCache& cache, bool* cache_hit) {
-  if (cache_hit != nullptr) *cache_hit = false;
+std::optional<probes::ProbeSet> try_probe_cache(
+    const machine::MachineConfig& machine, const ArtifactCache& cache) {
   // Probe sets are stored framed-binary (cache v2); the parser sniffs the
   // frame magic, so either encoding loads from either name. A hit at the
   // v1 text name is re-stored as binary so the cache converges to the
   // compact format.
   const std::string name = probe_artifact_name(machine);
-  probes::ProbeSet result;
-  if (auto cached = try_cache(cache, name, probes::probe_set_from_artifact)) {
-    result = std::move(*cached);
-    if (cache_hit != nullptr) *cache_hit = true;
-  } else if (auto legacy =
-                 try_cache(cache, legacy_probe_artifact_name(machine),
-                           probes::probe_set_from_artifact)) {
-    result = std::move(*legacy);
-    if (cache_hit != nullptr) *cache_hit = true;
-    cache.store(name, probes::to_binary(result));
-  } else {
-    result = probes::run_probe_suite(machine);
-    cache.store(name, probes::to_binary(result));
+  std::optional<probes::ProbeSet> result =
+      try_cache(cache, name, probes::probe_set_from_artifact);
+  if (!result) {
+    result = try_cache(cache, legacy_probe_artifact_name(machine),
+                       probes::probe_set_from_artifact);
+    if (result) cache.store(name, probes::to_binary(*result));
   }
+  if (result) {
+    MSIM_REQUIRE(result->machine == machine.name,
+                 "probe artifact names the wrong machine (cache corrupt?)");
+  }
+  return result;
+}
+
+std::optional<trace::ApplicationSignature> try_trace_cache(
+    const ArtifactCache& cache, const std::string& artifact_name) {
+  return try_cache(cache, artifact_name, trace::signature_from_text);
+}
+
+probes::ProbeSet probe_task(const machine::MachineConfig& machine,
+                            const ArtifactCache& cache, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (auto cached = try_probe_cache(machine, cache)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return std::move(*cached);
+  }
+  probes::ProbeSet result = probes::run_probe_suite(machine);
+  cache.store(probe_artifact_name(machine), probes::to_binary(result));
   MSIM_REQUIRE(result.machine == machine.name,
                "probe artifact names the wrong machine (cache corrupt?)");
   return result;
@@ -171,7 +189,7 @@ trace::ApplicationSignature trace_task(
   if (cache_hit != nullptr) *cache_hit = false;
   const std::string name =
       trace_artifact_name(trace_key(item, base_name, tracer));
-  if (auto cached = try_cache(cache, name, trace::signature_from_text)) {
+  if (auto cached = try_trace_cache(cache, name)) {
     if (cache_hit != nullptr) *cache_hit = true;
     return std::move(*cached);
   }

@@ -69,6 +69,18 @@ struct SuiteItem {
 [[nodiscard]] std::optional<simulate::ObservationSet> load_ground_truth(
     const ArtifactCache& cache, const std::string& name);
 
+/// Cache-only half of probe_task: the framed-binary lookup with the
+/// transparent v1-text fallback and on-hit upgrade, or nullopt on any
+/// miss. Used by probe_task itself and by the graph's batch prefetch, so
+/// a prefetched hit is byte-identical to an in-task one.
+[[nodiscard]] std::optional<probes::ProbeSet> try_probe_cache(
+    const machine::MachineConfig& machine, const ArtifactCache& cache);
+
+/// Cache-only half of trace_task: the signature parse for an artifact
+/// name already derived via trace_key, or nullopt on any miss.
+[[nodiscard]] std::optional<trace::ApplicationSignature> try_trace_cache(
+    const ArtifactCache& cache, const std::string& artifact_name);
+
 /// Probe one machine with per-machine caching (framed binary, with
 /// transparent v1-text fallback and on-hit upgrade). `cache_hit` (may be
 /// null) reports whether the cache served the result.

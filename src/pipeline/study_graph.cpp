@@ -1,9 +1,11 @@
 #include "pipeline/study_graph.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -32,6 +34,13 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// MSIM_GRAPH_PREFETCH gates the graph-level artifact prefetch; anything
+/// but an explicit "0" (including unset) leaves it on.
+bool prefetch_default() {
+  const char* env = std::getenv("MSIM_GRAPH_PREFETCH");
+  return env == nullptr || std::string(env) != "0";
+}
+
 }  // namespace
 
 StudySpec paper_spec(metrics::StudyOptions options) {
@@ -47,10 +56,10 @@ std::string GraphStats::summary() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "graph: %zu studies, %zu probe batches, %zu nodes, "
-                "%zu deduped, %zu cache hits, %u workers, busy %.2fs, "
-                "wall %.2fs",
+                "%zu deduped, %zu cache hits (%zu prefetched), %u workers, "
+                "busy %.2fs, wall %.2fs",
                 studies, probe_batches, nodes, dedup_hits, cache_hits,
-                workers, busy_seconds, wall_seconds);
+                prefetch_hits, workers, busy_seconds, wall_seconds);
   return line;
 }
 
@@ -97,6 +106,7 @@ struct StudyGraph::Impl {
   bool cache_enabled = false;
   std::string cache_root;
   std::uint64_t cache_max = 0;
+  bool prefetch_enabled = prefetch_default();
 
   // Graph state.
   std::vector<std::unique_ptr<StudyRecord>> studies;
@@ -106,6 +116,14 @@ struct StudyGraph::Impl {
   ArtifactCache cache;
   GraphStats graph_stats;
   bool built = false;
+
+  // Prefetch candidates, recorded when a node is first created (dedup'd
+  // requests reuse the original node, so each artifact appears once).
+  // Machine pointers refer to StudyRecord/ProbeBatch members, which are
+  // heap-allocated and never mutated after lowering.
+  std::vector<std::pair<std::size_t, const machine::MachineConfig*>>
+      probe_candidates;
+  std::vector<std::pair<std::size_t, std::string>> trace_candidates;
 
   std::size_t new_node(Node::Kind kind, const char* span_name) {
     auto node = std::make_unique<Node>();
@@ -145,6 +163,7 @@ struct StudyGraph::Impl {
       node->run = [this, node, config] {
         node->probe = probe_task(*config, cache, &node->cache_hit);
       };
+      probe_candidates.emplace_back(id, config);
       return id;
     });
   }
@@ -220,6 +239,7 @@ struct StudyGraph::Impl {
                   rec->spec.suite[item.case_index], item, rec->spec.base.name,
                   rec->spec.options.tracer, cache, &node->cache_hit);
             };
+            trace_candidates.emplace_back(id, trace_artifact_name(key));
             return id;
           }));
     }
@@ -379,6 +399,77 @@ struct StudyGraph::Impl {
     MSIM_CHECK(remaining == 0, "study graph stalled with nodes pending");
   }
 
+  /// Graph-level cache prefetch: one index snapshot answers "which node
+  /// artifacts exist?" for the whole lowered graph, then the hits are
+  /// loaded sequentially in artifact-name order before the pool starts —
+  /// a warm build streams the store instead of issuing random point
+  /// lookups from every worker. A prefetched node's task is replaced by a
+  /// no-op with the output already in place; the load path is the same
+  /// try_*_cache consultation the task itself would run, so results (and
+  /// the cache.hit counter stream) are bitwise-identical either way.
+  /// Index-listed entries that fail to load (corrupt, malformed) stay
+  /// un-prefetched and recompute under the pool as usual.
+  void prefetch_artifacts() {
+    if (!prefetch_enabled || !cache.enabled()) return;
+    static obs::Counter& probed =
+        obs::Registry::instance().counter("cache.prefetch.probed");
+    static obs::Counter& hits =
+        obs::Registry::instance().counter("cache.prefetch.hits");
+
+    std::vector<std::string> index;
+    for (const auto& entry : cache.index_entries()) {
+      index.push_back(entry.name);
+    }
+    const auto indexed = [&index](const std::string& name) {
+      return std::binary_search(index.begin(), index.end(), name);
+    };
+
+    struct Hit {
+      std::string name;  ///< load-order sort key
+      std::size_t node;
+      const machine::MachineConfig* machine;  ///< null for trace nodes
+    };
+    std::vector<Hit> worklist;
+    for (const auto& [id, machine] : probe_candidates) {
+      ++graph_stats.prefetch_probed;
+      const std::string name = probe_artifact_name(*machine);
+      if (indexed(name)) {
+        worklist.push_back(Hit{name, id, machine});
+      } else if (indexed(legacy_probe_artifact_name(*machine))) {
+        worklist.push_back(
+            Hit{legacy_probe_artifact_name(*machine), id, machine});
+      }
+    }
+    for (const auto& [id, name] : trace_candidates) {
+      ++graph_stats.prefetch_probed;
+      if (indexed(name)) worklist.push_back(Hit{name, id, nullptr});
+    }
+    probed.add(graph_stats.prefetch_probed);
+
+    std::sort(worklist.begin(), worklist.end(),
+              [](const Hit& a, const Hit& b) { return a.name < b.name; });
+    for (const Hit& hit : worklist) {
+      Node* node = nodes[hit.node].get();
+      if (hit.machine != nullptr) {
+        if (auto probe = try_probe_cache(*hit.machine, cache)) {
+          node->probe = std::move(*probe);
+        } else {
+          continue;
+        }
+      } else {
+        if (auto signature = try_trace_cache(cache, hit.name)) {
+          node->signature = std::move(*signature);
+        } else {
+          continue;
+        }
+      }
+      node->cache_hit = true;
+      node->run = [] {};
+      ++graph_stats.prefetch_hits;
+    }
+    hits.add(graph_stats.prefetch_hits);
+  }
+
   void build_all() {
     MSIM_REQUIRE(!built, "study graph already built");
     MSIM_REQUIRE(!studies.empty() || !batches.empty(),
@@ -396,6 +487,7 @@ struct StudyGraph::Impl {
         batch->probe_nodes.push_back(probe_node_for(machine));
       }
     }
+    prefetch_artifacts();
 
     graph_stats.studies = studies.size();
     graph_stats.probe_batches = batches.size();
@@ -468,6 +560,11 @@ StudyGraph& StudyGraph::cache_dir(std::string dir) {
 
 StudyGraph& StudyGraph::cache_max_bytes(std::uint64_t max_bytes) {
   impl_->cache_max = max_bytes;
+  return *this;
+}
+
+StudyGraph& StudyGraph::prefetch(bool enabled) {
+  impl_->prefetch_enabled = enabled;
   return *this;
 }
 

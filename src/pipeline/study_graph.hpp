@@ -65,6 +65,8 @@ struct GraphStats {
   std::size_t nodes = 0;        ///< nodes in the graph, after dedup
   std::size_t dedup_hits = 0;   ///< node requests served by an existing node
   std::size_t cache_hits = 0;   ///< nodes served by the artifact cache
+  std::size_t prefetch_probed = 0;  ///< node keys checked against the index
+  std::size_t prefetch_hits = 0;    ///< nodes batch-loaded before the pool
   unsigned workers = 0;         ///< pool size used
   double busy_seconds = 0.0;    ///< summed node execution time
   double wall_seconds = 0.0;    ///< build_all wall clock
@@ -88,6 +90,14 @@ class StudyGraph {
   StudyGraph& cache_dir(std::string dir);
   /// Cache size cap in bytes; 0 = MSIM_CACHE_MAX_BYTES or unlimited.
   StudyGraph& cache_max_bytes(std::uint64_t max_bytes);
+  /// Graph-level artifact prefetch: after lowering, probe the cache index
+  /// once for every probe/trace node key and batch-load the hits
+  /// sequentially before the work-stealing pool starts, so warm builds
+  /// stream the artifact store in name order instead of issuing random
+  /// point lookups from many workers. On by default; also gated by
+  /// MSIM_GRAPH_PREFETCH (set to "0" to disable). Bitwise-invisible in
+  /// study results either way.
+  StudyGraph& prefetch(bool enabled);
 
   /// Queue a study; returns its handle. Must precede build_all().
   std::size_t add_study(StudySpec spec);

@@ -1,6 +1,7 @@
 #include "probes/synthetic.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -29,7 +30,8 @@ simulate::ExecutorOptions probe_options() {
 
 /// Measure the wall time of a one-block, one-timestep workload.
 double measure_block(const machine::MachineConfig& machine,
-                     workload::BasicBlock block) {
+                     workload::BasicBlock block,
+                     const simulate::ExecutorOptions& options) {
   workload::Phase phase;
   phase.name = "probe";
   phase.blocks.push_back(std::move(block));
@@ -38,14 +40,15 @@ double measure_block(const machine::MachineConfig& machine,
   app.nprocs = 1;
   app.timesteps = 1;
   app.phases.push_back(std::move(phase));
-  return simulate::execute(app, machine, probe_options()).wall_seconds;
+  return simulate::execute(app, machine, options).wall_seconds;
 }
 
 /// A memory-only sweep over `working_set` with the given access flavor;
 /// returns measured bandwidth in bytes/s.
 double measure_bandwidth(const machine::MachineConfig& machine,
                          std::uint64_t working_set, StrideClass stride,
-                         bool dependency_limited) {
+                         bool dependency_limited,
+                         const simulate::ExecutorOptions& options) {
   workload::MemoryMix mix;
   switch (stride) {
     case StrideClass::Unit:
@@ -80,7 +83,7 @@ double measure_bandwidth(const machine::MachineConfig& machine,
       .ilp_efficiency = 0.9};
   const double bytes =
       static_cast<double>(block.bytes_per_timestep());
-  const double seconds = measure_block(machine, block);
+  const double seconds = measure_block(machine, block, options);
   MSIM_CHECK(seconds > 0.0, "probe measured zero time");
   return bytes / seconds;
 }
@@ -90,9 +93,8 @@ std::uint64_t main_memory_working_set(const machine::MachineConfig& machine) {
   return std::max<std::uint64_t>(64 * MiB, machine.total_cache_bytes() * 16);
 }
 
-}  // namespace
-
-double hpl_probe(const machine::MachineConfig& machine) {
+double hpl_probe_on(const machine::MachineConfig& machine,
+                    const simulate::ExecutorOptions& options) {
   // HPL is compute-bound dense LU; its achieved fraction of peak *is* the
   // machine's measured HPL efficiency, so the probe executes a flop-only
   // block at that ILP efficiency and reports the achieved rate.
@@ -109,18 +111,88 @@ double hpl_probe(const machine::MachineConfig& machine) {
       .dependency = DependencyClass::Independent,
       .branch_density = 0.0,
       .ilp_efficiency = machine.cpu.hpl_efficiency};
-  const double seconds = measure_block(machine, block);
+  const double seconds = measure_block(machine, block, options);
   return static_cast<double>(flops) / seconds;
+}
+
+/// One suite's bandwidth measurements, shared across probes. Two savings,
+/// both bitwise-invisible in the results:
+///  * the node-contention prefix (a full MachineConfig copy per executed
+///    measurement) is applied once up front and the executor is told not
+///    to re-derive it;
+///  * each distinct (working set, stride, dependency) point is measured
+///    once. The STREAM and GUPS main-memory points land on the MAPS
+///    sweep grid for most machines, so the sweeps stop recomputing the
+///    suite's most expensive measurements.
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(const machine::MachineConfig& machine)
+      : contended_(simulate::apply_contention(machine)) {
+    options_ = probe_options();
+    options_.apply_contention = false;  // already folded into contended_
+    // A full suite touches ~150 distinct points; one up-front bucket
+    // allocation instead of growth rehashes mid-sweep.
+    memo_.reserve(256);
+  }
+
+  double bandwidth(std::uint64_t working_set, StrideClass stride,
+                   bool dependency_limited) {
+    static obs::Counter& hits =
+        obs::Registry::instance().counter("probes.memo.hits");
+    static obs::Counter& misses =
+        obs::Registry::instance().counter("probes.memo.misses");
+    const std::uint64_t key = working_set * 8 +
+                              static_cast<std::uint64_t>(stride) * 2 +
+                              (dependency_limited ? 1 : 0);
+    const auto found = memo_.find(key);
+    if (found != memo_.end()) {
+      hits.add();
+      return found->second;
+    }
+    misses.add();
+    const double bw = measure_bandwidth(contended_, working_set, stride,
+                                        dependency_limited, options_);
+    memo_.emplace(key, bw);
+    return bw;
+  }
+
+  MapsCurve maps(StrideClass stride, bool dependency_limited,
+                 const std::vector<std::uint64_t>& sizes) {
+    MSIM_REQUIRE(!sizes.empty(), "MAPS needs at least one size");
+    MapsCurve curve;
+    curve.stride = stride;
+    curve.dependency_limited = dependency_limited;
+    for (std::uint64_t size : sizes) {
+      curve.points.push_back(MapsPoint{
+          .working_set_bytes = size,
+          .bandwidth = bandwidth(size, stride, dependency_limited)});
+    }
+    return curve;
+  }
+
+  const machine::MachineConfig& contended() const { return contended_; }
+  const simulate::ExecutorOptions& options() const { return options_; }
+
+ private:
+  machine::MachineConfig contended_;
+  simulate::ExecutorOptions options_;
+  std::unordered_map<std::uint64_t, double> memo_;
+};
+
+}  // namespace
+
+double hpl_probe(const machine::MachineConfig& machine) {
+  return hpl_probe_on(machine, probe_options());
 }
 
 double stream_probe(const machine::MachineConfig& machine) {
   return measure_bandwidth(machine, main_memory_working_set(machine),
-                           StrideClass::Unit, false);
+                           StrideClass::Unit, false, probe_options());
 }
 
 double gups_probe(const machine::MachineConfig& machine) {
   return measure_bandwidth(machine, main_memory_working_set(machine),
-                           StrideClass::Random, false);
+                           StrideClass::Random, false, probe_options());
 }
 
 std::vector<std::uint64_t> default_maps_sizes() {
@@ -144,8 +216,9 @@ MapsCurve maps_probe(const machine::MachineConfig& machine,
   for (std::uint64_t size : sizes) {
     curve.points.push_back(MapsPoint{
         .working_set_bytes = size,
-        .bandwidth =
-            measure_bandwidth(machine, size, stride, dependency_limited)});
+        .bandwidth = measure_bandwidth(machine, size, stride,
+                                       dependency_limited,
+                                       probe_options())});
   }
   return curve;
 }
@@ -181,22 +254,36 @@ ProbeSet run_probe_suite(const machine::MachineConfig& machine) {
     span.arg("machine", machine.name);
     return run();
   };
+  // Shared measurement state for the whole suite: the contention prefix is
+  // applied once and repeated bandwidth points are memoized (the suite's
+  // probes agree on what a measurement at a given point is, so reuse is
+  // bitwise-invisible in the ProbeSet).
+  SuiteRunner runner(machine);
+  const std::vector<std::uint64_t> sizes = default_maps_sizes();
+  const std::uint64_t main_ws = main_memory_working_set(machine);
+
   ProbeSet set;
   set.machine = machine.name;
-  set.hpl_rmax = probe("hpl", [&] { return hpl_probe(machine); });
-  set.stream_bw = probe("stream", [&] { return stream_probe(machine); });
-  set.gups_bw = probe("gups", [&] { return gups_probe(machine); });
+  set.hpl_rmax = probe("hpl", [&] {
+    return hpl_probe_on(runner.contended(), runner.options());
+  });
+  set.stream_bw = probe("stream", [&] {
+    return runner.bandwidth(main_ws, StrideClass::Unit, false);
+  });
+  set.gups_bw = probe("gups", [&] {
+    return runner.bandwidth(main_ws, StrideClass::Random, false);
+  });
   set.maps_unit = probe("maps:unit", [&] {
-    return maps_probe(machine, StrideClass::Unit, false);
+    return runner.maps(StrideClass::Unit, false, sizes);
   });
   set.maps_random = probe("maps:random", [&] {
-    return maps_probe(machine, StrideClass::Random, false);
+    return runner.maps(StrideClass::Random, false, sizes);
   });
   set.maps_unit_dep = probe("maps:unit-dep", [&] {
-    return maps_probe(machine, StrideClass::Unit, true);
+    return runner.maps(StrideClass::Unit, true, sizes);
   });
   set.maps_random_dep = probe("maps:random-dep", [&] {
-    return maps_probe(machine, StrideClass::Random, true);
+    return runner.maps(StrideClass::Random, true, sizes);
   });
   set.net = probe("netbench", [&] { return netbench_probe(machine); });
   return set;

@@ -65,44 +65,46 @@ ApplicationSignature scale_signature(const ApplicationSignature& first,
   scaled.timesteps = first.timesteps;
   scaled.traced_on = first.traced_on;
 
+  scaled.blocks.reserve(first.blocks.size());
   for (std::size_t i = 0; i < first.blocks.size(); ++i) {
-    const auto& a = first.blocks[i];
-    const auto& b = second.blocks[i];
-    MSIM_REQUIRE(a.name == b.name, "block order mismatch: " + a.name);
+    const BlockView a = first.blocks[i];
+    const BlockView b = second.blocks[i];
+    MSIM_REQUIRE(a.name() == b.name(), "block order mismatch: " + a.name());
 
     BlockSignature block;
-    block.name = a.name;
-    block.phase = a.phase;
-    block.element_bytes = a.element_bytes;
-    block.flops = scale_u64(a.flops, p_a, b.flops, p_b, p);
-    block.refs = scale_u64(a.refs, p_a, b.refs, p_b, p);
+    block.name = a.name();
+    block.phase = a.phase();
+    block.element_bytes = a.element_bytes();
+    block.flops = scale_u64(a.flops(), p_a, b.flops(), p_b, p);
+    block.refs = scale_u64(a.refs(), p_a, b.refs(), p_b, p);
     block.working_set_estimate = std::max<std::uint64_t>(
-        scale_u64(a.working_set_estimate, p_a, b.working_set_estimate, p_b,
-                  p),
-        a.element_bytes);
+        scale_u64(a.working_set_estimate(), p_a, b.working_set_estimate(),
+                  p_b, p),
+        a.element_bytes());
 
     // Stride fractions drift slowly with count (halo-to-volume effects);
     // interpolate linearly in log p and re-normalize.
-    double unit = a.unit_fraction + w * (b.unit_fraction - a.unit_fraction);
+    double unit =
+        a.unit_fraction() + w * (b.unit_fraction() - a.unit_fraction());
     double short_f =
-        a.short_fraction + w * (b.short_fraction - a.short_fraction);
+        a.short_fraction() + w * (b.short_fraction() - a.short_fraction());
     double random =
-        a.random_fraction + w * (b.random_fraction - a.random_fraction);
+        a.random_fraction() + w * (b.random_fraction() - a.random_fraction());
     unit = std::max(unit, 0.0);
     short_f = std::max(short_f, 0.0);
     random = std::max(random, 0.0);
     const double total = unit + short_f + random;
-    MSIM_CHECK(total > 0.0, "scaled fractions vanished: " + a.name);
+    MSIM_CHECK(total > 0.0, "scaled fractions vanished: " + a.name());
     block.unit_fraction = unit / total;
     block.short_fraction = short_f / total;
     block.random_fraction = random / total;
 
     block.branch_density =
-        a.branch_density + w * (b.branch_density - a.branch_density);
+        a.branch_density() + w * (b.branch_density() - a.branch_density());
     block.working_set_is_lower_bound =
-        a.working_set_is_lower_bound || b.working_set_is_lower_bound;
-    block.dependency_limited = nearer_second ? b.dependency_limited
-                                             : a.dependency_limited;
+        a.working_set_is_lower_bound() || b.working_set_is_lower_bound();
+    block.dependency_limited = nearer_second ? b.dependency_limited()
+                                             : a.dependency_limited();
     scaled.blocks.push_back(std::move(block));
   }
 

@@ -1,16 +1,99 @@
 #include "trace/signature.hpp"
 
+#include <utility>
+
 namespace msim::trace {
+
+void BlockColumns::reserve(std::size_t count) {
+  name.reserve(count);
+  phase.reserve(count);
+  flops.reserve(count);
+  refs.reserve(count);
+  element_bytes.reserve(count);
+  unit_fraction.reserve(count);
+  short_fraction.reserve(count);
+  random_fraction.reserve(count);
+  working_set_estimate.reserve(count);
+  working_set_is_lower_bound.reserve(count);
+  branch_density.reserve(count);
+  dependency_limited.reserve(count);
+}
+
+void BlockColumns::clear() {
+  name.clear();
+  phase.clear();
+  flops.clear();
+  refs.clear();
+  element_bytes.clear();
+  unit_fraction.clear();
+  short_fraction.clear();
+  random_fraction.clear();
+  working_set_estimate.clear();
+  working_set_is_lower_bound.clear();
+  branch_density.clear();
+  dependency_limited.clear();
+}
+
+void BlockColumns::push_back(const BlockSignature& row) {
+  name.push_back(row.name);
+  phase.push_back(row.phase);
+  flops.push_back(row.flops);
+  refs.push_back(row.refs);
+  element_bytes.push_back(row.element_bytes);
+  unit_fraction.push_back(row.unit_fraction);
+  short_fraction.push_back(row.short_fraction);
+  random_fraction.push_back(row.random_fraction);
+  working_set_estimate.push_back(row.working_set_estimate);
+  working_set_is_lower_bound.push_back(row.working_set_is_lower_bound ? 1
+                                                                      : 0);
+  branch_density.push_back(row.branch_density);
+  dependency_limited.push_back(row.dependency_limited ? 1 : 0);
+}
+
+void BlockColumns::push_back(BlockSignature&& row) {
+  name.push_back(std::move(row.name));
+  phase.push_back(std::move(row.phase));
+  flops.push_back(row.flops);
+  refs.push_back(row.refs);
+  element_bytes.push_back(row.element_bytes);
+  unit_fraction.push_back(row.unit_fraction);
+  short_fraction.push_back(row.short_fraction);
+  random_fraction.push_back(row.random_fraction);
+  working_set_estimate.push_back(row.working_set_estimate);
+  working_set_is_lower_bound.push_back(row.working_set_is_lower_bound ? 1
+                                                                      : 0);
+  branch_density.push_back(row.branch_density);
+  dependency_limited.push_back(row.dependency_limited ? 1 : 0);
+}
+
+BlockSignature BlockColumns::row(std::size_t index) const {
+  BlockSignature out;
+  out.name = name[index];
+  out.phase = phase[index];
+  out.flops = flops[index];
+  out.refs = refs[index];
+  out.element_bytes = element_bytes[index];
+  out.unit_fraction = unit_fraction[index];
+  out.short_fraction = short_fraction[index];
+  out.random_fraction = random_fraction[index];
+  out.working_set_estimate = working_set_estimate[index];
+  out.working_set_is_lower_bound = working_set_is_lower_bound[index] != 0;
+  out.branch_density = branch_density[index];
+  out.dependency_limited = dependency_limited[index] != 0;
+  return out;
+}
 
 std::uint64_t ApplicationSignature::total_flops_per_timestep() const {
   std::uint64_t total = 0;
-  for (const auto& block : blocks) total += block.flops;
+  for (std::uint64_t value : blocks.flops) total += value;
   return total;
 }
 
 std::uint64_t ApplicationSignature::total_bytes_per_timestep() const {
   std::uint64_t total = 0;
-  for (const auto& block : blocks) total += block.bytes();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    total += blocks.refs[i] * blocks.element_bytes[i];
+  }
   return total;
 }
 

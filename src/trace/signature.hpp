@@ -8,9 +8,20 @@
 // analyzer's dependency verdict, and the MPIDTRACE communication-event
 // counts. It deliberately excludes ground-truth-only facts: true stride
 // mixes, true working sets, ILP efficiency, load imbalance, page locality.
+//
+// Storage is structure-of-arrays: the per-block columns live in
+// contiguous per-field vectors (BlockColumns) so the convolver's
+// prediction sweep is a stride-1 kernel over flat arrays instead of a
+// walk over nested structs. Producers and the text codec still traffic
+// in whole rows (BlockSignature); consumers index columns through the
+// BlockView proxy, which preserves the field-per-block access pattern
+// as accessor methods.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -18,7 +29,8 @@
 
 namespace msim::trace {
 
-/// Traced profile of one basic block (per process, per timestep).
+/// Traced profile of one basic block (per process, per timestep) in row
+/// form — the unit producers build and the text codec round-trips.
 struct BlockSignature {
   std::string name;
   std::string phase;
@@ -44,6 +56,154 @@ struct BlockSignature {
   }
 };
 
+class BlockView;
+
+/// Structure-of-arrays storage for per-block signature data. The column
+/// vectors are public on purpose: the convolver kernel reads them as raw
+/// stride-1 arrays. Row-shaped access goes through operator[] /
+/// iteration, which hand out BlockView proxies.
+class BlockColumns {
+ public:
+  std::vector<std::string> name;
+  std::vector<std::string> phase;
+  std::vector<std::uint64_t> flops;
+  std::vector<std::uint64_t> refs;
+  std::vector<std::uint32_t> element_bytes;
+  std::vector<double> unit_fraction;
+  std::vector<double> short_fraction;
+  std::vector<double> random_fraction;
+  std::vector<std::uint64_t> working_set_estimate;
+  std::vector<std::uint8_t> working_set_is_lower_bound;
+  std::vector<double> branch_density;
+  std::vector<std::uint8_t> dependency_limited;
+
+  BlockColumns() = default;
+  BlockColumns(std::initializer_list<BlockSignature> rows) {
+    assign(rows.begin(), rows.end());
+  }
+  BlockColumns& operator=(std::initializer_list<BlockSignature> rows) {
+    clear();
+    assign(rows.begin(), rows.end());
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return flops.size(); }
+  [[nodiscard]] bool empty() const { return flops.empty(); }
+
+  void reserve(std::size_t count);
+  void clear();
+  void push_back(const BlockSignature& row);
+  void push_back(BlockSignature&& row);
+
+  /// Row materialized back from the columns (text codec, scaling).
+  [[nodiscard]] BlockSignature row(std::size_t index) const;
+
+  [[nodiscard]] inline BlockView operator[](std::size_t index) const;
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = BlockView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const BlockView*;
+    using reference = BlockView;
+
+    const_iterator(const BlockColumns& columns, std::size_t index)
+        : columns_(&columns), index_(index) {}
+    inline BlockView operator*() const;
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    const BlockColumns* columns_;
+    std::size_t index_;
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(*this, 0);
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator(*this, size());
+  }
+
+ private:
+  template <typename It>
+  void assign(It first, It last) {
+    for (It it = first; it != last; ++it) push_back(*it);
+  }
+};
+
+/// Thin indexed view of one block inside BlockColumns: the pre-SoA
+/// field-per-block API, one accessor method per column.
+class BlockView {
+ public:
+  BlockView(const BlockColumns& columns, std::size_t index)
+      : columns_(&columns), index_(index) {}
+
+  [[nodiscard]] const std::string& name() const {
+    return columns_->name[index_];
+  }
+  [[nodiscard]] const std::string& phase() const {
+    return columns_->phase[index_];
+  }
+  [[nodiscard]] std::uint64_t flops() const {
+    return columns_->flops[index_];
+  }
+  [[nodiscard]] std::uint64_t refs() const { return columns_->refs[index_]; }
+  [[nodiscard]] std::uint32_t element_bytes() const {
+    return columns_->element_bytes[index_];
+  }
+  [[nodiscard]] double unit_fraction() const {
+    return columns_->unit_fraction[index_];
+  }
+  [[nodiscard]] double short_fraction() const {
+    return columns_->short_fraction[index_];
+  }
+  [[nodiscard]] double random_fraction() const {
+    return columns_->random_fraction[index_];
+  }
+  [[nodiscard]] std::uint64_t working_set_estimate() const {
+    return columns_->working_set_estimate[index_];
+  }
+  [[nodiscard]] bool working_set_is_lower_bound() const {
+    return columns_->working_set_is_lower_bound[index_] != 0;
+  }
+  [[nodiscard]] double branch_density() const {
+    return columns_->branch_density[index_];
+  }
+  [[nodiscard]] bool dependency_limited() const {
+    return columns_->dependency_limited[index_] != 0;
+  }
+
+  /// Total memory traffic per timestep, bytes.
+  [[nodiscard]] std::uint64_t bytes() const {
+    return refs() * element_bytes();
+  }
+
+  [[nodiscard]] BlockSignature row() const { return columns_->row(index_); }
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+ private:
+  const BlockColumns* columns_;
+  std::size_t index_;
+};
+
+inline BlockView BlockColumns::operator[](std::size_t index) const {
+  return BlockView(*this, index);
+}
+
+inline BlockView BlockColumns::const_iterator::operator*() const {
+  return BlockView(*columns_, index_);
+}
+
 /// Communication schedule of one phase, as MPIDTRACE records it (exact).
 struct PhaseComm {
   std::string phase;
@@ -56,7 +216,7 @@ struct ApplicationSignature {
   int nprocs = 0;
   int timesteps = 0;
   std::string traced_on;  ///< base system name
-  std::vector<BlockSignature> blocks;
+  BlockColumns blocks;
   std::vector<PhaseComm> comm;
 
   [[nodiscard]] std::uint64_t total_flops_per_timestep() const;

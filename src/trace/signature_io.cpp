@@ -62,23 +62,23 @@ std::string to_text(const ApplicationSignature& signature) {
   os << "traced_on = " << signature.traced_on << '\n';
   os << "blocks = " << signature.blocks.size() << '\n';
   for (std::size_t i = 0; i < signature.blocks.size(); ++i) {
-    const auto& block = signature.blocks[i];
+    const BlockView block = signature.blocks[i];
     const std::string prefix = "block." + std::to_string(i) + '.';
-    os << prefix << "name = " << block.name << '\n';
-    os << prefix << "phase = " << block.phase << '\n';
-    os << prefix << "flops = " << block.flops << '\n';
-    os << prefix << "refs = " << block.refs << '\n';
-    os << prefix << "element_bytes = " << block.element_bytes << '\n';
-    os << prefix << "unit_fraction = " << block.unit_fraction << '\n';
-    os << prefix << "short_fraction = " << block.short_fraction << '\n';
-    os << prefix << "random_fraction = " << block.random_fraction << '\n';
-    os << prefix << "working_set_estimate = " << block.working_set_estimate
-       << '\n';
+    os << prefix << "name = " << block.name() << '\n';
+    os << prefix << "phase = " << block.phase() << '\n';
+    os << prefix << "flops = " << block.flops() << '\n';
+    os << prefix << "refs = " << block.refs() << '\n';
+    os << prefix << "element_bytes = " << block.element_bytes() << '\n';
+    os << prefix << "unit_fraction = " << block.unit_fraction() << '\n';
+    os << prefix << "short_fraction = " << block.short_fraction() << '\n';
+    os << prefix << "random_fraction = " << block.random_fraction() << '\n';
+    os << prefix << "working_set_estimate = "
+       << block.working_set_estimate() << '\n';
     os << prefix << "working_set_is_lower_bound = "
-       << (block.working_set_is_lower_bound ? 1 : 0) << '\n';
-    os << prefix << "branch_density = " << block.branch_density << '\n';
+       << (block.working_set_is_lower_bound() ? 1 : 0) << '\n';
+    os << prefix << "branch_density = " << block.branch_density() << '\n';
     os << prefix << "dependency_limited = "
-       << (block.dependency_limited ? 1 : 0) << '\n';
+       << (block.dependency_limited() ? 1 : 0) << '\n';
   }
   os << "phases = " << signature.comm.size() << '\n';
   for (std::size_t p = 0; p < signature.comm.size(); ++p) {

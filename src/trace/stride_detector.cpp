@@ -31,31 +31,54 @@ StrideDetector::StrideDetector(std::uint32_t element_bytes,
 }
 
 void StrideDetector::observe(const TaggedRef& ref) {
-  const auto [it, inserted] = last_address_.try_emplace(ref.pc, ref.address);
-  if (inserted) {
-    // No history for this PC yet: conservatively random (real detectors
-    // warm up the same way; the bias vanishes for long streams).
-    ++counts_.random;
-    return;
-  }
-  const std::int64_t delta = static_cast<std::int64_t>(ref.address) -
-                             static_cast<std::int64_t>(it->second);
-  it->second = ref.address;
+  observe_batch(&ref, 1);
+}
 
-  const std::int64_t magnitude = std::llabs(delta);
-  if (magnitude == element_bytes_) {
-    ++counts_.unit;
-  } else if (magnitude != 0 && magnitude <= short_threshold_bytes_ &&
-             magnitude % element_bytes_ == 0) {
-    ++counts_.short_;
-  } else {
-    ++counts_.random;
+void StrideDetector::observe_batch(const TaggedRef* refs,
+                                   std::size_t count) {
+  // Local accumulators: the compiler keeps them in registers across the
+  // batch instead of updating counts_ through a pointer every reference.
+  std::uint64_t unit = 0;
+  std::uint64_t short_ = 0;
+  std::uint64_t random = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t pc = refs[i].pc;
+    const std::uint64_t address = refs[i].address;
+    if (pc >= seen_.size()) {
+      seen_.resize(pc + 1, 0);
+      last_address_.resize(pc + 1, 0);
+    }
+    if (seen_[pc] == 0) {
+      // No history for this PC yet: conservatively random (real detectors
+      // warm up the same way; the bias vanishes for long streams).
+      seen_[pc] = 1;
+      last_address_[pc] = address;
+      ++random;
+      continue;
+    }
+    const std::int64_t delta = static_cast<std::int64_t>(address) -
+                               static_cast<std::int64_t>(last_address_[pc]);
+    last_address_[pc] = address;
+
+    const std::int64_t magnitude = std::llabs(delta);
+    if (magnitude == element_bytes_) {
+      ++unit;
+    } else if (magnitude != 0 && magnitude <= short_threshold_bytes_ &&
+               magnitude % element_bytes_ == 0) {
+      ++short_;
+    } else {
+      ++random;
+    }
   }
+  counts_.unit += unit;
+  counts_.short_ += short_;
+  counts_.random += random;
 }
 
 void StrideDetector::reset() {
   counts_ = StrideCounts{};
   last_address_.clear();
+  seen_.clear();
 }
 
 }  // namespace msim::trace

@@ -9,8 +9,9 @@
 // has no access to the workload's generative spec.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "memsim/access_types.hpp"
 
@@ -46,6 +47,11 @@ class StrideDetector {
   /// no delta and is binned conservatively as random.
   void observe(const TaggedRef& ref);
 
+  /// Classify a contiguous run of references: identical binning to calling
+  /// observe() per element, but the inner loop strides flat per-PC history
+  /// columns instead of chasing a hash table.
+  void observe_batch(const TaggedRef* refs, std::size_t count);
+
   [[nodiscard]] const StrideCounts& counts() const { return counts_; }
 
   void reset();
@@ -54,7 +60,10 @@ class StrideDetector {
   std::uint32_t element_bytes_;
   std::int64_t short_threshold_bytes_;
   StrideCounts counts_;
-  std::unordered_map<std::uint32_t, std::uint64_t> last_address_;
+  // Dense per-PC history, indexed by pc: stream ids are small component
+  // indices, so a flat table beats hashing on every reference.
+  std::vector<std::uint64_t> last_address_;
+  std::vector<std::uint8_t> seen_;
 };
 
 }  // namespace msim::trace

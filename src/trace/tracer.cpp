@@ -1,6 +1,7 @@
 #include "trace/tracer.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -29,10 +30,23 @@ BlockSignature trace_block(const workload::BasicBlock& block,
       block.refs_per_iteration * block.iterations;
   const std::uint64_t samples =
       std::min<std::uint64_t>(options.sample_refs, refs_per_timestep);
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    const memsim::TaggedAddress ref = generator.next_tagged();
-    detector.observe(TaggedRef{.pc = ref.stream_id, .address = ref.address});
-    extents.observe(ref.stream_id, ref.address);
+  // Feed the analyzers in batches: generation fills a flat buffer, then
+  // each analyzer strides it in a tight loop. Observation order — and so
+  // every count and estimate — is identical to the one-at-a-time form.
+  constexpr std::uint64_t kBatchRefs = 4096;
+  std::vector<TaggedRef> batch(
+      static_cast<std::size_t>(std::min(samples, kBatchRefs)));
+  std::uint64_t remaining = samples;
+  while (remaining > 0) {
+    const std::size_t count =
+        static_cast<std::size_t>(std::min(remaining, kBatchRefs));
+    for (std::size_t i = 0; i < count; ++i) {
+      const memsim::TaggedAddress ref = generator.next_tagged();
+      batch[i] = TaggedRef{.pc = ref.stream_id, .address = ref.address};
+    }
+    detector.observe_batch(batch.data(), count);
+    extents.observe_batch(batch.data(), count);
+    remaining -= count;
   }
 
   const StrideCounts& counts = detector.counts();
@@ -64,6 +78,9 @@ ApplicationSignature trace_application(const workload::AppModel& app,
   signature.nprocs = app.nprocs;
   signature.timesteps = app.timesteps;
   signature.traced_on = base_system;
+  std::size_t block_count = 0;
+  for (const auto& phase : app.phases) block_count += phase.blocks.size();
+  signature.blocks.reserve(block_count);
   for (const auto& phase : app.phases) {
     for (const auto& block : phase.blocks) {
       signature.blocks.push_back(trace_block(block, phase.name, options));

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <utility>
-#include <vector>
 
 #include "common/check.hpp"
 
@@ -41,6 +39,7 @@ WorkingSetEstimator::WorkingSetEstimator(std::uint32_t element_bytes)
 }
 
 void WorkingSetEstimator::observe(std::uint32_t pc, std::uint64_t address) {
+  if (pc >= streams_.size()) streams_.resize(pc + 1);
   PcState& state = streams_[pc];
   ++state.draws;
   state.unique.insert(address / element_bytes_);
@@ -72,21 +71,21 @@ void WorkingSetEstimator::observe(std::uint32_t pc, std::uint64_t address) {
   state.last_address = address;
 }
 
+void WorkingSetEstimator::observe_batch(const TaggedRef* refs,
+                                        std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    observe(refs[i].pc, refs[i].address);
+  }
+}
+
 ExtentEstimate WorkingSetEstimator::estimate() const {
   ExtentEstimate best;
   bool any_bounded = false;
-  // Walk streams in pc order, not hash order: the winning estimate feeds
-  // block signatures (cached artifacts), so the walk must be reproducible
-  // across library versions and process runs.
-  std::vector<const std::pair<const std::uint32_t, PcState>*> ordered;
-  ordered.reserve(streams_.size());
-  // Order-insensitive collection; sorted by pc before use.
-  // msim-lint: allow(determinism.unordered-iteration)
-  for (const auto& entry : streams_) ordered.push_back(&entry);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  for (const auto* entry : ordered) {
-    const PcState& state = entry->second;
+  // Dense storage walks streams in pc order by construction: the winning
+  // estimate feeds block signatures (cached artifacts), so the walk must
+  // be reproducible across library versions and process runs.
+  for (const PcState& state : streams_) {
+    if (state.draws == 0) continue;  // pc never observed
     ExtentEstimate mine;
     const bool looks_strided =
         state.strided_steps > 4 * (state.jump_steps + 1);

@@ -12,9 +12,12 @@
 //    (Newton) to estimate L from the observed unique count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
+
+#include "trace/stride_detector.hpp"
 
 namespace msim::trace {
 
@@ -39,6 +42,10 @@ class WorkingSetEstimator {
 
   void observe(std::uint32_t pc, std::uint64_t address);
 
+  /// Observe a contiguous run of PC-tagged references; identical state to
+  /// calling observe() per element.
+  void observe_batch(const TaggedRef* refs, std::size_t count);
+
   /// Combined estimate across PCs: the largest per-stream extent.
   [[nodiscard]] ExtentEstimate estimate() const;
 
@@ -57,7 +64,10 @@ class WorkingSetEstimator {
   };
 
   std::uint32_t element_bytes_;
-  std::unordered_map<std::uint32_t, PcState> streams_;
+  // Dense per-PC state, indexed by pc: index order *is* pc order, so
+  // estimate() walks streams reproducibly with no sort step. Entries with
+  // draws == 0 were never observed.
+  std::vector<PcState> streams_;
 };
 
 }  // namespace msim::trace

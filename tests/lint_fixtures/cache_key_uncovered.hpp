@@ -1,10 +1,25 @@
-// Fixture: a required spec struct defined with no key-for() annotation
-// anywhere in the corpus (cache-key.uncovered-struct).
-namespace simulate {
-
-struct ExecutorOptions {
-  bool apply_tlb = true;
-  double noise_amplitude = 0.08;
+// Fixture: a brand-new spec struct whose hash function exists but
+// carries no key-for() annotation anywhere in the corpus
+// (cache-key.uncovered-struct). The rule discovers the struct from the
+// key function's shape — no curated list names PrefetchOptions.
+struct Fnv1a {
+  Fnv1a& update_bool(bool value);
+  Fnv1a& update_u64(unsigned long long value);
+  unsigned long long digest() const;
 };
 
-}  // namespace simulate
+namespace demo {
+
+struct PrefetchOptions {
+  bool enabled = true;
+  unsigned long long batch_bytes = 1u << 20;
+};
+
+unsigned long long prefetch_key(const PrefetchOptions& options) {
+  Fnv1a hash;
+  hash.update_bool(options.enabled);
+  hash.update_u64(options.batch_bytes);
+  return hash.digest();
+}
+
+}  // namespace demo

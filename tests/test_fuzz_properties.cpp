@@ -187,11 +187,11 @@ TEST_P(WorkloadFuzz, RandomAppsSurviveTheWholePipeline) {
   const auto signature = trace::trace_application(app, "fuzz-base", tracer);
   EXPECT_EQ(signature.total_flops_per_timestep(),
             app.total_flops_per_timestep());
-  for (const auto& block : signature.blocks) {
-    EXPECT_NEAR(block.unit_fraction + block.short_fraction +
-                    block.random_fraction,
+  for (const trace::BlockView block : signature.blocks) {
+    EXPECT_NEAR(block.unit_fraction() + block.short_fraction() +
+                    block.random_fraction(),
                 1.0, 1e-9);
-    EXPECT_GT(block.working_set_estimate, 0u);
+    EXPECT_GT(block.working_set_estimate(), 0u);
   }
 
   // Convolution against random-machine probes stays positive and finite.

@@ -28,17 +28,18 @@ TEST(SignatureIo, RoundTripsAllFields) {
   EXPECT_EQ(parsed.traced_on, original.traced_on);
   ASSERT_EQ(parsed.blocks.size(), original.blocks.size());
   for (std::size_t i = 0; i < parsed.blocks.size(); ++i) {
-    const auto& a = parsed.blocks[i];
-    const auto& b = original.blocks[i];
-    EXPECT_EQ(a.name, b.name);
-    EXPECT_EQ(a.phase, b.phase);
-    EXPECT_EQ(a.flops, b.flops);
-    EXPECT_EQ(a.refs, b.refs);
-    EXPECT_EQ(a.working_set_estimate, b.working_set_estimate);
-    EXPECT_EQ(a.working_set_is_lower_bound, b.working_set_is_lower_bound);
-    EXPECT_EQ(a.dependency_limited, b.dependency_limited);
-    EXPECT_NEAR(a.unit_fraction, b.unit_fraction, 1e-6);
-    EXPECT_NEAR(a.random_fraction, b.random_fraction, 1e-6);
+    const trace::BlockView a = parsed.blocks[i];
+    const trace::BlockView b = original.blocks[i];
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.phase(), b.phase());
+    EXPECT_EQ(a.flops(), b.flops());
+    EXPECT_EQ(a.refs(), b.refs());
+    EXPECT_EQ(a.working_set_estimate(), b.working_set_estimate());
+    EXPECT_EQ(a.working_set_is_lower_bound(),
+              b.working_set_is_lower_bound());
+    EXPECT_EQ(a.dependency_limited(), b.dependency_limited());
+    EXPECT_NEAR(a.unit_fraction(), b.unit_fraction(), 1e-6);
+    EXPECT_NEAR(a.random_fraction(), b.random_fraction(), 1e-6);
   }
   ASSERT_EQ(parsed.comm.size(), original.comm.size());
   for (std::size_t p = 0; p < parsed.comm.size(); ++p) {

@@ -83,12 +83,47 @@ TEST(MsimLint, FlagsSpecFieldMissingFromKeyFunction) {
   EXPECT_NE(result.findings[0].message.find("'gamma'"), std::string::npos);
 }
 
-TEST(MsimLint, FlagsRequiredSpecStructWithoutKeyAnnotation) {
-  const LintResult result = lint_fixture("src/simulate/fixture_spec.hpp",
+TEST(MsimLint, DiscoversNewSpecStructWithoutKeyAnnotation) {
+  // PrefetchOptions is not on any curated list; the rule discovers it
+  // from the unannotated hash function and reports at the struct def.
+  const LintResult result = lint_fixture("src/pipeline/fixture_spec.hpp",
                                          "cache_key_uncovered.hpp");
-  ASSERT_EQ(result.findings.size(), 1u);
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
   EXPECT_EQ(result.findings[0].rule, "cache-key.uncovered-struct");
-  EXPECT_EQ(result.findings[0].line, 5);
+  EXPECT_EQ(result.findings[0].line, 13);
+  EXPECT_NE(result.findings[0].message.find("PrefetchOptions"),
+            std::string::npos);
+}
+
+TEST(MsimLint, StructDefinitionAloneIsNotASpecStruct) {
+  // A struct nobody hashes is not a cache-key concern, even one that
+  // shares its name with a real spec struct elsewhere.
+  const std::string source =
+      "namespace simulate {\n"
+      "struct ExecutorOptions {\n"
+      "  bool apply_tlb = true;\n"
+      "  double noise_amplitude = 0.08;\n"
+      "};\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/simulate/fixture_spec.hpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+TEST(MsimLint, UncoveredStructHonorsInlineAllowAtDefinition) {
+  // A deliberately partial key (e.g. a fingerprint) documents itself
+  // with an allow directive at the struct definition site.
+  const std::string source =
+      "struct Fnv1a { Fnv1a& update_bool(bool v); };\n"
+      "// msim-lint: allow(cache-key.uncovered-struct)\n"
+      "struct PartialSpec { bool alpha = true; bool beta = false; };\n"
+      "void partial_key(Fnv1a& h, const PartialSpec& s) {\n"
+      "  h.update_bool(s.alpha);\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/pipeline/fixture_partial.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+  EXPECT_EQ(result.suppressed, 1);
 }
 
 TEST(MsimLint, FlagsStdoutWritesInLibrary) {

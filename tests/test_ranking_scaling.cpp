@@ -59,22 +59,22 @@ TEST_P(ScalingProperty, InterpolationMatchesRealTrace) {
   EXPECT_EQ(scaled.nprocs, p1);
   ASSERT_EQ(scaled.blocks.size(), real.blocks.size());
   for (std::size_t i = 0; i < scaled.blocks.size(); ++i) {
-    const auto& s = scaled.blocks[i];
-    const auto& r = real.blocks[i];
-    EXPECT_NEAR(static_cast<double>(s.refs),
-                static_cast<double>(r.refs),
-                static_cast<double>(r.refs) * 0.05)
-        << s.name;
-    EXPECT_NEAR(static_cast<double>(s.flops),
-                static_cast<double>(r.flops),
-                static_cast<double>(r.flops) * 0.05)
-        << s.name;
-    EXPECT_NEAR(s.unit_fraction, r.unit_fraction, 0.05) << s.name;
+    const trace::BlockView s = scaled.blocks[i];
+    const trace::BlockView r = real.blocks[i];
+    EXPECT_NEAR(static_cast<double>(s.refs()),
+                static_cast<double>(r.refs()),
+                static_cast<double>(r.refs()) * 0.05)
+        << s.name();
+    EXPECT_NEAR(static_cast<double>(s.flops()),
+                static_cast<double>(r.flops()),
+                static_cast<double>(r.flops()) * 0.05)
+        << s.name();
+    EXPECT_NEAR(s.unit_fraction(), r.unit_fraction(), 0.05) << s.name();
     // Working-set estimates carry tracer sampling noise on both sides.
-    EXPECT_NEAR(static_cast<double>(s.working_set_estimate),
-                static_cast<double>(r.working_set_estimate),
-                static_cast<double>(r.working_set_estimate) * 0.5)
-        << s.name;
+    EXPECT_NEAR(static_cast<double>(s.working_set_estimate()),
+                static_cast<double>(r.working_set_estimate()),
+                static_cast<double>(r.working_set_estimate()) * 0.5)
+        << s.name();
   }
 }
 
@@ -101,12 +101,12 @@ TEST(Scaling, FractionsRemainADistribution) {
   const auto scaled = trace::scale_signature(
       study.signature("RFCTH_Standard", 16),
       study.signature("RFCTH_Standard", 64), 512);  // far extrapolation
-  for (const auto& block : scaled.blocks) {
-    EXPECT_GE(block.unit_fraction, 0.0);
-    EXPECT_GE(block.short_fraction, 0.0);
-    EXPECT_GE(block.random_fraction, 0.0);
-    EXPECT_NEAR(block.unit_fraction + block.short_fraction +
-                    block.random_fraction,
+  for (const trace::BlockView block : scaled.blocks) {
+    EXPECT_GE(block.unit_fraction(), 0.0);
+    EXPECT_GE(block.short_fraction(), 0.0);
+    EXPECT_GE(block.random_fraction(), 0.0);
+    EXPECT_NEAR(block.unit_fraction() + block.short_fraction() +
+                    block.random_fraction(),
                 1.0, 1e-9);
   }
 }

@@ -216,11 +216,11 @@ TEST_P(TraceAppProperty, SignatureIsConsistentWithModel) {
   std::size_t block_index = 0;
   for (const auto& phase : app.phases) {
     for (const auto& block : phase.blocks) {
-      const auto& traced = signature.blocks[block_index++];
-      EXPECT_EQ(traced.name, block.name);
-      EXPECT_NEAR(traced.unit_fraction, block.mix.unit, 0.05)
+      const trace::BlockView traced = signature.blocks[block_index++];
+      EXPECT_EQ(traced.name(), block.name);
+      EXPECT_NEAR(traced.unit_fraction(), block.mix.unit, 0.05)
           << block.name;
-      EXPECT_NEAR(traced.random_fraction, block.mix.random, 0.05)
+      EXPECT_NEAR(traced.random_fraction(), block.mix.random, 0.05)
           << block.name;
     }
   }

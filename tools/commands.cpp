@@ -188,12 +188,12 @@ int cmd_trace(const Args& raw_args) {
   AsciiTable table({"Block", "Unit", "Short", "Random", "WS estimate",
                     "Dep?"});
   for (std::size_t c = 1; c < 4; ++c) table.set_align(c, Align::Right);
-  for (const auto& block : signature.blocks) {
-    table.add_row({block.name, AsciiTable::num(block.unit_fraction, 2),
-                   AsciiTable::num(block.short_fraction, 2),
-                   AsciiTable::num(block.random_fraction, 2),
-                   format_bytes(block.working_set_estimate),
-                   block.dependency_limited ? "yes" : "no"});
+  for (const trace::BlockView block : signature.blocks) {
+    table.add_row({block.name(), AsciiTable::num(block.unit_fraction(), 2),
+                   AsciiTable::num(block.short_fraction(), 2),
+                   AsciiTable::num(block.random_fraction(), 2),
+                   format_bytes(block.working_set_estimate()),
+                   block.dependency_limited() ? "yes" : "no"});
   }
   std::printf("Traced %s @ %d CPUs on %s:\n%s", signature.app.c_str(),
               nprocs, signature.traced_on.c_str(), table.render().c_str());

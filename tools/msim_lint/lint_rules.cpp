@@ -664,16 +664,102 @@ std::string last_component(const std::string& qualified) {
   return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
 }
 
-/// Spec structs that must be covered by a key-for() annotation whenever
-/// their definition is part of the scanned corpus: these are the structs
-/// whose values select cached pipeline artifacts (see
-/// src/pipeline/stage_tasks.cpp).
-const std::vector<std::string>& required_key_coverage() {
-  static const std::vector<std::string> required = {
-      "simulate::ExecutorOptions",
-      "trace::TracerOptions",
-  };
-  return required;
+/// A function-like token region: `name ( params ) [qualifiers] { body }`.
+/// Token indices into the owning file's stream.
+struct FnRegion {
+  std::size_t params_begin = 0;  ///< first token after '('
+  std::size_t params_end = 0;    ///< index of the closing ')'
+  std::size_t body_begin = 0;    ///< index of the opening '{'
+  std::size_t body_end = 0;      ///< one past the matching '}'
+};
+
+/// Find function definitions at tokenizer level. Control-flow headers
+/// (`if (...) {`) are excluded by keyword; call expressions and plain
+/// declarations die on the ';' / ',' between ')' and '{'; constructors
+/// with member-init lists are missed (the ':' breaks the scan), which is
+/// fine — key functions are free functions by repo convention.
+void collect_fn_regions(const LexedFile& lexed, std::vector<FnRegion>& out) {
+  static const std::unordered_set<std::string> control = {
+      "if",     "for",    "while",   "switch",       "catch",
+      "return", "sizeof", "alignof", "static_assert"};
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        control.count(toks[i].text) != 0 || !is_punct(&toks[i + 1], "(")) {
+      continue;
+    }
+    std::size_t close = i + 1;
+    int depth = 0;
+    while (close < toks.size()) {
+      if (is_punct(&toks[close], "(")) ++depth;
+      if (is_punct(&toks[close], ")") && --depth == 0) break;
+      ++close;
+    }
+    if (close >= toks.size()) break;
+    // Between ')' and '{' only trailing-return / qualifier tokens may
+    // appear; anything else means this was not a function definition.
+    std::size_t open = close + 1;
+    bool is_fn = false;
+    while (open < toks.size()) {
+      const Token& t = toks[open];
+      if (is_punct(&t, "{")) {
+        is_fn = true;
+        break;
+      }
+      const bool qualifier =
+          t.kind == TokKind::Identifier || is_punct(&t, "->") ||
+          is_punct(&t, "::") || is_punct(&t, "<") || is_punct(&t, ">") ||
+          is_punct(&t, "&") || is_punct(&t, "*");
+      if (!qualifier) break;
+      ++open;
+    }
+    if (!is_fn) continue;
+    std::size_t end = open;
+    depth = 0;
+    while (end < toks.size()) {
+      if (is_punct(&toks[end], "{")) ++depth;
+      if (is_punct(&toks[end], "}") && --depth == 0) {
+        ++end;
+        break;
+      }
+      ++end;
+    }
+    out.push_back(FnRegion{i + 2, close, open, end});
+  }
+}
+
+/// True when the parameter whose type name sits at token `name_idx` is
+/// const-qualified: walking left over type tokens (identifiers, '::',
+/// '<', '>') inside the parameter list reaches a `const` before the
+/// parameter boundary (',' or '('). Key functions read their spec by
+/// const reference; mutable references (`Fnv1a& hash`, internal state)
+/// are not the struct being keyed.
+bool const_qualified_param(const std::vector<Token>& toks,
+                           std::size_t name_idx, std::size_t params_begin) {
+  for (std::size_t i = name_idx; i-- > params_begin;) {
+    const Token& t = toks[i];
+    if (is_ident(&t, "const")) return true;
+    const bool type_token = t.kind == TokKind::Identifier ||
+                            is_punct(&t, "::") || is_punct(&t, "<") ||
+                            is_punct(&t, ">");
+    if (!type_token) return false;
+  }
+  return false;
+}
+
+/// True when the region's body reads at least one field of `def`
+/// through '.' or '->' (member access or designated initializer).
+bool body_accesses_field(const std::vector<Token>& toks,
+                         const FnRegion& region, const StructDef& def) {
+  for (std::size_t i = region.body_begin; i + 1 < region.body_end; ++i) {
+    if (!is_punct(&toks[i], ".") && !is_punct(&toks[i], "->")) continue;
+    const Token& next = toks[i + 1];
+    if (next.kind != TokKind::Identifier) continue;
+    for (const std::string& field : def.fields) {
+      if (next.text == field) return true;
+    }
+  }
+  return false;
 }
 
 void check_cache_keys(const std::vector<LexedFile>& lexed,
@@ -740,17 +826,70 @@ void check_cache_keys(const std::vector<LexedFile>& lexed,
     }
   }
 
-  for (const std::string& required : required_key_coverage()) {
-    if (annotated.count(last_component(required)) != 0) continue;
-    const StructDef* def = find_def(required);
-    if (def == nullptr) continue;  // struct not part of this corpus
+  // Auto-discover spec structs instead of curating a list: any struct a
+  // content-key function hashes is one whose fields select cached
+  // artifacts. A key function is recognized by shape — a function that
+  // mentions Fnv1a, takes the struct by const reference (or value), and
+  // reads at least one of its fields — so a newly added spec struct is
+  // flagged the moment its hash function lands, with no lint edit.
+  std::map<std::string, const StructDef*> discovered;  // name -> first def
+  for (const LexedFile& file : lexed) {
+    std::vector<FnRegion> regions;
+    collect_fn_regions(file, regions);
+    const auto& toks = file.tokens;
+    for (const FnRegion& region : regions) {
+      bool uses_hash = false;
+      for (std::size_t i = region.params_begin;
+           i < region.body_end && !uses_hash; ++i) {
+        uses_hash = is_ident(&toks[i], "Fnv1a");
+      }
+      if (!uses_hash) continue;
+      for (std::size_t i = region.params_begin; i < region.params_end; ++i) {
+        if (toks[i].kind != TokKind::Identifier) continue;
+        const StructDef* def = find_def(toks[i].text);
+        if (def == nullptr) continue;
+        if (!const_qualified_param(toks, i, region.params_begin)) continue;
+        if (!body_accesses_field(toks, region, *def)) continue;
+        discovered.emplace(def->name, def);
+      }
+    }
+  }
+
+  std::map<std::string, const LexedFile*> files_by_path;
+  for (const LexedFile& file : lexed) {
+    files_by_path.emplace(file.path, &file);
+  }
+  // Corpus-wide findings bypass FileContext, so honor inline allow()
+  // directives at the definition site here: a struct whose key is
+  // deliberately partial (e.g. lint::Finding's baseline fingerprint)
+  // documents that with an allow instead of a bogus key-for.
+  const auto allowed_at = [&files_by_path](const std::string& path,
+                                           int line) {
+    const auto it = files_by_path.find(path);
+    if (it == files_by_path.end()) return false;
+    for (int l : {line, line - 1}) {
+      const auto allows = it->second->allows.find(l);
+      if (allows == it->second->allows.end()) continue;
+      for (const std::string& rule : allows->second) {
+        if (rule == "cache-key.uncovered-struct") return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto& [name, def] : discovered) {
+    if (annotated.count(name) != 0) continue;
+    if (allowed_at(def->file, def->line)) {
+      ++result.suppressed;
+      continue;
+    }
     result.findings.push_back(
         Finding{def->file, def->line, "cache-key.uncovered-struct",
                 severity_of("cache-key.uncovered-struct", overrides),
-                "spec struct " + required +
-                    " feeds cached artifacts but no key function is "
-                    "annotated with `msim-lint: key-for(" +
-                    required + ")`",
+                "spec struct " + name +
+                    " is hashed into a content key but no key function "
+                    "is annotated with `msim-lint: key-for(" +
+                    name + ")`",
                 false});
   }
 }
