@@ -8,6 +8,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "obs/run_record.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/study_builder.hpp"
 #include "report/report.hpp"
@@ -79,6 +80,11 @@ void banner(int argc, char** argv, const std::string& experiment,
   for (int i = 1; i < argc; ++i) {
     (void)obs::handle_telemetry_flag(argv[i]);
   }
+  // The experiment name keys the run record's identity: records from
+  // different benches never merge their samples. A no-op unless
+  // MSIM_RUN_RECORD / --run-record enabled recording above, and all
+  // record output lands in the file at exit, so stdout stays diffable.
+  obs::record_run_info("experiment", experiment);
   obs::install_exit_writer();
 
   std::printf("=========================================================\n");

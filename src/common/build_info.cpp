@@ -1,0 +1,76 @@
+#include "common/build_info.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+// Configure-time identity (see src/CMakeLists.txt). Every macro has a
+// fallback so the file also compiles standalone.
+#ifndef MSIM_GIT_DESCRIBE
+#define MSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef MSIM_BUILD_TYPE
+#define MSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef MSIM_CXX_FLAGS
+#define MSIM_CXX_FLAGS ""
+#endif
+
+namespace msim {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// VmHWM from /proc/self/status, in bytes; 0 when the file or the row is
+/// missing (non-Linux hosts).
+std::uint64_t vm_hwm_bytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kib = 0;
+    fields >> kib;
+    return kib * 1024;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = {
+      compiler_string(),
+      MSIM_BUILD_TYPE,
+      MSIM_CXX_FLAGS,
+      MSIM_GIT_DESCRIBE,
+  };
+  return info;
+}
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t bytes = vm_hwm_bytes(); bytes != 0) return bytes;
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+}
+
+}  // namespace msim

@@ -1,0 +1,35 @@
+// Build and process identity for observability records.
+//
+// A run record is only comparable to another run record when both know
+// what produced them: the compiler, the configured build type and extra
+// flags, and the git revision of the tree. Compiler and flags come from
+// predefined macros and configure-time definitions (set on build_info.cpp
+// alone, so a revision bump recompiles one translation unit); the git
+// revision is captured by `git describe` at CMake configure time and
+// degrades to "unknown" outside a git checkout.
+//
+// peak_rss_bytes() reads the process high-water resident set size (VmHWM
+// on Linux, getrusage elsewhere) — a run-cost number every record samples
+// at write time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msim {
+
+/// Identity of the binary answering "what build produced this record?".
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "gcc 13.2.0" or "clang 18.1.3"
+  std::string build_type;  ///< CMake build type ("RelWithDebInfo", ...)
+  std::string flags;       ///< extra CMAKE_CXX_FLAGS ("" when none)
+  std::string git;         ///< `git describe --always --dirty`, or "unknown"
+};
+
+/// The process-wide build identity (computed once).
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Peak resident set size of this process in bytes; 0 when unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace msim

@@ -1,0 +1,392 @@
+#include "common/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace msim::json {
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Positions are tracked for
+/// error messages; nesting depth is capped so a hostile input cannot blow
+/// the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value value = parse_value(0);
+    skip_whitespace();
+    MSIM_REQUIRE(pos_ == text_.size(),
+                 "json: trailing characters after document at " +
+                     position());
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw precondition_error("json: " + what + " at " + position());
+  }
+
+  [[nodiscard]] std::string position() const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 128 levels");
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value();
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      // Duplicate keys: last one wins (common lenient behaviour).
+      members.insert_or_assign(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(members));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array items;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    while (true) {
+      skip_whitespace();
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char escapee = text_[pos_++];
+      switch (escapee) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          append_unicode_escape(out);
+          break;
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  /// Decode \uXXXX (merging surrogate pairs) and append as UTF-8.
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+          text_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned low = parse_hex4();
+        if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        fail("unpaired high surrogate");
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t count = 0;
+      while (!at_end() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    const std::size_t integer_digits = digits();
+    if (integer_digits == 0) fail("invalid number");
+    // JSON forbids leading zeros ("01"); strtod would accept them.
+    if (integer_digits > 1 && text_[start] == '0') fail("leading zero");
+    if (integer_digits > 1 && text_[start] == '-' &&
+        text_[start + 1] == '0' && integer_digits > 1 &&
+        pos_ - start > 2) {
+      fail("leading zero");
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    // The token is validated above, so strtod on a bounded copy is safe.
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value::Type Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::Null;
+    case 1:
+      return Type::Bool;
+    case 2:
+      return Type::Number;
+    case 3:
+      return Type::String;
+    case 4:
+      return Type::Array;
+    default:
+      return Type::Object;
+  }
+}
+
+bool Value::as_bool() const {
+  MSIM_REQUIRE(is_bool(), "json value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  MSIM_REQUIRE(is_number(), "json value is not a number");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  MSIM_REQUIRE(is_string(), "json value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::items() const {
+  MSIM_REQUIRE(is_array(), "json value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::fields() const {
+  MSIM_REQUIRE(is_object(), "json value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& members = std::get<Object>(data_);
+  const auto it = members.find(key);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* member = find(key);
+  return member != nullptr && member->is_number() ? member->as_number()
+                                                  : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             std::string fallback) const {
+  const Value* member = find(key);
+  return member != nullptr && member->is_string() ? member->as_string()
+                                                  : std::move(fallback);
+}
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace msim::json

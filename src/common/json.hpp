@@ -1,0 +1,76 @@
+// Minimal JSON reader: parse a document into an immutable value tree.
+//
+// msim emits two JSON formats (Chrome trace events, run records) and now
+// also consumes one: `msim-report` reads run records back, tests validate
+// trace files structurally, and run-record re-runs merge their noise
+// samples into the existing file. This parser supports exactly standard
+// JSON (RFC 8259) with no extensions, keeps object members in a std::map
+// so iteration is deterministic, and throws msim::precondition_error with
+// a line/column position on malformed input. It is a reader only — the
+// writers keep emitting by hand, which preserves field order and avoids a
+// DOM round-trip on the hot exit path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace msim::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Ordered member map: deterministic iteration for diffable re-emission.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() : data_(nullptr) {}
+  explicit Value(bool value) : data_(value) {}
+  explicit Value(double value) : data_(value) {}
+  explicit Value(std::string value) : data_(std::move(value)) {}
+  explicit Value(Array value) : data_(std::move(value)) {}
+  explicit Value(Object value) : data_(std::move(value)) {}
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_null() const { return type() == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type() == Type::String; }
+  [[nodiscard]] bool is_array() const { return type() == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type() == Type::Object; }
+
+  // Typed accessors; each requires the matching type (precondition_error).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& fields() const;
+
+  /// Object member by key, nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  // Defaulted lookups for optional members.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws msim::precondition_error on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escape a string for embedding inside a JSON string literal (no quotes).
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace msim::json

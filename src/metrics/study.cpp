@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "machine/registry.hpp"
 #include "metrics/simple.hpp"
+#include "obs/run_record.hpp"
 #include "pipeline/study_builder.hpp"
 #include "probes/synthetic.hpp"
 #include "stats/summary.hpp"
@@ -182,6 +183,30 @@ std::vector<Prediction> Study::evaluate(
         }
       }
     }
+  }
+
+  // While a run record is enabled, publish per-metric error summaries so
+  // the ledger carries the Table-4 numbers alongside the timings. Every
+  // bench evaluates the same assembled study, so replace-all semantics
+  // (the last evaluate wins) are correct; benches need no per-bench code.
+  if (obs::run_record_enabled() && !predictions.empty()) {
+    std::vector<obs::ErrorSummaryRecord> summaries;
+    for (Metric metric : metrics) {
+      std::vector<double> abs_errors;
+      for (const auto& prediction : predictions) {
+        if (prediction.metric == metric) {
+          abs_errors.push_back(prediction.abs_error_pct());
+        }
+      }
+      if (abs_errors.empty()) continue;
+      summaries.push_back(obs::ErrorSummaryRecord{
+          .metric = row_label(metric),
+          .count = abs_errors.size(),
+          .mean_abs_pct = stats::mean(abs_errors),
+          .median_abs_pct = stats::median(abs_errors),
+          .max_abs_pct = stats::max(abs_errors)});
+    }
+    obs::record_error_summaries(std::move(summaries));
   }
   return predictions;
 }

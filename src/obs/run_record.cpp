@@ -1,0 +1,359 @@
+#include "obs/run_record.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/build_info.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace msim::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::string g_path;                              // guarded by g_mutex
+std::map<std::string, std::string> g_info;       // guarded by g_mutex
+std::vector<ErrorSummaryRecord> g_errors;        // guarded by g_mutex
+
+/// Environment knob as a string ("" when unset) — part of the identity.
+std::string env_string(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : std::string();
+}
+
+/// Shortest round-trip rendering of a double; integral values print
+/// without a fraction so counters stay readable.
+std::string number_to_json(double value) {
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      value >= -9.0e15 && value <= 9.0e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// Serialize a parsed json::Value back to text (used to carry existing
+/// samples over on a merge; field order is the map's deterministic order).
+void dump_value(const json::Value& value, std::ostream& out) {
+  switch (value.type()) {
+    case json::Value::Type::Null:
+      out << "null";
+      return;
+    case json::Value::Type::Bool:
+      out << (value.as_bool() ? "true" : "false");
+      return;
+    case json::Value::Type::Number:
+      out << number_to_json(value.as_number());
+      return;
+    case json::Value::Type::String:
+      out << '"' << json::escape(value.as_string()) << '"';
+      return;
+    case json::Value::Type::Array: {
+      out << '[';
+      bool first = true;
+      for (const json::Value& item : value.items()) {
+        if (!first) out << ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out << ']';
+      return;
+    }
+    case json::Value::Type::Object: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.fields()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json::escape(key) << "\":";
+        dump_value(member, out);
+      }
+      out << '}';
+      return;
+    }
+  }
+}
+
+/// Identity of this process run: build + configuration environment +
+/// caller-recorded info. Everything that must match for two records'
+/// samples to be comparable.
+struct Identity {
+  std::string compiler;
+  std::string build_type;
+  std::string flags;
+  std::string git;
+  std::string threads;
+  std::string cache_dir;
+  std::string cache_max_bytes;
+  std::string prefetch;
+  std::map<std::string, std::string> info;
+
+  [[nodiscard]] std::string fingerprint() const {
+    Fnv1a hash;
+    hash.update_i64(kRunRecordSchemaVersion);
+    hash.update(compiler);
+    hash.update(build_type);
+    hash.update(flags);
+    hash.update(git);
+    hash.update(threads);
+    hash.update(cache_dir);
+    hash.update(cache_max_bytes);
+    hash.update(prefetch);
+    for (const auto& [key, value] : info) {  // map order: deterministic
+      hash.update(key);
+      hash.update(value);
+    }
+    return hex_digest(hash.digest());
+  }
+};
+
+Identity current_identity() {
+  const BuildInfo& build = build_info();
+  Identity identity;
+  identity.compiler = build.compiler;
+  identity.build_type = build.build_type;
+  identity.flags = build.flags;
+  identity.git = build.git;
+  identity.threads = env_string("MSIM_THREADS");
+  identity.cache_dir = env_string("MSIM_CACHE_DIR");
+  identity.cache_max_bytes = env_string("MSIM_CACHE_MAX_BYTES");
+  identity.prefetch = env_string("MSIM_GRAPH_PREFETCH");
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    identity.info = g_info;
+  }
+  return identity;
+}
+
+void render_identity(const Identity& identity, std::ostream& out) {
+  out << "\"identity\":{"
+      << "\"fingerprint\":\"" << identity.fingerprint() << "\","
+      << "\"compiler\":\"" << json::escape(identity.compiler) << "\","
+      << "\"build_type\":\"" << json::escape(identity.build_type) << "\","
+      << "\"flags\":\"" << json::escape(identity.flags) << "\","
+      << "\"git\":\"" << json::escape(identity.git) << "\","
+      << "\"threads\":\"" << json::escape(identity.threads) << "\","
+      << "\"cache_dir\":\"" << json::escape(identity.cache_dir) << "\","
+      << "\"cache_max_bytes\":\""
+      << json::escape(identity.cache_max_bytes) << "\","
+      << "\"prefetch\":\"" << json::escape(identity.prefetch) << "\","
+      << "\"info\":{";
+  bool first = true;
+  for (const auto& [key, value] : identity.info) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json::escape(key) << "\":\"" << json::escape(value)
+        << '"';
+  }
+  out << "}}";
+}
+
+/// Stage label when `name` is `scheduler.<label>.task.seconds`, else "".
+std::string stage_label(const std::string& name) {
+  constexpr const char* kPrefix = "scheduler.";
+  constexpr const char* kSuffix = ".task.seconds";
+  const std::size_t prefix = std::string(kPrefix).size();
+  const std::size_t suffix = std::string(kSuffix).size();
+  if (name.size() <= prefix + suffix) return {};
+  if (name.rfind(kPrefix, 0) != 0) return {};
+  if (name.compare(name.size() - suffix, suffix, kSuffix) != 0) return {};
+  return name.substr(prefix, name.size() - prefix - suffix);
+}
+
+/// One sample object: the current registry state plus process-level
+/// numbers (timestamp, wall clock since trace epoch, peak RSS).
+void render_sample(std::ostream& out) {
+  const Snapshot snapshot = Registry::instance().snapshot();
+  out << "{\"created_unix\":" << static_cast<long long>(std::time(nullptr))
+      << ",\"wall_seconds\":" << number_to_json(now_us() / 1e6)
+      << ",\"peak_rss_bytes\":" << peak_rss_bytes();
+
+  // Per-stage wall time, derived from the scheduler's per-task seconds
+  // histograms (scheduler.<label>.task.seconds).
+  out << ",\"stages\":{";
+  bool first = true;
+  for (const auto& row : snapshot.histograms) {
+    const std::string label = stage_label(row.name);
+    if (label.empty()) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json::escape(label) << "\":{\"count\":"
+        << row.values.count
+        << ",\"seconds\":" << number_to_json(row.values.sum)
+        << ",\"max_seconds\":" << number_to_json(row.values.max) << '}';
+  }
+  out << '}';
+
+  out << ",\"counters\":{";
+  first = true;
+  for (const auto& row : snapshot.counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json::escape(row.name) << "\":" << row.value;
+  }
+  out << '}';
+
+  out << ",\"gauges\":{";
+  first = true;
+  for (const auto& row : snapshot.gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json::escape(row.name)
+        << "\":" << number_to_json(row.value);
+  }
+  out << '}';
+
+  out << ",\"histograms\":{";
+  first = true;
+  for (const auto& row : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json::escape(row.name) << "\":{\"count\":"
+        << row.values.count << ",\"sum\":" << number_to_json(row.values.sum)
+        << ",\"min\":" << number_to_json(row.values.min)
+        << ",\"max\":" << number_to_json(row.values.max)
+        << ",\"mean\":" << number_to_json(row.values.mean())
+        << ",\"p50\":" << number_to_json(row.values.quantile(0.5))
+        << ",\"p95\":" << number_to_json(row.values.quantile(0.95)) << '}';
+  }
+  out << '}';
+
+  out << ",\"errors\":[";
+  std::vector<ErrorSummaryRecord> errors;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    errors = g_errors;
+  }
+  first = true;
+  for (const auto& summary : errors) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"metric\":\"" << json::escape(summary.metric)
+        << "\",\"count\":" << summary.count
+        << ",\"mean_abs_pct\":" << number_to_json(summary.mean_abs_pct)
+        << ",\"median_abs_pct\":" << number_to_json(summary.median_abs_pct)
+        << ",\"max_abs_pct\":" << number_to_json(summary.max_abs_pct)
+        << '}';
+  }
+  out << "]}";
+}
+
+/// Existing samples from a record at `path` whose schema version and
+/// fingerprint match; empty when the file is missing, malformed, or from
+/// a different build/configuration (the record then starts over).
+std::vector<std::string> mergeable_samples(const std::string& path,
+                                           const std::string& fingerprint) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const json::Value record = json::parse(text.str());
+    if (record.number_or("schema", 0) != kRunRecordSchemaVersion) return {};
+    const json::Value* identity = record.find("identity");
+    if (identity == nullptr ||
+        identity->string_or("fingerprint", "") != fingerprint) {
+      return {};
+    }
+    const json::Value* samples = record.find("samples");
+    if (samples == nullptr || !samples->is_array()) return {};
+    std::vector<std::string> rendered;
+    for (const json::Value& sample : samples->items()) {
+      std::ostringstream os;
+      dump_value(sample, os);
+      rendered.push_back(os.str());
+    }
+    return rendered;
+  } catch (const std::exception&) {
+    return {};  // malformed record: overwrite fresh
+  }
+}
+
+}  // namespace
+
+void enable_run_record(std::string path) {
+  // Pin the trace epoch now: the sample's wall_seconds measures from
+  // enable time, not from the first (possibly exit-time) clock read.
+  (void)now_us();
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_path = std::move(path);
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool run_record_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::string run_record_path() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_path;
+}
+
+void record_run_info(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_info.insert_or_assign(key, value);
+}
+
+void record_error_summaries(std::vector<ErrorSummaryRecord> summaries) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_errors = std::move(summaries);
+}
+
+std::string run_record_fingerprint() {
+  return current_identity().fingerprint();
+}
+
+std::string render_run_record() {
+  const Identity identity = current_identity();
+  std::ostringstream out;
+  out << "{\"schema\":" << kRunRecordSchemaVersion << ",\"tool\":\"msim\",";
+  render_identity(identity, out);
+  out << ",\"samples\":[";
+  render_sample(out);
+  out << "]}\n";
+  return out.str();
+}
+
+bool write_run_record() { return write_run_record(run_record_path()); }
+
+bool write_run_record(const std::string& path) {
+  if (path.empty()) return false;
+  const Identity identity = current_identity();
+  const std::vector<std::string> existing =
+      mergeable_samples(path, identity.fingerprint());
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"schema\":" << kRunRecordSchemaVersion << ",\"tool\":\"msim\",";
+  render_identity(identity, out);
+  out << ",\"samples\":[";
+  for (const std::string& sample : existing) out << sample << ',';
+  render_sample(out);
+  out << "]}\n";
+  return out.good();
+}
+
+void reset_run_record_for_testing() {
+  g_enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_path.clear();
+  g_info.clear();
+  g_errors.clear();
+}
+
+}  // namespace msim::obs

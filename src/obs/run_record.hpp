@@ -1,0 +1,83 @@
+// Run records: one schema-versioned JSON ledger entry per process run.
+//
+// A run record captures everything needed to compare two runs of the same
+// bench months apart: the build identity (compiler, flags, git revision),
+// the run configuration (MSIM_THREADS, cache settings), per-stage wall
+// times, scheduler occupancy, cache hit/miss/evict/prefetch tallies, graph
+// node and dedup counts, sampled peak RSS, and the per-metric predictor
+// error summaries the study produced. Records are written at process exit
+// (flush_telemetry) when MSIM_RUN_RECORD=<path> is set, or on demand via
+// enable_run_record() + write_run_record().
+//
+// Re-run variance is recorded in the file itself: writing to a path whose
+// existing record has the same schema version and identity fingerprint
+// appends a new sample to `samples[]` instead of overwriting, so a record
+// accumulates the noise distribution `msim-report diff` needs for its
+// thresholds. A fingerprint mismatch (different build or configuration)
+// starts the file over.
+//
+// The exact JSON schema is documented in docs/FORMATS.md. src/obs is
+// exempt from the repo's determinism lint (records carry wall-clock
+// timestamps by design); nothing here executes unless recording was
+// explicitly enabled, and stdout is never touched.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msim::obs {
+
+/// Version of the record layout; bump when a field changes meaning.
+inline constexpr int kRunRecordSchemaVersion = 1;
+
+/// Start recording: the record is written to `path` at flush_telemetry /
+/// process exit. Also reachable via MSIM_RUN_RECORD (see init_from_env).
+void enable_run_record(std::string path);
+
+/// True once a record destination is set. Relaxed read; safe anywhere.
+[[nodiscard]] bool run_record_enabled() noexcept;
+
+/// Destination set by enable_run_record (empty when never enabled).
+[[nodiscard]] std::string run_record_path();
+
+/// Attach one identity key/value pair ("experiment" -> "table4", ...).
+/// Identity pairs feed the fingerprint: records with different info do
+/// not merge their samples. Last write per key wins.
+void record_run_info(const std::string& key, const std::string& value);
+
+/// Per-metric predictor error summary (one Table-4 row), published by
+/// metrics::Study::evaluate while a record is enabled.
+struct ErrorSummaryRecord {
+  std::string metric;
+  std::size_t count = 0;
+  double mean_abs_pct = 0.0;
+  double median_abs_pct = 0.0;
+  double max_abs_pct = 0.0;
+};
+
+/// Replace the recorded error summaries (the last evaluate() wins — every
+/// bench evaluates the same study, so later calls are refinements, not
+/// additions).
+void record_error_summaries(std::vector<ErrorSummaryRecord> summaries);
+
+/// Identity fingerprint of the current process configuration: FNV-1a over
+/// schema version, build identity, environment knobs and recorded info.
+/// Two records merge samples only when their fingerprints match.
+[[nodiscard]] std::string run_record_fingerprint();
+
+/// Render the full record document (identity + one sample capturing the
+/// current registry state) as a JSON string. Pure snapshot; no I/O.
+[[nodiscard]] std::string render_run_record();
+
+/// Write the record to run_record_path() / an explicit path, merging with
+/// an existing same-fingerprint record (sample append). Returns false when
+/// no path is set or the file cannot be written.
+bool write_run_record();
+bool write_run_record(const std::string& path);
+
+/// Disable recording, forget the path, drop info and error summaries.
+/// Test-only.
+void reset_run_record_for_testing();
+
+}  // namespace msim::obs

@@ -17,14 +17,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// One completed trace event ("ph":"X").
+/// One buffered trace event: a completed span ("ph":"X") or one sample of
+/// a counter timeline ("ph":"C", see counter_track).
 struct TraceEvent {
   std::string name;
   std::string category;
   double start_us = 0.0;
   double duration_us = 0.0;
   int depth = 0;
-  std::string args;  ///< pre-escaped fragments, may be empty
+  std::string args;   ///< pre-escaped fragments, may be empty
+  char phase = 'X';
+  double value = 0.0;  ///< counter sample value (phase 'C' only)
 };
 
 /// Per-thread event buffer. Owned by the global lane registry (not the
@@ -96,6 +99,18 @@ double now_us() noexcept {
   return std::chrono::duration<double, std::micro>(Clock::now() -
                                                    trace_epoch())
       .count();
+}
+
+void counter_track(const char* name, double value) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'C';
+  event.start_us = now_us();
+  event.value = value;
+  Lane& lane = this_lane();
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.events.push_back(std::move(event));
 }
 
 std::size_t buffered_event_count() {
@@ -224,6 +239,16 @@ bool write_trace(const std::string& path) {
              << ",\"args\":{\"name\":\"msim-thread-" << lane->tid
              << "\"}}";
       for (const TraceEvent& event : lane->events) {
+        if (event.phase == 'C') {
+          // Counter samples collapse onto tid 0 so every sample of one
+          // name lands in a single Perfetto counter track, regardless of
+          // which worker recorded it.
+          events << ",\n{\"name\":\"" << json_escape(event.name)
+                 << "\",\"ph\":\"C\",\"ts\":" << event.start_us
+                 << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":"
+                 << event.value << "}}";
+          continue;
+        }
         events << ",\n{\"name\":\"" << json_escape(event.name)
                << "\",\"cat\":\"" << json_escape(event.category)
                << "\",\"ph\":\"X\",\"ts\":" << event.start_us

@@ -44,6 +44,13 @@ bool write_trace(const std::string& path);
 /// Microseconds since the process-wide trace epoch (steady clock).
 [[nodiscard]] double now_us() noexcept;
 
+/// Record one timestamped sample of a named counter timeline. Samples are
+/// emitted as Chrome counter events ("ph":"C") on tid 0, so all samples
+/// of one name merge into a single counter track in Perfetto — used for
+/// pool occupancy over time. `name` must outlive the call (string
+/// literal); no-op when tracing is off.
+void counter_track(const char* name, double value);
+
 /// Drop all buffered events, disable tracing, forget the path. Test-only.
 void reset_tracing_for_testing();
 

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <sstream>
 
+#include "obs/run_record.hpp"
 #include "obs/span.hpp"
 
 namespace msim::obs {
@@ -14,6 +17,8 @@ namespace {
 std::atomic<bool> g_metrics{false};
 std::atomic<MetricsRenderer> g_renderer{nullptr};
 std::atomic<bool> g_exit_writer_installed{false};
+std::mutex g_metrics_path_mutex;
+std::string g_metrics_path;  // guarded by g_metrics_path_mutex
 
 std::string plain_render(const Snapshot& snapshot) {
   std::ostringstream os;
@@ -42,23 +47,57 @@ bool metrics_enabled() noexcept {
   return g_metrics.load(std::memory_order_relaxed);
 }
 
-bool collecting() noexcept { return tracing_enabled() || metrics_enabled(); }
+void enable_metrics_file(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(g_metrics_path_mutex);
+    g_metrics_path = std::move(path);
+  }
+  enable_metrics();
+}
+
+std::string metrics_path() {
+  std::lock_guard<std::mutex> lock(g_metrics_path_mutex);
+  return g_metrics_path;
+}
+
+bool collecting() noexcept {
+  return tracing_enabled() || metrics_enabled() || run_record_enabled();
+}
 
 void init_from_env() {
   if (const char* path = std::getenv("MSIM_TRACE");
       path != nullptr && path[0] != '\0') {
     enable_tracing(path);
   }
+  // MSIM_METRICS: "0" (or empty) off, "1" stderr only, anything else is a
+  // file path that receives a copy of the table.
   if (const char* flag = std::getenv("MSIM_METRICS");
       flag != nullptr && flag[0] != '\0' &&
       !(flag[0] == '0' && flag[1] == '\0')) {
-    enable_metrics();
+    if (flag[0] == '1' && flag[1] == '\0') {
+      enable_metrics();
+    } else {
+      enable_metrics_file(flag);
+    }
+  }
+  if (const char* path = std::getenv("MSIM_RUN_RECORD");
+      path != nullptr && path[0] != '\0') {
+    enable_run_record(path);
   }
 }
 
 bool handle_telemetry_flag(const std::string& token) {
   if (token == "--metrics") {
     enable_metrics();
+    return true;
+  }
+  if (token.rfind("--metrics=", 0) == 0) {
+    const std::string path = token.substr(10);
+    if (path.empty()) {
+      enable_metrics();
+    } else {
+      enable_metrics_file(path);
+    }
     return true;
   }
   if (token == "--trace") {
@@ -68,6 +107,11 @@ bool handle_telemetry_flag(const std::string& token) {
   if (token.rfind("--trace=", 0) == 0) {
     const std::string path = token.substr(8);
     enable_tracing(path.empty() ? "trace.json" : path);
+    return true;
+  }
+  if (token.rfind("--run-record=", 0) == 0) {
+    const std::string path = token.substr(13);
+    if (!path.empty()) enable_run_record(path);
     return true;
   }
   return false;
@@ -86,6 +130,19 @@ void flush_telemetry() {
                                                    : &plain_render)(
         Registry::instance().snapshot());
     std::fputs(table.c_str(), stderr);
+    if (const std::string path = metrics_path(); !path.empty()) {
+      std::ofstream out(path, std::ios::trunc);
+      if (out) {
+        out << table;
+      } else {
+        std::fprintf(stderr, "error: could not write metrics file %s\n",
+                     path.c_str());
+      }
+    }
+  }
+  if (run_record_enabled() && !write_run_record()) {
+    std::fprintf(stderr, "error: could not write run record %s\n",
+                 run_record_path().c_str());
   }
 }
 
@@ -96,7 +153,12 @@ void install_exit_writer() {
 
 void reset_for_testing() {
   g_metrics.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_metrics_path_mutex);
+    g_metrics_path.clear();
+  }
   reset_tracing_for_testing();
+  reset_run_record_for_testing();
   Registry::instance().reset_values();
 }
 

@@ -7,7 +7,14 @@
 //             process exit (or via obs::write_trace()).
 //   metrics — MSIM_METRICS=<non-empty, not "0"> or --metrics: a summary
 //             table of all registry counters/gauges/histograms is printed
-//             to *stderr* at process exit, keeping stdout diffable.
+//             to *stderr* at process exit, keeping stdout diffable. Any
+//             value other than "1" is also treated as a file path and the
+//             table is written there in addition to stderr
+//             (--metrics=<path> does the same).
+//   records — MSIM_RUN_RECORD=<path> or --run-record=<path>: a JSON run
+//             record (build identity, stage timings, cache/scheduler
+//             stats, error summaries) is written at process exit; see
+//             obs/run_record.hpp.
 //
 // The pretty fixed-width table lives in report::render_metrics; obs only
 // holds a function-pointer hook so this module stays dependency-free (a
@@ -29,16 +36,24 @@ namespace msim::obs {
 void enable_metrics() noexcept;
 [[nodiscard]] bool metrics_enabled() noexcept;
 
-/// True when any telemetry output is active (tracing or metrics); gates
-/// optional timing work in instrumented code.
+/// Additionally copy the exit-time metrics table to `path` (implies
+/// enable_metrics; stderr keeps receiving the table too).
+void enable_metrics_file(std::string path);
+/// Metrics file destination; empty when only stderr is in use.
+[[nodiscard]] std::string metrics_path();
+
+/// True when any telemetry output is active (tracing, metrics, or a run
+/// record); gates optional timing work in instrumented code.
 [[nodiscard]] bool collecting() noexcept;
 
-/// Read MSIM_TRACE / MSIM_METRICS and enable the corresponding outputs.
+/// Read MSIM_TRACE / MSIM_METRICS / MSIM_RUN_RECORD and enable the
+/// corresponding outputs.
 void init_from_env();
 
 /// Recognise and apply one command-line token: "--trace",
-/// "--trace=<path>" or "--metrics". Returns true when the token was a
-/// telemetry flag (callers that validate argv should drop it).
+/// "--trace=<path>", "--metrics", "--metrics=<path>" or
+/// "--run-record=<path>". Returns true when the token was a telemetry
+/// flag (callers that validate argv should drop it).
 bool handle_telemetry_flag(const std::string& token);
 
 /// Renderer used for the exit-time metrics table (report::render_metrics).
@@ -48,9 +63,10 @@ void set_metrics_renderer(MetricsRenderer renderer) noexcept;
 /// Register flush_telemetry with std::atexit (idempotent).
 void install_exit_writer();
 
-/// Write the trace file (if tracing) and print the metrics table to
-/// stderr (if metrics). Called automatically at exit once
-/// install_exit_writer() has run; safe to call directly and repeatedly.
+/// Write the trace file (if tracing), print the metrics table to stderr
+/// and the metrics file (if metrics), and write the run record (if
+/// recording). Called automatically at exit once install_exit_writer()
+/// has run; safe to call directly and repeatedly.
 void flush_telemetry();
 
 /// Disable all outputs and zero metric values and span buffers. Test-only.

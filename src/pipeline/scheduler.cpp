@@ -72,6 +72,21 @@ void publish_fanout_metrics(const char* label, std::size_t items,
   // msim-lint: allow(obs.name-literal)
   registry.histogram(prefix + ".utilization")
       .record(capacity > 0.0 ? busy_seconds / capacity : 0.0);
+  // The process-wide concurrency high-water mark (all pools share the
+  // WorkerScope accounting), refreshed as each fan-out retires.
+  registry.gauge("scheduler.workers.peak")
+      .set(static_cast<double>(peak_workers()));
+}
+
+void record_task_seconds(const char* label, double seconds) {
+  // `label` is a compile-time stage name (see publish_fanout_metrics), so
+  // scheduler.<label>.task.seconds stays statically enumerable. Run
+  // records derive their per-stage wall-time section from exactly this
+  // name pattern.
+  obs::Registry::instance()
+      // msim-lint: allow(obs.name-literal)
+      .histogram(std::string("scheduler.") + label + ".task.seconds")
+      .record(seconds);
 }
 
 unsigned env_threads() {
@@ -119,8 +134,10 @@ void run_indexed(std::size_t items, unsigned threads,
     span.arg("index", static_cast<std::int64_t>(index));
     const auto start = Clock::now();
     task(index);
-    busy_seconds +=
+    const double seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+    busy_seconds += seconds;
+    record_task_seconds(stage, seconds);
   };
 
   if (workers == 1) {

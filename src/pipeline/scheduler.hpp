@@ -74,6 +74,12 @@ void publish_fanout_metrics(const char* label, std::size_t items,
                             unsigned workers, double busy_seconds,
                             double wall_seconds);
 
+/// Record one task's wall time in the `scheduler.<label>.task.seconds`
+/// histogram — the per-stage timing source for run records (see
+/// obs/run_record.hpp). Shared by run_indexed and the StudyGraph
+/// executor; call only while telemetry is collecting.
+void record_task_seconds(const char* label, double seconds);
+
 /// Run `task(0) ... task(items-1)` across a pool of `threads` workers
 /// (0 = default, see effective_threads). Serial when one worker suffices
 /// or when called from inside a scheduler worker (nested fan-outs do not

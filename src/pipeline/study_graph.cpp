@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -16,6 +17,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "machine/registry.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -39,6 +41,19 @@ double seconds_since(Clock::time_point start) {
 bool prefetch_default() {
   const char* env = std::getenv("MSIM_GRAPH_PREFETCH");
   return env == nullptr || std::string(env) != "0";
+}
+
+/// MSIM_TEST_STAGE_SLEEP_MS: artificial per-assemble delay for regression
+/// tests of the run-record trajectory tooling (an env-injected "slow
+/// stage" that msim-report diff must flag). 0 / unset in normal use.
+unsigned test_stage_sleep_ms() {
+  static const unsigned ms = [] {
+    const char* env = std::getenv("MSIM_TEST_STAGE_SLEEP_MS");
+    if (env == nullptr || env[0] == '\0') return 0ul;
+    char* end = nullptr;
+    return std::strtoul(env, &end, 10);
+  }();
+  return ms;
 }
 
 }  // namespace
@@ -74,6 +89,7 @@ struct StudyGraph::Impl {
     std::size_t pending = 0;  ///< unmet dependencies (guarded by pool lock)
     bool cache_hit = false;
     double seconds = 0.0;
+    std::uint64_t key = 0;  ///< content key (0 for per-study nodes)
 
     // Outputs (the slot matching `kind` is used).
     std::vector<simulate::Observation> gt_chunk;   ///< GroundTruthItem
@@ -143,6 +159,7 @@ struct StudyGraph::Impl {
       return found->second;
     }
     const std::size_t id = make();
+    nodes[id]->key = key;
     node_by_key.emplace(std::make_pair(static_cast<int>(kind), key), id);
     return id;
   }
@@ -258,6 +275,9 @@ struct StudyGraph::Impl {
   /// other studies) into StudyParts and record per-study stats.
   void assemble_study(StudyRecord& record) {
     const auto start = Clock::now();
+    if (const unsigned ms = test_stage_sleep_ms(); ms != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
     metrics::StudyParts parts;
     for (const auto& target : record.spec.targets) {
       parts.target_names.push_back(target.name);
@@ -300,17 +320,33 @@ struct StudyGraph::Impl {
     stats.assemble_seconds = seconds_since(start);
   }
 
-  void run_node(Node& node) {
+  void run_node(Node& node, unsigned slot) {
     const auto start = Clock::now();
     if (obs::collecting()) {
       // span_name is one of the literal stage names passed to new_node
       // ("stage:probes", "stage:traces", ...): statically enumerable.
-      // msim-lint: allow(obs.name-literal)
-      obs::Span span(node.span_name, "pipeline");
-      node.run();
-    } else {
-      node.run();
+      // The label passed to record_task_seconds strips the "stage:"
+      // prefix, giving the run record's stage section the same vocabulary
+      // run_indexed uses.
+      const char* label = std::strncmp(node.span_name, "stage:", 6) == 0
+                              ? node.span_name + 6
+                              : node.span_name;
+      {
+        // msim-lint: allow(obs.name-literal)
+        obs::Span span(node.span_name, "pipeline");
+        span.arg("kind", label);
+        if (node.key != 0) span.arg("key", hex_digest(node.key).substr(0, 8));
+        span.arg("worker", static_cast<std::int64_t>(slot));
+        node.run();
+        // Attached after run(): uncached nodes discover their hit status
+        // while executing (prefetched nodes arrive with it set).
+        span.arg("cache", node.cache_hit ? "hit" : "miss");
+      }
+      node.seconds = seconds_since(start);
+      record_task_seconds(label, node.seconds);
+      return;
     }
+    node.run();
     node.seconds = seconds_since(start);
   }
 
@@ -326,6 +362,21 @@ struct StudyGraph::Impl {
     std::size_t remaining = nodes.size();
     std::exception_ptr first_error;
     bool abort = false;
+
+    // Steal accounting (count = tasks taken from a sibling's deque, fail =
+    // scans that found every deque empty) plus a queue-depth histogram
+    // sampled at each dequeue. Counters are unconditional per the obs
+    // convention; the depth histogram is gated on collecting() because the
+    // sum over deques costs O(workers) inside the pool lock.
+    static obs::Counter& steal_count =
+        obs::Registry::instance().counter("scheduler.steal.count");
+    static obs::Counter& steal_fail =
+        obs::Registry::instance().counter("scheduler.steal.fail");
+    static obs::Histogram& queue_depth =
+        obs::Registry::instance().histogram("scheduler.queue.depth");
+    const bool collect = obs::collecting();
+    const bool trace = obs::tracing_enabled();
+    std::atomic<int> occupancy{0};
 
     std::size_t seed = 0;
     for (std::size_t id = 0; id < nodes.size(); ++id) {
@@ -351,20 +402,35 @@ struct StudyGraph::Impl {
               id = victim.front();
               victim.pop_front();
               found = true;
+              steal_count.add();
             }
           }
+          if (!found) steal_fail.add();
         }
         if (!found) {
           work_ready.wait(guard);
           continue;
         }
+        if (collect) {
+          std::size_t queued = 0;
+          for (const auto& queue : queues) queued += queue.size();
+          queue_depth.record(static_cast<double>(queued));
+        }
 
         guard.unlock();
         std::exception_ptr error;
         try {
-          run_node(*nodes[id]);
+          if (trace) {
+            obs::counter_track("graph.pool.occupancy",
+                               occupancy.fetch_add(1) + 1);
+          }
+          run_node(*nodes[id], slot);
         } catch (...) {
           error = std::current_exception();
+        }
+        if (trace) {
+          obs::counter_track("graph.pool.occupancy",
+                             occupancy.fetch_sub(1) - 1);
         }
         guard.lock();
 

@@ -1,0 +1,345 @@
+// Run records and the msim-report engine: the JSON reader round-trips
+// what the writer emits, records append re-run samples only under a
+// matching identity fingerprint, and diff/trajectory verdicts respect the
+// noise-aware thresholds at their edges.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "msim_report/report_tool.hpp"
+#include "obs/registry.hpp"
+#include "obs/run_record.hpp"
+#include "obs/telemetry.hpp"
+
+namespace msim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunRecordTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::reset_for_testing(); }
+  void TearDown() override { obs::reset_for_testing(); }
+};
+
+fs::path scratch_file(const std::string& name) {
+  const fs::path path = fs::temp_directory_path() / ("msim-rr-" + name);
+  fs::remove(path);
+  return path;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- the JSON reader --------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  const json::Value doc = json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "text"}, "e": -2e3})");
+  EXPECT_EQ(doc.number_or("a", 0.0), 1.5);
+  EXPECT_EQ(doc.number_or("e", 0.0), -2000.0);
+  const json::Value* array = doc.find("b");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->items().size(), 3u);
+  EXPECT_TRUE(array->items()[0].as_bool());
+  EXPECT_TRUE(array->items()[2].is_null());
+  const json::Value* nested = doc.find("c");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->string_or("d", ""), "text");
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  const json::Value doc =
+      json::parse(R"({"s": "a\"b\\c\nd\u0041\u00e9\ud83d\ude00"})");
+  const std::string text = doc.string_or("s", "");
+  EXPECT_EQ(text.substr(0, 8), "a\"b\\c\nd" "A");
+  EXPECT_NE(text.find("\xC3\xA9"), std::string::npos);       // é
+  EXPECT_NE(text.find("\xF0\x9F\x98\x80"), std::string::npos);  // 😀
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)json::parse("{"), precondition_error);
+  EXPECT_THROW((void)json::parse("{} trailing"), precondition_error);
+  EXPECT_THROW((void)json::parse("{\"a\": 01}"), precondition_error);
+  EXPECT_THROW((void)json::parse("[1,]"), precondition_error);
+  EXPECT_THROW((void)json::parse("\"\\ud800\""), precondition_error);
+  EXPECT_THROW((void)json::parse("tru"), precondition_error);
+}
+
+TEST(Json, TypedAccessorsEnforceTypes) {
+  const json::Value doc = json::parse("{\"n\": 3}");
+  const json::Value* n = doc.find("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_THROW((void)n->as_string(), precondition_error);
+  EXPECT_EQ(n->as_number(), 3.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+// --- run record schema round-trip -------------------------------------
+
+TEST_F(RunRecordTest, WritesSchemaValidRecord) {
+  const fs::path path = scratch_file("roundtrip.json");
+  obs::enable_run_record(path.string());
+  obs::record_run_info("experiment", "unit-test");
+  obs::Registry::instance().counter("graph.nodes").add(42);
+  obs::Registry::instance()
+      .histogram("scheduler.unitstage.task.seconds")
+      .record(0.25);
+  obs::record_error_summaries({obs::ErrorSummaryRecord{
+      .metric = "1-S",
+      .count = 150,
+      .mean_abs_pct = 97.0,
+      .median_abs_pct = 52.4,
+      .max_abs_pct = 425.7}});
+  ASSERT_TRUE(obs::write_run_record());
+
+  const json::Value record = json::parse(slurp(path));
+  EXPECT_EQ(record.number_or("schema", 0),
+            double(obs::kRunRecordSchemaVersion));
+  const json::Value* identity = record.find("identity");
+  ASSERT_NE(identity, nullptr);
+  EXPECT_EQ(identity->string_or("fingerprint", ""),
+            obs::run_record_fingerprint());
+  EXPECT_NE(identity->string_or("compiler", ""), "");
+  const json::Value* info = identity->find("info");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->string_or("experiment", ""), "unit-test");
+
+  const json::Value* samples = record.find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->items().size(), 1u);
+  const json::Value& sample = samples->items()[0];
+  EXPECT_GT(sample.number_or("created_unix", 0.0), 0.0);
+  EXPECT_GE(sample.number_or("peak_rss_bytes", -1.0), 0.0);
+  const json::Value* counters = sample.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("graph.nodes", 0.0), 42.0);
+  const json::Value* stages = sample.find("stages");
+  ASSERT_NE(stages, nullptr);
+  const json::Value* stage = stages->find("unitstage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->number_or("seconds", 0.0), 0.25);
+  const json::Value* errors = sample.find("errors");
+  ASSERT_NE(errors, nullptr);
+  ASSERT_EQ(errors->items().size(), 1u);
+  EXPECT_EQ(errors->items()[0].string_or("metric", ""), "1-S");
+  EXPECT_EQ(errors->items()[0].number_or("median_abs_pct", 0.0), 52.4);
+  fs::remove(path);
+}
+
+TEST_F(RunRecordTest, AppendsSamplesUnderMatchingFingerprint) {
+  const fs::path path = scratch_file("append.json");
+  obs::enable_run_record(path.string());
+  obs::record_run_info("experiment", "append-test");
+  ASSERT_TRUE(obs::write_run_record());
+  ASSERT_TRUE(obs::write_run_record());
+  ASSERT_TRUE(obs::write_run_record());
+
+  json::Value record = json::parse(slurp(path));
+  ASSERT_EQ(record.find("samples")->items().size(), 3u);
+
+  // A different identity must start the file over, not mix samples.
+  obs::record_run_info("experiment", "other-test");
+  ASSERT_TRUE(obs::write_run_record());
+  record = json::parse(slurp(path));
+  EXPECT_EQ(record.find("samples")->items().size(), 1u);
+  fs::remove(path);
+}
+
+TEST_F(RunRecordTest, OverwritesMalformedExistingFile) {
+  const fs::path path = scratch_file("malformed.json");
+  {
+    std::ofstream out(path);
+    out << "this is not json";
+  }
+  obs::enable_run_record(path.string());
+  ASSERT_TRUE(obs::write_run_record());
+  const json::Value record = json::parse(slurp(path));
+  EXPECT_EQ(record.find("samples")->items().size(), 1u);
+  fs::remove(path);
+}
+
+TEST_F(RunRecordTest, EnvAndFlagActivation) {
+  EXPECT_FALSE(obs::run_record_enabled());
+  EXPECT_TRUE(obs::handle_telemetry_flag("--run-record=/tmp/x.json"));
+  EXPECT_TRUE(obs::run_record_enabled());
+  EXPECT_EQ(obs::run_record_path(), "/tmp/x.json");
+  EXPECT_TRUE(obs::collecting());
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+TEST_F(RunRecordTest, MetricsPathFlagWritesTableFile) {
+  const fs::path path = scratch_file("metrics.txt");
+  EXPECT_TRUE(obs::handle_telemetry_flag("--metrics=" + path.string()));
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_EQ(obs::metrics_path(), path.string());
+  obs::Registry::instance().counter("test.metrics.file").add(7);
+  obs::flush_telemetry();
+  const std::string table = slurp(path);
+  EXPECT_NE(table.find("test.metrics.file"), std::string::npos);
+  fs::remove(path);
+}
+
+// --- msim-report engine -----------------------------------------------
+
+report_tool::RecordSummary fake_summary(const std::string& experiment,
+                                        std::vector<double> wall) {
+  report_tool::RecordSummary summary;
+  summary.experiment = experiment;
+  summary.fingerprint = "fp-" + experiment;
+  summary.git = "test";
+  summary.samples = wall.size();
+  for (std::size_t i = 0; i < wall.size(); ++i) {
+    summary.created_unix.push_back(static_cast<double>(i));
+  }
+  summary.wall_seconds.values = std::move(wall);
+  return summary;
+}
+
+TEST(MsimReport, ThresholdTakesTheWidestBand) {
+  const report_tool::Thresholds t{.sigmas = 3.0,
+                                  .rel_floor = 0.10,
+                                  .abs_floor = 0.05};
+  // Tight series: both floors above 3 sigma; absolute floor wins for a
+  // small base, relative floor for a large one.
+  EXPECT_DOUBLE_EQ(report_tool::regression_threshold(0.1, 0.0, 0.0, t),
+                   0.05);
+  EXPECT_DOUBLE_EQ(report_tool::regression_threshold(10.0, 0.0, 0.0, t),
+                   1.0);
+  // Noisy series: the sigma term dominates; stddevs combine in
+  // quadrature (3 * sqrt(3^2 + 4^2) = 15).
+  EXPECT_DOUBLE_EQ(report_tool::regression_threshold(1.0, 3.0, 4.0, t),
+                   15.0);
+}
+
+TEST(MsimReport, DiffFlagsOnlyBeyondThreshold) {
+  const report_tool::Thresholds t;
+  const auto base = fake_summary("exp", {1.00, 1.02, 0.98});
+  // Within the 10% relative floor: no regression.
+  auto same = fake_summary("exp", {1.05});
+  auto report = report_tool::diff_records(base, same, t);
+  EXPECT_FALSE(report.regression);
+  // Far beyond every band: flagged.
+  auto slow = fake_summary("exp", {1.50});
+  report = report_tool::diff_records(base, slow, t);
+  EXPECT_TRUE(report.regression);
+  // Faster is never a regression.
+  auto fast = fake_summary("exp", {0.50});
+  report = report_tool::diff_records(base, fast, t);
+  EXPECT_FALSE(report.regression);
+}
+
+TEST(MsimReport, DiffExactlyAtThresholdIsNotARegression) {
+  // Binary-exact values so delta == threshold with no rounding noise:
+  // the band is inclusive, only strictly-beyond flags.
+  const report_tool::Thresholds t{.sigmas = 3.0,
+                                  .rel_floor = 0.25,
+                                  .abs_floor = 0.125};
+  auto base = fake_summary("exp", {1.0});
+  auto at_edge = fake_summary("exp", {1.25});  // delta == rel floor * base
+  const auto report = report_tool::diff_records(base, at_edge, t);
+  EXPECT_FALSE(report.regression);
+}
+
+TEST(MsimReport, DiffFlagsAccuracyDrift) {
+  const report_tool::Thresholds t;
+  auto base = fake_summary("exp", {1.0});
+  auto current = fake_summary("exp", {1.0});
+  base.errors.push_back(report_tool::ErrorRow{
+      .metric = "3-S", .count = 150, .mean_abs_pct = 18.7});
+  current.errors.push_back(report_tool::ErrorRow{
+      .metric = "3-S", .count = 150, .mean_abs_pct = 19.9});
+  const auto report = report_tool::diff_records(base, current, t);
+  EXPECT_TRUE(report.regression);
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.back().find("accuracy drift"), std::string::npos);
+}
+
+TEST(MsimReport, DiffNotesOneSidedStages) {
+  const report_tool::Thresholds t;
+  auto base = fake_summary("exp", {1.0});
+  auto current = fake_summary("exp", {1.0});
+  base.stages["old-stage"].values = {0.5};
+  current.stages["new-stage"].values = {0.5};
+  const auto report = report_tool::diff_records(base, current, t);
+  EXPECT_FALSE(report.regression);
+  EXPECT_EQ(report.notes.size(), 2u);
+}
+
+TEST(MsimReport, TrajectoryGatesOnNewestSample) {
+  const report_tool::Thresholds t;
+  std::vector<report_tool::RecordSummary> steady;
+  steady.push_back(fake_summary("bench", {1.00, 1.01, 0.99, 1.02}));
+  auto trajectories = report_tool::build_trajectories(steady, t);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_EQ(trajectories[0].samples, 4u);
+  EXPECT_FALSE(trajectories[0].verdict.regression);
+
+  std::vector<report_tool::RecordSummary> degraded;
+  degraded.push_back(fake_summary("bench", {1.00, 1.01, 0.99, 2.50}));
+  trajectories = report_tool::build_trajectories(degraded, t);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_TRUE(trajectories[0].verdict.regression);
+
+  // The serialized trajectory is valid JSON carrying the verdict.
+  const json::Value doc = json::parse(trajectories[0].json);
+  EXPECT_EQ(doc.string_or("experiment", ""), "bench");
+  EXPECT_TRUE(doc.find("verdict")->find("regression")->as_bool());
+}
+
+TEST(MsimReport, TrajectorySingleSampleHasNoVerdict) {
+  const report_tool::Thresholds t;
+  std::vector<report_tool::RecordSummary> records;
+  records.push_back(fake_summary("lone", {1.0}));
+  const auto trajectories = report_tool::build_trajectories(records, t);
+  ASSERT_EQ(trajectories.size(), 1u);
+  EXPECT_TRUE(trajectories[0].verdict.rows.empty());
+  EXPECT_FALSE(trajectories[0].verdict.regression);
+}
+
+TEST(MsimReport, ExperimentSlugSanitizes) {
+  EXPECT_EQ(report_tool::experiment_slug("table4_overall_error"),
+            "table4_overall_error");
+  EXPECT_EQ(report_tool::experiment_slug("a b/c"), "a_b_c");
+  EXPECT_EQ(report_tool::experiment_slug(""), "unnamed");
+}
+
+TEST_F(RunRecordTest, SummarizeRecordReadsWhatTheWriterEmits) {
+  const fs::path path = scratch_file("summarize.json");
+  obs::enable_run_record(path.string());
+  obs::record_run_info("experiment", "summarize-test");
+  obs::Registry::instance()
+      .histogram("scheduler.sumstage.task.seconds")
+      .record(0.125);
+  ASSERT_TRUE(obs::write_run_record());
+  ASSERT_TRUE(obs::write_run_record());
+
+  const auto summary = report_tool::load_record(path.string());
+  EXPECT_EQ(summary.experiment, "summarize-test");
+  EXPECT_EQ(summary.samples, 2u);
+  EXPECT_EQ(summary.wall_seconds.count(), 2u);
+  ASSERT_EQ(summary.stages.count("sumstage"), 1u);
+  EXPECT_EQ(summary.stages.at("sumstage").values.front(), 0.125);
+  fs::remove(path);
+}
+
+TEST(MsimReport, RejectsUnsupportedSchema) {
+  EXPECT_THROW(
+      (void)report_tool::summarize_record(
+          json::parse("{\"schema\": 99, \"samples\": []}"), "x"),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,199 @@
+// Graph execution timelines under concurrency: two StudyGraph builds
+// running on separate threads with tracing enabled must produce a single
+// well-formed Chrome trace containing per-node stage spans (tagged with
+// kind, content key, worker slot, cache outcome) and the pool occupancy
+// counter track — and the traced results must equal the untraced ones.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "machine/registry.hpp"
+#include "metrics/metric_set.hpp"
+#include "metrics/study.hpp"
+#include "obs/run_record.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/study_graph.hpp"
+#include "simulate/observation_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::reset_for_testing(); }
+  void TearDown() override { obs::reset_for_testing(); }
+};
+
+fs::path scratch_file(const std::string& name) {
+  const fs::path path = fs::temp_directory_path() / ("msim-tc-" + name);
+  fs::remove(path);
+  return path;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+StudySpec small_spec(const std::string& base_name) {
+  StudySpec spec;
+  for (const auto& name :
+       {std::string("ARL_Xeon"), std::string("ARL_Opteron")}) {
+    if (name != base_name) spec.targets.push_back(machine::find(name));
+  }
+  spec.base = machine::find(base_name);
+  spec.suite = {workload::find_test_case("RFCTH_Standard")};
+  return spec;
+}
+
+std::string observations_text(const StudySpec& spec) {
+  StudyGraph graph;
+  const std::size_t handle = graph.add_study(spec);
+  graph.build_all();
+  return simulate::to_text(graph.take_study(handle).observations());
+}
+
+TEST_F(TraceConcurrencyTest, ConcurrentGraphBuildsShareOneTrace) {
+  // Reference results with telemetry off.
+  const std::string expect_a = observations_text(small_spec("ARL_Xeon"));
+  const std::string expect_b = observations_text(small_spec("ARL_Opteron"));
+
+  const fs::path path = scratch_file("concurrent-trace.json");
+  obs::enable_tracing(path.string());
+
+  std::string got_a;
+  std::string got_b;
+  std::thread builder_a(
+      [&] { got_a = observations_text(small_spec("ARL_Xeon")); });
+  std::thread builder_b(
+      [&] { got_b = observations_text(small_spec("ARL_Opteron")); });
+  builder_a.join();
+  builder_b.join();
+  ASSERT_TRUE(obs::write_trace());
+
+  EXPECT_EQ(got_a, expect_a);
+  EXPECT_EQ(got_b, expect_b);
+
+  const std::string trace = slurp(path);
+  // The whole file must parse as one JSON document even though spans were
+  // recorded from two graph executors' worker pools at once.
+  const json::Value doc = json::parse(trace);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->items().size(), 0u);
+
+  // Every DAG node emits one tagged span; both graphs ran the full
+  // pipeline, so each stage kind appears at least twice.
+  for (const char* span : {"\"name\":\"stage:traces\"",
+                           "\"name\":\"stage:probes\"",
+                           "\"name\":\"stage:ground-truth\"",
+                           "\"name\":\"stage:assemble\""}) {
+    EXPECT_GE(count_occurrences(trace, span), 2u) << span;
+  }
+  EXPECT_GE(count_occurrences(trace, "\"kind\":"), 8u);
+  EXPECT_GE(count_occurrences(trace, "\"worker\":"), 8u);
+  EXPECT_GE(count_occurrences(trace, "\"cache\":\"miss\""), 1u);
+
+  // Pool occupancy is exported as a Chrome counter track: 'C' phase
+  // events, all on one synthetic track (tid 0) so Perfetto merges them.
+  EXPECT_GE(count_occurrences(trace, "\"ph\":\"C\""), 2u);
+  std::size_t occupancy_events = 0;
+  for (const json::Value& event : events->items()) {
+    if (event.string_or("name", "") != "graph.pool.occupancy") continue;
+    ++occupancy_events;
+    EXPECT_EQ(event.number_or("tid", -1.0), 0.0);
+    EXPECT_EQ(event.string_or("ph", ""), "C");
+    const json::Value* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_GE(args->number_or("value", -1.0), 0.0);
+  }
+  EXPECT_GE(occupancy_events, 2u);
+  fs::remove(path);
+}
+
+TEST_F(TraceConcurrencyTest, StageSpansCarryContentKeysAndCacheTags) {
+  const fs::path path = scratch_file("tagged-trace.json");
+  obs::enable_tracing(path.string());
+  (void)observations_text(small_spec("ARL_Xeon"));
+  ASSERT_TRUE(obs::write_trace());
+
+  const json::Value doc = json::parse(slurp(path));
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::size_t tagged = 0;
+  std::size_t keyed = 0;
+  for (const json::Value& event : events->items()) {
+    const std::string name = event.string_or("name", "");
+    if (name.rfind("stage:", 0) != 0) continue;
+    const json::Value* args = event.find("args");
+    ASSERT_NE(args, nullptr) << name;
+    EXPECT_NE(args->string_or("kind", ""), "") << name;
+    EXPECT_GE(args->number_or("worker", -1.0), 0.0) << name;
+    const std::string cache = args->string_or("cache", "");
+    EXPECT_TRUE(cache == "hit" || cache == "miss") << name << " " << cache;
+    // Content-addressed nodes (probes, traces, ground-truth collect)
+    // carry the first 8 hex digits of their dedup key; assemble and
+    // per-item nodes are not content-addressed and have none.
+    const std::string key = args->string_or("key", "");
+    if (!key.empty()) {
+      EXPECT_EQ(key.size(), 8u) << name;
+      EXPECT_EQ(key.find_first_not_of("0123456789abcdef"),
+                std::string::npos)
+          << name << " " << key;
+      ++keyed;
+    }
+    ++tagged;
+  }
+  EXPECT_GE(tagged, 4u);
+  EXPECT_GE(keyed, 3u);  // probes for two machines + at least one trace
+  fs::remove(path);
+}
+
+TEST_F(TraceConcurrencyTest, RunRecordAndTraceCoexist) {
+  // Both sinks active at once: one build feeds a trace file and a run
+  // record without perturbing either output's structure.
+  const fs::path trace_path = scratch_file("both-trace.json");
+  const fs::path record_path = scratch_file("both-record.json");
+  obs::enable_tracing(trace_path.string());
+  obs::enable_run_record(record_path.string());
+  (void)observations_text(small_spec("ARL_Xeon"));
+  obs::flush_telemetry();
+
+  const json::Value trace = json::parse(slurp(trace_path));
+  EXPECT_NE(trace.find("traceEvents"), nullptr);
+  const json::Value record = json::parse(slurp(record_path));
+  const json::Value* samples = record.find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->items().size(), 1u);
+  const json::Value* stages = samples->items()[0].find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NE(stages->find("assemble"), nullptr);
+  fs::remove(trace_path);
+  fs::remove(record_path);
+}
+
+}  // namespace
+}  // namespace msim::pipeline

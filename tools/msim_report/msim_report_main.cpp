@@ -1,0 +1,196 @@
+// msim-report CLI. Thin shell over msim_report_core (report_tool.hpp):
+//
+//   msim-report show FILE
+//   msim-report diff BASE NEW [threshold flags]
+//   msim-report trajectory DIR [--out DIR] [threshold flags]
+//
+// Threshold flags: --sigmas N, --rel-floor F, --abs-floor S (see
+// report_tool.hpp for the threshold formula).
+//
+// Tables go to stdout (they ARE this tool's output stream); usage and IO
+// problems go to stderr. Exit status: 0 clean / no regression, 1 when a
+// diff or trajectory verdict is REGRESSION, 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "msim_report/report_tool.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace msim::report_tool;
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "msim-report — run-record inspection and perf-trajectory checks\n\n"
+      "usage:\n"
+      "  msim-report show FILE\n"
+      "  msim-report diff BASE NEW [options]\n"
+      "  msim-report trajectory DIR [--out DIR] [options]\n\n"
+      "options:\n"
+      "  --sigmas N     noise band width in combined stddevs (default 3)\n"
+      "  --rel-floor F  relative threshold floor (default 0.10)\n"
+      "  --abs-floor S  absolute threshold floor in seconds "
+      "(default 0.05)\n");
+  return error != nullptr ? 2 : 0;
+}
+
+bool parse_double(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Strip recognised threshold flags (and --out) out of argv; the
+/// remaining tokens are the command's positional arguments.
+bool parse_common_flags(std::vector<std::string>& args,
+                        Thresholds* thresholds, std::string* out_dir) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_value = [&](double* slot) {
+      if (i + 1 >= args.size()) return false;
+      return parse_double(args[++i].c_str(), slot);
+    };
+    if (arg == "--sigmas") {
+      if (!next_value(&thresholds->sigmas)) return false;
+    } else if (arg == "--rel-floor") {
+      if (!next_value(&thresholds->rel_floor)) return false;
+    } else if (arg == "--abs-floor") {
+      if (!next_value(&thresholds->abs_floor)) return false;
+    } else if (arg == "--out") {
+      if (out_dir == nullptr || i + 1 >= args.size()) return false;
+      *out_dir = args[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  args = std::move(positional);
+  return true;
+}
+
+int run_show(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage("show takes exactly one record file");
+  const RecordSummary record = load_record(args[0]);
+  std::printf("%s", render_record(record).c_str());
+  return 0;
+}
+
+int run_diff(const std::vector<std::string>& args,
+             const Thresholds& thresholds) {
+  if (args.size() != 2) return usage("diff takes BASE and NEW record files");
+  const RecordSummary base = load_record(args[0]);
+  const RecordSummary current = load_record(args[1]);
+  const DiffReport report = diff_records(base, current, thresholds);
+  std::printf("%s", report.render(args[0], args[1]).c_str());
+  return report.regression ? 1 : 0;
+}
+
+int run_trajectory(const std::vector<std::string>& args,
+                   const Thresholds& thresholds,
+                   const std::string& out_dir) {
+  if (args.size() != 1) return usage("trajectory takes a directory");
+  const fs::path dir(args[0]);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "error: %s is not a directory\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  std::vector<RecordSummary> records;
+  std::vector<fs::path> candidates;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      candidates.push_back(entry.path());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const fs::path& path : candidates) {
+    if (path.filename().string().find("_trajectory.json") !=
+        std::string::npos) {
+      continue;  // our own output from a previous pass
+    }
+    try {
+      records.push_back(load_record(path.string()));
+    } catch (const std::exception&) {
+      // Not a run record (other JSON artifacts share directories); skip.
+    }
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "error: no run records found in %s\n",
+                 args[0].c_str());
+    return 2;
+  }
+
+  const fs::path target = out_dir.empty() ? dir : fs::path(out_dir);
+  fs::create_directories(target, ec);
+
+  bool regression = false;
+  for (const Trajectory& trajectory :
+       build_trajectories(std::move(records), thresholds)) {
+    const fs::path out_path =
+        target / (experiment_slug(trajectory.experiment) +
+                  "_trajectory.json");
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   out_path.string().c_str());
+      return 2;
+    }
+    out << trajectory.json;
+
+    std::printf("experiment %s: %zu samples -> %s\n",
+                trajectory.experiment.c_str(), trajectory.samples,
+                out_path.string().c_str());
+    if (!trajectory.verdict.rows.empty()) {
+      std::printf("%s", trajectory.verdict
+                            .render("history (all but newest sample)",
+                                    "newest sample")
+                            .c_str());
+    } else {
+      std::printf("verdict: not enough samples to gate\n");
+    }
+    std::printf("\n");
+    if (trajectory.verdict.regression) regression = true;
+  }
+  return regression ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage("missing command");
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  Thresholds thresholds;
+  std::string out_dir;
+  if (!parse_common_flags(args, &thresholds, &out_dir)) {
+    return usage("bad flag value");
+  }
+
+  try {
+    if (command == "show") return run_show(args);
+    if (command == "diff") return run_diff(args, thresholds);
+    if (command == "trajectory") {
+      return run_trajectory(args, thresholds, out_dir);
+    }
+    if (command == "--help" || command == "help") return usage(nullptr);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  return usage(("unknown command: " + command).c_str());
+}

@@ -1,0 +1,430 @@
+#include "msim_report/report_tool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "obs/run_record.hpp"
+
+namespace msim::report_tool {
+
+namespace {
+
+std::string format_number(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value >= -9.0e15 && value <= 9.0e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string seconds_cell(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  return buffer;
+}
+
+}  // namespace
+
+double Series::mean() const {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double value : values) sum += value;
+  return sum / static_cast<double>(values.size());
+}
+
+double Series::stddev() const {
+  if (values.size() < 2) return 0.0;
+  const double m = mean();
+  double sq = 0.0;
+  for (double value : values) sq += (value - m) * (value - m);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+double Series::last() const { return values.empty() ? 0.0 : values.back(); }
+
+RecordSummary summarize_record(const json::Value& record, std::string path) {
+  MSIM_REQUIRE(record.is_object(), "run record is not a JSON object");
+  const int schema = static_cast<int>(record.number_or("schema", 0));
+  MSIM_REQUIRE(schema == obs::kRunRecordSchemaVersion,
+               "unsupported run record schema " + std::to_string(schema) +
+                   " in " + path);
+
+  RecordSummary summary;
+  summary.path = std::move(path);
+  summary.schema = schema;
+
+  const json::Value* identity = record.find("identity");
+  MSIM_REQUIRE(identity != nullptr && identity->is_object(),
+               "run record has no identity section: " + summary.path);
+  summary.fingerprint = identity->string_or("fingerprint", "");
+  summary.git = identity->string_or("git", "");
+  summary.compiler = identity->string_or("compiler", "");
+  summary.threads = identity->string_or("threads", "");
+  if (const json::Value* info = identity->find("info");
+      info != nullptr && info->is_object()) {
+    summary.experiment = info->string_or("experiment", "");
+  }
+
+  const json::Value* samples = record.find("samples");
+  MSIM_REQUIRE(samples != nullptr && samples->is_array() &&
+                   !samples->items().empty(),
+               "run record has no samples: " + summary.path);
+  summary.samples = samples->items().size();
+
+  for (const json::Value& sample : samples->items()) {
+    MSIM_REQUIRE(sample.is_object(),
+                 "run record sample is not an object: " + summary.path);
+    summary.created_unix.push_back(sample.number_or("created_unix", 0.0));
+    summary.wall_seconds.values.push_back(
+        sample.number_or("wall_seconds", 0.0));
+    summary.peak_rss_bytes.values.push_back(
+        sample.number_or("peak_rss_bytes", 0.0));
+    if (const json::Value* stages = sample.find("stages");
+        stages != nullptr && stages->is_object()) {
+      for (const auto& [label, stage] : stages->fields()) {
+        summary.stages[label].values.push_back(
+            stage.number_or("seconds", 0.0));
+      }
+    }
+  }
+
+  // Counters and error summaries: the newest sample speaks for the record.
+  const json::Value& newest = samples->items().back();
+  if (const json::Value* counters = newest.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->fields()) {
+      if (value.is_number()) summary.counters[name] = value.as_number();
+    }
+  }
+  if (const json::Value* errors = newest.find("errors");
+      errors != nullptr && errors->is_array()) {
+    for (const json::Value& row : errors->items()) {
+      summary.errors.push_back(ErrorRow{
+          .metric = row.string_or("metric", ""),
+          .count = static_cast<std::size_t>(row.number_or("count", 0.0)),
+          .mean_abs_pct = row.number_or("mean_abs_pct", 0.0),
+          .median_abs_pct = row.number_or("median_abs_pct", 0.0),
+          .max_abs_pct = row.number_or("max_abs_pct", 0.0)});
+    }
+  }
+  return summary;
+}
+
+RecordSummary load_record(const std::string& path) {
+  std::ifstream in(path);
+  MSIM_REQUIRE(static_cast<bool>(in), "cannot read run record " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return summarize_record(json::parse(text.str()), path);
+}
+
+double regression_threshold(double base_mean, double base_stddev,
+                            double new_stddev,
+                            const Thresholds& thresholds) {
+  const double sigma = std::sqrt(base_stddev * base_stddev +
+                                 new_stddev * new_stddev);
+  return std::max({thresholds.sigmas * sigma,
+                   thresholds.rel_floor * base_mean, thresholds.abs_floor});
+}
+
+namespace {
+
+DiffRow compare_series(const std::string& name, const Series& base,
+                       const Series& current,
+                       const Thresholds& thresholds) {
+  DiffRow row;
+  row.name = name;
+  row.base_mean = base.mean();
+  row.base_stddev = base.stddev();
+  row.new_mean = current.mean();
+  row.new_stddev = current.stddev();
+  row.threshold = regression_threshold(row.base_mean, row.base_stddev,
+                                       row.new_stddev, thresholds);
+  row.regression = row.delta() > row.threshold;
+  return row;
+}
+
+const Series* find_stage(const RecordSummary& record,
+                         const std::string& label) {
+  const auto it = record.stages.find(label);
+  return it == record.stages.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+DiffReport diff_records(const RecordSummary& base,
+                        const RecordSummary& current,
+                        const Thresholds& thresholds) {
+  DiffReport report;
+
+  if (base.fingerprint != current.fingerprint) {
+    report.notes.push_back(
+        "identity differs (base " + base.fingerprint + ", new " +
+        current.fingerprint + "): comparing across configurations");
+  }
+  if (base.git != current.git) {
+    report.notes.push_back("git: " + base.git + " -> " + current.git);
+  }
+
+  report.rows.push_back(compare_series("wall_seconds", base.wall_seconds,
+                                       current.wall_seconds, thresholds));
+
+  // Union of stage labels; a stage that exists on only one side cannot be
+  // compared and is surfaced as a note instead.
+  std::vector<std::string> labels;
+  for (const auto& [label, series] : base.stages) labels.push_back(label);
+  for (const auto& [label, series] : current.stages) {
+    if (base.stages.find(label) == base.stages.end()) {
+      labels.push_back(label);
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  for (const std::string& label : labels) {
+    const Series* in_base = find_stage(base, label);
+    const Series* in_current = find_stage(current, label);
+    if (in_base == nullptr) {
+      report.notes.push_back("stage " + label +
+                             " only in the new record (not compared)");
+      continue;
+    }
+    if (in_current == nullptr) {
+      report.notes.push_back("stage " + label +
+                             " only in the base record (not compared)");
+      continue;
+    }
+    report.rows.push_back(
+        compare_series("stage:" + label, *in_base, *in_current, thresholds));
+  }
+
+  // Predictor accuracy is deterministic: any drift in the per-metric mean
+  // absolute error means behaviour changed, which is a regression in its
+  // own right regardless of timings.
+  for (const ErrorRow& base_row : base.errors) {
+    for (const ErrorRow& new_row : current.errors) {
+      if (base_row.metric != new_row.metric) continue;
+      const double drift =
+          std::abs(new_row.mean_abs_pct - base_row.mean_abs_pct);
+      if (drift > 1e-6) {
+        report.notes.push_back(
+            "accuracy drift for " + base_row.metric + ": mean |err| " +
+            format_number(base_row.mean_abs_pct) + " -> " +
+            format_number(new_row.mean_abs_pct));
+        report.regression = true;
+      }
+    }
+  }
+
+  for (const DiffRow& row : report.rows) {
+    if (row.regression) report.regression = true;
+  }
+  return report;
+}
+
+std::string DiffReport::render(const std::string& base_label,
+                               const std::string& new_label) const {
+  std::ostringstream out;
+  AsciiTable table({"series", "base mean", "base sd", "new mean", "new sd",
+                    "delta", "threshold", "verdict"});
+  for (std::size_t column = 1; column <= 6; ++column) {
+    table.set_align(column, Align::Right);
+  }
+  for (const DiffRow& row : rows) {
+    table.add_row({row.name, seconds_cell(row.base_mean),
+                   seconds_cell(row.base_stddev),
+                   seconds_cell(row.new_mean), seconds_cell(row.new_stddev),
+                   seconds_cell(row.delta()), seconds_cell(row.threshold),
+                   row.regression ? "REGRESSION" : "ok"});
+  }
+  out << "base: " << base_label << "\n";
+  out << "new:  " << new_label << "\n\n";
+  out << table.render();
+  for (const std::string& note : notes) out << "note: " << note << "\n";
+  out << (regression ? "verdict: REGRESSION\n" : "verdict: no regression\n");
+  return out.str();
+}
+
+std::string experiment_slug(const std::string& experiment) {
+  std::string slug;
+  for (const char c : experiment) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    slug += keep ? c : '_';
+  }
+  return slug.empty() ? "unnamed" : slug;
+}
+
+std::vector<Trajectory> build_trajectories(
+    std::vector<RecordSummary> records, const Thresholds& thresholds) {
+  // Group by experiment, then order each group's records by their first
+  // sample time so concatenated series read oldest-first.
+  std::map<std::string, std::vector<RecordSummary>> groups;
+  for (RecordSummary& record : records) {
+    const std::string name =
+        record.experiment.empty() ? "unnamed" : record.experiment;
+    groups[name].push_back(std::move(record));
+  }
+
+  std::vector<Trajectory> trajectories;
+  for (auto& [experiment, group] : groups) {
+    std::sort(group.begin(), group.end(),
+              [](const RecordSummary& a, const RecordSummary& b) {
+                const double a_first =
+                    a.created_unix.empty() ? 0.0 : a.created_unix.front();
+                const double b_first =
+                    b.created_unix.empty() ? 0.0 : b.created_unix.front();
+                return a_first < b_first;
+              });
+
+    Trajectory trajectory;
+    trajectory.experiment = experiment;
+
+    Series wall;
+    std::map<std::string, Series> stages;
+    std::vector<std::string> revisions;
+    for (const RecordSummary& record : group) {
+      for (double value : record.wall_seconds.values) {
+        wall.values.push_back(value);
+      }
+      for (const auto& [label, series] : record.stages) {
+        for (double value : series.values) {
+          stages[label].values.push_back(value);
+        }
+      }
+      revisions.push_back(record.git);
+    }
+    trajectory.samples = wall.count();
+
+    // Verdict: the newest sample against the noise band of its
+    // predecessors. With one sample there is no history to gate on.
+    if (wall.count() >= 2) {
+      auto split = [](const Series& series) {
+        Series history;
+        Series latest;
+        history.values.assign(series.values.begin(),
+                              series.values.end() - 1);
+        latest.values.push_back(series.values.back());
+        return std::make_pair(history, latest);
+      };
+      const auto [wall_history, wall_latest] = split(wall);
+      trajectory.verdict.rows.push_back(compare_series(
+          "wall_seconds", wall_history, wall_latest, thresholds));
+      for (const auto& [label, series] : stages) {
+        if (series.count() != wall.count()) continue;  // ragged: skip gate
+        const auto [history, latest] = split(series);
+        trajectory.verdict.rows.push_back(compare_series(
+            "stage:" + label, history, latest, thresholds));
+      }
+      for (const DiffRow& row : trajectory.verdict.rows) {
+        if (row.regression) trajectory.verdict.regression = true;
+      }
+    }
+
+    std::ostringstream json;
+    json << "{\"schema\":1,\"experiment\":\"" << json::escape(experiment)
+         << "\",\"samples\":" << trajectory.samples << ",\"revisions\":[";
+    for (std::size_t i = 0; i < revisions.size(); ++i) {
+      if (i != 0) json << ',';
+      json << '"' << json::escape(revisions[i]) << '"';
+    }
+    json << "],\"series\":{\"wall_seconds\":[";
+    for (std::size_t i = 0; i < wall.values.size(); ++i) {
+      if (i != 0) json << ',';
+      json << format_number(wall.values[i]);
+    }
+    json << "],\"stages\":{";
+    bool first_stage = true;
+    for (const auto& [label, series] : stages) {
+      if (!first_stage) json << ',';
+      first_stage = false;
+      json << '"' << json::escape(label) << "\":[";
+      for (std::size_t i = 0; i < series.values.size(); ++i) {
+        if (i != 0) json << ',';
+        json << format_number(series.values[i]);
+      }
+      json << ']';
+    }
+    json << "}},\"verdict\":{\"regression\":"
+         << (trajectory.verdict.regression ? "true" : "false")
+         << ",\"rows\":[";
+    for (std::size_t i = 0; i < trajectory.verdict.rows.size(); ++i) {
+      const DiffRow& row = trajectory.verdict.rows[i];
+      if (i != 0) json << ',';
+      json << "{\"name\":\"" << json::escape(row.name)
+           << "\",\"history_mean\":" << format_number(row.base_mean)
+           << ",\"history_stddev\":" << format_number(row.base_stddev)
+           << ",\"latest\":" << format_number(row.new_mean)
+           << ",\"threshold\":" << format_number(row.threshold)
+           << ",\"regression\":" << (row.regression ? "true" : "false")
+           << '}';
+    }
+    json << "]}}\n";
+    trajectory.json = json.str();
+    trajectories.push_back(std::move(trajectory));
+  }
+  return trajectories;
+}
+
+std::string render_record(const RecordSummary& record) {
+  std::ostringstream out;
+  out << "run record: " << record.path << "\n";
+  out << "experiment: "
+      << (record.experiment.empty() ? "(unnamed)" : record.experiment)
+      << "\n";
+  out << "fingerprint: " << record.fingerprint << "\n";
+  out << "git: " << record.git << "\n";
+  out << "compiler: " << record.compiler << "\n";
+  out << "threads: "
+      << (record.threads.empty() ? "(default)" : record.threads) << "\n";
+  out << "samples: " << record.samples << "\n\n";
+
+  AsciiTable timings({"series", "runs", "mean s", "sd s", "last s"});
+  for (std::size_t column = 1; column <= 4; ++column) {
+    timings.set_align(column, Align::Right);
+  }
+  timings.add_row({"wall_seconds",
+                   std::to_string(record.wall_seconds.count()),
+                   seconds_cell(record.wall_seconds.mean()),
+                   seconds_cell(record.wall_seconds.stddev()),
+                   seconds_cell(record.wall_seconds.last())});
+  for (const auto& [label, series] : record.stages) {
+    timings.add_row({"stage:" + label, std::to_string(series.count()),
+                     seconds_cell(series.mean()),
+                     seconds_cell(series.stddev()),
+                     seconds_cell(series.last())});
+  }
+  out << timings.render() << "\n";
+
+  if (!record.counters.empty()) {
+    AsciiTable counters({"counter", "value"});
+    counters.set_align(1, Align::Right);
+    for (const auto& [name, value] : record.counters) {
+      counters.add_row({name, format_number(value)});
+    }
+    out << counters.render() << "\n";
+  }
+
+  if (!record.errors.empty()) {
+    AsciiTable errors(
+        {"metric", "n", "mean |err| %", "median |err| %", "max |err| %"});
+    for (std::size_t column = 1; column <= 4; ++column) {
+      errors.set_align(column, Align::Right);
+    }
+    for (const ErrorRow& row : record.errors) {
+      errors.add_row({row.metric, std::to_string(row.count),
+                      AsciiTable::num(row.mean_abs_pct, 1),
+                      AsciiTable::num(row.median_abs_pct, 1),
+                      AsciiTable::num(row.max_abs_pct, 1)});
+    }
+    out << errors.render();
+  }
+  return out.str();
+}
+
+}  // namespace msim::report_tool

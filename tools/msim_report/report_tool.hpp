@@ -1,0 +1,153 @@
+// msim-report — run-record inspection and perf-trajectory regression
+// checks.
+//
+// Run records (src/obs/run_record.hpp, schema in docs/FORMATS.md) are the
+// repo's performance ledger: one JSON file per bench configuration, with
+// one sample appended per run. This tool turns them into decisions:
+//
+//   show FILE        render a record (identity, stage timings, cache and
+//                    scheduler stats, predictor error summaries) as
+//                    fixed-width tables.
+//   diff BASE NEW    compare two records stage by stage with noise-aware
+//                    thresholds: a stage regresses when its mean exceeds
+//                    the base by more than max(k sigma of the combined
+//                    re-run variance, a relative floor, an absolute
+//                    floor). The variance comes from the records
+//                    themselves — each holds every re-run's sample.
+//   trajectory DIR   aggregate every record in DIR into per-experiment
+//                    <experiment>_trajectory.json series files and gate
+//                    on the newest sample: CI fails when the latest run
+//                    left the noise band of its own history.
+//
+// Like msim-lint, the engine is a library (msim_report_core) so tests
+// drive diff/trajectory logic in-process; the CLI is a thin shell.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace msim::report_tool {
+
+/// One measured series across a record's samples (a stage's seconds, the
+/// process wall time, peak RSS).
+struct Series {
+  std::vector<double> values;  ///< one entry per sample, oldest first
+
+  [[nodiscard]] std::size_t count() const { return values.size(); }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation; 0 for fewer than two values.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double last() const;
+};
+
+/// Per-metric predictor error summary (from the record's newest sample).
+struct ErrorRow {
+  std::string metric;
+  std::size_t count = 0;
+  double mean_abs_pct = 0.0;
+  double median_abs_pct = 0.0;
+  double max_abs_pct = 0.0;
+};
+
+/// A run record reduced to the numbers show/diff/trajectory consume.
+struct RecordSummary {
+  std::string path;
+  std::string experiment;   ///< identity.info.experiment ("" when absent)
+  std::string fingerprint;
+  std::string git;
+  std::string compiler;
+  std::string threads;      ///< MSIM_THREADS at record time ("" = default)
+  int schema = 0;
+  std::size_t samples = 0;
+  std::vector<double> created_unix;      ///< per sample
+  Series wall_seconds;
+  Series peak_rss_bytes;
+  std::map<std::string, Series> stages;  ///< stage label -> seconds series
+  std::map<std::string, double> counters;  ///< newest sample
+  std::vector<ErrorRow> errors;            ///< newest sample
+};
+
+/// Reduce a parsed record document. Throws msim::precondition_error when
+/// the document is not a supported run record (wrong schema, missing
+/// sections).
+[[nodiscard]] RecordSummary summarize_record(const json::Value& record,
+                                             std::string path);
+
+/// Load + parse + summarize a record file; throws msim::precondition_error
+/// on read or parse failure.
+[[nodiscard]] RecordSummary load_record(const std::string& path);
+
+/// Noise-aware regression thresholds. A comparison value regresses when
+///   new_mean - base_mean > max(sigmas * sqrt(s_base^2 + s_new^2),
+///                              rel_floor * base_mean,
+///                              abs_floor)
+/// so single-sample records still get a sane band (the floors) and noisy
+/// multi-sample records widen their own band (the sigma term).
+struct Thresholds {
+  double sigmas = 3.0;
+  double rel_floor = 0.10;   ///< fraction of the base mean
+  double abs_floor = 0.05;   ///< absolute floor, in the series' unit
+};
+
+[[nodiscard]] double regression_threshold(double base_mean,
+                                          double base_stddev,
+                                          double new_stddev,
+                                          const Thresholds& thresholds);
+
+/// One compared series in a diff.
+struct DiffRow {
+  std::string name;  ///< "wall_seconds", "stage:assemble", ...
+  double base_mean = 0.0;
+  double base_stddev = 0.0;
+  double new_mean = 0.0;
+  double new_stddev = 0.0;
+  double threshold = 0.0;
+  bool regression = false;
+
+  [[nodiscard]] double delta() const { return new_mean - base_mean; }
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;
+  std::vector<std::string> notes;  ///< identity drift, accuracy drift, ...
+  bool regression = false;
+
+  /// Fixed-width rendering (table + verdict line) for stdout.
+  [[nodiscard]] std::string render(const std::string& base_label,
+                                   const std::string& new_label) const;
+};
+
+/// Compare two records (timing series + predictor accuracy). Records need
+/// not share a fingerprint — diffing across builds is the point — but
+/// identity differences are surfaced as notes.
+[[nodiscard]] DiffReport diff_records(const RecordSummary& base,
+                                      const RecordSummary& current,
+                                      const Thresholds& thresholds);
+
+/// Per-experiment trajectory: every sample of every record of one
+/// experiment, ordered oldest-first, gated on the newest sample staying
+/// inside the noise band of its predecessors.
+struct Trajectory {
+  std::string experiment;
+  std::size_t samples = 0;
+  DiffReport verdict;  ///< empty rows when fewer than two samples
+  std::string json;    ///< serialized <experiment>_trajectory.json body
+};
+
+/// Build one trajectory per distinct experiment name. Records with an
+/// empty experiment name are grouped under "unnamed".
+[[nodiscard]] std::vector<Trajectory> build_trajectories(
+    std::vector<RecordSummary> records, const Thresholds& thresholds);
+
+/// Render a single record as tables (the `show` command).
+[[nodiscard]] std::string render_record(const RecordSummary& record);
+
+/// Filesystem-safe experiment slug used in trajectory file names
+/// (non-alphanumerics become '_').
+[[nodiscard]] std::string experiment_slug(const std::string& experiment);
+
+}  // namespace msim::report_tool
