@@ -1,0 +1,77 @@
+// Distributed-campaign scaling bench: the TI-06 outlook workload run
+// through the StudyGraph's distributed executor.
+//
+// Builds the full paper study plus the proposed-system probe batch — the
+// procurement-scale campaign — with distribution configured purely from
+// the environment (MSIM_DIST_WORKERS + MSIM_WORKER_CMD; unset = the
+// in-process pool), so stdout is byte-identical across worker counts and
+// the CI parity job can diff it directly. Scaling evidence (wall clock,
+// per-worker peak RSS vs this process's own) goes to stderr.
+#include <sys/resource.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "convolve/convolver.hpp"
+#include "machine/proposed.hpp"
+#include "pipeline/study_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::banner(argc, argv, "dist_campaign",
+                "campaign-scale distribution (workers from the env)");
+
+  const auto proposed = machine::proposed_systems();
+
+  pipeline::StudyGraph graph;
+  graph.cache(true).cache_dir(bench::cache_dir());
+  const std::size_t study_handle = graph.add_study(pipeline::paper_spec());
+  const std::size_t batch_handle = graph.add_probes(proposed);
+  graph.build_all();
+  const auto study = graph.take_study(study_handle);
+  const auto& base_probes = study.probe_set(study.base_machine());
+  auto probe_map = graph.probe_sets(batch_handle);
+
+  // Metric #9 outlook table — the same numbers whether zero, one or four
+  // worker processes computed the artifacts.
+  std::vector<std::string> headers = {"Application", "CPUs"};
+  for (const auto& machine : proposed) headers.push_back(machine.name);
+  AsciiTable table(headers);
+  for (std::size_t c = 1; c < headers.size(); ++c) {
+    table.set_align(c, Align::Right);
+  }
+  for (const auto& test_case : study.suite()) {
+    const int nprocs = test_case.cpu_counts[1];
+    const auto& signature = study.signature(test_case.name, nprocs);
+    const double base_seconds = study.observations().at(
+        test_case.name, nprocs, study.base_machine());
+    std::vector<std::string> cells = {test_case.name,
+                                      std::to_string(nprocs)};
+    for (const auto& machine : proposed) {
+      const double predicted = convolve::predict_time(
+          signature, probe_map.at(machine.name), base_probes, base_seconds,
+          convolve::PredictiveMetric::M9_HplMapsNetDep);
+      cells.push_back(AsciiTable::num(predicted, 0));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("Metric #9 predicted times-to-solution on the proposed "
+              "systems (seconds):\n%s\n",
+              table.render().c_str());
+
+  // Scaling diagnostics: coordinator wall/RSS vs the worker pool's. With
+  // workers, the coordinator never runs stage work itself, so its peak
+  // RSS should sit below a single process computing everything.
+  const pipeline::GraphStats& stats = graph.stats();
+  std::fprintf(stderr, "(%s)\n", stats.summary().c_str());
+  if (stats.dist.workers > 0) {
+    std::fprintf(stderr, "(%s)\n", stats.dist.summary().c_str());
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    std::fprintf(stderr, "(coordinator: peak rss %ld kb, wall %.2fs)\n",
+                 usage.ru_maxrss, stats.wall_seconds);
+  }
+  return 0;
+}

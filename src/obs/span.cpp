@@ -66,6 +66,11 @@ std::atomic<bool> g_tracing{false};
 std::mutex g_path_mutex;
 std::string g_trace_path;  // guarded by g_path_mutex
 
+// Pre-rendered event objects from other processes (worker traces merged
+// by the distributed coordinator), spliced verbatim by write_trace.
+std::mutex g_foreign_mutex;
+std::vector<std::string> g_foreign_events;  // guarded by g_foreign_mutex
+
 Clock::time_point trace_epoch() {
   static const Clock::time_point epoch = Clock::now();
   return epoch;
@@ -124,11 +129,22 @@ std::size_t buffered_event_count() {
   return total;
 }
 
+void append_foreign_trace_events(std::vector<std::string> events) {
+  std::lock_guard<std::mutex> lock(g_foreign_mutex);
+  for (std::string& event : events) {
+    g_foreign_events.push_back(std::move(event));
+  }
+}
+
 void reset_tracing_for_testing() {
   disable_tracing();
   {
     std::lock_guard<std::mutex> lock(g_path_mutex);
     g_trace_path.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_foreign_mutex);
+    g_foreign_events.clear();
   }
   LaneRegistry& registry = lane_registry();
   std::lock_guard<std::mutex> lock(registry.mutex);
@@ -258,6 +274,15 @@ bool write_trace(const std::string& path) {
         if (!event.args.empty()) events << ',' << event.args;
         events << "}}";
       }
+    }
+  }
+
+  // Worker-process events merged in by the distributed coordinator; each
+  // fragment is already a complete event object carrying its own pid.
+  {
+    std::lock_guard<std::mutex> lock(g_foreign_mutex);
+    for (const std::string& fragment : g_foreign_events) {
+      events << ",\n" << fragment;
     }
   }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace msim::obs {
 
@@ -50,6 +51,14 @@ bool write_trace(const std::string& path);
 /// pool occupancy over time. `name` must outlive the call (string
 /// literal); no-op when tracing is off.
 void counter_track(const char* name, double value);
+
+/// Splice pre-rendered Chrome trace event objects (one JSON object per
+/// string, no trailing comma) into the next write_trace() output. Used by
+/// the distributed coordinator to merge worker-process traces — workers
+/// re-badged with their own pid — into the coordinator's file. Fragments
+/// accumulate until reset_tracing_for_testing(); callers are responsible
+/// for well-formed JSON.
+void append_foreign_trace_events(std::vector<std::string> events);
 
 /// Drop all buffered events, disable tracing, forget the path. Test-only.
 void reset_tracing_for_testing();

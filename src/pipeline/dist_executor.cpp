@@ -1,0 +1,598 @@
+#include "pipeline/dist_executor.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "simulate/campaign.hpp"
+#include "simulate/observation_io.hpp"
+
+extern char** environ;
+
+namespace msim::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<unsigned>(value);
+}
+
+std::string env_string(const char* name) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? std::string{} : std::string(env);
+}
+
+/// One worker slot: a spawned `msim worker` process plus its pipes and
+/// in-flight state. A dead slot (live == false) is respawned on demand
+/// while units remain.
+struct WorkerSlot {
+  pid_t pid = -1;
+  int to_fd = -1;    ///< coordinator -> worker (worker stdin)
+  int from_fd = -1;  ///< worker stdout -> coordinator
+  std::string buffer;
+  bool live = false;
+  bool busy = false;
+  std::size_t unit = 0;
+  std::uint64_t request_id = 0;
+  Clock::time_point deadline{};
+  std::int64_t peak_rss_kb = 0;
+};
+
+void close_slot(WorkerSlot& slot) {
+  if (slot.to_fd >= 0) ::close(slot.to_fd);
+  if (slot.from_fd >= 0) ::close(slot.from_fd);
+  slot.to_fd = -1;
+  slot.from_fd = -1;
+  slot.live = false;
+  slot.busy = false;
+  slot.buffer.clear();
+}
+
+void kill_slot(WorkerSlot& slot) {
+  if (slot.pid > 0) {
+    ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(slot.pid, &status, 0);
+    slot.pid = -1;
+  }
+  close_slot(slot);
+}
+
+/// Reap a worker that exited on its own (EOF observed on its pipe).
+void reap_slot(WorkerSlot& slot) {
+  if (slot.pid > 0) {
+    int status = 0;
+    ::waitpid(slot.pid, &status, 0);
+    slot.pid = -1;
+  }
+  close_slot(slot);
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the worker is gone
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// --- foreign trace merge ------------------------------------------------
+
+void render_json_value(const json::Value& value, std::string& out) {
+  switch (value.type()) {
+    case json::Value::Type::Null:
+      out += "null";
+      return;
+    case json::Value::Type::Bool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case json::Value::Type::Number: {
+      const double number = value.as_number();
+      if (number == std::floor(number) && std::fabs(number) < 1e15) {
+        out += std::to_string(static_cast<long long>(number));
+      } else {
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "%.17g", number);
+        out += buffer;
+      }
+      return;
+    }
+    case json::Value::Type::String:
+      out += '"';
+      out += json::escape(value.as_string());
+      out += '"';
+      return;
+    case json::Value::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const json::Value& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        render_json_value(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case json::Value::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.fields()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json::escape(key);
+        out += "\":";
+        render_json_value(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Re-render one worker trace event with the worker's own pid, so merged
+/// traces show each worker as its own process row in Perfetto.
+std::string rebadge_event(const json::Value& event, int pid) {
+  std::string out = "{";
+  bool first = true;
+  bool saw_pid = false;
+  for (const auto& [key, member] : event.fields()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json::escape(key);
+    out += "\":";
+    if (key == "pid") {
+      out += std::to_string(pid);
+      saw_pid = true;
+    } else {
+      render_json_value(member, out);
+    }
+  }
+  if (!saw_pid) {
+    if (!first) out += ',';
+    out += "\"pid\":" + std::to_string(pid);
+  }
+  out += '}';
+  return out;
+}
+
+/// Parse a worker's Chrome trace file and splice its events (re-badged
+/// with a per-worker pid) into the coordinator's next write_trace().
+/// Best effort: a missing or malformed file (crashed worker) is skipped.
+void merge_worker_trace(const std::string& path, unsigned slot) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const json::Value doc = json::parse(text.str());
+    const json::Value* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array()) return;
+    const int pid = static_cast<int>(slot) + 2;  // coordinator is pid 1
+    std::vector<std::string> fragments;
+    fragments.push_back(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+        std::to_string(pid) +
+        ",\"tid\":0,\"args\":{\"name\":\"msim-worker-" +
+        std::to_string(slot) + "\"}}");
+    for (const json::Value& event : events->items()) {
+      if (!event.is_object()) continue;
+      if (event.string_or("name", "") == "process_name") continue;
+      fragments.push_back(rebadge_event(event, pid));
+    }
+    obs::append_foreign_trace_events(std::move(fragments));
+  } catch (const std::exception&) {
+    // A truncated trace from a killed worker is expected, not an error.
+  }
+}
+
+}  // namespace
+
+DistOptions DistOptions::from_env() {
+  DistOptions options;
+  options.workers = env_unsigned("MSIM_DIST_WORKERS", 0);
+  options.worker_cmd = env_string("MSIM_WORKER_CMD");
+  options.plan_path = env_string("MSIM_DIST_PLAN");
+  options.record_dir = env_string("MSIM_DIST_RECORD_DIR");
+  if (const std::string timeout = env_string("MSIM_DIST_TIMEOUT_S");
+      !timeout.empty()) {
+    const double value = std::atof(timeout.c_str());
+    if (value > 0.0) options.unit_timeout_seconds = value;
+  }
+  options.max_retries = env_unsigned("MSIM_DIST_RETRIES", options.max_retries);
+  return options;
+}
+
+std::string DistStats::summary() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "dist: %u workers, %zu units (%zu cached), %zu dispatched, "
+                "%zu retries, %zu crashes, %zu timeouts, %zu assembled, "
+                "max worker rss %lld kb, wall %.2fs",
+                workers, units, cached, dispatched, retries, crashes,
+                timeouts, assemblies,
+                static_cast<long long>(max_worker_rss_kb), wall_seconds);
+  return line;
+}
+
+DistStats run_shard_plan(const ShardPlan& plan, const ArtifactCache& cache,
+                         const DistOptions& options) {
+  DistStats stats;
+  stats.workers = options.workers;
+  stats.units = plan.units.size();
+  if (plan.units.empty() && plan.assemblies.empty()) return stats;
+
+  MSIM_REQUIRE(cache.enabled(),
+               "distributed execution needs the artifact cache (workers "
+               "exchange results through it)");
+  MSIM_REQUIRE(options.workers > 0, "distributed execution needs workers");
+  MSIM_REQUIRE(!options.worker_cmd.empty(),
+               "distributed execution needs a worker command (the msim CLI "
+               "binary; set MSIM_WORKER_CMD or DistOptions.worker_cmd)");
+
+  static obs::Counter& dispatch_count =
+      obs::Registry::instance().counter("dist.dispatch");
+  static obs::Counter& retry_count =
+      obs::Registry::instance().counter("dist.retry");
+  static obs::Counter& crash_count =
+      obs::Registry::instance().counter("dist.worker.crash");
+  static obs::Counter& timeout_count =
+      obs::Registry::instance().counter("dist.worker.timeout");
+  static obs::Counter& assemble_count =
+      obs::Registry::instance().counter("dist.assemble");
+
+  const auto wall_start = Clock::now();
+  obs::Span dist_span("dist:coordinate", "pipeline");
+
+  // Workers that die get their pipes EPIPE'd under us; take the signal
+  // out of the picture for the duration (write failures are handled).
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction previous_pipe {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &previous_pipe);
+
+  std::vector<WorkerSlot> slots(options.workers);
+  std::deque<std::size_t> queue;
+  for (std::size_t u = 0; u < plan.units.size(); ++u) queue.push_back(u);
+  std::vector<unsigned> attempts(plan.units.size(), 0);
+  std::size_t done = 0;
+  std::uint64_t next_request = 1;
+
+  const auto spawn_slot = [&](unsigned index) -> bool {
+    WorkerSlot& slot = slots[index];
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    if (::pipe2(to_child, O_CLOEXEC) != 0) return false;
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      return false;
+    }
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    // dup2 clears FD_CLOEXEC on the target, so the child keeps exactly
+    // stdin/stdout; every other pipe end closes across the exec.
+    posix_spawn_file_actions_adddup2(&actions, to_child[0], 0);
+    posix_spawn_file_actions_adddup2(&actions, from_child[1], 1);
+
+    std::vector<std::string> args = {
+        options.worker_cmd,
+        "worker",
+        "--cache-dir",
+        cache.dir(),
+        "--cache-max-bytes",
+        std::to_string(cache.max_bytes()),
+        "--worker-id",
+        std::to_string(index),
+    };
+    if (!options.record_dir.empty()) {
+      const std::string stem =
+          options.record_dir + "/worker-" + std::to_string(index);
+      args.push_back("--run-record=" + stem + ".record.json");
+      args.push_back("--trace=" + stem + ".trace.json");
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, options.worker_cmd.c_str(), &actions,
+                                 nullptr, argv.data(), environ);
+    posix_spawn_file_actions_destroy(&actions);
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    if (rc != 0) {
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      return false;
+    }
+    slot.pid = pid;
+    slot.to_fd = to_child[1];
+    slot.from_fd = from_child[0];
+    slot.live = true;
+    slot.busy = false;
+    slot.buffer.clear();
+    return true;
+  };
+
+  const auto shutdown_all = [&](bool graceful) {
+    for (unsigned i = 0; i < slots.size(); ++i) {
+      WorkerSlot& slot = slots[i];
+      if (!slot.live) continue;
+      bool said_bye = false;
+      if (graceful && !slot.busy &&
+          write_all(slot.to_fd, exit_request_line(next_request++))) {
+        // Give the worker a moment to flush telemetry and report RSS.
+        struct pollfd pfd {slot.from_fd, POLLIN, 0};
+        const auto bye_deadline = Clock::now() + std::chrono::seconds(10);
+        while (Clock::now() < bye_deadline) {
+          const int ready = ::poll(&pfd, 1, 500);
+          if (ready <= 0) continue;
+          char chunk[4096];
+          const ssize_t n = ::read(slot.from_fd, chunk, sizeof chunk);
+          if (n <= 0) break;
+          slot.buffer.append(chunk, static_cast<std::size_t>(n));
+          const std::size_t eol = slot.buffer.find('\n');
+          if (eol == std::string::npos) continue;
+          const auto reply = parse_reply(slot.buffer.substr(0, eol + 1));
+          if (reply && reply->status == WorkerReply::Status::Bye) {
+            slot.peak_rss_kb = reply->peak_rss_kb;
+            stats.max_worker_rss_kb =
+                std::max(stats.max_worker_rss_kb, reply->peak_rss_kb);
+            said_bye = true;
+          }
+          break;
+        }
+      }
+      if (said_bye) {
+        reap_slot(slot);
+      } else {
+        kill_slot(slot);
+      }
+    }
+  };
+
+  /// A unit failed (crash, timeout, malformed reply, or verification
+  /// miss): charge its retry budget and requeue, or give up cleanly.
+  const auto fail_unit = [&](unsigned index, const char* reason) {
+    WorkerSlot& slot = slots[index];
+    const std::size_t unit = slot.unit;
+    slot.busy = false;
+    retry_count.add();
+    ++stats.retries;
+    if (++attempts[unit] > options.max_retries) {
+      shutdown_all(false);
+      throw std::runtime_error(
+          "distributed unit '" + plan.units[unit].artifact + "' failed " +
+          std::to_string(attempts[unit]) + " times (last failure: " +
+          reason + ")");
+    }
+    queue.push_front(unit);
+  };
+
+  try {
+    while (done < plan.units.size()) {
+      // Dispatch: hand a queued unit to every idle slot, respawning dead
+      // slots while work remains.
+      for (unsigned i = 0; i < slots.size() && !queue.empty(); ++i) {
+        WorkerSlot& slot = slots[i];
+        if (slot.busy) continue;
+        if (!slot.live && !spawn_slot(i)) {
+          throw std::runtime_error("failed to spawn dist worker '" +
+                                   options.worker_cmd + "'");
+        }
+        const std::size_t unit = queue.front();
+        queue.pop_front();
+        slot.unit = unit;
+        slot.request_id = next_request++;
+        slot.deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   options.unit_timeout_seconds));
+        dispatch_count.add();
+        ++stats.dispatched;
+        slot.busy = true;
+        if (!write_all(slot.to_fd,
+                       request_line(slot.request_id, plan.units[unit]))) {
+          crash_count.add();
+          ++stats.crashes;
+          kill_slot(slot);
+          fail_unit(i, "worker pipe closed on dispatch");
+        }
+      }
+
+      // Wait for the earliest of: a reply, a worker EOF, a deadline.
+      std::vector<struct pollfd> pfds;
+      std::vector<unsigned> pfd_slot;
+      Clock::time_point earliest = Clock::time_point::max();
+      for (unsigned i = 0; i < slots.size(); ++i) {
+        if (!slots[i].busy) continue;
+        pfds.push_back({slots[i].from_fd, POLLIN, 0});
+        pfd_slot.push_back(i);
+        earliest = std::min(earliest, slots[i].deadline);
+      }
+      MSIM_CHECK(!pfds.empty(), "dist coordinator stalled with units queued");
+      const auto now = Clock::now();
+      int timeout_ms = 0;
+      if (earliest > now) {
+        timeout_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(earliest -
+                                                                  now)
+                .count()) +
+            1;
+      }
+      const int ready = ::poll(pfds.data(),
+                               static_cast<nfds_t>(pfds.size()), timeout_ms);
+
+      if (ready > 0) {
+        for (std::size_t p = 0; p < pfds.size(); ++p) {
+          if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+            continue;
+          }
+          const unsigned i = pfd_slot[p];
+          WorkerSlot& slot = slots[i];
+          char chunk[8192];
+          const ssize_t n = ::read(slot.from_fd, chunk, sizeof chunk);
+          if (n <= 0) {
+            // Worker crashed mid-unit.
+            crash_count.add();
+            ++stats.crashes;
+            reap_slot(slot);
+            fail_unit(i, "worker exited mid-unit");
+            continue;
+          }
+          slot.buffer.append(chunk, static_cast<std::size_t>(n));
+          const std::size_t eol = slot.buffer.find('\n');
+          if (eol == std::string::npos) continue;  // partial line
+          const std::string line = slot.buffer.substr(0, eol + 1);
+          slot.buffer.erase(0, eol + 1);
+          const auto reply = parse_reply(line);
+          if (!reply || reply->id != slot.request_id) {
+            // Garbled protocol stream: this worker cannot be trusted.
+            crash_count.add();
+            ++stats.crashes;
+            kill_slot(slot);
+            fail_unit(i, "malformed worker reply");
+            continue;
+          }
+          if (reply->status == WorkerReply::Status::Error) {
+            // Deterministic unit failure — retrying would repeat it.
+            const std::string message = reply->message;
+            shutdown_all(false);
+            throw std::runtime_error("dist worker error on unit '" +
+                                     plan.units[slot.unit].artifact +
+                                     "': " + message);
+          }
+          if (reply->status != WorkerReply::Status::Ok) {
+            crash_count.add();
+            ++stats.crashes;
+            kill_slot(slot);
+            fail_unit(i, "unexpected worker reply status");
+            continue;
+          }
+          // The reply only claims the artifact exists; believe the cache,
+          // which verifies the payload checksum on load. The load runs on
+          // a FRESH handle: the long-lived one read the index before the
+          // workers wrote it, and a stale in-memory view would blindly
+          // adopt whatever bytes are on disk instead of checking them
+          // against the checksum the worker recorded (under flock, before
+          // replying). A corrupt or missing artifact degrades to a retry,
+          // never to wrong data.
+          const ArtifactCache verify(cache.dir(), cache.max_bytes());
+          if (!verify.load(plan.units[slot.unit].artifact)) {
+            fail_unit(i, "artifact failed post-unit verification");
+            continue;
+          }
+          if (reply->cached) ++stats.cached;
+          slot.busy = false;
+          ++done;
+        }
+      } else if (ready == 0) {
+        // Deadline sweep: kill and recycle every overdue worker.
+        const auto deadline_now = Clock::now();
+        for (unsigned i = 0; i < slots.size(); ++i) {
+          WorkerSlot& slot = slots[i];
+          if (!slot.busy || slot.deadline > deadline_now) continue;
+          timeout_count.add();
+          ++stats.timeouts;
+          kill_slot(slot);
+          fail_unit(i, "unit timed out");
+        }
+      } else if (errno != EINTR) {
+        throw std::runtime_error("dist coordinator poll failed");
+      }
+    }
+
+    shutdown_all(true);
+  } catch (...) {
+    shutdown_all(false);
+    ::sigaction(SIGPIPE, &previous_pipe, nullptr);
+    throw;
+  }
+  ::sigaction(SIGPIPE, &previous_pipe, nullptr);
+
+  // Ground-truth assembly: stitch each campaign's chunks (item order)
+  // into the whole-campaign artifact the lowering pass looks for. A
+  // missing or unparsable chunk skips the assembly — lowering recomputes.
+  for (const GtAssembly& assembly : plan.assemblies) {
+    simulate::ObservationSet set;
+    bool complete = true;
+    for (const std::string& chunk_name : assembly.chunks) {
+      const auto text = cache.load(chunk_name);
+      if (!text) {
+        complete = false;
+        break;
+      }
+      try {
+        const simulate::ObservationSet chunk =
+            simulate::observation_set_from_text(*text);
+        for (const simulate::Observation& observation : chunk.all()) {
+          set.add(observation);
+        }
+      } catch (const std::exception&) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    cache.store(assembly.artifact, simulate::to_text(set));
+    assemble_count.add();
+    ++stats.assemblies;
+  }
+
+  // Merge worker traces into the coordinator's trace file, one Perfetto
+  // process row per worker slot.
+  if (!options.record_dir.empty() && obs::tracing_enabled()) {
+    for (unsigned i = 0; i < slots.size(); ++i) {
+      merge_worker_trace(
+          options.record_dir + "/worker-" + std::to_string(i) +
+              ".trace.json",
+          i);
+    }
+  }
+
+  stats.wall_seconds = seconds_since(wall_start);
+  return stats;
+}
+
+}  // namespace msim::pipeline

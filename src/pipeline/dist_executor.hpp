@@ -1,0 +1,84 @@
+// Distributed shard-plan coordinator: worker process pool + recovery.
+//
+// run_shard_plan spawns N `msim worker` processes (stdin/stdout pipes,
+// one JSON line per request/reply — dist_protocol.hpp) and dispatches the
+// plan's units to whichever worker is idle. Results never travel through
+// the coordinator: each unit stores its artifact into the shared cache
+// directory, and the coordinator confirms completion with its own
+// checksum-verified load — a worker that lied, died mid-write, or left a
+// corrupt payload is caught here and the unit is re-dispatched.
+//
+// Failure policy: a worker crash (EOF on its pipe), a unit running past
+// the timeout (SIGKILL), a reply that does not parse, or a post-ok
+// verification miss all count against the unit's bounded retry budget
+// (`dist.retry`); the worker slot is respawned and dispatch continues. A
+// worker replying status:"error" is deterministic — the same inputs would
+// fail again — so the first such error is propagated as a clean exception
+// instead of burning retries. When a unit exhausts its retries the
+// coordinator shuts the pool down and throws, naming the unit.
+//
+// Observability: `dist.dispatch` / `dist.retry` / `dist.worker.crash` /
+// `dist.worker.timeout` / `dist.assemble` counters; per-worker run
+// records and Chrome traces when `record_dir` is set, with worker trace
+// events merged into the coordinator's own trace file (each worker gets
+// its own pid row in Perfetto).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pipeline/artifact_cache.hpp"
+#include "pipeline/dist_protocol.hpp"
+
+namespace msim::pipeline {
+
+struct DistOptions {
+  /// Worker processes to spawn; 0 disables distribution.
+  unsigned workers = 0;
+  /// Path to the msim CLI binary spawned as `<worker_cmd> worker ...`.
+  std::string worker_cmd;
+  /// Per-unit wall-clock deadline; a worker past it is killed and the
+  /// unit re-dispatched.
+  double unit_timeout_seconds = 300.0;
+  /// Re-dispatches allowed per unit after its first failure.
+  unsigned max_retries = 2;
+  /// Write the shard plan JSON here before dispatch ("" = don't).
+  std::string plan_path;
+  /// Directory for per-worker run records and Chrome traces ("" = off).
+  /// Worker trace events are merged into the coordinator's trace.
+  std::string record_dir;
+
+  /// Options from the environment: MSIM_DIST_WORKERS (count),
+  /// MSIM_WORKER_CMD (binary), MSIM_DIST_PLAN, MSIM_DIST_RECORD_DIR,
+  /// MSIM_DIST_TIMEOUT_S, MSIM_DIST_RETRIES. workers stays 0 when
+  /// MSIM_DIST_WORKERS is unset/0, so callers can treat the result as
+  /// "distribution requested?".
+  [[nodiscard]] static DistOptions from_env();
+};
+
+struct DistStats {
+  unsigned workers = 0;
+  std::size_t units = 0;        ///< units in the plan
+  std::size_t dispatched = 0;   ///< dispatches, including re-dispatches
+  std::size_t cached = 0;       ///< units the worker answered from cache
+  std::size_t retries = 0;      ///< re-dispatches after a failure
+  std::size_t crashes = 0;      ///< worker EOF / malformed reply / kill
+  std::size_t timeouts = 0;     ///< units past the deadline
+  std::size_t assemblies = 0;   ///< ground-truth campaigns assembled
+  std::int64_t max_worker_rss_kb = 0;  ///< largest worker ru_maxrss
+  double wall_seconds = 0.0;
+
+  /// One diagnostics line for bench stderr banners.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Execute a shard plan across worker processes sharing `cache`. Returns
+/// when every unit's artifact verified and every assembly ran (a missing
+/// or unparsable chunk skips its assembly — the in-process lowering
+/// recomputes, correctness never depends on the distributed pass).
+/// Throws msim::precondition_error on misconfiguration and
+/// std::runtime_error on worker errors or retry exhaustion.
+DistStats run_shard_plan(const ShardPlan& plan, const ArtifactCache& cache,
+                         const DistOptions& options);
+
+}  // namespace msim::pipeline

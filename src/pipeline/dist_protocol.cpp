@@ -1,0 +1,560 @@
+#include "pipeline/dist_protocol.hpp"
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "machine/config_io.hpp"
+#include "obs/span.hpp"
+#include "pipeline/stage_tasks.hpp"
+#include "pipeline/study_builder.hpp"
+#include "simulate/campaign.hpp"
+#include "simulate/observation_io.hpp"
+#include "trace/signature_io.hpp"
+#include "workload/app_io.hpp"
+
+namespace msim::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shortest round-trip-exact rendering of a double (same contract as the
+/// text serializers' precision(17) streams).
+std::string double_text(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// 64-bit values ride as decimal strings: JSON numbers are doubles on
+/// the wire and would silently round anything past 2^53 (noise salts and
+/// tracer seeds are full-width).
+std::string u64_text(std::uint64_t value) { return std::to_string(value); }
+
+std::uint64_t u64_field(const json::Value& value, const char* key) {
+  const json::Value* field = value.find(key);
+  MSIM_REQUIRE(field != nullptr && field->is_string(),
+               std::string("dist request missing u64 field '") + key + "'");
+  return std::strtoull(field->as_string().c_str(), nullptr, 10);
+}
+
+double number_field(const json::Value& value, const char* key) {
+  const json::Value* field = value.find(key);
+  MSIM_REQUIRE(field != nullptr && field->is_number(),
+               std::string("dist request missing number field '") + key +
+                   "'");
+  return field->as_number();
+}
+
+bool bool_field(const json::Value& value, const char* key) {
+  const json::Value* field = value.find(key);
+  MSIM_REQUIRE(field != nullptr && field->is_bool(),
+               std::string("dist request missing bool field '") + key + "'");
+  return field->as_bool();
+}
+
+std::string string_field(const json::Value& value, const char* key) {
+  const json::Value* field = value.find(key);
+  MSIM_REQUIRE(field != nullptr && field->is_string(),
+               std::string("dist request missing string field '") + key +
+                   "'");
+  return field->as_string();
+}
+
+void append_string_member(std::string& out, const char* key,
+                          const std::string& value, bool leading_comma) {
+  if (leading_comma) out += ',';
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json::escape(value);
+  out += '"';
+}
+
+std::string executor_to_json(const simulate::ExecutorOptions& executor) {
+  std::string out = "{";
+  out += "\"tlb\":" + std::string(executor.apply_tlb ? "true" : "false");
+  out += ",\"contention\":" +
+         std::string(executor.apply_contention ? "true" : "false");
+  out += ",\"system_efficiency\":" +
+         std::string(executor.apply_system_efficiency ? "true" : "false");
+  out += ",\"noise\":" + std::string(executor.apply_noise ? "true" : "false");
+  append_string_member(out, "noise_salt", u64_text(executor.noise_salt),
+                       true);
+  out += ",\"noise_amplitude\":" + double_text(executor.noise_amplitude);
+  out +=
+      ",\"affinity_amplitude\":" + double_text(executor.affinity_amplitude);
+  out += ",\"conflicts\":" +
+         std::string(executor.apply_conflicts ? "true" : "false");
+  out += ",\"conflict_strength\":" + double_text(executor.conflict_strength);
+  out += ",\"overlap\":" +
+         std::to_string(static_cast<int>(executor.overlap));
+  out += '}';
+  return out;
+}
+
+simulate::ExecutorOptions executor_from_json(const json::Value& value) {
+  simulate::ExecutorOptions executor;
+  executor.apply_tlb = bool_field(value, "tlb");
+  executor.apply_contention = bool_field(value, "contention");
+  executor.apply_system_efficiency = bool_field(value, "system_efficiency");
+  executor.apply_noise = bool_field(value, "noise");
+  executor.noise_salt = u64_field(value, "noise_salt");
+  executor.noise_amplitude = number_field(value, "noise_amplitude");
+  executor.affinity_amplitude = number_field(value, "affinity_amplitude");
+  executor.apply_conflicts = bool_field(value, "conflicts");
+  executor.conflict_strength = number_field(value, "conflict_strength");
+  executor.overlap = static_cast<cpusim::OverlapPolicy>(
+      static_cast<int>(number_field(value, "overlap")));
+  return executor;
+}
+
+std::string tracer_to_json(const trace::TracerOptions& tracer) {
+  std::string out = "{";
+  append_string_member(out, "sample_refs", u64_text(tracer.sample_refs),
+                       false);
+  out += ",\"short_stride_threshold\":" +
+         std::to_string(tracer.short_stride_threshold);
+  append_string_member(out, "seed", u64_text(tracer.seed), true);
+  out += ",\"analyzer_fn_rate\":" +
+         double_text(tracer.analyzer.false_negative_rate());
+  out += ",\"analyzer_fp_rate\":" +
+         double_text(tracer.analyzer.false_positive_rate());
+  append_string_member(out, "analyzer_seed", u64_text(tracer.analyzer.seed()),
+                       true);
+  out += '}';
+  return out;
+}
+
+trace::TracerOptions tracer_from_json(const json::Value& value) {
+  trace::TracerOptions tracer;
+  tracer.sample_refs = u64_field(value, "sample_refs");
+  tracer.short_stride_threshold =
+      static_cast<int>(number_field(value, "short_stride_threshold"));
+  tracer.seed = u64_field(value, "seed");
+  tracer.analyzer = trace::StaticAnalyzer(
+      number_field(value, "analyzer_fn_rate"),
+      number_field(value, "analyzer_fp_rate"),
+      u64_field(value, "analyzer_seed"));
+  return tracer;
+}
+
+// --- worker fault injection (test-only) --------------------------------
+
+/// Parsed MSIM_TEST_WORKER_FAULT: a fault class and the 1-based request
+/// ordinal (within one worker process) it fires on.
+struct FaultSpec {
+  enum class Kind { None, Crash, Hang, Corrupt, Garble };
+  Kind kind = Kind::None;
+  int at_request = 1;
+};
+
+FaultSpec fault_spec_from_env() {
+  FaultSpec spec;
+  const char* env = std::getenv("MSIM_TEST_WORKER_FAULT");
+  if (env == nullptr || env[0] == '\0') return spec;
+  std::string text(env);
+  const std::size_t colon = text.find(':');
+  std::string kind = text.substr(0, colon);
+  if (colon != std::string::npos) {
+    spec.at_request = std::atoi(text.c_str() + colon + 1);
+    if (spec.at_request <= 0) spec.at_request = 1;
+  }
+  if (kind == "crash") spec.kind = FaultSpec::Kind::Crash;
+  else if (kind == "hang") spec.kind = FaultSpec::Kind::Hang;
+  else if (kind == "corrupt") spec.kind = FaultSpec::Kind::Corrupt;
+  else if (kind == "garble") spec.kind = FaultSpec::Kind::Garble;
+  return spec;
+}
+
+/// Atomically claim the one-shot fault (O_CREAT|O_EXCL on the sentinel
+/// file shared by every worker): the injected fault fires exactly once
+/// per campaign, so the retried unit succeeds and the run converges.
+bool claim_fault_once(const ArtifactCache& cache) {
+  std::string sentinel;
+  if (const char* env = std::getenv("MSIM_TEST_WORKER_FAULT_SENTINEL");
+      env != nullptr && env[0] != '\0') {
+    sentinel = env;
+  } else if (cache.enabled()) {
+    // Sibling of the cache dir, not inside it: an index rebuild scan
+    // must never adopt the sentinel as an artifact.
+    sentinel = cache.dir() + ".fault-fired";
+  } else {
+    return false;
+  }
+  const int fd = ::open(sentinel.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+/// Overwrite the stored artifact's payload in place, bypassing the cache
+/// API — the on-disk bytes no longer match the index checksum, exactly
+/// what a worker dying mid-write leaves behind. Cache v2 must catch it.
+void corrupt_artifact_on_disk(const ArtifactCache& cache,
+                              const std::string& artifact) {
+  if (!cache.enabled()) return;
+  const std::string path = cache.dir() + "/" + artifact;
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return;
+  static const char garbage[] = "XXXX corrupted by dying worker XXXX";
+  // Best-effort single write at offset 0; ignore short writes.
+  [[maybe_unused]] const ssize_t n =
+      ::write(fd, garbage, sizeof garbage - 1);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string ground_truth_chunk_name(std::uint64_t key, std::size_t index) {
+  return "gtc-" + hex_digest(key) + "-" + std::to_string(index) + ".txt";
+}
+
+std::string unit_to_json(const WorkUnit& unit) {
+  std::string out = "{";
+  switch (unit.kind) {
+    case WorkUnit::Kind::Probe:
+      append_string_member(out, "op", "probe", false);
+      append_string_member(out, "artifact", unit.artifact, true);
+      append_string_member(out, "machine", unit.machine_text, true);
+      break;
+    case WorkUnit::Kind::Trace:
+      append_string_member(out, "op", "trace", false);
+      append_string_member(out, "artifact", unit.artifact, true);
+      append_string_member(out, "base", unit.base, true);
+      append_string_member(out, "app", unit.app_text, true);
+      out += ",\"tracer\":" + tracer_to_json(unit.tracer);
+      break;
+    case WorkUnit::Kind::GtItem:
+      append_string_member(out, "op", "gt-item", false);
+      append_string_member(out, "artifact", unit.artifact, true);
+      append_string_member(out, "app_name", unit.app_name, true);
+      out += ",\"nprocs\":" + std::to_string(unit.nprocs);
+      append_string_member(out, "app", unit.app_text, true);
+      out += ",\"machines\":[";
+      for (std::size_t i = 0; i < unit.machine_texts.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '"';
+        out += json::escape(unit.machine_texts[i]);
+        out += '"';
+      }
+      out += ']';
+      out += ",\"executor\":" + executor_to_json(unit.executor);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+WorkUnit unit_from_json(const json::Value& value) {
+  WorkUnit unit;
+  const std::string op = string_field(value, "op");
+  unit.artifact = string_field(value, "artifact");
+  if (op == "probe") {
+    unit.kind = WorkUnit::Kind::Probe;
+    unit.machine_text = string_field(value, "machine");
+  } else if (op == "trace") {
+    unit.kind = WorkUnit::Kind::Trace;
+    unit.base = string_field(value, "base");
+    unit.app_text = string_field(value, "app");
+    const json::Value* tracer = value.find("tracer");
+    MSIM_REQUIRE(tracer != nullptr, "trace unit missing tracer options");
+    unit.tracer = tracer_from_json(*tracer);
+  } else if (op == "gt-item") {
+    unit.kind = WorkUnit::Kind::GtItem;
+    unit.app_name = string_field(value, "app_name");
+    unit.nprocs = static_cast<int>(number_field(value, "nprocs"));
+    unit.app_text = string_field(value, "app");
+    const json::Value* machines = value.find("machines");
+    MSIM_REQUIRE(machines != nullptr && machines->is_array(),
+                 "gt-item unit missing machines");
+    for (const json::Value& machine : machines->items()) {
+      unit.machine_texts.push_back(machine.as_string());
+    }
+    const json::Value* executor = value.find("executor");
+    MSIM_REQUIRE(executor != nullptr, "gt-item unit missing executor");
+    unit.executor = executor_from_json(*executor);
+  } else {
+    throw precondition_error("unknown dist op '" + op + "'");
+  }
+  return unit;
+}
+
+std::string plan_to_json(const ShardPlan& plan) {
+  std::string out = "{\"schema\":" + std::to_string(plan.schema);
+  out += ",\"units\":[\n";
+  for (std::size_t i = 0; i < plan.units.size(); ++i) {
+    if (i != 0) out += ",\n";
+    out += unit_to_json(plan.units[i]);
+  }
+  out += "\n],\"assemblies\":[\n";
+  for (std::size_t i = 0; i < plan.assemblies.size(); ++i) {
+    if (i != 0) out += ",\n";
+    out += "{\"artifact\":\"" + json::escape(plan.assemblies[i].artifact) +
+           "\",\"chunks\":[";
+    for (std::size_t c = 0; c < plan.assemblies[i].chunks.size(); ++c) {
+      if (c != 0) out += ',';
+      out += '"';
+      out += json::escape(plan.assemblies[i].chunks[c]);
+      out += '"';
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+ShardPlan plan_from_json(const std::string& text) {
+  const json::Value doc = json::parse(text);
+  ShardPlan plan;
+  plan.schema = static_cast<int>(doc.number_or("schema", 1));
+  MSIM_REQUIRE(plan.schema == 1, "unsupported shard-plan schema");
+  const json::Value* units = doc.find("units");
+  MSIM_REQUIRE(units != nullptr && units->is_array(),
+               "shard plan missing units");
+  for (const json::Value& unit : units->items()) {
+    plan.units.push_back(unit_from_json(unit));
+  }
+  if (const json::Value* assemblies = doc.find("assemblies");
+      assemblies != nullptr && assemblies->is_array()) {
+    for (const json::Value& entry : assemblies->items()) {
+      GtAssembly assembly;
+      assembly.artifact = string_field(entry, "artifact");
+      const json::Value* chunks = entry.find("chunks");
+      MSIM_REQUIRE(chunks != nullptr && chunks->is_array(),
+                   "assembly missing chunks");
+      for (const json::Value& chunk : chunks->items()) {
+        assembly.chunks.push_back(chunk.as_string());
+      }
+      plan.assemblies.push_back(std::move(assembly));
+    }
+  }
+  return plan;
+}
+
+std::string request_line(std::uint64_t id, const WorkUnit& unit) {
+  std::string body = unit_to_json(unit);
+  // Splice the id in after the opening brace; the body is always "{...".
+  return "{\"id\":" + u64_text(id) + "," + body.substr(1) + "\n";
+}
+
+std::string exit_request_line(std::uint64_t id) {
+  return "{\"id\":" + u64_text(id) + ",\"op\":\"exit\"}\n";
+}
+
+std::string reply_line(const WorkerReply& reply) {
+  std::string out = "{\"id\":" + u64_text(reply.id);
+  switch (reply.status) {
+    case WorkerReply::Status::Ok:
+      out += ",\"status\":\"ok\",\"cached\":";
+      out += reply.cached ? "true" : "false";
+      out += ",\"seconds\":" + double_text(reply.seconds);
+      break;
+    case WorkerReply::Status::Error:
+      out += ",\"status\":\"error\",\"message\":\"" +
+             json::escape(reply.message) + "\"";
+      break;
+    case WorkerReply::Status::Bye:
+      out += ",\"status\":\"bye\",\"peak_rss_kb\":" +
+             std::to_string(reply.peak_rss_kb);
+      break;
+  }
+  out += "}\n";
+  return out;
+}
+
+std::optional<WorkerReply> parse_reply(const std::string& line) {
+  try {
+    const json::Value doc = json::parse(line);
+    if (!doc.is_object()) return std::nullopt;
+    const json::Value* id = doc.find("id");
+    if (id == nullptr || !id->is_number()) return std::nullopt;
+    WorkerReply reply;
+    reply.id = static_cast<std::uint64_t>(id->as_number());
+    const std::string status = doc.string_or("status", "");
+    if (status == "ok") {
+      reply.status = WorkerReply::Status::Ok;
+      const json::Value* cached = doc.find("cached");
+      if (cached == nullptr || !cached->is_bool()) return std::nullopt;
+      reply.cached = cached->as_bool();
+      reply.seconds = doc.number_or("seconds", 0.0);
+    } else if (status == "error") {
+      reply.status = WorkerReply::Status::Error;
+      reply.message = doc.string_or("message", "(no message)");
+    } else if (status == "bye") {
+      reply.status = WorkerReply::Status::Bye;
+      reply.peak_rss_kb =
+          static_cast<std::int64_t>(doc.number_or("peak_rss_kb", 0.0));
+    } else {
+      return std::nullopt;
+    }
+    return reply;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+UnitResult execute_unit(const WorkUnit& unit, const ArtifactCache& cache) {
+  UnitResult result;
+  switch (unit.kind) {
+    case WorkUnit::Kind::Probe: {
+      const machine::MachineConfig machine =
+          machine::from_text(unit.machine_text);
+      MSIM_REQUIRE(probe_artifact_name(machine) == unit.artifact,
+                   "probe unit artifact does not match its machine");
+      bool hit = false;
+      (void)probe_task(machine, cache, &hit);
+      result.cached = hit;
+      return result;
+    }
+    case WorkUnit::Kind::Trace: {
+      if (try_trace_cache(cache, unit.artifact)) {
+        result.cached = true;
+        return result;
+      }
+      const workload::AppModel app = workload::app_from_text(unit.app_text);
+      obs::Span span("stage:traces", "dist");
+      const trace::ApplicationSignature signature =
+          trace::trace_application(app, unit.base, unit.tracer);
+      cache.store(unit.artifact, trace::to_text(signature));
+      return result;
+    }
+    case WorkUnit::Kind::GtItem: {
+      if (const auto text = cache.load(unit.artifact)) {
+        try {
+          (void)simulate::observation_set_from_text(*text);
+          result.cached = true;
+          return result;
+        } catch (const std::exception&) {
+          // Malformed chunk: fall through and recompute.
+        }
+      }
+      const workload::AppModel app = workload::app_from_text(unit.app_text);
+      simulate::ObservationSet chunk;
+      for (const std::string& machine_text : unit.machine_texts) {
+        const machine::MachineConfig machine =
+            machine::from_text(machine_text);
+        obs::Span span("run", "campaign");
+        span.arg("app", unit.app_name)
+            .arg("machine", machine.name)
+            .arg("nprocs", unit.nprocs);
+        const simulate::RunResult run =
+            simulate::execute(app, machine, unit.executor);
+        chunk.add(simulate::Observation{.app = unit.app_name,
+                                        .nprocs = unit.nprocs,
+                                        .machine = machine.name,
+                                        .seconds = run.wall_seconds});
+      }
+      cache.store(unit.artifact, simulate::to_text(chunk));
+      return result;
+    }
+  }
+  throw precondition_error("unknown work unit kind");
+}
+
+int run_worker_loop(std::FILE* in, std::FILE* out,
+                    const ArtifactCache& cache) {
+  const FaultSpec fault = fault_spec_from_env();
+  int request_no = 0;
+
+  char* line = nullptr;
+  std::size_t capacity = 0;
+  int exit_code = 0;
+  while (true) {
+    const ssize_t len = ::getline(&line, &capacity, in);
+    if (len < 0) break;  // EOF: coordinator went away; exit quietly.
+    const std::string text(line, static_cast<std::size_t>(len));
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+
+    std::uint64_t id = 0;
+    std::string op;
+    WorkUnit unit;
+    bool parsed = false;
+    try {
+      const json::Value doc = json::parse(text);
+      id = static_cast<std::uint64_t>(doc.number_or("id", 0.0));
+      op = doc.string_or("op", "");
+      if (op != "exit") unit = unit_from_json(doc);
+      parsed = true;
+    } catch (const std::exception& error) {
+      WorkerReply reply;
+      reply.id = id;
+      reply.status = WorkerReply::Status::Error;
+      reply.message = std::string("malformed request: ") + error.what();
+      std::fputs(reply_line(reply).c_str(), out);
+      std::fflush(out);
+      exit_code = 1;
+      break;
+    }
+    if (!parsed) break;
+
+    if (op == "exit") {
+      WorkerReply reply;
+      reply.id = id;
+      reply.status = WorkerReply::Status::Bye;
+      struct rusage usage{};
+      if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+        reply.peak_rss_kb = usage.ru_maxrss;
+      }
+      std::fputs(reply_line(reply).c_str(), out);
+      std::fflush(out);
+      break;
+    }
+
+    ++request_no;
+    const bool fire = fault.kind != FaultSpec::Kind::None &&
+                      request_no == fault.at_request &&
+                      claim_fault_once(cache);
+    if (fire && fault.kind == FaultSpec::Kind::Crash) {
+      ::_exit(134);  // die before touching the unit
+    }
+    if (fire && fault.kind == FaultSpec::Kind::Hang) {
+      // Stall far past any reasonable unit timeout; the coordinator must
+      // SIGKILL this process and re-dispatch the unit.
+      std::this_thread::sleep_for(std::chrono::seconds(1000));
+      ::_exit(134);
+    }
+
+    WorkerReply reply;
+    reply.id = id;
+    const auto start = Clock::now();
+    try {
+      const UnitResult unit_result = execute_unit(unit, cache);
+      reply.status = WorkerReply::Status::Ok;
+      reply.cached = unit_result.cached;
+      reply.seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+    } catch (const std::exception& error) {
+      reply.status = WorkerReply::Status::Error;
+      reply.message = error.what();
+    }
+
+    if (fire && fault.kind == FaultSpec::Kind::Corrupt) {
+      // Claim success, but leave a payload whose bytes no longer match
+      // the index checksum — the coordinator's verifying load must turn
+      // this into a miss and a retry, never into wrong data.
+      corrupt_artifact_on_disk(cache, unit.artifact);
+    }
+    if (fire && fault.kind == FaultSpec::Kind::Garble) {
+      std::fputs("!!! not json at all\n", out);
+      std::fflush(out);
+      continue;  // the coordinator kills us for this; keep listening
+    }
+    std::fputs(reply_line(reply).c_str(), out);
+    std::fflush(out);
+  }
+  ::free(line);
+  return exit_code;
+}
+
+}  // namespace msim::pipeline

@@ -1,0 +1,152 @@
+// Coordinator <-> worker protocol for the distributed StudyGraph.
+//
+// A distributed build shards stage work — probe one machine, trace one
+// (application, count), run one ground-truth campaign item — across
+// worker processes (`msim worker`). Workers never ship results back
+// through the coordinator: every unit's output is stored into the shared
+// artifact cache (MSIM_CACHE_DIR + the flock'd v2 index), and the reply
+// only says "the artifact is there now". The payloads are the canonical
+// text forms (machine configs, app models) whose serialization is
+// lossless at precision 17, so a worker recomputes bit-for-bit what the
+// in-process pool would have computed; byte-identity of the final study
+// falls out of cache-key discipline rather than a wire format for
+// results.
+//
+// Framing is one JSON object per line in both directions (newlines inside
+// JSON strings are escaped, so '\n' is an unambiguous frame boundary):
+//
+//   request:  {"op":"probe"|"trace"|"gt-item","id":N, ...unit fields}
+//             {"op":"exit","id":N}
+//   reply:    {"id":N,"status":"ok","cached":B,"seconds":S}
+//             {"id":N,"status":"error","message":"..."}
+//             {"id":N,"status":"bye","peak_rss_kb":K}    (exit ack)
+//
+// A reply line that does not parse, a truncated line, or a closed pipe
+// are all treated by the coordinator as a worker failure: the worker is
+// killed and respawned and the in-flight unit is re-dispatched (bounded
+// retries). See docs/FORMATS.md ("Distributed shard plan and worker
+// protocol") for the full schema, and dist_executor.hpp for the
+// coordinator.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "simulate/executor.hpp"
+#include "trace/tracer.hpp"
+
+namespace msim::pipeline {
+
+/// One shardable unit of stage work. Exactly the fields of the active
+/// kind are meaningful; the rest stay default.
+struct WorkUnit {
+  enum class Kind { Probe, Trace, GtItem };
+  Kind kind = Kind::Probe;
+  /// Cache artifact this unit must leave behind (the coordinator verifies
+  /// it with a checksummed load before counting the unit done).
+  std::string artifact;
+
+  // Probe: machine config text (machine::to_text).
+  std::string machine_text;
+
+  // Trace: app model text (workload::to_text), base system name, tracer
+  // identity.
+  std::string app_text;  ///< also used by GtItem
+  std::string base;
+  trace::TracerOptions tracer{};
+
+  // GtItem: one campaign item — the app swept over every machine, in
+  // order, exactly as simulate::run_campaign_item does.
+  std::string app_name;
+  int nprocs = 0;
+  std::vector<std::string> machine_texts;
+  simulate::ExecutorOptions executor{};
+};
+
+/// Assembly directive: once every chunk exists, concatenate them (in
+/// order) into the whole-campaign ground-truth artifact.
+struct GtAssembly {
+  std::string artifact;             ///< gt-<key>.txt
+  std::vector<std::string> chunks;  ///< gtc-<key>-<i>.txt, item order
+};
+
+/// The coordinator's shard plan: every unit the distributed pre-pass will
+/// dispatch, plus the ground-truth assemblies to run afterwards. Written
+/// as JSON (plan_to_json) for inspection and replay.
+struct ShardPlan {
+  int schema = 1;
+  std::vector<WorkUnit> units;
+  std::vector<GtAssembly> assemblies;
+};
+
+/// Chunk artifact holding one campaign item's observations of the
+/// ground-truth fan-out keyed `key` (see stage_tasks.hpp for gt-<key>).
+[[nodiscard]] std::string ground_truth_chunk_name(std::uint64_t key,
+                                                  std::size_t index);
+
+// --- unit / plan serialization ----------------------------------------
+
+/// One-line JSON object for a unit (no "id"; request_line adds it).
+[[nodiscard]] std::string unit_to_json(const WorkUnit& unit);
+
+/// Parse a unit from its JSON object form. Throws msim::precondition_error
+/// on unknown op or missing fields.
+[[nodiscard]] WorkUnit unit_from_json(const json::Value& value);
+
+[[nodiscard]] std::string plan_to_json(const ShardPlan& plan);
+[[nodiscard]] ShardPlan plan_from_json(const std::string& text);
+
+// --- wire framing ------------------------------------------------------
+
+/// Request line (newline-terminated) dispatching `unit` as request `id`.
+[[nodiscard]] std::string request_line(std::uint64_t id,
+                                       const WorkUnit& unit);
+
+/// Shutdown request; the worker answers with a "bye" reply and exits.
+[[nodiscard]] std::string exit_request_line(std::uint64_t id);
+
+struct WorkerReply {
+  enum class Status { Ok, Error, Bye };
+  Status status = Status::Error;
+  std::uint64_t id = 0;
+  bool cached = false;       ///< Ok: the cache already held the artifact
+  double seconds = 0.0;      ///< Ok: worker-side unit wall time
+  std::int64_t peak_rss_kb = 0;  ///< Bye: worker peak RSS (ru_maxrss)
+  std::string message;       ///< Error: first-error text to propagate
+};
+
+[[nodiscard]] std::string reply_line(const WorkerReply& reply);
+
+/// Parse one reply line; nullopt when the line is not a well-formed reply
+/// (the coordinator treats that as a worker failure and re-dispatches).
+[[nodiscard]] std::optional<WorkerReply> parse_reply(
+    const std::string& line);
+
+// --- execution ---------------------------------------------------------
+
+struct UnitResult {
+  bool cached = false;  ///< served by the artifact cache, nothing computed
+};
+
+/// Execute one unit against the shared cache: consult the cache first,
+/// recompute on miss, store the artifact. The exact task bodies the
+/// in-process pool runs (stage_tasks), so a distributed build leaves
+/// byte-identical artifacts. Throws on malformed payloads.
+UnitResult execute_unit(const WorkUnit& unit, const ArtifactCache& cache);
+
+/// Worker protocol loop: read request lines from `in`, execute each unit,
+/// write reply lines to `out` (flushed per reply), until an exit request
+/// or EOF. Returns a process exit code. Honors MSIM_TEST_WORKER_FAULT
+/// ("crash"|"hang"|"corrupt"|"garble" [":<nth request>"], fired at most
+/// once across all workers via the MSIM_TEST_WORKER_FAULT_SENTINEL file,
+/// default "<cache dir>.fault-fired") so the coordinator's recovery
+/// paths are testable.
+int run_worker_loop(std::FILE* in, std::FILE* out,
+                    const ArtifactCache& cache);
+
+}  // namespace msim::pipeline

@@ -9,15 +9,18 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "machine/config_io.hpp"
 #include "machine/registry.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -25,6 +28,7 @@
 #include "pipeline/scheduler.hpp"
 #include "pipeline/stage_tasks.hpp"
 #include "simulate/observation_io.hpp"
+#include "workload/app_io.hpp"
 
 namespace msim::pipeline {
 
@@ -123,6 +127,7 @@ struct StudyGraph::Impl {
   std::string cache_root;
   std::uint64_t cache_max = 0;
   bool prefetch_enabled = prefetch_default();
+  std::optional<DistOptions> dist_options;  ///< explicit distribute()
 
   // Graph state.
   std::vector<std::unique_ptr<StudyRecord>> studies;
@@ -536,6 +541,128 @@ struct StudyGraph::Impl {
     hits.add(graph_stats.prefetch_hits);
   }
 
+  /// Distributed pre-pass: before lowering, compute every stage artifact
+  /// the queued specs will need, skip the ones the cache index already
+  /// holds, and dispatch the rest to worker processes (run_shard_plan).
+  /// By the time lowering runs, ground-truth campaigns collapse to cached
+  /// collect nodes and probe/trace nodes prefetch — so the in-process
+  /// pool (and stdout) behave exactly as on a warm cache, which is the
+  /// byte-identity guarantee. Explicit distribute() beats the env opt-in
+  /// (MSIM_DIST_WORKERS + MSIM_WORKER_CMD); the env form is silently
+  /// ignored when the cache is off or the build is nested inside a
+  /// scheduler worker, since both make process fan-out wrong.
+  void run_dist_prepass() {
+    std::optional<DistOptions> options = dist_options;
+    if (options) {
+      if (options->workers == 0) return;
+      MSIM_REQUIRE(cache.enabled(),
+                   "distribute() needs the artifact cache enabled");
+      if (options->worker_cmd.empty()) {
+        options->worker_cmd = DistOptions::from_env().worker_cmd;
+      }
+    } else {
+      DistOptions env = DistOptions::from_env();
+      if (env.workers == 0) return;
+      if (!cache.enabled() || inside_scheduler_worker()) return;
+      options = std::move(env);
+    }
+
+    std::vector<std::string> index;
+    for (const auto& entry : cache.index_entries()) {
+      index.push_back(entry.name);
+    }
+    const auto indexed = [&index](const std::string& name) {
+      return std::binary_search(index.begin(), index.end(), name);
+    };
+
+    ShardPlan plan;
+    std::set<std::string> planned;
+    const auto add_unit = [&](WorkUnit unit) {
+      // Unit dedup mirrors node dedup: artifact names are the content
+      // keys, so identical work across studies plans once.
+      if (!planned.insert(unit.artifact).second) return;
+      plan.units.push_back(std::move(unit));
+    };
+
+    for (const auto& record : studies) {
+      std::vector<std::string> machine_texts;
+      for (const auto& machine : record->machines) {
+        machine_texts.push_back(machine::to_text(machine));
+      }
+
+      const std::uint64_t gt_key = ground_truth_key(
+          record->machines, record->items, record->spec.options.executor);
+      const std::string gt_artifact = ground_truth_artifact_name(gt_key);
+      if (!indexed(gt_artifact) && planned.insert(gt_artifact).second) {
+        GtAssembly assembly;
+        assembly.artifact = gt_artifact;
+        for (std::size_t i = 0; i < record->items.size(); ++i) {
+          const SuiteItem& item = record->items[i];
+          const workload::TestCase& test_case =
+              record->spec.suite[item.case_index];
+          WorkUnit unit;
+          unit.kind = WorkUnit::Kind::GtItem;
+          unit.artifact = ground_truth_chunk_name(gt_key, i);
+          unit.app_name = test_case.name;
+          unit.nprocs = item.nprocs;
+          unit.app_text = workload::to_text(test_case.build(item.nprocs));
+          unit.machine_texts = machine_texts;
+          unit.executor = record->spec.options.executor;
+          assembly.chunks.push_back(unit.artifact);
+          if (!indexed(unit.artifact)) add_unit(std::move(unit));
+        }
+        plan.assemblies.push_back(std::move(assembly));
+      }
+
+      for (const auto& machine : record->machines) {
+        const std::string name = probe_artifact_name(machine);
+        if (indexed(name) || indexed(legacy_probe_artifact_name(machine))) {
+          continue;
+        }
+        WorkUnit unit;
+        unit.kind = WorkUnit::Kind::Probe;
+        unit.artifact = name;
+        unit.machine_text = machine::to_text(machine);
+        add_unit(std::move(unit));
+      }
+
+      for (const SuiteItem& item : record->items) {
+        const std::string name = trace_artifact_name(
+            trace_key(item, record->spec.base.name,
+                      record->spec.options.tracer));
+        if (indexed(name)) continue;
+        const workload::TestCase& test_case =
+            record->spec.suite[item.case_index];
+        WorkUnit unit;
+        unit.kind = WorkUnit::Kind::Trace;
+        unit.artifact = name;
+        unit.base = record->spec.base.name;
+        unit.app_text = workload::to_text(test_case.build(item.nprocs));
+        unit.tracer = record->spec.options.tracer;
+        add_unit(std::move(unit));
+      }
+    }
+    for (const auto& batch : batches) {
+      for (const auto& machine : batch->machines) {
+        const std::string name = probe_artifact_name(machine);
+        if (indexed(name) || indexed(legacy_probe_artifact_name(machine))) {
+          continue;
+        }
+        WorkUnit unit;
+        unit.kind = WorkUnit::Kind::Probe;
+        unit.artifact = name;
+        unit.machine_text = machine::to_text(machine);
+        add_unit(std::move(unit));
+      }
+    }
+
+    if (!options->plan_path.empty()) {
+      std::ofstream out(options->plan_path, std::ios::trunc);
+      if (out) out << plan_to_json(plan);
+    }
+    graph_stats.dist = run_shard_plan(plan, cache, *options);
+  }
+
   void build_all() {
     MSIM_REQUIRE(!built, "study graph already built");
     MSIM_REQUIRE(!studies.empty() || !batches.empty(),
@@ -546,6 +673,10 @@ struct StudyGraph::Impl {
 
     cache = cache_enabled ? ArtifactCache(cache_root, cache_max)
                           : ArtifactCache();
+
+    // Must precede lowering: a campaign the workers computed collapses to
+    // a cached collect node only if its artifact exists by then.
+    run_dist_prepass();
 
     for (auto& record : studies) lower_study(*record);
     for (auto& batch : batches) {
@@ -631,6 +762,11 @@ StudyGraph& StudyGraph::cache_max_bytes(std::uint64_t max_bytes) {
 
 StudyGraph& StudyGraph::prefetch(bool enabled) {
   impl_->prefetch_enabled = enabled;
+  return *this;
+}
+
+StudyGraph& StudyGraph::distribute(DistOptions options) {
+  impl_->dist_options = std::move(options);
   return *this;
 }
 

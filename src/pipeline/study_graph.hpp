@@ -39,6 +39,7 @@
 
 #include "machine/machine_config.hpp"
 #include "metrics/study.hpp"
+#include "pipeline/dist_executor.hpp"
 #include "pipeline/study_builder.hpp"
 #include "probes/probe_set.hpp"
 
@@ -70,6 +71,7 @@ struct GraphStats {
   unsigned workers = 0;         ///< pool size used
   double busy_seconds = 0.0;    ///< summed node execution time
   double wall_seconds = 0.0;    ///< build_all wall clock
+  DistStats dist;               ///< distributed pre-pass (zeros when off)
 
   /// One diagnostics line for bench stderr banners.
   [[nodiscard]] std::string summary() const;
@@ -98,6 +100,17 @@ class StudyGraph {
   /// MSIM_GRAPH_PREFETCH (set to "0" to disable). Bitwise-invisible in
   /// study results either way.
   StudyGraph& prefetch(bool enabled);
+  /// Distribute stage work across worker processes before the in-process
+  /// pool runs: build_all() computes a shard plan from the queued specs
+  /// (skipping already-cached artifacts), dispatches it via
+  /// run_shard_plan, and then lowers and executes as usual — every node
+  /// whose artifact a worker stored becomes a cache hit, so results stay
+  /// byte-identical to an undistributed build. Requires cache(true).
+  /// Without this call, distribution is opted into from the environment
+  /// (MSIM_DIST_WORKERS > 0 + MSIM_WORKER_CMD; see DistOptions::from_env),
+  /// silently ignored when the cache is off or the build is nested inside
+  /// a scheduler worker.
+  StudyGraph& distribute(DistOptions options);
 
   /// Queue a study; returns its handle. Must precede build_all().
   std::size_t add_study(StudySpec spec);

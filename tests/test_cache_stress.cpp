@@ -11,13 +11,20 @@
 // stays fast under TSan/ASan, where it earns its keep.
 #include <gtest/gtest.h>
 
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
+
+extern char** environ;
 
 #include "machine/registry.hpp"
 #include "pipeline/artifact_cache.hpp"
@@ -121,6 +128,130 @@ TEST(CacheStress, ChurnUnderTightCapNeverReturnsWrongData) {
   EXPECT_TRUE(fresh.index_consistent());
   std::size_t survivors = 0;
   for (std::size_t i = 0; i < kPool; ++i) {
+    if (const auto loaded = fresh.load(names[i])) {
+      ++survivors;
+      EXPECT_EQ(*loaded, contents[i]) << names[i];
+    }
+  }
+  EXPECT_GT(survivors, 0u);
+  fs::remove_all(dir);
+}
+
+/// Churn body shared by the in-process threads test and the spawned
+/// child processes: one ArtifactCache instance, `threads` threads mixing
+/// loads and stores over the standard entry pool. Returns the number of
+/// loads that saw wrong bytes (the inviolable zero).
+int churn_instance(const std::string& dir, std::uint64_t cap,
+                   unsigned threads, unsigned seed_base, int ops) {
+  std::vector<std::string> names;
+  std::vector<std::string> contents;
+  for (std::size_t i = 0; i < 32; ++i) {
+    names.push_back("stress-" + std::to_string(i) + ".txt");
+    contents.push_back(expected_content(i));
+  }
+  const ArtifactCache cache(dir, cap);
+  std::atomic<int> wrong_reads{0};
+  auto worker = [&](unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, names.size() - 1);
+    std::uniform_int_distribution<int> coin(0, 99);
+    for (int op = 0; op < ops; ++op) {
+      const std::size_t id = pick(rng);
+      if (coin(rng) < 55) {
+        if (const auto loaded = cache.load(names[id])) {
+          if (*loaded != contents[id]) {
+            wrong_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } else {
+        cache.store(names[id], contents[id]);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker, seed_base + t);
+  }
+  for (auto& thread : pool) thread.join();
+  return wrong_reads.load();
+}
+
+/// Child-process half of the multi-process churn test. The suite name is
+/// deliberately NOT "CacheStress": gtest filters treat '.' literally, so
+/// CI's `CacheStress.*` filters never run this helper directly — it only
+/// executes when the parent test spawns this binary with an explicit
+/// filter and the MSIM_CHURN_* env set.
+TEST(CacheStressChild, Churn) {
+  const char* dir = std::getenv("MSIM_CHURN_DIR");
+  const char* cap = std::getenv("MSIM_CHURN_CAP");
+  const char* seed = std::getenv("MSIM_CHURN_SEED");
+  if (dir == nullptr || cap == nullptr || seed == nullptr) {
+    GTEST_SKIP() << "child helper; run via MultiProcessChurn";
+  }
+  EXPECT_EQ(churn_instance(dir, std::strtoull(cap, nullptr, 10), 2,
+                           static_cast<unsigned>(std::atoi(seed)), 80),
+            0);
+}
+
+TEST(CacheStress, MultiProcessChurnSelfHealsSharedIndex) {
+  // True cross-process churn — the exact regime distributed workers
+  // create: several processes (not instances) hammer one MSIM_CACHE_DIR
+  // under a tight MSIM_CACHE_MAX_BYTES, coordinating only through flock
+  // and atomic renames.
+  const fs::path dir = scratch_cache("stress-multiproc");
+
+  std::uint64_t pool_bytes = 0;
+  std::vector<std::string> names;
+  std::vector<std::string> contents;
+  for (std::size_t i = 0; i < 32; ++i) {
+    names.push_back("stress-" + std::to_string(i) + ".txt");
+    contents.push_back(expected_content(i));
+    pool_bytes += contents.back().size();
+  }
+  const std::uint64_t cap = pool_bytes / 4;
+
+  char exe[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+  ASSERT_GT(len, 0);
+  exe[len] = '\0';
+
+  ::setenv("MSIM_CHURN_DIR", dir.string().c_str(), 1);
+  ::setenv("MSIM_CHURN_CAP", std::to_string(cap).c_str(), 1);
+
+  constexpr int kChildren = 4;
+  std::vector<pid_t> children;
+  std::string filter = "--gtest_filter=CacheStressChild.Churn";
+  std::string brief = "--gtest_brief=1";
+  char* argv[] = {exe, filter.data(), brief.data(), nullptr};
+  for (int c = 0; c < kChildren; ++c) {
+    ::setenv("MSIM_CHURN_SEED", std::to_string(100 * (c + 1)).c_str(), 1);
+    pid_t pid = -1;
+    ASSERT_EQ(::posix_spawn(&pid, exe, nullptr, nullptr, argv, environ), 0);
+    children.push_back(pid);
+  }
+  ::unsetenv("MSIM_CHURN_DIR");
+  ::unsetenv("MSIM_CHURN_CAP");
+  ::unsetenv("MSIM_CHURN_SEED");
+
+  for (pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    // A child that saw a wrong read (or crashed) fails its own gtest run
+    // and exits non-zero.
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child exit status " << status;
+  }
+
+  // Quiesced: even after deleting the index outright (the worst crash any
+  // process could leave behind), a fresh instance re-adopts the payload
+  // files, and an explicit rebuild lands consistent — with every survivor
+  // still byte-exact.
+  fs::remove(dir / "index.msim");
+  const ArtifactCache fresh(dir.string(), cap);
+  fresh.rebuild_index();
+  EXPECT_TRUE(fresh.index_consistent());
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
     if (const auto loaded = fresh.load(names[i])) {
       ++survivors;
       EXPECT_EQ(*loaded, contents[i]) << names[i];

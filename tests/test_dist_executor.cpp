@@ -1,0 +1,472 @@
+// Distributed StudyGraph: protocol unit tests, coordinator-vs-in-process
+// byte-identity, and fault-injection recovery.
+//
+// The parity tests spawn real `msim worker` processes (MSIM_CLI_PATH, set
+// by CMake to the msim_cli binary) against a scratch cache directory and
+// compare canonical text renderings of everything a study exposes —
+// observations, probe sets, signatures — between an in-process build and
+// a distributed one. The fault tests then inject each MSIM_TEST_WORKER_FAULT
+// class and require the exact same bytes again, plus a `dist.retry` tick
+// proving recovery actually ran (for the fault classes that retry).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/config_io.hpp"
+#include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "pipeline/dist_executor.hpp"
+#include "pipeline/dist_protocol.hpp"
+#include "pipeline/stage_tasks.hpp"
+#include "pipeline/study_builder.hpp"
+#include "pipeline/study_graph.hpp"
+#include "probes/probe_io.hpp"
+#include "simulate/observation_io.hpp"
+#include "trace/signature_io.hpp"
+#include "workload/app_io.hpp"
+#include "workload/apps.hpp"
+
+namespace msim::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("msim-test-" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// The distributed-executor tests must not inherit distribution or fault
+/// settings from the invoking environment.
+class DistEnvFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name :
+         {"MSIM_DIST_WORKERS", "MSIM_WORKER_CMD", "MSIM_DIST_PLAN",
+          "MSIM_DIST_RECORD_DIR", "MSIM_DIST_TIMEOUT_S", "MSIM_DIST_RETRIES",
+          "MSIM_TEST_WORKER_FAULT", "MSIM_TEST_WORKER_FAULT_SENTINEL"}) {
+      ::unsetenv(name);
+    }
+  }
+  void TearDown() override { SetUp(); }
+};
+
+using DistProtocol = DistEnvFixture;
+using DistExecutor = DistEnvFixture;
+
+/// A trimmed paper study — a few targets, two applications — big enough
+/// to exercise every unit kind (probes, traces, ground-truth chunks +
+/// assembly) while keeping each spawned build fast.
+StudySpec small_spec() {
+  StudySpec spec = paper_spec();
+  spec.targets.resize(3);
+  spec.suite.resize(2);
+  return spec;
+}
+
+/// Canonical text rendering of everything a study exposes; equality here
+/// means a distributed build produced bit-identical science.
+std::string study_fingerprint(const metrics::Study& study) {
+  std::string out = simulate::to_text(study.observations());
+  out += probes::to_text(study.probe_set(study.base_machine()));
+  for (const auto& name : study.target_names()) {
+    out += probes::to_text(study.probe_set(name));
+  }
+  for (const auto& test_case : study.suite()) {
+    for (const int nprocs : test_case.cpu_counts) {
+      out += trace::to_text(study.signature(test_case.name, nprocs));
+    }
+  }
+  return out;
+}
+
+metrics::Study build_in_process(const fs::path& cache) {
+  StudyGraph graph;
+  graph.cache(true).cache_dir(cache.string());
+  const std::size_t handle = graph.add_study(small_spec());
+  graph.build_all();
+  return graph.take_study(handle);
+}
+
+metrics::Study build_distributed(const fs::path& cache, DistOptions options,
+                                 DistStats* stats_out = nullptr) {
+  if (options.worker_cmd.empty()) options.worker_cmd = MSIM_CLI_PATH;
+  StudyGraph graph;
+  graph.cache(true).cache_dir(cache.string()).distribute(options);
+  const std::size_t handle = graph.add_study(small_spec());
+  graph.build_all();
+  if (stats_out != nullptr) *stats_out = graph.stats().dist;
+  return graph.take_study(handle);
+}
+
+std::uint64_t retry_count() {
+  return obs::Registry::instance().counter("dist.retry").value();
+}
+
+// --- protocol ----------------------------------------------------------
+
+TEST_F(DistProtocol, UnitJsonRoundTripsEveryKindLosslessly) {
+  const auto machine = machine::find("ARL_Xeon");
+
+  WorkUnit probe;
+  probe.kind = WorkUnit::Kind::Probe;
+  probe.artifact = probe_artifact_name(machine);
+  probe.machine_text = machine::to_text(machine);
+
+  WorkUnit trace;
+  trace.kind = WorkUnit::Kind::Trace;
+  trace.artifact = "sig-abc.txt";
+  trace.base = "ASC_SGI_O3900";
+  trace.app_text = "app text\nwith \"quotes\"\n";
+  // Full-width seeds: a JSON double would round these past 2^53.
+  trace.tracer.seed = 0xFFFFFFFFFFFFFF01ull;
+  trace.tracer.sample_refs = (1ull << 60) + 7;
+
+  WorkUnit gt;
+  gt.kind = WorkUnit::Kind::GtItem;
+  gt.artifact = ground_truth_chunk_name(0x1234, 3);
+  gt.app_name = "AVUS_Standard";
+  gt.nprocs = 64;
+  gt.app_text = "gt app";
+  gt.machine_texts = {machine::to_text(machine), "other machine text"};
+  gt.executor.noise_salt = 0xFFFFFFFFFFFFFFF3ull;
+  gt.executor.noise_amplitude = 0.123456789012345678;
+  gt.executor.apply_conflicts = false;
+
+  for (const WorkUnit& unit : {probe, trace, gt}) {
+    const WorkUnit back = unit_from_json(json::parse(unit_to_json(unit)));
+    EXPECT_EQ(back.kind, unit.kind);
+    EXPECT_EQ(back.artifact, unit.artifact);
+    EXPECT_EQ(back.machine_text, unit.machine_text);
+    EXPECT_EQ(back.app_text, unit.app_text);
+    EXPECT_EQ(back.base, unit.base);
+    EXPECT_EQ(back.app_name, unit.app_name);
+    EXPECT_EQ(back.nprocs, unit.nprocs);
+    EXPECT_EQ(back.machine_texts, unit.machine_texts);
+    EXPECT_EQ(back.tracer.seed, unit.tracer.seed);
+    EXPECT_EQ(back.tracer.sample_refs, unit.tracer.sample_refs);
+    EXPECT_EQ(back.executor.noise_salt, unit.executor.noise_salt);
+    EXPECT_EQ(back.executor.noise_amplitude, unit.executor.noise_amplitude);
+    EXPECT_EQ(back.executor.apply_conflicts, unit.executor.apply_conflicts);
+  }
+}
+
+TEST_F(DistProtocol, ShardPlanRoundTripsThroughJson) {
+  ShardPlan plan;
+  WorkUnit unit;
+  unit.kind = WorkUnit::Kind::Probe;
+  unit.artifact = "probe-1.bin";
+  unit.machine_text = "machine";
+  plan.units.push_back(unit);
+  GtAssembly assembly;
+  assembly.artifact = ground_truth_artifact_name(0xfeed);
+  assembly.chunks = {ground_truth_chunk_name(0xfeed, 0),
+                     ground_truth_chunk_name(0xfeed, 1)};
+  plan.assemblies.push_back(assembly);
+
+  const ShardPlan back = plan_from_json(plan_to_json(plan));
+  ASSERT_EQ(back.units.size(), 1u);
+  EXPECT_EQ(back.units[0].artifact, "probe-1.bin");
+  ASSERT_EQ(back.assemblies.size(), 1u);
+  EXPECT_EQ(back.assemblies[0].artifact, assembly.artifact);
+  EXPECT_EQ(back.assemblies[0].chunks, assembly.chunks);
+}
+
+TEST_F(DistProtocol, RequestLineCarriesIdAndReplyRoundTrips) {
+  WorkUnit unit;
+  unit.kind = WorkUnit::Kind::Probe;
+  unit.artifact = "a.bin";
+  unit.machine_text = "m";
+  const std::string line = request_line(42, unit);
+  EXPECT_EQ(line.back(), '\n');
+  const json::Value doc = json::parse(line);
+  EXPECT_EQ(doc.number_or("id", 0), 42.0);
+  EXPECT_EQ(doc.string_or("op", ""), "probe");
+
+  WorkerReply ok;
+  ok.status = WorkerReply::Status::Ok;
+  ok.id = 7;
+  ok.cached = true;
+  ok.seconds = 0.25;
+  const auto ok_back = parse_reply(reply_line(ok));
+  ASSERT_TRUE(ok_back.has_value());
+  EXPECT_EQ(ok_back->status, WorkerReply::Status::Ok);
+  EXPECT_EQ(ok_back->id, 7u);
+  EXPECT_TRUE(ok_back->cached);
+
+  WorkerReply bye;
+  bye.status = WorkerReply::Status::Bye;
+  bye.id = 8;
+  bye.peak_rss_kb = 12345;
+  const auto bye_back = parse_reply(reply_line(bye));
+  ASSERT_TRUE(bye_back.has_value());
+  EXPECT_EQ(bye_back->peak_rss_kb, 12345);
+
+  WorkerReply error;
+  error.status = WorkerReply::Status::Error;
+  error.id = 9;
+  error.message = "boom \"quoted\"";
+  const auto error_back = parse_reply(reply_line(error));
+  ASSERT_TRUE(error_back.has_value());
+  EXPECT_EQ(error_back->message, "boom \"quoted\"");
+}
+
+TEST_F(DistProtocol, MalformedRepliesParseToNullopt) {
+  // Every shape a dying or garbled worker can emit: the coordinator must
+  // see nullopt (→ kill + retry), never a bogus parse.
+  for (const char* line :
+       {"", "\n", "!!! not json at all\n", "{\"id\":1,\"status\":\"ok\"\n",
+        "{\"status\":\"ok\",\"cached\":true}\n",
+        "{\"id\":1,\"status\":\"weird\"}\n", "{\"id\":1}\n",
+        "{\"id\":1,\"status\":\"ok\"}\n", "[1,2,3]\n", "42\n"}) {
+    EXPECT_FALSE(parse_reply(line).has_value()) << "line: " << line;
+  }
+}
+
+TEST_F(DistProtocol, WorkerLoopAnswersRequestsAndExits) {
+  const fs::path dir = scratch_dir("dist-worker-loop");
+  const ArtifactCache cache(dir.string(), 0);
+  const auto machine = machine::find("ARL_Xeon");
+
+  WorkUnit unit;
+  unit.kind = WorkUnit::Kind::Probe;
+  unit.artifact = probe_artifact_name(machine);
+  unit.machine_text = machine::to_text(machine);
+
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  const std::string requests = request_line(1, unit) + exit_request_line(2);
+  std::fputs(requests.c_str(), in);
+  std::rewind(in);
+
+  EXPECT_EQ(run_worker_loop(in, out, cache), 0);
+
+  std::rewind(out);
+  char line[4096];
+  ASSERT_NE(std::fgets(line, sizeof line, out), nullptr);
+  const auto first = parse_reply(line);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->status, WorkerReply::Status::Ok);
+  EXPECT_EQ(first->id, 1u);
+  ASSERT_NE(std::fgets(line, sizeof line, out), nullptr);
+  const auto second = parse_reply(line);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->status, WorkerReply::Status::Bye);
+  EXPECT_GT(second->peak_rss_kb, 0);
+
+  // The unit's artifact landed in the shared cache, and it parses back to
+  // exactly what an in-process probe stage computes.
+  const auto cached = try_probe_cache(machine, cache);
+  ASSERT_TRUE(cached.has_value());
+  std::fclose(in);
+  std::fclose(out);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistProtocol, WorkerLoopRejectsMalformedRequest) {
+  const fs::path dir = scratch_dir("dist-worker-bad");
+  const ArtifactCache cache(dir.string(), 0);
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::fputs("this is not a request\n", in);
+  std::rewind(in);
+  EXPECT_EQ(run_worker_loop(in, out, cache), 1);
+  std::rewind(out);
+  char line[4096];
+  ASSERT_NE(std::fgets(line, sizeof line, out), nullptr);
+  const auto reply = parse_reply(line);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, WorkerReply::Status::Error);
+  std::fclose(in);
+  std::fclose(out);
+  fs::remove_all(dir);
+}
+
+// --- coordinator parity ------------------------------------------------
+
+TEST_F(DistExecutor, DistributedBuildIsByteIdenticalToInProcess) {
+  const fs::path dir_a = scratch_dir("dist-parity-a");
+  const fs::path dir_b = scratch_dir("dist-parity-b");
+  const fs::path plan_path = scratch_dir("dist-parity-plan") / "plan.json";
+  fs::create_directories(plan_path.parent_path());
+
+  const std::string reference =
+      study_fingerprint(build_in_process(dir_a));
+
+  DistOptions options;
+  options.workers = 2;
+  options.plan_path = plan_path.string();
+  DistStats stats;
+  const std::string distributed =
+      study_fingerprint(build_distributed(dir_b, options, &stats));
+
+  EXPECT_EQ(distributed, reference);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_GT(stats.units, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.assemblies, 1u);
+  EXPECT_GT(stats.max_worker_rss_kb, 0);
+
+  // The shard plan the coordinator wrote is valid JSON and round-trips.
+  std::ifstream plan_in(plan_path);
+  ASSERT_TRUE(plan_in.good());
+  std::stringstream buffer;
+  buffer << plan_in.rdbuf();
+  const ShardPlan plan = plan_from_json(buffer.str());
+  EXPECT_EQ(plan.units.size(), stats.units);
+
+  // A second distributed build over the same cache is all cache, no work.
+  DistStats warm;
+  const std::string rebuilt =
+      study_fingerprint(build_distributed(dir_b, options, &warm));
+  EXPECT_EQ(rebuilt, reference);
+  EXPECT_EQ(warm.units, 0u);
+
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+  fs::remove_all(plan_path.parent_path());
+}
+
+/// One fault-injection round: inject `fault` on the first request, build
+/// distributed, and require byte-identity with `reference` plus at least
+/// one `dist.retry` tick (recovery actually fired).
+void expect_recovery(const std::string& fault, const std::string& reference,
+                     double timeout_seconds = 300.0) {
+  const fs::path dir = scratch_dir("dist-fault-" + fault);
+  const fs::path sentinel =
+      fs::temp_directory_path() / ("msim-fault-" + fault + ".sentinel");
+  fs::remove(sentinel);
+  ::setenv("MSIM_TEST_WORKER_FAULT", (fault + ":1").c_str(), 1);
+  ::setenv("MSIM_TEST_WORKER_FAULT_SENTINEL", sentinel.c_str(), 1);
+
+  DistOptions options;
+  options.workers = 2;
+  options.unit_timeout_seconds = timeout_seconds;
+  const std::uint64_t retries_before = retry_count();
+  DistStats stats;
+  const std::string distributed =
+      study_fingerprint(build_distributed(dir, options, &stats));
+
+  EXPECT_EQ(distributed, reference) << "fault class: " << fault;
+  EXPECT_GE(retry_count(), retries_before + 1) << "fault class: " << fault;
+  EXPECT_GE(stats.retries, 1u);
+  // The fault fired exactly once (sentinel claimed), so the retried unit
+  // succeeded on a respawned worker.
+  EXPECT_TRUE(fs::exists(sentinel));
+
+  ::unsetenv("MSIM_TEST_WORKER_FAULT");
+  ::unsetenv("MSIM_TEST_WORKER_FAULT_SENTINEL");
+  fs::remove(sentinel);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, WorkerCrashMidNodeRecoversByteIdentical) {
+  const fs::path dir = scratch_dir("dist-fault-ref");
+  const std::string reference = study_fingerprint(build_in_process(dir));
+  expect_recovery("crash", reference);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, WorkerHangPastTimeoutRecoversByteIdentical) {
+  const fs::path dir = scratch_dir("dist-fault-ref");
+  const std::string reference = study_fingerprint(build_in_process(dir));
+  // Tight unit deadline so the injected 1000 s hang trips quickly.
+  expect_recovery("hang", reference, 2.0);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, CorruptArtifactFromDyingWorkerIsCaughtByChecksum) {
+  const fs::path dir = scratch_dir("dist-fault-ref");
+  const std::string reference = study_fingerprint(build_in_process(dir));
+  // The worker reports ok but leaves a payload whose bytes no longer
+  // match the index checksum; the coordinator's verifying load must turn
+  // that into a retry (cache v2 integrity), never into wrong data.
+  expect_recovery("corrupt", reference);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, GarbledReplyStreamDegradesToRetry) {
+  const fs::path dir = scratch_dir("dist-fault-ref");
+  const std::string reference = study_fingerprint(build_in_process(dir));
+  expect_recovery("garble", reference);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, WorkerErrorPropagatesAsFirstErrorWithoutRetries) {
+  // A unit that fails deterministically (artifact name contradicts its
+  // machine) must surface the worker's error message once, not burn the
+  // retry budget repeating it.
+  const fs::path dir = scratch_dir("dist-error");
+  const ArtifactCache cache(dir.string(), 0);
+  ShardPlan plan;
+  WorkUnit unit;
+  unit.kind = WorkUnit::Kind::Probe;
+  unit.artifact = "probe-0000000000000000.bin";  // wrong on purpose
+  unit.machine_text = machine::to_text(machine::find("ARL_Xeon"));
+  plan.units.push_back(unit);
+
+  DistOptions options;
+  options.workers = 1;
+  options.worker_cmd = MSIM_CLI_PATH;
+  const std::uint64_t retries_before = retry_count();
+  try {
+    (void)run_shard_plan(plan, cache, options);
+    FAIL() << "expected run_shard_plan to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("does not match"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(retry_count(), retries_before);
+  fs::remove_all(dir);
+}
+
+TEST_F(DistExecutor, RetryExhaustionThrowsNamingTheUnit) {
+  // Every dispatch crashes (fault fires on request 1 of every worker and
+  // the sentinel is never claimable twice — so use per-attempt sentinels
+  // via a fresh env-less claim: simplest is no sentinel claim at all,
+  // i.e. fault sentinel in a directory we keep deleting). Instead, spawn
+  // a worker command that is not a worker at all: every reply is
+  // malformed, so the unit burns its retries and the coordinator throws.
+  const fs::path dir = scratch_dir("dist-exhaust");
+  const ArtifactCache cache(dir.string(), 0);
+  ShardPlan plan;
+  WorkUnit unit;
+  unit.kind = WorkUnit::Kind::Probe;
+  unit.artifact = probe_artifact_name(machine::find("ARL_Xeon"));
+  unit.machine_text = machine::to_text(machine::find("ARL_Xeon"));
+  plan.units.push_back(unit);
+
+  DistOptions options;
+  options.workers = 1;
+  options.worker_cmd = "/bin/cat";  // echoes requests: malformed replies
+  options.max_retries = 1;
+  const std::uint64_t retries_before = retry_count();
+  try {
+    (void)run_shard_plan(plan, cache, options);
+    FAIL() << "expected run_shard_plan to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(unit.artifact),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_EQ(retry_count(), retries_before + 2);  // initial + 1 retry
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace msim::pipeline

@@ -1,9 +1,14 @@
 #include "commands.hpp"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <optional>
+
+#include "obs/run_record.hpp"
+#include "pipeline/dist_protocol.hpp"
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -114,7 +119,12 @@ void print_usage() {
       "                                   dump a TI-05 app model as text\n"
       "  predict-custom <app-file> <machine> [--metric M]\n"
       "                                   trace + predict a user-defined "
-      "app\n\n"
+      "app\n"
+      "  worker [--cache-dir DIR] [--cache-max-bytes N] [--worker-id K]\n"
+      "                                   distributed-build worker "
+      "(spawned by the coordinator;\n"
+      "                                   JSON requests on stdin, replies "
+      "on stdout)\n\n"
       "telemetry (any command): --trace[=FILE] write a Chrome trace "
       "(default trace.json),\n"
       "  --metrics print a metrics table to stderr at exit; env "
@@ -347,6 +357,31 @@ int cmd_predict_custom(const Args& raw_args) {
   std::printf("  \"actual\" on target:     %9.0f s  (error %+.1f%%)\n",
               actual, stats::signed_percent_error(predicted, actual));
   return 0;
+}
+
+int cmd_worker(const Args& raw_args) {
+  Args args = raw_args;
+  const auto cache_dir = take_option(args, "--cache-dir");
+  const auto cache_max = take_option(args, "--cache-max-bytes");
+  const auto worker_id = take_option(args, "--worker-id");
+  if (!args.empty()) {
+    return usage_error(
+        "worker takes only --cache-dir DIR --cache-max-bytes N "
+        "--worker-id K");
+  }
+  // One compute thread per worker process: the coordinator owns the
+  // fan-out, so a worker that spawned its own pool would oversubscribe.
+  ::setenv("MSIM_THREADS", "1", 1);
+  std::uint64_t max_bytes = 0;
+  if (cache_max) {
+    max_bytes = std::strtoull(cache_max->c_str(), nullptr, 10);
+  }
+  const pipeline::ArtifactCache cache(
+      cache_dir ? *cache_dir : std::string{}, max_bytes);
+  if (worker_id) obs::record_run_info("dist_worker", *worker_id);
+  // Replies go to stdout (nothing else in the process writes there);
+  // diagnostics stay on stderr as everywhere in msim.
+  return pipeline::run_worker_loop(stdin, stdout, cache);
 }
 
 }  // namespace msim::cli

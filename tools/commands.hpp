@@ -18,6 +18,7 @@ int cmd_rank(const Args& args);           ///< rank all systems for an app
 int cmd_campaign(const Args& args);       ///< the full Table-4 study
 int cmd_export_app(const Args& args);     ///< dump a TI-05 app model to text
 int cmd_predict_custom(const Args& args); ///< predict a user-defined app
+int cmd_worker(const Args& args);         ///< distributed-build worker loop
 
 /// Print top-level usage.
 void print_usage();

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       {"campaign", cmd_campaign},
       {"export-app", cmd_export_app},
       {"predict-custom", cmd_predict_custom},
+      {"worker", cmd_worker},
   };
 
   if (argc < 2) {
