@@ -1,0 +1,259 @@
+// Resident-serving traffic bench: latency and throughput of `msim serve`.
+//
+// Starts the Unix-socket front-end in-process on a background thread
+// (study built once through the artifact cache — run it twice to compare
+// a cold build against a warm mmap-served start), then drives it with
+// closed-loop client threads issuing predict queries over every
+// (application, count, target) configuration in the study. Every reply is
+// byte-compared against answering the same request line directly, so the
+// run doubles as a concurrency parity check: batching queries onto the
+// scheduler must not change a single output byte.
+//
+// Output discipline: stdout carries only the banner, the traffic mix and
+// the parity verdict — byte-identical across runs and across cold/warm
+// caches, so CI can diff it directly. Latency percentiles, throughput and
+// the daemon's stats reply depend on the host and go to stderr.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parse.hpp"
+#include "common/table.hpp"
+#include "pipeline/study_builder.hpp"
+#include "serve/serve_protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Blocking connect with retries while the server thread binds the socket.
+int connect_with_retry(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one newline-terminated reply (leftover bytes stay in `buffer`).
+bool read_reply(int fd, std::string& buffer, std::string& reply) {
+  while (true) {
+    const std::size_t end = buffer.find('\n');
+    if (end != std::string::npos) {
+      reply = buffer.substr(0, end + 1);
+      buffer.erase(0, end + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t low = static_cast<std::size_t>(rank);
+  const std::size_t high = std::min(low + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(low);
+  return sorted[low] * (1.0 - frac) + sorted[high] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::banner(argc, argv, "serve_traffic",
+                "resident serving latency/throughput + batch parity");
+
+  std::size_t total_queries = 1200;
+  unsigned clients = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::optional<std::string> {
+      if (arg == flag && i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
+    };
+    if (const auto text = value("--queries")) {
+      const auto parsed = parse_u64(*text);
+      if (parsed && *parsed > 0) {
+        total_queries = static_cast<std::size_t>(*parsed);
+      }
+    } else if (const auto text = value("--clients")) {
+      const auto parsed = parse_unsigned(*text);
+      if (parsed && *parsed > 0) clients = *parsed;
+    }
+  }
+
+  // The resident service: study built once (cold = compute + fill the
+  // cache, warm = mmap-served artifacts), served over a scratch socket.
+  pipeline::StudyBuilder builder;
+  builder.cache(true).cache_dir(bench::cache_dir());
+  const serve::PredictionService service(builder.build());
+  std::fprintf(stderr, "(%s)\n", builder.stats().summary().c_str());
+
+  const std::string socket_path =
+      "/tmp/msim-serve-" + std::to_string(::getpid()) + ".sock";
+  std::thread server([&] {
+    (void)serve::run_socket_server(socket_path, service);
+  });
+
+  // The traffic mix: every (application, count, target) configuration the
+  // study holds, all metrics per query, ids assigned round-robin.
+  std::vector<std::string> requests;
+  {
+    const auto& study = service.study();
+    std::uint64_t id = 0;
+    while (requests.size() < total_queries) {
+      for (const auto& test_case : study.suite()) {
+        for (const int nprocs : test_case.cpu_counts) {
+          for (const auto& machine : study.target_names()) {
+            if (requests.size() >= total_queries) break;
+            serve::ServeRequest request;
+            request.op = serve::ServeRequest::Op::Predict;
+            request.id = ++id;
+            request.app = test_case.name;
+            request.nprocs = nprocs;
+            request.machine = machine;
+            requests.push_back(serve::request_line(request));
+          }
+        }
+      }
+    }
+  }
+  std::printf("traffic: %zu predict queries over %zu configurations, "
+              "%u concurrent clients\n",
+              requests.size(),
+              service.study().suite().size() * 3 *
+                  service.study().target_names().size(),
+              clients);
+
+  // Closed-loop clients: each thread owns one connection and round-trips
+  // its share of the request list, checking every reply byte-for-byte
+  // against the direct (unbatched, single-threaded) answer.
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> transport_errors{0};
+  const auto traffic_start = Clock::now();
+  std::vector<std::thread> pool;
+  for (unsigned c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      const int fd = connect_with_retry(socket_path);
+      if (fd < 0) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      std::string reply;
+      while (true) {
+        const std::size_t index = next.fetch_add(1);
+        if (index >= requests.size()) break;
+        const auto start = Clock::now();
+        if (!send_all(fd, requests[index]) ||
+            !read_reply(fd, buffer, reply)) {
+          transport_errors.fetch_add(1);
+          break;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double>(Clock::now() - start).count());
+        if (reply != service.answer_line(requests[index]).line) {
+          mismatches.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& client : pool) client.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - traffic_start).count();
+
+  // Ask the daemon for its own counters, then stop it.
+  {
+    const int fd = connect_with_retry(socket_path);
+    if (fd >= 0) {
+      std::string buffer;
+      std::string reply;
+      if (send_all(fd, "{\"op\":\"stats\",\"id\":0}\n") &&
+          read_reply(fd, buffer, reply)) {
+        if (!reply.empty() && reply.back() == '\n') reply.pop_back();
+        std::fprintf(stderr, "(daemon %s)\n", reply.c_str());
+      }
+      if (send_all(fd, "{\"op\":\"shutdown\",\"id\":0}\n") &&
+          read_reply(fd, buffer, reply)) {
+        // ack drained; the server loop is exiting
+      }
+      ::close(fd);
+    }
+  }
+  server.join();
+
+  // Host-dependent numbers on stderr; the diffable verdict on stdout.
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  AsciiTable table({"Measure", "Value"});
+  table.set_align(1, Align::Right);
+  table.add_row({"queries answered", std::to_string(all.size())});
+  table.add_row({"p50 latency",
+                 AsciiTable::num(percentile(all, 0.50) * 1e3, 3) + " ms"});
+  table.add_row({"p99 latency",
+                 AsciiTable::num(percentile(all, 0.99) * 1e3, 3) + " ms"});
+  table.add_row({"throughput",
+                 AsciiTable::num(static_cast<double>(all.size()) / elapsed,
+                                 0) +
+                     " queries/s"});
+  std::fprintf(stderr, "serve_traffic latency (%u clients):\n%s", clients,
+               table.render().c_str());
+
+  const std::size_t answered = all.size();
+  std::printf("parity: %zu/%zu replies byte-identical to the direct "
+              "answer, %zu mismatches, %zu transport errors\n",
+              answered - mismatches.load(), requests.size(),
+              mismatches.load(), transport_errors.load());
+  return (mismatches.load() == 0 && transport_errors.load() == 0 &&
+          answered == requests.size())
+             ? 0
+             : 1;
+}

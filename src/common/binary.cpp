@@ -11,8 +11,18 @@ namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'B', 'F'};
 constexpr std::uint32_t kFrameVersion = 1;
-// magic + version + kind + payload length + payload checksum.
+constexpr std::uint32_t kChunkedFrameVersion = 2;
+// v1: magic + version + kind + payload length + payload checksum.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+// v2: magic + version + kind + chunk count + total frame length.
+constexpr std::size_t kChunkedHeaderBytes = 4 + 4 + 4 + 4 + 8;
+// v2 directory row: chunk offset + length + checksum.
+constexpr std::size_t kDirectoryRowBytes = 8 + 8 + 8;
+constexpr std::size_t kChunkAlign = 8;
+
+constexpr std::size_t align_up(std::size_t value) {
+  return (value + (kChunkAlign - 1)) & ~(kChunkAlign - 1);
+}
 
 }  // namespace
 
@@ -69,7 +79,7 @@ double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
 std::string BinaryReader::str() {
   const std::uint64_t size = u64();
   MSIM_REQUIRE(remaining() >= size, "binary payload truncated");
-  std::string value = data_.substr(pos_, size);
+  std::string value(data_.substr(pos_, size));
   pos_ += size;
   return value;
 }
@@ -87,7 +97,7 @@ std::string frame_payload(ArtifactKind kind, const std::string& payload) {
   return framed;
 }
 
-std::string unframe_payload(ArtifactKind kind, const std::string& framed) {
+std::string unframe_payload(ArtifactKind kind, std::string_view framed) {
   MSIM_REQUIRE(framed.size() >= kHeaderBytes,
                "framed artifact truncated before header end");
   MSIM_REQUIRE(is_framed(framed), "framed artifact has wrong magic");
@@ -105,15 +115,143 @@ std::string unframe_payload(ArtifactKind kind, const std::string& framed) {
   const std::uint64_t checksum = reader.u64();
   MSIM_REQUIRE(reader.remaining() == payload_bytes,
                "framed artifact length mismatch (truncated or padded)");
-  std::string payload = framed.substr(kHeaderBytes);
+  std::string payload(framed.substr(kHeaderBytes));
   MSIM_REQUIRE(Fnv1a{}.update(payload).digest() == checksum,
                "framed artifact checksum mismatch (corrupt payload)");
   return payload;
 }
 
-bool is_framed(const std::string& data) {
+bool is_framed(std::string_view data) {
   return data.size() >= sizeof(kMagic) &&
          std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+std::uint32_t frame_version(std::string_view data) {
+  if (!is_framed(data) || data.size() < 8) return 0;
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data[4 + i]))
+               << (8 * i);
+  }
+  return version;
+}
+
+std::string frame_chunked_payload(ArtifactKind kind,
+                                  const std::vector<std::string>& chunks) {
+  const std::size_t directory_bytes = chunks.size() * kDirectoryRowBytes;
+  // First chunk lands right after the directory checksum; the header,
+  // directory rows and checksum are all multiples of 8 bytes, so it is
+  // already 8-aligned.
+  std::size_t offset = kChunkedHeaderBytes + directory_bytes + 8;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(chunks.size());
+  for (const std::string& chunk : chunks) {
+    offset = align_up(offset);
+    offsets.push_back(offset);
+    offset += chunk.size();
+  }
+  const std::size_t total_bytes = offset;
+
+  std::string framed;
+  framed.reserve(total_bytes);
+  framed.append(kMagic, sizeof(kMagic));
+  BinaryWriter header;
+  header.u32(kChunkedFrameVersion);
+  header.u32(static_cast<std::uint32_t>(kind));
+  header.u32(static_cast<std::uint32_t>(chunks.size()));
+  header.u64(total_bytes);
+  // Raw-byte digests (no length prefix): chunk lengths are explicit in
+  // the directory, and the reader hashes views straight off the mapping.
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    header.u64(offsets[i]);
+    header.u64(chunks[i].size());
+    header.u64(
+        Fnv1a{}.update(chunks[i].data(), chunks[i].size()).digest());
+  }
+  framed.append(header.bytes());
+  {
+    BinaryWriter directory_checksum;
+    directory_checksum.u64(
+        Fnv1a{}.update(framed.data(), framed.size()).digest());
+    framed.append(directory_checksum.bytes());
+  }
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    framed.resize(offsets[i], '\0');  // alignment padding
+    framed.append(chunks[i]);
+  }
+  return framed;
+}
+
+ChunkedFrameView::ChunkedFrameView(ArtifactKind kind,
+                                   std::string_view frame) {
+  MSIM_REQUIRE(frame.size() >= kChunkedHeaderBytes + 8,
+               "chunked frame truncated before header end");
+  MSIM_REQUIRE(is_framed(frame), "framed artifact has wrong magic");
+  BinaryReader reader(frame);
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) (void)reader.u8();
+  const std::uint32_t version = reader.u32();
+  MSIM_REQUIRE(version == kChunkedFrameVersion,
+               "unsupported chunked frame version " +
+                   std::to_string(version));
+  const std::uint32_t framed_kind = reader.u32();
+  MSIM_REQUIRE(framed_kind == static_cast<std::uint32_t>(kind),
+               "framed artifact has kind " + std::to_string(framed_kind) +
+                   ", expected " +
+                   std::to_string(static_cast<std::uint32_t>(kind)));
+  const std::uint32_t count = reader.u32();
+  const std::uint64_t total_bytes = reader.u64();
+  MSIM_REQUIRE(total_bytes == frame.size(),
+               "chunked frame length mismatch (truncated or padded)");
+  const std::size_t directory_end =
+      kChunkedHeaderBytes +
+      static_cast<std::size_t>(count) * kDirectoryRowBytes;
+  MSIM_REQUIRE(frame.size() >= directory_end + 8,
+               "chunked frame truncated inside directory");
+
+  struct Row {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::uint64_t checksum;
+  };
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Row row{};
+    row.offset = reader.u64();
+    row.bytes = reader.u64();
+    row.checksum = reader.u64();
+    rows.push_back(row);
+  }
+  const std::uint64_t directory_checksum = reader.u64();
+  MSIM_REQUIRE(
+      Fnv1a{}.update(frame.data(), directory_end).digest() ==
+          directory_checksum,
+      "chunked frame directory checksum mismatch (corrupt header)");
+
+  // Only now are the directory offsets trusted enough to bounds-check the
+  // chunks themselves.
+  chunks_.reserve(count);
+  std::uint64_t cursor = directory_end + 8;
+  for (const Row& row : rows) {
+    MSIM_REQUIRE(row.offset % kChunkAlign == 0,
+                 "chunked frame chunk is not 8-byte aligned");
+    MSIM_REQUIRE(row.offset >= cursor &&
+                     row.offset <= frame.size() &&
+                     row.bytes <= frame.size() - row.offset,
+                 "chunked frame chunk out of bounds (corrupt directory)");
+    const std::string_view chunk = frame.substr(row.offset, row.bytes);
+    MSIM_REQUIRE(
+        Fnv1a{}.update(chunk.data(), chunk.size()).digest() == row.checksum,
+        "chunked frame chunk checksum mismatch (corrupt payload)");
+    chunks_.push_back(chunk);
+    cursor = row.offset + row.bytes;
+  }
+}
+
+std::string_view ChunkedFrameView::chunk(std::size_t index) const {
+  MSIM_REQUIRE(index < chunks_.size(), "chunk index out of range");
+  return chunks_[index];
 }
 
 }  // namespace msim

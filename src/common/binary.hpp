@@ -3,20 +3,40 @@
 // The artifact cache stores its large curve artifacts (probe sets with
 // four MAPS bandwidth sweeps) in a compact binary form instead of the
 // line-oriented text format. Every binary artifact is wrapped in one
-// self-verifying frame:
+// self-verifying frame. Frame v1 is a single monolithic payload:
 //
 //   offset  size  field
 //   0       4     magic "MSBF" (msim binary frame)
-//   4       u32   frame version (currently 1)
+//   4       u32   frame version (1)
 //   8       u32   artifact kind (ArtifactKind)
 //   12      u64   payload length in bytes
 //   20      u64   FNV-1a digest of the payload bytes
 //   28      ...   payload (little-endian fields, layout owned by the kind)
 //
+// Frame v2 splits the payload into independently checksummed chunks so a
+// reader can validate and *view* an artifact in place (e.g. over an mmap
+// region) without first copying it through one contiguous std::string:
+//
+//   offset   size   field
+//   0        4      magic "MSBF"
+//   4        u32    frame version (2)
+//   8        u32    artifact kind (ArtifactKind)
+//   12       u32    chunk count C
+//   16       u64    total frame length in bytes
+//   24       C*24   directory: per chunk {u64 offset from frame start,
+//                   u64 length in bytes, u64 FNV-1a digest}
+//   24+C*24  u64    FNV-1a digest of bytes [0, 24+C*24) — header+directory
+//   ...             chunk payloads, each 8-byte aligned (zero padding
+//                   between; the first starts at 32+C*24, itself 8-aligned)
+//
 // The frame is what makes truncation and bit-flips detectable *before*
 // any payload field is interpreted: a reader checks magic, version, kind,
-// length and checksum, and throws precondition_error on any mismatch —
-// which the cache's parse layer turns into a miss, never wrong data.
+// lengths and checksums, and throws precondition_error on any mismatch —
+// which the cache's parse layer turns into a miss, never wrong data. The
+// v2 directory checksum catches a corrupt directory before any chunk
+// offset is trusted, and the per-chunk checksums localize damage: a
+// validated ChunkedFrameView hands out string_views into the frame bytes,
+// so a memory-mapped artifact is decoded with zero copies of the sweeps.
 // Multi-byte integers are assembled byte-by-byte (shift/or), so the
 // encoding is identical on any host endianness; doubles travel as their
 // IEEE-754 bit patterns, preserving bitwise round-trip identity.
@@ -24,6 +44,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -52,11 +74,13 @@ class BinaryWriter {
   std::string out_;
 };
 
-/// Consumes little-endian fields from a byte string; every read is
-/// bounds-checked and throws precondition_error on underrun.
+/// Consumes little-endian fields from a byte range; every read is
+/// bounds-checked and throws precondition_error on underrun. Holds a view:
+/// the underlying bytes (a cache string or an mmap region) must outlive
+/// the reader.
 class BinaryReader {
  public:
-  explicit BinaryReader(const std::string& data) : data_(data) {}
+  explicit BinaryReader(std::string_view data) : data_(data) {}
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
@@ -71,22 +95,49 @@ class BinaryReader {
   }
 
  private:
-  const std::string& data_;
+  std::string_view data_;
   std::size_t pos_ = 0;
 };
 
-/// Wrap a payload in the self-verifying frame described above.
+/// Wrap a payload in the self-verifying v1 frame described above.
 [[nodiscard]] std::string frame_payload(ArtifactKind kind,
                                         const std::string& payload);
 
-/// Unwrap a frame, validating magic, version, kind, length and checksum.
-/// Throws precondition_error on any mismatch (truncation, corruption,
-/// wrong kind).
+/// Unwrap a v1 frame, validating magic, version, kind, length and
+/// checksum. Throws precondition_error on any mismatch (truncation,
+/// corruption, wrong kind).
 [[nodiscard]] std::string unframe_payload(ArtifactKind kind,
-                                          const std::string& framed);
+                                          std::string_view framed);
 
 /// Cheap sniff: does this byte string start with the frame magic? Used for
 /// the transparent fallback from binary artifacts to v1 text artifacts.
-[[nodiscard]] bool is_framed(const std::string& data);
+[[nodiscard]] bool is_framed(std::string_view data);
+
+/// Frame version of a framed byte string (1 or 2), or 0 when the bytes do
+/// not carry the frame magic or are too short to hold a version field.
+/// Purely a sniff — no checksum is verified.
+[[nodiscard]] std::uint32_t frame_version(std::string_view data);
+
+/// Wrap `chunks` in the self-verifying v2 chunked frame described above.
+/// Chunk order and count are part of the layout owned by the kind.
+[[nodiscard]] std::string frame_chunked_payload(
+    ArtifactKind kind, const std::vector<std::string>& chunks);
+
+/// Validated zero-copy view of a v2 chunked frame. The constructor checks
+/// magic, version, kind, the directory checksum, every chunk's bounds,
+/// 8-byte alignment and checksum, and throws precondition_error on any
+/// mismatch — afterwards chunk() is a bounds-known string_view into the
+/// frame bytes, safe to decode in place. The viewed bytes must outlive
+/// the view (the cache's MappedArtifact keeps its region alive).
+class ChunkedFrameView {
+ public:
+  ChunkedFrameView(ArtifactKind kind, std::string_view frame);
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::string_view chunk(std::size_t index) const;
+
+ private:
+  std::vector<std::string_view> chunks_;
+};
 
 }  // namespace msim

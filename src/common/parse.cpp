@@ -1,0 +1,72 @@
+#include "common/parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace msim {
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_integral(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  // from_chars rejects leading whitespace and "+" by itself; a partial
+  // consume (ptr != end) is trailing garbage, result_out_of_range is
+  // overflow — both are hard failures, never a truncated value.
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<int> parse_int(std::string_view text) {
+  return parse_integral<int>(text);
+}
+
+std::optional<unsigned> parse_unsigned(std::string_view text) {
+  return parse_integral<unsigned>(text);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  return parse_integral<std::uint64_t>(text);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtod needs a terminated buffer; inputs here are short CLI/env
+  // tokens, so the copy is irrelevant.
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return parse_unsigned(env).value_or(fallback);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return parse_u64(env).value_or(fallback);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return parse_double(env).value_or(fallback);
+}
+
+}  // namespace msim

@@ -1,0 +1,45 @@
+// Strict whole-string numeric parsing and checked environment lookups.
+//
+// Every user-facing numeric input in msim — CLI positional arguments,
+// option values, MSIM_* environment knobs — goes through these helpers
+// instead of atoi/strtoul, which silently accept trailing garbage
+// ("12abc" parses as 12) and truncate overflow through narrowing casts.
+// Here a value parses only when the *entire* string is a number that fits
+// the destination type; anything else is nullopt and the caller decides
+// (usage error for CLI flags, documented fallback for env knobs).
+//
+// The env_* helpers implement the fallback policy uniformly: unset or
+// empty means "use the default", and a malformed or out-of-range value
+// also falls back rather than half-applying — an operator typo must not
+// configure a daemon with a truncated worker count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace msim {
+
+/// Whole-string decimal integer; nullopt on empty input, trailing
+/// garbage, sign mismatch or overflow.
+[[nodiscard]] std::optional<int> parse_int(std::string_view text);
+[[nodiscard]] std::optional<unsigned> parse_unsigned(std::string_view text);
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Whole-string floating-point number (strtod grammar minus trailing
+/// junk); nullopt on empty input, garbage, or a value outside the finite
+/// double range.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// `name` from the environment as an unsigned, else `fallback` when the
+/// variable is unset, empty, malformed or does not fit (no silent
+/// truncation — a bad knob falls back whole).
+[[nodiscard]] unsigned env_unsigned(const char* name, unsigned fallback);
+[[nodiscard]] std::uint64_t env_u64(const char* name,
+                                    std::uint64_t fallback);
+
+/// `name` from the environment as a double, else `fallback` when unset,
+/// empty, malformed or non-finite.
+[[nodiscard]] double env_double(const char* name, double fallback);
+
+}  // namespace msim

@@ -2,6 +2,8 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -55,6 +57,11 @@ struct CacheMetrics {
       obs::Registry::instance().counter("cache.evict.bytes");
   obs::Counter& index_rebuilds =
       obs::Registry::instance().counter("cache.index.rebuild");
+  obs::Counter& index_lock_fails =
+      obs::Registry::instance().counter("cache.index.lock_fail");
+  obs::Counter& maps = obs::Registry::instance().counter("cache.map.count");
+  obs::Counter& map_bytes =
+      obs::Registry::instance().counter("cache.map.bytes");
   obs::Histogram& load_seconds =
       obs::Registry::instance().histogram("cache.load.seconds");
   obs::Histogram& store_seconds =
@@ -102,17 +109,25 @@ void touch_now(const fs::path& path) {
 /// Advisory exclusive lock on `<dir>/index.lock`, held for the duration of
 /// an index read-merge-write. flock() locks the open file description, so
 /// it excludes other threads' FileLocks in this process *and* other
-/// processes sharing the directory. Best effort: if the lock file cannot
-/// be opened the update proceeds unlocked (rename keeps it crash-safe,
-/// merely last-writer-wins).
+/// processes sharing the directory. If the lock file cannot be opened the
+/// open is retried once (a transient EMFILE/ENOENT race heals); a second
+/// failure leaves the lock unacquired and counted
+/// (`cache.index.lock_fail`) — callers must then *skip* publishing the
+/// on-disk index rather than write it unlocked, which in a long-lived
+/// process sharing the directory would silently race other writers.
 class FileLock {
  public:
   explicit FileLock(const fs::path& dir) {
-    fd_ = ::open((dir / kLockName).c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
-                 0644);
+    const fs::path path = dir / kLockName;
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    }
     if (fd_ >= 0) {
       while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
       }
+    } else {
+      metrics().index_lock_fails.add();
     }
   }
   ~FileLock() {
@@ -123,6 +138,10 @@ class FileLock {
   }
   FileLock(const FileLock&) = delete;
   FileLock& operator=(const FileLock&) = delete;
+
+  /// False when the lock file could not be opened even after the retry;
+  /// on-disk index updates must not proceed.
+  [[nodiscard]] bool acquired() const { return fd_ >= 0; }
 
  private:
   int fd_ = -1;
@@ -284,6 +303,26 @@ void write_index_file(const fs::path& dir, const IndexMap& index) {
 
 }  // namespace
 
+/// The mmap region behind a MappedArtifact: unmapped when the last
+/// handle releases it. A zero-length payload keeps addr null (mmap
+/// rejects empty mappings); bytes() then views the empty string.
+struct MappedArtifact::Region {
+  void* addr = nullptr;
+  std::size_t size = 0;
+  ~Region() {
+    if (addr != nullptr) ::munmap(addr, size);
+  }
+  Region() = default;
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+};
+
+std::string_view MappedArtifact::bytes() const {
+  if (!region_ || region_->addr == nullptr) return {};
+  return std::string_view(static_cast<const char*>(region_->addr),
+                          region_->size);
+}
+
 struct ArtifactCache::State {
   std::string dir;
   std::uint64_t max_bytes = 0;
@@ -309,8 +348,11 @@ struct ArtifactCache::State {
     } else {
       IndexMap scanned = scan_directory(root);
       // A fresh (or still absent) cache directory with no index is the
-      // normal cold start, not a fault: nothing to rebuild.
-      if (result == IndexRead::Garbled || !scanned.empty()) {
+      // normal cold start, not a fault: nothing to rebuild. Without the
+      // lock the rebuilt index stays in memory only — publishing it
+      // unlocked could tear another writer's read-merge-write.
+      if ((result == IndexRead::Garbled || !scanned.empty()) &&
+          lock.acquired()) {
         write_index_file(root, scanned);
         metrics().index_rebuilds.add();
       }
@@ -473,6 +515,84 @@ std::optional<std::string> ArtifactCache::load(
   return content;
 }
 
+std::optional<MappedArtifact> ArtifactCache::map(
+    const std::string& name) const {
+  if (!state_) return std::nullopt;
+  const State& state = *state_;
+
+  const fs::path path = fs::path(state.dir) / name;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    metrics().miss_absent.add();
+    return std::nullopt;
+  }
+  struct stat info {};
+  if (::fstat(fd, &info) != 0 || !S_ISREG(info.st_mode)) {
+    ::close(fd);
+    metrics().miss_unreadable.add();
+    return std::nullopt;
+  }
+  auto region = std::make_shared<MappedArtifact::Region>();
+  region->size = static_cast<std::size_t>(info.st_size);
+  if (region->size > 0) {
+    void* addr =
+        ::mmap(nullptr, region->size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      metrics().miss_unreadable.add();
+      return std::nullopt;
+    }
+    region->addr = addr;
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+
+  MappedArtifact mapped;
+  mapped.region_ = std::move(region);
+  const std::string_view content = mapped.bytes();
+  // One pass over the mapped bytes verifies the index checksum — the
+  // same integrity bar as load(), with no intermediate copy. The index
+  // stores string-overload digests (length-prefixed), so replicate that
+  // framing over the view.
+  const std::uint64_t checksum = Fnv1a{}
+                                     .update_u64(content.size())
+                                     .update(content.data(), content.size())
+                                     .digest();
+
+  bool corrupt = false;
+  {
+    std::lock_guard<std::mutex> guard(state.mutex);
+    state.ensure_loaded();
+    const auto it = state.index.find(name);
+    if (it != state.index.end()) {
+      if (it->second.bytes != content.size() ||
+          it->second.checksum != checksum) {
+        state.index.erase(it);
+        corrupt = true;
+      } else {
+        it->second.access_ns = file_now_ns();
+      }
+    } else {
+      // Stored by another process since the index was read: adopt it.
+      IndexEntry entry;
+      entry.name = name;
+      entry.bytes = content.size();
+      entry.checksum = checksum;
+      entry.access_ns = file_now_ns();
+      state.index.emplace(name, entry);
+    }
+  }
+  if (corrupt) {
+    metrics().miss_corrupt.add();
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+  touch_now(path);
+  metrics().maps.add();
+  metrics().map_bytes.add(content.size());
+  return mapped;
+}
+
 void ArtifactCache::store(const std::string& name,
                           const std::string& content) const {
   if (!state_) return;
@@ -511,37 +631,48 @@ void ArtifactCache::store(const std::string& name,
 
   // Index bookkeeping: read-merge-write under the cross-process lock so
   // concurrent writers never erase each other's rows, then enforce the
-  // size cap by LRU eviction.
+  // size cap by LRU eviction. When the lock could not be acquired (open
+  // failed twice, counted cache.index.lock_fail) the on-disk update is
+  // failed outright instead of racing: the payload rename above already
+  // published the artifact, the in-memory row below keeps this process
+  // coherent, and the next locked update or rebuild heals the index.
   {
     std::lock_guard<std::mutex> guard(state.mutex);
     FileLock lock(fs::path(state.dir));
-    IndexMap merged;
-    if (read_index_file(fs::path(state.dir), merged) != IndexRead::Ok) {
-      merged = scan_directory(fs::path(state.dir));
-      metrics().index_rebuilds.add();
-    }
-    for (const auto& [known_name, known] : state.index) {
-      const auto it = merged.find(known_name);
-      if (it == merged.end()) {
-        // Known to us but not on disk's index: keep the row only if the
-        // payload still exists (it may have been evicted elsewhere).
-        if (fs::exists(fs::path(state.dir) / known_name, ec) && !ec) {
-          merged.emplace(known_name, known);
-        }
-      } else if (known.access_ns > it->second.access_ns) {
-        it->second.access_ns = known.access_ns;
-      }
-    }
     IndexEntry entry;
     entry.name = name;
     entry.bytes = content.size();
     entry.checksum = Fnv1a{}.update(content).digest();
     entry.access_ns = mtime_ns(target);
-    merged[name] = entry;
-    if (state.max_bytes > 0) state.evict_over_cap(merged, name);
-    write_index_file(fs::path(state.dir), merged);
-    state.index = std::move(merged);
-    state.loaded = true;
+    if (lock.acquired()) {
+      IndexMap merged;
+      if (read_index_file(fs::path(state.dir), merged) != IndexRead::Ok) {
+        merged = scan_directory(fs::path(state.dir));
+        metrics().index_rebuilds.add();
+      }
+      for (const auto& [known_name, known] : state.index) {
+        const auto it = merged.find(known_name);
+        if (it == merged.end()) {
+          // Known to us but not on disk's index: keep the row only if the
+          // payload still exists (it may have been evicted elsewhere).
+          if (fs::exists(fs::path(state.dir) / known_name, ec) && !ec) {
+            merged.emplace(known_name, known);
+          }
+        } else if (known.access_ns > it->second.access_ns) {
+          it->second.access_ns = known.access_ns;
+        }
+      }
+      merged[name] = entry;
+      if (state.max_bytes > 0) state.evict_over_cap(merged, name);
+      write_index_file(fs::path(state.dir), merged);
+      state.index = std::move(merged);
+      state.loaded = true;
+    } else {
+      // Lock unavailable: the on-disk index update fails (counted by the
+      // FileLock), but the in-memory row advances so this process keeps
+      // verifying its own artifact.
+      state.index[name] = entry;
+    }
   }
 
   metrics().stores.add();
@@ -585,8 +716,10 @@ std::size_t ArtifactCache::rebuild_index() const {
   const fs::path dir(state.dir);
   FileLock lock(dir);
   IndexMap scanned = scan_directory(dir);
-  write_index_file(dir, scanned);
-  metrics().index_rebuilds.add();
+  if (lock.acquired()) {
+    write_index_file(dir, scanned);
+    metrics().index_rebuilds.add();
+  }
   state.index = std::move(scanned);
   state.loaded = true;
   return state.index.size();

@@ -33,23 +33,52 @@
 // an advisory `flock` on `index.lock`, which serializes them across
 // threads and across processes sharing the directory; each update
 // re-reads the on-disk index and merges before writing, so concurrent
-// writers do not erase each other's entries.
+// writers do not erase each other's entries. When the lock file cannot be
+// opened (permissions, a directory squatting on the name) the open is
+// retried once and then the on-disk index update is *skipped* — counted
+// as `cache.index.lock_fail` — rather than racing unlocked: the in-memory
+// view still advances and the directory remains the source of truth, so
+// the next locked update (or rebuild) heals the index.
+//
+// Reading: load() copies the payload through one string; map() instead
+// memory-maps the payload read-only (`cache.map.{count,bytes}`) and hands
+// out a view, which the frame v2 chunked layout (common/binary.hpp) can
+// validate and decode in place — the resident serving path, where probe
+// artifacts are consulted per query and a full string deserialization
+// per hit would dominate. Both verify the index checksum the same way;
+// a corrupt entry degrades to a miss and is deleted either way.
 //
 // Observability: `cache.load.*` / `cache.store.*` counters plus latency
 // histograms; misses split by reason (`cache.miss.absent`,
 // `cache.miss.unreadable`, `cache.miss.corrupt` for checksum failures;
 // the pipeline's parse layer adds `cache.miss.malformed` and `cache.hit`);
-// `cache.evict.{count,bytes}` and `cache.index.rebuild` for the v2
-// machinery.
+// `cache.evict.{count,bytes}`, `cache.index.rebuild` and
+// `cache.index.lock_fail` for the v2 machinery; `cache.map.{count,bytes}`
+// for the mmap read path.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace msim::pipeline {
+
+/// Read-only view of one memory-mapped cache payload. The mapping lives
+/// while any copy of the handle does (shared region, munmap on the last
+/// release); bytes() is stable for that lifetime. Checksum-verified at
+/// map time exactly like a load, so the view never exposes corrupt data.
+class MappedArtifact {
+ public:
+  [[nodiscard]] std::string_view bytes() const;
+
+ private:
+  friend class ArtifactCache;
+  struct Region;
+  std::shared_ptr<Region> region_;
+};
 
 class ArtifactCache {
  public:
@@ -81,6 +110,15 @@ class ArtifactCache {
   /// corrupt. A checksum mismatch against the index deletes the entry
   /// (it will be recomputed) — wrong data is never returned.
   [[nodiscard]] std::optional<std::string> load(
+      const std::string& name) const;
+
+  /// Memory-map an artifact read-only instead of copying it through a
+  /// string; nullopt on the same conditions as load() (disabled, absent,
+  /// unmappable, corrupt — a checksum mismatch against the index deletes
+  /// the entry). The returned handle keeps the mapping alive; the view is
+  /// verified against the index at map time, so readers can decode it in
+  /// place (frame v2 chunks) without re-hashing.
+  [[nodiscard]] std::optional<MappedArtifact> map(
       const std::string& name) const;
 
   /// Best-effort atomic store; failures are silent (the cache is an

@@ -23,6 +23,7 @@
 
 #include "common/check.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "simulate/campaign.hpp"
@@ -38,15 +39,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-unsigned env_unsigned(const char* name, unsigned fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || env[0] == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(env, &end, 10);
-  if (end == env) return fallback;
-  return static_cast<unsigned>(value);
 }
 
 std::string env_string(const char* name) {
@@ -229,14 +221,15 @@ void merge_worker_trace(const std::string& path, unsigned slot) {
 
 DistOptions DistOptions::from_env() {
   DistOptions options;
+  // Checked parses (common/parse.hpp): a malformed knob falls back whole
+  // instead of truncating — "4x" or "1e10" workers must never half-apply.
   options.workers = env_unsigned("MSIM_DIST_WORKERS", 0);
   options.worker_cmd = env_string("MSIM_WORKER_CMD");
   options.plan_path = env_string("MSIM_DIST_PLAN");
   options.record_dir = env_string("MSIM_DIST_RECORD_DIR");
-  if (const std::string timeout = env_string("MSIM_DIST_TIMEOUT_S");
-      !timeout.empty()) {
-    const double value = std::atof(timeout.c_str());
-    if (value > 0.0) options.unit_timeout_seconds = value;
+  if (const double timeout = env_double("MSIM_DIST_TIMEOUT_S", 0.0);
+      timeout > 0.0) {
+    options.unit_timeout_seconds = timeout;
   }
   options.max_retries = env_unsigned("MSIM_DIST_RETRIES", options.max_retries);
   return options;

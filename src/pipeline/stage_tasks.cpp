@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/binary.hpp"
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "machine/config_io.hpp"
@@ -144,17 +145,41 @@ std::optional<simulate::ObservationSet> load_ground_truth(
 
 std::optional<probes::ProbeSet> try_probe_cache(
     const machine::MachineConfig& machine, const ArtifactCache& cache) {
-  // Probe sets are stored framed-binary (cache v2); the parser sniffs the
-  // frame magic, so either encoding loads from either name. A hit at the
-  // v1 text name is re-stored as binary so the cache converges to the
-  // compact format.
+  // Probe sets are consulted through the cache's mmap read path: the v2
+  // chunked frame validates and decodes in place over the mapped bytes,
+  // so a hot hit never round-trips the four MAPS sweeps through a
+  // contiguous string — the property the resident serving path depends
+  // on. The parser sniffs the frame magic and version, so v1 binary and
+  // v1 text artifacts still load; any hit that is not already chunked is
+  // re-stored as v2 (counted cache.migrate.v2) so the cache converges to
+  // the mappable format. A hit at the legacy text name migrates the same
+  // way under the canonical name.
+  static obs::Counter& hits = obs::Registry::instance().counter("cache.hit");
+  static obs::Counter& malformed =
+      obs::Registry::instance().counter("cache.miss.malformed");
+  static obs::Counter& migrated =
+      obs::Registry::instance().counter("cache.migrate.v2");
+
   const std::string name = probe_artifact_name(machine);
-  std::optional<probes::ProbeSet> result =
-      try_cache(cache, name, probes::probe_set_from_artifact);
-  if (!result) {
-    result = try_cache(cache, legacy_probe_artifact_name(machine),
-                       probes::probe_set_from_artifact);
-    if (result) cache.store(name, probes::to_binary(*result));
+  std::optional<probes::ProbeSet> result;
+  for (const std::string& candidate :
+       {name, legacy_probe_artifact_name(machine)}) {
+    const auto mapped = cache.map(candidate);
+    if (!mapped) continue;
+    bool chunked = false;
+    try {
+      result = probes::probe_set_from_artifact(mapped->bytes());
+      chunked = frame_version(mapped->bytes()) == 2;
+      hits.add();
+    } catch (const std::exception&) {
+      malformed.add();
+      continue;
+    }
+    if (!chunked) {
+      cache.store(name, probes::to_binary(*result));
+      migrated.add();
+    }
+    break;
   }
   if (result) {
     MSIM_REQUIRE(result->machine == machine.name,

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "common/binary.hpp"
 #include "common/check.hpp"
@@ -187,6 +188,31 @@ MapsCurve decode_curve(BinaryReader& reader) {
 }  // namespace
 
 std::string to_binary(const ProbeSet& set) {
+  // Chunk 0 carries every scalar; chunks 1-4 are the four MAPS sweeps in
+  // declaration order. The sweeps dominate the payload, and giving each
+  // its own checksummed, 8-byte-aligned chunk is what lets a mapped
+  // artifact be validated and decoded sweep-by-sweep in place.
+  std::vector<std::string> chunks;
+  chunks.reserve(5);
+  BinaryWriter scalars;
+  scalars.str(set.machine);
+  scalars.f64(set.hpl_rmax);
+  scalars.f64(set.stream_bw);
+  scalars.f64(set.gups_bw);
+  scalars.f64(set.net.latency_s);
+  scalars.f64(set.net.bandwidth);
+  scalars.f64(set.net.allreduce_small_s);
+  chunks.push_back(scalars.take());
+  for (const MapsCurve* curve : {&set.maps_unit, &set.maps_random,
+                                 &set.maps_unit_dep, &set.maps_random_dep}) {
+    BinaryWriter writer;
+    encode_curve(writer, *curve);
+    chunks.push_back(writer.take());
+  }
+  return frame_chunked_payload(ArtifactKind::ProbeSet, chunks);
+}
+
+std::string to_binary_v1(const ProbeSet& set) {
   BinaryWriter writer;
   writer.str(set.machine);
   writer.f64(set.hpl_rmax);
@@ -202,7 +228,39 @@ std::string to_binary(const ProbeSet& set) {
   return frame_payload(ArtifactKind::ProbeSet, writer.take());
 }
 
-ProbeSet probe_set_from_binary(const std::string& data) {
+namespace {
+
+ProbeSet probe_set_from_chunked(std::string_view data) {
+  const ChunkedFrameView view(ArtifactKind::ProbeSet, data);
+  MSIM_REQUIRE(view.chunk_count() == 5,
+               "probe set frame has " + std::to_string(view.chunk_count()) +
+                   " chunks, expected 5");
+  ProbeSet set;
+  BinaryReader scalars(view.chunk(0));
+  set.machine = scalars.str();
+  set.hpl_rmax = scalars.f64();
+  set.stream_bw = scalars.f64();
+  set.gups_bw = scalars.f64();
+  set.net.latency_s = scalars.f64();
+  set.net.bandwidth = scalars.f64();
+  set.net.allreduce_small_s = scalars.f64();
+  scalars.expect_done();
+  MapsCurve* const curves[] = {&set.maps_unit, &set.maps_random,
+                               &set.maps_unit_dep, &set.maps_random_dep};
+  for (std::size_t i = 0; i < 4; ++i) {
+    BinaryReader reader(view.chunk(i + 1));
+    *curves[i] = decode_curve(reader);
+    reader.expect_done();
+  }
+  return set;
+}
+
+}  // namespace
+
+ProbeSet probe_set_from_binary(std::string_view data) {
+  if (frame_version(data) == 2) return probe_set_from_chunked(data);
+  // v1 — and anything else framed, so unframe_payload produces the
+  // precise "unsupported frame version" / kind / checksum error.
   const std::string payload = unframe_payload(ArtifactKind::ProbeSet, data);
   BinaryReader reader(payload);
   ProbeSet set;
@@ -221,9 +279,9 @@ ProbeSet probe_set_from_binary(const std::string& data) {
   return set;
 }
 
-ProbeSet probe_set_from_artifact(const std::string& data) {
+ProbeSet probe_set_from_artifact(std::string_view data) {
   return is_framed(data) ? probe_set_from_binary(data)
-                         : probe_set_from_text(data);
+                         : probe_set_from_text(std::string(data));
 }
 
 }  // namespace msim::probes

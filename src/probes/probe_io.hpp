@@ -5,20 +5,27 @@
 // number of application signatures against it later. Lossless for
 // everything the convolver and simple metrics consume.
 //
-// Two interchangeable encodings:
-//   text    — the human-readable `dotted.key = value` archive format
-//             (docs/FORMATS.md), what `msim probe --out` writes;
-//   binary  — a compact framed encoding (common/binary.hpp: magic,
-//             version, checksum, little-endian payload) used by the
-//             artifact cache, where the four MAPS curves dominate the
-//             payload and a text round-trip is pure overhead.
-// Both round-trip bitwise (doubles travel as IEEE-754 bit patterns);
-// probe_set_from_artifact() sniffs the frame magic and accepts either,
-// which is what lets v1 text artifacts keep loading after the cache
-// switched to binary.
+// Three interchangeable encodings:
+//   text        — the human-readable `dotted.key = value` archive format
+//                 (docs/FORMATS.md), what `msim probe --out` writes;
+//   binary v1   — a compact monolithic framed encoding (common/binary.hpp
+//                 frame v1: magic, version, checksum, one little-endian
+//                 payload), the cache's original binary format;
+//   binary v2   — the chunked frame (frame v2): one scalar chunk (machine
+//                 name, HPL/STREAM/GUPS rates, NETBENCH parameters) plus
+//                 one chunk per MAPS sweep, each independently
+//                 checksummed and 8-byte aligned, so a memory-mapped
+//                 artifact decodes in place without a contiguous string
+//                 copy. What to_binary and the cache now write.
+// All round-trip bitwise (doubles travel as IEEE-754 bit patterns);
+// probe_set_from_artifact() sniffs the frame magic and version and
+// accepts any of the three, which is what lets v1 text and v1 binary
+// artifacts keep loading after the cache switched formats — and lets the
+// pipeline upgrade them to v2 on hit.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "probes/probe_set.hpp"
 
@@ -30,16 +37,25 @@ namespace msim::probes {
 /// Parse a probe set; throws precondition_error on malformed input.
 [[nodiscard]] ProbeSet probe_set_from_text(const std::string& text);
 
-/// Serialize a probe set to the framed binary artifact encoding.
+/// Serialize a probe set to the chunked (frame v2) binary artifact
+/// encoding — the cache's current on-disk format.
 [[nodiscard]] std::string to_binary(const ProbeSet& set);
 
-/// Decode a framed binary probe set; throws precondition_error on a bad
-/// frame (wrong magic/version/kind, truncation, checksum mismatch) or a
-/// malformed payload.
-[[nodiscard]] ProbeSet probe_set_from_binary(const std::string& data);
+/// Serialize a probe set to the monolithic frame v1 encoding. Kept for
+/// migration coverage (a v1 artifact must keep loading and upgrade to v2
+/// on hit); new artifacts are written with to_binary.
+[[nodiscard]] std::string to_binary_v1(const ProbeSet& set);
 
-/// Decode either encoding: binary when the frame magic matches, else v1
-/// text. Throws precondition_error when neither parses.
-[[nodiscard]] ProbeSet probe_set_from_artifact(const std::string& data);
+/// Decode a framed binary probe set (v1 monolithic or v2 chunked,
+/// dispatched on the frame version); throws precondition_error on a bad
+/// frame (wrong magic/version/kind, truncation, checksum mismatch) or a
+/// malformed payload. Takes a view so a memory-mapped artifact decodes
+/// without an intermediate copy.
+[[nodiscard]] ProbeSet probe_set_from_binary(std::string_view data);
+
+/// Decode any encoding: binary when the frame magic matches (either
+/// frame version), else v1 text. Throws precondition_error when none
+/// parses.
+[[nodiscard]] ProbeSet probe_set_from_artifact(std::string_view data);
 
 }  // namespace msim::probes

@@ -1,0 +1,178 @@
+#include "serve/serve_protocol.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "metrics/study.hpp"
+#include "stats/summary.hpp"
+
+namespace msim::serve {
+
+namespace {
+
+/// Shortest round-trip-exact rendering of a double (the dist protocol's
+/// convention; matches the text serializers' precision(17) streams).
+std::string double_text(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void append_string_member(std::string& out, const char* key,
+                          const std::string& value, bool leading_comma) {
+  if (leading_comma) out += ',';
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json::escape(value);
+  out += '"';
+}
+
+std::string string_field(const json::Value& value, const char* key) {
+  const json::Value* field = value.find(key);
+  MSIM_REQUIRE(field != nullptr && field->is_string(),
+               std::string("serve request missing string field '") + key +
+                   "'");
+  return field->as_string();
+}
+
+std::uint64_t id_field(const json::Value& value) {
+  const json::Value* field = value.find("id");
+  MSIM_REQUIRE(field != nullptr && field->is_number(),
+               "serve request missing number field 'id'");
+  return static_cast<std::uint64_t>(field->as_number());
+}
+
+std::string reply_prefix(std::uint64_t id, const char* status) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"status\":\"";
+  out += status;
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string request_line(const ServeRequest& request) {
+  const char* op = nullptr;
+  switch (request.op) {
+    case ServeRequest::Op::Predict: op = "predict"; break;
+    case ServeRequest::Op::Ping: op = "ping"; break;
+    case ServeRequest::Op::Stats: op = "stats"; break;
+    case ServeRequest::Op::Shutdown: op = "shutdown"; break;
+  }
+  std::string out = "{";
+  append_string_member(out, "op", op, false);
+  out += ",\"id\":" + std::to_string(request.id);
+  if (request.op == ServeRequest::Op::Predict) {
+    append_string_member(out, "app", request.app, true);
+    out += ",\"nprocs\":" + std::to_string(request.nprocs);
+    append_string_member(out, "machine", request.machine, true);
+    if (request.metric) {
+      append_string_member(out, "metric", *request.metric, true);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+ServeRequest request_from_json(const json::Value& value) {
+  MSIM_REQUIRE(value.is_object(), "serve request is not a JSON object");
+  ServeRequest request;
+  request.id = id_field(value);
+  const std::string op = string_field(value, "op");
+  if (op == "predict") {
+    request.op = ServeRequest::Op::Predict;
+    request.app = string_field(value, "app");
+    request.machine = string_field(value, "machine");
+    const json::Value* nprocs = value.find("nprocs");
+    MSIM_REQUIRE(nprocs != nullptr && nprocs->is_number(),
+                 "serve request missing number field 'nprocs'");
+    request.nprocs = static_cast<int>(nprocs->as_number());
+    MSIM_REQUIRE(request.nprocs > 0 &&
+                     static_cast<double>(request.nprocs) ==
+                         nprocs->as_number(),
+                 "serve request 'nprocs' is not a positive integer");
+    if (const json::Value* metric = value.find("metric");
+        metric != nullptr) {
+      MSIM_REQUIRE(metric->is_string(),
+                   "serve request 'metric' is not a string");
+      request.metric = metric->as_string();
+    }
+  } else if (op == "ping") {
+    request.op = ServeRequest::Op::Ping;
+  } else if (op == "stats") {
+    request.op = ServeRequest::Op::Stats;
+  } else if (op == "shutdown") {
+    request.op = ServeRequest::Op::Shutdown;
+  } else {
+    throw precondition_error("serve request has unknown op '" + op + "'");
+  }
+  return request;
+}
+
+metrics::Metric metric_from_token(const std::string& token) {
+  for (metrics::Metric metric : metrics::all_metrics()) {
+    if (metrics::row_label(metric) == token) return metric;
+  }
+  // Accept bare numbers 1..9 too (the CLI convention).
+  for (metrics::Metric metric : metrics::paper_metrics()) {
+    if (metrics::row_label(metric).substr(0, 1) == token) return metric;
+  }
+  throw precondition_error("unknown metric '" + token +
+                           "' (use 1..9, 1-S..9-P, B-E, B-F)");
+}
+
+std::string predict_result_json(
+    const metrics::Study& study, const std::string& app, int nprocs,
+    const std::string& machine,
+    const std::vector<metrics::Metric>& metric_list) {
+  const double actual = study.observations().at(app, nprocs, machine);
+  std::string out = "{";
+  append_string_member(out, "app", app, false);
+  out += ",\"nprocs\":" + std::to_string(nprocs);
+  append_string_member(out, "machine", machine, true);
+  out += ",\"actual\":" + double_text(actual);
+  out += ",\"predictions\":[";
+  bool first = true;
+  for (metrics::Metric metric : metric_list) {
+    if (!first) out += ',';
+    first = false;
+    const double predicted = study.predict(metric, app, nprocs, machine);
+    out += '{';
+    append_string_member(out, "metric", metrics::row_label(metric), false);
+    out += ",\"seconds\":" + double_text(predicted);
+    out += ",\"error_pct\":" +
+           double_text(stats::signed_percent_error(predicted, actual));
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ok_reply(std::uint64_t id) {
+  return reply_prefix(id, "ok") + "}\n";
+}
+
+std::string predict_reply(std::uint64_t id,
+                          const std::string& result_json) {
+  return reply_prefix(id, "ok") + ",\"result\":" + result_json + "}\n";
+}
+
+std::string stats_reply(std::uint64_t id, const std::string& stats_json) {
+  return reply_prefix(id, "ok") + ",\"stats\":" + stats_json + "}\n";
+}
+
+std::string bye_reply(std::uint64_t id) {
+  return reply_prefix(id, "bye") + "}\n";
+}
+
+std::string error_reply(std::uint64_t id, const std::string& message) {
+  std::string out = reply_prefix(id, "error");
+  append_string_member(out, "message", message, true);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace msim::serve

@@ -1,0 +1,95 @@
+// Client <-> daemon protocol for the resident prediction service.
+//
+// `msim serve` holds the paper study resident — artifact cache opened
+// once, probe artifacts memory-mapped — and answers prediction queries
+// over a line-framed JSON protocol on a Unix socket or stdin/stdout. The
+// wire conventions are the distributed worker protocol's
+// (pipeline/dist_protocol.hpp): one JSON object per line (newlines inside
+// JSON strings are escaped, so '\n' is an unambiguous frame boundary),
+// 64-bit integers ride as decimal strings (JSON numbers are doubles and
+// would round past 2^53), and doubles render as %.17g so every predicted
+// second round-trips bitwise.
+//
+//   request:  {"op":"predict","id":N,"app":"...","nprocs":K,
+//              "machine":"...","metric":"9"}      (metric optional = all)
+//             {"op":"ping","id":N}
+//             {"op":"stats","id":N}
+//             {"op":"shutdown","id":N}
+//   reply:    {"id":N,"status":"ok","result":{...}}     (predict)
+//             {"id":N,"status":"ok"}                    (ping)
+//             {"id":N,"status":"ok","stats":{...}}      (stats)
+//             {"id":N,"status":"bye"}                   (shutdown ack)
+//             {"id":N,"status":"error","message":"..."}
+//
+// The predict result object is exactly what `msim predict --json` prints,
+// so a served reply is byte-comparable against the batch CLI — the parity
+// CI checks and the serve_traffic bench rely on that identity. A request
+// line that does not parse, names an unknown op, or is missing fields is
+// answered with a status:"error" reply (id 0 when even the id is
+// unrecoverable); the connection stays usable. See docs/FORMATS.md
+// ("Serve request/response schema") for the full schema.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "metrics/metric_set.hpp"
+
+namespace msim::metrics {
+class Study;
+}  // namespace msim::metrics
+
+namespace msim::serve {
+
+/// One parsed request line.
+struct ServeRequest {
+  enum class Op { Predict, Ping, Stats, Shutdown };
+  Op op = Op::Ping;
+  std::uint64_t id = 0;
+  // Predict fields; default-empty for the other ops.
+  std::string app;
+  int nprocs = 0;
+  std::string machine;
+  std::optional<std::string> metric;  ///< row label / 1..9; absent = all
+};
+
+/// Request line (newline-terminated) for clients: the bench traffic
+/// generator and tests.
+[[nodiscard]] std::string request_line(const ServeRequest& request);
+
+/// Parse a request from its JSON object form. Throws
+/// msim::precondition_error on an unknown op, a missing or mistyped
+/// field, or a non-positive nprocs.
+[[nodiscard]] ServeRequest request_from_json(const json::Value& value);
+
+/// Metric tokens accepted on the wire and the CLI: a row label ("1-S",
+/// "B-E") or a bare paper-metric number ("1".."9"). Throws
+/// msim::precondition_error on anything else.
+[[nodiscard]] metrics::Metric metric_from_token(const std::string& token);
+
+/// The predict result object: app/nprocs/machine echo, the "actual"
+/// (detailed-simulator) seconds, and one {metric,seconds,error_pct} row
+/// per requested metric, all doubles %.17g. Shared verbatim by the serve
+/// reply and `msim predict --json`. Throws when the study does not hold
+/// the configuration (unknown app/machine, wrong count).
+[[nodiscard]] std::string predict_result_json(
+    const metrics::Study& study, const std::string& app, int nprocs,
+    const std::string& machine,
+    const std::vector<metrics::Metric>& metric_list);
+
+// --- reply construction ------------------------------------------------
+
+[[nodiscard]] std::string ok_reply(std::uint64_t id);
+[[nodiscard]] std::string predict_reply(std::uint64_t id,
+                                        const std::string& result_json);
+/// `stats_json` is a pre-rendered JSON object (u64s as decimal strings).
+[[nodiscard]] std::string stats_reply(std::uint64_t id,
+                                      const std::string& stats_json);
+[[nodiscard]] std::string bye_reply(std::uint64_t id);
+[[nodiscard]] std::string error_reply(std::uint64_t id,
+                                      const std::string& message);
+
+}  // namespace msim::serve

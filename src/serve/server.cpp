@@ -1,0 +1,329 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/parse.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/scheduler.hpp"
+#include "serve/serve_protocol.hpp"
+
+namespace msim::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Handles resolved once; updates are relaxed atomic adds after that.
+struct ServeMetrics {
+  obs::Counter& queries =
+      obs::Registry::instance().counter("serve.queries");
+  obs::Counter& errors = obs::Registry::instance().counter("serve.errors");
+  obs::Counter& batches =
+      obs::Registry::instance().counter("serve.batch.count");
+  obs::Histogram& batch_size =
+      obs::Registry::instance().histogram("serve.batch.size");
+  obs::Histogram& latency =
+      obs::Registry::instance().histogram("serve.latency.seconds");
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics* const handles = new ServeMetrics();
+  return *handles;
+}
+
+/// The stats-op payload: service counters plus the cache read-path
+/// counters that prove residency (mmap hits instead of string loads).
+/// u64s ride as decimal strings per the wire conventions.
+std::string stats_json() {
+  auto& registry = obs::Registry::instance();
+  auto member = [](const char* key, std::uint64_t value, bool comma) {
+    std::string out;
+    if (comma) out += ',';
+    out += '"';
+    out += key;
+    out += "\":\"";
+    out += std::to_string(value);
+    out += '"';
+    return out;
+  };
+  std::string out = "{";
+  out += member("queries", metrics().queries.value(), false);
+  out += member("errors", metrics().errors.value(), true);
+  out += member("batches", metrics().batches.value(), true);
+  out += member("cache_hits", registry.counter("cache.hit").value(), true);
+  out += member("map_count", registry.counter("cache.map.count").value(),
+                true);
+  out += member("map_bytes", registry.counter("cache.map.bytes").value(),
+                true);
+  out += '}';
+  return out;
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    // MSG_NOSIGNAL: a client that hung up yields EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd, text.data() + written,
+                             text.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the client is gone
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::from_env() {
+  ServeOptions options;
+  options.threads = env_unsigned("MSIM_SERVE_THREADS", options.threads);
+  const std::uint64_t batch = env_u64(
+      "MSIM_SERVE_MAX_BATCH", static_cast<std::uint64_t>(options.max_batch));
+  if (batch > 0) options.max_batch = static_cast<std::size_t>(batch);
+  return options;
+}
+
+PredictionService::PredictionService(metrics::Study study, unsigned threads,
+                                     std::size_t max_batch)
+    : study_(std::move(study)),
+      threads_(threads),
+      max_batch_(max_batch > 0 ? max_batch : 1) {}
+
+Answer PredictionService::answer_line(const std::string& line) const {
+  const bool timed = obs::collecting();
+  const auto start = timed ? Clock::now() : Clock::time_point{};
+  obs::Span span("serve:query", "serve");
+  metrics().queries.add();
+
+  Answer answer;
+  std::uint64_t id = 0;
+  try {
+    const json::Value value = json::parse(line);
+    const ServeRequest request = request_from_json(value);
+    id = request.id;
+    switch (request.op) {
+      case ServeRequest::Op::Predict: {
+        std::vector<metrics::Metric> metric_list;
+        if (request.metric) {
+          metric_list = {metric_from_token(*request.metric)};
+        } else {
+          metric_list = metrics::all_metrics();
+        }
+        answer.line = predict_reply(
+            request.id,
+            predict_result_json(study_, request.app, request.nprocs,
+                                request.machine, metric_list));
+        break;
+      }
+      case ServeRequest::Op::Ping:
+        answer.line = ok_reply(request.id);
+        break;
+      case ServeRequest::Op::Stats:
+        answer.line = stats_reply(request.id, stats_json());
+        break;
+      case ServeRequest::Op::Shutdown:
+        answer.line = bye_reply(request.id);
+        answer.shutdown = true;
+        break;
+    }
+  } catch (const std::exception& error) {
+    // Malformed line, unknown op/metric, or a configuration the study
+    // does not hold: the connection stays usable, the error rides back.
+    metrics().errors.add();
+    answer.line = error_reply(id, error.what());
+  }
+  if (timed) metrics().latency.record(seconds_since(start));
+  return answer;
+}
+
+std::vector<Answer> PredictionService::answer_batch(
+    const std::vector<std::string>& lines) const {
+  obs::Span span("serve:batch", "serve");
+  metrics().batches.add();
+  metrics().batch_size.record(static_cast<double>(lines.size()));
+  std::vector<Answer> replies(lines.size());
+  pipeline::run_indexed(
+      lines.size(), threads_,
+      [&](std::size_t i) { replies[i] = answer_line(lines[i]); }, "serve");
+  return replies;
+}
+
+int run_stdio_server(std::FILE* in, std::FILE* out,
+                     const PredictionService& service) {
+  char* buffer = nullptr;
+  std::size_t capacity = 0;
+  int code = 0;
+  while (true) {
+    const ssize_t length = ::getline(&buffer, &capacity, in);
+    if (length < 0) break;  // EOF: a vanished client is a normal end
+    std::string line(buffer, static_cast<std::size_t>(length));
+    if (!line.empty() && line.back() == '\n') line.pop_back();
+    if (line.empty()) continue;
+    const Answer answer = service.answer_line(line);
+    std::fputs(answer.line.c_str(), out);
+    std::fflush(out);
+    if (answer.shutdown) break;
+  }
+  std::free(buffer);
+  return code;
+}
+
+namespace {
+
+/// One accepted client: its fd, unconsumed input, and replies owed.
+struct Connection {
+  int fd = -1;
+  std::string in_buffer;
+  std::vector<std::size_t> pending;  ///< indices into the round's batch
+};
+
+}  // namespace
+
+int run_socket_server(const std::string& path,
+                      const PredictionService& service) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) return 1;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return 1;
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    return 1;
+  }
+
+  std::vector<Connection> connections;
+  bool shutdown = false;
+  while (!shutdown) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    for (const Connection& connection : connections) {
+      fds.push_back(pollfd{connection.fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // One accept per wakeup: the listen fd is blocking, so a second
+    // accept with no client waiting would stall the loop. Further
+    // backlogged clients keep the fd readable for the next round.
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client >= 0) {
+        Connection connection;
+        connection.fd = client;
+        connections.push_back(connection);
+      }
+    }
+
+    // Drain readable connections, then slice every complete line into
+    // this round's batch (request order preserved per connection).
+    std::vector<std::string> batch;
+    for (std::size_t c = 0; c + 1 < fds.size() && c < connections.size();
+         ++c) {
+      Connection& connection = connections[c];
+      if ((fds[c + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      // One read per wakeup (the fd is blocking; POLLIN guarantees the
+      // first read returns without stalling). Leftover bytes keep the fd
+      // readable, so the next round picks them up.
+      char chunk[65536];
+      ssize_t n;
+      do {
+        n = ::read(connection.fd, chunk, sizeof chunk);
+      } while (n < 0 && errno == EINTR);
+      if (n > 0) {
+        connection.in_buffer.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        connection.fd = -connection.fd - 2;  // EOF: mark closed, reap below
+      }
+      std::size_t begin = 0;
+      while (true) {
+        const std::size_t end = connection.in_buffer.find('\n', begin);
+        if (end == std::string::npos) break;
+        if (end > begin) {
+          connection.pending.push_back(batch.size());
+          batch.push_back(connection.in_buffer.substr(begin, end - begin));
+        }
+        begin = end + 1;
+      }
+      connection.in_buffer.erase(0, begin);
+    }
+
+    // Answer this round's lines in scheduler batches and route replies
+    // back per connection, in request order.
+    if (!batch.empty()) {
+      std::vector<Answer> answers;
+      answers.reserve(batch.size());
+      for (std::size_t offset = 0; offset < batch.size();
+           offset += service.max_batch()) {
+        const std::size_t count =
+            std::min(service.max_batch(), batch.size() - offset);
+        std::vector<std::string> slice(
+            batch.begin() + static_cast<std::ptrdiff_t>(offset),
+            batch.begin() + static_cast<std::ptrdiff_t>(offset + count));
+        std::vector<Answer> part = service.answer_batch(slice);
+        for (Answer& answer : part) answers.push_back(std::move(answer));
+      }
+      for (Connection& connection : connections) {
+        if (connection.pending.empty()) continue;
+        std::string out;
+        for (const std::size_t index : connection.pending) {
+          out += answers[index].line;
+          if (answers[index].shutdown) shutdown = true;
+        }
+        connection.pending.clear();
+        const int fd = connection.fd < 0 ? -(connection.fd + 2)
+                                         : connection.fd;
+        if (fd >= 0) (void)write_all(fd, out);
+      }
+    }
+
+    // Reap connections the client closed.
+    for (std::size_t c = 0; c < connections.size();) {
+      if (connections[c].fd < 0) {
+        const int fd = -(connections[c].fd + 2);
+        if (fd >= 0) ::close(fd);
+        connections.erase(connections.begin() +
+                          static_cast<std::ptrdiff_t>(c));
+      } else {
+        ++c;
+      }
+    }
+  }
+
+  for (const Connection& connection : connections) {
+    if (connection.fd >= 0) ::close(connection.fd);
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace msim::serve

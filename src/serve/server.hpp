@@ -1,0 +1,99 @@
+// The resident prediction service and its two front-ends.
+//
+// PredictionService holds a fully built Study — observations, probe sets
+// (served through the artifact cache's mmap read path on warm starts),
+// signatures — and answers protocol request lines (serve_protocol.hpp).
+// Queries batch onto the existing nesting-aware scheduler
+// (pipeline/scheduler.hpp): the socket front-end collects every complete
+// line the last poll round surfaced (up to max_batch) and fans the batch
+// out with run_indexed, so concurrent clients share the worker pool
+// instead of a thread per connection. Replies are pure functions of the
+// resident study, so a batch's replies are byte-identical to answering
+// each line alone — the property the parity tests and the serve_traffic
+// bench assert.
+//
+// Two front-ends over one service:
+//   stdio   — one request line in, one reply line out, flushed per reply
+//             (the worker-loop convention); EOF or a shutdown op ends the
+//             loop. What `msim serve` runs without --socket, and what CI
+//             drives with a here-file of requests.
+//   socket  — a Unix domain stream socket; poll()-driven single-threaded
+//             I/O, line framing per connection, batched compute. A
+//             shutdown op acks with "bye" and stops the server.
+//
+// Observability: `serve.queries` / `serve.errors` counters,
+// `serve.batch.size` and `serve.latency.seconds` histograms, an
+// obs::Span per query ("serve:query") and per batch ("serve:batch") when
+// telemetry is collecting.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/study.hpp"
+
+namespace msim::serve {
+
+struct ServeOptions {
+  /// Unix socket path; empty = stdio front-end.
+  std::string socket_path;
+  /// Worker threads for query batches; 0 = default (MSIM_THREADS or
+  /// hardware concurrency, see pipeline/scheduler.hpp).
+  unsigned threads = 0;
+  /// Largest query batch one scheduler fan-out answers.
+  std::size_t max_batch = 64;
+
+  /// MSIM_SERVE_THREADS / MSIM_SERVE_MAX_BATCH via the checked env
+  /// parsers (common/parse.hpp): malformed or overflowing values fall
+  /// back whole, never truncate.
+  [[nodiscard]] static ServeOptions from_env();
+};
+
+/// One answered request line.
+struct Answer {
+  std::string line;      ///< newline-terminated reply
+  bool shutdown = false; ///< the request was a shutdown op
+};
+
+class PredictionService {
+ public:
+  /// Serve `study` (built once, resident). `threads`/`max_batch` as in
+  /// ServeOptions.
+  explicit PredictionService(metrics::Study study, unsigned threads = 0,
+                             std::size_t max_batch = 64);
+
+  /// Answer one request line (with or without the trailing newline).
+  /// Never throws: malformed requests and unknown configurations produce
+  /// status:"error" replies.
+  [[nodiscard]] Answer answer_line(const std::string& line) const;
+
+  /// Answer a batch of request lines on the scheduler pool. Reply order
+  /// matches request order, and every reply is byte-identical to what
+  /// answer_line alone would produce.
+  [[nodiscard]] std::vector<Answer> answer_batch(
+      const std::vector<std::string>& lines) const;
+
+  [[nodiscard]] const metrics::Study& study() const { return study_; }
+  [[nodiscard]] std::size_t max_batch() const { return max_batch_; }
+
+ private:
+  metrics::Study study_;
+  unsigned threads_ = 0;
+  std::size_t max_batch_ = 64;
+};
+
+/// Stdio front-end: serve request lines from `in` to `out` until EOF or a
+/// shutdown op. Returns a process exit code.
+int run_stdio_server(std::FILE* in, std::FILE* out,
+                     const PredictionService& service);
+
+/// Unix-socket front-end: bind `path` (an existing socket file is
+/// replaced), accept any number of client connections, serve until a
+/// shutdown op. Returns a process exit code (nonzero when the socket
+/// cannot be bound).
+int run_socket_server(const std::string& path,
+                      const PredictionService& service);
+
+}  // namespace msim::serve

@@ -1,0 +1,651 @@
+// The resident prediction service and the plumbing it stands on: the v2
+// chunked frame, the artifact cache's mmap read path, the strict numeric
+// parsers, the index-lock fallback, the serve wire protocol, and the
+// stdio/socket front-ends. The load-bearing property throughout: a served
+// reply is byte-identical to the one-shot answer — batching, threading
+// and mmap must never change an output byte.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/binary.hpp"
+#include "common/json.hpp"
+#include "common/parse.hpp"
+#include "machine/registry.hpp"
+#include "obs/registry.hpp"
+#include "pipeline/artifact_cache.hpp"
+#include "pipeline/study_builder.hpp"
+#include "probes/probe_io.hpp"
+#include "probes/synthetic.hpp"
+#include "serve/serve_protocol.hpp"
+#include "serve/server.hpp"
+#include "test_support.hpp"
+
+namespace msim {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("msim-serve-" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+const serve::PredictionService& shared_service() {
+  // Study is move-only, so the service builds its own resident copy (one
+  // build per test binary, shared across the serve tests).
+  static const serve::PredictionService* const service =
+      new serve::PredictionService(metrics::Study::build(), 4, 16);
+  return *service;
+}
+
+/// A valid predict request over a configuration the paper study holds.
+serve::ServeRequest valid_predict(std::uint64_t id) {
+  serve::ServeRequest request;
+  request.op = serve::ServeRequest::Op::Predict;
+  request.id = id;
+  request.app = "AVUS_Standard";
+  request.nprocs = 64;
+  request.machine = "ERDC_O3800";
+  return request;
+}
+
+// --- frame v2 ----------------------------------------------------------
+
+TEST(ChunkedFrame, RoundTripPreservesChunksAndAlignment) {
+  const std::vector<std::string> chunks = {
+      "scalars", std::string(1, '\0'), "", std::string(4097, 'x'),
+      std::string("\x01\x02\x03", 3)};
+  const std::string framed =
+      frame_chunked_payload(ArtifactKind::ProbeSet, chunks);
+  EXPECT_EQ(frame_version(framed), 2u);
+  EXPECT_TRUE(is_framed(framed));
+
+  const ChunkedFrameView view(ArtifactKind::ProbeSet, framed);
+  ASSERT_EQ(view.chunk_count(), chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(view.chunk(i), chunks[i]) << "chunk " << i;
+    const auto offset = static_cast<std::size_t>(
+        view.chunk(i).data() - framed.data());
+    EXPECT_EQ(offset % 8, 0u) << "chunk " << i << " is not 8-byte aligned";
+  }
+}
+
+TEST(ChunkedFrame, FrameVersionSniffsBothLayouts) {
+  const std::string v1 = frame_payload(ArtifactKind::ProbeSet, "payload");
+  const std::string v2 =
+      frame_chunked_payload(ArtifactKind::ProbeSet, {"payload"});
+  EXPECT_EQ(frame_version(v1), 1u);
+  EXPECT_EQ(frame_version(v2), 2u);
+  EXPECT_EQ(frame_version("not a frame"), 0u);
+  EXPECT_EQ(frame_version("MSB"), 0u);  // shorter than magic + version
+  EXPECT_EQ(frame_version(""), 0u);
+}
+
+TEST(ChunkedFrame, EveryTruncationThrows) {
+  const std::string framed = frame_chunked_payload(
+      ArtifactKind::ProbeSet, {"first chunk", "second chunk"});
+  for (std::size_t keep = 0; keep < framed.size(); ++keep) {
+    EXPECT_THROW(ChunkedFrameView(ArtifactKind::ProbeSet,
+                                  std::string_view(framed).substr(0, keep)),
+                 precondition_error)
+        << "truncated to " << keep << " of " << framed.size() << " bytes";
+  }
+}
+
+TEST(ChunkedFrame, EveryBitFlipThrowsOrIsHarmless) {
+  const std::vector<std::string> chunks = {"first chunk", "second chunk"};
+  const std::string framed =
+      frame_chunked_payload(ArtifactKind::ProbeSet, chunks);
+  for (std::size_t at = 0; at < framed.size(); ++at) {
+    std::string damaged = framed;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x10);
+    // Header, directory and chunk bytes are checksummed, so a flip there
+    // must throw. The only uncovered bytes are the zero padding between
+    // chunks, which no reader ever dereferences — a flip there must leave
+    // every decoded chunk byte-identical.
+    try {
+      const ChunkedFrameView view(ArtifactKind::ProbeSet, damaged);
+      ASSERT_EQ(view.chunk_count(), chunks.size());
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        EXPECT_EQ(view.chunk(i), chunks[i])
+            << "bit flip at byte " << at << " changed chunk " << i;
+      }
+    } catch (const precondition_error&) {
+      // detected — the common case
+    }
+  }
+}
+
+TEST(ChunkedFrame, WrongKindThrows) {
+  const std::string framed =
+      frame_chunked_payload(ArtifactKind::ProbeSet, {"chunk"});
+  EXPECT_THROW(ChunkedFrameView(static_cast<ArtifactKind>(2), framed),
+               precondition_error);
+}
+
+// --- probe set v2 encoding --------------------------------------------
+
+TEST(ProbeV2, RoundTripIsBitwise) {
+  const auto expected = probes::run_probe_suite(machine::find("ARL_Xeon"));
+  const std::string framed = probes::to_binary(expected);
+  EXPECT_EQ(frame_version(framed), 2u);
+  const auto decoded = probes::probe_set_from_binary(framed);
+  EXPECT_EQ(probes::to_text(decoded), probes::to_text(expected));
+}
+
+TEST(ProbeV2, V1MonolithicFrameStillDecodes) {
+  const auto expected = probes::run_probe_suite(machine::find("ARL_Xeon"));
+  const std::string v1 = probes::to_binary_v1(expected);
+  EXPECT_EQ(frame_version(v1), 1u);
+  const auto decoded = probes::probe_set_from_binary(v1);
+  EXPECT_EQ(probes::to_text(decoded), probes::to_text(expected));
+}
+
+// --- cache mmap read path ---------------------------------------------
+
+TEST(CacheMap, MapViewsStoredBytesAndCounts) {
+  const fs::path dir = scratch_dir("map-basic");
+  const pipeline::ArtifactCache cache(dir.string());
+  const std::string content = probes::to_binary(
+      probes::run_probe_suite(machine::find("ARL_Xeon")));
+  cache.store("probe.bin", content);
+
+  const auto before_count = counter_value("cache.map.count");
+  const auto before_bytes = counter_value("cache.map.bytes");
+  const auto mapped = cache.map("probe.bin");
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->bytes(), content);
+  EXPECT_EQ(counter_value("cache.map.count"), before_count + 1);
+  EXPECT_EQ(counter_value("cache.map.bytes"), before_bytes + content.size());
+
+  // The mapped view decodes in place, identically to the loaded copy.
+  const auto from_map = probes::probe_set_from_artifact(mapped->bytes());
+  const auto from_load =
+      probes::probe_set_from_artifact(*cache.load("probe.bin"));
+  EXPECT_EQ(probes::to_text(from_map), probes::to_text(from_load));
+  fs::remove_all(dir);
+}
+
+TEST(CacheMap, MapOutlivesTheCacheInstance) {
+  const fs::path dir = scratch_dir("map-lifetime");
+  std::optional<pipeline::MappedArtifact> mapped;
+  {
+    const pipeline::ArtifactCache cache(dir.string());
+    cache.store("entry", "payload bytes");
+    mapped = cache.map("entry");
+  }
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->bytes(), "payload bytes");
+  fs::remove_all(dir);
+}
+
+TEST(CacheMap, MissingEntryIsNullopt) {
+  const fs::path dir = scratch_dir("map-missing");
+  const pipeline::ArtifactCache cache(dir.string());
+  EXPECT_FALSE(cache.map("nope").has_value());
+  fs::remove_all(dir);
+}
+
+TEST(CacheMap, CorruptEntryIsMissAndDeleted) {
+  const fs::path dir = scratch_dir("map-corrupt");
+  const pipeline::ArtifactCache seed(dir.string());
+  seed.store("entry", "original payload");
+
+  // Flip one payload byte on disk; a fresh instance reads the poisoned
+  // bytes against the index checksum.
+  {
+    std::fstream file(dir / "entry",
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(0);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  const pipeline::ArtifactCache cache(dir.string());
+  const auto before = counter_value("cache.miss.corrupt");
+  EXPECT_FALSE(cache.map("entry").has_value());
+  EXPECT_EQ(counter_value("cache.miss.corrupt"), before + 1);
+  EXPECT_FALSE(fs::exists(dir / "entry")) << "corrupt entry not deleted";
+  fs::remove_all(dir);
+}
+
+// --- index-lock fallback ----------------------------------------------
+
+TEST(CacheLock, UnopenableLockIsCountedAndStoreStillServes) {
+  const fs::path dir = scratch_dir("lock-fail");
+  fs::create_directories(dir / "index.lock");  // open(O_CREAT) now fails
+
+  const pipeline::ArtifactCache cache(dir.string());
+  const auto before = counter_value("cache.index.lock_fail");
+  cache.store("entry", "payload");
+  EXPECT_GT(counter_value("cache.index.lock_fail"), before)
+      << "double-failed lock open was not counted";
+
+  // The payload itself is durable and readable (in-memory index), but the
+  // on-disk index publish was skipped, not written unlocked.
+  EXPECT_EQ(cache.load("entry").value_or(""), "payload");
+  EXPECT_FALSE(fs::exists(dir / "index.msim"))
+      << "index file published without holding the lock";
+
+  // A fresh instance (still no lock) rebuilds its view from the directory
+  // scan: the artifact is never lost.
+  const pipeline::ArtifactCache fresh(dir.string());
+  EXPECT_EQ(fresh.load("entry").value_or(""), "payload");
+  fs::remove_all(dir);
+}
+
+// --- v1 -> v2 migration on hit ----------------------------------------
+
+TEST(CacheMigration, V1BinaryProbeArtifactUpgradesOnHit) {
+  const fs::path dir = scratch_dir("migrate-v2");
+  const auto machine = machine::find("ARL_Xeon");
+  const auto expected = probes::run_probe_suite(machine);
+  const std::string name = pipeline::probe_artifact_name(machine);
+  {
+    const pipeline::ArtifactCache seed(dir.string());
+    seed.store(name, probes::to_binary_v1(expected));
+  }
+
+  const pipeline::ArtifactCache cache(dir.string());
+  const auto migrated_before = counter_value("cache.migrate.v2");
+  pipeline::StageStats stats;
+  const auto sets = pipeline::run_probe_stage({machine}, 1, cache, &stats);
+  EXPECT_EQ(stats.cache_hits, 1u) << "v1 binary artifact should hit";
+  EXPECT_EQ(probes::to_text(sets.at(machine.name)),
+            probes::to_text(expected));
+  EXPECT_EQ(counter_value("cache.migrate.v2"), migrated_before + 1);
+
+  // The hit re-stored the artifact chunked; the next hit maps v2 directly
+  // and migrates nothing.
+  std::ifstream in(dir / name, std::ios::binary);
+  std::string upgraded((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(frame_version(upgraded), 2u);
+  pipeline::StageStats again;
+  const auto rerun = pipeline::run_probe_stage({machine}, 1, cache, &again);
+  EXPECT_EQ(again.cache_hits, 1u);
+  EXPECT_EQ(counter_value("cache.migrate.v2"), migrated_before + 1);
+  EXPECT_EQ(probes::to_text(rerun.at(machine.name)),
+            probes::to_text(expected));
+  fs::remove_all(dir);
+}
+
+// --- strict numeric parsing -------------------------------------------
+
+TEST(StrictParse, WholeStringIntegers) {
+  EXPECT_EQ(parse_int("64"), 64);
+  EXPECT_EQ(parse_int("-3"), -3);
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12abc").has_value()) << "trailing garbage";
+  EXPECT_FALSE(parse_int("abc12").has_value());
+  EXPECT_FALSE(parse_int(" 12").has_value()) << "leading whitespace";
+  EXPECT_FALSE(parse_int("12 ").has_value());
+  EXPECT_FALSE(parse_int("1e3").has_value()) << "no float grammar";
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value()) << "overflow";
+  EXPECT_FALSE(parse_int("0x10").has_value()) << "decimal only";
+
+  EXPECT_EQ(parse_unsigned("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_unsigned("4294967296").has_value()) << "overflow";
+  EXPECT_FALSE(parse_unsigned("-1").has_value());
+
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+}
+
+TEST(StrictParse, WholeStringDoubles) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("-0.25"), -0.25);
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1.5s").has_value()) << "trailing garbage";
+  EXPECT_FALSE(parse_double("1e999").has_value()) << "overflow";
+  EXPECT_FALSE(parse_double("nan").has_value()) << "non-finite";
+  EXPECT_FALSE(parse_double("inf").has_value()) << "non-finite";
+}
+
+TEST(StrictParse, EnvKnobsFallBackWhole) {
+  constexpr const char* kName = "MSIM_TEST_PARSE_KNOB";
+  ::unsetenv(kName);
+  EXPECT_EQ(env_unsigned(kName, 7u), 7u) << "unset -> fallback";
+  ::setenv(kName, "", 1);
+  EXPECT_EQ(env_unsigned(kName, 7u), 7u) << "empty -> fallback";
+  ::setenv(kName, "12", 1);
+  EXPECT_EQ(env_unsigned(kName, 7u), 12u);
+  ::setenv(kName, "12abc", 1);
+  EXPECT_EQ(env_unsigned(kName, 7u), 7u)
+      << "trailing garbage must fall back whole, not parse a prefix";
+  ::setenv(kName, "99999999999999999999", 1);
+  EXPECT_EQ(env_unsigned(kName, 7u), 7u)
+      << "overflow must fall back whole, not truncate";
+  ::setenv(kName, "2.5", 1);
+  EXPECT_EQ(env_double(kName, 1.0), 2.5);
+  ::setenv(kName, "2.5x", 1);
+  EXPECT_EQ(env_double(kName, 1.0), 1.0);
+  ::setenv(kName, "1024", 1);
+  EXPECT_EQ(env_u64(kName, 0), 1024u);
+  ::unsetenv(kName);
+}
+
+// --- serve wire protocol ----------------------------------------------
+
+TEST(ServeProtocol, RequestLinesRoundTrip) {
+  serve::ServeRequest predict = valid_predict(42);
+  predict.metric = "9";
+  std::vector<serve::ServeRequest> requests = {predict};
+  for (const auto op :
+       {serve::ServeRequest::Op::Ping, serve::ServeRequest::Op::Stats,
+        serve::ServeRequest::Op::Shutdown}) {
+    serve::ServeRequest request;
+    request.op = op;
+    request.id = requests.size();
+    requests.push_back(request);
+  }
+  for (const serve::ServeRequest& request : requests) {
+    const std::string line = serve::request_line(request);
+    EXPECT_EQ(line.back(), '\n');
+    const auto parsed = serve::request_from_json(json::parse(line));
+    EXPECT_EQ(parsed.op, request.op);
+    EXPECT_EQ(parsed.id, request.id);
+    EXPECT_EQ(parsed.app, request.app);
+    EXPECT_EQ(parsed.nprocs, request.nprocs);
+    EXPECT_EQ(parsed.machine, request.machine);
+    EXPECT_EQ(parsed.metric, request.metric);
+  }
+}
+
+TEST(ServeProtocol, MalformedRequestTaxonomy) {
+  const std::vector<const char*> malformed = {
+      "[1,2,3]",                                             // not an object
+      "{\"op\":\"predict\"}",                                // no id
+      "{\"op\":\"predict\",\"id\":\"7\"}",                   // id as string
+      "{\"id\":1}",                                          // no op
+      "{\"op\":\"bogus\",\"id\":1}",                         // unknown op
+      "{\"op\":\"predict\",\"id\":1}",                       // no app
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\"}",         // no machine
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\"}",                                  // no nprocs
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\",\"nprocs\":\"64\"}",                // nprocs string
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\",\"nprocs\":0}",                     // non-positive
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\",\"nprocs\":-4}",                    // negative
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\",\"nprocs\":64.5}",                  // fractional
+      "{\"op\":\"predict\",\"id\":1,\"app\":\"A\","
+      "\"machine\":\"M\",\"nprocs\":64,\"metric\":9}",       // metric number
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW(serve::request_from_json(json::parse(text)),
+                 precondition_error)
+        << text;
+  }
+}
+
+TEST(ServeProtocol, MetricTokensMatchTheCli) {
+  EXPECT_EQ(serve::metric_from_token("9"),
+            metrics::Metric::P9_HplMapsNetDep);
+  for (metrics::Metric metric : metrics::all_metrics()) {
+    EXPECT_EQ(serve::metric_from_token(metrics::row_label(metric)), metric);
+  }
+  EXPECT_THROW((void)serve::metric_from_token("bogus"),
+               precondition_error);
+  EXPECT_THROW((void)serve::metric_from_token(""), precondition_error);
+}
+
+// --- PredictionService -------------------------------------------------
+
+TEST(ServeService, AnswersEveryOpAndCountsQueries) {
+  const auto& service = shared_service();
+  const auto before = counter_value("serve.queries");
+
+  const auto ping = service.answer_line("{\"op\":\"ping\",\"id\":5}");
+  EXPECT_EQ(ping.line, "{\"id\":5,\"status\":\"ok\"}\n");
+  EXPECT_FALSE(ping.shutdown);
+
+  const auto stats = service.answer_line("{\"op\":\"stats\",\"id\":6}");
+  const auto parsed = json::parse(stats.line);
+  EXPECT_EQ(parsed.find("status")->as_string(), "ok");
+  EXPECT_TRUE(parsed.find("stats") != nullptr);
+
+  const auto bye = service.answer_line("{\"op\":\"shutdown\",\"id\":7}");
+  EXPECT_EQ(bye.line, "{\"id\":7,\"status\":\"bye\"}\n");
+  EXPECT_TRUE(bye.shutdown);
+
+  EXPECT_EQ(counter_value("serve.queries"), before + 3);
+}
+
+TEST(ServeService, ErrorsKeepTheIdAndNeverThrow) {
+  const auto& service = shared_service();
+  const auto errors_before = counter_value("serve.errors");
+
+  // Unparseable line: the id is unrecoverable, so it echoes 0.
+  const auto garbage = service.answer_line("not json at all");
+  EXPECT_EQ(json::parse(garbage.line).find("status")->as_string(), "error");
+  EXPECT_EQ(json::parse(garbage.line).find("id")->as_number(), 0.0);
+
+  // Parseable but unknown configuration: the id survives into the error.
+  const auto unknown = service.answer_line(serve::request_line([] {
+    serve::ServeRequest request = valid_predict(99);
+    request.machine = "No_Such_Machine";
+    return request;
+  }()));
+  const auto parsed = json::parse(unknown.line);
+  EXPECT_EQ(parsed.find("status")->as_string(), "error");
+  EXPECT_EQ(parsed.find("id")->as_number(), 99.0);
+  EXPECT_FALSE(parsed.find("message")->as_string().empty());
+  EXPECT_EQ(counter_value("serve.errors"), errors_before + 2);
+}
+
+TEST(ServeService, PredictReplyMatchesTheSharedResultObject) {
+  const auto& service = shared_service();
+  const auto answer = service.answer_line(serve::request_line(
+      valid_predict(11)));
+  const std::string expected = serve::predict_reply(
+      11, serve::predict_result_json(service.study(), "AVUS_Standard", 64,
+                                     "ERDC_O3800",
+                                     metrics::all_metrics()));
+  EXPECT_EQ(answer.line, expected);
+}
+
+TEST(ServeService, ConcurrentBatchIsByteIdenticalToSerial) {
+  const auto& service = shared_service();
+  // Every study configuration plus a sprinkling of errors, several times
+  // over so the batch genuinely fans out across threads.
+  std::vector<std::string> lines;
+  std::uint64_t id = 0;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const auto& instance : testing::all_app_instances()) {
+      for (const auto& machine : service.study().target_names()) {
+        serve::ServeRequest request;
+        request.op = serve::ServeRequest::Op::Predict;
+        request.id = ++id;
+        request.app = instance.app;
+        request.nprocs = instance.nprocs;
+        request.machine = machine;
+        lines.push_back(serve::request_line(request));
+      }
+      lines.push_back("{\"op\":\"ping\",\"id\":" + std::to_string(++id) +
+                      "}");
+      lines.push_back("garbage line");
+    }
+  }
+  const auto batched = service.answer_batch(lines);
+  ASSERT_EQ(batched.size(), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto serial = service.answer_line(lines[i]);
+    EXPECT_EQ(batched[i].line, serial.line) << "request " << i;
+    EXPECT_EQ(batched[i].shutdown, serial.shutdown);
+  }
+}
+
+// --- stdio front-end ---------------------------------------------------
+
+TEST(ServeStdio, AnswersUntilShutdownAndIgnoresTheRest) {
+  const auto& service = shared_service();
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+
+  const std::string ping = "{\"op\":\"ping\",\"id\":1}\n";
+  const std::string predict = serve::request_line(valid_predict(2));
+  const std::string shutdown = "{\"op\":\"shutdown\",\"id\":3}\n";
+  const std::string after = "{\"op\":\"ping\",\"id\":4}\n";
+  std::fputs((ping + "\n" + predict + shutdown + after).c_str(), in);
+  std::rewind(in);
+
+  EXPECT_EQ(serve::run_stdio_server(in, out, service), 0);
+
+  std::rewind(out);
+  std::string replies;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, out)) > 0) {
+    replies.append(buffer, n);
+  }
+  const std::string expected = service.answer_line(ping).line +
+                               service.answer_line(predict).line +
+                               "{\"id\":3,\"status\":\"bye\"}\n";
+  EXPECT_EQ(replies, expected)
+      << "blank lines skipped, shutdown acked, later lines unanswered";
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(ServeStdio, EofWithoutShutdownExitsZero) {
+  const auto& service = shared_service();
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"op\":\"ping\",\"id\":1}\n", in);
+  std::rewind(in);
+  EXPECT_EQ(serve::run_stdio_server(in, out, service), 0);
+  std::fclose(in);
+  std::fclose(out);
+}
+
+// --- socket front-end --------------------------------------------------
+
+int connect_unix(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_text(int fd, const std::string& text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_line(int fd, std::string& buffer) {
+  while (true) {
+    const std::size_t end = buffer.find('\n');
+    if (end != std::string::npos) {
+      std::string line = buffer.substr(0, end + 1);
+      buffer.erase(0, end + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return {};
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(ServeSocket, ConcurrentClientsGetOrderedByteIdenticalReplies) {
+  const auto& service = shared_service();
+  const std::string path = "/tmp/msim-serve-test-" +
+                           std::to_string(::getpid()) + ".sock";
+  std::thread server(
+      [&] { EXPECT_EQ(serve::run_socket_server(path, service), 0); });
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_unix(path);
+      if (fd < 0) {
+        failures[c] = 1000;
+        return;
+      }
+      std::string buffer;
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        serve::ServeRequest request = valid_predict(
+            static_cast<std::uint64_t>(c * kQueriesPerClient + q + 1));
+        if (q % 3 == 1) request.metric = "9";
+        if (q % 5 == 4) request.machine = "No_Such_Machine";
+        const std::string line = serve::request_line(request);
+        if (!send_text(fd, line) ||
+            read_line(fd, buffer) != service.answer_line(line).line) {
+          ++failures[c];
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+
+  // One more client stops the daemon; the socket file is removed.
+  const int fd = connect_unix(path);
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+  ASSERT_TRUE(send_text(fd, "{\"op\":\"shutdown\",\"id\":1}\n"));
+  EXPECT_EQ(read_line(fd, buffer), "{\"id\":1,\"status\":\"bye\"}\n");
+  ::close(fd);
+  server.join();
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace msim

@@ -7,8 +7,11 @@
 #include <sstream>
 #include <optional>
 
+#include "common/parse.hpp"
 #include "obs/run_record.hpp"
 #include "pipeline/dist_protocol.hpp"
+#include "serve/serve_protocol.hpp"
+#include "serve/server.hpp"
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -70,6 +73,16 @@ int usage_error(const char* message) {
   return 2;
 }
 
+/// Strict processor-count parsing for every command taking <nprocs>:
+/// whole-string decimal and positive, so "64x", "1e3" and overflowing
+/// values become usage errors instead of silently truncated prefixes
+/// (atoi accepted all three).
+std::optional<int> parse_nprocs(const std::string& text) {
+  const std::optional<int> value = parse_int(text);
+  if (!value || *value <= 0) return std::nullopt;
+  return value;
+}
+
 /// The paper study, built through the staged pipeline with the artifact
 /// cache on: repeated CLI invocations in the same tree reuse the campaign,
 /// probe and trace artifacts instead of recomputing them.
@@ -110,7 +123,7 @@ void print_usage() {
       "  probe <machine> [--out FILE]     run HPL/STREAM/GUPS/MAPS/NETBENCH\n"
       "  trace <app> <nprocs> [--out FILE]  trace an application on the "
       "base system\n"
-      "  predict <app> <nprocs> <machine> [--metric M]\n"
+      "  predict <app> <nprocs> <machine> [--metric M] [--json]\n"
       "                                   predict a run time (default: all "
       "metrics)\n"
       "  rank <app> <nprocs> [--metric M] rank every system for an app\n"
@@ -124,7 +137,13 @@ void print_usage() {
       "                                   distributed-build worker "
       "(spawned by the coordinator;\n"
       "                                   JSON requests on stdin, replies "
-      "on stdout)\n\n"
+      "on stdout)\n"
+      "  serve [--socket PATH] [--threads N] [--max-batch N]\n"
+      "        [--cache-dir DIR] [--cache-max-bytes N]\n"
+      "                                   resident prediction service: "
+      "study built once,\n"
+      "                                   JSON queries on a Unix socket "
+      "(or stdio) until shutdown\n\n"
       "telemetry (any command): --trace[=FILE] write a Chrome trace "
       "(default trace.json),\n"
       "  --metrics print a metrics table to stderr at exit; env "
@@ -188,8 +207,9 @@ int cmd_trace(const Args& raw_args) {
   if (args.size() != 2) return usage_error("trace needs <app> <nprocs>");
 
   const auto& test_case = workload::find_test_case(args[0]);
-  const int nprocs = std::atoi(args[1].c_str());
-  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+  const auto parsed = parse_nprocs(args[1]);
+  if (!parsed) return usage_error("nprocs must be a positive integer");
+  const int nprocs = *parsed;
 
   const auto app = test_case.build(nprocs);
   const auto signature =
@@ -214,13 +234,15 @@ int cmd_trace(const Args& raw_args) {
 int cmd_predict(const Args& raw_args) {
   Args args = raw_args;
   const auto metric_token = take_option(args, "--metric");
+  const bool as_json = take_flag(args, "--json");
   if (args.size() != 3) {
     return usage_error("predict needs <app> <nprocs> <machine>");
   }
   const std::string app = args[0];
-  const int nprocs = std::atoi(args[1].c_str());
+  const auto parsed = parse_nprocs(args[1]);
   const std::string machine = args[2];
-  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+  if (!parsed) return usage_error("nprocs must be a positive integer");
+  const int nprocs = *parsed;
 
   const auto& study = cached_study();
   const double actual = study.observations().at(app, nprocs, machine);
@@ -230,6 +252,16 @@ int cmd_predict(const Args& raw_args) {
     metric_list = {metric_from_token(*metric_token)};
   } else {
     metric_list = metrics::all_metrics();
+  }
+
+  if (as_json) {
+    // Byte-identical to the result object inside a served predict reply
+    // (serve/serve_protocol.hpp) — what the CI parity check diffs.
+    std::printf("%s\n",
+                serve::predict_result_json(study, app, nprocs, machine,
+                                           metric_list)
+                    .c_str());
+    return 0;
   }
 
   AsciiTable table({"Metric", "Predicted (s)", "\"Actual\" (s)",
@@ -253,8 +285,9 @@ int cmd_rank(const Args& raw_args) {
   const auto metric_token = take_option(args, "--metric");
   if (args.size() != 2) return usage_error("rank needs <app> <nprocs>");
   const std::string app = args[0];
-  const int nprocs = std::atoi(args[1].c_str());
-  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
+  const auto parsed = parse_nprocs(args[1]);
+  if (!parsed) return usage_error("nprocs must be a positive integer");
+  const int nprocs = *parsed;
   const metrics::Metric metric =
       metric_token ? metric_from_token(*metric_token)
                    : metrics::Metric::P9_HplMapsNetDep;
@@ -310,9 +343,9 @@ int cmd_export_app(const Args& raw_args) {
     return usage_error("export-app needs <app> <nprocs> --out FILE");
   }
   const auto& test_case = workload::find_test_case(args[0]);
-  const int nprocs = std::atoi(args[1].c_str());
-  if (nprocs <= 0) return usage_error("nprocs must be a positive integer");
-  write_file(*out_path, workload::to_text(test_case.build(nprocs)));
+  const auto nprocs = parse_nprocs(args[1]);
+  if (!nprocs) return usage_error("nprocs must be a positive integer");
+  write_file(*out_path, workload::to_text(test_case.build(*nprocs)));
   return 0;
 }
 
@@ -374,7 +407,11 @@ int cmd_worker(const Args& raw_args) {
   ::setenv("MSIM_THREADS", "1", 1);
   std::uint64_t max_bytes = 0;
   if (cache_max) {
-    max_bytes = std::strtoull(cache_max->c_str(), nullptr, 10);
+    const auto parsed = parse_u64(*cache_max);
+    if (!parsed) {
+      return usage_error("--cache-max-bytes must be an unsigned integer");
+    }
+    max_bytes = *parsed;
   }
   const pipeline::ArtifactCache cache(
       cache_dir ? *cache_dir : std::string{}, max_bytes);
@@ -382,6 +419,72 @@ int cmd_worker(const Args& raw_args) {
   // Replies go to stdout (nothing else in the process writes there);
   // diagnostics stay on stderr as everywhere in msim.
   return pipeline::run_worker_loop(stdin, stdout, cache);
+}
+
+int cmd_serve(const Args& raw_args) {
+  Args args = raw_args;
+  serve::ServeOptions options = serve::ServeOptions::from_env();
+  const auto socket_path = take_option(args, "--socket");
+  const auto threads = take_option(args, "--threads");
+  const auto max_batch = take_option(args, "--max-batch");
+  const auto cache_dir = take_option(args, "--cache-dir");
+  const auto cache_max = take_option(args, "--cache-max-bytes");
+  if (!args.empty()) {
+    return usage_error(
+        "serve takes only --socket PATH --threads N --max-batch N "
+        "--cache-dir DIR --cache-max-bytes N");
+  }
+  if (socket_path) options.socket_path = *socket_path;
+  if (threads) {
+    const auto parsed = parse_unsigned(*threads);
+    if (!parsed) return usage_error("--threads must be an unsigned integer");
+    options.threads = *parsed;
+  }
+  if (max_batch) {
+    const auto parsed = parse_u64(*max_batch);
+    if (!parsed || *parsed == 0) {
+      return usage_error("--max-batch must be a positive integer");
+    }
+    options.max_batch = static_cast<std::size_t>(*parsed);
+  }
+  std::optional<std::uint64_t> cache_max_bytes;
+  if (cache_max) {
+    const auto parsed = parse_u64(*cache_max);
+    if (!parsed) {
+      return usage_error("--cache-max-bytes must be an unsigned integer");
+    }
+    cache_max_bytes = *parsed;
+  }
+
+  obs::record_run_info("experiment", "serve");
+  // Build the study once, resident, with the cache on: a warm cache
+  // serves every probe artifact through the mmap read path, a cold one
+  // fills it for the next start.
+  pipeline::StudyBuilder builder;
+  builder.cache(true);
+  if (cache_dir) builder.cache_dir(*cache_dir);
+  if (cache_max_bytes) builder.cache_max_bytes(*cache_max_bytes);
+  serve::PredictionService service(builder.build(), options.threads,
+                                   options.max_batch);
+  std::fprintf(stderr, "(%s)\n", builder.stats().summary().c_str());
+
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "msim serve: resident on stdio (threads=%u max-batch=%zu); "
+                 "one JSON request per line\n",
+                 options.threads, options.max_batch);
+    return serve::run_stdio_server(stdin, stdout, service);
+  }
+  std::fprintf(stderr,
+               "msim serve: resident on %s (threads=%u max-batch=%zu)\n",
+               options.socket_path.c_str(), options.threads,
+               options.max_batch);
+  const int code = serve::run_socket_server(options.socket_path, service);
+  if (code != 0) {
+    std::fprintf(stderr, "error: cannot bind %s\n",
+                 options.socket_path.c_str());
+  }
+  return code;
 }
 
 }  // namespace msim::cli

@@ -19,6 +19,7 @@ int cmd_campaign(const Args& args);       ///< the full Table-4 study
 int cmd_export_app(const Args& args);     ///< dump a TI-05 app model to text
 int cmd_predict_custom(const Args& args); ///< predict a user-defined app
 int cmd_worker(const Args& args);         ///< distributed-build worker loop
+int cmd_serve(const Args& args);          ///< resident prediction service
 
 /// Print top-level usage.
 void print_usage();

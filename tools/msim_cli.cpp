@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       {"export-app", cmd_export_app},
       {"predict-custom", cmd_predict_custom},
       {"worker", cmd_worker},
+      {"serve", cmd_serve},
   };
 
   if (argc < 2) {
