@@ -8,6 +8,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "common/parse.hpp"
 #include "obs/run_record.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/study_builder.hpp"
@@ -26,9 +27,8 @@ namespace fs = std::filesystem;
 /// directory — the cross-bench warm-reuse mode; safe because loads and
 /// stores are atomic and checksummed, just no longer the default.
 std::string resolve_cache_dir() {
-  if (const char* env = std::getenv("MSIM_CACHE_DIR");
-      env != nullptr && env[0] != '\0') {
-    return std::string(env);  // opt-in shared directory
+  if (const std::string dir = env_string("MSIM_CACHE_DIR"); !dir.empty()) {
+    return dir;  // opt-in shared directory
   }
   std::error_code ec;
   fs::path scratch = fs::temp_directory_path(ec) /
@@ -73,6 +73,9 @@ void banner(const std::string& experiment,
   banner(0, nullptr, experiment, paper_artifact);
 }
 
+// The "experiment" identity key consumed by msim-report is written here,
+// not in run_record.cpp: benches are the only writers that name runs.
+// msim-lint: proto(run.record, writer)
 void banner(int argc, char** argv, const std::string& experiment,
             const std::string& paper_artifact) {
   obs::set_metrics_renderer(&report::render_metrics);

@@ -7,8 +7,10 @@
 // qualitative claims, the fraction of worlds in which it holds. The claims
 // should be properties of the *methodology*, not of one lucky seed.
 #include <cstdio>
+#include <optional>
 
 #include "bench_common.hpp"
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "metrics/multiworld.hpp"
 
@@ -19,7 +21,15 @@ int main(int argc, char** argv) {
   std::size_t worlds = 16;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] != '-') {
-      worlds = static_cast<std::size_t>(std::atoi(argv[i]));
+      const std::optional<unsigned> parsed = parse_unsigned(argv[i]);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr,
+                     "multiworld_robustness: world count must be a "
+                     "positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      worlds = *parsed;
       break;
     }
   }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/parse.hpp"
 #include "machine/registry.hpp"
 #include "report/breakdown.hpp"
 #include "workload/apps.hpp"
@@ -18,8 +19,18 @@ int main(int argc, char** argv) {
 
   const std::string app_name = argc > 1 ? argv[1] : "RFCTH_Standard";
   const auto& test_case = workload::find_test_case(app_name);
-  const int nprocs = argc > 2 ? std::atoi(argv[2])
-                              : test_case.cpu_counts.front();
+  int nprocs = test_case.cpu_counts.front();
+  if (argc > 2) {
+    const auto parsed = parse_int(argv[2]);
+    if (!parsed || *parsed <= 0) {
+      std::fprintf(stderr,
+                   "bottleneck_analysis: nprocs must be a positive "
+                   "integer, got '%s'\n",
+                   argv[2]);
+      return 2;
+    }
+    nprocs = *parsed;
+  }
   const std::string machine_name = argc > 3 ? argv[3] : "ARL_Xeon";
 
   const workload::AppModel app = test_case.build(nprocs);

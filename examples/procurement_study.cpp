@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/parse.hpp"
 #include "convolve/convolver.hpp"
 #include "machine/registry.hpp"
 #include "probes/synthetic.hpp"
@@ -95,7 +96,18 @@ void print_choice(const char* label, std::vector<Choice> choices) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 128;
+  int nprocs = 128;
+  if (argc > 1) {
+    const auto parsed = parse_int(argv[1]);
+    if (!parsed || *parsed <= 0) {
+      std::fprintf(stderr,
+                   "procurement_study: nprocs must be a positive integer, "
+                   "got '%s'\n",
+                   argv[1]);
+      return 2;
+    }
+    nprocs = *parsed;
+  }
 
   const auto app = make_sparse_solver(nprocs);
   const auto& base = machine::find(machine::base_system_name());

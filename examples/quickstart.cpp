@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/parse.hpp"
 #include "common/units.hpp"
 #include "convolve/convolver.hpp"
 #include "machine/registry.hpp"
@@ -25,7 +26,18 @@ int main(int argc, char** argv) {
   using namespace msim;
 
   const std::string target_name = argc > 1 ? argv[1] : "ARL_Opteron";
-  const int nprocs = argc > 2 ? std::atoi(argv[2]) : 64;
+  int nprocs = 64;
+  if (argc > 2) {
+    const auto parsed = parse_int(argv[2]);
+    if (!parsed || *parsed <= 0) {
+      std::fprintf(stderr,
+                   "quickstart: nprocs must be a positive integer, got "
+                   "'%s'\n",
+                   argv[2]);
+      return 2;
+    }
+    nprocs = *parsed;
+  }
 
   // 1. Machines: a candidate system and the base system we can run on.
   const machine::MachineConfig& target = machine::find(target_name);

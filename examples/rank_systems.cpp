@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "metrics/study.hpp"
 #include "pipeline/study_builder.hpp"
 
@@ -36,8 +37,17 @@ std::vector<Ranked> sort_ranking(std::vector<Ranked> entries) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t count_index =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+  std::size_t count_index = 0;
+  if (argc > 1) {
+    const auto parsed = parse_unsigned(argv[1]);
+    if (!parsed || *parsed > 2) {
+      std::fprintf(stderr,
+                   "rank_systems: nprocs-index must be 0..2, got '%s'\n",
+                   argv[1]);
+      return 2;
+    }
+    count_index = *parsed;
+  }
 
   // Build through the staged pipeline with the artifact cache on: rerunning
   // this example (or any bench in the same tree) reuses the campaign,

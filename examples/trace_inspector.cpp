@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/parse.hpp"
 #include "common/units.hpp"
 #include "machine/registry.hpp"
 #include "trace/tracer.hpp"
@@ -18,8 +19,18 @@ int main(int argc, char** argv) {
 
   const std::string app_name = argc > 1 ? argv[1] : "OVERFLOW2_Standard";
   const auto& test_case = workload::find_test_case(app_name);
-  const int nprocs = argc > 2 ? std::atoi(argv[2])
-                              : test_case.cpu_counts.front();
+  int nprocs = test_case.cpu_counts.front();
+  if (argc > 2) {
+    const auto parsed = parse_int(argv[2]);
+    if (!parsed || *parsed <= 0) {
+      std::fprintf(stderr,
+                   "trace_inspector: nprocs must be a positive integer, "
+                   "got '%s'\n",
+                   argv[2]);
+      return 2;
+    }
+    nprocs = *parsed;
+  }
 
   const workload::AppModel app = test_case.build(nprocs);
   const auto signature =

@@ -1,9 +1,11 @@
 #include "common/parse.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace msim {
@@ -51,6 +53,33 @@ std::optional<double> parse_double(std::string_view text) {
   return value;
 }
 
+std::optional<std::uint64_t> parse_byte_size(std::string_view text) {
+  constexpr std::uint64_t kSaturated =
+      std::numeric_limits<std::uint64_t>::max();
+  if (text.empty() || text[0] == '-') return std::nullopt;
+  const std::string buffer(text);  // strtoull needs a terminated buffer
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (end == buffer.c_str()) return std::nullopt;
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': multiplier = 1ull << 10; break;
+      case 'm': multiplier = 1ull << 20; break;
+      case 'g': multiplier = 1ull << 30; break;
+      default: return std::nullopt;
+    }
+    if (end[1] != '\0') return std::nullopt;
+  }
+  // Overflow saturates instead of wrapping or failing: the value the
+  // operator asked for is "more bytes than addressable", and the closest
+  // representable intent is the maximum, not a fallback.
+  if (errno == ERANGE) return kSaturated;
+  if (multiplier > 1 && value > kSaturated / multiplier) return kSaturated;
+  return static_cast<std::uint64_t>(value) * multiplier;
+}
+
 unsigned env_unsigned(const char* name, unsigned fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
@@ -67,6 +96,25 @@ double env_double(const char* name, double fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || env[0] == '\0') return fallback;
   return parse_double(env).value_or(fallback);
+}
+
+std::uint64_t env_byte_size(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return parse_byte_size(env).value_or(fallback);
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const std::string_view value = env;
+  return !(value == "0" || value == "false" || value == "off" ||
+           value == "no");
+}
+
+std::string env_string(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::string(env) : std::string();
 }
 
 }  // namespace msim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace msim {
@@ -31,6 +32,14 @@ namespace msim {
 /// double range.
 [[nodiscard]] std::optional<double> parse_double(std::string_view text);
 
+/// Byte count with an optional binary suffix (`512`, `64k`, `2m`, `1g`;
+/// case-insensitive). Negative input, trailing garbage and unknown
+/// suffixes are nullopt; a value too large for 64 bits *saturates* to
+/// UINT64_MAX instead of wrapping — "99999999999g" must not silently
+/// become a tiny cache cap that evicts everything.
+[[nodiscard]] std::optional<std::uint64_t> parse_byte_size(
+    std::string_view text);
+
 /// `name` from the environment as an unsigned, else `fallback` when the
 /// variable is unset, empty, malformed or does not fit (no silent
 /// truncation — a bad knob falls back whole).
@@ -41,5 +50,21 @@ namespace msim {
 /// `name` from the environment as a double, else `fallback` when unset,
 /// empty, malformed or non-finite.
 [[nodiscard]] double env_double(const char* name, double fallback);
+
+/// `name` from the environment as a byte count (parse_byte_size grammar),
+/// else `fallback` when unset, empty or malformed.
+[[nodiscard]] std::uint64_t env_byte_size(const char* name,
+                                          std::uint64_t fallback);
+
+/// `name` from the environment as a switch: unset or empty means
+/// `fallback`; "0", "false", "off" and "no" (case-sensitive) mean off;
+/// any other value means on. Matches the historical "anything but 0
+/// enables it" contract of the MSIM_* toggle knobs.
+[[nodiscard]] bool env_bool(const char* name, bool fallback);
+
+/// `name` from the environment verbatim, else "" when unset. String
+/// knobs (paths, command lines) have no parse step; this exists so every
+/// knob read flows through one audited chokepoint.
+[[nodiscard]] std::string env_string(const char* name);
 
 }  // namespace msim

@@ -4,7 +4,9 @@
 #include <map>
 
 #include "common/check.hpp"
-#include "pipeline/study_graph.hpp"  // sanctioned upward call, like study.cpp
+// Sanctioned upward call, like study.cpp: worlds fan out through the
+// cached study graph rather than re-deriving it per world.
+#include "pipeline/study_graph.hpp"  // msim-lint: allow(layer.back-edge)
 #include "stats/summary.hpp"
 
 namespace msim::metrics {

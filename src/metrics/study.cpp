@@ -7,7 +7,9 @@
 #include "machine/registry.hpp"
 #include "metrics/simple.hpp"
 #include "obs/run_record.hpp"
-#include "pipeline/study_builder.hpp"
+// Sanctioned upward call: Study::build delegates to the staged pipeline
+// so one code path owns caching and scheduling (see DESIGN.md layering).
+#include "pipeline/study_builder.hpp"  // msim-lint: allow(layer.back-edge)
 #include "probes/synthetic.hpp"
 #include "stats/summary.hpp"
 

@@ -14,6 +14,7 @@
 #include "common/build_info.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -23,15 +24,10 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 std::mutex g_mutex;
-std::string g_path;                              // guarded by g_mutex
-std::map<std::string, std::string> g_info;       // guarded by g_mutex
-std::vector<ErrorSummaryRecord> g_errors;        // guarded by g_mutex
-
-/// Environment knob as a string ("" when unset) — part of the identity.
-std::string env_string(const char* name) {
-  const char* value = std::getenv(name);
-  return value != nullptr ? std::string(value) : std::string();
-}
+std::string g_path;                         // msim-lint: guarded-by(g_mutex)
+std::map<std::string, std::string> g_info;  // msim-lint: guarded-by(g_mutex)
+// msim-lint: guarded-by(g_mutex)
+std::vector<ErrorSummaryRecord> g_errors;
 
 /// Shortest round-trip rendering of a double; integral values print
 /// without a fraction so counters stay readable.
@@ -138,6 +134,7 @@ Identity current_identity() {
   return identity;
 }
 
+// msim-lint: proto(run.record, writer)
 void render_identity(const Identity& identity, std::ostream& out) {
   out << "\"identity\":{"
       << "\"fingerprint\":\"" << identity.fingerprint() << "\","
@@ -175,6 +172,7 @@ std::string stage_label(const std::string& name) {
 
 /// One sample object: the current registry state plus process-level
 /// numbers (timestamp, wall clock since trace epoch, peak RSS).
+// msim-lint: proto(run.record, writer)
 void render_sample(std::ostream& out) {
   const Snapshot snapshot = Registry::instance().snapshot();
   out << "{\"created_unix\":" << static_cast<long long>(std::time(nullptr))
@@ -254,6 +252,7 @@ void render_sample(std::ostream& out) {
 /// Existing samples from a record at `path` whose schema version and
 /// fingerprint match; empty when the file is missing, malformed, or from
 /// a different build/configuration (the record then starts over).
+// msim-lint: proto(run.record, reader)
 std::vector<std::string> mergeable_samples(const std::string& path,
                                            const std::string& fingerprint) {
   std::ifstream in(path);
@@ -318,6 +317,7 @@ std::string run_record_fingerprint() {
   return current_identity().fingerprint();
 }
 
+// msim-lint: proto(run.record, writer)
 std::string render_run_record() {
   const Identity identity = current_identity();
   std::ostringstream out;
@@ -331,6 +331,7 @@ std::string render_run_record() {
 
 bool write_run_record() { return write_run_record(run_record_path()); }
 
+// msim-lint: proto(run.record, writer)
 bool write_run_record(const std::string& path) {
   if (path.empty()) return false;
   const Identity identity = current_identity();

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/parse.hpp"
 #include "obs/run_record.hpp"
 #include "obs/span.hpp"
 
@@ -18,7 +19,8 @@ std::atomic<bool> g_metrics{false};
 std::atomic<MetricsRenderer> g_renderer{nullptr};
 std::atomic<bool> g_exit_writer_installed{false};
 std::mutex g_metrics_path_mutex;
-std::string g_metrics_path;  // guarded by g_metrics_path_mutex
+// msim-lint: guarded-by(g_metrics_path_mutex)
+std::string g_metrics_path;
 
 std::string plain_render(const Snapshot& snapshot) {
   std::ostringstream os;
@@ -65,23 +67,21 @@ bool collecting() noexcept {
 }
 
 void init_from_env() {
-  if (const char* path = std::getenv("MSIM_TRACE");
-      path != nullptr && path[0] != '\0') {
+  if (const std::string path = env_string("MSIM_TRACE"); !path.empty()) {
     enable_tracing(path);
   }
   // MSIM_METRICS: "0" (or empty) off, "1" stderr only, anything else is a
   // file path that receives a copy of the table.
-  if (const char* flag = std::getenv("MSIM_METRICS");
-      flag != nullptr && flag[0] != '\0' &&
-      !(flag[0] == '0' && flag[1] == '\0')) {
-    if (flag[0] == '1' && flag[1] == '\0') {
+  if (const std::string flag = env_string("MSIM_METRICS");
+      !flag.empty() && flag != "0") {
+    if (flag == "1") {
       enable_metrics();
     } else {
       enable_metrics_file(flag);
     }
   }
-  if (const char* path = std::getenv("MSIM_RUN_RECORD");
-      path != nullptr && path[0] != '\0') {
+  if (const std::string path = env_string("MSIM_RUN_RECORD");
+      !path.empty()) {
     enable_run_record(path);
   }
 }

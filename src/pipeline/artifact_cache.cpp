@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/parse.hpp"
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 
@@ -124,6 +125,9 @@ class FileLock {
       fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
     }
     if (fd_ >= 0) {
+      // The paired LOCK_UN lives in ~FileLock — this class IS the RAII
+      // holder the pairing rule points callers at.
+      // msim-lint: allow(conc.flock-unpaired)
       while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
       }
     } else {
@@ -407,40 +411,16 @@ ArtifactCache::ArtifactCache(std::string dir, std::uint64_t max_bytes)
 }
 
 std::string ArtifactCache::default_dir() {
-  if (const char* env = std::getenv("MSIM_CACHE_DIR");
-      env != nullptr && env[0] != '\0') {
-    return env;
-  }
-  return ".msim-cache";
+  const std::string dir = env_string("MSIM_CACHE_DIR");
+  return dir.empty() ? std::string(".msim-cache") : dir;
 }
 
 std::uint64_t ArtifactCache::default_max_bytes() {
-  constexpr std::uint64_t kSaturated =
-      std::numeric_limits<std::uint64_t>::max();
-  const char* env = std::getenv("MSIM_CACHE_MAX_BYTES");
-  if (env == nullptr || env[0] == '\0' || env[0] == '-') return 0;
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long value = std::strtoull(env, &end, 10);
-  if (end == env) return 0;
-  std::uint64_t multiplier = 1;
-  if (*end != '\0') {
-    switch (std::tolower(static_cast<unsigned char>(*end))) {
-      case 'k': multiplier = 1ull << 10; break;
-      case 'm': multiplier = 1ull << 20; break;
-      case 'g': multiplier = 1ull << 30; break;
-      default: return 0;
-    }
-    if (end[1] != '\0') return 0;
-  }
-  // Overflow saturates to the maximum cap (effectively unlimited) instead
-  // of wrapping: "99999999999g" must not silently become a tiny cap that
-  // evicts the whole cache. ERANGE from strtoull saturates the same way —
-  // 0 would mean "uncapped", which happens to coincide, but saturation
-  // keeps the rule uniform and deterministic.
-  if (errno == ERANGE) return kSaturated;
-  if (multiplier > 1 && value > kSaturated / multiplier) return kSaturated;
-  return static_cast<std::uint64_t>(value) * multiplier;
+  // parse_byte_size keeps the historical contract: k/m/g binary suffixes,
+  // malformed or negative values fall back to 0 (uncapped), and a value
+  // too large for 64 bits saturates instead of wrapping — "99999999999g"
+  // must not silently become a tiny cap that evicts the whole cache.
+  return env_byte_size("MSIM_CACHE_MAX_BYTES", 0);
 }
 
 const std::string& ArtifactCache::dir() const {

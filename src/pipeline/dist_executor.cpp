@@ -41,11 +41,6 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-std::string env_string(const char* name) {
-  const char* env = std::getenv(name);
-  return env == nullptr ? std::string{} : std::string(env);
-}
-
 /// One worker slot: a spawned `msim worker` process plus its pipes and
 /// in-flight state. A dead slot (live == false) is respawned on demand
 /// while units remain.

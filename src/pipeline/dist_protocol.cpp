@@ -13,6 +13,7 @@
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "common/parse.hpp"
 #include "machine/config_io.hpp"
 #include "obs/span.hpp"
 #include "pipeline/stage_tasks.hpp"
@@ -45,7 +46,12 @@ std::uint64_t u64_field(const json::Value& value, const char* key) {
   const json::Value* field = value.find(key);
   MSIM_REQUIRE(field != nullptr && field->is_string(),
                std::string("dist request missing u64 field '") + key + "'");
-  return std::strtoull(field->as_string().c_str(), nullptr, 10);
+  const std::optional<std::uint64_t> parsed =
+      parse_u64(field->as_string());
+  MSIM_REQUIRE(parsed.has_value(),
+               std::string("dist request u64 field '") + key +
+                   "' is not a decimal integer: " + field->as_string());
+  return *parsed;
 }
 
 double number_field(const json::Value& value, const char* key) {
@@ -81,6 +87,7 @@ void append_string_member(std::string& out, const char* key,
   out += '"';
 }
 
+// msim-lint: proto(dist.unit, writer)
 std::string executor_to_json(const simulate::ExecutorOptions& executor) {
   std::string out = "{";
   out += "\"tlb\":" + std::string(executor.apply_tlb ? "true" : "false");
@@ -103,6 +110,7 @@ std::string executor_to_json(const simulate::ExecutorOptions& executor) {
   return out;
 }
 
+// msim-lint: proto(dist.unit, reader)
 simulate::ExecutorOptions executor_from_json(const json::Value& value) {
   simulate::ExecutorOptions executor;
   executor.apply_tlb = bool_field(value, "tlb");
@@ -119,6 +127,7 @@ simulate::ExecutorOptions executor_from_json(const json::Value& value) {
   return executor;
 }
 
+// msim-lint: proto(dist.unit, writer)
 std::string tracer_to_json(const trace::TracerOptions& tracer) {
   std::string out = "{";
   append_string_member(out, "sample_refs", u64_text(tracer.sample_refs),
@@ -136,6 +145,7 @@ std::string tracer_to_json(const trace::TracerOptions& tracer) {
   return out;
 }
 
+// msim-lint: proto(dist.unit, reader)
 trace::TracerOptions tracer_from_json(const json::Value& value) {
   trace::TracerOptions tracer;
   tracer.sample_refs = u64_field(value, "sample_refs");
@@ -161,13 +171,14 @@ struct FaultSpec {
 
 FaultSpec fault_spec_from_env() {
   FaultSpec spec;
-  const char* env = std::getenv("MSIM_TEST_WORKER_FAULT");
-  if (env == nullptr || env[0] == '\0') return spec;
-  std::string text(env);
+  const std::string text = env_string("MSIM_TEST_WORKER_FAULT");
+  if (text.empty()) return spec;
   const std::size_t colon = text.find(':');
   std::string kind = text.substr(0, colon);
   if (colon != std::string::npos) {
-    spec.at_request = std::atoi(text.c_str() + colon + 1);
+    // Strict whole-string parse; a malformed ordinal degrades to "first
+    // request" instead of atoi's silent prefix value.
+    spec.at_request = parse_int(text.substr(colon + 1)).value_or(1);
     if (spec.at_request <= 0) spec.at_request = 1;
   }
   if (kind == "crash") spec.kind = FaultSpec::Kind::Crash;
@@ -181,16 +192,12 @@ FaultSpec fault_spec_from_env() {
 /// file shared by every worker): the injected fault fires exactly once
 /// per campaign, so the retried unit succeeds and the run converges.
 bool claim_fault_once(const ArtifactCache& cache) {
-  std::string sentinel;
-  if (const char* env = std::getenv("MSIM_TEST_WORKER_FAULT_SENTINEL");
-      env != nullptr && env[0] != '\0') {
-    sentinel = env;
-  } else if (cache.enabled()) {
+  std::string sentinel = env_string("MSIM_TEST_WORKER_FAULT_SENTINEL");
+  if (sentinel.empty()) {
+    if (!cache.enabled()) return false;
     // Sibling of the cache dir, not inside it: an index rebuild scan
     // must never adopt the sentinel as an artifact.
     sentinel = cache.dir() + ".fault-fired";
-  } else {
-    return false;
   }
   const int fd = ::open(sentinel.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   if (fd < 0) return false;
@@ -220,6 +227,7 @@ std::string ground_truth_chunk_name(std::uint64_t key, std::size_t index) {
   return "gtc-" + hex_digest(key) + "-" + std::to_string(index) + ".txt";
 }
 
+// msim-lint: proto(dist.unit, writer)
 std::string unit_to_json(const WorkUnit& unit) {
   std::string out = "{";
   switch (unit.kind) {
@@ -256,6 +264,7 @@ std::string unit_to_json(const WorkUnit& unit) {
   return out;
 }
 
+// msim-lint: proto(dist.unit, reader)
 WorkUnit unit_from_json(const json::Value& value) {
   WorkUnit unit;
   const std::string op = string_field(value, "op");
@@ -290,6 +299,7 @@ WorkUnit unit_from_json(const json::Value& value) {
   return unit;
 }
 
+// msim-lint: proto(dist.plan, writer)
 std::string plan_to_json(const ShardPlan& plan) {
   std::string out = "{\"schema\":" + std::to_string(plan.schema);
   out += ",\"units\":[\n";
@@ -314,6 +324,7 @@ std::string plan_to_json(const ShardPlan& plan) {
   return out;
 }
 
+// msim-lint: proto(dist.plan, reader)
 ShardPlan plan_from_json(const std::string& text) {
   const json::Value doc = json::parse(text);
   ShardPlan plan;
@@ -342,16 +353,19 @@ ShardPlan plan_from_json(const std::string& text) {
   return plan;
 }
 
+// msim-lint: proto(dist.request, writer)
 std::string request_line(std::uint64_t id, const WorkUnit& unit) {
   std::string body = unit_to_json(unit);
   // Splice the id in after the opening brace; the body is always "{...".
   return "{\"id\":" + u64_text(id) + "," + body.substr(1) + "\n";
 }
 
+// msim-lint: proto(dist.request, writer)
 std::string exit_request_line(std::uint64_t id) {
   return "{\"id\":" + u64_text(id) + ",\"op\":\"exit\"}\n";
 }
 
+// msim-lint: proto(dist.reply, writer)
 std::string reply_line(const WorkerReply& reply) {
   std::string out = "{\"id\":" + u64_text(reply.id);
   switch (reply.status) {
@@ -373,6 +387,7 @@ std::string reply_line(const WorkerReply& reply) {
   return out;
 }
 
+// msim-lint: proto(dist.reply, reader)
 std::optional<WorkerReply> parse_reply(const std::string& line) {
   try {
     const json::Value doc = json::parse(line);
@@ -462,6 +477,7 @@ UnitResult execute_unit(const WorkUnit& unit, const ArtifactCache& cache) {
   throw precondition_error("unknown work unit kind");
 }
 
+// msim-lint: proto(dist.request, reader)
 int run_worker_loop(std::FILE* in, std::FILE* out,
                     const ArtifactCache& cache) {
   const FaultSpec fault = fault_spec_from_env();

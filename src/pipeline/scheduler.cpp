@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
@@ -90,12 +91,9 @@ void record_task_seconds(const char* label, double seconds) {
 }
 
 unsigned env_threads() {
-  const char* env = std::getenv("MSIM_THREADS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(env, &end, 10);
-  if (end == env || *end != '\0') return 0;
-  return static_cast<unsigned>(std::min<unsigned long>(value, 1024));
+  // Strict parse with fallback 0 ("derive from hardware"); the cap keeps
+  // an operator typo from spawning an absurd pool.
+  return std::min(env_unsigned("MSIM_THREADS", 0), 1024u);
 }
 
 unsigned effective_threads(unsigned threads, std::size_t items) {

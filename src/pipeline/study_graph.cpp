@@ -20,6 +20,7 @@
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
+#include "common/parse.hpp"
 #include "machine/config_io.hpp"
 #include "machine/registry.hpp"
 #include "obs/registry.hpp"
@@ -41,22 +42,14 @@ double seconds_since(Clock::time_point start) {
 }
 
 /// MSIM_GRAPH_PREFETCH gates the graph-level artifact prefetch; anything
-/// but an explicit "0" (including unset) leaves it on.
-bool prefetch_default() {
-  const char* env = std::getenv("MSIM_GRAPH_PREFETCH");
-  return env == nullptr || std::string(env) != "0";
-}
+/// but an explicit off value (including unset) leaves it on.
+bool prefetch_default() { return env_bool("MSIM_GRAPH_PREFETCH", true); }
 
 /// MSIM_TEST_STAGE_SLEEP_MS: artificial per-assemble delay for regression
 /// tests of the run-record trajectory tooling (an env-injected "slow
 /// stage" that msim-report diff must flag). 0 / unset in normal use.
 unsigned test_stage_sleep_ms() {
-  static const unsigned ms = [] {
-    const char* env = std::getenv("MSIM_TEST_STAGE_SLEEP_MS");
-    if (env == nullptr || env[0] == '\0') return 0ul;
-    char* end = nullptr;
-    return std::strtoul(env, &end, 10);
-  }();
+  static const unsigned ms = env_unsigned("MSIM_TEST_STAGE_SLEEP_MS", 0);
   return ms;
 }
 

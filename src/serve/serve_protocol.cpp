@@ -36,6 +36,7 @@ std::string string_field(const json::Value& value, const char* key) {
   return field->as_string();
 }
 
+// msim-lint: proto(serve.request, reader)
 std::uint64_t id_field(const json::Value& value) {
   const json::Value* field = value.find("id");
   MSIM_REQUIRE(field != nullptr && field->is_number(),
@@ -43,6 +44,7 @@ std::uint64_t id_field(const json::Value& value) {
   return static_cast<std::uint64_t>(field->as_number());
 }
 
+// msim-lint: proto(serve.reply, writer)
 std::string reply_prefix(std::uint64_t id, const char* status) {
   std::string out = "{\"id\":";
   out += std::to_string(id);
@@ -54,6 +56,7 @@ std::string reply_prefix(std::uint64_t id, const char* status) {
 
 }  // namespace
 
+// msim-lint: proto(serve.request, writer)
 std::string request_line(const ServeRequest& request) {
   const char* op = nullptr;
   switch (request.op) {
@@ -77,6 +80,7 @@ std::string request_line(const ServeRequest& request) {
   return out;
 }
 
+// msim-lint: proto(serve.request, reader)
 ServeRequest request_from_json(const json::Value& value) {
   MSIM_REQUIRE(value.is_object(), "serve request is not a JSON object");
   ServeRequest request;
@@ -124,6 +128,7 @@ metrics::Metric metric_from_token(const std::string& token) {
                            "' (use 1..9, 1-S..9-P, B-E, B-F)");
 }
 
+// msim-lint: proto(serve.reply, writer)
 std::string predict_result_json(
     const metrics::Study& study, const std::string& app, int nprocs,
     const std::string& machine,
@@ -155,11 +160,13 @@ std::string ok_reply(std::uint64_t id) {
   return reply_prefix(id, "ok") + "}\n";
 }
 
+// msim-lint: proto(serve.reply, writer)
 std::string predict_reply(std::uint64_t id,
                           const std::string& result_json) {
   return reply_prefix(id, "ok") + ",\"result\":" + result_json + "}\n";
 }
 
+// msim-lint: proto(serve.reply, writer)
 std::string stats_reply(std::uint64_t id, const std::string& stats_json) {
   return reply_prefix(id, "ok") + ",\"stats\":" + stats_json + "}\n";
 }
@@ -168,6 +175,7 @@ std::string bye_reply(std::uint64_t id) {
   return reply_prefix(id, "bye") + "}\n";
 }
 
+// msim-lint: proto(serve.reply, writer)
 std::string error_reply(std::uint64_t id, const std::string& message) {
   std::string out = reply_prefix(id, "error");
   append_string_member(out, "message", message, true);

@@ -51,6 +51,7 @@ ServeMetrics& metrics() {
 /// The stats-op payload: service counters plus the cache read-path
 /// counters that prove residency (mmap hits instead of string loads).
 /// u64s ride as decimal strings per the wire conventions.
+// msim-lint: proto(serve.reply, writer)
 std::string stats_json() {
   auto& registry = obs::Registry::instance();
   auto member = [](const char* key, std::uint64_t value, bool comma) {

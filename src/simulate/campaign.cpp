@@ -9,7 +9,7 @@
 // degrades to inline execution when the campaign already runs on a
 // scheduler worker (a StudyGraph ground-truth node), so nested campaigns
 // can never oversubscribe the machine.
-#include "pipeline/scheduler.hpp"
+#include "pipeline/scheduler.hpp"  // msim-lint: allow(layer.back-edge)
 
 namespace msim::simulate {
 

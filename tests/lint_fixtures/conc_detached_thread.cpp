@@ -1,0 +1,8 @@
+// Fixture: a detached thread — unjoinable, outlives its spawner's
+// invariants.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}

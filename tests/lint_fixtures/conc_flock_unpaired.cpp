@@ -1,0 +1,7 @@
+// Fixture: flock acquire with no LOCK_UN in the same function and no
+// RAII holder documenting the pairing.
+#include <sys/file.h>
+
+int acquire(int fd) {
+  return ::flock(fd, LOCK_EX);
+}

@@ -1,0 +1,6 @@
+// Fixture: a mutable file-scope static with no guarded-by annotation.
+#include <string>
+
+namespace fixture {
+std::string g_last_error;
+}

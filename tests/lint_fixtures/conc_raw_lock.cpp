@@ -1,0 +1,7 @@
+// Fixture: a bare unlock on the mutex itself — no RAII guard declared
+// for it in this file.
+#include <mutex>
+
+void leak(std::mutex& m) {
+  m.unlock();
+}

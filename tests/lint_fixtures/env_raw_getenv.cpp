@@ -1,0 +1,7 @@
+// Fixture: raw getenv() bypassing the checked env_* helpers in
+// common/parse.hpp.
+#include <cstdlib>
+
+const char* fixture_dir() {
+  return std::getenv("MSIM_FIXTURE_DIR");
+}

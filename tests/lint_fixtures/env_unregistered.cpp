@@ -1,0 +1,7 @@
+// Fixture: an env_* helper read of a knob that is not listed in
+// tools/msim_lint/env_registry.txt.
+unsigned env_unsigned(const char* name, unsigned fallback);
+
+unsigned canary_threads() {
+  return env_unsigned("MSIM_CANARY_KNOB", 1u);
+}

@@ -1,0 +1,5 @@
+// Fixture: an include that points up the layer DAG (lower-ranked module
+// including a higher-ranked one).
+#include "serve/server.hpp"
+
+int fixture_value() { return 1; }

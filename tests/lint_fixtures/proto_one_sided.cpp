@@ -1,0 +1,11 @@
+// Fixture: a protocol annotated on one side only — no reader region
+// anywhere in the corpus, so key drift is uncheckable.
+#include <string>
+
+// msim-lint: proto(fixture.wire, writer)
+std::string encode(int id) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += '}';
+  return out;
+}

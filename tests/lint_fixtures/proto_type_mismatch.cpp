@@ -1,0 +1,20 @@
+// Fixture: the writer serializes "name" as a JSON string, the reader
+// parses it as a number.
+#include <string>
+
+struct Doc {
+  double number_or(const char* key, double fallback) const;
+};
+
+// msim-lint: proto(fixture.rpc, writer)
+std::string encode(const std::string& name) {
+  std::string out = "{\"name\":\"";
+  out += name;
+  out += "\"}";
+  return out;
+}
+
+// msim-lint: proto(fixture.rpc, reader)
+double decode(const Doc& doc) {
+  return doc.number_or("name", 0.0);
+}

@@ -1,0 +1,21 @@
+// Fixture: the writer emits "extra" but no reader region consumes it.
+#include <string>
+
+struct Doc {
+  double number_or(const char* key, double fallback) const;
+};
+
+// msim-lint: proto(fixture.rpc, writer)
+std::string encode(int id, int extra) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"extra\":";
+  out += std::to_string(extra);
+  out += '}';
+  return out;
+}
+
+// msim-lint: proto(fixture.rpc, reader)
+int decode(const Doc& doc) {
+  return static_cast<int>(doc.number_or("id", 0.0));
+}

@@ -1,0 +1,19 @@
+// Fixture: the reader consumes "ghost" but no writer region emits it.
+#include <string>
+
+struct Doc {
+  double number_or(const char* key, double fallback) const;
+};
+
+// msim-lint: proto(fixture.rpc, writer)
+std::string encode(int id) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += '}';
+  return out;
+}
+
+// msim-lint: proto(fixture.rpc, reader)
+double decode(const Doc& doc) {
+  return doc.number_or("id", 0.0) + doc.number_or("ghost", 0.0);
+}

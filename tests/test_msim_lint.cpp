@@ -338,13 +338,314 @@ TEST(MsimLint, CompleteKeyFunctionProducesNoFindings) {
   EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
 }
 
+// --- v2: protocol-schema drift ----------------------------------------
+
+TEST(MsimLintProto, FlagsOneSidedProtocol) {
+  const LintResult result =
+      lint_fixture("src/fixture/wire.cpp", "proto_one_sided.cpp");
+  ASSERT_EQ(rules_of(result),
+            std::vector<std::string>{"proto.one-sided"})
+      << render_diagnostics(result);
+  EXPECT_NE(result.findings[0].message.find("fixture.wire"),
+            std::string::npos);
+}
+
+TEST(MsimLintProto, FlagsWrittenButNeverReadKey) {
+  const LintResult result =
+      lint_fixture("src/fixture/rpc.cpp", "proto_unread_key.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "proto.unread-key");
+  EXPECT_NE(result.findings[0].message.find("\"extra\""), std::string::npos);
+}
+
+TEST(MsimLintProto, FlagsReadButNeverWrittenKey) {
+  const LintResult result =
+      lint_fixture("src/fixture/rpc.cpp", "proto_unwritten_key.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "proto.unwritten-key");
+  EXPECT_NE(result.findings[0].message.find("\"ghost\""), std::string::npos);
+}
+
+TEST(MsimLintProto, FlagsStringWrittenNumberRead) {
+  const LintResult result =
+      lint_fixture("src/fixture/rpc.cpp", "proto_type_mismatch.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "proto.type-mismatch");
+  EXPECT_NE(result.findings[0].message.find("\"name\""), std::string::npos);
+}
+
+TEST(MsimLintProto, WriterAndReaderMaySitInDifferentFiles) {
+  // The pass consumes the whole-repo model: a writer in src/ pairs with a
+  // reader in tests/ and a balanced key set is silent.
+  const std::string writer =
+      "#include <string>\n"
+      "// msim-lint: proto(fixture.split, writer)\n"
+      "std::string encode(int id) {\n"
+      "  std::string out = \"{\\\"id\\\":\";\n"
+      "  out += std::to_string(id);\n"
+      "  out += '}';\n"
+      "  return out;\n"
+      "}\n";
+  const std::string reader =
+      "struct Doc { double number_or(const char*, double) const; };\n"
+      "// msim-lint: proto(fixture.split, reader)\n"
+      "double decode(const Doc& doc) {\n"
+      "  return doc.number_or(\"id\", 0.0);\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/wire.cpp", writer},
+                 SourceFile{"tests/fixture_wire.cpp", reader}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+// --- v2: env-knob registry --------------------------------------------
+
+TEST(MsimLintEnv, FlagsRawGetenv) {
+  const LintResult result =
+      lint_fixture("src/fixture/knobs.cpp", "env_raw_getenv.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "env.raw-getenv");
+  EXPECT_NE(result.findings[0].message.find("MSIM_FIXTURE_DIR"),
+            std::string::npos);
+}
+
+TEST(MsimLintEnv, FlagsUnregisteredKnob) {
+  const LintResult result =
+      lint_fixture("src/fixture/knobs.cpp", "env_unregistered.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "env.unregistered");
+  EXPECT_NE(result.findings[0].message.find("MSIM_CANARY_KNOB"),
+            std::string::npos);
+}
+
+TEST(MsimLintEnv, RegistryDrivesParserAndDocChecks) {
+  const std::string source =
+      "unsigned env_unsigned(const char* name, unsigned fallback);\n"
+      "unsigned knob() { return env_unsigned(\"MSIM_CANARY_KNOB\", 1u); }\n";
+  RepoInputs inputs;
+  inputs.docs.emplace("README.md", "MSIM_CANARY_KNOB does things.\n");
+
+  // Registered with the matching parser and a real doc mention: silent.
+  inputs.env_registry = "MSIM_CANARY_KNOB unsigned 1 README.md\n";
+  LintResult result = run_rules(
+      {SourceFile{"src/fixture/knobs.cpp", source}}, {}, &inputs);
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+
+  // Registered under a different parser family: parser mismatch.
+  inputs.env_registry = "MSIM_CANARY_KNOB double 1 README.md\n";
+  result = run_rules({SourceFile{"src/fixture/knobs.cpp", source}}, {},
+                     &inputs);
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "env.parser-mismatch");
+
+  // Doc anchor never mentions the knob: undocumented.
+  inputs.env_registry = "MSIM_CANARY_KNOB unsigned 1 README.md\n";
+  inputs.docs["README.md"] = "nothing to see here\n";
+  result = run_rules({SourceFile{"src/fixture/knobs.cpp", source}}, {},
+                     &inputs);
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "env.undocumented");
+
+  // A row no scanned source reads: stale.
+  inputs.env_registry =
+      "MSIM_CANARY_KNOB unsigned 1 README.md\n"
+      "MSIM_GHOST_KNOB unsigned 0 README.md\n";
+  inputs.docs["README.md"] =
+      "MSIM_CANARY_KNOB and MSIM_GHOST_KNOB do things.\n";
+  result = run_rules({SourceFile{"src/fixture/knobs.cpp", source}}, {},
+                     &inputs);
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "env.registry-stale");
+  EXPECT_EQ(result.findings[0].file, "tools/msim_lint/env_registry.txt");
+  EXPECT_EQ(result.findings[0].line, 2);
+}
+
+TEST(MsimLintEnv, RegistryParsesAndRendersRoundTrip) {
+  const std::vector<EnvKnob> knobs = parse_env_registry(
+      "# comment line\n"
+      "\n"
+      "MSIM_ALPHA unsigned 4 README.md\n"
+      "malformed-row-with-too-few-fields\n"
+      "MSIM_BETA string - docs/FORMATS.md\n");
+  ASSERT_EQ(knobs.size(), 2u);
+  EXPECT_EQ(knobs[0].name, "MSIM_ALPHA");
+  EXPECT_EQ(knobs[0].parser, "unsigned");
+  EXPECT_EQ(knobs[0].fallback, "4");
+  EXPECT_EQ(knobs[0].doc, "README.md");
+  EXPECT_EQ(knobs[0].line, 3);
+  EXPECT_EQ(knobs[1].name, "MSIM_BETA");
+  EXPECT_EQ(knobs[1].line, 5);
+
+  const std::string table = render_env_registry_markdown(knobs);
+  EXPECT_NE(table.find("| Knob | Parser | Default |"), std::string::npos);
+  EXPECT_NE(table.find("| `MSIM_ALPHA` | unsigned | `4` | README.md |"),
+            std::string::npos);
+  EXPECT_NE(table.find("`MSIM_BETA`"), std::string::npos);
+}
+
+// --- v2: concurrency discipline ---------------------------------------
+
+TEST(MsimLintConc, FlagsRawLockOutsideGuards) {
+  const LintResult result =
+      lint_fixture("src/fixture/locks.cpp", "conc_raw_lock.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "conc.raw-lock");
+}
+
+TEST(MsimLintConc, DeclaredGuardMayLockAndUnlock) {
+  // Dropping a unique_lock around a blocking wait is the sanctioned
+  // pattern; .lock()/.unlock() on the declared guard is silent.
+  const std::string source =
+      "#include <mutex>\n"
+      "void wait(std::mutex& m, bool& flag) {\n"
+      "  std::unique_lock<std::mutex> guard(m);\n"
+      "  guard.unlock();\n"
+      "  guard.lock();\n"
+      "  flag = true;\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/locks.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+TEST(MsimLintConc, FlagsFlockAcquireWithoutRelease) {
+  const LintResult result =
+      lint_fixture("src/fixture/filelock.cpp", "conc_flock_unpaired.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "conc.flock-unpaired");
+}
+
+TEST(MsimLintConc, PairedFlockIsSilent) {
+  const std::string source =
+      "#include <sys/file.h>\n"
+      "void with_lock(int fd) {\n"
+      "  ::flock(fd, LOCK_EX);\n"
+      "  ::flock(fd, LOCK_UN);\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/filelock.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+TEST(MsimLintConc, FlagsDetachedThreads) {
+  const LintResult result =
+      lint_fixture("src/fixture/threads.cpp", "conc_detached_thread.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "conc.detached-thread");
+}
+
+TEST(MsimLintConc, FlagsMutableStaticWithoutGuardAnnotation) {
+  const LintResult result =
+      lint_fixture("src/fixture/state.cpp", "conc_mutable_static.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "conc.mutable-static");
+  EXPECT_NE(result.findings[0].message.find("g_last_error"),
+            std::string::npos);
+}
+
+TEST(MsimLintConc, GuardedByAnnotationNamingARealMutexIsSilent) {
+  const std::string source =
+      "#include <mutex>\n"
+      "#include <string>\n"
+      "namespace fixture {\n"
+      "std::mutex g_mutex;\n"
+      "// msim-lint: guarded-by(g_mutex)\n"
+      "std::string g_last_error;\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/state.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+TEST(MsimLintConc, GuardedByNamingAMissingMutexStillFlags) {
+  const std::string source =
+      "#include <string>\n"
+      "namespace fixture {\n"
+      "// msim-lint: guarded-by(g_no_such_mutex)\n"
+      "std::string g_last_error;\n"
+      "}\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/fixture/state.cpp", source}});
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "conc.mutable-static");
+  EXPECT_NE(result.findings[0].message.find("g_no_such_mutex"),
+            std::string::npos);
+}
+
+// --- v2: layer DAG ----------------------------------------------------
+
+TEST(MsimLintLayer, FlagsIncludePointingUpTheDag) {
+  const LintResult result =
+      lint_fixture("src/metrics/canary.cpp", "layer_back_edge.cpp");
+  ASSERT_EQ(result.findings.size(), 1u) << render_diagnostics(result);
+  EXPECT_EQ(result.findings[0].rule, "layer.back-edge");
+  EXPECT_NE(result.findings[0].message.find("serve"), std::string::npos);
+}
+
+TEST(MsimLintLayer, DownwardAndSameRankIncludesAreSilent) {
+  const std::string source =
+      "#include \"common/check.hpp\"\n"
+      "#include \"machine/registry.hpp\"\n"
+      "#include \"memsim/cache.hpp\"\n"
+      "int fixture_value() { return 1; }\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/convolve/fixture.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+}
+
+TEST(MsimLintLayer, AllowDirectiveOnTheIncludeLineSanctionsABackEdge) {
+  const std::string source =
+      "#include \"pipeline/study_builder.hpp\"  "
+      "// msim-lint: allow(layer.back-edge)\n"
+      "int fixture_value() { return 1; }\n";
+  const LintResult result =
+      run_rules({SourceFile{"src/metrics/fixture.cpp", source}});
+  EXPECT_TRUE(result.findings.empty()) << render_diagnostics(result);
+  EXPECT_EQ(result.suppressed, 1);
+}
+
+TEST(MsimLintLayer, LexerHarvestsQuotedIncludesOnly) {
+  const LexedFile lexed = lex(SourceFile{
+      "src/metrics/x.cpp",
+      "#include <vector>\n"
+      "#include \"common/check.hpp\"\n"
+      "#include \"serve/server.hpp\"  // trailing words\n"});
+  ASSERT_EQ(lexed.includes.size(), 2u);
+  EXPECT_EQ(lexed.includes[0].path, "common/check.hpp");
+  EXPECT_EQ(lexed.includes[0].line, 2);
+  EXPECT_EQ(lexed.includes[1].path, "serve/server.hpp");
+  EXPECT_EQ(lexed.includes[1].line, 3);
+}
+
+TEST(MsimLint, LexerHarvestsProtoAndGuardedByDirectives) {
+  const LexedFile lexed = lex(SourceFile{
+      "src/x.cpp",
+      "// msim-lint: proto(fixture.wire, writer)\n"
+      "int encode();\n"
+      "// msim-lint: guarded-by(g_mutex)\n"
+      "int g_state;\n"});
+  ASSERT_EQ(lexed.protos.size(), 1u);
+  EXPECT_EQ(lexed.protos[0].name, "fixture.wire");
+  EXPECT_EQ(lexed.protos[0].side, "writer");
+  EXPECT_EQ(lexed.protos[0].line, 1);
+  ASSERT_EQ(lexed.guarded_by.count(3), 1u);
+  ASSERT_EQ(lexed.guarded_by.at(3).size(), 1u);
+  EXPECT_EQ(lexed.guarded_by.at(3).front(), "g_mutex");
+}
+
 // --- the live tree ----------------------------------------------------
 
 TEST(MsimLint, LiveTreeLintsCleanAgainstCheckedInBaseline) {
   const std::vector<SourceFile> files = collect_tree(MSIM_REPO_ROOT);
   ASSERT_GT(files.size(), 100u) << "tree walk found suspiciously few files";
 
-  LintResult result = run_rules(files);
+  // The whole-repo passes need the checked-in env registry and the docs;
+  // this is exactly what the msim-lint binary loads.
+  const RepoInputs inputs = load_repo_inputs(MSIM_REPO_ROOT);
+  EXPECT_FALSE(inputs.env_registry.empty()) << "env_registry.txt missing";
+  EXPECT_EQ(inputs.docs.count("README.md"), 1u);
+
+  LintResult result = run_rules(files, {}, &inputs);
   std::ifstream in(std::string(MSIM_REPO_ROOT) +
                    "/tools/msim_lint/baseline.txt");
   if (in) {

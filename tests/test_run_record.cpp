@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -298,6 +299,118 @@ TEST(MsimReport, TrajectoryGatesOnNewestSample) {
   EXPECT_TRUE(doc.find("verdict")->find("regression")->as_bool());
 }
 
+/// Decoded <experiment>_trajectory.json body. This is the reader half of
+/// the run.trajectory protocol (writer: build_trajectories); CI dashboards
+/// consume the same shape, so the decode below keeps every written key
+/// honest.
+struct TrajectoryView {
+  double schema = 0.0;
+  std::string experiment;
+  double samples = 0.0;
+  std::vector<std::string> revisions;
+  std::vector<double> wall_seconds;
+  std::map<std::string, std::vector<double>> stages;
+  bool regression = false;
+  struct Row {
+    std::string name;
+    double history_mean = 0.0;
+    double history_stddev = 0.0;
+    double latest = 0.0;
+    double threshold = 0.0;
+    bool regression = false;
+  };
+  std::vector<Row> rows;
+};
+
+// msim-lint: proto(run.trajectory, reader)
+TrajectoryView decode_trajectory(const json::Value& doc) {
+  TrajectoryView view;
+  view.schema = doc.number_or("schema", 0.0);
+  view.experiment = doc.string_or("experiment", "");
+  view.samples = doc.number_or("samples", 0.0);
+  if (const json::Value* revisions = doc.find("revisions");
+      revisions != nullptr && revisions->is_array()) {
+    for (const json::Value& revision : revisions->items()) {
+      view.revisions.push_back(revision.as_string());
+    }
+  }
+  if (const json::Value* series = doc.find("series");
+      series != nullptr && series->is_object()) {
+    if (const json::Value* wall = series->find("wall_seconds");
+        wall != nullptr && wall->is_array()) {
+      for (const json::Value& value : wall->items()) {
+        view.wall_seconds.push_back(value.as_number());
+      }
+    }
+    if (const json::Value* stages = series->find("stages");
+        stages != nullptr && stages->is_object()) {
+      for (const auto& [label, values] : stages->fields()) {
+        for (const json::Value& value : values.items()) {
+          view.stages[label].push_back(value.as_number());
+        }
+      }
+    }
+  }
+  if (const json::Value* verdict = doc.find("verdict");
+      verdict != nullptr && verdict->is_object()) {
+    if (const json::Value* flag = verdict->find("regression");
+        flag != nullptr && flag->is_bool()) {
+      view.regression = flag->as_bool();
+    }
+    if (const json::Value* rows = verdict->find("rows");
+        rows != nullptr && rows->is_array()) {
+      for (const json::Value& row : rows->items()) {
+        TrajectoryView::Row decoded;
+        decoded.name = row.string_or("name", "");
+        decoded.history_mean = row.number_or("history_mean", 0.0);
+        decoded.history_stddev = row.number_or("history_stddev", 0.0);
+        decoded.latest = row.number_or("latest", 0.0);
+        decoded.threshold = row.number_or("threshold", 0.0);
+        if (const json::Value* flag = row.find("regression");
+            flag != nullptr && flag->is_bool()) {
+          decoded.regression = flag->as_bool();
+        }
+        view.rows.push_back(decoded);
+      }
+    }
+  }
+  return view;
+}
+
+TEST(MsimReport, TrajectoryJsonRoundTripsThroughReader) {
+  const report_tool::Thresholds t;
+  std::vector<report_tool::RecordSummary> records;
+  auto record = fake_summary("roundtrip", {1.00, 1.01, 0.99, 2.50});
+  record.stages["sumstage"].values = {0.5, 0.5, 0.5, 2.0};
+  records.push_back(std::move(record));
+  const auto trajectories = report_tool::build_trajectories(records, t);
+  ASSERT_EQ(trajectories.size(), 1u);
+
+  const TrajectoryView view =
+      decode_trajectory(json::parse(trajectories[0].json));
+  EXPECT_EQ(view.schema, 1.0);
+  EXPECT_EQ(view.experiment, "roundtrip");
+  EXPECT_EQ(view.samples, 4.0);
+  ASSERT_EQ(view.revisions.size(), 1u);
+  EXPECT_EQ(view.revisions[0], "test");
+  EXPECT_EQ(view.wall_seconds,
+            (std::vector<double>{1.00, 1.01, 0.99, 2.50}));
+  ASSERT_EQ(view.stages.count("sumstage"), 1u);
+  EXPECT_EQ(view.stages.at("sumstage").size(), 4u);
+  EXPECT_TRUE(view.regression);
+  ASSERT_FALSE(view.rows.empty());
+  bool saw_wall = false;
+  for (const TrajectoryView::Row& row : view.rows) {
+    if (row.name != "wall_seconds") continue;
+    saw_wall = true;
+    EXPECT_NEAR(row.history_mean, 1.0, 0.02);
+    EXPECT_NEAR(row.latest, 2.50, 1e-9);
+    EXPECT_GT(row.threshold, 0.0);
+    EXPECT_TRUE(row.regression);
+  }
+  EXPECT_TRUE(saw_wall);
+}
+
 TEST(MsimReport, TrajectorySingleSampleHasNoVerdict) {
   const report_tool::Thresholds t;
   std::vector<report_tool::RecordSummary> records;
@@ -326,11 +439,26 @@ TEST_F(RunRecordTest, SummarizeRecordReadsWhatTheWriterEmits) {
   ASSERT_TRUE(obs::write_run_record());
 
   const auto summary = report_tool::load_record(path.string());
+  EXPECT_EQ(summary.tool, "msim");
   EXPECT_EQ(summary.experiment, "summarize-test");
+  EXPECT_EQ(summary.fingerprint, obs::run_record_fingerprint());
   EXPECT_EQ(summary.samples, 2u);
   EXPECT_EQ(summary.wall_seconds.count(), 2u);
   ASSERT_EQ(summary.stages.count("sumstage"), 1u);
   EXPECT_EQ(summary.stages.at("sumstage").values.front(), 0.125);
+  // Per-stage straggler series ride along with the seconds series.
+  ASSERT_EQ(summary.stage_max_seconds.count("sumstage"), 1u);
+  EXPECT_EQ(summary.stage_max_seconds.at("sumstage").values.front(), 0.125);
+  // The raw scheduler histogram also lands in the newest-sample view.
+  ASSERT_EQ(summary.histograms.count("scheduler.sumstage.task.seconds"),
+            1u);
+  const auto& hist =
+      summary.histograms.at("scheduler.sumstage.task.seconds");
+  EXPECT_EQ(hist.count, 1.0);
+  EXPECT_EQ(hist.max, 0.125);
+  // Quantiles are bucketed estimates: an upper bucket bound, never below
+  // the true value.
+  EXPECT_GE(hist.p50, 0.125);
   fs::remove(path);
 }
 

@@ -347,6 +347,57 @@ TEST(StrictParse, EnvKnobsFallBackWhole) {
   ::unsetenv(kName);
 }
 
+TEST(StrictParse, ByteSizesWithBinarySuffixes) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(parse_byte_size("0"), 0u);
+  EXPECT_EQ(parse_byte_size("4096"), 4096u);
+  EXPECT_EQ(parse_byte_size("4k"), 4096u);
+  EXPECT_EQ(parse_byte_size("4K"), 4096u) << "suffix is case-insensitive";
+  EXPECT_EQ(parse_byte_size("2m"), 2ull << 20);
+  EXPECT_EQ(parse_byte_size("3G"), 3ull << 30);
+  EXPECT_FALSE(parse_byte_size("").has_value());
+  EXPECT_FALSE(parse_byte_size("-1").has_value());
+  EXPECT_FALSE(parse_byte_size("4kb").has_value()) << "one-letter suffix only";
+  EXPECT_FALSE(parse_byte_size("4t").has_value()) << "unknown suffix";
+  EXPECT_FALSE(parse_byte_size("k").has_value()) << "no digits";
+  EXPECT_EQ(parse_byte_size("99999999999999999999"), kMax) << "saturates";
+  EXPECT_EQ(parse_byte_size("99999999999g"), kMax)
+      << "suffix overflow saturates, never wraps to a tiny cache cap";
+}
+
+TEST(StrictParse, EnvBoolMatchesToggleContract) {
+  constexpr const char* kName = "MSIM_TEST_PARSE_KNOB";
+  ::unsetenv(kName);
+  EXPECT_TRUE(env_bool(kName, true)) << "unset -> fallback";
+  EXPECT_FALSE(env_bool(kName, false));
+  ::setenv(kName, "", 1);
+  EXPECT_TRUE(env_bool(kName, true)) << "empty -> fallback";
+  for (const char* off : {"0", "false", "off", "no"}) {
+    ::setenv(kName, off, 1);
+    EXPECT_FALSE(env_bool(kName, true)) << off;
+  }
+  // Historical contract: anything but the explicit off spellings is on.
+  for (const char* on : {"1", "true", "yes", "2", "banana"}) {
+    ::setenv(kName, on, 1);
+    EXPECT_TRUE(env_bool(kName, false)) << on;
+  }
+  ::unsetenv(kName);
+}
+
+TEST(StrictParse, EnvStringAndByteSizeKnobs) {
+  constexpr const char* kName = "MSIM_TEST_PARSE_KNOB";
+  ::unsetenv(kName);
+  EXPECT_EQ(env_string(kName), "") << "unset -> empty";
+  ::setenv(kName, "/tmp/cache dir", 1);
+  EXPECT_EQ(env_string(kName), "/tmp/cache dir") << "verbatim, no parsing";
+  ::setenv(kName, "8m", 1);
+  EXPECT_EQ(env_byte_size(kName, 1u), 8ull << 20);
+  ::setenv(kName, "8mb", 1);
+  EXPECT_EQ(env_byte_size(kName, 1u), 1u) << "malformed -> fallback whole";
+  ::unsetenv(kName);
+  EXPECT_EQ(env_byte_size(kName, 5u), 5u);
+}
+
 // --- serve wire protocol ----------------------------------------------
 
 TEST(ServeProtocol, RequestLinesRoundTrip) {
@@ -412,6 +463,123 @@ TEST(ServeProtocol, MetricTokensMatchTheCli) {
   EXPECT_THROW((void)serve::metric_from_token("bogus"),
                precondition_error);
   EXPECT_THROW((void)serve::metric_from_token(""), precondition_error);
+}
+
+// --- serve reply decoding ----------------------------------------------
+
+/// A fully decoded serve reply. This is the reader half of the
+/// serve.reply protocol (writers live in serve_protocol.cpp and
+/// server.cpp); external clients parse the same shape, so decoding every
+/// key here keeps the writers honest.
+struct ReplyView {
+  double id = 0.0;
+  std::string status;
+  std::string message;
+  bool has_result = false;
+  std::string app;
+  double nprocs = 0.0;
+  std::string machine;
+  double actual = 0.0;
+  struct Prediction {
+    std::string metric;
+    double seconds = 0.0;
+    double error_pct = 0.0;
+  };
+  std::vector<Prediction> predictions;
+  bool has_stats = false;
+  std::string queries;
+  std::string errors;
+  std::string batches;
+  std::string cache_hits;
+  std::string map_count;
+  std::string map_bytes;
+};
+
+// msim-lint: proto(serve.reply, reader)
+ReplyView decode_reply(const std::string& line) {
+  const json::Value doc = json::parse(line);
+  ReplyView view;
+  view.id = doc.number_or("id", 0.0);
+  view.status = doc.string_or("status", "");
+  view.message = doc.string_or("message", "");
+  if (const json::Value* result = doc.find("result");
+      result != nullptr && result->is_object()) {
+    view.has_result = true;
+    view.app = result->string_or("app", "");
+    view.nprocs = result->number_or("nprocs", 0.0);
+    view.machine = result->string_or("machine", "");
+    view.actual = result->number_or("actual", 0.0);
+    if (const json::Value* predictions = result->find("predictions");
+        predictions != nullptr && predictions->is_array()) {
+      for (const json::Value& row : predictions->items()) {
+        view.predictions.push_back(ReplyView::Prediction{
+            .metric = row.string_or("metric", ""),
+            .seconds = row.number_or("seconds", 0.0),
+            .error_pct = row.number_or("error_pct", 0.0)});
+      }
+    }
+  }
+  if (const json::Value* stats = doc.find("stats");
+      stats != nullptr && stats->is_object()) {
+    view.has_stats = true;
+    view.queries = stats->string_or("queries", "");
+    view.errors = stats->string_or("errors", "");
+    view.batches = stats->string_or("batches", "");
+    view.cache_hits = stats->string_or("cache_hits", "");
+    view.map_count = stats->string_or("map_count", "");
+    view.map_bytes = stats->string_or("map_bytes", "");
+  }
+  return view;
+}
+
+TEST(ServeReply, DecoderConsumesEveryWrittenKey) {
+  const auto& service = shared_service();
+
+  // Predict: the result object and its prediction rows decode fully.
+  const auto predict = decode_reply(
+      service.answer_line(serve::request_line(valid_predict(21))).line);
+  EXPECT_EQ(predict.id, 21.0);
+  EXPECT_EQ(predict.status, "ok");
+  ASSERT_TRUE(predict.has_result);
+  EXPECT_EQ(predict.app, "AVUS_Standard");
+  EXPECT_EQ(predict.nprocs, 64.0);
+  EXPECT_EQ(predict.machine, "ERDC_O3800");
+  EXPECT_GT(predict.actual, 0.0);
+  ASSERT_EQ(predict.predictions.size(), metrics::all_metrics().size());
+  for (const auto& row : predict.predictions) {
+    EXPECT_NE(row.metric, "");
+    EXPECT_GT(row.seconds, 0.0);
+    // error_pct is signed; it just has to be finite and consistent.
+    EXPECT_NEAR(row.error_pct,
+                100.0 * (row.seconds - predict.actual) / predict.actual,
+                1e-6);
+  }
+
+  // Stats: every counter rides as a decimal string.
+  const auto stats =
+      decode_reply(service.answer_line("{\"op\":\"stats\",\"id\":22}").line);
+  EXPECT_EQ(stats.id, 22.0);
+  EXPECT_EQ(stats.status, "ok");
+  ASSERT_TRUE(stats.has_stats);
+  for (const std::string* field :
+       {&stats.queries, &stats.errors, &stats.batches, &stats.cache_hits,
+        &stats.map_count, &stats.map_bytes}) {
+    EXPECT_TRUE(parse_u64(*field).has_value()) << *field;
+  }
+
+  // Error: the message survives next to the echoed id.
+  const auto error = decode_reply(
+      service.answer_line(serve::request_line([] {
+                            serve::ServeRequest request = valid_predict(23);
+                            request.machine = "No_Such_Machine";
+                            return request;
+                          }()))
+          .line);
+  EXPECT_EQ(error.id, 23.0);
+  EXPECT_EQ(error.status, "error");
+  EXPECT_NE(error.message, "");
+  EXPECT_FALSE(error.has_result);
+  EXPECT_FALSE(error.has_stats);
 }
 
 // --- PredictionService -------------------------------------------------

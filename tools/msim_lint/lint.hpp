@@ -15,13 +15,23 @@
 //   obs.*           telemetry names are dotted.lowercase string literals,
 //                   one instrument kind per name
 //   unsafe.*        banned non-reentrant / unbounded C APIs
+//   proto.*         JSON wire keys cross-checked between annotated
+//                   writer and reader sides of each hand-rolled protocol
+//   env.*           every MSIM_* knob flows through common/parse and is
+//                   listed (and documented) in env_registry.txt
+//   conc.*          RAII-only locking, paired flock, no detached
+//                   threads, annotated mutable statics
+//   layer.*         the include graph respects the DESIGN.md layer DAG
 //
 // Deliberately *not* a compiler: a lightweight tokenizer over the repo's
 // own sources (no libclang), so it builds everywhere the tree builds and
-// runs in milliseconds. Findings can be suppressed inline with an
-// `allow` directive (same line or the line above; syntax in
-// docs/LINT.md) or grandfathered in a checked-in baseline file; generic
-// C++ hygiene is clang-tidy's job (see .clang-tidy), not ours.
+// runs in milliseconds. After lexing, the engine builds a repo model —
+// per-file token streams, the quoted-include graph, and annotation facts
+// (`proto`, `guarded-by`, `key-for`) — that the cross-file passes
+// consume. Findings can be suppressed inline with an `allow` directive
+// (same line or the line above; syntax in docs/LINT.md) or grandfathered
+// in a checked-in baseline file; generic C++ hygiene is clang-tidy's job
+// (see .clang-tidy), not ours.
 #pragma once
 
 #include <cstdint>
@@ -75,8 +85,25 @@ struct SourceFile {
   std::string text;
 };
 
+/// One `#include "..."` dependency (quoted form only; angle includes are
+/// system headers and carry no layering information).
+struct IncludeDecl {
+  std::string path;  ///< the include operand, verbatim
+  int line = 0;
+};
+
+/// One `proto(<name>, writer|reader)` annotation; attaches to the next
+/// function body in the file, like `key-for`.
+struct ProtoMark {
+  std::string name;
+  std::string side;  ///< "writer" or "reader"
+  int line = 0;
+};
+
 /// Tokenized translation unit: comments and preprocessor directives are
-/// stripped, but `msim-lint:` directives found in comments are kept.
+/// stripped, but `msim-lint:` directives found in comments (including
+/// trailing comments on preprocessor lines) are kept, and quoted
+/// includes are harvested for the layer-DAG pass.
 struct LexedFile {
   std::string path;
   std::vector<Token> tokens;
@@ -86,9 +113,48 @@ struct LexedFile {
   /// line -> struct names named by inline `key-for` annotations; each
   /// attaches to the next function body in the file.
   std::map<int, std::vector<std::string>> key_for;
+  /// line -> mutex names named by inline `guarded-by` annotations; each
+  /// covers a mutable-static declaration on its own or the next line.
+  std::map<int, std::vector<std::string>> guarded_by;
+  /// `proto` annotations in file order.
+  std::vector<ProtoMark> protos;
+  /// Quoted `#include "..."` dependencies in file order.
+  std::vector<IncludeDecl> includes;
 };
 
 [[nodiscard]] LexedFile lex(const SourceFile& file);
+
+// --- repo inputs (non-source facts the cross-file passes consume) ------
+
+/// One row of tools/msim_lint/env_registry.txt: the machine-readable
+/// inventory of MSIM_* environment knobs.
+struct EnvKnob {
+  std::string name;      ///< MSIM_*
+  std::string parser;    ///< unsigned | u64 | double | bool | bytes | string
+  std::string fallback;  ///< human-readable default ("-" when empty)
+  std::string doc;       ///< repo-relative doc file that describes the knob
+  int line = 0;          ///< registry line, for diagnostics
+};
+
+/// Parse the registry text (`name parser default doc` per line, `#`
+/// comments); malformed rows are skipped.
+[[nodiscard]] std::vector<EnvKnob> parse_env_registry(const std::string& text);
+
+/// The registry as a markdown table (the README "Environment knobs"
+/// section is generated from this via `msim-lint --dump-env-registry`).
+[[nodiscard]] std::string render_env_registry_markdown(
+    const std::vector<EnvKnob>& knobs);
+
+/// Non-source inputs for the cross-file passes: the env-knob registry
+/// and the doc files it anchors knobs to.
+struct RepoInputs {
+  std::string env_registry;                 ///< env_registry.txt text
+  std::map<std::string, std::string> docs;  ///< repo-relative path -> text
+};
+
+/// Load `tools/msim_lint/env_registry.txt`, `README.md` and `docs/*.md`
+/// from the repo root (missing files load as absent, not errors).
+[[nodiscard]] RepoInputs load_repo_inputs(const std::string& root);
 
 // --- engine -----------------------------------------------------------
 
@@ -101,10 +167,14 @@ struct LintResult {
 };
 
 /// Run every rule over the given files. `severity_overrides` maps rule id
-/// to a severity replacing the built-in default.
+/// to a severity replacing the built-in default. `inputs` supplies the
+/// env-knob registry and doc texts; when null the env-registry and doc
+/// diffing checks run against an empty registry (every knob unregistered)
+/// — callers linting a real tree should pass `load_repo_inputs(root)`.
 [[nodiscard]] LintResult run_rules(
     const std::vector<SourceFile>& files,
-    const std::map<std::string, Severity>& severity_overrides = {});
+    const std::map<std::string, Severity>& severity_overrides = {},
+    const RepoInputs* inputs = nullptr);
 
 /// Collect the lintable sources (`.cpp` / `.hpp` / `.h`) under the
 /// standard roots (src/ bench/ tools/ tests/), sorted by path so output
@@ -135,5 +205,10 @@ void apply_baseline(LintResult& result, const Baseline& baseline);
 
 /// Per-rule summary table (errors / warnings / baselined) plus totals.
 [[nodiscard]] std::string render_summary(const LintResult& result);
+
+/// The findings as a JSON array (`--format=json`, uploaded as a CI
+/// artifact): one object per finding with file/line/rule/severity/
+/// message/baselined members, sorted like render_diagnostics.
+[[nodiscard]] std::string render_findings_json(const LintResult& result);
 
 }  // namespace msim::lint

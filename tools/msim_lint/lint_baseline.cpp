@@ -113,6 +113,35 @@ std::vector<SourceFile> collect_tree(const std::string& root) {
   return files;
 }
 
+RepoInputs load_repo_inputs(const std::string& root) {
+  const auto slurp = [](const fs::path& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+  };
+  RepoInputs inputs;
+  slurp(fs::path(root) / "tools/msim_lint/env_registry.txt",
+        inputs.env_registry);
+  std::string text;
+  if (slurp(fs::path(root) / "README.md", text)) {
+    inputs.docs.emplace("README.md", std::move(text));
+  }
+  const fs::path docs = fs::path(root) / "docs";
+  if (fs::is_directory(docs)) {
+    for (const auto& entry : fs::directory_iterator(docs)) {
+      if (entry.path().extension() != ".md") continue;
+      if (slurp(entry.path(), text)) {
+        inputs.docs.emplace("docs/" + entry.path().filename().string(),
+                            std::move(text));
+      }
+    }
+  }
+  return inputs;
+}
+
 std::string render_diagnostics(const LintResult& result) {
   std::ostringstream out;
   for (const Finding& finding : result.findings) {

@@ -1,0 +1,168 @@
+// Shared internals of the msim-lint rule engine: path scoping, the
+// per-file reporting context, token-pattern helpers and function-region
+// discovery. lint_rules.cpp (per-file token rules + the classic
+// cross-file passes) and lint_passes.cpp (the whole-repo semantic
+// passes: proto / env / conc / layer) both build on these, so the two
+// layers cannot drift on suppression or severity semantics.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "msim_lint/lint.hpp"
+
+namespace msim::lint::internal {
+
+// --- scoping ----------------------------------------------------------
+
+inline bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Library sources whose results feed artifacts and tables.
+inline bool in_library(const std::string& path) {
+  return starts_with(path, "src/");
+}
+
+/// Directories exempt from the determinism rules: the RNG wrapper is
+/// where seeded randomness legitimately lives, and the telemetry layer
+/// measures wall time by design (its output never feeds results).
+inline bool determinism_exempt(const std::string& path) {
+  return starts_with(path, "src/obs/") || starts_with(path, "src/common/rng");
+}
+
+inline bool in_bench_or_tools(const std::string& path) {
+  return starts_with(path, "bench/") || starts_with(path, "tools/");
+}
+
+/// Resolve a rule's severity: explicit override, else registry default.
+[[nodiscard]] Severity severity_of(
+    const std::string& rule, const std::map<std::string, Severity>& overrides);
+
+// --- per-file matching context ----------------------------------------
+
+struct FileContext {
+  const LexedFile* lexed = nullptr;
+  LintResult* result = nullptr;
+  const std::map<std::string, Severity>* overrides = nullptr;
+
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
+    for (int l : {line, line - 1}) {
+      auto it = lexed->allows.find(l);
+      if (it == lexed->allows.end()) continue;
+      for (const std::string& allowed : it->second) {
+        if (allowed == rule) return true;
+      }
+    }
+    return false;
+  }
+
+  void report(const std::string& rule, int line, std::string message) {
+    if (suppressed(rule, line)) {
+      ++result->suppressed;
+      return;
+    }
+    result->findings.push_back(Finding{lexed->path, line, rule,
+                                       severity_of(rule, *overrides),
+                                       std::move(message), false});
+  }
+};
+
+// --- token helpers ----------------------------------------------------
+
+inline const Token* prev_token(const std::vector<Token>& toks,
+                               std::size_t i) {
+  return i > 0 ? &toks[i - 1] : nullptr;
+}
+
+inline const Token* next_token(const std::vector<Token>& toks,
+                               std::size_t i) {
+  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+}
+
+inline bool is_punct(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::Punct && t->text == text;
+}
+
+inline bool is_ident(const Token* t, const char* text) {
+  return t != nullptr && t->kind == TokKind::Identifier && t->text == text;
+}
+
+/// True when the call at token i (an identifier) is a member access
+/// (`x.f(` / `x->f(`) or a qualified name whose qualifier is not `std`
+/// (`other::f(`) — those are never the global C function we banned.
+inline bool is_member_or_foreign_qualified(const std::vector<Token>& toks,
+                                           std::size_t i) {
+  const Token* prev = prev_token(toks, i);
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return true;
+  if (is_punct(prev, "::")) {
+    const Token* qualifier = i >= 2 ? &toks[i - 2] : nullptr;
+    return !is_ident(qualifier, "std");
+  }
+  return false;
+}
+
+// --- function regions -------------------------------------------------
+
+/// A function-like token region: `name ( params ) [qualifiers] { body }`.
+/// Token indices into the owning file's stream.
+struct FnRegion {
+  std::size_t params_begin = 0;  ///< first token after '('
+  std::size_t params_end = 0;    ///< index of the closing ')'
+  std::size_t body_begin = 0;    ///< index of the opening '{'
+  std::size_t body_end = 0;      ///< one past the matching '}'
+};
+
+/// Find function definitions at tokenizer level. Control-flow headers
+/// (`if (...) {`) are excluded by keyword; call expressions and plain
+/// declarations die on the ';' / ',' between ')' and '{'; constructors
+/// with member-init lists are missed (the ':' breaks the scan), which is
+/// fine — key functions are free functions by repo convention.
+void collect_fn_regions(const LexedFile& lexed, std::vector<FnRegion>& out);
+
+// --- cross-file suppression -------------------------------------------
+
+/// Corpus-wide passes report findings outside any single FileContext;
+/// this honors inline allow() directives at the finding site the same
+/// way (own line or the line above).
+inline bool allowed_at(
+    const std::map<std::string, const LexedFile*>& files_by_path,
+    const std::string& rule, const std::string& path, int line) {
+  const auto it = files_by_path.find(path);
+  if (it == files_by_path.end()) return false;
+  for (int l : {line, line - 1}) {
+    const auto allows = it->second->allows.find(l);
+    if (allows == it->second->allows.end()) continue;
+    for (const std::string& allowed : allows->second) {
+      if (allowed == rule) return true;
+    }
+  }
+  return false;
+}
+
+// --- whole-repo semantic passes (lint_passes.cpp) ---------------------
+
+/// Protocol-schema drift: cross-reference JSON keys between annotated
+/// `proto(name, writer)` and `proto(name, reader)` function regions.
+void check_protocols(const std::vector<LexedFile>& lexed,
+                     const std::map<std::string, const LexedFile*>& by_path,
+                     const std::map<std::string, Severity>& overrides,
+                     LintResult& result);
+
+/// Env-knob discipline: raw getenv bans, registry membership, parser
+/// agreement, doc anchoring and stale-row detection.
+void check_env_knobs(const std::vector<LexedFile>& lexed,
+                     const std::map<std::string, const LexedFile*>& by_path,
+                     const RepoInputs* inputs,
+                     const std::map<std::string, Severity>& overrides,
+                     LintResult& result);
+
+/// Concurrency discipline over one file: raw lock()/unlock(), unpaired
+/// flock, detached threads, unannotated mutable statics.
+void check_concurrency(FileContext& ctx);
+
+/// Layer DAG: quoted includes must never point to a higher-ranked
+/// module than the including file's own.
+void check_layering(FileContext& ctx);
+
+}  // namespace msim::lint::internal

@@ -61,6 +61,36 @@ void harvest_directive(const std::string& comment, int line, LexedFile& out) {
   } else if (verb == "key-for") {
     auto& slot = out.key_for[line];
     slot.insert(slot.end(), args.begin(), args.end());
+  } else if (verb == "guarded-by") {
+    auto& slot = out.guarded_by[line];
+    slot.insert(slot.end(), args.begin(), args.end());
+  } else if (verb == "proto" && args.size() >= 2) {
+    out.protos.push_back(ProtoMark{args[0], args[1], line});
+  }
+}
+
+/// Harvest facts from one full preprocessor line: the quoted operand of
+/// an `#include "..."` (for the layer-DAG pass) and any trailing `//`
+/// comment directive (so an allow can ride on the include line itself).
+void harvest_preprocessor(const std::string& text, int line, LexedFile& out) {
+  std::size_t pos = 1;  // past '#'
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (text.compare(pos, 7, "include") == 0) {
+    const std::size_t open = text.find('"', pos + 7);
+    if (open != std::string::npos) {
+      const std::size_t close = text.find('"', open + 1);
+      if (close != std::string::npos) {
+        out.includes.push_back(
+            IncludeDecl{text.substr(open + 1, close - open - 1), line});
+      }
+    }
+  }
+  const std::size_t comment = text.find("//");
+  if (comment != std::string::npos) {
+    harvest_directive(text.substr(comment + 2), line, out);
   }
 }
 
@@ -96,8 +126,11 @@ LexedFile lex(const SourceFile& file) {
     }
 
     // Preprocessor directive: skip to end of line (honoring backslash
-    // continuations). Include paths and macro bodies are not linted.
+    // continuations). Macro bodies are not linted, but quoted include
+    // operands and trailing comment directives are harvested.
     if (c == '#' && at_line_start) {
+      const int directive_line = line;
+      std::string text;
       while (i < n) {
         if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
           ++line;
@@ -105,8 +138,10 @@ LexedFile lex(const SourceFile& file) {
           continue;
         }
         if (s[i] == '\n') break;
+        text += s[i];
         ++i;
       }
+      harvest_preprocessor(text, directive_line, out);
       continue;
     }
 

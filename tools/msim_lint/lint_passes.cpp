@@ -1,0 +1,802 @@
+// Whole-repo semantic passes for msim-lint (v2): protocol-schema drift,
+// env-knob registry discipline, concurrency discipline and the layer
+// DAG. Unlike the per-file token rules in lint_rules.cpp these consume
+// the repo model — every file's token stream, the quoted-include graph
+// and the annotation facts harvested by the lexer — so a writer in
+// src/pipeline can be checked against a reader in tests/, and an
+// include edge can be checked against the DESIGN.md layering.
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "msim_lint/lint_internal.hpp"
+
+namespace msim::lint {
+
+namespace internal {
+
+namespace {
+
+bool ident_like(const std::string& text) {
+  if (text.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(text[0])) || text[0] == '_')) {
+    return false;
+  }
+  for (const char c : text) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- protocol-schema drift --------------------------------------------
+
+/// Coarse JSON value types; Unknown (spliced expressions, objects,
+/// arrays) matches anything. u64s ride as decimal *strings* on every
+/// msim wire, so u64_field readers count as String.
+enum class JsonType { Unknown, String, Number, Bool };
+
+const char* type_name(JsonType type) {
+  switch (type) {
+    case JsonType::String: return "string";
+    case JsonType::Number: return "number";
+    case JsonType::Bool: return "bool";
+    default: return "unknown";
+  }
+}
+
+struct KeyUse {
+  const LexedFile* file = nullptr;
+  int line = 0;
+  JsonType type = JsonType::Unknown;
+};
+
+struct ProtoSide {
+  std::vector<std::pair<const LexedFile*, const ProtoMark*>> marks;
+  std::map<std::string, std::vector<KeyUse>> keys;
+};
+
+/// [begin, end) token range of the function body a directive on
+/// `mark_line` attaches to: the first '{' at or below the directive,
+/// through its matching '}'. Same attachment rule as key-for().
+std::pair<std::size_t, std::size_t> region_after(const LexedFile& file,
+                                                 int mark_line) {
+  const auto& toks = file.tokens;
+  std::size_t begin = toks.size();
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].line >= mark_line && is_punct(&toks[i], "{")) {
+      begin = i;
+      break;
+    }
+  }
+  std::size_t end = begin;
+  int depth = 0;
+  while (end < toks.size()) {
+    if (is_punct(&toks[end], "{")) ++depth;
+    if (is_punct(&toks[end], "}") && --depth == 0) {
+      ++end;
+      break;
+    }
+    ++end;
+  }
+  return {begin, end};
+}
+
+/// Extract `\"key\":` patterns from one string-literal body (escape
+/// sequences are preserved raw by the lexer, so a JSON key literal looks
+/// like `{\"id\":` here) along with the value type the literal implies.
+void keys_in_literal(const std::string& text, const LexedFile& file, int line,
+                     std::map<std::string, std::vector<KeyUse>>& out) {
+  std::size_t pos = 0;
+  while (pos + 1 < text.size()) {
+    if (!(text[pos] == '\\' && text[pos + 1] == '"')) {
+      ++pos;
+      continue;
+    }
+    std::size_t q = pos + 2;
+    std::string key;
+    while (q < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[q])) ||
+            text[q] == '_')) {
+      key += text[q++];
+    }
+    if (key.empty() || !ident_like(key) || q + 3 > text.size() ||
+        text.compare(q, 2, "\\\"") != 0 || text[q + 2] != ':') {
+      pos = q > pos ? q : pos + 1;
+      continue;
+    }
+    JsonType type = JsonType::Unknown;
+    const std::size_t v = q + 3;
+    if (v < text.size()) {
+      const char c = text[v];
+      if (c == '\\' && v + 1 < text.size() && text[v + 1] == '"') {
+        type = JsonType::String;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        type = JsonType::Number;
+      } else if (c == 't' || c == 'f') {
+        type = JsonType::Bool;
+      }
+    }
+    out[key].push_back(KeyUse{&file, line, type});
+    pos = q + 2;
+  }
+}
+
+/// First string-literal argument at paren depth 1 of the call whose '('
+/// sits at token `open`, or nullptr.
+const Token* first_string_arg(const std::vector<Token>& toks,
+                              std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is_punct(&toks[j], "(")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(&toks[j], ")") && --depth == 0) break;
+    if (depth == 1 && toks[j].kind == TokKind::String) return &toks[j];
+  }
+  return nullptr;
+}
+
+/// Writer-helper callees whose first string argument is a JSON key.
+const std::unordered_set<std::string>& writer_helpers() {
+  static const std::unordered_set<std::string> helpers = {
+      "append_string_member", "member", "record_run_info"};
+  return helpers;
+}
+
+/// Reader-helper callees (first string argument is the key) and the
+/// value type each one implies.
+const std::unordered_map<std::string, JsonType>& reader_helpers() {
+  static const std::unordered_map<std::string, JsonType> helpers = {
+      {"find", JsonType::Unknown},         {"string_or", JsonType::String},
+      {"string_field", JsonType::String},  {"u64_field", JsonType::String},
+      {"number_or", JsonType::Number},     {"number_field", JsonType::Number},
+      {"bool_or", JsonType::Bool},         {"bool_field", JsonType::Bool},
+  };
+  return helpers;
+}
+
+void harvest_proto_region(const LexedFile& file, const ProtoMark& mark,
+                          bool writer, ProtoSide& side) {
+  const auto [begin, end] = region_after(file, mark.line);
+  const auto& toks = file.tokens;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& tok = toks[i];
+    if (writer && tok.kind == TokKind::String) {
+      keys_in_literal(tok.text, file, tok.line, side.keys);
+      continue;
+    }
+    if (tok.kind != TokKind::Identifier || !is_punct(next_token(toks, i), "(")) {
+      continue;
+    }
+    if (writer) {
+      if (writer_helpers().count(tok.text) == 0) continue;
+      const Token* arg = first_string_arg(toks, i + 1);
+      if (arg != nullptr && ident_like(arg->text)) {
+        side.keys[arg->text].push_back(
+            KeyUse{&file, arg->line, JsonType::String});
+      }
+    } else {
+      const auto it = reader_helpers().find(tok.text);
+      if (it == reader_helpers().end()) continue;
+      const Token* arg = first_string_arg(toks, i + 1);
+      if (arg != nullptr && ident_like(arg->text)) {
+        side.keys[arg->text].push_back(KeyUse{&file, arg->line, it->second});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_protocols(const std::vector<LexedFile>& lexed,
+                     const std::map<std::string, const LexedFile*>& by_path,
+                     const std::map<std::string, Severity>& overrides,
+                     LintResult& result) {
+  struct ProtoInfo {
+    ProtoSide writer;
+    ProtoSide reader;
+  };
+  std::map<std::string, ProtoInfo> protos;
+  for (const LexedFile& file : lexed) {
+    for (const ProtoMark& mark : file.protos) {
+      if (mark.side != "writer" && mark.side != "reader") {
+        result.findings.push_back(Finding{
+            file.path, mark.line, "proto.one-sided",
+            severity_of("proto.one-sided", overrides),
+            "proto(" + mark.name + ", " + mark.side +
+                "): side must be 'writer' or 'reader'",
+            false});
+        continue;
+      }
+      const bool writer = mark.side == "writer";
+      ProtoSide& side =
+          writer ? protos[mark.name].writer : protos[mark.name].reader;
+      side.marks.emplace_back(&file, &mark);
+      harvest_proto_region(file, mark, writer, side);
+    }
+  }
+
+  const auto report = [&](const std::string& rule, const LexedFile* file,
+                          int line, std::string message) {
+    if (allowed_at(by_path, rule, file->path, line)) {
+      ++result.suppressed;
+      return;
+    }
+    result.findings.push_back(Finding{file->path, line, rule,
+                                      severity_of(rule, overrides),
+                                      std::move(message), false});
+  };
+
+  for (const auto& [name, info] : protos) {
+    if (info.writer.marks.empty() || info.reader.marks.empty()) {
+      const ProtoSide& present =
+          info.writer.marks.empty() ? info.reader : info.writer;
+      const auto& [file, mark] = present.marks.front();
+      report("proto.one-sided", file, mark->line,
+             "protocol '" + name + "' has only " + mark->side +
+                 " regions; annotate the opposite side with `msim-lint: "
+                 "proto(" + name + ", " +
+                 (info.writer.marks.empty() ? "writer" : "reader") +
+                 ")` so key drift is checkable");
+      continue;
+    }
+    for (const auto& [key, uses] : info.writer.keys) {
+      if (info.reader.keys.count(key) != 0) continue;
+      const KeyUse& use = uses.front();
+      report("proto.unread-key", use.file, use.line,
+             "protocol '" + name + "' writes key \"" + key +
+                 "\" but no reader region reads it");
+    }
+    for (const auto& [key, uses] : info.reader.keys) {
+      if (info.writer.keys.count(key) != 0) continue;
+      const KeyUse& use = uses.front();
+      report("proto.unwritten-key", use.file, use.line,
+             "protocol '" + name + "' reads key \"" + key +
+                 "\" but no writer region writes it");
+    }
+    for (const auto& [key, writer_uses] : info.writer.keys) {
+      const auto reader_it = info.reader.keys.find(key);
+      if (reader_it == info.reader.keys.end()) continue;
+      const KeyUse* first_concrete = nullptr;
+      std::vector<const KeyUse*> all;
+      for (const KeyUse& use : writer_uses) all.push_back(&use);
+      for (const KeyUse& use : reader_it->second) all.push_back(&use);
+      for (const KeyUse* use : all) {
+        if (use->type == JsonType::Unknown) continue;
+        if (first_concrete == nullptr) {
+          first_concrete = use;
+          continue;
+        }
+        if (use->type != first_concrete->type) {
+          report("proto.type-mismatch", use->file, use->line,
+                 "protocol '" + name + "' key \"" + key + "\" is a " +
+                     type_name(first_concrete->type) + " at " +
+                     first_concrete->file->path + ":" +
+                     std::to_string(first_concrete->line) + " but a " +
+                     type_name(use->type) + " here");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- env-knob registry ------------------------------------------------
+
+namespace {
+
+constexpr const char* kRegistryPath = "tools/msim_lint/env_registry.txt";
+
+/// env_* helper -> the registry parser column it corresponds to.
+const std::unordered_map<std::string, std::string>& env_helper_parsers() {
+  static const std::unordered_map<std::string, std::string> helpers = {
+      {"env_unsigned", "unsigned"}, {"env_u64", "u64"},
+      {"env_double", "double"},     {"env_bool", "bool"},
+      {"env_byte_size", "bytes"},   {"env_string", "string"},
+  };
+  return helpers;
+}
+
+}  // namespace
+
+void check_env_knobs(const std::vector<LexedFile>& lexed,
+                     const std::map<std::string, const LexedFile*>& by_path,
+                     const RepoInputs* inputs,
+                     const std::map<std::string, Severity>& overrides,
+                     LintResult& result) {
+  const std::string registry_text =
+      inputs != nullptr ? inputs->env_registry : std::string();
+  const std::vector<EnvKnob> registry = parse_env_registry(registry_text);
+  std::map<std::string, const EnvKnob*> rows;
+  for (const EnvKnob& knob : registry) rows.emplace(knob.name, &knob);
+
+  const auto report = [&](const std::string& rule, const LexedFile* file,
+                          int line, std::string message) {
+    if (file != nullptr && allowed_at(by_path, rule, file->path, line)) {
+      ++result.suppressed;
+      return;
+    }
+    result.findings.push_back(
+        Finding{file != nullptr ? file->path : std::string(kRegistryPath),
+                line, rule, severity_of(rule, overrides), std::move(message),
+                false});
+  };
+
+  std::set<std::string> used;  // registry rows seen at a call site
+  for (const LexedFile& file : lexed) {
+    if (!in_library(file.path) && !in_bench_or_tools(file.path)) continue;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      if (tok.kind != TokKind::Identifier) continue;
+      if (!is_punct(next_token(toks, i), "(")) continue;
+
+      if (tok.text == "getenv" &&
+          !is_member_or_foreign_qualified(toks, i)) {
+        // The env_* helpers in common/parse are the one sanctioned
+        // getenv site; everything else must go through them.
+        if (file.path != "src/common/parse.cpp") {
+          const Token* arg = first_string_arg(toks, i + 1);
+          report("env.raw-getenv", &file, tok.line,
+                 std::string("raw getenv(") +
+                     (arg != nullptr ? "\"" + arg->text + "\"" : "...") +
+                     ") bypasses the checked env_* helpers in "
+                     "common/parse.hpp");
+        }
+        continue;
+      }
+
+      const auto helper = env_helper_parsers().find(tok.text);
+      if (helper == env_helper_parsers().end()) continue;
+      const Token* arg = first_string_arg(toks, i + 1);
+      if (arg == nullptr || !starts_with(arg->text, "MSIM_")) continue;
+      used.insert(arg->text);
+      const auto row = rows.find(arg->text);
+      if (row == rows.end()) {
+        report("env.unregistered", &file, arg->line,
+               "env knob " + arg->text + " is not listed in " +
+                   kRegistryPath +
+                   " (add `name parser default doc` there and document "
+                   "it)");
+        continue;
+      }
+      // env_string is always acceptable: the run-record identity block
+      // captures knobs verbatim next to their parsed uses.
+      if (tok.text != "env_string" && helper->second != row->second->parser) {
+        report("env.parser-mismatch", &file, arg->line,
+               arg->text + " is read with " + tok.text + "() but " +
+                   kRegistryPath + ":" +
+                   std::to_string(row->second->line) + " declares parser '" +
+                   row->second->parser + "'");
+      }
+    }
+  }
+
+  // Registry-side checks need the registry itself; without repo inputs
+  // there is nothing to diff.
+  if (inputs == nullptr) return;
+  for (const EnvKnob& knob : registry) {
+    if (env_helper_parsers().count("env_" + knob.parser) == 0 &&
+        knob.parser != "unsigned" && knob.parser != "u64" &&
+        knob.parser != "double" && knob.parser != "bool" &&
+        knob.parser != "bytes" && knob.parser != "string") {
+      report("env.parser-mismatch", nullptr, knob.line,
+             knob.name + ": unknown parser '" + knob.parser +
+                 "' (expected unsigned|u64|double|bool|bytes|string)");
+    }
+    const auto doc = inputs->docs.find(knob.doc);
+    if (doc == inputs->docs.end()) {
+      report("env.undocumented", nullptr, knob.line,
+             knob.name + ": doc anchor '" + knob.doc +
+                 "' was not found in the repo");
+    } else if (doc->second.find(knob.name) == std::string::npos) {
+      report("env.undocumented", nullptr, knob.line,
+             knob.name + " is registered but never mentioned in " +
+                 knob.doc);
+    }
+    if (used.count(knob.name) == 0) {
+      report("env.registry-stale", nullptr, knob.line,
+             knob.name + " is registered but no scanned source reads it "
+                 "through an env_* helper");
+    }
+  }
+}
+
+// --- concurrency discipline -------------------------------------------
+
+namespace {
+
+/// Names declared in this file as scoped lock guards
+/// (`std::unique_lock<std::mutex> guard(m)`, CTAD `std::scoped_lock
+/// lock(m)`); explicit .lock()/.unlock() on these is sanctioned (e.g.
+/// dropping a lock around a blocking wait).
+std::set<std::string> guard_decls(const std::vector<Token>& toks) {
+  static const std::unordered_set<std::string> guard_types = {
+      "unique_lock", "shared_lock", "scoped_lock", "lock_guard"};
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        guard_types.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(&toks[j], "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(&toks[j], "<")) ++depth;
+        if (is_punct(&toks[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < toks.size() &&
+           (is_punct(&toks[j], "&") || is_punct(&toks[j], "*") ||
+            is_ident(&toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::Identifier) continue;
+    const Token* after = next_token(toks, j);
+    if (is_punct(after, "(") || is_punct(after, "{") ||
+        is_punct(after, "=") || is_punct(after, ";")) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+/// Statement-level scope classification for the mutable-static check.
+enum class ScopeKind { Namespace, Type, FuncBody, Init };
+
+bool mutable_static_exempt_token(const std::string& text) {
+  static const std::unordered_set<std::string> exempt = {
+      "const",       "constexpr",      "thread_local", "atomic",
+      "atomic_flag", "mutex",          "shared_mutex", "recursive_mutex",
+      "once_flag",   "condition_variable",
+      // obs instrument handles resolve once and are internally atomic.
+      "Counter",     "Gauge",          "Histogram"};
+  return exempt.count(text) != 0;
+}
+
+bool mutable_static_skip_leading(const std::string& text) {
+  static const std::unordered_set<std::string> skip = {
+      "using",  "typedef", "namespace", "template", "extern",
+      "friend", "static_assert", "struct", "class", "union", "enum"};
+  return skip.count(text) != 0;
+}
+
+void check_mutable_statics(FileContext& ctx) {
+  const auto& toks = ctx.lexed->tokens;
+  std::vector<ScopeKind> scopes = {ScopeKind::Namespace};
+  std::vector<const Token*> stmt;
+
+  const auto classify_open = [&](std::size_t i) {
+    const Token* prev = prev_token(toks, i);
+    if (prev == nullptr || is_ident(prev, "namespace")) {
+      return ScopeKind::Namespace;
+    }
+    if (prev->kind == TokKind::Identifier && i >= 2 &&
+        is_ident(&toks[i - 2], "namespace")) {
+      return ScopeKind::Namespace;
+    }
+    // struct/class/enum/union heads: scan back over the head tokens.
+    for (std::size_t k = i; k-- > 0;) {
+      const Token& t = toks[k];
+      if (is_punct(&t, ";") || is_punct(&t, "}") || is_punct(&t, "{") ||
+          is_punct(&t, ")")) {
+        break;
+      }
+      if (is_ident(&t, "struct") || is_ident(&t, "class") ||
+          is_ident(&t, "union") || is_ident(&t, "enum")) {
+        return ScopeKind::Type;
+      }
+    }
+    // `) {` (possibly with trailing-return / qualifier tokens between)
+    // is a function body — unless the statement so far contains '=',
+    // which makes it a braced initializer on a declaration.
+    bool saw_assign = false;
+    for (const Token* t : stmt) {
+      if (is_punct(t, "=")) saw_assign = true;
+    }
+    if (!saw_assign) {
+      for (std::size_t k = i; k-- > 0;) {
+        const Token& t = toks[k];
+        if (is_punct(&t, ")")) return ScopeKind::FuncBody;
+        const bool qualifier = t.kind == TokKind::Identifier ||
+                               is_punct(&t, "->") || is_punct(&t, "::") ||
+                               is_punct(&t, "<") || is_punct(&t, ">") ||
+                               is_punct(&t, "&") || is_punct(&t, "*");
+        if (!qualifier) break;
+      }
+    }
+    return ScopeKind::Init;
+  };
+
+  const auto flush_stmt = [&]() {
+    if (stmt.empty()) return;
+    const std::vector<const Token*> tokens = stmt;
+    stmt.clear();
+    if (tokens.size() < 2) return;
+    if (tokens.front()->kind == TokKind::Identifier &&
+        mutable_static_skip_leading(tokens.front()->text)) {
+      return;
+    }
+    const Token* name = nullptr;
+    for (const Token* t : tokens) {
+      if (is_punct(t, "(")) return;  // function decl / ctor-style init
+      if (is_punct(t, "=") || is_punct(t, "[")) break;
+      if (t->kind == TokKind::Identifier) {
+        if (mutable_static_exempt_token(t->text)) return;
+        name = t;
+      }
+    }
+    // Exemption tokens anywhere in the statement (e.g. `= {...}`
+    // initializers mentioning atomic) also clear it.
+    for (const Token* t : tokens) {
+      if (t->kind == TokKind::Identifier &&
+          mutable_static_exempt_token(t->text)) {
+        return;
+      }
+    }
+    if (name == nullptr) return;
+    // A guarded-by annotation on the declaration (own line or the line
+    // above) satisfies the rule when the named mutex exists in-file.
+    for (int l : {name->line, name->line - 1}) {
+      const auto it = ctx.lexed->guarded_by.find(l);
+      if (it == ctx.lexed->guarded_by.end()) continue;
+      for (const std::string& mutex_name : it->second) {
+        for (const Token& t : toks) {
+          if (t.kind == TokKind::Identifier && t.text == mutex_name) {
+            return;  // annotated and the mutex is real
+          }
+        }
+      }
+      ctx.report("conc.mutable-static", name->line,
+                 "guarded-by(" + it->second.front() +
+                     ") names a mutex not declared in this file");
+      return;
+    }
+    ctx.report("conc.mutable-static", name->line,
+               "mutable namespace-scope state '" + name->text +
+                   "' needs a `msim-lint: guarded-by(<mutex>)` annotation "
+                   "(or make it const/constexpr/atomic)");
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (is_punct(&tok, "{")) {
+      const ScopeKind kind = classify_open(i);
+      if (kind == ScopeKind::Namespace || kind == ScopeKind::FuncBody) {
+        stmt.clear();
+      }
+      scopes.push_back(kind);
+      if (kind != ScopeKind::Init) continue;
+      // Braced initializers stay part of the enclosing statement; the
+      // nested tokens are irrelevant to the declaration shape, skip to
+      // the matching close.
+      int depth = 1;
+      while (++i < toks.size() && depth > 0) {
+        if (is_punct(&toks[i], "{")) ++depth;
+        if (is_punct(&toks[i], "}")) --depth;
+      }
+      --i;
+      scopes.pop_back();
+      continue;
+    }
+    if (is_punct(&tok, "}")) {
+      if (scopes.size() > 1) {
+        if (scopes.back() == ScopeKind::FuncBody) stmt.clear();
+        scopes.pop_back();
+      }
+      continue;
+    }
+    if (scopes.back() != ScopeKind::Namespace) continue;
+    if (is_punct(&tok, ";")) {
+      flush_stmt();
+      continue;
+    }
+    stmt.push_back(&tok);
+  }
+}
+
+}  // namespace
+
+void check_concurrency(FileContext& ctx) {
+  if (!in_library(ctx.lexed->path)) return;
+  const auto& toks = ctx.lexed->tokens;
+  const std::set<std::string> guards = guard_decls(toks);
+
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(&toks[i], ".") && !is_punct(&toks[i], "->")) continue;
+    const Token& method = toks[i + 1];
+    if (method.kind != TokKind::Identifier ||
+        !is_punct(&toks[i + 2], "(")) {
+      continue;
+    }
+    if (method.text == "lock" || method.text == "unlock") {
+      const Token* recv = prev_token(toks, i);
+      const bool on_guard = recv != nullptr &&
+                            recv->kind == TokKind::Identifier &&
+                            guards.count(recv->text) != 0;
+      if (!on_guard) {
+        ctx.report(
+            "conc.raw-lock", method.line,
+            "raw ." + method.text + "() on '" +
+                (recv != nullptr ? recv->text : std::string("<expr>")) +
+                "'; hold mutexes through std::lock_guard/std::unique_lock "
+                "so an exception cannot leak the lock");
+      }
+    } else if (method.text == "detach") {
+      ctx.report("conc.detached-thread", method.line,
+                 "detached thread in library code; a detached thread "
+                 "races process teardown — join it instead");
+    }
+  }
+
+  // flock pairing per function: an acquire (LOCK_EX/LOCK_SH) with no
+  // LOCK_UN in the same region leaks the file lock on every non-RAII
+  // path. Release-only regions (RAII destructors) are fine.
+  std::vector<FnRegion> regions;
+  collect_fn_regions(*ctx.lexed, regions);
+  for (const FnRegion& region : regions) {
+    int acquire_line = 0;
+    bool released = false;
+    for (std::size_t i = region.body_begin; i < region.body_end; ++i) {
+      if (!is_ident(&toks[i], "flock") ||
+          !is_punct(next_token(toks, i), "(")) {
+        continue;
+      }
+      int depth = 0;
+      for (std::size_t j = i + 1; j < region.body_end; ++j) {
+        if (is_punct(&toks[j], "(")) ++depth;
+        if (is_punct(&toks[j], ")") && --depth == 0) break;
+        if (is_ident(&toks[j], "LOCK_EX") || is_ident(&toks[j], "LOCK_SH")) {
+          if (acquire_line == 0) acquire_line = toks[i].line;
+        }
+        if (is_ident(&toks[j], "LOCK_UN")) released = true;
+      }
+    }
+    if (acquire_line != 0 && !released) {
+      ctx.report("conc.flock-unpaired", acquire_line,
+                 "flock acquire without a LOCK_UN release in the same "
+                 "function; wrap the pair in an RAII holder");
+    }
+  }
+
+  check_mutable_statics(ctx);
+}
+
+// --- layer DAG --------------------------------------------------------
+
+namespace {
+
+/// DESIGN.md §3 layering as ranks; an include may only point at an
+/// equal or lower rank. tools/bench/tests sit above everything.
+int module_rank(const std::string& module) {
+  static const std::map<std::string, int> ranks = {
+      {"common", 0},   {"data", 0},    {"machine", 1},  {"obs", 1},
+      {"stats", 1},    {"cpusim", 2},  {"memsim", 2},   {"netsim", 2},
+      {"workload", 3}, {"trace", 4},   {"simulate", 5}, {"probes", 6},
+      {"convolve", 7}, {"metrics", 8}, {"report", 9},   {"pipeline", 10},
+      {"serve", 11},
+  };
+  if (module == "bench" || module == "tools" || module == "tests") return 12;
+  const auto it = ranks.find(module);
+  return it != ranks.end() ? it->second : -1;
+}
+
+/// The module a repo-relative path belongs to: `src/<module>/...`, or
+/// the top-level directory for bench/tools/tests.
+std::string module_of(const std::string& path) {
+  const std::size_t first = path.find('/');
+  if (first == std::string::npos) return {};
+  const std::string top = path.substr(0, first);
+  if (top != "src") return top;
+  const std::size_t second = path.find('/', first + 1);
+  if (second == std::string::npos) return {};  // file directly under src/
+  return path.substr(first + 1, second - first - 1);
+}
+
+}  // namespace
+
+void check_layering(FileContext& ctx) {
+  const int from_rank = module_rank(module_of(ctx.lexed->path));
+  if (from_rank < 0) return;
+  for (const IncludeDecl& include : ctx.lexed->includes) {
+    const std::size_t slash = include.path.find('/');
+    if (slash == std::string::npos) continue;  // same-dir header
+    const int to_rank = module_rank(include.path.substr(0, slash));
+    if (to_rank < 0 || to_rank <= from_rank) continue;
+    ctx.report("layer.back-edge", include.line,
+               "#include \"" + include.path + "\" points up the layer DAG "
+               "(" + module_of(ctx.lexed->path) + " -> " +
+                   include.path.substr(0, slash) +
+                   "); invert the dependency or move the shared piece "
+                   "down");
+  }
+}
+
+}  // namespace internal
+
+// --- registry + json rendering (public surface) -----------------------
+
+std::vector<EnvKnob> parse_env_registry(const std::string& text) {
+  std::vector<EnvKnob> knobs;
+  std::istringstream in(text);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    EnvKnob knob;
+    if (!(fields >> knob.name >> knob.parser >> knob.fallback >> knob.doc)) {
+      continue;
+    }
+    knob.line = number;
+    knobs.push_back(std::move(knob));
+  }
+  return knobs;
+}
+
+std::string render_env_registry_markdown(const std::vector<EnvKnob>& knobs) {
+  std::ostringstream out;
+  out << "| Knob | Parser | Default | Documented in |\n"
+      << "|---|---|---|---|\n";
+  for (const EnvKnob& knob : knobs) {
+    out << "| `" << knob.name << "` | " << knob.parser << " | `"
+        << knob.fallback << "` | " << knob.doc << " |\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_findings_json(const LintResult& result) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const Finding& finding : result.findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "  {\"file\":\"" << json_escape(finding.file) << "\","
+        << "\"line\":" << finding.line << ","
+        << "\"rule\":\"" << json_escape(finding.rule) << "\","
+        << "\"severity\":\"" << to_string(finding.severity) << "\","
+        << "\"baselined\":" << (finding.baselined ? "true" : "false") << ","
+        << "\"message\":\"" << json_escape(finding.message) << "\"}";
+  }
+  out << (first ? "]" : "\n]") << "\n";
+  return out.str();
+}
+
+}  // namespace msim::lint

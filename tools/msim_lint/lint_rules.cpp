@@ -10,29 +10,13 @@
 #include <set>
 #include <unordered_set>
 
+#include "msim_lint/lint_internal.hpp"
+
 namespace msim::lint {
 
+using namespace internal;
+
 namespace {
-
-// --- scoping ----------------------------------------------------------
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-/// Library sources whose results feed artifacts and tables.
-bool in_library(const std::string& path) { return starts_with(path, "src/"); }
-
-/// Directories exempt from the determinism rules: the RNG wrapper is
-/// where seeded randomness legitimately lives, and the telemetry layer
-/// measures wall time by design (its output never feeds results).
-bool determinism_exempt(const std::string& path) {
-  return starts_with(path, "src/obs/") || starts_with(path, "src/common/rng");
-}
-
-bool in_bench_or_tools(const std::string& path) {
-  return starts_with(path, "bench/") || starts_with(path, "tools/");
-}
 
 /// The obs naming rules apply everywhere telemetry is *used*; the layer's
 /// own implementation and its tests construct names dynamically.
@@ -85,9 +69,65 @@ const std::vector<RuleInfo>& rule_registry() {
       {"unsafe.banned-function", Severity::Error,
        "banned unsafe / non-reentrant C API (strtok, sprintf, gmtime, ...); "
        "use the bounded or _r variants"},
+      {"proto.one-sided", Severity::Error,
+       "a proto() annotated protocol has only writer or only reader "
+       "regions; annotate the other side so schema drift is checkable"},
+      {"proto.unread-key", Severity::Error,
+       "a JSON key written by a proto() writer region is never read by "
+       "any reader region of the same protocol — dead payload or a "
+       "misspelled reader"},
+      {"proto.unwritten-key", Severity::Error,
+       "a JSON key read by a proto() reader region is never written by "
+       "any writer region of the same protocol — the read can only ever "
+       "see the fallback"},
+      {"proto.type-mismatch", Severity::Error,
+       "one JSON key used with two different value types across a "
+       "protocol's writer/reader regions (u64s ride as decimal strings "
+       "on every msim wire)"},
+      {"env.raw-getenv", Severity::Error,
+       "raw getenv() outside src/common/parse.cpp; MSIM_* knobs flow "
+       "through the checked env_* helpers so malformed values fall back "
+       "whole instead of half-applying"},
+      {"env.unregistered", Severity::Error,
+       "an MSIM_* knob read in src/bench/tools is missing from "
+       "tools/msim_lint/env_registry.txt (name parser default doc)"},
+      {"env.parser-mismatch", Severity::Error,
+       "an MSIM_* knob is parsed with a different env_* helper than its "
+       "registry row declares (env_string is always allowed: run-record "
+       "identity captures knobs verbatim)"},
+      {"env.undocumented", Severity::Error,
+       "a registered MSIM_* knob is not mentioned in the doc file its "
+       "registry row points at"},
+      {"env.registry-stale", Severity::Error,
+       "an env_registry.txt row names a knob no scanned source reads; "
+       "delete the row or restore the knob"},
+      {"conc.raw-lock", Severity::Error,
+       "raw .lock()/.unlock() on something that is not a scoped guard "
+       "(unique_lock/shared_lock) declared in this file; an exception "
+       "between the pair would deadlock — use RAII guards"},
+      {"conc.flock-unpaired", Severity::Error,
+       "a function acquires flock(LOCK_EX/LOCK_SH) but never releases "
+       "LOCK_UN; release in the same function or wrap it in an RAII "
+       "holder (release-only functions, e.g. destructors, are fine)"},
+      {"conc.detached-thread", Severity::Error,
+       "std::thread::detach() in library code; a detached thread "
+       "outlives scope and races process teardown — join it"},
+      {"conc.mutable-static", Severity::Error,
+       "mutable namespace-scope state in src/ without a `msim-lint: "
+       "guarded-by(<mutex>)` annotation naming a mutex in this file "
+       "(const/constexpr/atomic/mutex/thread_local are exempt)"},
+      {"layer.back-edge", Severity::Error,
+       "an #include points from a lower layer to a higher one, breaking "
+       "the DESIGN.md module DAG (common <- machine/obs/stats <- sims <- "
+       "workload <- trace <- simulate <- probes <- convolve <- metrics "
+       "<- report <- pipeline <- serve <- tools/bench)"},
   };
   return rules;
 }
+
+}  // namespace
+
+namespace internal {
 
 Severity severity_of(const std::string& rule,
                      const std::map<std::string, Severity>& overrides) {
@@ -100,64 +140,9 @@ Severity severity_of(const std::string& rule,
   return Severity::Error;
 }
 
-// --- per-file matching context ----------------------------------------
+}  // namespace internal
 
-struct FileContext {
-  const LexedFile* lexed = nullptr;
-  LintResult* result = nullptr;
-  const std::map<std::string, Severity>* overrides = nullptr;
-
-  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
-    for (int l : {line, line - 1}) {
-      auto it = lexed->allows.find(l);
-      if (it == lexed->allows.end()) continue;
-      for (const std::string& allowed : it->second) {
-        if (allowed == rule) return true;
-      }
-    }
-    return false;
-  }
-
-  void report(const std::string& rule, int line, std::string message) {
-    if (suppressed(rule, line)) {
-      ++result->suppressed;
-      return;
-    }
-    result->findings.push_back(Finding{lexed->path, line, rule,
-                                       severity_of(rule, *overrides),
-                                       std::move(message), false});
-  }
-};
-
-const Token* prev_token(const std::vector<Token>& toks, std::size_t i) {
-  return i > 0 ? &toks[i - 1] : nullptr;
-}
-
-const Token* next_token(const std::vector<Token>& toks, std::size_t i) {
-  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
-}
-
-bool is_punct(const Token* t, const char* text) {
-  return t != nullptr && t->kind == TokKind::Punct && t->text == text;
-}
-
-bool is_ident(const Token* t, const char* text) {
-  return t != nullptr && t->kind == TokKind::Identifier && t->text == text;
-}
-
-/// True when the call at token i (an identifier) is a member access
-/// (`x.f(` / `x->f(`) or a qualified name whose qualifier is not `std`
-/// (`other::f(`) — those are never the global C function we banned.
-bool is_member_or_foreign_qualified(const std::vector<Token>& toks,
-                                    std::size_t i) {
-  const Token* prev = prev_token(toks, i);
-  if (is_punct(prev, ".") || is_punct(prev, "->")) return true;
-  if (is_punct(prev, "::")) {
-    const Token* qualifier = i >= 2 ? &toks[i - 2] : nullptr;
-    return !is_ident(qualifier, "std");
-  }
-  return false;
-}
+namespace {
 
 // --- determinism ------------------------------------------------------
 
@@ -664,20 +649,10 @@ std::string last_component(const std::string& qualified) {
   return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
 }
 
-/// A function-like token region: `name ( params ) [qualifiers] { body }`.
-/// Token indices into the owning file's stream.
-struct FnRegion {
-  std::size_t params_begin = 0;  ///< first token after '('
-  std::size_t params_end = 0;    ///< index of the closing ')'
-  std::size_t body_begin = 0;    ///< index of the opening '{'
-  std::size_t body_end = 0;      ///< one past the matching '}'
-};
+}  // namespace
 
-/// Find function definitions at tokenizer level. Control-flow headers
-/// (`if (...) {`) are excluded by keyword; call expressions and plain
-/// declarations die on the ';' / ',' between ')' and '{'; constructors
-/// with member-init lists are missed (the ':' breaks the scan), which is
-/// fine — key functions are free functions by repo convention.
+namespace internal {
+
 void collect_fn_regions(const LexedFile& lexed, std::vector<FnRegion>& out) {
   static const std::unordered_set<std::string> control = {
       "if",     "for",    "while",   "switch",       "catch",
@@ -727,6 +702,10 @@ void collect_fn_regions(const LexedFile& lexed, std::vector<FnRegion>& out) {
     out.push_back(FnRegion{i + 2, close, open, end});
   }
 }
+
+}  // namespace internal
+
+namespace {
 
 /// True when the parameter whose type name sits at token `name_idx` is
 /// const-qualified: walking left over type tokens (identifiers, '::',
@@ -863,23 +842,10 @@ void check_cache_keys(const std::vector<LexedFile>& lexed,
   // directives at the definition site here: a struct whose key is
   // deliberately partial (e.g. lint::Finding's baseline fingerprint)
   // documents that with an allow instead of a bogus key-for.
-  const auto allowed_at = [&files_by_path](const std::string& path,
-                                           int line) {
-    const auto it = files_by_path.find(path);
-    if (it == files_by_path.end()) return false;
-    for (int l : {line, line - 1}) {
-      const auto allows = it->second->allows.find(l);
-      if (allows == it->second->allows.end()) continue;
-      for (const std::string& rule : allows->second) {
-        if (rule == "cache-key.uncovered-struct") return true;
-      }
-    }
-    return false;
-  };
-
   for (const auto& [name, def] : discovered) {
     if (annotated.count(name) != 0) continue;
-    if (allowed_at(def->file, def->line)) {
+    if (allowed_at(files_by_path, "cache-key.uncovered-struct", def->file,
+                   def->line)) {
       ++result.suppressed;
       continue;
     }
@@ -956,11 +922,19 @@ int LintResult::active_warnings() const {
 }
 
 LintResult run_rules(const std::vector<SourceFile>& files,
-                     const std::map<std::string, Severity>& overrides) {
+                     const std::map<std::string, Severity>& overrides,
+                     const RepoInputs* inputs) {
+  // The repo model: every file lexed once (token streams, include graph,
+  // directive facts), indexed by path. Per-file token rules and the
+  // cross-file passes all consume this single model.
   LintResult result;
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   for (const SourceFile& file : files) lexed.push_back(lex(file));
+  std::map<std::string, const LexedFile*> files_by_path_model;
+  for (const LexedFile& file : lexed) {
+    files_by_path_model.emplace(file.path, &file);
+  }
 
   // Unordered-container declarations per file; a .cpp also tracks the
   // names declared in its same-stem header (class members are declared in
@@ -991,9 +965,13 @@ LintResult run_rules(const std::vector<SourceFile>& files,
     check_stdout(ctx);
     check_obs_names(ctx, registrations);
     check_banned_functions(ctx);
+    check_concurrency(ctx);
+    check_layering(ctx);
   }
   check_obs_collisions(registrations, overrides, result);
   check_cache_keys(lexed, overrides, result);
+  check_protocols(lexed, files_by_path_model, overrides, result);
+  check_env_knobs(lexed, files_by_path_model, inputs, overrides, result);
 
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {

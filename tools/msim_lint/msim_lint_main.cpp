@@ -33,6 +33,10 @@ int usage(const char* error) {
       "  --write-baseline      rewrite the baseline from current findings "
       "and exit 0\n"
       "  --severity RULE=LEVEL override a rule's severity (error|warning)\n"
+      "  --format=json         print findings as a JSON array (for CI "
+      "artifacts)\n"
+      "  --dump-env-registry   print the env-knob registry as a markdown "
+      "table and exit\n"
       "  --list-rules          print every rule with its default severity\n"
       "  --quiet               print only the summary and failures\n");
   return error != nullptr ? 2 : 0;
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
   bool use_baseline = true;
   bool write_baseline = false;
   bool quiet = false;
+  bool json = false;
+  bool dump_registry = false;
   std::map<std::string, Severity> overrides;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +78,16 @@ int main(int argc, char** argv) {
       write_baseline = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format" && i + 1 < argc) {
+      const std::string format = argv[++i];
+      if (format != "json" && format != "text") {
+        return usage("--format must be 'json' or 'text'");
+      }
+      json = format == "json";
+    } else if (arg == "--dump-env-registry") {
+      dump_registry = true;
     } else if (arg == "--severity" && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t eq = spec.find('=');
@@ -106,9 +122,17 @@ int main(int argc, char** argv) {
         (fs::path(root) / "tools" / "msim_lint" / "baseline.txt").string();
   }
 
+  const RepoInputs inputs = load_repo_inputs(root);
+  if (dump_registry) {
+    std::printf("%s", render_env_registry_markdown(
+                          parse_env_registry(inputs.env_registry))
+                          .c_str());
+    return 0;
+  }
+
   const std::vector<SourceFile> files = collect_tree(root);
   if (files.empty()) return usage("no lintable sources found under --root");
-  LintResult result = run_rules(files, overrides);
+  LintResult result = run_rules(files, overrides, &inputs);
 
   if (write_baseline) {
     std::ofstream out(baseline_path, std::ios::binary);
@@ -127,6 +151,11 @@ int main(int argc, char** argv) {
     bool ok = false;
     const std::string text = read_file(baseline_path, &ok);
     if (ok) apply_baseline(result, parse_baseline(text));
+  }
+
+  if (json) {
+    std::printf("%s", render_findings_json(result).c_str());
+    return result.active_errors() > 0 ? 1 : 0;
   }
 
   if (!quiet) {

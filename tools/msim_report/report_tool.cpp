@@ -49,6 +49,7 @@ double Series::stddev() const {
 
 double Series::last() const { return values.empty() ? 0.0 : values.back(); }
 
+// msim-lint: proto(run.record, reader)
 RecordSummary summarize_record(const json::Value& record, std::string path) {
   MSIM_REQUIRE(record.is_object(), "run record is not a JSON object");
   const int schema = static_cast<int>(record.number_or("schema", 0));
@@ -59,6 +60,7 @@ RecordSummary summarize_record(const json::Value& record, std::string path) {
   RecordSummary summary;
   summary.path = std::move(path);
   summary.schema = schema;
+  summary.tool = record.string_or("tool", "");
 
   const json::Value* identity = record.find("identity");
   MSIM_REQUIRE(identity != nullptr && identity->is_object(),
@@ -66,7 +68,12 @@ RecordSummary summarize_record(const json::Value& record, std::string path) {
   summary.fingerprint = identity->string_or("fingerprint", "");
   summary.git = identity->string_or("git", "");
   summary.compiler = identity->string_or("compiler", "");
+  summary.build_type = identity->string_or("build_type", "");
+  summary.flags = identity->string_or("flags", "");
   summary.threads = identity->string_or("threads", "");
+  summary.cache_dir = identity->string_or("cache_dir", "");
+  summary.cache_max_bytes = identity->string_or("cache_max_bytes", "");
+  summary.prefetch = identity->string_or("prefetch", "");
   if (const json::Value* info = identity->find("info");
       info != nullptr && info->is_object()) {
     summary.experiment = info->string_or("experiment", "");
@@ -91,16 +98,39 @@ RecordSummary summarize_record(const json::Value& record, std::string path) {
       for (const auto& [label, stage] : stages->fields()) {
         summary.stages[label].values.push_back(
             stage.number_or("seconds", 0.0));
+        summary.stage_max_seconds[label].values.push_back(
+            stage.number_or("max_seconds", 0.0));
       }
     }
   }
 
-  // Counters and error summaries: the newest sample speaks for the record.
+  // Counters, gauges, histograms and error summaries: the newest sample
+  // speaks for the record.
   const json::Value& newest = samples->items().back();
   if (const json::Value* counters = newest.find("counters");
       counters != nullptr && counters->is_object()) {
     for (const auto& [name, value] : counters->fields()) {
       if (value.is_number()) summary.counters[name] = value.as_number();
+    }
+  }
+  if (const json::Value* gauges = newest.find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->fields()) {
+      if (value.is_number()) summary.gauges[name] = value.as_number();
+    }
+  }
+  if (const json::Value* histograms = newest.find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, row] : histograms->fields()) {
+      if (!row.is_object()) continue;
+      summary.histograms[name] = HistogramRow{
+          .count = row.number_or("count", 0.0),
+          .sum = row.number_or("sum", 0.0),
+          .min = row.number_or("min", 0.0),
+          .max = row.number_or("max", 0.0),
+          .mean = row.number_or("mean", 0.0),
+          .p50 = row.number_or("p50", 0.0),
+          .p95 = row.number_or("p95", 0.0)};
     }
   }
   if (const json::Value* errors = newest.find("errors");
@@ -260,6 +290,7 @@ std::string experiment_slug(const std::string& experiment) {
   return slug.empty() ? "unnamed" : slug;
 }
 
+// msim-lint: proto(run.trajectory, writer)
 std::vector<Trajectory> build_trajectories(
     std::vector<RecordSummary> records, const Thresholds& thresholds) {
   // Group by experiment, then order each group's records by their first
@@ -374,14 +405,30 @@ std::vector<Trajectory> build_trajectories(
 std::string render_record(const RecordSummary& record) {
   std::ostringstream out;
   out << "run record: " << record.path << "\n";
+  if (!record.tool.empty()) out << "tool: " << record.tool << "\n";
   out << "experiment: "
       << (record.experiment.empty() ? "(unnamed)" : record.experiment)
       << "\n";
   out << "fingerprint: " << record.fingerprint << "\n";
   out << "git: " << record.git << "\n";
   out << "compiler: " << record.compiler << "\n";
+  if (!record.build_type.empty()) {
+    out << "build: " << record.build_type;
+    if (!record.flags.empty()) out << " (" << record.flags << ")";
+    out << "\n";
+  }
   out << "threads: "
       << (record.threads.empty() ? "(default)" : record.threads) << "\n";
+  if (!record.cache_dir.empty()) {
+    out << "cache: " << record.cache_dir;
+    if (!record.cache_max_bytes.empty()) {
+      out << " (max " << record.cache_max_bytes << " bytes)";
+    }
+    out << "\n";
+  }
+  if (!record.prefetch.empty()) {
+    out << "prefetch: " << record.prefetch << "\n";
+  }
   out << "samples: " << record.samples << "\n\n";
 
   AsciiTable timings({"series", "runs", "mean s", "sd s", "last s"});
@@ -401,6 +448,21 @@ std::string render_record(const RecordSummary& record) {
   }
   out << timings.render() << "\n";
 
+  // Straggler view: any stage whose last sample recorded a per-task max.
+  bool any_stage_max = false;
+  for (const auto& [label, series] : record.stage_max_seconds) {
+    if (series.last() > 0.0) any_stage_max = true;
+  }
+  if (any_stage_max) {
+    AsciiTable stragglers({"stage", "max task s (last run)"});
+    stragglers.set_align(1, Align::Right);
+    for (const auto& [label, series] : record.stage_max_seconds) {
+      if (series.last() <= 0.0) continue;
+      stragglers.add_row({label, seconds_cell(series.last())});
+    }
+    out << stragglers.render() << "\n";
+  }
+
   if (!record.counters.empty()) {
     AsciiTable counters({"counter", "value"});
     counters.set_align(1, Align::Right);
@@ -408,6 +470,30 @@ std::string render_record(const RecordSummary& record) {
       counters.add_row({name, format_number(value)});
     }
     out << counters.render() << "\n";
+  }
+
+  if (!record.gauges.empty()) {
+    AsciiTable gauges({"gauge", "value"});
+    gauges.set_align(1, Align::Right);
+    for (const auto& [name, value] : record.gauges) {
+      gauges.add_row({name, format_number(value)});
+    }
+    out << gauges.render() << "\n";
+  }
+
+  if (!record.histograms.empty()) {
+    AsciiTable histograms(
+        {"histogram", "n", "sum", "min", "mean", "p50", "p95", "max"});
+    for (std::size_t column = 1; column <= 7; ++column) {
+      histograms.set_align(column, Align::Right);
+    }
+    for (const auto& [name, row] : record.histograms) {
+      histograms.add_row({name, format_number(row.count),
+                          format_number(row.sum), format_number(row.min),
+                          format_number(row.mean), format_number(row.p50),
+                          format_number(row.p95), format_number(row.max)});
+    }
+    out << histograms.render() << "\n";
   }
 
   if (!record.errors.empty()) {

@@ -53,21 +53,42 @@ struct ErrorRow {
   double max_abs_pct = 0.0;
 };
 
+/// One histogram snapshot (from the record's newest sample).
+struct HistogramRow {
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
 /// A run record reduced to the numbers show/diff/trajectory consume.
 struct RecordSummary {
   std::string path;
+  std::string tool;         ///< writer tag ("msim")
   std::string experiment;   ///< identity.info.experiment ("" when absent)
   std::string fingerprint;
   std::string git;
   std::string compiler;
+  std::string build_type;
+  std::string flags;
   std::string threads;      ///< MSIM_THREADS at record time ("" = default)
+  std::string cache_dir;         ///< MSIM_CACHE_DIR at record time
+  std::string cache_max_bytes;   ///< MSIM_CACHE_MAX_BYTES at record time
+  std::string prefetch;          ///< MSIM_GRAPH_PREFETCH at record time
   int schema = 0;
   std::size_t samples = 0;
   std::vector<double> created_unix;      ///< per sample
   Series wall_seconds;
   Series peak_rss_bytes;
   std::map<std::string, Series> stages;  ///< stage label -> seconds series
+  /// stage label -> per-sample max task seconds (straggler indicator)
+  std::map<std::string, Series> stage_max_seconds;
   std::map<std::string, double> counters;  ///< newest sample
+  std::map<std::string, double> gauges;    ///< newest sample
+  std::map<std::string, HistogramRow> histograms;  ///< newest sample
   std::vector<ErrorRow> errors;            ///< newest sample
 };
 
